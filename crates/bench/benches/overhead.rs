@@ -1,0 +1,73 @@
+//! Wall-clock cost of enforcement: raw device emulation vs the same
+//! device behind the ES-Checker, plus the bare checker walk.
+//!
+//! These are host-side microbenchmarks complementing the virtual-clock
+//! figures of `reproduce fig3..fig5`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sedspec::checker::{NoSync, WorkingMode};
+use sedspec::enforce::EnforcingDevice;
+use sedspec_bench::experiments::trained_spec;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+fn fdc_status_poll() -> IoRequest {
+    IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)
+}
+
+fn bench_raw_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raw_device_io");
+    group.sample_size(40);
+    for kind in [DeviceKind::Fdc, DeviceKind::Sdhci] {
+        let req = match kind {
+            DeviceKind::Fdc => fdc_status_poll(),
+            _ => IoRequest::read(AddressSpace::Mmio, 0x3024, 4),
+        };
+        group.bench_function(kind.name(), |b| {
+            let mut device = build_device(kind, QemuVersion::Patched);
+            let mut ctx = VmContext::new(0x10000, 64);
+            b.iter(|| device.handle_io(&mut ctx, &req).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_enforced_device(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforced_device_io");
+    group.sample_size(20);
+    for kind in [DeviceKind::Fdc, DeviceKind::Sdhci] {
+        let req = match kind {
+            DeviceKind::Fdc => fdc_status_poll(),
+            _ => IoRequest::read(AddressSpace::Mmio, 0x3024, 4),
+        };
+        let (spec, _) = trained_spec(kind, QemuVersion::Patched);
+        group.bench_function(kind.name(), |b| {
+            let device = build_device(kind, QemuVersion::Patched);
+            let mut enforcer = EnforcingDevice::new(device, spec.clone(), WorkingMode::Enhancement);
+            let mut ctx = VmContext::new(0x10000, 64);
+            b.iter(|| enforcer.handle_io(&mut ctx, &req));
+        });
+    }
+    group.finish();
+}
+
+fn bench_checker_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_walk");
+    group.sample_size(30);
+    let (spec, _) = trained_spec(DeviceKind::Fdc, QemuVersion::Patched);
+    let device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+    let checker = sedspec::checker::EsChecker::new(spec, device.control.clone());
+    let req = fdc_status_poll();
+    let pi = device.route(&req).unwrap();
+    group.bench_function("fdc_status_poll", |b| {
+        b.iter_batched(
+            || (),
+            |()| checker.walk_round(pi, &req, &mut NoSync),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_device, bench_enforced_device, bench_checker_walk);
+criterion_main!(benches);

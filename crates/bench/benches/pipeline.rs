@@ -1,0 +1,84 @@
+//! Cost of the offline pipeline — tracing, decoding, specification
+//! construction — and the ablations DESIGN.md calls out (control-flow
+//! reduction, data-dependency recovery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedspec::deprecover::RecoveryMode;
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_trace::decode::decode_run;
+use sedspec_trace::itc_cfg::ItcCfg;
+use sedspec_trace::tracer::Tracer;
+use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+use sedspec_workloads::generators::training_suite;
+
+fn bench_trace_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.sample_size(40);
+    let device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+    let layout = device.layout().clone();
+    // Produce a representative packet stream once (a sector read).
+    let mut dev = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x10000, 64);
+    let mut tracer = Tracer::new(layout.clone());
+    let req = IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08);
+    let pi = dev.route(&req).unwrap();
+    tracer.begin(pi, dev.programs()[pi].entry);
+    dev.handle_io_hooked(&mut ctx, &req, &mut tracer).unwrap();
+    let packets = tracer.end();
+
+    group.bench_function("decode_run", |b| {
+        let refs = device.program_refs();
+        b.iter(|| decode_run(&refs, &layout, &packets).unwrap());
+    });
+    group.bench_function("itc_add_run", |b| {
+        let refs = device.program_refs();
+        let run = decode_run(&refs, &layout, &packets).unwrap();
+        b.iter(|| {
+            let mut itc = ItcCfg::new();
+            itc.add_run(&layout, &run);
+            itc.edge_count()
+        });
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_training");
+    group.sample_size(10);
+    let suite = training_suite(DeviceKind::Scsi, 10, 1);
+    group.bench_function("scsi_10_cases", |b| {
+        b.iter(|| {
+            let mut device = build_device(DeviceKind::Scsi, QemuVersion::Patched);
+            let mut ctx = VmContext::new(0x100000, 4096);
+            train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_training");
+    group.sample_size(10);
+    let suite = training_suite(DeviceKind::Fdc, 10, 2);
+    for (label, config) in [
+        ("reduce_on_recover", TrainingConfig::default()),
+        ("reduce_off", TrainingConfig { reduce: false, ..TrainingConfig::default() }),
+        (
+            "always_sync",
+            TrainingConfig { recovery: RecoveryMode::AlwaysSync, ..TrainingConfig::default() },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+                let mut ctx = VmContext::new(0x100000, 4096);
+                train_script(&mut device, &mut ctx, &suite, &config).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_decode, bench_training, bench_ablations);
+criterion_main!(benches);

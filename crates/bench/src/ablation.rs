@@ -1,0 +1,247 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Control-flow reduction** on/off — spec size and walk cost;
+//! 2. **Data-dependency recovery** vs always-sync — sync-point count and
+//!    how much checking stays pre-execution;
+//! 3. **Command access table** on/off — detection of unknown commands;
+//! 4. **Trace filtering** on/off — packet-stream volume per round.
+
+use sedspec::checker::{CheckConfig, WorkingMode};
+use sedspec::collect::apply_step;
+use sedspec::deprecover::RecoveryMode;
+use sedspec::enforce::EnforcingDevice;
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_trace::packet::encode;
+use sedspec_trace::tracer::{TraceConfig, Tracer};
+use sedspec_vmm::VmContext;
+use sedspec_workloads::generators::{eval_case, training_suite};
+use sedspec_workloads::InteractionMode;
+
+/// One ablation row for a device.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Device.
+    pub device: DeviceKind,
+    /// `(edges with reduction, edges without)`.
+    pub reduce_edges: (usize, usize),
+    /// Conditional blocks merged by reduction.
+    pub merged: usize,
+    /// `(sync points with recovery, sync points in always-sync mode)`.
+    pub sync_points: (u64, u64),
+    /// Fraction of benign rounds fully checked *before* device execution,
+    /// `(recovery, always-sync)`.
+    pub precheck_ratio: (f64, f64),
+    /// Unknown-command detections on rare traffic `(scope on, scope off)`.
+    pub unknown_cmd_flags: (u64, u64),
+    /// Mean trace bytes per round `(filtered, unfiltered)`.
+    pub trace_bytes: (f64, f64),
+}
+
+fn precheck_ratio(kind: DeviceKind, config: &TrainingConfig) -> (u64, f64) {
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 40, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, config).unwrap();
+    let syncs = spec.stats.recovery.sync_points as u64;
+    let mut enforcer =
+        EnforcingDevice::new(build_device(kind, QemuVersion::Patched), spec, WorkingMode::Enhancement);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    for seed in 0..10u64 {
+        let case = eval_case(kind, InteractionMode::Sequential, 0.0, seed);
+        for step in &case {
+            let Some(req) = apply_step(step, &mut ctx) else { continue };
+            let _ = enforcer.handle_io(&mut ctx, req);
+        }
+    }
+    let total = enforcer.stats.precheck_complete + enforcer.stats.synced_rounds;
+    (syncs, enforcer.stats.precheck_complete as f64 / total.max(1) as f64)
+}
+
+fn unknown_cmd_flags(kind: DeviceKind, scope: bool) -> u64 {
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 40, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+    let config = CheckConfig { command_scope: scope, ..CheckConfig::default() };
+    let mut enforcer =
+        EnforcingDevice::new(build_device(kind, QemuVersion::Patched), spec, WorkingMode::Enhancement)
+            .with_config(config);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let mut flags = 0;
+    for seed in 0..6u64 {
+        let case = eval_case(kind, InteractionMode::Sequential, 1.0, seed);
+        for step in &case {
+            let Some(req) = apply_step(step, &mut ctx) else { continue };
+            if enforcer.handle_io(&mut ctx, req).flagged() {
+                flags += 1;
+            }
+        }
+    }
+    flags
+}
+
+fn trace_bytes(kind: DeviceKind, filter: bool) -> f64 {
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let config = TraceConfig { filter_to_device_range: filter, trace_kernel: false };
+    let layout = device.layout().clone();
+    let mut tracer = Tracer::with_config(layout, config);
+    let suite = training_suite(kind, 6, 9);
+    let mut bytes = 0usize;
+    let mut rounds = 0usize;
+    for case in &suite {
+        for step in case {
+            let Some(req) = apply_step(step, &mut ctx) else { continue };
+            let Some(pi) = device.route(req) else { continue };
+            tracer.begin(pi, device.programs()[pi].entry);
+            let _ = device.handle_io_hooked(&mut ctx, req, &mut tracer);
+            bytes += encode(&tracer.end()).len();
+            rounds += 1;
+        }
+    }
+    bytes as f64 / rounds.max(1) as f64
+}
+
+/// Runs all four ablations for one device.
+pub fn ablation_row(kind: DeviceKind) -> AblationRow {
+    // 1. Reduction.
+    let spec_with = {
+        let mut d = build_device(kind, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x200000, 8192);
+        train_script(&mut d, &mut ctx, &training_suite(kind, 40, 0x7a11), &TrainingConfig::default())
+            .unwrap()
+    };
+    let spec_without = {
+        let mut d = build_device(kind, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x200000, 8192);
+        let cfg = TrainingConfig { reduce: false, ..TrainingConfig::default() };
+        train_script(&mut d, &mut ctx, &training_suite(kind, 40, 0x7a11), &cfg).unwrap()
+    };
+
+    // 2. Recovery.
+    let (sync_recover, ratio_recover) = precheck_ratio(kind, &TrainingConfig::default());
+    let (sync_always, ratio_always) = precheck_ratio(
+        kind,
+        &TrainingConfig { recovery: RecoveryMode::AlwaysSync, ..TrainingConfig::default() },
+    );
+
+    // 3. Command scope.
+    let flags_on = unknown_cmd_flags(kind, true);
+    let flags_off = unknown_cmd_flags(kind, false);
+
+    // 4. Trace filtering.
+    let filtered = trace_bytes(kind, true);
+    let unfiltered = trace_bytes(kind, false);
+
+    AblationRow {
+        device: kind,
+        reduce_edges: (spec_with.edge_count(), spec_without.edge_count()),
+        merged: spec_with.stats.reduce.merged_branches,
+        sync_points: (sync_recover, sync_always),
+        precheck_ratio: (ratio_recover, ratio_always),
+        unknown_cmd_flags: (flags_on, flags_off),
+        trace_bytes: (filtered, unfiltered),
+    }
+}
+
+/// False positives on a fixed evaluation set as training size grows —
+/// the paper's §VIII remedy quantified: "utilization of extensive test
+/// cases to formulate precise execution specifications".
+pub fn training_size_curve(kind: DeviceKind, sizes: &[usize], eval_cases: u64) -> Vec<(usize, u64)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut device = build_device(kind, QemuVersion::Patched);
+            let mut ctx = VmContext::new(0x200000, 8192);
+            let suite = training_suite(kind, n, 0x7a11);
+            let spec =
+                train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+            let mut enforcer = EnforcingDevice::new(
+                build_device(kind, QemuVersion::Patched),
+                spec,
+                WorkingMode::Enhancement,
+            );
+            let mut ctx = VmContext::new(0x200000, 8192);
+            let mut fps = 0;
+            for seed in 0..eval_cases {
+                let mode = InteractionMode::all()[(seed % 3) as usize];
+                let case = eval_case(kind, mode, 0.0, 40_000 + seed);
+                let mut flagged = false;
+                for step in &case {
+                    let Some(req) = apply_step(step, &mut ctx) else { continue };
+                    flagged |= enforcer.handle_io(&mut ctx, req).flagged();
+                }
+                if flagged {
+                    fps += 1;
+                }
+            }
+            (n, fps)
+        })
+        .collect()
+}
+
+/// Renders the ablation table.
+pub fn render(rows: &[AblationRow]) -> String {
+    let mut s = String::from("Ablations (design choices from DESIGN.md)\n");
+    s.push_str(&format!(
+        "{:<10} {:>13} {:>7} {:>13} {:>17} {:>13} {:>17}\n",
+        "Device",
+        "edges w/wo",
+        "merged",
+        "syncs rc/as",
+        "precheck rc/as",
+        "cmd flags on/off",
+        "trace B flt/raw"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>6}/{:<6} {:>7} {:>6}/{:<6} {:>8.0}%/{:<7.0}% {:>8}/{:<7} {:>8.1}/{:<8.1}\n",
+            r.device.to_string(),
+            r.reduce_edges.0,
+            r.reduce_edges.1,
+            r.merged,
+            r.sync_points.0,
+            r.sync_points.1,
+            r.precheck_ratio.0 * 100.0,
+            r.precheck_ratio.1 * 100.0,
+            r.unknown_cmd_flags.0,
+            r.unknown_cmd_flags.1,
+            r.trace_bytes.0,
+            r.trace_bytes.1,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_training_means_fewer_false_positives() {
+        // The §VIII claim, quantified: growing the training corpus never
+        // increases (and eventually eliminates) benign flags on a fixed
+        // evaluation set.
+        let curve = training_size_curve(DeviceKind::UsbEhci, &[4, 16, 64], 30);
+        assert!(curve[0].1 >= curve[1].1 && curve[1].1 >= curve[2].1, "{curve:?}");
+        assert!(curve[0].1 > 0, "a tiny corpus must leave gaps: {curve:?}");
+        assert_eq!(curve[2].1, 0, "a broad corpus covers the benign space: {curve:?}");
+    }
+
+    #[test]
+    fn ablations_move_in_the_expected_directions() {
+        let r = ablation_row(DeviceKind::UsbEhci);
+        assert!(r.reduce_edges.0 <= r.reduce_edges.1, "reduction never adds edges");
+        assert!(r.sync_points.0 <= r.sync_points.1, "recovery never adds sync points");
+        assert!(
+            r.precheck_ratio.0 >= r.precheck_ratio.1,
+            "recovery keeps more checking pre-execution"
+        );
+        assert!(r.trace_bytes.0 <= r.trace_bytes.1, "filtering never grows the trace");
+        assert!(
+            r.unknown_cmd_flags.0 >= r.unknown_cmd_flags.1,
+            "command scope only adds detections"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Coverage-gap inspector: lists the runtime CFG edges the fuzzer
+//! reaches that the training suite never covered, per device — the
+//! residual that keeps effective coverage below 100% (paper Table III).
+//!
+//! ```text
+//! cargo run --release -p sedspec-bench --bin covdbg
+//! ```
+
+use sedspec_bench::experiments::trained_spec;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_workloads::fuzz::{fuzz_device, FuzzConfig};
+
+fn main() {
+    for kind in DeviceKind::all() {
+        let (_, train_itc) = trained_spec(kind, QemuVersion::Patched);
+        let fuzz = fuzz_device(kind, &FuzzConfig { cases: 300, ..FuzzConfig::default() });
+        let device = build_device(kind, QemuVersion::Patched);
+        let layout = device.layout();
+        println!("== {kind}: train edges {} fuzz edges {}", train_itc.edge_count(), fuzz.itc.edge_count());
+        let mut missing = 0;
+        for ((from, to), stats) in fuzz.itc.edges() {
+            if !train_itc.has_edge(from, to) {
+                missing += 1;
+                if missing <= 12 {
+                    let f = layout.resolve(from);
+                    let t = layout.resolve(to);
+                    let name = |r: Option<(usize, sedspec_dbl::ir::BlockId)>| match r {
+                        Some((p, b)) => format!("{}:{}", device.programs()[p].name, device.programs()[p].block(b).label),
+                        None => "?".into(),
+                    };
+                    println!("  missing {:?} {} -> {} (hits {})", stats.kind, name(f), name(t), stats.hits);
+                }
+            }
+        }
+        println!("  total missing: {missing}");
+    }
+}

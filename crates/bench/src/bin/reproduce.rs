@@ -1,0 +1,82 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [table1|table2|table3|fig3|fig4|fig5|all] [--hours N]
+//! ```
+//!
+//! `table2`/`table3` run the long-horizon experiments; `--hours N` scales
+//! the horizon (default 30, i.e. the paper's full Table II run).
+
+use sedspec_bench::experiments::{
+    fig5, storage_figures, table1, table2_device, table3_cases, table3_summaries, Table2Row,
+};
+use sedspec_bench::report;
+use sedspec_devices::DeviceKind;
+
+fn run_table2(hours: u64) -> Vec<Table2Row> {
+    let marks = [hours.div_ceil(3), 2 * hours / 3, hours];
+    DeviceKind::all().into_iter().map(|k| table2_device(k, marks)).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let hours: u64 = args
+        .iter()
+        .position(|a| a == "--hours")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+
+    match what {
+        "table1" => print!("{}", report::render_table1(&table1())),
+        "table2" => {
+            let marks = [hours.div_ceil(3), 2 * hours / 3, hours];
+            let rows = run_table2(hours);
+            print!("{}", report::render_table2_at(&rows, marks));
+        }
+        "table3" => {
+            let rows = run_table2(hours);
+            let cases = table3_cases();
+            let sums = table3_summaries(&rows);
+            print!("{}", report::render_table3(&cases, &sums));
+        }
+        "fig3" => print!("{}", report::render_fig3(&storage_figures())),
+        "fig4" => print!("{}", report::render_fig4(&storage_figures())),
+        "fig5" => print!("{}", report::render_fig5(&fig5())),
+        "ablation" => {
+            let rows: Vec<_> =
+                DeviceKind::all().into_iter().map(sedspec_bench::ablation::ablation_row).collect();
+            print!("{}", sedspec_bench::ablation::render(&rows));
+            println!("\nFalse positives vs training size (fixed 60-case benign eval):");
+            for kind in DeviceKind::all() {
+                let curve =
+                    sedspec_bench::ablation::training_size_curve(kind, &[4, 16, 64, 120], 60);
+                let series: Vec<String> =
+                    curve.iter().map(|(n, fp)| format!("{n}:{fp}")).collect();
+                println!("  {:<9} {}", kind.to_string(), series.join("  "));
+            }
+        }
+        "all" => {
+            print!("{}", report::render_table1(&table1()));
+            println!();
+            let rows = run_table2(hours);
+            print!("{}", report::render_table2(&rows));
+            println!();
+            let cases = table3_cases();
+            let sums = table3_summaries(&rows);
+            print!("{}", report::render_table3(&cases, &sums));
+            println!();
+            let storage = storage_figures();
+            print!("{}", report::render_fig3(&storage));
+            println!();
+            print!("{}", report::render_fig4(&storage));
+            println!();
+            print!("{}", report::render_fig5(&fig5()));
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; expected table1|table2|table3|fig3|fig4|fig5|ablation|all");
+            std::process::exit(2);
+        }
+    }
+}

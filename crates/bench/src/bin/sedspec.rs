@@ -1,0 +1,204 @@
+//! Command-line front end for the SEDSpec pipeline.
+//!
+//! ```text
+//! sedspec train  <device> [--cases N] [--seed S] [--out spec.json]
+//! sedspec inspect <spec.json>
+//! sedspec attack <cve> [--spec spec.json] [--mode protection|enhancement]
+//! sedspec devices|cves
+//! ```
+//!
+//! `train` produces a serializable execution specification for a patched
+//! device; `attack` trains (or loads) a specification for the CVE's
+//! vulnerable device version and replays the PoC under enforcement.
+
+use std::process::ExitCode;
+
+use sedspec::checker::WorkingMode;
+use sedspec::collect::apply_step;
+use sedspec::enforce::{EnforcingDevice, IoVerdict};
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec::response::highest_alert;
+use sedspec::spec::ExecutionSpecification;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_vmm::VmContext;
+use sedspec_workloads::attacks::{poc, Cve};
+use sedspec_workloads::generators::training_suite;
+
+fn parse_device(name: &str) -> Option<DeviceKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "fdc" => Some(DeviceKind::Fdc),
+        "ehci" | "usb" | "usb-ehci" => Some(DeviceKind::UsbEhci),
+        "pcnet" => Some(DeviceKind::Pcnet),
+        "sdhci" => Some(DeviceKind::Sdhci),
+        "scsi" | "esp" => Some(DeviceKind::Scsi),
+        _ => None,
+    }
+}
+
+fn parse_cve(id: &str) -> Option<Cve> {
+    Cve::all_with_known_miss()
+        .into_iter()
+        .find(|c| c.id().eq_ignore_ascii_case(id) || c.id()[4..].eq_ignore_ascii_case(id))
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn train_spec(kind: DeviceKind, version: QemuVersion, cases: usize, seed: u64) -> ExecutionSpecification {
+    let mut device = build_device(kind, version);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, cases, seed);
+    train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+        .expect("training produced no rounds")
+}
+
+fn cmd_train(args: &[String]) -> ExitCode {
+    let Some(kind) = args.first().and_then(|a| parse_device(a)) else {
+        eprintln!("usage: sedspec train <fdc|ehci|pcnet|sdhci|scsi> [--cases N] [--seed S] [--out FILE]");
+        return ExitCode::from(2);
+    };
+    let cases = flag(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(60);
+    let seed = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x7a11);
+    let spec = train_spec(kind, QemuVersion::Patched, cases, seed);
+    eprintln!(
+        "trained {} ({} rounds): {} blocks, {} edges, {} commands",
+        spec.device,
+        spec.stats.training_rounds,
+        spec.block_count(),
+        spec.edge_count(),
+        spec.cmd_table.len()
+    );
+    let json = spec.to_json();
+    match flag(args, "--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path} ({} bytes)", json.len());
+        }
+        None => println!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: sedspec inspect <spec.json>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match ExecutionSpecification::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("not a specification: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("device:   {} ({})", spec.device, spec.version);
+    println!("params:   {} vars, {} buffers, {} fn ptrs",
+        spec.params.selected_var_count(), spec.params.buffers.len(), spec.params.fn_ptrs.len());
+    println!("spec:     {} blocks, {} edges, {} commands",
+        spec.block_count(), spec.edge_count(), spec.cmd_table.len());
+    println!("training: {} rounds, {} sync points, {} merged branches",
+        spec.stats.training_rounds, spec.stats.recovery.sync_points, spec.stats.reduce.merged_branches);
+    for cfg in &spec.cfgs {
+        println!("  {:<20} {:>3} blocks {:>3} edges", cfg.name, cfg.blocks.len(), cfg.edge_count());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_attack(args: &[String]) -> ExitCode {
+    let Some(cve) = args.first().and_then(|a| parse_cve(a)) else {
+        eprintln!("usage: sedspec attack <CVE-id> [--spec FILE] [--mode protection|enhancement]");
+        eprintln!("known: {}", Cve::all_with_known_miss().map(|c| c.id()).join(", "));
+        return ExitCode::from(2);
+    };
+    let p = poc(cve);
+    let mode = match flag(args, "--mode") {
+        Some("enhancement") => WorkingMode::Enhancement,
+        _ => WorkingMode::Protection,
+    };
+    let spec = match flag(args, "--spec") {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| ExecutionSpecification::from_json(&t).map_err(|e| e.to_string()))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot load spec: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            eprintln!("training specification for {} at {} ...", p.device, p.qemu_version);
+            train_spec(p.device, p.qemu_version, 60, 0x7a11)
+        }
+    };
+    let mut device = build_device(p.device, p.qemu_version);
+    device.set_limits(sedspec_dbl::interp::ExecLimits { max_steps: 50_000 });
+    let mut enforcer = EnforcingDevice::new(device, spec, mode);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    for (i, step) in p.steps.iter().enumerate() {
+        let Some(req) = apply_step(step, &mut ctx) else { continue };
+        match enforcer.handle_io(&mut ctx, req) {
+            IoVerdict::Halted { violations, executed } => {
+                println!(
+                    "{}: HALTED at step {i} ({} execution) — {:?}, alert {:?}",
+                    p.cve.id(),
+                    if executed { "after" } else { "before" },
+                    violations.first().map(|v| v.strategy()),
+                    highest_alert(&violations),
+                );
+                return ExitCode::SUCCESS;
+            }
+            IoVerdict::Warned { violations, .. } => {
+                println!(
+                    "{}: WARNED at step {i} — {:?}",
+                    p.cve.id(),
+                    violations.first().map(|v| v.strategy())
+                );
+            }
+            IoVerdict::DeviceFault { fault, .. } => {
+                println!("{}: device fault without detection: {fault}", p.cve.id());
+                return ExitCode::FAILURE;
+            }
+            IoVerdict::Allowed(_) => {}
+        }
+    }
+    println!("{}: PoC completed without a halt (expected for the documented miss)", p.cve.id());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("attack") => cmd_attack(&args[1..]),
+        Some("devices") => {
+            for k in DeviceKind::all() {
+                println!("{k}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("cves") => {
+            for c in Cve::all_with_known_miss() {
+                let p = poc(c);
+                println!("{:<15} {:<9} {}", c.id(), p.device.to_string(), p.qemu_version);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: sedspec <train|inspect|attack|devices|cves> ...");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The evaluation experiments (paper §VII).
+
+use sedspec::checker::{CheckConfig, Strategy, WorkingMode};
+use sedspec::collect::apply_step;
+use sedspec::enforce::{EnforcingDevice, IoVerdict};
+use sedspec::params::SelectionReason;
+use sedspec::pipeline::{train_script_with_artifacts, TrainingConfig};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_trace::itc_cfg::ItcCfg;
+use sedspec_vmm::VmContext;
+use sedspec_workloads::attacks::{poc, Cve};
+use sedspec_workloads::fuzz::{effective_coverage, fuzz_device, FuzzConfig};
+use sedspec_workloads::generators::{eval_case, training_suite};
+use sedspec_workloads::perf::{
+    network_bench, ping_bench, storage_bench, IoDir, NetDir, Transport,
+};
+use sedspec_workloads::InteractionMode;
+
+/// Training cases per device for all experiments.
+pub const TRAINING_CASES: usize = 120;
+/// Evaluation test cases per simulated hour (scaled from the paper's
+/// long-running interactions; see DESIGN.md).
+pub const CASES_PER_HOUR: usize = 120;
+/// Rare-command probability per batch in evaluation traffic.
+pub const RARE_PROB: f64 = 0.0001;
+/// Fuzz budget approximating the paper's one-hour campaign.
+pub const FUZZ_CASES: usize = 400;
+
+/// Trains the standard specification for a device at a version.
+pub fn trained_spec(kind: DeviceKind, version: QemuVersion) -> (ExecutionSpecification, ItcCfg) {
+    let mut device = build_device(kind, version);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, TRAINING_CASES, 0x7a11);
+    let (spec, artifacts) =
+        train_script_with_artifacts(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+            .expect("training succeeds");
+    (spec, artifacts.itc)
+}
+
+// ------------------------------------------------------------ Table I --
+
+/// One row of Table I: a parameter class with device examples.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Variable class (Table I column 1).
+    pub class: &'static str,
+    /// Related vulnerability or exploit type.
+    pub related: &'static str,
+    /// Selected examples per device: `(device, var names)`.
+    pub examples: Vec<(DeviceKind, Vec<String>)>,
+}
+
+/// Reproduces Table I: device-state parameter selection.
+pub fn table1() -> Vec<Table1Row> {
+    let mut rows = vec![
+        Table1Row { class: "Physical register related variables", related: "-", examples: vec![] },
+        Table1Row {
+            class: "Fixed-length buffer variables",
+            related: "Buffer overflow",
+            examples: vec![],
+        },
+        Table1Row {
+            class: "Variables for counting and indexing buffer positions",
+            related: "Buffer overflow or integer overflow",
+            examples: vec![],
+        },
+        Table1Row {
+            class: "Function pointer variables",
+            related: "Control flow hijack",
+            examples: vec![],
+        },
+    ];
+    for kind in DeviceKind::all() {
+        let device = build_device(kind, QemuVersion::Patched);
+        let refs = device.program_refs();
+        let params = sedspec::params::select_params(&device.control, &refs, None);
+        let named = |reason: SelectionReason| -> Vec<String> {
+            params
+                .vars
+                .iter()
+                .filter(|(_, rs)| rs.contains(&reason))
+                .map(|(v, _)| device.control.var_decl(*v).name.clone())
+                .collect()
+        };
+        rows[0].examples.push((kind, named(SelectionReason::PhysicalRegister)));
+        rows[1].examples.push((
+            kind,
+            params.buffers.iter().map(|b| device.control.buf_decl(*b).name.clone()).collect(),
+        ));
+        rows[2].examples.push((kind, named(SelectionReason::BufferCountIndex)));
+        rows[3].examples.push((kind, named(SelectionReason::FunctionPointer)));
+    }
+    rows
+}
+
+// ----------------------------------------------------------- Table II --
+
+/// False positives for one device at the three time horizons.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// The device.
+    pub device: DeviceKind,
+    /// Cumulative false positives at 10, 20 and 30 simulated hours.
+    pub fp_at: [u64; 3],
+    /// Total test cases over 30 hours.
+    pub total_cases: u64,
+    /// False positive rate over the full horizon.
+    pub fpr: f64,
+}
+
+/// Runs one device's long-horizon false-positive experiment.
+pub fn table2_device(kind: DeviceKind, hours: [u64; 3]) -> Table2Row {
+    let (spec, _) = trained_spec(kind, QemuVersion::Patched);
+    let device = build_device(kind, QemuVersion::Patched);
+    let mut enforcer = EnforcingDevice::new(device, spec, WorkingMode::Enhancement);
+    let mut ctx = VmContext::new(0x200000, 8192);
+
+    let total_hours = hours[2];
+    let mut fp_at = [0u64; 3];
+    let mut fps = 0u64;
+    let mut cases = 0u64;
+    for hour in 0..total_hours {
+        for c in 0..CASES_PER_HOUR as u64 {
+            let mode = InteractionMode::all()[(cases % 3) as usize];
+            let case = eval_case(kind, mode, RARE_PROB, hour * 10_000 + c);
+            let mut flagged = false;
+            for step in &case {
+                let Some(req) = apply_step(step, &mut ctx) else { continue };
+                let verdict = enforcer.handle_io(&mut ctx, req);
+                if verdict.flagged() {
+                    flagged = true;
+                }
+                enforcer.reset_halt();
+            }
+            cases += 1;
+            if flagged {
+                fps += 1;
+            }
+        }
+        for (i, &h) in hours.iter().enumerate() {
+            if hour + 1 == h {
+                fp_at[i] = fps;
+            }
+        }
+    }
+    Table2Row { device: kind, fp_at, total_cases: cases, fpr: fps as f64 / cases as f64 }
+}
+
+/// Reproduces Table II for all five devices.
+pub fn table2() -> Vec<Table2Row> {
+    DeviceKind::all().into_iter().map(|k| table2_device(k, [10, 20, 30])).collect()
+}
+
+// ---------------------------------------------------------- Table III --
+
+/// One case-study row of Table III.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// The CVE.
+    pub cve: Cve,
+    /// Target device.
+    pub device: DeviceKind,
+    /// QEMU version column.
+    pub qemu_version: QemuVersion,
+    /// Detection outcome per strategy: (parameter, indirect, conditional).
+    pub detected: [bool; 3],
+    /// The paper's expected ticks for comparison.
+    pub expected: [bool; 3],
+}
+
+/// Coverage/FPR summary per device for Table III's right columns.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Summary {
+    /// The device.
+    pub device: DeviceKind,
+    /// False positive rate (from the Table II run).
+    pub fpr: f64,
+    /// Effective coverage against the fuzz-approximated path set.
+    pub effective_coverage: f64,
+}
+
+/// Runs one CVE case study with a single strategy enabled.
+fn run_case_study(cve: Cve, strategy: Strategy) -> bool {
+    let p = poc(cve);
+    let (spec, _) = trained_spec(p.device, p.qemu_version);
+    let mut device = build_device(p.device, p.qemu_version);
+    device.set_limits(sedspec_dbl::interp::ExecLimits { max_steps: 50_000 });
+    let mut enforcer = EnforcingDevice::new(device, spec, WorkingMode::Protection)
+        .with_config(CheckConfig::only(strategy));
+    let mut ctx = VmContext::new(0x200000, 8192);
+    for step in &p.steps {
+        let Some(req) = apply_step(step, &mut ctx) else { continue };
+        match enforcer.handle_io(&mut ctx, req) {
+            IoVerdict::Halted { violations, .. } if !violations.is_empty() => return true,
+            IoVerdict::Halted { .. } => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Reproduces the case-study columns of Table III.
+pub fn table3_cases() -> Vec<Table3Row> {
+    Cve::all()
+        .into_iter()
+        .map(|cve| {
+            let p = poc(cve);
+            let detected = [
+                run_case_study(cve, Strategy::Parameter),
+                run_case_study(cve, Strategy::IndirectJump),
+                run_case_study(cve, Strategy::ConditionalJump),
+            ];
+            let expected = [
+                p.detected_by.contains(&Strategy::Parameter),
+                p.detected_by.contains(&Strategy::IndirectJump),
+                p.detected_by.contains(&Strategy::ConditionalJump),
+            ];
+            Table3Row { cve, device: p.device, qemu_version: p.qemu_version, detected, expected }
+        })
+        .collect()
+}
+
+/// Reproduces the FPR and effective-coverage columns of Table III.
+pub fn table3_summaries(table2_rows: &[Table2Row]) -> Vec<Table3Summary> {
+    DeviceKind::all()
+        .into_iter()
+        .map(|kind| {
+            let (_, train_itc) = trained_spec(kind, QemuVersion::Patched);
+            let fuzz =
+                fuzz_device(kind, &FuzzConfig { cases: FUZZ_CASES, ..FuzzConfig::default() });
+            let coverage = effective_coverage(&train_itc, &fuzz.itc);
+            let fpr = table2_rows
+                .iter()
+                .find(|r| r.device == kind)
+                .map(|r| r.fpr)
+                .unwrap_or(f64::NAN);
+            Table3Summary { device: kind, fpr, effective_coverage: coverage }
+        })
+        .collect()
+}
+
+/// Full Table III: case studies plus per-device summaries.
+pub fn table3(table2_rows: &[Table2Row]) -> (Vec<Table3Row>, Vec<Table3Summary>) {
+    (table3_cases(), table3_summaries(table2_rows))
+}
+
+// ------------------------------------------------------- Figures 3/4 --
+
+/// One normalized storage measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct StoragePoint {
+    /// The device.
+    pub device: DeviceKind,
+    /// Transfer direction.
+    pub write: bool,
+    /// Block size in bytes.
+    pub block: u64,
+    /// Enforced / raw throughput ratio (Figure 3; ≥ ~0.95 expected).
+    pub norm_throughput: f64,
+    /// Enforced / raw latency ratio (Figure 4; ≤ ~1.05 expected).
+    pub norm_latency: f64,
+}
+
+/// Block sizes for a device (the FDC's 2.88 MB capacity caps its range).
+pub fn block_sizes(kind: DeviceKind) -> Vec<u64> {
+    match kind {
+        DeviceKind::Fdc => vec![4 << 10, 64 << 10, 512 << 10],
+        _ => vec![4 << 10, 64 << 10, 512 << 10, 2 << 20],
+    }
+}
+
+/// Measures normalized storage throughput and latency for every storage
+/// device, direction and block size (Figures 3 and 4 share the runs).
+pub fn storage_figures() -> Vec<StoragePoint> {
+    let mut out = Vec::new();
+    for kind in DeviceKind::all().into_iter().filter(|k| k.is_storage()) {
+        let (spec, _) = trained_spec(kind, QemuVersion::Patched);
+        for write in [false, true] {
+            for block in block_sizes(kind) {
+                let total = (block * 8).min(2 << 20).max(block);
+                let dir = if write { IoDir::Write } else { IoDir::Read };
+                let raw = storage_bench(kind, None, dir, block, total);
+                let enf = storage_bench(kind, Some(spec.clone()), dir, block, total);
+                out.push(StoragePoint {
+                    device: kind,
+                    write,
+                    block,
+                    norm_throughput: enf.throughput() / raw.throughput(),
+                    norm_latency: enf.latency_ns() / raw.latency_ns(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Figure 3 data (normalized throughput).
+pub fn fig3() -> Vec<StoragePoint> {
+    storage_figures()
+}
+
+/// Figure 4 data (normalized latency; same measurement campaign).
+pub fn fig4() -> Vec<StoragePoint> {
+    storage_figures()
+}
+
+// ----------------------------------------------------------- Figure 5 --
+
+/// PCNet bandwidth and ping results.
+#[derive(Debug, Clone)]
+pub struct Fig5Data {
+    /// `(label, raw Mbit/s, enforced Mbit/s, overhead %)` rows.
+    pub bandwidth: Vec<(&'static str, f64, f64, f64)>,
+    /// Mean ping latency: `(raw_ns, enforced_ns, overhead %)`.
+    pub ping: (f64, f64, f64),
+}
+
+/// Reproduces Figure 5: TCP/UDP upstream/downstream bandwidth and ping.
+pub fn fig5() -> Fig5Data {
+    let (spec, _) = trained_spec(DeviceKind::Pcnet, QemuVersion::Patched);
+    let frames = 300;
+    let mut bandwidth = Vec::new();
+    for (label, transport, dir) in [
+        ("TCP upstream", Transport::Tcp, NetDir::Upstream),
+        ("TCP downstream", Transport::Tcp, NetDir::Downstream),
+        ("UDP upstream", Transport::Udp, NetDir::Upstream),
+        ("UDP downstream", Transport::Udp, NetDir::Downstream),
+    ] {
+        let raw = network_bench(None, transport, dir, frames);
+        let enf = network_bench(Some(spec.clone()), transport, dir, frames);
+        let raw_mbps = raw.throughput() * 8.0 / 1e6;
+        let enf_mbps = enf.throughput() * 8.0 / 1e6;
+        bandwidth.push((label, raw_mbps, enf_mbps, (1.0 - enf_mbps / raw_mbps) * 100.0));
+    }
+    let raw_ping = ping_bench(None, 100);
+    let enf_ping = ping_bench(Some(spec), 100);
+    let ping = (
+        raw_ping.latency_ns(),
+        enf_ping.latency_ns(),
+        (enf_ping.latency_ns() / raw_ping.latency_ns() - 1.0) * 100.0,
+    );
+    Fig5Data { bandwidth, ping }
+}

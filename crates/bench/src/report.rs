@@ -1,0 +1,161 @@
+//! Text rendering of the experiment results in the paper's layout.
+
+use crate::experiments::{Fig5Data, StoragePoint, Table1Row, Table2Row, Table3Row, Table3Summary};
+use sedspec_workloads::attacks::poc;
+
+/// Renders Table I.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::from("Table I — Selection of Device State Parameters\n");
+    for row in rows {
+        s.push_str(&format!("\n[{}]  (related: {})\n", row.class, row.related));
+        for (dev, names) in &row.examples {
+            if names.is_empty() {
+                continue;
+            }
+            let list = if names.len() > 6 {
+                format!("{} … ({} total)", names[..6].join(", "), names.len())
+            } else {
+                names.join(", ")
+            };
+            s.push_str(&format!("  {:<9} {}\n", dev.to_string(), list));
+        }
+    }
+    s
+}
+
+/// Renders Table II. `marks` are the cumulative hour checkpoints the
+/// rows were sampled at (the paper's 10/20/30).
+pub fn render_table2_at(rows: &[Table2Row], marks: [u64; 3]) -> String {
+    let mut s = String::from("Table II — False Positives Over Time\n");
+    s.push_str(&format!(
+        "{:<10} {:>9} {:>9} {:>9} {:>12} {:>8}\n",
+        "Device",
+        format!("{} hours", marks[0]),
+        format!("{} hours", marks[1]),
+        format!("{} hours", marks[2]),
+        "test cases",
+        "FPR"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<10} {:>9} {:>9} {:>9} {:>12} {:>7.2}%\n",
+            r.device.to_string(),
+            r.fp_at[0],
+            r.fp_at[1],
+            r.fp_at[2],
+            r.total_cases,
+            r.fpr * 100.0
+        ));
+    }
+    s
+}
+
+/// Renders Table II at the paper's 10/20/30-hour checkpoints.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    render_table2_at(rows, [10, 20, 30])
+}
+
+/// Renders Table III.
+pub fn render_table3(cases: &[Table3Row], summaries: &[Table3Summary]) -> String {
+    let tick = |b: bool| if b { "X" } else { " " };
+    let mut s = String::from("Table III — Main results\n");
+    s.push_str(&format!(
+        "{:<10} {:<15} {:<8} {:^9} {:^9} {:^9}  expected / match\n",
+        "Device", "CVE ID", "QEMU", "Param", "Indirect", "CondJump"
+    ));
+    for c in cases {
+        let exp: String = c.expected.iter().map(|&b| if b { 'X' } else { '.' }).collect();
+        let ok = c.detected == c.expected;
+        s.push_str(&format!(
+            "{:<10} {:<15} {:<8} {:^9} {:^9} {:^9}  {}        {}\n",
+            c.device.to_string(),
+            poc(c.cve).cve.id(),
+            c.qemu_version.to_string(),
+            tick(c.detected[0]),
+            tick(c.detected[1]),
+            tick(c.detected[2]),
+            exp,
+            if ok { "OK" } else { "MISMATCH" },
+        ));
+    }
+    s.push('\n');
+    s.push_str(&format!(
+        "{:<10} {:>8} {:>20}\n",
+        "Device", "FPR", "Effective Coverage"
+    ));
+    for m in summaries {
+        s.push_str(&format!(
+            "{:<10} {:>7.2}% {:>19.1}%\n",
+            m.device.to_string(),
+            m.fpr * 100.0,
+            m.effective_coverage * 100.0
+        ));
+    }
+    s
+}
+
+fn human_block(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}M", b >> 20)
+    } else {
+        format!("{}K", b >> 10)
+    }
+}
+
+/// Renders Figure 3 (normalized throughput).
+pub fn render_fig3(points: &[StoragePoint]) -> String {
+    render_storage(points, true)
+}
+
+/// Renders Figure 4 (normalized latency).
+pub fn render_fig4(points: &[StoragePoint]) -> String {
+    render_storage(points, false)
+}
+
+fn render_storage(points: &[StoragePoint], throughput: bool) -> String {
+    let mut s = if throughput {
+        String::from("Figure 3 — Normalized throughput of storage devices (SEDSpec / native)\n")
+    } else {
+        String::from("Figure 4 — Normalized latency of storage devices (SEDSpec / native)\n")
+    };
+    for write in [false, true] {
+        s.push_str(if write { "\n  [write]\n" } else { "\n  [read]\n" });
+        let mut devices: Vec<_> = points
+            .iter()
+            .filter(|p| p.write == write)
+            .map(|p| p.device)
+            .collect();
+        devices.dedup();
+        for dev in devices {
+            let series: Vec<String> = points
+                .iter()
+                .filter(|p| p.device == dev && p.write == write)
+                .map(|p| {
+                    let v = if throughput { p.norm_throughput } else { p.norm_latency };
+                    format!("{}:{:.3}", human_block(p.block), v)
+                })
+                .collect();
+            s.push_str(&format!("  {:<9} {}\n", dev.to_string(), series.join("  ")));
+        }
+    }
+    s
+}
+
+/// Renders Figure 5 (PCNet bandwidth and ping latency).
+pub fn render_fig5(data: &Fig5Data) -> String {
+    let mut s = String::from("Figure 5 — PCNet bandwidth benchmark\n");
+    s.push_str(&format!(
+        "{:<16} {:>12} {:>12} {:>10}\n",
+        "Stream", "native Mb/s", "SEDSpec Mb/s", "overhead"
+    ));
+    for (label, raw, enf, ovh) in &data.bandwidth {
+        s.push_str(&format!("{label:<16} {raw:>12.1} {enf:>12.1} {ovh:>9.1}%\n"));
+    }
+    s.push_str(&format!(
+        "\nping: native {:.3} ms, SEDSpec {:.3} ms (+{:.1}%)\n",
+        data.ping.0 / 1e6,
+        data.ping.1 / 1e6,
+        data.ping.2
+    ));
+    s
+}

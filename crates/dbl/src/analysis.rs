@@ -1,0 +1,438 @@
+//! Static analysis over DBL programs — the `angr` replacement.
+//!
+//! Three analyses feed the SEDSpec pipeline:
+//!
+//! 1. **Usage classification** ([`classify`]): which device-state
+//!    variables index buffers, carry lengths into copy operations, feed
+//!    indirect calls or influence branches. The CFG analyzer's Rule 2
+//!    filter (paper Table I) is built on these classes.
+//! 2. **Branch influencers** ([`branch_influencers`]): per block, the
+//!    device-state variables that (transitively, through locals) decide
+//!    its terminator — the variables observation points must record.
+//! 3. **Path-sensitive rewriting** ([`rewrite_along_path`]): expressing
+//!    a branch condition purely over device state and I/O data by
+//!    substituting local definitions backwards along an executed path —
+//!    the paper's data-dependency recovery. When a local cannot be
+//!    resolved (or resolving would be unsound because an input was
+//!    overwritten after the definition), the result demands a sync
+//!    point instead.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ir::{BlockId, BufId, Expr, Intrinsic, LocalId, Program, Stmt, Terminator, VarId};
+
+/// Usage classes of device-state variables across a device's handlers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UsageClasses {
+    /// Variables used in buffer index positions (`buf[v]`, store offsets).
+    pub index_vars: BTreeSet<VarId>,
+    /// Variables used as lengths of copy-like operations.
+    pub count_vars: BTreeSet<VarId>,
+    /// Variables dispatched through `IndirectCall`.
+    pub fn_ptr_vars: BTreeSet<VarId>,
+    /// Variables that influence a conditional branch or switch
+    /// (directly or through a local).
+    pub cond_vars: BTreeSet<VarId>,
+    /// Buffers touched by any handler.
+    pub buffers: BTreeSet<BufId>,
+}
+
+fn flow_insensitive_local_defs(prog: &Program) -> BTreeMap<LocalId, Vec<Expr>> {
+    let mut defs: BTreeMap<LocalId, Vec<Expr>> = BTreeMap::new();
+    for blk in &prog.blocks {
+        for s in &blk.stmts {
+            if let Stmt::SetLocal(l, e) = s {
+                defs.entry(*l).or_default().push(e.clone());
+            }
+        }
+    }
+    defs
+}
+
+fn vars_closure(e: &Expr, defs: &BTreeMap<LocalId, Vec<Expr>>) -> BTreeSet<VarId> {
+    let mut out: BTreeSet<VarId> = e.vars().into_iter().collect();
+    let mut work: Vec<LocalId> = e.locals();
+    let mut seen: BTreeSet<LocalId> = work.iter().copied().collect();
+    while let Some(l) = work.pop() {
+        if let Some(exprs) = defs.get(&l) {
+            for d in exprs {
+                out.extend(d.vars());
+                for nl in d.locals() {
+                    if seen.insert(nl) {
+                        work.push(nl);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn index_exprs_of_stmt(s: &Stmt) -> Vec<&Expr> {
+    match s {
+        Stmt::BufStore(_, idx, _) => vec![idx],
+        Stmt::CopyPayload { buf_off, .. } => vec![buf_off],
+        Stmt::Intrinsic(Intrinsic::DmaToBuf { buf_off, .. })
+        | Stmt::Intrinsic(Intrinsic::DmaFromBuf { buf_off, .. })
+        | Stmt::Intrinsic(Intrinsic::DiskReadToBuf { buf_off, .. })
+        | Stmt::Intrinsic(Intrinsic::DiskWriteFromBuf { buf_off, .. }) => vec![buf_off],
+        Stmt::Intrinsic(Intrinsic::NetTransmit { off, .. }) => vec![off],
+        _ => vec![],
+    }
+}
+
+fn len_exprs_of_stmt(s: &Stmt) -> Vec<&Expr> {
+    match s {
+        Stmt::CopyPayload { len, .. } => vec![len],
+        Stmt::Intrinsic(Intrinsic::DmaToBuf { len, .. })
+        | Stmt::Intrinsic(Intrinsic::DmaFromBuf { len, .. })
+        | Stmt::Intrinsic(Intrinsic::NetTransmit { len, .. }) => vec![len],
+        _ => vec![],
+    }
+}
+
+fn buffers_of_stmt(s: &Stmt) -> Vec<BufId> {
+    match s {
+        Stmt::BufStore(b, idx, v) => {
+            let mut out = vec![*b];
+            out.extend(idx.buffers());
+            out.extend(v.buffers());
+            out
+        }
+        Stmt::BufFill(b, _) => vec![*b],
+        Stmt::CopyPayload { buf, .. } => vec![*buf],
+        Stmt::Intrinsic(i) => {
+            let mut out = Vec::new();
+            if let Some(b) = i.written_buf() {
+                out.push(b);
+            }
+            if let Intrinsic::DmaFromBuf { buf, .. }
+            | Intrinsic::DiskWriteFromBuf { buf, .. }
+            | Intrinsic::NetTransmit { buf, .. } = i
+            {
+                out.push(*buf);
+            }
+            out
+        }
+        Stmt::SetVar(_, e) | Stmt::SetLocal(_, e) => e.buffers(),
+    }
+}
+
+/// Classifies device-state variable usage across `programs`.
+///
+/// Also walks index/length expressions that go through locals
+/// (flow-insensitively), so `tmp = xmit_pos; buf[tmp] = x` still marks
+/// `xmit_pos` as an index variable.
+pub fn classify(programs: &[&Program]) -> UsageClasses {
+    let mut out = UsageClasses::default();
+    for prog in programs {
+        let defs = flow_insensitive_local_defs(prog);
+        for blk in &prog.blocks {
+            for s in &blk.stmts {
+                for e in index_exprs_of_stmt(s) {
+                    out.index_vars.extend(vars_closure(e, &defs));
+                }
+                // Indices appearing inside BufLoad nodes anywhere.
+                let walk_bufload = |e: &Expr, out: &mut UsageClasses| {
+                    e.visit(&mut |n| {
+                        if let Expr::BufLoad(_, idx) = n {
+                            out.index_vars.extend(vars_closure(idx, &defs));
+                        }
+                    });
+                };
+                match s {
+                    Stmt::SetVar(_, e) | Stmt::SetLocal(_, e) | Stmt::BufFill(_, e) => {
+                        walk_bufload(e, &mut out)
+                    }
+                    Stmt::BufStore(_, a, b) => {
+                        walk_bufload(a, &mut out);
+                        walk_bufload(b, &mut out);
+                    }
+                    _ => {}
+                }
+                for e in len_exprs_of_stmt(s) {
+                    out.count_vars.extend(vars_closure(e, &defs));
+                }
+                out.buffers.extend(buffers_of_stmt(s));
+            }
+            match &blk.term {
+                Terminator::Branch { cond, .. } => {
+                    out.cond_vars.extend(vars_closure(cond, &defs));
+                    cond.visit(&mut |n| {
+                        if let Expr::BufLoad(_, idx) = n {
+                            out.index_vars.extend(vars_closure(idx, &defs));
+                        }
+                    });
+                }
+                Terminator::Switch { scrutinee, .. } => {
+                    out.cond_vars.extend(vars_closure(scrutinee, &defs));
+                }
+                Terminator::IndirectCall { ptr, .. } => {
+                    out.fn_ptr_vars.insert(*ptr);
+                    out.cond_vars.insert(*ptr);
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Per-block device-state variables that decide the block's terminator.
+pub fn branch_influencers(prog: &Program) -> BTreeMap<BlockId, BTreeSet<VarId>> {
+    let defs = flow_insensitive_local_defs(prog);
+    let mut out = BTreeMap::new();
+    for (i, blk) in prog.blocks.iter().enumerate() {
+        let id = BlockId(i as u32);
+        let vars = match &blk.term {
+            Terminator::Branch { cond, .. } => vars_closure(cond, &defs),
+            Terminator::Switch { scrutinee, .. } => vars_closure(scrutinee, &defs),
+            Terminator::IndirectCall { ptr, .. } => [*ptr].into_iter().collect(),
+            _ => BTreeSet::new(),
+        };
+        if !vars.is_empty() {
+            out.insert(id, vars);
+        }
+    }
+    out
+}
+
+/// Result of data-dependency recovery for one expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rewrite {
+    /// The expression was rewritten purely over device state, I/O data
+    /// and buffer contents; it can be evaluated on the shadow state.
+    Pure(Expr),
+    /// Some locals could not be soundly resolved; runtime needs a sync
+    /// point that reports the values of the listed locals.
+    NeedsSync {
+        /// Best-effort partially rewritten expression.
+        partial: Expr,
+        /// Locals whose values must be synchronized from the device.
+        unresolved: Vec<LocalId>,
+    },
+}
+
+impl Rewrite {
+    /// Whether the rewrite is fully resolved.
+    pub fn is_pure(&self) -> bool {
+        matches!(self, Rewrite::Pure(_))
+    }
+}
+
+/// Statements between the definition point and the use that invalidate a
+/// substitution: writes to any var/buffer the definition reads.
+fn stmt_clobbers(s: &Stmt, vars: &BTreeSet<VarId>, bufs: &BTreeSet<BufId>) -> bool {
+    match s {
+        Stmt::SetVar(v, _) => vars.contains(v),
+        Stmt::SetLocal(..) => false,
+        Stmt::BufStore(b, ..) | Stmt::BufFill(b, _) => bufs.contains(b),
+        Stmt::CopyPayload { buf, .. } => bufs.contains(buf),
+        Stmt::Intrinsic(i) => {
+            i.written_var().is_some_and(|v| vars.contains(&v))
+                || i.written_buf().is_some_and(|b| bufs.contains(&b))
+        }
+    }
+}
+
+/// Rewrites `expr` (a terminator condition evaluated at the end of the
+/// last block of `path`) over device state and I/O data by substituting
+/// local definitions backwards along the executed statement sequence.
+///
+/// The statement sequence is the concatenation of all statements of the
+/// blocks in `path`, oldest first. A local is substituted by its most
+/// recent definition, provided none of the definition's inputs (vars or
+/// buffers) are written between the definition and the end of the path —
+/// otherwise the substitution would change meaning and the local is
+/// reported as unresolved.
+pub fn rewrite_along_path(prog: &Program, path: &[BlockId], expr: &Expr) -> Rewrite {
+    // Flatten executed statements.
+    let stmts: Vec<&Stmt> =
+        path.iter().flat_map(|b| prog.block(*b).stmts.iter()).collect();
+
+    let mut current = expr.clone();
+    let mut unresolved: BTreeSet<LocalId> = BTreeSet::new();
+    // Iterate until no substitutable locals remain.
+    for _round in 0..64 {
+        let locals = current.locals();
+        let pending: Vec<LocalId> =
+            locals.into_iter().filter(|l| !unresolved.contains(l)).collect();
+        if pending.is_empty() {
+            break;
+        }
+        let mut subst: BTreeMap<LocalId, Expr> = BTreeMap::new();
+        for l in pending {
+            // Find the last definition of l in the flattened sequence.
+            let def_pos = stmts.iter().rposition(|s| matches!(s, Stmt::SetLocal(dl, _) if dl == &l));
+            match def_pos {
+                None => {
+                    unresolved.insert(l);
+                }
+                Some(pos) => {
+                    let Stmt::SetLocal(_, def) = stmts[pos] else { unreachable!() };
+                    let in_vars: BTreeSet<VarId> = def.vars().into_iter().collect();
+                    let in_bufs: BTreeSet<BufId> = def.buffers().into_iter().collect();
+                    let clobbered =
+                        stmts[pos + 1..].iter().any(|s| stmt_clobbers(s, &in_vars, &in_bufs));
+                    if clobbered {
+                        unresolved.insert(l);
+                    } else {
+                        subst.insert(l, def.clone());
+                    }
+                }
+            }
+        }
+        if subst.is_empty() {
+            break;
+        }
+        current = current.substitute_locals(&subst);
+    }
+    let leftover: Vec<LocalId> =
+        current.locals().into_iter().filter(|l| unresolved.contains(l)).collect();
+    if leftover.is_empty() && !current.has_locals() {
+        Rewrite::Pure(current)
+    } else {
+        Rewrite::NeedsSync { partial: current.clone(), unresolved: current.locals() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::{BinOp, Width};
+    use crate::state::ControlStructure;
+
+    struct Fixture {
+        prog: Program,
+        data_pos: VarId,
+        limit: VarId,
+        irq: VarId,
+        entry: BlockId,
+    }
+
+    /// entry: tmp = data_pos + 1; branch(tmp < limit) -> a | b
+    /// a: indirect call through irq
+    fn fixture() -> Fixture {
+        let mut cs = ControlStructure::new("T");
+        let fifo = cs.buffer("fifo", 8);
+        let data_pos = cs.var("data_pos", Width::W32);
+        let limit = cs.var("limit", Width::W32);
+        let irq = cs.fn_ptr("irq", 1);
+        let mut b = ProgramBuilder::new("p");
+        let entry = b.entry_block("entry");
+        let a = b.block("a");
+        let f = b.block("f");
+        let x = b.exit_block("x");
+        let tmp = b.local("tmp", Width::W32);
+        b.register_fn(1, f);
+        b.select(entry);
+        b.set_local(tmp, Expr::bin(BinOp::Add, Expr::var(data_pos), Expr::lit(1)));
+        b.buf_store(fifo, Expr::local(tmp), Expr::lit(0));
+        b.branch(Expr::bin(BinOp::Lt, Expr::local(tmp), Expr::var(limit)), a, x);
+        b.select(a);
+        b.indirect_call(irq, x);
+        b.select(f);
+        b.ret();
+        Fixture { prog: b.finish().unwrap(), data_pos, limit, irq, entry }
+    }
+
+    #[test]
+    fn classify_finds_roles() {
+        let fx = fixture();
+        let c = classify(&[&fx.prog]);
+        assert!(c.index_vars.contains(&fx.data_pos), "tmp feeds a buffer index");
+        assert!(c.cond_vars.contains(&fx.data_pos));
+        assert!(c.cond_vars.contains(&fx.limit));
+        assert!(c.fn_ptr_vars.contains(&fx.irq));
+        assert_eq!(c.buffers.len(), 1);
+    }
+
+    #[test]
+    fn branch_influencers_follow_locals() {
+        let fx = fixture();
+        let infl = branch_influencers(&fx.prog);
+        let entry_vars = &infl[&fx.entry];
+        assert!(entry_vars.contains(&fx.data_pos));
+        assert!(entry_vars.contains(&fx.limit));
+    }
+
+    #[test]
+    fn rewrite_resolves_local_to_device_state() {
+        let fx = fixture();
+        let cond = match &fx.prog.block(fx.entry).term {
+            Terminator::Branch { cond, .. } => cond.clone(),
+            _ => unreachable!(),
+        };
+        let rw = rewrite_along_path(&fx.prog, &[fx.entry], &cond);
+        match rw {
+            Rewrite::Pure(e) => {
+                assert!(!e.has_locals());
+                assert!(e.vars().contains(&fx.data_pos));
+            }
+            other => panic!("expected pure rewrite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewrite_detects_clobbered_inputs() {
+        // tmp = v; v = v + 1; branch(tmp) — substituting tmp:=v would be wrong.
+        let mut cs = ControlStructure::new("T");
+        let v = cs.var("v", Width::W8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        let x = b.exit_block("x");
+        let tmp = b.local("tmp", Width::W8);
+        b.select(e);
+        b.set_local(tmp, Expr::var(v));
+        b.set_var(v, Expr::bin(BinOp::Add, Expr::var(v), Expr::lit(1)));
+        b.branch(Expr::local(tmp), x, x);
+        let prog = b.finish().unwrap();
+        let cond = Expr::local(tmp);
+        let rw = rewrite_along_path(&prog, &[e], &cond);
+        assert!(matches!(rw, Rewrite::NeedsSync { ref unresolved, .. } if unresolved == &vec![tmp]));
+    }
+
+    #[test]
+    fn rewrite_spans_blocks_along_path() {
+        let mut cs = ControlStructure::new("T");
+        let v = cs.var("v", Width::W8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        let mid = b.block("mid");
+        let x = b.exit_block("x");
+        let tmp = b.local("tmp", Width::W8);
+        b.select(e);
+        b.set_local(tmp, Expr::var(v));
+        b.jump(mid);
+        b.select(mid);
+        b.branch(Expr::local(tmp), x, x);
+        let prog = b.finish().unwrap();
+        let rw = rewrite_along_path(&prog, &[e, mid], &Expr::local(tmp));
+        assert_eq!(rw, Rewrite::Pure(Expr::var(v)));
+        // Without the defining block on the path, the local is unresolved.
+        let rw2 = rewrite_along_path(&prog, &[mid], &Expr::local(tmp));
+        assert!(!rw2.is_pure());
+    }
+
+    #[test]
+    fn rewrite_chains_locals() {
+        let mut cs = ControlStructure::new("T");
+        let v = cs.var("v", Width::W8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        let x = b.exit_block("x");
+        let t0 = b.local("t0", Width::W8);
+        let t1 = b.local("t1", Width::W8);
+        b.select(e);
+        b.set_local(t0, Expr::bin(BinOp::Add, Expr::var(v), Expr::lit(2)));
+        b.set_local(t1, Expr::bin(BinOp::Mul, Expr::local(t0), Expr::lit(3)));
+        b.branch(Expr::local(t1), x, x);
+        let prog = b.finish().unwrap();
+        let rw = rewrite_along_path(&prog, &[e], &Expr::local(t1));
+        match rw {
+            Rewrite::Pure(expr) => assert_eq!(expr.vars(), vec![v]),
+            other => panic!("expected pure, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Ergonomic construction of DBL programs.
+//!
+//! [`ProgramBuilder`] lets device authors declare blocks first (so
+//! forward jumps are easy), then fill each block with statements and a
+//! terminator. [`ProgramBuilder::finish`] runs the structural validator
+//! before handing out the program.
+
+use std::collections::BTreeMap;
+
+use crate::ir::{
+    Block, BlockId, BlockKind, BufId, Expr, Intrinsic, LocalId, Program, Stmt, Terminator, VarId,
+    Width,
+};
+use crate::verify::{self, VerifyError};
+
+/// Builder for one device handler program.
+///
+/// # Examples
+///
+/// ```
+/// use sedspec_dbl::builder::ProgramBuilder;
+/// use sedspec_dbl::ir::Expr;
+///
+/// let mut b = ProgramBuilder::new("noop");
+/// let entry = b.entry_block("entry");
+/// b.select(entry);
+/// b.exit();
+/// let prog = b.finish()?;
+/// assert_eq!(prog.name, "noop");
+/// # Ok::<(), sedspec_dbl::verify::VerifyError>(())
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    blocks: Vec<PendingBlock>,
+    entry: Option<BlockId>,
+    current: Option<BlockId>,
+    fn_table: BTreeMap<u64, BlockId>,
+    locals: Vec<(String, Width)>,
+}
+
+#[derive(Debug)]
+struct PendingBlock {
+    label: String,
+    stmts: Vec<Stmt>,
+    term: Option<Terminator>,
+    kind: BlockKind,
+}
+
+impl ProgramBuilder {
+    /// A new builder for a program named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            blocks: Vec::new(),
+            entry: None,
+            current: None,
+            fn_table: BTreeMap::new(),
+            locals: Vec::new(),
+        }
+    }
+
+    /// Declares a block with a label; statements are added after
+    /// [`ProgramBuilder::select`]ing it.
+    pub fn block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(PendingBlock {
+            label: label.into(),
+            stmts: Vec::new(),
+            term: None,
+            kind: BlockKind::Plain,
+        });
+        id
+    }
+
+    /// Declares the entry block (must be called exactly once).
+    pub fn entry_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = self.block(label);
+        self.entry = Some(id);
+        id
+    }
+
+    /// Declares a block that immediately exits; convenient as a shared
+    /// "done" target.
+    pub fn exit_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = self.block(label);
+        self.blocks[id.0 as usize].term = Some(Terminator::Exit);
+        id
+    }
+
+    /// Declares a command-decision block (paper block type).
+    pub fn cmd_decision_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = self.block(label);
+        self.blocks[id.0 as usize].kind = BlockKind::CmdDecision;
+        id
+    }
+
+    /// Declares a command-end block (paper block type).
+    pub fn cmd_end_block(&mut self, label: impl Into<String>) -> BlockId {
+        let id = self.block(label);
+        self.blocks[id.0 as usize].kind = BlockKind::CmdEnd;
+        id
+    }
+
+    /// Declares a handler-scope local.
+    pub fn local(&mut self, name: impl Into<String>, width: Width) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push((name.into(), width));
+        id
+    }
+
+    /// Registers `fn_id -> entry` in the indirect-call table.
+    pub fn register_fn(&mut self, fn_id: u64, entry: BlockId) {
+        self.fn_table.insert(fn_id, entry);
+    }
+
+    /// Makes `block` the target of subsequent statement/terminator calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not declared by this builder.
+    pub fn select(&mut self, block: BlockId) {
+        assert!(
+            (block.0 as usize) < self.blocks.len(),
+            "select of undeclared block {block:?}"
+        );
+        self.current = Some(block);
+    }
+
+    fn cur(&mut self) -> &mut PendingBlock {
+        let id = self.current.expect("no block selected");
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Appends `SetVar(var, e)`.
+    pub fn set_var(&mut self, var: VarId, e: Expr) {
+        self.cur().stmts.push(Stmt::SetVar(var, e));
+    }
+
+    /// Appends `SetLocal(l, e)`.
+    pub fn set_local(&mut self, l: LocalId, e: Expr) {
+        self.cur().stmts.push(Stmt::SetLocal(l, e));
+    }
+
+    /// Appends `BufStore(buf, idx, val)`.
+    pub fn buf_store(&mut self, buf: BufId, idx: Expr, val: Expr) {
+        self.cur().stmts.push(Stmt::BufStore(buf, idx, val));
+    }
+
+    /// Appends `BufFill(buf, val)`.
+    pub fn buf_fill(&mut self, buf: BufId, val: Expr) {
+        self.cur().stmts.push(Stmt::BufFill(buf, val));
+    }
+
+    /// Appends a payload copy.
+    pub fn copy_payload(&mut self, buf: BufId, buf_off: Expr, len: Expr) {
+        self.cur().stmts.push(Stmt::CopyPayload { buf, buf_off, len });
+    }
+
+    /// Appends an intrinsic.
+    pub fn intrinsic(&mut self, i: Intrinsic) {
+        self.cur().stmts.push(Stmt::Intrinsic(i));
+    }
+
+    /// Appends `IoReply { value }` — the value a guest read returns.
+    pub fn reply(&mut self, value: Expr) {
+        self.intrinsic(Intrinsic::IoReply { value });
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, to: BlockId) {
+        self.cur().term = Some(Terminator::Jump(to));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Expr, taken: BlockId, not_taken: BlockId) {
+        self.cur().term = Some(Terminator::Branch { cond, taken, not_taken });
+    }
+
+    /// Terminates the current block with a multi-way switch.
+    pub fn switch(&mut self, scrutinee: Expr, arms: Vec<(u64, BlockId)>, default: BlockId) {
+        self.cur().term = Some(Terminator::Switch { scrutinee, arms, default });
+    }
+
+    /// Terminates the current block with an indirect call through `ptr`.
+    pub fn indirect_call(&mut self, ptr: VarId, ret: BlockId) {
+        self.cur().term = Some(Terminator::IndirectCall { ptr, ret });
+    }
+
+    /// Terminates the current block with a return (from an indirect call).
+    pub fn ret(&mut self) {
+        self.cur().term = Some(Terminator::Return);
+    }
+
+    /// Terminates the current block with handler exit.
+    pub fn exit(&mut self) {
+        self.cur().term = Some(Terminator::Exit);
+    }
+
+    /// Validates and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] if the entry block is missing, any block
+    /// lacks a terminator, or any reference is out of range.
+    pub fn finish(self) -> Result<Program, VerifyError> {
+        let entry = self.entry.ok_or(VerifyError::NoEntry)?;
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, pb) in self.blocks.into_iter().enumerate() {
+            let term = pb.term.ok_or(VerifyError::MissingTerminator {
+                block: BlockId(i as u32),
+                label: pb.label.clone(),
+            })?;
+            blocks.push(Block { label: pb.label, stmts: pb.stmts, term, kind: pb.kind });
+        }
+        let prog =
+            Program { name: self.name, blocks, entry, fn_table: self.fn_table, locals: self.locals };
+        verify::verify(&prog)?;
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BinOp;
+
+    #[test]
+    fn builds_branching_program() {
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("entry");
+        let t = b.block("t");
+        let x = b.exit_block("x");
+        b.select(e);
+        b.branch(Expr::bin(BinOp::Eq, Expr::IoData, Expr::lit(1)), t, x);
+        b.select(t);
+        b.jump(x);
+        let p = b.finish().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.entry, e);
+    }
+
+    #[test]
+    fn missing_terminator_is_error() {
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("entry");
+        b.select(e); // never terminated
+        assert!(matches!(b.finish(), Err(VerifyError::MissingTerminator { .. })));
+    }
+
+    #[test]
+    fn missing_entry_is_error() {
+        let b = ProgramBuilder::new("p");
+        assert!(matches!(b.finish(), Err(VerifyError::NoEntry)));
+    }
+
+    #[test]
+    fn block_kinds_are_recorded() {
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("entry");
+        let d = b.cmd_decision_block("decide");
+        let end = b.cmd_end_block("cmd_end");
+        let x = b.exit_block("x");
+        b.select(e);
+        b.jump(d);
+        b.select(d);
+        b.switch(Expr::IoData, vec![(0, end)], end);
+        b.select(end);
+        b.jump(x);
+        let p = b.finish().unwrap();
+        assert_eq!(p.block(d).kind, BlockKind::CmdDecision);
+        assert_eq!(p.block(end).kind, BlockKind::CmdEnd);
+        assert_eq!(p.block(e).kind, BlockKind::Plain);
+    }
+
+    #[test]
+    fn locals_and_fn_table() {
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("entry");
+        let f = b.block("fn");
+        let x = b.exit_block("x");
+        let l = b.local("tmp", Width::W32);
+        b.register_fn(0x10, f);
+        b.select(e);
+        b.set_local(l, Expr::lit(1));
+        b.jump(x);
+        b.select(f);
+        b.ret();
+        let p = b.finish().unwrap();
+        assert_eq!(p.locals.len(), 1);
+        assert_eq!(p.fn_table[&0x10], f);
+        assert_eq!(l, LocalId(0));
+    }
+}

@@ -1,0 +1,821 @@
+//! The DBL interpreter: executing a device handler against its control
+//! structure and the VM context.
+//!
+//! The interpreter *is* the emulated device at runtime. It exposes the
+//! hook points ([`ExecHook`]) that the Intel-PT-style tracer and the
+//! paper's observation points attach to: block entries, conditional
+//! branch outcomes, switch dispatches, indirect calls, device-state
+//! writes and external-data loads.
+//!
+//! Error philosophy, mirroring QEMU: guest-memory and backend errors are
+//! tolerated (reads yield zeros, writes are dropped) because device
+//! models must survive arbitrary guest-supplied addresses; what *does*
+//! fault is corruption of the device's own control structure beyond its
+//! arena ([`Fault::Arena`] ≈ host crash), an indirect call through a
+//! clobbered function pointer ([`Fault::WildIndirectCall`] ≈ control-flow
+//! hijack) and runaway loops ([`Fault::StepLimit`] ≈ the DoS of
+//! CVE-2016-7909).
+
+use sedspec_vmm::{IoRequest, VmContext};
+
+use crate::ir::{
+    BlockId, BlockKind, BufId, Expr, Intrinsic, Program, Stmt, Terminator, VarId, Width,
+};
+use crate::state::{AccessEffect, ArenaOutOfBounds, ControlStructure, CsState};
+use crate::value::{
+    apply_binop, apply_unop, ArithError, OverflowFlags, OverflowKind, TypedValue,
+};
+
+/// Why device execution aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// A control-structure access left the arena entirely (host crash).
+    Arena(ArenaOutOfBounds),
+    /// An indirect call went through a pointer value with no entry in
+    /// the program's function table (control-flow hijack).
+    WildIndirectCall {
+        /// Block performing the call.
+        block: BlockId,
+        /// The bogus pointer value.
+        value: u64,
+    },
+    /// The block-transition budget was exhausted (infinite loop / DoS).
+    StepLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Arithmetic error (division by zero).
+    Arith(ArithError),
+    /// A `Return` executed with an empty call stack.
+    ReturnWithoutCall {
+        /// Offending block.
+        block: BlockId,
+    },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Arena(e) => write!(f, "arena fault: {e}"),
+            Fault::WildIndirectCall { block, value } => {
+                write!(f, "wild indirect call in block {} through value {value:#x}", block.0)
+            }
+            Fault::StepLimit { limit } => write!(f, "step limit of {limit} exceeded"),
+            Fault::Arith(e) => write!(f, "arithmetic fault: {e}"),
+            Fault::ReturnWithoutCall { block } => {
+                write!(f, "return with empty call stack in block {}", block.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+impl From<ArenaOutOfBounds> for Fault {
+    fn from(e: ArenaOutOfBounds) -> Self {
+        Fault::Arena(e)
+    }
+}
+
+impl From<ArithError> for Fault {
+    fn from(e: ArithError) -> Self {
+        Fault::Arith(e)
+    }
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Maximum number of block transitions per handler invocation.
+    pub max_steps: u64,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits { max_steps: 200_000 }
+    }
+}
+
+/// Summary of one handler invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOutcome {
+    /// Value replied to the guest (for read requests); 0 otherwise.
+    pub reply: u64,
+    /// Block transitions executed.
+    pub steps: u64,
+    /// Ground truth: buffer accesses that spilled past their declared
+    /// extent (but stayed inside the arena).
+    pub spills: u64,
+    /// Ground truth: arithmetic anomalies accumulated across the run.
+    pub overflow: OverflowFlags,
+}
+
+/// Observer interface for tracing and observation points.
+///
+/// All methods have empty default bodies; implement only what you need.
+/// The `sedspec-trace` crate implements this to emit IPT-style packets;
+/// the `sedspec` crate implements it for the device-state change log.
+#[allow(unused_variables)]
+pub trait ExecHook {
+    /// A block is about to execute.
+    fn on_block_enter(&mut self, block: BlockId, kind: BlockKind) {}
+    /// A device-state variable was written (`of` reports whether the
+    /// producing arithmetic wrapped or the assignment truncated).
+    fn on_var_write(&mut self, var: VarId, old: u64, new: u64, of: OverflowKind) {}
+    /// A device buffer byte was stored.
+    fn on_buf_store(&mut self, buf: BufId, index: i64, effect: AccessEffect) {}
+    /// External data (guest memory / disk) was loaded into device state.
+    /// `var` is set for scalar loads; buffer loads report the buffer.
+    fn on_external_load(&mut self, var: Option<VarId>, buf: Option<BufId>, value: u64) {}
+    /// External bytes were copied into a device buffer at `off` — the
+    /// content a sync point must be able to replay.
+    fn on_external_buf(&mut self, buf: BufId, off: i64, bytes: &[u8]) {}
+    /// A conditional branch resolved.
+    fn on_cond_branch(&mut self, block: BlockId, taken: bool) {}
+    /// A switch dispatched `value` to `target`.
+    fn on_switch(&mut self, block: BlockId, value: u64, target: BlockId) {}
+    /// An indirect call resolved (target `None` means wild).
+    fn on_indirect_call(&mut self, block: BlockId, fn_value: u64, target: Option<BlockId>) {}
+    /// A `Return` is transferring to `to`.
+    fn on_return(&mut self, block: BlockId, to: BlockId) {}
+    /// The handler exited normally from `block`.
+    fn on_exit(&mut self, block: BlockId) {}
+}
+
+/// A hook that observes nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHook;
+
+impl ExecHook for NullHook {}
+
+/// Evaluation context: everything an [`Expr`] can read.
+#[derive(Debug)]
+pub struct EvalCtx<'a> {
+    /// Device control-structure instance.
+    pub cs: &'a CsState,
+    /// Handler locals (empty slice when evaluating rewritten spec expressions).
+    pub locals: &'a [TypedValue],
+    /// The in-flight I/O request.
+    pub io: &'a IoRequest,
+}
+
+/// Errors from expression evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Arena fault during a buffer load.
+    Arena(ArenaOutOfBounds),
+    /// Arithmetic fault.
+    Arith(ArithError),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Arena(e) => write!(f, "{e}"),
+            EvalError::Arith(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<EvalError> for Fault {
+    fn from(e: EvalError) -> Self {
+        match e {
+            EvalError::Arena(a) => Fault::Arena(a),
+            EvalError::Arith(a) => Fault::Arith(a),
+        }
+    }
+}
+
+/// Whether constant `c` fits the width/signedness of `other`'s type.
+fn fits(c: u64, other: TypedValue) -> bool {
+    if other.signed {
+        c <= other.width.mask() >> 1
+    } else {
+        c <= other.width.mask()
+    }
+}
+
+/// Evaluates `e` in `ctx`, accumulating overflow flags into `flags`.
+///
+/// This is the single evaluator shared by the device interpreter and the
+/// ES-Checker's shadow walk, so both see identical arithmetic.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] on arena faults (spilled buffer loads stay
+/// legal; only leaving the arena faults) and division by zero.
+pub fn eval_expr(e: &Expr, ctx: &EvalCtx<'_>, flags: &mut OverflowFlags) -> Result<TypedValue, EvalError> {
+    Ok(match e {
+        Expr::Const(v) => TypedValue::u64(*v),
+        Expr::Var(v) => ctx.cs.var_typed(*v),
+        Expr::Local(l) => ctx.locals.get(l.0 as usize).copied().unwrap_or(TypedValue::u64(0)),
+        Expr::IoData => TypedValue::u64(ctx.io.data),
+        Expr::IoAddr => TypedValue::u64(ctx.io.addr),
+        Expr::IoSize => TypedValue::u64(u64::from(ctx.io.size)),
+        Expr::IoLen => TypedValue::u64(ctx.io.payload.len() as u64),
+        Expr::IoByte(idx) => {
+            let i = eval_expr(idx, ctx, flags)?;
+            TypedValue::unsigned(u64::from(ctx.io.payload_byte(i.as_i128().max(0) as usize)), Width::W8)
+        }
+        Expr::BufLoad(b, idx) => {
+            let i = eval_expr(idx, ctx, flags)?;
+            let (byte, _) = ctx.cs.buf_read(*b, i.as_i128() as i64).map_err(EvalError::Arena)?;
+            TypedValue::unsigned(u64::from(byte), Width::W8)
+        }
+        Expr::BufLen(b) => TypedValue::u64(ctx.cs.buf_len(*b) as u64),
+        Expr::Unary(op, a) => {
+            let v = eval_expr(a, ctx, flags)?;
+            apply_unop(*op, v)
+        }
+        Expr::Binary(op, a, b) => {
+            let mut va = eval_expr(a, ctx, flags)?;
+            let mut vb = eval_expr(b, ctx, flags)?;
+            // Bare literals are untyped, like C integer constants: they
+            // adopt the other operand's width when they fit, so
+            // `data_pos + 1` overflows at data_pos's width.
+            match (&**a, &**b) {
+                (Expr::Const(_), Expr::Const(_)) => {}
+                (Expr::Const(c), _) if fits(*c, vb) => {
+                    va = TypedValue { bits: *c, width: vb.width, signed: vb.signed }
+                }
+                (_, Expr::Const(c)) if fits(*c, va) => {
+                    vb = TypedValue { bits: *c, width: va.width, signed: va.signed }
+                }
+                _ => {}
+            }
+            let (v, of) = apply_binop(*op, va, vb).map_err(EvalError::Arith)?;
+            if of == OverflowKind::Arithmetic {
+                flags.arithmetic = true;
+            }
+            v
+        }
+    })
+}
+
+/// The DBL interpreter for one program.
+#[derive(Debug)]
+pub struct Interpreter<'p> {
+    prog: &'p Program,
+    decl: &'p ControlStructure,
+    limits: ExecLimits,
+}
+
+impl<'p> Interpreter<'p> {
+    /// An interpreter for `prog` over control structure `decl`, with
+    /// default limits.
+    pub fn new(prog: &'p Program, decl: &'p ControlStructure) -> Self {
+        Interpreter { prog, decl, limits: ExecLimits::default() }
+    }
+
+    /// Overrides the execution limits.
+    pub fn with_limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Runs the handler for one I/O request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] if the device corrupts its arena beyond the
+    /// bounds, performs a wild indirect call, exceeds the step budget,
+    /// divides by zero, or returns with an empty call stack.
+    pub fn run(
+        &self,
+        state: &mut CsState,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+        hook: &mut dyn ExecHook,
+    ) -> Result<ExecOutcome, Fault> {
+        let mut out = ExecOutcome::default();
+        let mut locals: Vec<TypedValue> =
+            self.prog.locals.iter().map(|&(_, w)| TypedValue::unsigned(0, w)).collect();
+        let mut call_stack: Vec<BlockId> = Vec::new();
+        let mut cur = self.prog.entry;
+
+        loop {
+            out.steps += 1;
+            if out.steps > self.limits.max_steps {
+                return Err(Fault::StepLimit { limit: self.limits.max_steps });
+            }
+            let blk = self.prog.block(cur);
+            hook.on_block_enter(cur, blk.kind);
+
+            for stmt in &blk.stmts {
+                self.exec_stmt(stmt, state, ctx, req, &mut locals, &mut out, hook)?;
+            }
+
+            match &blk.term {
+                Terminator::Jump(b) => cur = *b,
+                Terminator::Branch { cond, taken, not_taken } => {
+                    let mut flags = OverflowFlags::clear();
+                    let v = eval_expr(cond, &EvalCtx { cs: state, locals: &locals, io: req }, &mut flags)?;
+                    out.overflow.merge(flags);
+                    let t = v.is_true();
+                    hook.on_cond_branch(cur, t);
+                    cur = if t { *taken } else { *not_taken };
+                }
+                Terminator::Switch { scrutinee, arms, default } => {
+                    let mut flags = OverflowFlags::clear();
+                    let v =
+                        eval_expr(scrutinee, &EvalCtx { cs: state, locals: &locals, io: req }, &mut flags)?;
+                    out.overflow.merge(flags);
+                    let target = arms
+                        .iter()
+                        .find(|&&(k, _)| k == v.bits)
+                        .map(|&(_, b)| b)
+                        .unwrap_or(*default);
+                    hook.on_switch(cur, v.bits, target);
+                    cur = target;
+                }
+                Terminator::IndirectCall { ptr, ret } => {
+                    let value = state.var(*ptr);
+                    let target = self.prog.fn_table.get(&value).copied();
+                    hook.on_indirect_call(cur, value, target);
+                    match target {
+                        Some(t) => {
+                            call_stack.push(*ret);
+                            cur = t;
+                        }
+                        None => return Err(Fault::WildIndirectCall { block: cur, value }),
+                    }
+                }
+                Terminator::Return => match call_stack.pop() {
+                    Some(to) => {
+                        hook.on_return(cur, to);
+                        cur = to;
+                    }
+                    None => return Err(Fault::ReturnWithoutCall { block: cur }),
+                },
+                Terminator::Exit => {
+                    hook.on_exit(cur);
+                    return Ok(out);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_stmt(
+        &self,
+        stmt: &Stmt,
+        state: &mut CsState,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+        locals: &mut [TypedValue],
+        out: &mut ExecOutcome,
+        hook: &mut dyn ExecHook,
+    ) -> Result<(), Fault> {
+        let mut flags = OverflowFlags::clear();
+        match stmt {
+            Stmt::SetVar(v, e) => {
+                let val = eval_expr(e, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let decl = self.decl.var_decl(*v);
+                let (conv, truncated) = val.convert(decl.width, decl.signed);
+                if truncated {
+                    flags.truncation = true;
+                }
+                let old = state.var(*v);
+                state.set_var(*v, conv.bits);
+                let kind = if flags.arithmetic {
+                    OverflowKind::Arithmetic
+                } else if truncated {
+                    OverflowKind::Truncation
+                } else {
+                    OverflowKind::None
+                };
+                hook.on_var_write(*v, old, conv.bits, kind);
+            }
+            Stmt::SetLocal(l, e) => {
+                let val = eval_expr(e, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let w = self.prog.locals[l.0 as usize].1;
+                let (conv, truncated) = val.convert(w, false);
+                if truncated {
+                    flags.truncation = true;
+                }
+                locals[l.0 as usize] = conv;
+            }
+            Stmt::BufStore(b, idx, val) => {
+                let i = eval_expr(idx, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let v = eval_expr(val, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let index = i.as_i128() as i64;
+                let effect = state.buf_write(*b, index, v.bits as u8)?;
+                if effect == AccessEffect::Spilled {
+                    out.spills += 1;
+                }
+                hook.on_buf_store(*b, index, effect);
+            }
+            Stmt::BufFill(b, val) => {
+                let v = eval_expr(val, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                state.buf_fill(*b, v.bits as u8);
+            }
+            Stmt::CopyPayload { buf, buf_off, len } => {
+                let off = eval_expr(buf_off, &EvalCtx { cs: state, locals, io: req }, &mut flags)?
+                    .as_i128() as i64;
+                let n =
+                    eval_expr(len, &EvalCtx { cs: state, locals, io: req }, &mut flags)?.as_i128().max(0) as i64;
+                for k in 0..n {
+                    let byte = req.payload_byte(k as usize);
+                    let effect = state.buf_write(*buf, off + k, byte)?;
+                    if effect == AccessEffect::Spilled {
+                        out.spills += 1;
+                    }
+                    hook.on_buf_store(*buf, off + k, effect);
+                }
+            }
+            Stmt::Intrinsic(i) => {
+                self.exec_intrinsic(i, state, ctx, req, locals, out, hook, &mut flags)?;
+            }
+        }
+        out.overflow.merge(flags);
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_intrinsic(
+        &self,
+        i: &Intrinsic,
+        state: &mut CsState,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+        locals: &mut [TypedValue],
+        out: &mut ExecOutcome,
+        hook: &mut dyn ExecHook,
+        flags: &mut OverflowFlags,
+    ) -> Result<(), Fault> {
+        let ev = |e: &Expr, state: &CsState, locals: &[TypedValue], flags: &mut OverflowFlags| {
+            eval_expr(e, &EvalCtx { cs: state, locals, io: req }, flags)
+        };
+        match i {
+            Intrinsic::DmaToBuf { buf, buf_off, gpa, len } => {
+                let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
+                let addr = ev(gpa, state, locals, flags)?.bits;
+                let n = ev(len, state, locals, flags)?.as_i128().max(0) as u64;
+                // Guest-memory errors tolerated: unreadable bytes read as 0.
+                let data = ctx.mem.read_vec(addr, n as usize).unwrap_or_else(|_| vec![0; n as usize]);
+                ctx.clock.advance_ns(100 + 2 * n); // DMA setup + ~500 MB/s
+                hook.on_external_buf(*buf, off, &data);
+                for (k, byte) in data.iter().enumerate() {
+                    let effect = state.buf_write(*buf, off + k as i64, *byte)?;
+                    if effect == AccessEffect::Spilled {
+                        out.spills += 1;
+                    }
+                    hook.on_buf_store(*buf, off + k as i64, effect);
+                }
+                hook.on_external_load(None, Some(*buf), n);
+            }
+            Intrinsic::DmaFromBuf { buf, buf_off, gpa, len } => {
+                let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
+                let addr = ev(gpa, state, locals, flags)?.bits;
+                let n = ev(len, state, locals, flags)?.as_i128().max(0) as u64;
+                let mut data = Vec::with_capacity(n as usize);
+                for k in 0..n {
+                    let (byte, effect) = state.buf_read(*buf, off + k as i64)?;
+                    if effect == AccessEffect::Spilled {
+                        out.spills += 1;
+                    }
+                    data.push(byte);
+                }
+                ctx.clock.advance_ns(100 + 2 * n); // DMA setup + ~500 MB/s
+                let _ = ctx.mem.write_bytes(addr, &data); // drop on bad address
+            }
+            Intrinsic::DmaLoadVar { var, gpa, width } => {
+                let addr = ev(gpa, state, locals, flags)?.bits;
+                let value = ctx.mem.read_uint(addr, width.bytes()).unwrap_or(0);
+                let old = state.var(*var);
+                let decl = self.decl.var_decl(*var);
+                let (conv, _) = TypedValue::u64(value).convert(decl.width, decl.signed);
+                state.set_var(*var, conv.bits);
+                hook.on_var_write(*var, old, conv.bits, OverflowKind::None);
+                hook.on_external_load(Some(*var), None, conv.bits);
+            }
+            Intrinsic::DmaStore { gpa, value, width } => {
+                let addr = ev(gpa, state, locals, flags)?.bits;
+                let v = ev(value, state, locals, flags)?.bits;
+                let _ = ctx.mem.write_uint(addr, width.bytes(), v);
+            }
+            Intrinsic::IrqRaise { line } => {
+                let n = ev(line, state, locals, flags)?.bits as usize;
+                if let Ok(l) = ctx.irqs.try_line(n % ctx.irqs.len().max(1)) {
+                    l.raise();
+                }
+            }
+            Intrinsic::IrqLower { line } => {
+                let n = ev(line, state, locals, flags)?.bits as usize;
+                if let Ok(l) = ctx.irqs.try_line(n % ctx.irqs.len().max(1)) {
+                    l.lower();
+                }
+            }
+            Intrinsic::IoReply { value } => {
+                out.reply = ev(value, state, locals, flags)?.bits;
+            }
+            Intrinsic::DiskReadToBuf { buf, buf_off, sector } => {
+                let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
+                let s = ev(sector, state, locals, flags)?.bits;
+                let data = ctx.disk.read_sector(s).unwrap_or_else(|_| vec![0; sedspec_vmm::SECTOR_SIZE]);
+                hook.on_external_buf(*buf, off, &data);
+                for (k, byte) in data.iter().enumerate() {
+                    let effect = state.buf_write(*buf, off + k as i64, *byte)?;
+                    if effect == AccessEffect::Spilled {
+                        out.spills += 1;
+                    }
+                    hook.on_buf_store(*buf, off + k as i64, effect);
+                }
+                ctx.clock.advance_ns(20_000); // sector service time
+                hook.on_external_load(None, Some(*buf), s);
+            }
+            Intrinsic::DiskWriteFromBuf { buf, buf_off, sector } => {
+                let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
+                let s = ev(sector, state, locals, flags)?.bits;
+                let mut data = vec![0u8; sedspec_vmm::SECTOR_SIZE];
+                for (k, slot) in data.iter_mut().enumerate() {
+                    let (byte, effect) = state.buf_read(*buf, off + k as i64)?;
+                    if effect == AccessEffect::Spilled {
+                        out.spills += 1;
+                    }
+                    *slot = byte;
+                }
+                let _ = ctx.disk.write_sector(s, &data);
+                ctx.clock.advance_ns(25_000);
+            }
+            Intrinsic::NetTransmit { buf, off, len } => {
+                let o = ev(off, state, locals, flags)?.as_i128() as i64;
+                let n = ev(len, state, locals, flags)?.as_i128().max(0) as i64;
+                let mut frame = Vec::with_capacity(n as usize);
+                for k in 0..n {
+                    let (byte, effect) = state.buf_read(*buf, o + k)?;
+                    if effect == AccessEffect::Spilled {
+                        out.spills += 1;
+                    }
+                    frame.push(byte);
+                }
+                ctx.clock.advance_ns(800 + frame.len() as u64 * 8);
+                ctx.net.transmit(frame);
+            }
+            Intrinsic::DelayNs { ns } => {
+                let n = ev(ns, state, locals, flags)?.bits;
+                ctx.clock.advance_ns(n);
+            }
+            Intrinsic::Note(_) => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::BinOp;
+    use sedspec_vmm::AddressSpace;
+
+    fn ctx() -> VmContext {
+        VmContext::new(0x1000, 8)
+    }
+
+    fn wreq(data: u64) -> IoRequest {
+        IoRequest::write(AddressSpace::Pmio, 0x10, 1, data)
+    }
+
+    #[test]
+    fn executes_straight_line_and_replies() {
+        let mut cs = ControlStructure::new("T");
+        let a = cs.var("a", Width::W16);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.set_var(a, Expr::bin(BinOp::Add, Expr::var(a), Expr::IoData));
+        b.reply(Expr::var(a));
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        let out = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(5), &mut NullHook).unwrap();
+        assert_eq!(st.var(a), 5);
+        assert_eq!(out.reply, 5);
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn branch_follows_condition() {
+        let mut cs = ControlStructure::new("T");
+        let a = cs.var("a", Width::W8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        let yes = b.block("yes");
+        let no = b.block("no");
+        let x = b.exit_block("x");
+        b.select(e);
+        b.branch(Expr::bin(BinOp::Gt, Expr::IoData, Expr::lit(10)), yes, no);
+        b.select(yes);
+        b.set_var(a, Expr::lit(1));
+        b.jump(x);
+        b.select(no);
+        b.set_var(a, Expr::lit(2));
+        b.jump(x);
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(50), &mut NullHook).unwrap();
+        assert_eq!(st.var(a), 1);
+        Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(3), &mut NullHook).unwrap();
+        assert_eq!(st.var(a), 2);
+    }
+
+    #[test]
+    fn switch_dispatches_with_default() {
+        let mut cs = ControlStructure::new("T");
+        let a = cs.var("a", Width::W8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        let one = b.block("one");
+        let other = b.block("other");
+        let x = b.exit_block("x");
+        b.select(e);
+        b.switch(Expr::IoData, vec![(1, one)], other);
+        b.select(one);
+        b.set_var(a, Expr::lit(11));
+        b.jump(x);
+        b.select(other);
+        b.set_var(a, Expr::lit(99));
+        b.jump(x);
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(1), &mut NullHook).unwrap();
+        assert_eq!(st.var(a), 11);
+        Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(7), &mut NullHook).unwrap();
+        assert_eq!(st.var(a), 99);
+    }
+
+    #[test]
+    fn indirect_call_and_return() {
+        let mut cs = ControlStructure::new("T");
+        let ptr = cs.fn_ptr("handler", 0x42);
+        let a = cs.var("a", Width::W8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        let f = b.block("callee");
+        let after = b.block("after");
+        let x = b.exit_block("x");
+        b.register_fn(0x42, f);
+        b.select(e);
+        b.indirect_call(ptr, after);
+        b.select(f);
+        b.set_var(a, Expr::lit(7));
+        b.ret();
+        b.select(after);
+        b.jump(x);
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        let out = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook).unwrap();
+        assert_eq!(st.var(a), 7);
+        assert_eq!(out.steps, 4);
+    }
+
+    #[test]
+    fn clobbered_fn_ptr_is_wild_call() {
+        let mut cs = ControlStructure::new("T");
+        let ptr = cs.fn_ptr("handler", 0x42);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        let f = b.block("callee");
+        let x = b.exit_block("x");
+        b.register_fn(0x42, f);
+        b.select(e);
+        b.indirect_call(ptr, x);
+        b.select(f);
+        b.ret();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        st.set_var(ptr, 0xdead); // attacker overwrote the pointer
+        let err = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook);
+        assert!(matches!(err, Err(Fault::WildIndirectCall { value: 0xdead, .. })));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let cs = ControlStructure::new("T");
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.jump(e);
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        let r = Interpreter::new(&p, &cs)
+            .with_limits(ExecLimits { max_steps: 100 })
+            .run(&mut st, &mut ctx(), &wreq(0), &mut NullHook);
+        assert!(matches!(r, Err(Fault::StepLimit { limit: 100 })));
+    }
+
+    #[test]
+    fn buffer_spill_is_counted_and_corrupts() {
+        let mut cs = ControlStructure::new("T");
+        let fifo = cs.buffer("fifo", 4);
+        let tail = cs.var("tail", Width::W8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.buf_store(fifo, Expr::IoData, Expr::lit(0x77));
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        let out = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(4), &mut NullHook).unwrap();
+        assert_eq!(out.spills, 1);
+        assert_eq!(st.var(tail), 0x77);
+    }
+
+    #[test]
+    fn arena_escape_faults() {
+        let mut cs = ControlStructure::new("T");
+        let fifo = cs.buffer("fifo", 4);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.buf_store(fifo, Expr::IoData, Expr::lit(1));
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        let r = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(10_000), &mut NullHook);
+        assert!(matches!(r, Err(Fault::Arena(_))));
+    }
+
+    #[test]
+    fn dma_round_trip_through_buffer() {
+        let mut cs = ControlStructure::new("T");
+        let buf = cs.buffer("buf", 8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.intrinsic(Intrinsic::DmaToBuf {
+            buf,
+            buf_off: Expr::lit(0),
+            gpa: Expr::lit(0x100),
+            len: Expr::lit(4),
+        });
+        b.intrinsic(Intrinsic::DmaFromBuf {
+            buf,
+            buf_off: Expr::lit(0),
+            gpa: Expr::lit(0x200),
+            len: Expr::lit(4),
+        });
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        let mut c = ctx();
+        c.mem.write_u32(0x100, 0xaabbccdd).unwrap();
+        Interpreter::new(&p, &cs).run(&mut st, &mut c, &wreq(0), &mut NullHook).unwrap();
+        assert_eq!(c.mem.read_u32(0x200).unwrap(), 0xaabbccdd);
+    }
+
+    #[test]
+    fn bad_guest_address_reads_zero() {
+        let mut cs = ControlStructure::new("T");
+        let v = cs.var("v", Width::W32);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.intrinsic(Intrinsic::DmaLoadVar { var: v, gpa: Expr::lit(u64::MAX - 2), width: Width::W32 });
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        st.set_var(v, 0xffff);
+        Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook).unwrap();
+        assert_eq!(st.var(v), 0);
+    }
+
+    #[test]
+    fn overflow_flags_propagate_to_outcome() {
+        let mut cs = ControlStructure::new("T");
+        let a = cs.var("a", Width::W8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.set_var(a, Expr::bin(BinOp::Add, Expr::lit(0xff_u64), Expr::var(a)));
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        st.set_var(a, 2);
+        let out = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook).unwrap();
+        assert!(out.overflow.arithmetic);
+        assert_eq!(st.var(a), 1);
+    }
+
+    #[test]
+    fn copy_payload_zero_pads() {
+        let mut cs = ControlStructure::new("T");
+        let buf = cs.buffer("buf", 8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.copy_payload(buf, Expr::lit(0), Expr::lit(6));
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        st.buf_fill(buf, 0xff);
+        let mut req = IoRequest::net_frame(vec![1, 2, 3]);
+        req.space = AddressSpace::NetFrame;
+        Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &req, &mut NullHook).unwrap();
+        assert_eq!(st.buf_bytes(buf), vec![1, 2, 3, 0, 0, 0, 0xff, 0xff]);
+    }
+}

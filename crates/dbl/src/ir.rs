@@ -1,0 +1,701 @@
+//! Core IR types: programs, blocks, statements, terminators, expressions.
+//!
+//! Every handler of an emulated device (PMIO read/write, MMIO
+//! read/write, frame receive, ...) is one [`Program`]. Programs are
+//! graphs of [`Block`]s; a block holds straight-line [`Stmt`]s and ends
+//! in a [`Terminator`]. Expressions read device-state variables,
+//! buffers, locals and the fields of the in-flight I/O request.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a device-state scalar variable in its control structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+/// Index of a device-state fixed-length buffer in its control structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BufId(pub u32);
+
+/// Index of a handler-scope temporary (not part of the control structure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LocalId(pub u32);
+
+/// Index of a basic block within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// Operand/storage width in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Width {
+    /// 8-bit.
+    W8,
+    /// 16-bit.
+    W16,
+    /// 32-bit.
+    W32,
+    /// 64-bit.
+    W64,
+}
+
+impl Width {
+    /// Width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+            Width::W64 => 8,
+        }
+    }
+
+    /// Width in bits.
+    pub fn bits(self) -> u32 {
+        self.bytes() as u32 * 8
+    }
+
+    /// Bitmask selecting the low `bits()` bits.
+    pub fn mask(self) -> u64 {
+        match self {
+            Width::W64 => u64::MAX,
+            w => (1u64 << w.bits()) - 1,
+        }
+    }
+
+    /// The wider of `self` and `other`.
+    pub fn max(self, other: Width) -> Width {
+        if self.bits() >= other.bits() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Bitwise complement.
+    Not,
+    /// Two's-complement negation.
+    Neg,
+    /// Logical negation: 0 → 1, nonzero → 0.
+    BoolNot,
+}
+
+/// Binary operators.
+///
+/// Arithmetic wraps at the result width and reports overflow through
+/// [`crate::value::OverflowFlags`] — DBL deliberately has no C integer
+/// promotion, so `u16 - u16` underflows at 16 bits, which is the
+/// behaviour the paper's parameter check looks for (CVE-2021-3409).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (division by zero faults).
+    Div,
+    /// Remainder (division by zero faults).
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift (shift amount taken modulo result width).
+    Shl,
+    /// Right shift (logical for unsigned, arithmetic for signed).
+    Shr,
+    /// Equality; yields 0/1.
+    Eq,
+    /// Inequality; yields 0/1.
+    Ne,
+    /// Less-than; yields 0/1.
+    Lt,
+    /// Less-or-equal; yields 0/1.
+    Le,
+    /// Greater-than; yields 0/1.
+    Gt,
+    /// Greater-or-equal; yields 0/1.
+    Ge,
+}
+
+impl BinOp {
+    /// Whether the operator is a comparison (result is 0/1, width 8).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// Whether the operator can overflow/underflow at a finite width.
+    pub fn can_overflow(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul)
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Const(u64),
+    /// Device-state scalar variable.
+    Var(VarId),
+    /// Handler-scope temporary.
+    Local(LocalId),
+    /// Value the guest wrote (0 for reads).
+    IoData,
+    /// Port / MMIO address of the request.
+    IoAddr,
+    /// Access width of the request in bytes.
+    IoSize,
+    /// Length of the request payload (network frames).
+    IoLen,
+    /// Byte `idx` of the request payload, zero-padded past the end.
+    IoByte(Box<Expr>),
+    /// Byte at `idx` of a device buffer, with C layout semantics: an
+    /// index past the declared length reads the *next fields* of the
+    /// control structure (and faults only past the whole structure).
+    BufLoad(BufId, Box<Expr>),
+    /// Declared length of a device buffer.
+    BufLen(BufId),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn lit(v: u64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Device-state variable reference.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// Local reference.
+    pub fn local(l: LocalId) -> Expr {
+        Expr::Local(l)
+    }
+
+    /// Binary operation.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Unary operation.
+    pub fn un(op: UnOp, a: Expr) -> Expr {
+        Expr::Unary(op, Box::new(a))
+    }
+
+    /// Buffer byte load.
+    pub fn buf(b: BufId, idx: Expr) -> Expr {
+        Expr::BufLoad(b, Box::new(idx))
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    /// `a != b`.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, a, b)
+    }
+
+    /// `a & b` (used as logical AND on 0/1 operands).
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::And, a, b)
+    }
+
+    /// Calls `f` on every node of the tree, pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::IoByte(e) | Expr::BufLoad(_, e) | Expr::Unary(_, e) => e.visit(f),
+            Expr::Binary(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Device-state variables referenced anywhere in the tree.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Var(v) = e {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        });
+        out
+    }
+
+    /// Locals referenced anywhere in the tree.
+    pub fn locals(&self) -> Vec<LocalId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Local(l) = e {
+                if !out.contains(l) {
+                    out.push(*l);
+                }
+            }
+        });
+        out
+    }
+
+    /// Buffers referenced anywhere in the tree.
+    pub fn buffers(&self) -> Vec<BufId> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::BufLoad(b, _) | Expr::BufLen(b) = e {
+                if !out.contains(b) {
+                    out.push(*b);
+                }
+            }
+        });
+        out
+    }
+
+    /// Whether the tree references any [`Expr::Local`].
+    pub fn has_locals(&self) -> bool {
+        !self.locals().is_empty()
+    }
+
+    /// Returns a copy with every `Local(l)` replaced via `subst`.
+    ///
+    /// Locals missing from `subst` are left in place.
+    pub fn substitute_locals(&self, subst: &BTreeMap<LocalId, Expr>) -> Expr {
+        match self {
+            Expr::Local(l) => subst.get(l).cloned().unwrap_or_else(|| self.clone()),
+            Expr::IoByte(e) => Expr::IoByte(Box::new(e.substitute_locals(subst))),
+            Expr::BufLoad(b, e) => Expr::BufLoad(*b, Box::new(e.substitute_locals(subst))),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.substitute_locals(subst))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.substitute_locals(subst)),
+                Box::new(b.substitute_locals(subst)),
+            ),
+            other => other.clone(),
+        }
+    }
+}
+
+/// A statement: one step of straight-line device code.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Assign to a device-state variable (truncating to its width).
+    SetVar(VarId, Expr),
+    /// Assign to a handler temporary.
+    SetLocal(LocalId, Expr),
+    /// Store one byte into a device buffer at an index. C layout
+    /// semantics: an index past the declared buffer length writes into
+    /// the following control-structure fields (the CVE enabler).
+    BufStore(BufId, Expr, Expr),
+    /// Fill the declared extent of a buffer with a byte value (memset).
+    BufFill(BufId, Expr),
+    /// Copy `len` bytes of the request payload into a buffer starting at
+    /// `buf_off`, byte-wise with C spill semantics. Source bytes past the
+    /// payload end read as zero.
+    CopyPayload {
+        /// Destination buffer.
+        buf: BufId,
+        /// Destination start offset.
+        buf_off: Expr,
+        /// Number of bytes to copy.
+        len: Expr,
+    },
+    /// A side-effecting operation on the VM context.
+    Intrinsic(Intrinsic),
+}
+
+/// Side-effecting operations a device performs on its environment.
+///
+/// Intrinsics are the boundary between device-state computation (which
+/// the execution specification can re-execute) and the outside world
+/// (guest memory, disk, network, interrupts). Loads of *external* data
+/// into device state are what the paper's data-dependency recovery turns
+/// into sync points.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Intrinsic {
+    /// DMA `len` bytes from guest memory at `gpa` into `buf[buf_off..]`,
+    /// byte-wise with C spill semantics.
+    DmaToBuf {
+        /// Destination buffer.
+        buf: BufId,
+        /// Destination start offset.
+        buf_off: Expr,
+        /// Guest physical source address.
+        gpa: Expr,
+        /// Number of bytes.
+        len: Expr,
+    },
+    /// DMA `len` bytes from `buf[buf_off..]` into guest memory at `gpa`.
+    DmaFromBuf {
+        /// Source buffer.
+        buf: BufId,
+        /// Source start offset.
+        buf_off: Expr,
+        /// Guest physical destination address.
+        gpa: Expr,
+        /// Number of bytes.
+        len: Expr,
+    },
+    /// Load an unsigned little-endian value of `width` from guest memory
+    /// at `gpa` into a device-state variable. This brings *external*
+    /// data into the control structure — a sync-point source for the
+    /// execution specification.
+    DmaLoadVar {
+        /// Destination device-state variable.
+        var: VarId,
+        /// Guest physical source address.
+        gpa: Expr,
+        /// Access width.
+        width: Width,
+    },
+    /// Store `value` (width `width`) to guest memory at `gpa`.
+    DmaStore {
+        /// Guest physical destination address.
+        gpa: Expr,
+        /// Value to store.
+        value: Expr,
+        /// Access width.
+        width: Width,
+    },
+    /// Assert an interrupt line.
+    IrqRaise {
+        /// Line number.
+        line: Expr,
+    },
+    /// Deassert an interrupt line.
+    IrqLower {
+        /// Line number.
+        line: Expr,
+    },
+    /// Set the value returned to the guest for a read request.
+    IoReply {
+        /// Replied value.
+        value: Expr,
+    },
+    /// Read one disk sector into `buf[buf_off..buf_off+512]` (spill
+    /// semantics). External data — sync-point source.
+    DiskReadToBuf {
+        /// Destination buffer.
+        buf: BufId,
+        /// Destination start offset.
+        buf_off: Expr,
+        /// Sector number.
+        sector: Expr,
+    },
+    /// Write `buf[buf_off..buf_off+512]` to a disk sector.
+    DiskWriteFromBuf {
+        /// Source buffer.
+        buf: BufId,
+        /// Source start offset.
+        buf_off: Expr,
+        /// Sector number.
+        sector: Expr,
+    },
+    /// Transmit `buf[off..off+len]` as a network frame.
+    NetTransmit {
+        /// Source buffer.
+        buf: BufId,
+        /// Source start offset.
+        off: Expr,
+        /// Frame length.
+        len: Expr,
+    },
+    /// Charge virtual time.
+    DelayNs {
+        /// Nanoseconds to charge.
+        ns: Expr,
+    },
+    /// No-op marker kept in listings for readability.
+    Note(String),
+}
+
+impl Intrinsic {
+    /// Whether this intrinsic loads *external* data (guest memory, disk)
+    /// into the device control structure. Such statements cannot be
+    /// re-executed by the execution specification on its shadow state
+    /// and become sync points.
+    pub fn loads_external_data(&self) -> bool {
+        matches!(
+            self,
+            Intrinsic::DmaToBuf { .. } | Intrinsic::DmaLoadVar { .. } | Intrinsic::DiskReadToBuf { .. }
+        )
+    }
+
+    /// The device-state variable this intrinsic writes, if any.
+    pub fn written_var(&self) -> Option<VarId> {
+        match self {
+            Intrinsic::DmaLoadVar { var, .. } => Some(*var),
+            _ => None,
+        }
+    }
+
+    /// The device-state buffer this intrinsic writes, if any.
+    pub fn written_buf(&self) -> Option<BufId> {
+        match self {
+            Intrinsic::DmaToBuf { buf, .. } | Intrinsic::DiskReadToBuf { buf, .. } => Some(*buf),
+            _ => None,
+        }
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch; nonzero condition takes `taken`.
+    Branch {
+        /// Branch condition.
+        cond: Expr,
+        /// Successor when the condition is nonzero.
+        taken: BlockId,
+        /// Successor when the condition is zero.
+        not_taken: BlockId,
+    },
+    /// Multi-way dispatch on a value. Compiles to an indirect jump
+    /// through a jump table in real device code, and is what the paper's
+    /// *command decision block* looks like at the IR level.
+    Switch {
+        /// Dispatched value.
+        scrutinee: Expr,
+        /// `(match value, successor)` arms.
+        arms: Vec<(u64, BlockId)>,
+        /// Successor when no arm matches.
+        default: BlockId,
+    },
+    /// Indirect call through a device-state function-pointer variable;
+    /// the callee's `Return` resumes at `ret`. The target is resolved
+    /// through [`Program::fn_table`]; a value with no entry is a wild
+    /// jump (control-flow hijack) and faults the interpreter.
+    IndirectCall {
+        /// Function-pointer device-state variable.
+        ptr: VarId,
+        /// Block to resume at after the callee returns.
+        ret: BlockId,
+    },
+    /// Return from an indirect call.
+    Return,
+    /// End of the handler: the I/O interaction round is complete.
+    Exit,
+}
+
+impl Terminator {
+    /// Static successor blocks (not including indirect-call targets).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { taken, not_taken, .. } => vec![*taken, *not_taken],
+            Terminator::Switch { arms, default, .. } => {
+                let mut v: Vec<BlockId> = arms.iter().map(|&(_, b)| b).collect();
+                v.push(*default);
+                v
+            }
+            Terminator::IndirectCall { ret, .. } => vec![*ret],
+            Terminator::Return | Terminator::Exit => vec![],
+        }
+    }
+}
+
+/// Block classification recorded as the paper's "auxiliary information
+/// for identifying different block types".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BlockKind {
+    /// Ordinary block.
+    #[default]
+    Plain,
+    /// Decodes the current device command (its terminator is the command
+    /// dispatch).
+    CmdDecision,
+    /// Marks completion of the current device command.
+    CmdEnd,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Human-readable label (used in logs and spec dumps).
+    pub label: String,
+    /// Straight-line statements.
+    pub stmts: Vec<Stmt>,
+    /// Terminator.
+    pub term: Terminator,
+    /// Block classification.
+    pub kind: BlockKind,
+}
+
+/// A device handler: one entry point's control-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Handler name, e.g. `"fdc_pmio_write"`.
+    pub name: String,
+    /// Basic blocks; [`BlockId`] indexes this vector.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Indirect-call table: function-pointer *values* → entry blocks.
+    pub fn_table: BTreeMap<u64, BlockId>,
+    /// Declared locals: `(name, width)` per [`LocalId`].
+    pub locals: Vec<(String, Width)>,
+}
+
+impl Program {
+    /// The block with id `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range (programs are validated at build time).
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.0 as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the program has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// All `(from, to)` static edges.
+    pub fn edges(&self) -> Vec<(BlockId, BlockId)> {
+        let mut out = Vec::new();
+        for (i, blk) in self.blocks.iter().enumerate() {
+            let from = BlockId(i as u32);
+            for to in blk.term.successors() {
+                out.push((from, to));
+            }
+            if let Terminator::IndirectCall { .. } = blk.term {
+                for &target in self.fn_table.values() {
+                    out.push((from, target));
+                }
+            }
+        }
+        out
+    }
+
+    /// Predecessor map over static edges.
+    pub fn predecessors(&self) -> BTreeMap<BlockId, Vec<BlockId>> {
+        let mut map: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        for (from, to) in self.edges() {
+            map.entry(to).or_default().push(from);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_expr() -> Expr {
+        // (var0 + 1) < buf0[local0]
+        Expr::bin(
+            BinOp::Lt,
+            Expr::bin(BinOp::Add, Expr::var(VarId(0)), Expr::lit(1)),
+            Expr::buf(BufId(0), Expr::local(LocalId(0))),
+        )
+    }
+
+    #[test]
+    fn width_helpers() {
+        assert_eq!(Width::W16.bytes(), 2);
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+        assert_eq!(Width::W8.max(Width::W32), Width::W32);
+    }
+
+    #[test]
+    fn expr_collectors() {
+        let e = sample_expr();
+        assert_eq!(e.vars(), vec![VarId(0)]);
+        assert_eq!(e.locals(), vec![LocalId(0)]);
+        assert_eq!(e.buffers(), vec![BufId(0)]);
+        assert!(e.has_locals());
+    }
+
+    #[test]
+    fn substitute_locals_replaces_and_keeps() {
+        let e = sample_expr();
+        let mut subst = BTreeMap::new();
+        subst.insert(LocalId(0), Expr::var(VarId(7)));
+        let e2 = e.substitute_locals(&subst);
+        assert!(!e2.has_locals());
+        assert!(e2.vars().contains(&VarId(7)));
+        // Unrelated locals survive.
+        let e3 = Expr::local(LocalId(9)).substitute_locals(&subst);
+        assert_eq!(e3, Expr::local(LocalId(9)));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Switch {
+            scrutinee: Expr::IoData,
+            arms: vec![(1, BlockId(1)), (2, BlockId(2))],
+            default: BlockId(3),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2), BlockId(3)]);
+        assert!(Terminator::Exit.successors().is_empty());
+    }
+
+    #[test]
+    fn intrinsic_external_classification() {
+        let ext = Intrinsic::DmaLoadVar { var: VarId(0), gpa: Expr::lit(0), width: Width::W32 };
+        let not_ext = Intrinsic::IrqRaise { line: Expr::lit(1) };
+        assert!(ext.loads_external_data());
+        assert_eq!(ext.written_var(), Some(VarId(0)));
+        assert!(!not_ext.loads_external_data());
+    }
+
+    #[test]
+    fn program_edges_and_preds() {
+        let prog = Program {
+            name: "t".into(),
+            blocks: vec![
+                Block {
+                    label: "a".into(),
+                    stmts: vec![],
+                    term: Terminator::Branch {
+                        cond: Expr::lit(1),
+                        taken: BlockId(1),
+                        not_taken: BlockId(2),
+                    },
+                    kind: BlockKind::Plain,
+                },
+                Block { label: "b".into(), stmts: vec![], term: Terminator::Jump(BlockId(2)), kind: BlockKind::Plain },
+                Block { label: "c".into(), stmts: vec![], term: Terminator::Exit, kind: BlockKind::Plain },
+            ],
+            entry: BlockId(0),
+            fn_table: BTreeMap::new(),
+            locals: vec![],
+        };
+        let edges = prog.edges();
+        assert_eq!(edges.len(), 3);
+        let preds = prog.predecessors();
+        assert_eq!(preds[&BlockId(2)], vec![BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = sample_expr();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Expr = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,154 @@
+//! Synthetic code addresses for programs and blocks.
+//!
+//! Intel PT reports branch *addresses*; to reproduce that pipeline the
+//! tracer needs every basic block to live at a code address. A
+//! [`CodeLayout`] assigns each program a base address and each block a
+//! fixed-stride slot, and can map addresses back to `(program, block)`.
+//! Devices occupy the "device code" range; a separate well-known range
+//! models shared-library helpers so the tracer's address filter has
+//! something real to exclude (paper Section IV-A).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{BlockId, Program};
+
+/// Base of the device-code address range.
+pub const DEVICE_CODE_BASE: u64 = 0x5555_0000_0000;
+/// Base of the simulated shared-library range (filtered out by tracing).
+pub const LIBRARY_CODE_BASE: u64 = 0x7f00_0000_0000;
+/// Base of the simulated kernel range (filtered out by tracing).
+pub const KERNEL_CODE_BASE: u64 = 0xffff_8000_0000_0000;
+/// Bytes reserved per basic block.
+pub const BLOCK_STRIDE: u64 = 0x10;
+/// Bytes reserved per program.
+pub const PROGRAM_STRIDE: u64 = 0x1_0000;
+
+/// Address assignment for a set of programs (one device's handlers).
+///
+/// # Examples
+///
+/// ```
+/// use sedspec_dbl::builder::ProgramBuilder;
+/// use sedspec_dbl::layout::CodeLayout;
+///
+/// let mut b = ProgramBuilder::new("h");
+/// let e = b.entry_block("e");
+/// b.select(e);
+/// b.exit();
+/// let prog = b.finish().unwrap();
+///
+/// let layout = CodeLayout::assign(&[&prog]);
+/// let addr = layout.block_addr(0, prog.entry);
+/// assert_eq!(layout.resolve(addr), Some((0, prog.entry)));
+/// assert!(layout.device_range().contains(&addr));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeLayout {
+    program_base: Vec<u64>,
+    blocks_per_program: Vec<u32>,
+    by_addr: BTreeMap<u64, (usize, BlockId)>,
+}
+
+impl CodeLayout {
+    /// Assigns addresses to `programs` in order.
+    pub fn assign(programs: &[&Program]) -> Self {
+        let mut program_base = Vec::with_capacity(programs.len());
+        let mut blocks_per_program = Vec::with_capacity(programs.len());
+        let mut by_addr = BTreeMap::new();
+        for (pi, prog) in programs.iter().enumerate() {
+            let base = DEVICE_CODE_BASE + pi as u64 * PROGRAM_STRIDE;
+            program_base.push(base);
+            blocks_per_program.push(prog.len() as u32);
+            for bi in 0..prog.len() {
+                by_addr.insert(base + bi as u64 * BLOCK_STRIDE, (pi, BlockId(bi as u32)));
+            }
+        }
+        CodeLayout { program_base, blocks_per_program, by_addr }
+    }
+
+    /// Address of block `b` of program index `pi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is out of range.
+    pub fn block_addr(&self, pi: usize, b: BlockId) -> u64 {
+        self.program_base[pi] + u64::from(b.0) * BLOCK_STRIDE
+    }
+
+    /// Maps an address back to `(program index, block)`.
+    pub fn resolve(&self, addr: u64) -> Option<(usize, BlockId)> {
+        self.by_addr.get(&addr).copied()
+    }
+
+    /// The half-open device-code address range covered by this layout.
+    pub fn device_range(&self) -> std::ops::Range<u64> {
+        let end = self
+            .program_base
+            .iter()
+            .zip(&self.blocks_per_program)
+            .map(|(&b, &n)| b + u64::from(n) * BLOCK_STRIDE)
+            .max()
+            .unwrap_or(DEVICE_CODE_BASE);
+        DEVICE_CODE_BASE..end
+    }
+
+    /// Number of programs in the layout.
+    pub fn programs(&self) -> usize {
+        self.program_base.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn prog(name: &str, blocks: usize) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        let e = b.entry_block("e");
+        let mut prev = e;
+        for i in 1..blocks {
+            let nb = b.block(format!("b{i}"));
+            b.select(prev);
+            b.jump(nb);
+            prev = nb;
+        }
+        b.select(prev);
+        b.exit();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn addresses_are_unique_and_resolvable() {
+        let p0 = prog("a", 3);
+        let p1 = prog("b", 2);
+        let layout = CodeLayout::assign(&[&p0, &p1]);
+        let mut seen = std::collections::BTreeSet::new();
+        for (pi, p) in [&p0, &p1].iter().enumerate() {
+            for bi in 0..p.len() {
+                let addr = layout.block_addr(pi, BlockId(bi as u32));
+                assert!(seen.insert(addr));
+                assert_eq!(layout.resolve(addr), Some((pi, BlockId(bi as u32))));
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_do_not_overlap_library_or_kernel() {
+        let p0 = prog("a", 100);
+        let layout = CodeLayout::assign(&[&p0]);
+        let r = layout.device_range();
+        assert!(r.end <= LIBRARY_CODE_BASE);
+        assert!(r.end <= KERNEL_CODE_BASE);
+    }
+
+    #[test]
+    fn unknown_address_resolves_to_none() {
+        let p0 = prog("a", 1);
+        let layout = CodeLayout::assign(&[&p0]);
+        assert_eq!(layout.resolve(LIBRARY_CODE_BASE), None);
+        assert_eq!(layout.resolve(DEVICE_CODE_BASE + 1), None); // misaligned
+    }
+}

@@ -1,0 +1,477 @@
+//! Device control structures and their C-layout runtime instances.
+//!
+//! A [`ControlStructure`] declares the fields of a device's state struct
+//! (QEMU's `FDCtrl`, `USBDevice`, `PCNetState`, ...). At runtime the
+//! fields live packed in declaration order inside one flat byte arena
+//! ([`CsState`]), so a buffer store that runs past the declared buffer
+//! length lands in the *following fields* — exactly the C behaviour the
+//! eight reproduced CVEs exploit (e.g. PCNet's receive CRC spilling onto
+//! the adjacent `irq` function pointer). Only stores past the whole
+//! arena fault, modelling the host crash/ASan abort.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{BufId, VarId, Width};
+use crate::value::TypedValue;
+
+/// Semantic role a device-state variable plays, used by the CFG
+/// analyzer's Rule 1/Rule 2 filters (paper Table I). Roles other than
+/// [`VarRole::Register`] and [`VarRole::FnPtr`] are *inferred* from IR
+/// usage by `analysis::classify`; the declared value here is only the
+/// register mapping (Rule 1) and pointer typing, which in QEMU come from
+/// the device source too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum VarRole {
+    /// Plain scalar with no declared mapping.
+    #[default]
+    Scalar,
+    /// Mirrors a physical device register (Rule 1).
+    Register,
+    /// Holds a function-pointer value dispatched by `IndirectCall`.
+    FnPtr,
+}
+
+/// Declaration of one scalar field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Field name, e.g. `"data_pos"`.
+    pub name: String,
+    /// Storage width.
+    pub width: Width,
+    /// Two's-complement interpretation.
+    pub signed: bool,
+    /// Declared role.
+    pub role: VarRole,
+    /// Initial value at device reset.
+    pub init: u64,
+}
+
+/// Declaration of one fixed-length buffer field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufDecl {
+    /// Field name, e.g. `"fifo"`.
+    pub name: String,
+    /// Declared length in bytes.
+    pub len: usize,
+}
+
+/// Order of fields in the structure (determines arena layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum FieldRef {
+    Var(u32),
+    Buf(u32),
+}
+
+/// A device control-structure declaration.
+///
+/// # Examples
+///
+/// ```
+/// use sedspec_dbl::ir::Width;
+/// use sedspec_dbl::state::ControlStructure;
+///
+/// let mut cs = ControlStructure::new("FDCtrl");
+/// let msr = cs.register("msr", Width::W8, 0x80);
+/// let fifo = cs.buffer("fifo", 512);
+/// let data_pos = cs.var("data_pos", Width::W32);
+/// let st = cs.instantiate();
+/// assert_eq!(st.var(msr), 0x80);
+/// assert_eq!(cs.buf_decl(fifo).len, 512);
+/// assert_eq!(cs.var_decl(data_pos).name, "data_pos");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlStructure {
+    /// Structure name, e.g. `"FDCtrl"`.
+    pub name: String,
+    vars: Vec<VarDecl>,
+    bufs: Vec<BufDecl>,
+    order: Vec<FieldRef>,
+}
+
+impl ControlStructure {
+    /// An empty structure named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ControlStructure { name: name.into(), vars: Vec::new(), bufs: Vec::new(), order: Vec::new() }
+    }
+
+    /// Appends an unsigned scalar field initialized to 0.
+    pub fn var(&mut self, name: impl Into<String>, width: Width) -> VarId {
+        self.var_full(name, width, false, VarRole::Scalar, 0)
+    }
+
+    /// Appends a signed scalar field initialized to 0.
+    pub fn var_signed(&mut self, name: impl Into<String>, width: Width) -> VarId {
+        self.var_full(name, width, true, VarRole::Scalar, 0)
+    }
+
+    /// Appends a register-mapped field (Rule 1) with an initial value.
+    pub fn register(&mut self, name: impl Into<String>, width: Width, init: u64) -> VarId {
+        self.var_full(name, width, false, VarRole::Register, init)
+    }
+
+    /// Appends a function-pointer field initialized to `init` (a
+    /// function id resolved through the program's `fn_table`).
+    pub fn fn_ptr(&mut self, name: impl Into<String>, init: u64) -> VarId {
+        self.var_full(name, Width::W64, false, VarRole::FnPtr, init)
+    }
+
+    /// Appends a fully specified scalar field.
+    pub fn var_full(
+        &mut self,
+        name: impl Into<String>,
+        width: Width,
+        signed: bool,
+        role: VarRole,
+        init: u64,
+    ) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarDecl { name: name.into(), width, signed, role, init });
+        self.order.push(FieldRef::Var(id.0));
+        id
+    }
+
+    /// Appends a fixed-length buffer field.
+    pub fn buffer(&mut self, name: impl Into<String>, len: usize) -> BufId {
+        let id = BufId(self.bufs.len() as u32);
+        self.bufs.push(BufDecl { name: name.into(), len });
+        self.order.push(FieldRef::Buf(id.0));
+        id
+    }
+
+    /// Declaration of scalar `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not declared on this structure.
+    pub fn var_decl(&self, v: VarId) -> &VarDecl {
+        &self.vars[v.0 as usize]
+    }
+
+    /// Declaration of buffer `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` was not declared on this structure.
+    pub fn buf_decl(&self, b: BufId) -> &BufDecl {
+        &self.bufs[b.0 as usize]
+    }
+
+    /// All scalar declarations, in id order.
+    pub fn vars(&self) -> &[VarDecl] {
+        &self.vars
+    }
+
+    /// All buffer declarations, in id order.
+    pub fn buffers(&self) -> &[BufDecl] {
+        &self.bufs
+    }
+
+    /// Looks up a scalar by name.
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v.name == name).map(|i| VarId(i as u32))
+    }
+
+    /// Looks up a buffer by name.
+    pub fn buf_by_name(&self, name: &str) -> Option<BufId> {
+        self.bufs.iter().position(|b| b.name == name).map(|i| BufId(i as u32))
+    }
+
+    /// Total arena size in bytes.
+    pub fn arena_size(&self) -> usize {
+        self.order
+            .iter()
+            .map(|f| match f {
+                FieldRef::Var(i) => self.vars[*i as usize].width.bytes(),
+                FieldRef::Buf(i) => self.bufs[*i as usize].len,
+            })
+            .sum()
+    }
+
+    fn offsets(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut var_off = vec![0usize; self.vars.len()];
+        let mut buf_off = vec![0usize; self.bufs.len()];
+        let mut off = 0usize;
+        for f in &self.order {
+            match f {
+                FieldRef::Var(i) => {
+                    var_off[*i as usize] = off;
+                    off += self.vars[*i as usize].width.bytes();
+                }
+                FieldRef::Buf(i) => {
+                    buf_off[*i as usize] = off;
+                    off += self.bufs[*i as usize].len;
+                }
+            }
+        }
+        (var_off, buf_off)
+    }
+
+    /// Creates a reset-state runtime instance.
+    pub fn instantiate(&self) -> CsState {
+        let (var_off, buf_off) = self.offsets();
+        let mut st = CsState {
+            arena: vec![0; self.arena_size()],
+            var_off,
+            buf_off,
+            var_meta: self.vars.iter().map(|v| (v.width, v.signed)).collect(),
+            buf_len: self.bufs.iter().map(|b| b.len).collect(),
+        };
+        for (i, v) in self.vars.iter().enumerate() {
+            st.set_var(VarId(i as u32), v.init);
+        }
+        st
+    }
+}
+
+/// Fault raised by a control-structure access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaOutOfBounds {
+    /// Byte offset that was accessed.
+    pub offset: i64,
+    /// Arena size.
+    pub size: usize,
+}
+
+impl std::fmt::Display for ArenaOutOfBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "control-structure access at offset {} outside arena of {} bytes", self.offset, self.size)
+    }
+}
+
+impl std::error::Error for ArenaOutOfBounds {}
+
+/// Effect classification of a buffer access, for ground-truth oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessEffect {
+    /// Access stayed within the declared buffer.
+    InBounds,
+    /// Access landed past the declared buffer but inside the arena —
+    /// i.e. it silently corrupted (or read) neighbouring fields, as the
+    /// equivalent C code would.
+    Spilled,
+}
+
+/// A runtime control-structure instance: the flat byte arena.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsState {
+    arena: Vec<u8>,
+    var_off: Vec<usize>,
+    buf_off: Vec<usize>,
+    var_meta: Vec<(Width, bool)>,
+    buf_len: Vec<usize>,
+}
+
+impl CsState {
+    /// Raw bits of scalar `v`, zero-extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for the owning structure.
+    pub fn var(&self, v: VarId) -> u64 {
+        let off = self.var_off[v.0 as usize];
+        let (w, _) = self.var_meta[v.0 as usize];
+        let mut bytes = [0u8; 8];
+        bytes[..w.bytes()].copy_from_slice(&self.arena[off..off + w.bytes()]);
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Scalar `v` as a typed value.
+    pub fn var_typed(&self, v: VarId) -> TypedValue {
+        let (w, signed) = self.var_meta[v.0 as usize];
+        if signed {
+            TypedValue::signed(self.var(v), w)
+        } else {
+            TypedValue::unsigned(self.var(v), w)
+        }
+    }
+
+    /// Stores the low bits of `val` into scalar `v` (truncating to its width).
+    pub fn set_var(&mut self, v: VarId, val: u64) {
+        let off = self.var_off[v.0 as usize];
+        let (w, _) = self.var_meta[v.0 as usize];
+        let bytes = (val & w.mask()).to_le_bytes();
+        self.arena[off..off + w.bytes()].copy_from_slice(&bytes[..w.bytes()]);
+    }
+
+    /// Declared length of buffer `b`.
+    pub fn buf_len(&self, b: BufId) -> usize {
+        self.buf_len[b.0 as usize]
+    }
+
+    /// Reads byte `idx` of buffer `b` with C layout semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArenaOutOfBounds`] only if the effective offset leaves
+    /// the whole arena; indices past the declared buffer that stay in the
+    /// arena read the neighbouring fields and report [`AccessEffect::Spilled`].
+    pub fn buf_read(&self, b: BufId, idx: i64) -> Result<(u8, AccessEffect), ArenaOutOfBounds> {
+        let base = self.buf_off[b.0 as usize] as i64;
+        let off = base + idx;
+        if off < 0 || off as usize >= self.arena.len() {
+            return Err(ArenaOutOfBounds { offset: off, size: self.arena.len() });
+        }
+        let effect = if idx >= 0 && (idx as usize) < self.buf_len[b.0 as usize] {
+            AccessEffect::InBounds
+        } else {
+            AccessEffect::Spilled
+        };
+        Ok((self.arena[off as usize], effect))
+    }
+
+    /// Writes byte `idx` of buffer `b` with C layout semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArenaOutOfBounds`] only if the effective offset leaves
+    /// the whole arena; see [`CsState::buf_read`].
+    pub fn buf_write(
+        &mut self,
+        b: BufId,
+        idx: i64,
+        byte: u8,
+    ) -> Result<AccessEffect, ArenaOutOfBounds> {
+        let base = self.buf_off[b.0 as usize] as i64;
+        let off = base + idx;
+        if off < 0 || off as usize >= self.arena.len() {
+            return Err(ArenaOutOfBounds { offset: off, size: self.arena.len() });
+        }
+        let effect = if idx >= 0 && (idx as usize) < self.buf_len[b.0 as usize] {
+            AccessEffect::InBounds
+        } else {
+            AccessEffect::Spilled
+        };
+        self.arena[off as usize] = byte;
+        Ok(effect)
+    }
+
+    /// Fills the declared extent of buffer `b` with `byte` (no spill).
+    pub fn buf_fill(&mut self, b: BufId, byte: u8) {
+        let off = self.buf_off[b.0 as usize];
+        let len = self.buf_len[b.0 as usize];
+        self.arena[off..off + len].fill(byte);
+    }
+
+    /// An in-bounds copy of buffer `b`'s declared extent.
+    pub fn buf_bytes(&self, b: BufId) -> Vec<u8> {
+        let off = self.buf_off[b.0 as usize];
+        let len = self.buf_len[b.0 as usize];
+        self.arena[off..off + len].to_vec()
+    }
+
+    /// Size of the arena in bytes.
+    pub fn arena_size(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of scalar fields.
+    pub fn var_count(&self) -> usize {
+        self.var_off.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fdc_like() -> (ControlStructure, VarId, BufId, VarId, VarId) {
+        // Mirrors the layout relationship the CVEs rely on: a buffer with
+        // scalar fields packed right behind it.
+        let mut cs = ControlStructure::new("T");
+        let msr = cs.register("msr", Width::W8, 0x80);
+        let fifo = cs.buffer("fifo", 16);
+        let data_pos = cs.var("data_pos", Width::W32);
+        let irq = cs.fn_ptr("irq", 0x11);
+        (cs, msr, fifo, data_pos, irq)
+    }
+
+    #[test]
+    fn init_values_applied() {
+        let (cs, msr, _, data_pos, irq) = fdc_like();
+        let st = cs.instantiate();
+        assert_eq!(st.var(msr), 0x80);
+        assert_eq!(st.var(data_pos), 0);
+        assert_eq!(st.var(irq), 0x11);
+    }
+
+    #[test]
+    fn var_truncates_to_width() {
+        let (cs, msr, ..) = fdc_like();
+        let mut st = cs.instantiate();
+        st.set_var(msr, 0x1ff);
+        assert_eq!(st.var(msr), 0xff);
+    }
+
+    #[test]
+    fn in_bounds_buffer_access() {
+        let (cs, _, fifo, ..) = fdc_like();
+        let mut st = cs.instantiate();
+        assert_eq!(st.buf_write(fifo, 3, 0xaa).unwrap(), AccessEffect::InBounds);
+        assert_eq!(st.buf_read(fifo, 3).unwrap(), (0xaa, AccessEffect::InBounds));
+    }
+
+    #[test]
+    fn overflow_corrupts_next_field_like_c() {
+        let (cs, _, fifo, data_pos, _) = fdc_like();
+        let mut st = cs.instantiate();
+        // fifo is 16 bytes; index 16 is the first byte of data_pos.
+        assert_eq!(st.buf_write(fifo, 16, 0x2a).unwrap(), AccessEffect::Spilled);
+        assert_eq!(st.var(data_pos), 0x2a);
+    }
+
+    #[test]
+    fn overflow_can_overwrite_fn_ptr() {
+        let (cs, _, fifo, _, irq) = fdc_like();
+        let mut st = cs.instantiate();
+        // data_pos occupies bytes 16..20 after the fifo; irq starts at 20.
+        for (i, b) in 0xdead_beefu64.to_le_bytes().iter().enumerate() {
+            st.buf_write(fifo, 20 + i as i64, *b).unwrap();
+        }
+        assert_eq!(st.var(irq), 0xdead_beef);
+    }
+
+    #[test]
+    fn access_outside_arena_faults() {
+        let (cs, _, fifo, ..) = fdc_like();
+        let mut st = cs.instantiate();
+        let far = st.arena_size() as i64; // relative to fifo base +1 offset inside
+        assert!(st.buf_write(fifo, far, 0).is_err());
+        assert!(st.buf_read(fifo, -2).is_err());
+    }
+
+    #[test]
+    fn negative_index_spills_backwards() {
+        let (cs, msr, fifo, ..) = fdc_like();
+        let mut st = cs.instantiate();
+        // fifo base is 1 (behind the 1-byte msr); index -1 hits msr.
+        assert_eq!(st.buf_write(fifo, -1, 0x07).unwrap(), AccessEffect::Spilled);
+        assert_eq!(st.var(msr), 0x07);
+    }
+
+    #[test]
+    fn fill_respects_declared_extent() {
+        let (cs, _, fifo, data_pos, _) = fdc_like();
+        let mut st = cs.instantiate();
+        st.set_var(data_pos, 0x1234);
+        st.buf_fill(fifo, 0xee);
+        assert!(st.buf_bytes(fifo).iter().all(|&b| b == 0xee));
+        assert_eq!(st.var(data_pos), 0x1234); // untouched
+    }
+
+    #[test]
+    fn typed_reads_respect_signedness() {
+        let mut cs = ControlStructure::new("S");
+        let s = cs.var_signed("idx", Width::W16);
+        let mut st = cs.instantiate();
+        st.set_var(s, 0xffff);
+        assert_eq!(st.var_typed(s).as_i128(), -1);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (cs, msr, fifo, ..) = fdc_like();
+        assert_eq!(cs.var_by_name("msr"), Some(msr));
+        assert_eq!(cs.buf_by_name("fifo"), Some(fifo));
+        assert_eq!(cs.var_by_name("nope"), None);
+    }
+}

@@ -1,0 +1,358 @@
+//! Width-aware arithmetic with overflow reporting.
+//!
+//! DBL arithmetic wraps at the result width — like the machine code the
+//! paper instruments — and every operation reports whether it wrapped.
+//! That report is the reproduction of "changes in relevant bits in the
+//! flag register at runtime" which the parameter check strategy consumes
+//! (Section VI-A of the paper), combined with UBSan-style type metadata
+//! (each variable's declared width and signedness).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ir::{BinOp, UnOp, Width};
+
+/// A value tagged with its width and signedness.
+///
+/// The raw bits live in `bits`, always zero-extended to 64; signed
+/// interpretation happens at the operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypedValue {
+    /// Raw bits, zero-extended.
+    pub bits: u64,
+    /// Operand width.
+    pub width: Width,
+    /// Whether comparisons/shifts treat the value as two's-complement.
+    pub signed: bool,
+}
+
+impl TypedValue {
+    /// An unsigned value of the given width (truncating `bits`).
+    pub fn unsigned(bits: u64, width: Width) -> Self {
+        TypedValue { bits: bits & width.mask(), width, signed: false }
+    }
+
+    /// A signed value of the given width (truncating `bits`).
+    pub fn signed(bits: u64, width: Width) -> Self {
+        TypedValue { bits: bits & width.mask(), width, signed: true }
+    }
+
+    /// A 64-bit unsigned value.
+    pub fn u64(bits: u64) -> Self {
+        TypedValue::unsigned(bits, Width::W64)
+    }
+
+    /// The value interpreted according to its signedness, as `i128`.
+    pub fn as_i128(&self) -> i128 {
+        if self.signed {
+            let shift = 64 - self.width.bits();
+            (((self.bits << shift) as i64) >> shift) as i128
+        } else {
+            self.bits as i128
+        }
+    }
+
+    /// Whether the value is nonzero (branch truthiness).
+    pub fn is_true(&self) -> bool {
+        self.bits != 0
+    }
+
+    /// Re-types the value to `width`/`signed`, truncating and reporting
+    /// whether the mathematical value survived.
+    pub fn convert(&self, width: Width, signed: bool) -> (TypedValue, bool) {
+        let math = self.as_i128();
+        let out =
+            if signed { TypedValue::signed(self.bits, width) } else { TypedValue::unsigned(self.bits, width) };
+        (out, out.as_i128() != math)
+    }
+}
+
+/// Kinds of arithmetic anomaly one operation can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverflowKind {
+    /// No anomaly.
+    None,
+    /// Result of `+`/`-`/`*` did not fit the operand width.
+    Arithmetic,
+    /// Assignment truncated the value (destination too narrow).
+    Truncation,
+}
+
+/// Flags accumulated while evaluating an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OverflowFlags {
+    /// Some `+`/`-`/`*` in the expression wrapped.
+    pub arithmetic: bool,
+    /// Some assignment/conversion truncated.
+    pub truncation: bool,
+}
+
+impl OverflowFlags {
+    /// Flags with nothing set.
+    pub fn clear() -> Self {
+        OverflowFlags::default()
+    }
+
+    /// Whether any anomaly was recorded.
+    pub fn any(&self) -> bool {
+        self.arithmetic || self.truncation
+    }
+
+    /// Merges another set of flags into this one.
+    pub fn merge(&mut self, other: OverflowFlags) {
+        self.arithmetic |= other.arithmetic;
+        self.truncation |= other.truncation;
+    }
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithError {
+    /// Division or remainder by zero.
+    DivideByZero,
+}
+
+impl std::fmt::Display for ArithError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArithError::DivideByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ArithError {}
+
+/// Applies a unary operator.
+pub fn apply_unop(op: UnOp, a: TypedValue) -> TypedValue {
+    let bits = match op {
+        UnOp::Not => !a.bits,
+        UnOp::Neg => a.bits.wrapping_neg(),
+        UnOp::BoolNot => u64::from(a.bits == 0),
+    };
+    if op == UnOp::BoolNot {
+        TypedValue::unsigned(bits, Width::W8)
+    } else if a.signed {
+        TypedValue::signed(bits, a.width)
+    } else {
+        TypedValue::unsigned(bits, a.width)
+    }
+}
+
+/// Applies a binary operator at the common width, reporting overflow.
+///
+/// The result width is the wider operand's width; signedness is OR of the
+/// operands' (mixed-signedness comparisons compare as signed, which is
+/// what lets a negative `setup_index` be seen as such — CVE-2020-14364).
+/// Comparisons yield an unsigned 8-bit 0/1.
+///
+/// # Errors
+///
+/// Returns [`ArithError::DivideByZero`] for `/` or `%` by zero.
+pub fn apply_binop(
+    op: BinOp,
+    a: TypedValue,
+    b: TypedValue,
+) -> Result<(TypedValue, OverflowKind), ArithError> {
+    let width = a.width.max(b.width);
+    let signed = a.signed || b.signed;
+    let (la, lb) = (a.as_i128(), b.as_i128());
+    // Operand bits materialized at the *result* width: a narrower signed
+    // operand sign-extends (its mathematical value modulo 2^width), so
+    // e.g. `u64 + i32(-1)` wraps the same way the C expression does.
+    let (ea, eb) = (la as u64 & width.mask(), lb as u64 & width.mask());
+    let make = |bits: u64| {
+        if signed {
+            TypedValue::signed(bits, width)
+        } else {
+            TypedValue::unsigned(bits, width)
+        }
+    };
+    let range_check = |math: Option<i128>, v: TypedValue| -> OverflowKind {
+        match math {
+            Some(m) if v.as_i128() == m => OverflowKind::None,
+            _ => OverflowKind::Arithmetic,
+        }
+    };
+    let out = match op {
+        BinOp::Add => {
+            let math = la.checked_add(lb);
+            let v = make(ea.wrapping_add(eb) & width.mask());
+            (v, range_check(math, v))
+        }
+        BinOp::Sub => {
+            let math = la.checked_sub(lb);
+            let v = make(ea.wrapping_sub(eb) & width.mask());
+            (v, range_check(math, v))
+        }
+        BinOp::Mul => {
+            let math = la.checked_mul(lb);
+            let v = make(ea.wrapping_mul(eb) & width.mask());
+            (v, range_check(math, v))
+        }
+        BinOp::Div => {
+            if lb == 0 {
+                return Err(ArithError::DivideByZero);
+            }
+            let bits = if signed { ((la / lb) as i64) as u64 } else { a.bits / b.bits };
+            (make(bits & width.mask()), OverflowKind::None)
+        }
+        BinOp::Rem => {
+            if lb == 0 {
+                return Err(ArithError::DivideByZero);
+            }
+            let bits = if signed { ((la % lb) as i64) as u64 } else { a.bits % b.bits };
+            (make(bits & width.mask()), OverflowKind::None)
+        }
+        BinOp::And => (make(a.bits & b.bits), OverflowKind::None),
+        BinOp::Or => (make(a.bits | b.bits), OverflowKind::None),
+        BinOp::Xor => (make(a.bits ^ b.bits), OverflowKind::None),
+        BinOp::Shl => {
+            // C-style: the left operand is promoted before shifting, so
+            // `u8 << 8` widens instead of wrapping. Results are 64-bit
+            // unsigned; shifts of 64+ bits yield 0.
+            let sh = b.bits;
+            let bits = if sh >= 64 { 0 } else { a.bits << sh };
+            (TypedValue::unsigned(bits, Width::W64), OverflowKind::None)
+        }
+        BinOp::Shr => {
+            let sh = b.bits;
+            let bits = if sh >= u64::from(a.width.bits()) {
+                if a.signed && a.as_i128() < 0 {
+                    a.width.mask()
+                } else {
+                    0
+                }
+            } else if a.signed {
+                (((a.as_i128() as i64) >> sh) as u64) & a.width.mask()
+            } else {
+                a.bits >> sh
+            };
+            (make(bits & width.mask()), OverflowKind::None)
+        }
+        BinOp::Eq => (TypedValue::unsigned(u64::from(la == lb), Width::W8), OverflowKind::None),
+        BinOp::Ne => (TypedValue::unsigned(u64::from(la != lb), Width::W8), OverflowKind::None),
+        BinOp::Lt => (TypedValue::unsigned(u64::from(la < lb), Width::W8), OverflowKind::None),
+        BinOp::Le => (TypedValue::unsigned(u64::from(la <= lb), Width::W8), OverflowKind::None),
+        BinOp::Gt => (TypedValue::unsigned(u64::from(la > lb), Width::W8), OverflowKind::None),
+        BinOp::Ge => (TypedValue::unsigned(u64::from(la >= lb), Width::W8), OverflowKind::None),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u16v(v: u64) -> TypedValue {
+        TypedValue::unsigned(v, Width::W16)
+    }
+
+    #[test]
+    fn unsigned_underflow_is_flagged() {
+        // The CVE-2021-3409 shape: blksize - data_count with blksize < data_count.
+        let (v, of) = apply_binop(BinOp::Sub, u16v(0x100), u16v(0x200)).unwrap();
+        assert_eq!(of, OverflowKind::Arithmetic);
+        assert_eq!(v.bits, 0xff00);
+    }
+
+    #[test]
+    fn in_range_subtraction_is_clean() {
+        let (v, of) = apply_binop(BinOp::Sub, u16v(0x200), u16v(0x100)).unwrap();
+        assert_eq!(of, OverflowKind::None);
+        assert_eq!(v.bits, 0x100);
+    }
+
+    #[test]
+    fn addition_overflow_at_width() {
+        let (v, of) = apply_binop(BinOp::Add, TypedValue::unsigned(0xff, Width::W8), TypedValue::unsigned(1, Width::W8)).unwrap();
+        assert_eq!(of, OverflowKind::Arithmetic);
+        assert_eq!(v.bits, 0);
+    }
+
+    #[test]
+    fn mixed_width_uses_wider() {
+        let (v, of) =
+            apply_binop(BinOp::Add, TypedValue::unsigned(0xff, Width::W8), u16v(1)).unwrap();
+        assert_eq!(v.width, Width::W16);
+        assert_eq!(of, OverflowKind::None);
+        assert_eq!(v.bits, 0x100);
+    }
+
+    #[test]
+    fn signed_negative_comparison() {
+        // setup_index = -1 (i16) must compare below 0.
+        let idx = TypedValue::signed(0xffff, Width::W16);
+        let (lt, _) = apply_binop(BinOp::Lt, idx, TypedValue::signed(0, Width::W16)).unwrap();
+        assert!(lt.is_true());
+    }
+
+    #[test]
+    fn signed_mul_overflow() {
+        let a = TypedValue::signed(0x7fff, Width::W16);
+        let (_, of) = apply_binop(BinOp::Mul, a, TypedValue::signed(2, Width::W16)).unwrap();
+        assert_eq!(of, OverflowKind::Arithmetic);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert_eq!(
+            apply_binop(BinOp::Div, u16v(4), u16v(0)).unwrap_err(),
+            ArithError::DivideByZero
+        );
+        assert_eq!(
+            apply_binop(BinOp::Rem, u16v(4), u16v(0)).unwrap_err(),
+            ArithError::DivideByZero
+        );
+    }
+
+    #[test]
+    fn shifts_promote_and_respect_sign() {
+        // Left shift promotes (C-style): u16 << 20 does not wrap at 16 bits.
+        let (v, _) = apply_binop(BinOp::Shl, u16v(1), u16v(20)).unwrap();
+        assert_eq!(v.bits, 1 << 20);
+        assert_eq!(v.width, Width::W64);
+        // u8 << 8 widens — the wLength decode pattern `buf[7] << 8`.
+        let (w, _) = apply_binop(
+            BinOp::Shl,
+            TypedValue::unsigned(0xff, Width::W8),
+            TypedValue::unsigned(8, Width::W8),
+        )
+        .unwrap();
+        assert_eq!(w.bits, 0xff00);
+        let neg = TypedValue::signed(0x8000, Width::W16);
+        let (sar, _) = apply_binop(BinOp::Shr, neg, TypedValue::unsigned(1, Width::W16)).unwrap();
+        assert_eq!(sar.bits, 0xc000); // arithmetic shift keeps the sign bit
+        // Oversized right shifts saturate instead of wrapping the amount.
+        let (z, _) = apply_binop(BinOp::Shr, u16v(0x1234), u16v(40)).unwrap();
+        assert_eq!(z.bits, 0);
+        let (m, _) = apply_binop(BinOp::Shr, neg, u16v(40)).unwrap();
+        assert_eq!(m.bits, 0xffff);
+    }
+
+    #[test]
+    fn conversion_reports_truncation() {
+        let v = TypedValue::u64(0x1_0000);
+        let (t, truncated) = v.convert(Width::W16, false);
+        assert!(truncated);
+        assert_eq!(t.bits, 0);
+        let (ok, kept) = TypedValue::u64(0x1234).convert(Width::W16, false);
+        assert!(!kept);
+        assert_eq!(ok.bits, 0x1234);
+    }
+
+    #[test]
+    fn unops() {
+        let v = TypedValue::unsigned(0x0f, Width::W8);
+        assert_eq!(apply_unop(UnOp::Not, v).bits, 0xf0);
+        assert_eq!(apply_unop(UnOp::Neg, TypedValue::unsigned(1, Width::W8)).bits, 0xff);
+        assert_eq!(apply_unop(UnOp::BoolNot, v).bits, 0);
+        assert_eq!(apply_unop(UnOp::BoolNot, TypedValue::unsigned(0, Width::W8)).bits, 1);
+    }
+
+    #[test]
+    fn flags_merge() {
+        let mut f = OverflowFlags::clear();
+        assert!(!f.any());
+        f.merge(OverflowFlags { arithmetic: true, truncation: false });
+        assert!(f.any() && f.arithmetic && !f.truncation);
+    }
+}

@@ -1,0 +1,216 @@
+//! Structural validation of DBL programs.
+//!
+//! Device programs are authored by hand (in the `sedspec-devices`
+//! crate); the verifier catches dangling block references, out-of-range
+//! locals and malformed indirect-call plumbing before a program is ever
+//! interpreted.
+
+use std::fmt;
+
+use crate::ir::{BlockId, Expr, LocalId, Program, Stmt, Terminator};
+
+/// Structural defects a program can have.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// No entry block was declared.
+    NoEntry,
+    /// A declared block was never given a terminator.
+    MissingTerminator {
+        /// Offending block.
+        block: BlockId,
+        /// Its label.
+        label: String,
+    },
+    /// A terminator or table entry references a block that does not exist.
+    DanglingBlock {
+        /// Referencing block.
+        from: BlockId,
+        /// Missing target.
+        to: BlockId,
+    },
+    /// An expression references a local past the declared count.
+    UndeclaredLocal {
+        /// Block containing the reference.
+        block: BlockId,
+        /// The local.
+        local: LocalId,
+    },
+    /// An `IndirectCall` exists but the function table is empty.
+    EmptyFnTable {
+        /// Block with the call.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::NoEntry => write!(f, "program has no entry block"),
+            VerifyError::MissingTerminator { block, label } => {
+                write!(f, "block {} ({label:?}) has no terminator", block.0)
+            }
+            VerifyError::DanglingBlock { from, to } => {
+                write!(f, "block {} references nonexistent block {}", from.0, to.0)
+            }
+            VerifyError::UndeclaredLocal { block, local } => {
+                write!(f, "block {} references undeclared local {}", block.0, local.0)
+            }
+            VerifyError::EmptyFnTable { block } => {
+                write!(f, "block {} performs an indirect call but the fn table is empty", block.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn check_expr(
+    prog: &Program,
+    block: BlockId,
+    e: &Expr,
+) -> Result<(), VerifyError> {
+    let mut err = None;
+    e.visit(&mut |n| {
+        if let Expr::Local(l) = n {
+            if l.0 as usize >= prog.locals.len() && err.is_none() {
+                err = Some(VerifyError::UndeclaredLocal { block, local: *l });
+            }
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn exprs_of_stmt(s: &Stmt) -> Vec<&Expr> {
+    use crate::ir::Intrinsic as I;
+    match s {
+        Stmt::SetVar(_, e) | Stmt::SetLocal(_, e) | Stmt::BufFill(_, e) => vec![e],
+        Stmt::BufStore(_, a, b) => vec![a, b],
+        Stmt::CopyPayload { buf_off, len, .. } => vec![buf_off, len],
+        Stmt::Intrinsic(i) => match i {
+            I::DmaToBuf { buf_off, gpa, len, .. } | I::DmaFromBuf { buf_off, gpa, len, .. } => {
+                vec![buf_off, gpa, len]
+            }
+            I::DmaLoadVar { gpa, .. } => vec![gpa],
+            I::DmaStore { gpa, value, .. } => vec![gpa, value],
+            I::IrqRaise { line } | I::IrqLower { line } => vec![line],
+            I::IoReply { value } => vec![value],
+            I::DiskReadToBuf { buf_off, sector, .. } | I::DiskWriteFromBuf { buf_off, sector, .. } => {
+                vec![buf_off, sector]
+            }
+            I::NetTransmit { off, len, .. } => vec![off, len],
+            I::DelayNs { ns } => vec![ns],
+            I::Note(_) => vec![],
+        },
+    }
+}
+
+/// Validates a program's structure.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered, if any.
+pub fn verify(prog: &Program) -> Result<(), VerifyError> {
+    let n = prog.blocks.len() as u32;
+    let valid = |b: BlockId| b.0 < n;
+    if !valid(prog.entry) {
+        return Err(VerifyError::DanglingBlock { from: prog.entry, to: prog.entry });
+    }
+    for (i, blk) in prog.blocks.iter().enumerate() {
+        let id = BlockId(i as u32);
+        for s in &blk.stmts {
+            if let Stmt::SetLocal(l, _) = s {
+                if l.0 as usize >= prog.locals.len() {
+                    return Err(VerifyError::UndeclaredLocal { block: id, local: *l });
+                }
+            }
+            for e in exprs_of_stmt(s) {
+                check_expr(prog, id, e)?;
+            }
+        }
+        match &blk.term {
+            Terminator::Branch { cond, .. } => check_expr(prog, id, cond)?,
+            Terminator::Switch { scrutinee, .. } => check_expr(prog, id, scrutinee)?,
+            _ => {}
+        }
+        for to in blk.term.successors() {
+            if !valid(to) {
+                return Err(VerifyError::DanglingBlock { from: id, to });
+            }
+        }
+        if let Terminator::IndirectCall { .. } = blk.term {
+            if prog.fn_table.is_empty() {
+                return Err(VerifyError::EmptyFnTable { block: id });
+            }
+        }
+    }
+    for (&fid, &target) in &prog.fn_table {
+        if !valid(target) {
+            let _ = fid;
+            return Err(VerifyError::DanglingBlock { from: prog.entry, to: target });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Block, BlockKind};
+    use std::collections::BTreeMap;
+
+    fn one_block(term: Terminator) -> Program {
+        Program {
+            name: "t".into(),
+            blocks: vec![Block { label: "b".into(), stmts: vec![], term, kind: BlockKind::Plain }],
+            entry: BlockId(0),
+            fn_table: BTreeMap::new(),
+            locals: vec![],
+        }
+    }
+
+    #[test]
+    fn accepts_minimal_program() {
+        assert!(verify(&one_block(Terminator::Exit)).is_ok());
+    }
+
+    #[test]
+    fn rejects_dangling_jump() {
+        let p = one_block(Terminator::Jump(BlockId(5)));
+        assert!(matches!(verify(&p), Err(VerifyError::DanglingBlock { .. })));
+    }
+
+    #[test]
+    fn rejects_undeclared_local() {
+        let mut p = one_block(Terminator::Exit);
+        p.blocks[0].stmts.push(Stmt::SetLocal(LocalId(0), Expr::lit(1)));
+        assert!(matches!(verify(&p), Err(VerifyError::UndeclaredLocal { .. })));
+    }
+
+    #[test]
+    fn rejects_indirect_call_without_table() {
+        let p = one_block(Terminator::IndirectCall { ptr: crate::ir::VarId(0), ret: BlockId(0) });
+        assert!(matches!(verify(&p), Err(VerifyError::EmptyFnTable { .. })));
+    }
+
+    #[test]
+    fn rejects_dangling_fn_table_target() {
+        let mut p = one_block(Terminator::Exit);
+        p.fn_table.insert(1, BlockId(9));
+        assert!(matches!(verify(&p), Err(VerifyError::DanglingBlock { .. })));
+    }
+
+    #[test]
+    fn checks_branch_condition_locals() {
+        let mut p = one_block(Terminator::Branch {
+            cond: Expr::local(LocalId(3)),
+            taken: BlockId(0),
+            not_taken: BlockId(0),
+        });
+        p.locals = vec![];
+        assert!(matches!(verify(&p), Err(VerifyError::UndeclaredLocal { .. })));
+    }
+}

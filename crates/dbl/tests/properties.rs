@@ -1,0 +1,199 @@
+//! Property-based tests for the DBL value model and control-structure
+//! arena — the foundations everything above depends on.
+
+use proptest::prelude::*;
+use sedspec_dbl::ir::{BinOp, UnOp, Width};
+use sedspec_dbl::state::{AccessEffect, ControlStructure};
+use sedspec_dbl::value::{apply_binop, apply_unop, OverflowKind, TypedValue};
+
+fn widths() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W8), Just(Width::W16), Just(Width::W32), Just(Width::W64)]
+}
+
+fn typed_values() -> impl Strategy<Value = TypedValue> {
+    (any::<u64>(), widths(), any::<bool>()).prop_map(|(bits, w, signed)| {
+        if signed {
+            TypedValue::signed(bits, w)
+        } else {
+            TypedValue::unsigned(bits, w)
+        }
+    })
+}
+
+proptest! {
+    /// Wrapping addition/subtraction/multiplication agree with exact
+    /// i128 arithmetic reduced to the result width, and the overflow
+    /// flag is set exactly when the exact result does not fit.
+    #[test]
+    fn arithmetic_matches_i128_semantics(a in typed_values(), b in typed_values(),
+                                         op in prop_oneof![Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)]) {
+        let (v, of) = apply_binop(op, a, b).unwrap();
+        let exact: Option<i128> = match op {
+            BinOp::Add => a.as_i128().checked_add(b.as_i128()),
+            BinOp::Sub => a.as_i128().checked_sub(b.as_i128()),
+            BinOp::Mul => a.as_i128().checked_mul(b.as_i128()),
+            _ => unreachable!(),
+        };
+        match exact {
+            None => prop_assert_eq!(of, OverflowKind::Arithmetic),
+            Some(exact) => {
+                prop_assert_eq!(of == OverflowKind::None, v.as_i128() == exact,
+                    "value {:?} exact {}", v, exact);
+                // The stored bits always equal the exact result mod 2^width.
+                if v.width != Width::W64 {
+                    let m = v.width.mask() as i128 + 1;
+                    prop_assert_eq!(v.bits as i128, exact.rem_euclid(m));
+                } else {
+                    prop_assert_eq!(v.bits, exact as u64);
+                }
+            }
+        }
+    }
+
+    /// Comparisons agree with the mathematical order of the signed
+    /// interpretations.
+    #[test]
+    fn comparisons_are_consistent(a in typed_values(), b in typed_values()) {
+        let lt = apply_binop(BinOp::Lt, a, b).unwrap().0.is_true();
+        let gt = apply_binop(BinOp::Gt, a, b).unwrap().0.is_true();
+        let eq = apply_binop(BinOp::Eq, a, b).unwrap().0.is_true();
+        let ne = apply_binop(BinOp::Ne, a, b).unwrap().0.is_true();
+        let le = apply_binop(BinOp::Le, a, b).unwrap().0.is_true();
+        let ge = apply_binop(BinOp::Ge, a, b).unwrap().0.is_true();
+        prop_assert_eq!(lt, a.as_i128() < b.as_i128());
+        prop_assert_eq!(eq, a.as_i128() == b.as_i128());
+        prop_assert_eq!(ne, !eq);
+        prop_assert_eq!(le, lt || eq);
+        prop_assert_eq!(ge, gt || eq);
+        prop_assert!(!(lt && gt));
+    }
+
+    /// Bitwise operators never report overflow and respect involution /
+    /// identity laws.
+    #[test]
+    fn bitwise_laws(a in typed_values(), b in typed_values()) {
+        let (and, of1) = apply_binop(BinOp::And, a, b).unwrap();
+        let (or, of2) = apply_binop(BinOp::Or, a, b).unwrap();
+        let (xor, of3) = apply_binop(BinOp::Xor, a, b).unwrap();
+        prop_assert_eq!(of1, OverflowKind::None);
+        prop_assert_eq!(of2, OverflowKind::None);
+        prop_assert_eq!(of3, OverflowKind::None);
+        // xor ^ b == a (restricted to the result width).
+        let (back, _) = apply_binop(BinOp::Xor, xor, TypedValue::unsigned(b.bits, xor.width)).unwrap();
+        prop_assert_eq!(back.bits, a.bits & xor.width.mask());
+        prop_assert_eq!(and.bits | or.bits, or.bits);
+        // Double complement is the identity at the value's width.
+        let nn = apply_unop(UnOp::Not, apply_unop(UnOp::Not, a));
+        prop_assert_eq!(nn.bits, a.bits);
+    }
+
+    /// Division and remainder satisfy the Euclidean identity whenever
+    /// they are defined, and only b == 0 is an error.
+    #[test]
+    fn div_rem_identity(a in typed_values(), b in typed_values()) {
+        let div = apply_binop(BinOp::Div, a, b);
+        let rem = apply_binop(BinOp::Rem, a, b);
+        if b.as_i128() == 0 {
+            prop_assert!(div.is_err() && rem.is_err());
+        } else {
+            let (q, _) = div.unwrap();
+            let (r, _) = rem.unwrap();
+            // q * b + r == a, computed exactly (q/r are in-range by
+            // construction except i128::MIN-style edge wraps, which the
+            // width reduction handles before we get here).
+            prop_assert_eq!(q.as_i128() * b.as_i128() + r.as_i128(), a.as_i128());
+        }
+    }
+
+    /// Conversion reports truncation exactly when the mathematical value
+    /// changes, and converting to the same type is the identity.
+    #[test]
+    fn conversion_roundtrip(v in typed_values(), w in widths(), signed in any::<bool>()) {
+        let (c, truncated) = v.convert(w, signed);
+        prop_assert_eq!(truncated, c.as_i128() != v.as_i128());
+        let (same, kept) = v.convert(v.width, v.signed);
+        prop_assert!(!kept);
+        prop_assert_eq!(same.bits, v.bits);
+        // Widening an unsigned value never truncates.
+        if !v.signed && w.bits() >= v.width.bits() && !signed {
+            let (wide, t) = v.convert(w, false);
+            prop_assert!(!t);
+            prop_assert_eq!(wide.as_i128(), v.as_i128());
+        }
+        let _ = c;
+    }
+
+    /// Left shifts equal multiplication by a power of two when exact.
+    #[test]
+    fn shl_is_scaling(a in typed_values(), sh in 0u64..16) {
+        let (v, _) = apply_binop(BinOp::Shl, a, TypedValue::u64(sh)).unwrap();
+        prop_assert_eq!(v.bits, a.bits.wrapping_shl(sh as u32) & v.width.mask());
+    }
+}
+
+// ------------------------- control-structure arena -------------------
+
+proptest! {
+    /// Scalar fields round-trip through the arena at their width.
+    #[test]
+    fn var_roundtrip(vals in proptest::collection::vec((any::<u64>(), widths()), 1..12)) {
+        let mut cs = ControlStructure::new("P");
+        let ids: Vec<_> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, w))| cs.var(format!("v{i}"), w))
+            .collect();
+        let mut st = cs.instantiate();
+        for (&(val, w), &id) in vals.iter().zip(&ids) {
+            st.set_var(id, val);
+            prop_assert_eq!(st.var(id), val & w.mask());
+        }
+        // Writing one field never disturbs the others.
+        for (&(val, w), &id) in vals.iter().zip(&ids) {
+            prop_assert_eq!(st.var(id), val & w.mask(), "field {:?} clobbered", id);
+        }
+    }
+
+    /// In-bounds buffer accesses round-trip and report `InBounds`;
+    /// past-the-end accesses within the arena report `Spilled` and land
+    /// exactly on the following field's bytes.
+    #[test]
+    fn buffer_spill_lands_on_next_field(len in 1usize..64, idx in 0i64..96, byte in any::<u8>()) {
+        let mut cs = ControlStructure::new("P");
+        let buf = cs.buffer("buf", len);
+        let tail = cs.var("tail", Width::W64);
+        let mut st = cs.instantiate();
+        let arena = st.arena_size() as i64;
+        let r = st.buf_write(buf, idx, byte);
+        if idx < arena {
+            let effect = r.unwrap();
+            if (idx as usize) < len {
+                prop_assert_eq!(effect, AccessEffect::InBounds);
+                prop_assert_eq!(st.buf_read(buf, idx).unwrap().0, byte);
+                prop_assert_eq!(st.var(tail), 0);
+            } else {
+                prop_assert_eq!(effect, AccessEffect::Spilled);
+                let lane = (idx as usize - len) as u32;
+                prop_assert_eq!(st.var(tail), u64::from(byte) << (8 * lane));
+            }
+        } else {
+            prop_assert!(r.is_err());
+        }
+    }
+
+    /// `instantiate` always applies declared initial values, and
+    /// `buf_fill` touches exactly the declared extent.
+    #[test]
+    fn init_and_fill(init in any::<u64>(), len in 1usize..48, fill in any::<u8>()) {
+        let mut cs = ControlStructure::new("P");
+        let head = cs.var_full("head", Width::W32, false, sedspec_dbl::state::VarRole::Register, init);
+        let buf = cs.buffer("buf", len);
+        let tail = cs.var_full("tail", Width::W32, false, sedspec_dbl::state::VarRole::Scalar, init);
+        let mut st = cs.instantiate();
+        prop_assert_eq!(st.var(head), init & Width::W32.mask());
+        st.buf_fill(buf, fill);
+        prop_assert!(st.buf_bytes(buf).iter().all(|&b| b == fill));
+        prop_assert_eq!(st.var(head), init & Width::W32.mask());
+        prop_assert_eq!(st.var(tail), init & Width::W32.mask());
+    }
+}

@@ -1,0 +1,688 @@
+//! USB EHCI host controller with an attached USB device model
+//! (QEMU `hw/usb/hcd-ehci.c` + `hw/usb/core.c`).
+//!
+//! The guest programs the operational registers over MMIO, queues
+//! transfer descriptors (qTDs) in memory, and rings a doorbell; the
+//! controller fetches the qTD and dispatches its token PID to the
+//! attached device's control-transfer state machine: SETUP writes the
+//! 8-byte setup packet into `setup_buf`, IN/OUT move the data stage
+//! through `data_buf` at `setup_index`, bounded by `setup_len`.
+//!
+//! **CVE-2020-14364** ([`QemuVersion::V5_1_0`] and earlier): in
+//! `do_token_setup` the device stores `setup_len` (from the guest's
+//! `wLength`) and advances the setup state *before* validating it
+//! against `sizeof(data_buf)`. An oversized `wLength` therefore persists,
+//! and subsequent IN/OUT tokens walk `setup_index` past the 4096-byte
+//! `data_buf` — first reading out-of-bounds (information leak), then on
+//! OUT overwriting the fields behind the buffer: `setup_index` itself
+//! (the "negative integer" instance the paper describes) and the `irq`
+//! function pointer dispatched at transfer completion.
+
+use sedspec_dbl::builder::ProgramBuilder;
+use sedspec_dbl::ir::Width::{W32, W8};
+use sedspec_dbl::ir::{BinOp, BufId, Expr, Intrinsic, Program, VarId};
+use sedspec_dbl::state::ControlStructure;
+use sedspec_vmm::AddressSpace;
+
+use crate::{Device, EntryPoint, QemuVersion};
+
+/// EHCI interrupt line.
+pub const EHCI_IRQ: u64 = 10;
+/// Base of the claimed MMIO window.
+pub const EHCI_BASE: u64 = 0x2000;
+/// USB device data buffer size (QEMU `USBDevice::data_buf`).
+pub const DATA_BUF_SIZE: u64 = 4096;
+/// Function-pointer id of the legitimate completion handler.
+pub const IRQ_HANDLER_FN: u64 = 0x60;
+
+/// Operational register offsets.
+pub mod reg {
+    /// USB command.
+    pub const USBCMD: u64 = 0x00;
+    /// USB status (write 1 to clear).
+    pub const USBSTS: u64 = 0x04;
+    /// Interrupt enable.
+    pub const USBINTR: u64 = 0x08;
+    /// Frame index.
+    pub const FRINDEX: u64 = 0x0c;
+    /// Async schedule list head.
+    pub const ASYNCLISTADDR: u64 = 0x18;
+    /// Doorbell: process the qTD at ASYNCLISTADDR.
+    pub const DOORBELL: u64 = 0x20;
+    /// Port status/control.
+    pub const PORTSC: u64 = 0x24;
+}
+
+/// Token PIDs.
+pub mod pid {
+    /// SETUP token.
+    pub const SETUP: u64 = 0x2d;
+    /// IN token (device to guest).
+    pub const IN: u64 = 0x69;
+    /// OUT token (guest to device).
+    pub const OUT: u64 = 0xe1;
+}
+
+/// USBSTS bits.
+pub mod sts {
+    /// Transaction interrupt.
+    pub const INT: u64 = 0x01;
+    /// Error interrupt.
+    pub const ERR: u64 = 0x02;
+}
+
+/// Setup FSM states.
+mod setup_state {
+    pub const IDLE: u64 = 0;
+    pub const DATA: u64 = 1;
+    pub const ACK: u64 = 2;
+}
+
+struct Vars {
+    usbcmd: VarId,
+    usbsts: VarId,
+    usbintr: VarId,
+    frindex: VarId,
+    asynclistaddr: VarId,
+    portsc: VarId,
+    qtd_token: VarId,
+    qtd_buf: VarId,
+    dev_addr: VarId,
+    config: VarId,
+    setup_state_v: VarId,
+    xfer_len: VarId,
+    xfer_rem: VarId,
+    setup_buf: BufId,
+    setup_len: VarId,
+    data_buf: BufId,
+    setup_index: VarId,
+    irq: VarId,
+}
+
+fn control_structure() -> (ControlStructure, Vars) {
+    let mut cs = ControlStructure::new("EHCIState+USBDevice");
+    let usbcmd = cs.register("usbcmd", W32, 0);
+    let usbsts = cs.register("usbsts", W32, 0);
+    let usbintr = cs.register("usbintr", W32, 0);
+    let frindex = cs.register("frindex", W32, 0);
+    let asynclistaddr = cs.register("asynclistaddr", W32, 0);
+    let portsc = cs.register("portsc", W32, 0x1000); // port powered
+    let qtd_token = cs.var("qtd_token", W32);
+    let qtd_buf = cs.var("qtd_buf", W32);
+    let dev_addr = cs.var("dev_addr", W8);
+    let config = cs.var("config", W8);
+    let setup_state_v = cs.var("setup_state", W8);
+    let xfer_len = cs.var("xfer_len", W32);
+    let xfer_rem = cs.var_signed("xfer_rem", W32);
+    let setup_buf = cs.buffer("setup_buf", 8);
+    let setup_len = cs.var_signed("setup_len", W32);
+    // The CVE-critical adjacency: data_buf, then setup_index, then irq.
+    let data_buf = cs.buffer("data_buf", DATA_BUF_SIZE as usize);
+    let setup_index = cs.var_signed("setup_index", W32);
+    let irq = cs.fn_ptr("irq", IRQ_HANDLER_FN);
+    // The rest of QEMU's USBDevice (string table, endpoint state, ...):
+    // out-of-bounds reads leak from here instead of crashing outright.
+    let _trailing = cs.buffer("usbdevice_tail", 1024);
+    (
+        cs,
+        Vars {
+            usbcmd,
+            usbsts,
+            usbintr,
+            frindex,
+            asynclistaddr,
+            portsc,
+            qtd_token,
+            qtd_buf,
+            dev_addr,
+            config,
+            setup_state_v,
+            xfer_len,
+            xfer_rem,
+            setup_buf,
+            setup_len,
+            data_buf,
+            setup_index,
+            irq,
+        },
+    )
+}
+
+fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
+    let unvalidated_setup_len = version.has_vulnerability(QemuVersion::V5_1_0); // CVE-2020-14364
+    let mut b = ProgramBuilder::new("ehci_mmio_write");
+
+    let entry = b.entry_block("entry");
+    let done = b.exit_block("done");
+    let cmd_w = b.block("usbcmd_write");
+    let sts_w = b.block("usbsts_ack");
+    let intr_w = b.block("usbintr_write");
+    let frindex_w = b.block("frindex_write");
+    let async_w = b.block("asynclistaddr_write");
+    let portsc_w = b.block("portsc_write");
+    let port_reset = b.cmd_end_block("port_reset");
+    let doorbell = b.block("doorbell");
+    let fetch_qtd = b.block("qtd_fetch");
+    let token_dispatch = b.cmd_decision_block("token_dispatch");
+    let tok_setup = b.block("do_token_setup");
+    let setup_check = b.block("setup_length_check");
+    let setup_err = b.block("setup_stall");
+    let setup_decode = b.block("setup_request_decode");
+    let desc_dispatch = b.block("descriptor_type_dispatch");
+    let fill_dev_desc = b.block("fill_device_descriptor");
+    let fill_conf_desc = b.block("fill_config_descriptor");
+    let fill_str_desc = b.block("fill_string_descriptor");
+    let chk_set_addr = b.block("check_set_address");
+    let do_set_addr = b.block("set_address");
+    let chk_set_conf = b.block("check_set_configuration");
+    let do_set_conf = b.block("set_configuration");
+    let setup_done = b.block("setup_complete");
+    let tok_in = b.block("do_token_in");
+    let in_active = b.block("in_data_stage");
+    let in_clamp = b.block("in_clamp_to_remaining");
+    let in_copy = b.block("in_copy_to_guest");
+    let in_last = b.cmd_end_block("in_transfer_complete");
+    let tok_out = b.block("do_token_out");
+    let out_ack = b.cmd_end_block("out_status_ack");
+    let out_nak = b.block("out_nak");
+    let out_active = b.block("out_data_stage");
+    let out_clamp = b.block("out_clamp_to_remaining");
+    let out_copy = b.block("out_copy_from_guest");
+    let out_last = b.cmd_end_block("out_transfer_complete");
+    let nak = b.block("token_nak");
+    let irq_fn = b.block("completion_handler");
+    let irq_ret = b.exit_block("irq_return");
+
+    b.register_fn(IRQ_HANDLER_FN, irq_fn);
+
+    b.select(entry);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::IoAddr, Expr::lit(0x3f)),
+        vec![
+            (reg::USBCMD, cmd_w),
+            (reg::USBSTS, sts_w),
+            (reg::USBINTR, intr_w),
+            (reg::FRINDEX, frindex_w),
+            (reg::ASYNCLISTADDR, async_w),
+            (reg::DOORBELL, doorbell),
+            (reg::PORTSC, portsc_w),
+        ],
+        done,
+    );
+
+    b.select(cmd_w);
+    b.set_var(v.usbcmd, Expr::IoData);
+    b.jump(done);
+
+    b.select(sts_w);
+    b.set_var(
+        v.usbsts,
+        Expr::bin(
+            BinOp::And,
+            Expr::var(v.usbsts),
+            Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::IoData),
+        ),
+    );
+    b.jump(done);
+
+    b.select(intr_w);
+    b.set_var(v.usbintr, Expr::IoData);
+    b.jump(done);
+
+    b.select(frindex_w);
+    b.set_var(v.frindex, Expr::IoData);
+    b.jump(done);
+
+    b.select(async_w);
+    b.set_var(v.asynclistaddr, Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0xffff_ffe0)));
+    b.jump(done);
+
+    b.select(portsc_w);
+    b.set_var(v.portsc, Expr::IoData);
+    // Port reset bit resets the attached device.
+    b.branch(
+        Expr::ne(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0x100)), Expr::lit(0)),
+        port_reset,
+        done,
+    );
+    b.select(port_reset);
+    b.set_var(v.dev_addr, Expr::lit(0));
+    b.set_var(v.config, Expr::lit(0));
+    b.set_var(v.setup_state_v, Expr::lit(setup_state::IDLE));
+    b.set_var(v.setup_len, Expr::lit(0));
+    b.set_var(v.setup_index, Expr::lit(0));
+    b.jump(done);
+
+    // Doorbell: only when the schedule is running.
+    b.select(doorbell);
+    b.branch(
+        Expr::eq(Expr::bin(BinOp::And, Expr::var(v.usbcmd), Expr::lit(1)), Expr::lit(0)),
+        done,
+        fetch_qtd,
+    );
+
+    b.select(fetch_qtd);
+    b.intrinsic(Intrinsic::DmaLoadVar { var: v.qtd_token, gpa: Expr::var(v.asynclistaddr), width: W32 });
+    b.intrinsic(Intrinsic::DmaLoadVar {
+        var: v.qtd_buf,
+        gpa: Expr::bin(BinOp::Add, Expr::var(v.asynclistaddr), Expr::lit(4)),
+        width: W32,
+    });
+    b.jump(token_dispatch);
+
+    // The command decision block: dispatch on the token PID.
+    b.select(token_dispatch);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::var(v.qtd_token), Expr::lit(0xff)),
+        vec![(pid::SETUP, tok_setup), (pid::IN, tok_in), (pid::OUT, tok_out)],
+        nak,
+    );
+
+    // --- SETUP ---
+    b.select(tok_setup);
+    b.intrinsic(Intrinsic::DmaToBuf {
+        buf: v.setup_buf,
+        buf_off: Expr::lit(0),
+        gpa: Expr::var(v.qtd_buf),
+        len: Expr::lit(8),
+    });
+    let wlength = Expr::bin(
+        BinOp::Or,
+        Expr::buf(v.setup_buf, Expr::lit(6)),
+        Expr::bin(BinOp::Shl, Expr::buf(v.setup_buf, Expr::lit(7)), Expr::lit(8)),
+    );
+    if unvalidated_setup_len {
+        // Vulnerable: commit setup_len and the FSM state, then check.
+        b.intrinsic(Intrinsic::Note("CVE-2020-14364: setup_len stored before validation".into()));
+        b.set_var(v.setup_len, wlength.clone());
+        b.set_var(v.setup_index, Expr::lit(0));
+        b.set_var(v.setup_state_v, Expr::lit(setup_state::DATA));
+        b.jump(setup_check);
+    } else {
+        // Patched: validate first; only then commit.
+        let ok = b.block("setup_commit");
+        b.branch(Expr::bin(BinOp::Gt, wlength.clone(), Expr::lit(DATA_BUF_SIZE)), setup_err, ok);
+        b.select(ok);
+        b.set_var(v.setup_len, wlength);
+        b.set_var(v.setup_index, Expr::lit(0));
+        b.set_var(v.setup_state_v, Expr::lit(setup_state::DATA));
+        b.jump(setup_decode);
+    }
+
+    b.select(setup_check);
+    b.branch(
+        Expr::bin(BinOp::Gt, Expr::var(v.setup_len), Expr::lit(DATA_BUF_SIZE)),
+        setup_err,
+        setup_decode,
+    );
+
+    b.select(setup_err);
+    b.set_var(v.usbsts, Expr::bin(BinOp::Or, Expr::var(v.usbsts), Expr::lit(sts::ERR)));
+    b.jump(done);
+
+    // Decode the standard request.
+    b.select(setup_decode);
+    b.branch(
+        Expr::eq(Expr::buf(v.setup_buf, Expr::lit(1)), Expr::lit(0x06)),
+        desc_dispatch,
+        chk_set_addr,
+    );
+
+    b.select(desc_dispatch);
+    b.switch(
+        Expr::buf(v.setup_buf, Expr::lit(3)),
+        vec![(1, fill_dev_desc), (2, fill_conf_desc), (3, fill_str_desc)],
+        setup_done,
+    );
+
+    // A fixed 18-byte device descriptor (full-speed hub-less device).
+    b.select(fill_dev_desc);
+    for (i, byte) in [18u64, 1, 0, 2, 0, 0, 0, 64, 0x27, 0x06, 0x01, 0x00, 0x10, 0x05, 1, 2, 3, 1]
+        .into_iter()
+        .enumerate()
+    {
+        b.buf_store(v.data_buf, Expr::lit(i as u64), Expr::lit(byte));
+    }
+    b.jump(setup_done);
+
+    b.select(fill_conf_desc);
+    for (i, byte) in [9u64, 2, 32, 0, 1, 1, 0, 0xa0, 50].into_iter().enumerate() {
+        b.buf_store(v.data_buf, Expr::lit(i as u64), Expr::lit(byte));
+    }
+    b.jump(setup_done);
+
+    b.select(fill_str_desc);
+    for (i, byte) in [4u64, 3, 0x09, 0x04].into_iter().enumerate() {
+        b.buf_store(v.data_buf, Expr::lit(i as u64), Expr::lit(byte));
+    }
+    b.jump(setup_done);
+
+    b.select(chk_set_addr);
+    b.branch(Expr::eq(Expr::buf(v.setup_buf, Expr::lit(1)), Expr::lit(0x05)), do_set_addr, chk_set_conf);
+    b.select(do_set_addr);
+    b.set_var(v.dev_addr, Expr::buf(v.setup_buf, Expr::lit(2)));
+    b.set_var(v.setup_state_v, Expr::lit(setup_state::ACK));
+    b.jump(setup_done);
+
+    b.select(chk_set_conf);
+    b.branch(Expr::eq(Expr::buf(v.setup_buf, Expr::lit(1)), Expr::lit(0x09)), do_set_conf, setup_done);
+    b.select(do_set_conf);
+    b.set_var(v.config, Expr::buf(v.setup_buf, Expr::lit(2)));
+    b.set_var(v.setup_state_v, Expr::lit(setup_state::ACK));
+    b.jump(setup_done);
+
+    b.select(setup_done);
+    b.set_var(v.usbsts, Expr::bin(BinOp::Or, Expr::var(v.usbsts), Expr::lit(sts::INT)));
+    b.indirect_call(v.irq, irq_ret);
+
+    // --- IN: data stage, device to guest ---
+    b.select(tok_in);
+    b.branch(
+        Expr::eq(Expr::var(v.setup_state_v), Expr::lit(setup_state::DATA)),
+        in_active,
+        nak,
+    );
+
+    b.select(in_active);
+    b.set_var(
+        v.xfer_len,
+        Expr::bin(BinOp::And, Expr::bin(BinOp::Shr, Expr::var(v.qtd_token), Expr::lit(16)), Expr::lit(0x7fff)),
+    );
+    b.set_var(v.xfer_rem, Expr::bin(BinOp::Sub, Expr::var(v.setup_len), Expr::var(v.setup_index)));
+    b.branch(
+        Expr::bin(BinOp::Gt, Expr::var(v.xfer_len), Expr::var(v.xfer_rem)),
+        in_clamp,
+        in_copy,
+    );
+    b.select(in_clamp);
+    b.set_var(v.xfer_len, Expr::var(v.xfer_rem));
+    b.jump(in_copy);
+
+    b.select(in_copy);
+    b.intrinsic(Intrinsic::DmaFromBuf {
+        buf: v.data_buf,
+        buf_off: Expr::var(v.setup_index),
+        gpa: Expr::var(v.qtd_buf),
+        len: Expr::var(v.xfer_len),
+    });
+    b.set_var(v.setup_index, Expr::bin(BinOp::Add, Expr::var(v.setup_index), Expr::var(v.xfer_len)));
+    b.branch(
+        Expr::bin(BinOp::Ge, Expr::var(v.setup_index), Expr::var(v.setup_len)),
+        in_last,
+        done,
+    );
+
+    b.select(in_last);
+    b.set_var(v.setup_state_v, Expr::lit(setup_state::ACK));
+    b.set_var(v.usbsts, Expr::bin(BinOp::Or, Expr::var(v.usbsts), Expr::lit(sts::INT)));
+    b.indirect_call(v.irq, irq_ret);
+
+    // --- OUT: data stage (guest to device) or status ACK ---
+    b.select(tok_out);
+    b.branch(
+        Expr::eq(Expr::var(v.setup_state_v), Expr::lit(setup_state::DATA)),
+        out_active,
+        out_nak,
+    );
+    b.select(out_nak);
+    b.branch(Expr::eq(Expr::var(v.setup_state_v), Expr::lit(setup_state::ACK)), out_ack, nak);
+    b.select(out_ack);
+    b.set_var(v.setup_state_v, Expr::lit(setup_state::IDLE));
+    b.set_var(v.usbsts, Expr::bin(BinOp::Or, Expr::var(v.usbsts), Expr::lit(sts::INT)));
+    b.jump(done);
+
+    b.select(out_active);
+    b.set_var(
+        v.xfer_len,
+        Expr::bin(BinOp::And, Expr::bin(BinOp::Shr, Expr::var(v.qtd_token), Expr::lit(16)), Expr::lit(0x7fff)),
+    );
+    b.set_var(v.xfer_rem, Expr::bin(BinOp::Sub, Expr::var(v.setup_len), Expr::var(v.setup_index)));
+    b.branch(
+        Expr::bin(BinOp::Gt, Expr::var(v.xfer_len), Expr::var(v.xfer_rem)),
+        out_clamp,
+        out_copy,
+    );
+    b.select(out_clamp);
+    b.set_var(v.xfer_len, Expr::var(v.xfer_rem));
+    b.jump(out_copy);
+
+    b.select(out_copy);
+    // The overflow site: data_buf indexed by setup_index, bounded only
+    // by the (attacker-controlled, unvalidated) setup_len.
+    b.intrinsic(Intrinsic::DmaToBuf {
+        buf: v.data_buf,
+        buf_off: Expr::var(v.setup_index),
+        gpa: Expr::var(v.qtd_buf),
+        len: Expr::var(v.xfer_len),
+    });
+    b.set_var(v.setup_index, Expr::bin(BinOp::Add, Expr::var(v.setup_index), Expr::var(v.xfer_len)));
+    b.branch(
+        Expr::bin(BinOp::Ge, Expr::var(v.setup_index), Expr::var(v.setup_len)),
+        out_last,
+        done,
+    );
+
+    b.select(out_last);
+    b.set_var(v.setup_state_v, Expr::lit(setup_state::ACK));
+    b.set_var(v.usbsts, Expr::bin(BinOp::Or, Expr::var(v.usbsts), Expr::lit(sts::INT)));
+    b.indirect_call(v.irq, irq_ret);
+
+    b.select(nak);
+    b.jump(done);
+
+    b.select(irq_fn);
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(EHCI_IRQ) });
+    b.ret();
+
+    b.finish().expect("ehci mmio_write program is well-formed")
+}
+
+fn build_mmio_read(v: &Vars) -> Program {
+    let mut b = ProgramBuilder::new("ehci_mmio_read");
+    let entry = b.entry_block("entry");
+    let done = b.exit_block("done");
+    let blocks: Vec<(u64, VarId, &str)> = vec![
+        (reg::USBCMD, v.usbcmd, "read_usbcmd"),
+        (reg::USBSTS, v.usbsts, "read_usbsts"),
+        (reg::USBINTR, v.usbintr, "read_usbintr"),
+        (reg::FRINDEX, v.frindex, "read_frindex"),
+        (reg::ASYNCLISTADDR, v.asynclistaddr, "read_asynclistaddr"),
+        (reg::PORTSC, v.portsc, "read_portsc"),
+    ];
+    let ids: Vec<_> = blocks.iter().map(|&(off, var, name)| (off, var, b.block(name))).collect();
+    let other = b.block("read_other");
+    b.select(entry);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::IoAddr, Expr::lit(0x3f)),
+        ids.iter().map(|&(off, _, blk)| (off, blk)).collect(),
+        other,
+    );
+    for &(_, var, blk) in &ids {
+        b.select(blk);
+        b.reply(Expr::var(var));
+        b.jump(done);
+    }
+    b.select(other);
+    b.reply(Expr::lit(0));
+    b.jump(done);
+    b.finish().expect("ehci mmio_read program is well-formed")
+}
+
+/// Builds the EHCI model at the given behaviour version.
+pub fn build(version: QemuVersion) -> Device {
+    let (cs, vars) = control_structure();
+    let write = build_mmio_write(&vars, version);
+    let read = build_mmio_read(&vars);
+    Device::assemble(
+        "USB EHCI",
+        version,
+        cs,
+        vec![(EntryPoint::MmioWrite, write), (EntryPoint::MmioRead, read)],
+        vec![(AddressSpace::Mmio, EHCI_BASE, 0x40)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_dbl::interp::Fault;
+    use sedspec_vmm::{IoRequest, VmContext};
+
+    fn ctx() -> VmContext {
+        VmContext::new(0x100000, 16)
+    }
+
+    fn w32(d: &mut Device, c: &mut VmContext, off: u64, val: u64) -> Result<u64, Fault> {
+        d.handle_io(c, &IoRequest::write(AddressSpace::Mmio, EHCI_BASE + off, 4, val)).map(|o| o.reply)
+    }
+
+    fn r32(d: &mut Device, c: &mut VmContext, off: u64) -> u64 {
+        d.handle_io(c, &IoRequest::read(AddressSpace::Mmio, EHCI_BASE + off, 4)).unwrap().reply
+    }
+
+    /// Queues a qTD (token, buffer pointer) at 0x1000 and rings the bell.
+    fn submit(
+        d: &mut Device,
+        c: &mut VmContext,
+        token: u32,
+        buf: u32,
+    ) -> Result<sedspec_dbl::interp::ExecOutcome, Fault> {
+        c.mem.write_u32(0x1000, token).unwrap();
+        c.mem.write_u32(0x1004, buf).unwrap();
+        d.handle_io(c, &IoRequest::write(AddressSpace::Mmio, EHCI_BASE + reg::DOORBELL, 4, 1))
+    }
+
+    fn setup_packet(c: &mut VmContext, gpa: u64, bm: u8, req: u8, val: u16, idx: u16, len: u16) {
+        c.mem
+            .write_bytes(
+                gpa,
+                &[bm, req, (val & 0xff) as u8, (val >> 8) as u8, (idx & 0xff) as u8, (idx >> 8) as u8, (len & 0xff) as u8, (len >> 8) as u8],
+            )
+            .unwrap();
+    }
+
+    fn enable(d: &mut Device, c: &mut VmContext) {
+        w32(d, c, reg::USBCMD, 1).unwrap();
+        w32(d, c, reg::ASYNCLISTADDR, 0x1000).unwrap();
+    }
+
+    #[test]
+    fn register_file_round_trips() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        w32(&mut d, &mut c, reg::USBINTR, 0x3f).unwrap();
+        assert_eq!(r32(&mut d, &mut c, reg::USBINTR), 0x3f);
+        assert_eq!(r32(&mut d, &mut c, reg::PORTSC), 0x1000);
+    }
+
+    #[test]
+    fn get_descriptor_control_transfer() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        enable(&mut d, &mut c);
+        // SETUP: GET_DESCRIPTOR(device), wLength = 18.
+        setup_packet(&mut c, 0x5000, 0x80, 0x06, 0x0100, 0, 18);
+        submit(&mut d, &mut c, pid::SETUP as u32, 0x5000).unwrap();
+        assert_ne!(r32(&mut d, &mut c, reg::USBSTS) & sts::INT, 0);
+        // IN: read the 18 bytes to guest memory at 0x6000.
+        submit(&mut d, &mut c, (18 << 16) | pid::IN as u32, 0x6000).unwrap();
+        let desc = c.mem.read_vec(0x6000, 18).unwrap();
+        assert_eq!(desc[0], 18); // bLength
+        assert_eq!(desc[1], 1); // DEVICE descriptor
+        assert_eq!(&desc[8..10], &[0x27, 0x06]); // idVendor
+        // Status: OUT zero-length ACK.
+        submit(&mut d, &mut c, pid::OUT as u32, 0).unwrap();
+        assert!(c.irqs.line(EHCI_IRQ as usize).is_raised());
+    }
+
+    #[test]
+    fn set_address_updates_device() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        enable(&mut d, &mut c);
+        setup_packet(&mut c, 0x5000, 0x00, 0x05, 7, 0, 0);
+        submit(&mut d, &mut c, pid::SETUP as u32, 0x5000).unwrap();
+        // dev_addr is internal; confirm via the control structure.
+        let addr_var = d.control.var_by_name("dev_addr").unwrap();
+        assert_eq!(d.state.var(addr_var), 7);
+    }
+
+    #[test]
+    fn port_reset_clears_device_state() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        enable(&mut d, &mut c);
+        setup_packet(&mut c, 0x5000, 0x00, 0x05, 9, 0, 0);
+        submit(&mut d, &mut c, pid::SETUP as u32, 0x5000).unwrap();
+        w32(&mut d, &mut c, reg::PORTSC, 0x1100).unwrap();
+        let addr_var = d.control.var_by_name("dev_addr").unwrap();
+        assert_eq!(d.state.var(addr_var), 0);
+    }
+
+    #[test]
+    fn doorbell_ignored_when_stopped() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        w32(&mut d, &mut c, reg::ASYNCLISTADDR, 0x1000).unwrap();
+        setup_packet(&mut c, 0x5000, 0x80, 0x06, 0x0100, 0, 18);
+        submit(&mut d, &mut c, pid::SETUP as u32, 0x5000).unwrap();
+        assert_eq!(r32(&mut d, &mut c, reg::USBSTS), 0);
+    }
+
+    #[test]
+    fn patched_version_stalls_oversized_wlength() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        enable(&mut d, &mut c);
+        setup_packet(&mut c, 0x5000, 0x80, 0x06, 0x0100, 0, 0xffff);
+        submit(&mut d, &mut c, pid::SETUP as u32, 0x5000).unwrap();
+        assert_ne!(r32(&mut d, &mut c, reg::USBSTS) & sts::ERR, 0);
+        // setup_len never committed: a follow-up OUT cannot overflow.
+        let len_var = d.control.var_by_name("setup_len").unwrap();
+        assert_eq!(d.state.var(len_var), 0);
+        let out = submit(&mut d, &mut c, (0x1000 << 16) | pid::OUT as u32, 0x7000).unwrap();
+        let _ = out;
+        let idx_var = d.control.var_by_name("setup_index").unwrap();
+        assert_eq!(d.state.var(idx_var), 0);
+    }
+
+    #[test]
+    fn cve_2020_14364_out_tokens_overflow_data_buf() {
+        let mut d = build(QemuVersion::V5_1_0);
+        let mut c = ctx();
+        enable(&mut d, &mut c);
+        // Oversized wLength is committed before validation.
+        setup_packet(&mut c, 0x5000, 0x00, 0x00, 0, 0, 0x1800); // 6144 > 4096
+        submit(&mut d, &mut c, pid::SETUP as u32, 0x5000).unwrap();
+        assert_ne!(r32(&mut d, &mut c, reg::USBSTS) & sts::ERR, 0);
+        let len_var = d.control.var_by_name("setup_len").unwrap();
+        assert_eq!(d.state.var(len_var), 0x1800); // the defect
+        // Attacker data that will land on setup_index and irq.
+        c.mem.write_bytes(0x7000, &[0x41u8; 0x1000]).unwrap();
+        // First OUT fills data_buf fully (4096 bytes), in bounds.
+        submit(&mut d, &mut c, (0x1000 << 16) | pid::OUT as u32, 0x7000).unwrap();
+        // Second OUT writes past data_buf: over setup_index, then irq.
+        let r = submit(&mut d, &mut c, (0x800 << 16) | pid::OUT as u32, 0x7000);
+        match r {
+            Err(Fault::WildIndirectCall { .. }) | Err(Fault::Arena(_)) => {}
+            Ok(out) => assert!(out.spills > 0, "expected out-of-bounds writes"),
+            Err(f) => panic!("unexpected fault {f:?}"),
+        }
+    }
+
+    #[test]
+    fn cve_2020_14364_in_tokens_leak_past_data_buf() {
+        let mut d = build(QemuVersion::V5_1_0);
+        let mut c = ctx();
+        enable(&mut d, &mut c);
+        setup_packet(&mut c, 0x5000, 0x80, 0x06, 0x0100, 0, 0x1400); // 5120
+        submit(&mut d, &mut c, pid::SETUP as u32, 0x5000).unwrap();
+        // Drain more than the buffer holds: the copy reads past data_buf.
+        submit(&mut d, &mut c, (0x1000 << 16) | pid::IN as u32, 0x6000).unwrap();
+        let out = submit(&mut d, &mut c, (0x400 << 16) | pid::IN as u32, 0x8000);
+        match out {
+            Ok(o) => assert!(o.spills > 0, "expected out-of-bounds reads"),
+            Err(f) => panic!("IN leak should not fault: {f:?}"),
+        }
+    }
+}

@@ -1,0 +1,767 @@
+//! Floppy disk controller (QEMU `hw/block/fdc.c`).
+//!
+//! Reproduces the 82078 FDC as QEMU emulates it: the PMIO register file
+//! at `0x3f0..0x3f8`, the 512-byte command/data FIFO, and the three-phase
+//! command state machine (command byte → parameter bytes → execution /
+//! result phase) for ten commands.
+//!
+//! **CVE-2015-3456 (Venom)** is reproduced on [`QemuVersion::V2_3_0`]:
+//! in the parameter phase of the DRIVE SPECIFICATION command the
+//! vulnerable code appends bytes at `fifo[data_pos++]` and decides
+//! completion *only* from a terminator bit pattern in the byte itself,
+//! never bounding `data_pos` — a guest that withholds the terminator
+//! walks `data_pos` past the 512-byte FIFO and corrupts the fields
+//! behind it. The patched behaviour additionally terminates once
+//! `data_pos` reaches `data_len`.
+
+use sedspec_dbl::builder::ProgramBuilder;
+use sedspec_dbl::ir::{BinOp, Expr, Intrinsic, Program};
+use sedspec_dbl::ir::Width::{W16, W32, W8};
+use sedspec_dbl::state::ControlStructure;
+use sedspec_vmm::AddressSpace;
+
+use crate::{Device, EntryPoint, QemuVersion};
+
+/// FDC interrupt line (ISA IRQ 6).
+pub const FDC_IRQ: u64 = 6;
+/// Base of the claimed port range.
+pub const FDC_BASE: u64 = 0x3f0;
+/// FIFO size in bytes (one sector).
+pub const FD_SECTOR_LEN: u64 = 512;
+
+/// MSR: request for master.
+pub const MSR_RQM: u64 = 0x80;
+/// MSR: data direction, set = controller to CPU.
+pub const MSR_DIO: u64 = 0x40;
+/// MSR: command in progress.
+pub const MSR_CMDBUSY: u64 = 0x10;
+
+/// FDC command opcodes (low five bits of the command byte).
+pub mod cmd {
+    /// SPECIFY.
+    pub const SPECIFY: u64 = 0x03;
+    /// SENSE DRIVE STATUS.
+    pub const SENSE_DRIVE_STATUS: u64 = 0x04;
+    /// WRITE DATA.
+    pub const WRITE: u64 = 0x05;
+    /// READ DATA.
+    pub const READ: u64 = 0x06;
+    /// RECALIBRATE.
+    pub const RECALIBRATE: u64 = 0x07;
+    /// SENSE INTERRUPT STATUS.
+    pub const SENSE_INTERRUPT_STATUS: u64 = 0x08;
+    /// READ ID.
+    pub const READ_ID: u64 = 0x0a;
+    /// FORMAT TRACK.
+    pub const FORMAT_TRACK: u64 = 0x0d;
+    /// DRIVE SPECIFICATION (the Venom path; full byte is 0x8e).
+    pub const DRIVE_SPEC: u64 = 0x0e;
+    /// SEEK.
+    pub const SEEK: u64 = 0x0f;
+}
+
+/// Data-phase states of the command FSM.
+mod st {
+    pub const IDLE: u64 = 0; // waiting for a command byte
+    pub const PARAMS: u64 = 1; // collecting parameter bytes
+    pub const DATA_WRITE: u64 = 2; // guest streams sector data in
+    pub const DATA_READ: u64 = 3; // guest reads result/sector data out
+}
+
+struct Vars {
+    dor: sedspec_dbl::ir::VarId,
+    tdr: sedspec_dbl::ir::VarId,
+    msr: sedspec_dbl::ir::VarId,
+    dsr: sedspec_dbl::ir::VarId,
+    ccr: sedspec_dbl::ir::VarId,
+    status0: sedspec_dbl::ir::VarId,
+    cur_cmd: sedspec_dbl::ir::VarId,
+    data_state: sedspec_dbl::ir::VarId,
+    fifo: sedspec_dbl::ir::BufId,
+    data_pos: sedspec_dbl::ir::VarId,
+    data_len: sedspec_dbl::ir::VarId,
+    track: sedspec_dbl::ir::VarId,
+    head: sedspec_dbl::ir::VarId,
+    sector: sedspec_dbl::ir::VarId,
+}
+
+fn control_structure() -> (ControlStructure, Vars) {
+    let mut cs = ControlStructure::new("FDCtrl");
+    // Field order mirrors the QEMU struct closely enough that the FIFO
+    // sits directly in front of the transfer bookkeeping it can clobber.
+    let dor = cs.register("dor", W8, 0x0c);
+    let tdr = cs.register("tdr", W8, 0);
+    let msr = cs.register("msr", W8, MSR_RQM);
+    let dsr = cs.register("dsr", W8, 0);
+    let ccr = cs.register("ccr", W8, 0);
+    let status0 = cs.var("status0", W8);
+    let cur_cmd = cs.var("cur_cmd", W8);
+    let data_state = cs.var("data_state", W8);
+    let fifo = cs.buffer("fifo", FD_SECTOR_LEN as usize);
+    let data_pos = cs.var("data_pos", W32);
+    let data_len = cs.var("data_len", W32);
+    // CHS position: W16 so the linear sector arithmetic (track*18+sector)
+    // cannot wrap — QEMU computes it at int width for the same reason.
+    let track = cs.var("track", W16);
+    let head = cs.var("head", W16);
+    let sector = cs.var("sector", W16);
+    (
+        cs,
+        Vars {
+            dor,
+            tdr,
+            msr,
+            dsr,
+            ccr,
+            status0,
+            cur_cmd,
+            data_state,
+            fifo,
+            data_pos,
+            data_len,
+            track,
+            head,
+            sector,
+        },
+    )
+}
+
+/// Linear sector index of the current CHS position: `track * 18 + sector`.
+fn chs_expr(v: &Vars) -> Expr {
+    Expr::bin(
+        BinOp::Add,
+        Expr::bin(BinOp::Mul, Expr::var(v.track), Expr::lit(18)),
+        Expr::var(v.sector),
+    )
+}
+
+fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
+    let venom = version.has_vulnerability(QemuVersion::V2_3_0);
+    let mut b = ProgramBuilder::new("fdc_pmio_write");
+
+    let entry = b.entry_block("entry");
+    let done = b.exit_block("done");
+    let dor_w = b.block("dor_write");
+    let motor_on = b.block("motor_on");
+    let motor_off = b.block("motor_off");
+    let dor_reset_chk = b.block("dor_reset_check");
+    let do_reset = b.cmd_end_block("controller_reset");
+    let tdr_w = b.block("tdr_write");
+    let dsr_w = b.block("dsr_write");
+    let ccr_w = b.block("ccr_write");
+    let fifo_w = b.block("fifo_write");
+    let fifo_w2 = b.block("fifo_write_params_check");
+    let fifo_w3 = b.block("fifo_write_data_check");
+    let cmd_start = b.cmd_decision_block("command_start");
+    let st_specify = b.block("setup_specify");
+    let st_sense_drv = b.block("setup_sense_drive");
+    let st_write = b.block("setup_write");
+    let st_read = b.block("setup_read");
+    let st_recal = b.block("setup_recalibrate");
+    let do_sense_int = b.block("sense_interrupt_status");
+    let st_read_id = b.block("setup_read_id");
+    let st_format = b.block("setup_format");
+    let st_drive_spec = b.block("setup_drive_spec");
+    let st_seek = b.block("setup_seek");
+    let unimpl = b.block("unimplemented_command");
+    let param_byte = b.block("param_byte");
+    let normal_param = b.block("param_count_check");
+    let ds_param = b.block("drive_spec_param");
+    let ds_chk_term = b.block("drive_spec_terminator_check");
+    let ds_overrun_chk = b.block("drive_spec_overrun_check");
+    let ds_overrun = b.block("drive_spec_overrun");
+    let ds_done = b.cmd_end_block("drive_spec_done");
+    let exec_cmd = b.cmd_decision_block("execute_command");
+    let ex_specify = b.cmd_end_block("exec_specify");
+    let ex_sense_drv = b.block("exec_sense_drive");
+    let ex_write_start = b.block("exec_write_start");
+    let ex_read = b.block("exec_read");
+    let ex_recal = b.cmd_end_block("exec_recalibrate");
+    let ex_read_id = b.block("exec_read_id");
+    let ex_format = b.block("exec_format");
+    let ex_seek = b.cmd_end_block("exec_seek");
+    let data_byte = b.block("sector_data_byte");
+    let wr_complete = b.block("write_sector_complete");
+
+    // --- port dispatch ---
+    b.select(entry);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::IoAddr, Expr::lit(7)),
+        vec![(2, dor_w), (3, tdr_w), (4, dsr_w), (5, fifo_w), (7, ccr_w)],
+        done,
+    );
+
+    b.select(dor_w);
+    b.set_var(v.dor, Expr::IoData);
+    // Motor handling (QEMU spins the drive up or down here). Neither
+    // side touches monitored device state, so the execution
+    // specification's control-flow reduction merges this branch away —
+    // the paper's §V-C case.
+    b.branch(
+        Expr::ne(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0x10)), Expr::lit(0)),
+        motor_on,
+        motor_off,
+    );
+    b.select(motor_on);
+    b.intrinsic(Intrinsic::Note("drive 0 motor on".into()));
+    b.jump(dor_reset_chk);
+    b.select(motor_off);
+    b.intrinsic(Intrinsic::Note("drive 0 motor off".into()));
+    b.jump(dor_reset_chk);
+
+    // DOR bit 2 low = enter reset.
+    b.select(dor_reset_chk);
+    b.branch(
+        Expr::eq(Expr::bin(BinOp::And, Expr::var(v.dor), Expr::lit(4)), Expr::lit(0)),
+        do_reset,
+        done,
+    );
+
+    b.select(do_reset);
+    b.set_var(v.msr, Expr::lit(MSR_RQM));
+    b.set_var(v.data_state, Expr::lit(st::IDLE));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_len, Expr::lit(0));
+    b.set_var(v.status0, Expr::lit(0xc0));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(FDC_IRQ) });
+    b.jump(done);
+
+    b.select(tdr_w);
+    b.set_var(v.tdr, Expr::IoData);
+    b.jump(done);
+
+    b.select(dsr_w);
+    b.set_var(v.dsr, Expr::IoData);
+    // DSR bit 7 = software reset.
+    b.branch(
+        Expr::ne(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0x80)), Expr::lit(0)),
+        do_reset,
+        done,
+    );
+
+    b.select(ccr_w);
+    b.set_var(v.ccr, Expr::IoData);
+    b.jump(done);
+
+    // --- FIFO write: command / parameter / data phases ---
+    b.select(fifo_w);
+    b.branch(Expr::eq(Expr::var(v.data_state), Expr::lit(st::IDLE)), cmd_start, fifo_w2);
+    b.select(fifo_w2);
+    b.branch(Expr::eq(Expr::var(v.data_state), Expr::lit(st::PARAMS)), param_byte, fifo_w3);
+    b.select(fifo_w3);
+    b.branch(Expr::eq(Expr::var(v.data_state), Expr::lit(st::DATA_WRITE)), data_byte, done);
+
+    // Command byte: latch and dispatch (the paper's command decision block).
+    b.select(cmd_start);
+    b.set_var(v.cur_cmd, Expr::IoData);
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_CMDBUSY));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.switch(
+        Expr::bin(BinOp::And, Expr::var(v.cur_cmd), Expr::lit(0x1f)),
+        vec![
+            (cmd::SPECIFY, st_specify),
+            (cmd::SENSE_DRIVE_STATUS, st_sense_drv),
+            (cmd::WRITE, st_write),
+            (cmd::READ, st_read),
+            (cmd::RECALIBRATE, st_recal),
+            (cmd::SENSE_INTERRUPT_STATUS, do_sense_int),
+            (cmd::READ_ID, st_read_id),
+            (cmd::FORMAT_TRACK, st_format),
+            (cmd::DRIVE_SPEC, st_drive_spec),
+            (cmd::SEEK, st_seek),
+        ],
+        unimpl,
+    );
+
+    let mut setup = |block, params: u64| {
+        b.select(block);
+        b.set_var(v.data_len, Expr::lit(params));
+        b.set_var(v.data_state, Expr::lit(st::PARAMS));
+        b.jump(done);
+    };
+    setup(st_specify, 2);
+    setup(st_sense_drv, 1);
+    setup(st_write, 8);
+    setup(st_read, 8);
+    setup(st_recal, 1);
+    setup(st_read_id, 1);
+    setup(st_format, 5);
+    setup(st_drive_spec, 5);
+    setup(st_seek, 2);
+
+    // SENSE INTERRUPT STATUS has no parameters: respond immediately.
+    b.select(do_sense_int);
+    b.buf_store(v.fifo, Expr::lit(0), Expr::var(v.status0));
+    b.buf_store(v.fifo, Expr::lit(1), Expr::var(v.track));
+    b.set_var(v.status0, Expr::lit(0));
+    b.set_var(v.data_len, Expr::lit(2));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_state, Expr::lit(st::DATA_READ));
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_DIO | MSR_CMDBUSY));
+    b.jump(done);
+
+    // Unknown command: single 0x80 status byte, as QEMU's unimplemented handler.
+    b.select(unimpl);
+    b.buf_store(v.fifo, Expr::lit(0), Expr::lit(0x80));
+    b.set_var(v.data_len, Expr::lit(1));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_state, Expr::lit(st::DATA_READ));
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_DIO | MSR_CMDBUSY));
+    b.jump(done);
+
+    // Parameter byte: append to the FIFO.
+    b.select(param_byte);
+    b.buf_store(v.fifo, Expr::var(v.data_pos), Expr::IoData);
+    b.set_var(v.data_pos, Expr::bin(BinOp::Add, Expr::var(v.data_pos), Expr::lit(1)));
+    b.branch(
+        Expr::eq(
+            Expr::bin(BinOp::And, Expr::var(v.cur_cmd), Expr::lit(0x1f)),
+            Expr::lit(cmd::DRIVE_SPEC),
+        ),
+        ds_param,
+        normal_param,
+    );
+
+    b.select(normal_param);
+    b.branch(Expr::bin(BinOp::Ge, Expr::var(v.data_pos), Expr::var(v.data_len)), exec_cmd, done);
+
+    // DRIVE SPECIFICATION parameter handling — the Venom defect.
+    b.select(ds_param);
+    if venom {
+        // Vulnerable: completion decided only by the terminator bits;
+        // data_pos is never bounded against the FIFO. The overrun branch
+        // reproduces QEMU's dead "keep collecting" handling: its taken
+        // side exists in the code but no benign interaction reaches it.
+        b.intrinsic(Intrinsic::Note("CVE-2015-3456: no data_pos bound".into()));
+        b.branch(
+            Expr::eq(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0xc0)), Expr::lit(0xc0)),
+            ds_done,
+            ds_overrun_chk,
+        );
+    } else {
+        // Patched: terminate once the declared parameter count arrives.
+        b.branch(
+            Expr::bin(BinOp::Ge, Expr::var(v.data_pos), Expr::var(v.data_len)),
+            ds_done,
+            ds_chk_term,
+        );
+    }
+    b.select(ds_overrun_chk);
+    b.branch(
+        Expr::bin(BinOp::Gt, Expr::var(v.data_pos), Expr::var(v.data_len)),
+        ds_overrun,
+        done,
+    );
+    b.select(ds_overrun);
+    b.jump(done);
+
+    b.select(ds_chk_term);
+    b.branch(
+        Expr::eq(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0xc0)), Expr::lit(0xc0)),
+        ds_done,
+        done,
+    );
+
+    b.select(ds_done);
+    b.set_var(v.data_state, Expr::lit(st::IDLE));
+    b.set_var(v.msr, Expr::lit(MSR_RQM));
+    b.jump(done);
+
+    // All parameters collected: execute (second dispatch on the command).
+    b.select(exec_cmd);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::var(v.cur_cmd), Expr::lit(0x1f)),
+        vec![
+            (cmd::SPECIFY, ex_specify),
+            (cmd::SENSE_DRIVE_STATUS, ex_sense_drv),
+            (cmd::WRITE, ex_write_start),
+            (cmd::READ, ex_read),
+            (cmd::RECALIBRATE, ex_recal),
+            (cmd::READ_ID, ex_read_id),
+            (cmd::FORMAT_TRACK, ex_format),
+            (cmd::SEEK, ex_seek),
+        ],
+        ds_done, // anything else falls back to idle
+    );
+
+    b.select(ex_specify);
+    b.set_var(v.data_state, Expr::lit(st::IDLE));
+    b.set_var(v.msr, Expr::lit(MSR_RQM));
+    b.jump(done);
+
+    b.select(ex_sense_drv);
+    b.buf_store(v.fifo, Expr::lit(0), Expr::bin(BinOp::Or, Expr::lit(0x28), Expr::var(v.head)));
+    b.set_var(v.data_len, Expr::lit(1));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_state, Expr::lit(st::DATA_READ));
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_DIO | MSR_CMDBUSY));
+    b.jump(done);
+
+    // WRITE: parameters are (drv, C, H, R, N, EOT, GPL, DTL); latch CHS
+    // and stream one sector of data in.
+    b.select(ex_write_start);
+    b.set_var(v.track, Expr::buf(v.fifo, Expr::lit(1)));
+    b.set_var(v.head, Expr::buf(v.fifo, Expr::lit(2)));
+    b.set_var(v.sector, Expr::buf(v.fifo, Expr::lit(3)));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_len, Expr::lit(FD_SECTOR_LEN));
+    b.set_var(v.data_state, Expr::lit(st::DATA_WRITE));
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_CMDBUSY));
+    b.jump(done);
+
+    // READ: fill the FIFO from the disk and enter the read phase.
+    b.select(ex_read);
+    b.set_var(v.track, Expr::buf(v.fifo, Expr::lit(1)));
+    b.set_var(v.head, Expr::buf(v.fifo, Expr::lit(2)));
+    b.set_var(v.sector, Expr::buf(v.fifo, Expr::lit(3)));
+    b.intrinsic(Intrinsic::DiskReadToBuf { buf: v.fifo, buf_off: Expr::lit(0), sector: chs_expr(v) });
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_len, Expr::lit(FD_SECTOR_LEN));
+    b.set_var(v.data_state, Expr::lit(st::DATA_READ));
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_DIO | MSR_CMDBUSY));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(FDC_IRQ) });
+    b.jump(done);
+
+    b.select(ex_recal);
+    b.set_var(v.track, Expr::lit(0));
+    b.set_var(v.status0, Expr::lit(0x20));
+    b.set_var(v.data_state, Expr::lit(st::IDLE));
+    b.set_var(v.msr, Expr::lit(MSR_RQM));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(FDC_IRQ) });
+    b.jump(done);
+
+    // READ ID: 7 result bytes describing the current position.
+    b.select(ex_read_id);
+    b.buf_store(v.fifo, Expr::lit(0), Expr::var(v.status0));
+    b.buf_store(v.fifo, Expr::lit(1), Expr::lit(0));
+    b.buf_store(v.fifo, Expr::lit(2), Expr::lit(0));
+    b.buf_store(v.fifo, Expr::lit(3), Expr::var(v.track));
+    b.buf_store(v.fifo, Expr::lit(4), Expr::var(v.head));
+    b.buf_store(v.fifo, Expr::lit(5), Expr::var(v.sector));
+    b.buf_store(v.fifo, Expr::lit(6), Expr::lit(2));
+    b.set_var(v.data_len, Expr::lit(7));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_state, Expr::lit(st::DATA_READ));
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_DIO | MSR_CMDBUSY));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(FDC_IRQ) });
+    b.jump(done);
+
+    // FORMAT TRACK: blank the addressed sector, report status.
+    b.select(ex_format);
+    b.set_var(v.track, Expr::buf(v.fifo, Expr::lit(1)));
+    b.set_var(v.sector, Expr::lit(1));
+    b.buf_fill(v.fifo, Expr::lit(0));
+    b.intrinsic(Intrinsic::DiskWriteFromBuf { buf: v.fifo, buf_off: Expr::lit(0), sector: chs_expr(v) });
+    b.buf_store(v.fifo, Expr::lit(0), Expr::var(v.status0));
+    b.set_var(v.data_len, Expr::lit(7));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_state, Expr::lit(st::DATA_READ));
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_DIO | MSR_CMDBUSY));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(FDC_IRQ) });
+    b.jump(done);
+
+    b.select(ex_seek);
+    b.set_var(v.track, Expr::buf(v.fifo, Expr::lit(1)));
+    b.set_var(v.status0, Expr::lit(0x20));
+    b.set_var(v.data_state, Expr::lit(st::IDLE));
+    b.set_var(v.msr, Expr::lit(MSR_RQM));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(FDC_IRQ) });
+    b.jump(done);
+
+    // Sector data byte during WRITE (bounded index, as post-Venom QEMU).
+    b.select(data_byte);
+    b.buf_store(
+        v.fifo,
+        Expr::bin(BinOp::And, Expr::var(v.data_pos), Expr::lit(FD_SECTOR_LEN - 1)),
+        Expr::IoData,
+    );
+    b.set_var(v.data_pos, Expr::bin(BinOp::Add, Expr::var(v.data_pos), Expr::lit(1)));
+    b.branch(Expr::bin(BinOp::Ge, Expr::var(v.data_pos), Expr::var(v.data_len)), wr_complete, done);
+
+    b.select(wr_complete);
+    b.intrinsic(Intrinsic::DiskWriteFromBuf { buf: v.fifo, buf_off: Expr::lit(0), sector: chs_expr(v) });
+    b.set_var(v.status0, Expr::lit(0));
+    b.buf_store(v.fifo, Expr::lit(0), Expr::lit(0));
+    b.buf_store(v.fifo, Expr::lit(1), Expr::lit(0));
+    b.buf_store(v.fifo, Expr::lit(2), Expr::lit(0));
+    b.buf_store(v.fifo, Expr::lit(3), Expr::var(v.track));
+    b.buf_store(v.fifo, Expr::lit(4), Expr::var(v.head));
+    b.buf_store(v.fifo, Expr::lit(5), Expr::var(v.sector));
+    b.buf_store(v.fifo, Expr::lit(6), Expr::lit(2));
+    b.set_var(v.data_len, Expr::lit(7));
+    b.set_var(v.data_pos, Expr::lit(0));
+    b.set_var(v.data_state, Expr::lit(st::DATA_READ));
+    b.set_var(v.msr, Expr::lit(MSR_RQM | MSR_DIO | MSR_CMDBUSY));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(FDC_IRQ) });
+    b.jump(done);
+
+    b.finish().expect("fdc pmio_write program is well-formed")
+}
+
+fn build_pmio_read(v: &Vars) -> Program {
+    let mut b = ProgramBuilder::new("fdc_pmio_read");
+    let entry = b.entry_block("entry");
+    let done = b.exit_block("done");
+    let r_sra = b.block("read_sra");
+    let r_dor = b.block("read_dor");
+    let r_tdr = b.block("read_tdr");
+    let r_msr = b.block("read_msr");
+    let r_fifo = b.block("read_fifo");
+    let r_dir = b.block("read_dir");
+    let r_none = b.block("read_fifo_idle");
+    let r_data = b.block("read_fifo_data");
+    let rd_done = b.cmd_end_block("result_phase_done");
+
+    b.select(entry);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::IoAddr, Expr::lit(7)),
+        vec![(0, r_sra), (2, r_dor), (3, r_tdr), (4, r_msr), (5, r_fifo), (7, r_dir)],
+        done,
+    );
+
+    b.select(r_sra);
+    b.reply(Expr::lit(0));
+    b.jump(done);
+
+    b.select(r_dor);
+    b.reply(Expr::var(v.dor));
+    b.jump(done);
+
+    b.select(r_tdr);
+    b.reply(Expr::var(v.tdr));
+    b.jump(done);
+
+    b.select(r_msr);
+    b.reply(Expr::var(v.msr));
+    b.jump(done);
+
+    b.select(r_dir);
+    // Disk-change bit only.
+    b.reply(Expr::lit(0));
+    b.jump(done);
+
+    b.select(r_fifo);
+    b.branch(Expr::eq(Expr::var(v.data_state), Expr::lit(st::DATA_READ)), r_data, r_none);
+
+    b.select(r_none);
+    b.reply(Expr::lit(0));
+    b.jump(done);
+
+    b.select(r_data);
+    b.reply(Expr::buf(
+        v.fifo,
+        Expr::bin(BinOp::And, Expr::var(v.data_pos), Expr::lit(FD_SECTOR_LEN - 1)),
+    ));
+    b.set_var(v.data_pos, Expr::bin(BinOp::Add, Expr::var(v.data_pos), Expr::lit(1)));
+    b.branch(Expr::bin(BinOp::Ge, Expr::var(v.data_pos), Expr::var(v.data_len)), rd_done, done);
+
+    b.select(rd_done);
+    b.set_var(v.data_state, Expr::lit(st::IDLE));
+    b.set_var(v.msr, Expr::lit(MSR_RQM));
+    b.intrinsic(Intrinsic::IrqLower { line: Expr::lit(FDC_IRQ) });
+    b.jump(done);
+
+    b.finish().expect("fdc pmio_read program is well-formed")
+}
+
+/// Builds the FDC at the given behaviour version.
+pub fn build(version: QemuVersion) -> Device {
+    let (cs, vars) = control_structure();
+    let write = build_pmio_write(&vars, version);
+    let read = build_pmio_read(&vars);
+    Device::assemble(
+        "FDC",
+        version,
+        cs,
+        vec![(EntryPoint::PmioWrite, write), (EntryPoint::PmioRead, read)],
+        vec![(AddressSpace::Pmio, FDC_BASE, 8)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_dbl::interp::Fault;
+    use sedspec_vmm::{IoRequest, VmContext};
+
+    fn ctx() -> VmContext {
+        VmContext::new(0x10000, 2048)
+    }
+
+    fn outb(d: &mut Device, c: &mut VmContext, port: u64, val: u64) {
+        d.handle_io(c, &IoRequest::write(AddressSpace::Pmio, port, 1, val)).unwrap();
+    }
+
+    fn inb(d: &mut Device, c: &mut VmContext, port: u64) -> u64 {
+        d.handle_io(c, &IoRequest::read(AddressSpace::Pmio, port, 1)).unwrap().reply
+    }
+
+    const DATA: u64 = 0x3f5;
+    const MSR: u64 = 0x3f4;
+
+    #[test]
+    fn reset_state_has_rqm() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        assert_eq!(inb(&mut d, &mut c, MSR), MSR_RQM);
+    }
+
+    #[test]
+    fn sense_interrupt_returns_two_bytes() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        outb(&mut d, &mut c, DATA, 0x08);
+        assert_eq!(inb(&mut d, &mut c, MSR) & MSR_DIO, MSR_DIO);
+        let st0 = inb(&mut d, &mut c, DATA);
+        let track = inb(&mut d, &mut c, DATA);
+        assert_eq!(st0, 0); // no pending interrupt yet
+        assert_eq!(track, 0);
+        assert_eq!(inb(&mut d, &mut c, MSR), MSR_RQM); // idle again
+    }
+
+    #[test]
+    fn seek_updates_track_and_raises_irq() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        outb(&mut d, &mut c, DATA, 0x0f); // SEEK
+        outb(&mut d, &mut c, DATA, 0x00); // drive
+        outb(&mut d, &mut c, DATA, 0x07); // track 7
+        assert!(c.irqs.line(FDC_IRQ as usize).is_raised());
+        // SENSE INTERRUPT reports the new track.
+        outb(&mut d, &mut c, DATA, 0x08);
+        let st0 = inb(&mut d, &mut c, DATA);
+        let track = inb(&mut d, &mut c, DATA);
+        assert_eq!(st0, 0x20);
+        assert_eq!(track, 7);
+    }
+
+    #[test]
+    fn write_then_read_sector_round_trip() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        // Command byte (0x45 & 0x1f == WRITE), then 8 parameter bytes:
+        // drv=0 C=1 H=0 R=3 N=2 EOT=18 GPL=0x1b DTL=0xff.
+        for p in [0x45u64, 0, 1, 0, 3, 2, 18, 0x1b, 0xff] {
+            outb(&mut d, &mut c, DATA, p);
+        }
+        for i in 0..512u64 {
+            outb(&mut d, &mut c, DATA, (i * 7) & 0xff);
+        }
+        // Drain the 7 result bytes.
+        for _ in 0..7 {
+            inb(&mut d, &mut c, DATA);
+        }
+        // READ same CHS.
+        for p in [0x46u64, 0, 1, 0, 3, 2, 18, 0x1b, 0xff] {
+            outb(&mut d, &mut c, DATA, p);
+        }
+        let mut ok = true;
+        for i in 0..512u64 {
+            let got = inb(&mut d, &mut c, DATA);
+            ok &= got == (i * 7) & 0xff;
+        }
+        assert!(ok, "sector data survived the disk round trip");
+        assert_eq!(c.disk.write_count(), 1);
+        assert_eq!(c.disk.read_count(), 1);
+    }
+
+    #[test]
+    fn read_id_returns_seven_bytes() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        outb(&mut d, &mut c, DATA, 0x4a);
+        outb(&mut d, &mut c, DATA, 0x00); // head/drive select
+        let mut count = 0;
+        while inb(&mut d, &mut c, MSR) & MSR_DIO != 0 {
+            inb(&mut d, &mut c, DATA);
+            count += 1;
+            assert!(count <= 7);
+        }
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn dor_reset_reenters_idle() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        outb(&mut d, &mut c, DATA, 0x0f); // SEEK, now in PARAMS
+        outb(&mut d, &mut c, 0x3f2, 0x00); // DOR reset
+        outb(&mut d, &mut c, 0x3f2, 0x0c); // out of reset
+        assert_eq!(inb(&mut d, &mut c, MSR), MSR_RQM);
+    }
+
+    #[test]
+    fn venom_overflows_fifo_on_vulnerable_version() {
+        let mut d = build(QemuVersion::V2_3_0);
+        let mut c = ctx();
+        outb(&mut d, &mut c, DATA, 0x8e); // DRIVE SPECIFICATION
+        let mut spilled = 0;
+        // Withhold the 0xc0 terminator: data_pos grows past the FIFO
+        // (and, once the clobbered data_pos goes wild, off the arena).
+        for _ in 0..600 {
+            match d.handle_io(&mut c, &IoRequest::write(AddressSpace::Pmio, DATA, 1, 0x01)) {
+                Ok(out) => spilled += out.spills,
+                Err(_) => break,
+            }
+        }
+        assert!(spilled > 0, "Venom must corrupt fields behind the FIFO");
+    }
+
+    #[test]
+    fn venom_can_escape_arena_entirely() {
+        let mut d = build(QemuVersion::V2_3_0);
+        let mut c = ctx();
+        outb(&mut d, &mut c, DATA, 0x8e);
+        let mut fault = None;
+        for _ in 0..2000 {
+            match d.handle_io(&mut c, &IoRequest::write(AddressSpace::Pmio, DATA, 1, 0x01)) {
+                Ok(_) => {}
+                Err(f) => {
+                    fault = Some(f);
+                    break;
+                }
+            }
+        }
+        assert!(matches!(fault, Some(Fault::Arena(_))), "unbounded data_pos crashes the device");
+    }
+
+    #[test]
+    fn patched_version_resists_venom() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        outb(&mut d, &mut c, DATA, 0x8e);
+        let mut spilled = 0;
+        for _ in 0..600 {
+            let out = d
+                .handle_io(&mut c, &IoRequest::write(AddressSpace::Pmio, DATA, 1, 0x01))
+                .unwrap();
+            spilled += out.spills;
+        }
+        assert_eq!(spilled, 0);
+        // The device stays healthy: a DOR reset returns it to idle.
+        outb(&mut d, &mut c, 0x3f2, 0x00);
+        outb(&mut d, &mut c, 0x3f2, 0x0c);
+        assert_eq!(inb(&mut d, &mut c, MSR), MSR_RQM);
+    }
+
+    #[test]
+    fn drive_spec_terminator_completes_benignly_on_both_versions() {
+        for v in [QemuVersion::V2_3_0, QemuVersion::Patched] {
+            let mut d = build(v);
+            let mut c = ctx();
+            outb(&mut d, &mut c, DATA, 0x8e);
+            outb(&mut d, &mut c, DATA, 0x20); // one setting byte
+            outb(&mut d, &mut c, DATA, 0xc0); // terminator
+            assert_eq!(inb(&mut d, &mut c, MSR), MSR_RQM, "version {v}");
+        }
+    }
+
+    #[test]
+    fn unknown_command_yields_error_status() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        outb(&mut d, &mut c, DATA, 0x1e); // not a command
+        assert_eq!(inb(&mut d, &mut c, DATA), 0x80);
+        assert_eq!(inb(&mut d, &mut c, MSR), MSR_RQM);
+    }
+}

@@ -1,0 +1,126 @@
+//! Five QEMU emulated devices rebuilt on the DBL IR.
+//!
+//! These are the evaluation targets of the paper: the floppy disk
+//! controller ([`fdc`]), USB EHCI with its attached USB device model
+//! ([`ehci`]), the AMD PCNet NIC ([`pcnet`]), the SD host controller
+//! ([`sdhci`]) and the 53C9X ESP SCSI controller ([`scsi`]). Each module
+//! re-implements the register files, command sets and data paths of its
+//! QEMU counterpart closely enough that:
+//!
+//! * benign guest drivers (in `sedspec-workloads`) can exercise a rich
+//!   set of commands, producing realistic training traces; and
+//! * the eight CVEs of the paper's Table III are *actually exploitable*:
+//!   each device takes a [`QemuVersion`] knob selecting the vulnerable
+//!   or patched behaviour, and the control structures use C layout so
+//!   overflows corrupt adjacent fields (including function pointers).
+//!
+//! The uniform wrapper is [`Device`]; [`build_device`] constructs any of
+//! the five by [`DeviceKind`].
+//!
+//! # Examples
+//!
+//! ```
+//! use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+//! use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+//!
+//! let mut fdc = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+//! let mut ctx = VmContext::new(0x10000, 64);
+//! // Read the FDC main status register.
+//! let req = IoRequest::read(AddressSpace::Pmio, 0x3f4, 1);
+//! let out = fdc.handle_io(&mut ctx, &req).unwrap();
+//! assert_eq!(out.reply & 0x80, 0x80); // RQM set after reset
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+pub mod ehci;
+pub mod fdc;
+pub mod machine;
+pub mod pcnet;
+pub mod scsi;
+pub mod sdhci;
+mod version;
+
+pub use device::{Device, EntryPoint};
+pub use version::QemuVersion;
+
+/// The five reproduced devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// Floppy disk controller (`fdc`), the Venom target.
+    Fdc,
+    /// USB EHCI host controller with attached USB device (`ehci`).
+    UsbEhci,
+    /// AMD PCNet PCI network adapter (`pcnet`).
+    Pcnet,
+    /// SD host controller interface (`sdhci`).
+    Sdhci,
+    /// 53C9X ESP SCSI controller (`scsi`).
+    Scsi,
+}
+
+impl DeviceKind {
+    /// All five kinds, in the paper's Table III order.
+    pub fn all() -> [DeviceKind; 5] {
+        [DeviceKind::Fdc, DeviceKind::UsbEhci, DeviceKind::Pcnet, DeviceKind::Sdhci, DeviceKind::Scsi]
+    }
+
+    /// The device's display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeviceKind::Fdc => "FDC",
+            DeviceKind::UsbEhci => "USB EHCI",
+            DeviceKind::Pcnet => "PCNet",
+            DeviceKind::Sdhci => "SDHCI",
+            DeviceKind::Scsi => "SCSI",
+        }
+    }
+
+    /// Whether this is a storage device in the paper's classification
+    /// (everything except PCNet).
+    pub fn is_storage(self) -> bool {
+        self != DeviceKind::Pcnet
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Builds a device of the given kind at the given QEMU behaviour version.
+pub fn build_device(kind: DeviceKind, version: QemuVersion) -> Device {
+    match kind {
+        DeviceKind::Fdc => fdc::build(version),
+        DeviceKind::UsbEhci => ehci::build(version),
+        DeviceKind::Pcnet => pcnet::build(version),
+        DeviceKind::Sdhci => sdhci::build(version),
+        DeviceKind::Scsi => scsi::build(version),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_build_at_all_versions() {
+        for kind in DeviceKind::all() {
+            for v in QemuVersion::all() {
+                let d = build_device(kind, v);
+                assert!(!d.programs().is_empty(), "{kind} at {v} has programs");
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DeviceKind::Fdc.name(), "FDC");
+        assert_eq!(DeviceKind::UsbEhci.to_string(), "USB EHCI");
+        assert!(DeviceKind::Sdhci.is_storage());
+        assert!(!DeviceKind::Pcnet.is_storage());
+    }
+}

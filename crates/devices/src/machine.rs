@@ -1,0 +1,220 @@
+//! A machine: several emulated devices behind one bus.
+//!
+//! The evaluation drives devices individually, but a real VM hosts many
+//! at once; [`Machine`] composes the substrate pieces — one
+//! [`VmContext`], a [`Bus`] routing guest accesses by address, and any
+//! number of attached [`Device`]s.
+
+use std::collections::BTreeMap;
+
+use sedspec_dbl::interp::{ExecOutcome, Fault};
+use sedspec_vmm::{AddressSpace, Bus, IoRequest, RegionId, VmContext, VmmError};
+
+use crate::Device;
+
+/// Index of an attached device within a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+/// Several devices behind one bus and one VM context.
+///
+/// # Examples
+///
+/// ```
+/// use sedspec_devices::{build_device, machine::Machine, DeviceKind, QemuVersion};
+/// use sedspec_vmm::{AddressSpace, IoRequest};
+///
+/// let mut m = Machine::new(0x100000, 4096);
+/// let fdc = m.attach(build_device(DeviceKind::Fdc, QemuVersion::Patched)).unwrap();
+/// let sdhci = m.attach(build_device(DeviceKind::Sdhci, QemuVersion::Patched)).unwrap();
+///
+/// // The bus routes each access to the right device.
+/// let msr = m.handle_io(&IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)).unwrap();
+/// assert_eq!(msr.reply & 0x80, 0x80);
+/// let prnsts = m.handle_io(&IoRequest::read(AddressSpace::Mmio, 0x3024, 4)).unwrap();
+/// assert_eq!(prnsts.reply, 0);
+/// # let _ = (fdc, sdhci);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    /// The shared VM context (guest memory, IRQs, clock, backends).
+    pub ctx: VmContext,
+    bus: Bus,
+    devices: Vec<Device>,
+    by_region: BTreeMap<RegionId, usize>,
+}
+
+impl Machine {
+    /// A machine with `mem_size` bytes of guest memory and a disk of
+    /// `disk_sectors` sectors.
+    pub fn new(mem_size: usize, disk_sectors: usize) -> Self {
+        Machine {
+            ctx: VmContext::new(mem_size, disk_sectors),
+            bus: Bus::new(),
+            devices: Vec::new(),
+            by_region: BTreeMap::new(),
+        }
+    }
+
+    /// Attaches a device, claiming its bus regions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::RegionOverlap`] if the device's regions clash
+    /// with an already attached device; nothing is registered in that case.
+    pub fn attach(&mut self, device: Device) -> Result<DeviceId, VmmError> {
+        // Validate all regions before committing any.
+        let mut probe = Bus::new();
+        for r in self.bus.regions() {
+            probe.register(r.space, r.base, r.len, r.tag.clone())?;
+        }
+        for &(space, base, len) in &device.regions {
+            probe.register(space, base, len, device.name.clone())?;
+        }
+        let idx = self.devices.len();
+        for &(space, base, len) in &device.regions {
+            let id = self.bus.register(space, base, len, device.name.clone())?;
+            self.by_region.insert(id, idx);
+        }
+        // A device with a receive path claims the frame pseudo-space.
+        if device.route(&IoRequest::net_frame(Vec::new())).is_some() {
+            let id = self.bus.register(AddressSpace::NetFrame, 0, 0, device.name.clone())?;
+            self.by_region.insert(id, idx);
+        }
+        self.devices.push(device);
+        Ok(DeviceId(idx))
+    }
+
+    /// Number of attached devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The attached device with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different machine.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0]
+    }
+
+    /// Mutable access to an attached device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different machine.
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut Device {
+        &mut self.devices[id.0]
+    }
+
+    /// The device a request routes to, if any claims it.
+    pub fn route(&self, req: &IoRequest) -> Option<DeviceId> {
+        let region = self.bus.route(req).ok()?;
+        self.by_region.get(&region).map(|&i| DeviceId(i))
+    }
+
+    /// Services a guest I/O request through the bus.
+    ///
+    /// Unmapped accesses behave like real hardware: reads return all
+    /// ones, writes are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the device's [`Fault`] if it crashes.
+    pub fn handle_io(&mut self, req: &IoRequest) -> Result<ExecOutcome, Fault> {
+        match self.route(req) {
+            Some(DeviceId(idx)) => self.devices[idx].handle_io(&mut self.ctx, req),
+            None => Ok(ExecOutcome {
+                reply: if req.is_read() { u64::MAX } else { 0 },
+                ..ExecOutcome::default()
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_device, DeviceKind, QemuVersion};
+
+    fn full_machine() -> Machine {
+        let mut m = Machine::new(0x100000, 4096);
+        for kind in DeviceKind::all() {
+            m.attach(build_device(kind, QemuVersion::Patched)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn all_five_devices_coexist() {
+        let mut m = full_machine();
+        assert_eq!(m.device_count(), 5);
+        // FDC status.
+        let out = m.handle_io(&IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)).unwrap();
+        assert_eq!(out.reply & 0x80, 0x80);
+        // SCSI flags register.
+        let out = m.handle_io(&IoRequest::read(AddressSpace::Pmio, 0xc07, 1)).unwrap();
+        assert_eq!(out.reply, 0);
+        // EHCI port status.
+        let out = m.handle_io(&IoRequest::read(AddressSpace::Mmio, 0x2024, 4)).unwrap();
+        assert_eq!(out.reply, 0x1000);
+    }
+
+    #[test]
+    fn frames_route_to_the_nic() {
+        let mut m = full_machine();
+        let req = IoRequest::net_frame(vec![0u8; 64]);
+        let id = m.route(&req).expect("a NIC claims frames");
+        assert_eq!(m.device(id).name, "PCNet");
+        // Stopped NIC drops the frame without fault.
+        assert!(m.handle_io(&req).is_ok());
+    }
+
+    #[test]
+    fn unmapped_reads_float_high() {
+        let mut m = full_machine();
+        let out = m.handle_io(&IoRequest::read(AddressSpace::Pmio, 0x9999, 1)).unwrap();
+        assert_eq!(out.reply, u64::MAX);
+        let out = m.handle_io(&IoRequest::write(AddressSpace::Pmio, 0x9999, 1, 5)).unwrap();
+        assert_eq!(out.reply, 0);
+    }
+
+    #[test]
+    fn conflicting_attachment_is_refused_atomically() {
+        let mut m = Machine::new(0x1000, 16);
+        m.attach(build_device(DeviceKind::Fdc, QemuVersion::Patched)).unwrap();
+        let regions_before = m.device_count();
+        let err = m.attach(build_device(DeviceKind::Fdc, QemuVersion::V2_3_0));
+        assert!(matches!(err, Err(VmmError::RegionOverlap { .. })));
+        assert_eq!(m.device_count(), regions_before);
+        // The machine still works.
+        assert!(m.handle_io(&IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)).is_ok());
+    }
+
+    #[test]
+    fn devices_share_one_disk_backend() {
+        let mut m = Machine::new(0x100000, 4096);
+        let _fdc = m.attach(build_device(DeviceKind::Fdc, QemuVersion::Patched)).unwrap();
+        let _scsi = m.attach(build_device(DeviceKind::Scsi, QemuVersion::Patched)).unwrap();
+        // Write sector 30 via SCSI WRITE(10), then read it back through
+        // the FDC: its linear mapping is track*18 + sector, so sector 30
+        // is CHS track 1, sector 12.
+        m.ctx.mem.write_bytes(0x8000, &[0x77u8; 512]).unwrap();
+        m.handle_io(&IoRequest::write(AddressSpace::Pmio, 0xc03, 1, 0x01)).unwrap(); // FLUSH
+        for b in [0x2au64, 0, 0, 0, 0, 30, 0, 0, 1, 0] {
+            m.handle_io(&IoRequest::write(AddressSpace::Pmio, 0xc02, 1, b)).unwrap();
+        }
+        m.handle_io(&IoRequest::write(AddressSpace::Pmio, 0xc03, 1, 0x42)).unwrap(); // SELATN
+        m.handle_io(&IoRequest::write(AddressSpace::Pmio, 0xc08, 2, 0x8000)).unwrap();
+        m.handle_io(&IoRequest::write(AddressSpace::Pmio, 0xc03, 1, 0x10)).unwrap();
+        assert_eq!(m.ctx.disk.read_sector(30).unwrap()[0], 0x77);
+
+        // FDC READ of track 1 sector 12 hits the same backend sector.
+        for p in [0x46u64, 0, 1, 0, 12, 2, 18, 0x1b, 0xff] {
+            m.handle_io(&IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, p)).unwrap();
+        }
+        let first = m.handle_io(&IoRequest::read(AddressSpace::Pmio, 0x3f5, 1)).unwrap();
+        assert_eq!(first.reply, 0x77);
+    }
+}

@@ -1,0 +1,810 @@
+//! 53C9X ESP SCSI controller (QEMU `hw/scsi/esp.c` + the SCSI bus layer).
+//!
+//! Reproduces the ESP register file (transfer counter, 16-byte FIFO,
+//! command register, status/interrupt/sequence readback), the
+//! select-with-ATN command flow that latches a CDB out of the FIFO and
+//! dispatches the SCSI opcode, and DMA-driven TRANSFER INFORMATION for
+//! READ(10)/WRITE(10) against the disk backend.
+//!
+//! * **CVE-2016-4439** ([`QemuVersion::V2_6_0`] and earlier): the FIFO
+//!   register write path stores through a temporary copy of `ti_wptr`
+//!   without bounding it against the 16-byte FIFO, so a guest that keeps
+//!   writing the FIFO register walks the pointer into `cmdbuf` and the
+//!   fields beyond. The patched behaviour drops bytes once the FIFO is
+//!   full.
+//! * **CVE-2015-5158** ([`QemuVersion::V2_4_0`] and earlier): CDB parsing
+//!   accepts *reserved* group codes and falls through to execution,
+//!   where the sense-response fill takes its length from an
+//!   attacker-controlled CDB byte and overruns the FIFO. The patched
+//!   behaviour rejects reserved groups with an illegal-command interrupt.
+
+use sedspec_dbl::builder::ProgramBuilder;
+use sedspec_dbl::ir::Width::{W16, W32, W8};
+use sedspec_dbl::ir::{BinOp, BufId, Expr, Intrinsic, Program, VarId};
+use sedspec_dbl::state::ControlStructure;
+use sedspec_vmm::AddressSpace;
+
+use crate::{Device, EntryPoint, QemuVersion};
+
+/// ESP interrupt line.
+pub const ESP_IRQ: u64 = 5;
+/// Base of the claimed PMIO aperture.
+pub const ESP_BASE: u64 = 0xc00;
+/// FIFO size in bytes (`TI_BUFSZ`).
+pub const FIFO_SIZE: u64 = 16;
+/// CDB buffer size.
+pub const CMDBUF_SIZE: u64 = 16;
+
+/// Register offsets.
+pub mod reg {
+    /// Transfer count low.
+    pub const TCLO: u64 = 0x0;
+    /// Transfer count mid.
+    pub const TCMED: u64 = 0x1;
+    /// FIFO data.
+    pub const FIFO: u64 = 0x2;
+    /// Command.
+    pub const CMD: u64 = 0x3;
+    /// Status (read) / destination id (write).
+    pub const STAT: u64 = 0x4;
+    /// Interrupt status (read clears).
+    pub const INTR: u64 = 0x5;
+    /// Sequence step.
+    pub const SEQ: u64 = 0x6;
+    /// FIFO flags.
+    pub const FLAGS: u64 = 0x7;
+    /// DMA address, low 16 bits (model-specific helper register).
+    pub const DMALO: u64 = 0x8;
+    /// DMA address, high 16 bits.
+    pub const DMAHI: u64 = 0x9;
+}
+
+/// ESP command codes (CMD register).
+pub mod cmd {
+    /// No operation.
+    pub const NOP: u64 = 0x00;
+    /// Flush FIFO.
+    pub const FLUSH: u64 = 0x01;
+    /// Reset device.
+    pub const RESET: u64 = 0x02;
+    /// Reset SCSI bus.
+    pub const BUSRESET: u64 = 0x03;
+    /// Transfer information.
+    pub const TI: u64 = 0x10;
+    /// Initiator command complete sequence.
+    pub const ICCS: u64 = 0x11;
+    /// Message accepted.
+    pub const MSGACC: u64 = 0x12;
+    /// Select with ATN.
+    pub const SELATN: u64 = 0x42;
+}
+
+/// SCSI opcodes handled by the attached disk.
+pub mod scsi_op {
+    /// TEST UNIT READY.
+    pub const TEST_UNIT_READY: u64 = 0x00;
+    /// REQUEST SENSE.
+    pub const REQUEST_SENSE: u64 = 0x03;
+    /// INQUIRY.
+    pub const INQUIRY: u64 = 0x12;
+    /// READ CAPACITY (10).
+    pub const READ_CAPACITY: u64 = 0x25;
+    /// READ (10).
+    pub const READ_10: u64 = 0x28;
+    /// WRITE (10).
+    pub const WRITE_10: u64 = 0x2a;
+}
+
+/// Interrupt status bits.
+pub mod intr {
+    /// Function complete.
+    pub const FC: u64 = 0x08;
+    /// Bus service.
+    pub const BUS: u64 = 0x10;
+    /// Illegal command.
+    pub const ILL: u64 = 0x40;
+}
+
+struct Vars {
+    tclo: VarId,
+    tcmed: VarId,
+    cmdreg: VarId,
+    rstat: VarId,
+    rintr: VarId,
+    rseq: VarId,
+    rflags: VarId,
+    selid: VarId,
+    dmalo: VarId,
+    dmahi: VarId,
+    dma_cur: VarId,
+    ti_rptr: VarId,
+    ti_wptr: VarId,
+    cmdlen: VarId,
+    cdb_group: VarId,
+    pending_op: VarId,
+    xfer_sector: VarId,
+    xfer_count: VarId,
+    fifo: BufId,
+    cmdbuf: BufId,
+    databuf: BufId,
+}
+
+fn control_structure() -> (ControlStructure, Vars) {
+    let mut cs = ControlStructure::new("ESPState");
+    let tclo = cs.register("tclo", W8, 0);
+    let tcmed = cs.register("tcmed", W8, 0);
+    let cmdreg = cs.register("cmdreg", W8, 0);
+    let rstat = cs.register("rstat", W8, 0);
+    let rintr = cs.register("rintr", W8, 0);
+    let rseq = cs.register("rseq", W8, 0);
+    let rflags = cs.register("rflags", W8, 0);
+    let selid = cs.register("selid", W8, 0);
+    let dmalo = cs.register("dmalo", W16, 0);
+    let dmahi = cs.register("dmahi", W16, 0);
+    let dma_cur = cs.var("dma_cur", W32);
+    let ti_rptr = cs.var("ti_rptr", W32);
+    let ti_wptr = cs.var("ti_wptr", W32);
+    let cmdlen = cs.var("cmdlen", W32);
+    let cdb_group = cs.var("cdb_group", W8);
+    let pending_op = cs.var("pending_op", W8);
+    let xfer_sector = cs.var("xfer_sector", W32);
+    let xfer_count = cs.var("xfer_count", W16);
+    // The CVE-2016-4439 adjacency: fifo, then cmdbuf, then the data
+    // staging buffer and the remainder of the struct.
+    let fifo = cs.buffer("fifo", FIFO_SIZE as usize);
+    let cmdbuf = cs.buffer("cmdbuf", CMDBUF_SIZE as usize);
+    let databuf = cs.buffer("databuf", 512);
+    let _tail = cs.buffer("esp_tail", 64);
+    (
+        cs,
+        Vars {
+            tclo,
+            tcmed,
+            cmdreg,
+            rstat,
+            rintr,
+            rseq,
+            rflags,
+            selid,
+            dmalo,
+            dmahi,
+            dma_cur,
+            ti_rptr,
+            ti_wptr,
+            cmdlen,
+            cdb_group,
+            pending_op,
+            xfer_sector,
+            xfer_count,
+            fifo,
+            cmdbuf,
+            databuf,
+        },
+    )
+}
+
+fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
+    let fifo_unbounded = version.has_vulnerability(QemuVersion::V2_6_0); // CVE-2016-4439
+    let reserved_groups_accepted = version.has_vulnerability(QemuVersion::V2_4_0); // CVE-2015-5158
+    // CVE-2016-1568 analog: the reset handler forgets to reinitialize the
+    // pending-transfer state, so a command set up before the reset can
+    // still be driven afterwards — the use-after-free shape the paper
+    // reports as SEDSpec's known miss (no anomalous state transition
+    // exists for the specification to learn).
+    let stale_pending_on_reset = version.has_vulnerability(QemuVersion::V2_4_0);
+
+    let mut b = ProgramBuilder::new("esp_pmio_write");
+    let entry = b.entry_block("entry");
+    let done = b.exit_block("done");
+    let tclo_w = b.block("tclo_write");
+    let tcmed_w = b.block("tcmed_write");
+    let fifo_w = b.block("fifo_write");
+    let fifo_store = b.block("fifo_store");
+    let fifo_full = b.block("fifo_full_drop");
+    let selid_w = b.block("selid_write");
+    let dmalo_w = b.block("dmalo_write");
+    let dmahi_w = b.block("dmahi_write");
+    let cmd_w = b.cmd_decision_block("esp_command_dispatch");
+    let c_nop = b.cmd_end_block("cmd_nop");
+    let c_flush = b.cmd_end_block("cmd_flush_fifo");
+    let c_reset = b.cmd_end_block("cmd_reset");
+    let c_busreset = b.cmd_end_block("cmd_bus_reset");
+    let c_ti = b.block("cmd_transfer_information");
+    let ti_read = b.block("ti_read_sectors");
+    let rd_loop = b.block("ti_read_loop");
+    let ti_write = b.block("ti_write_check");
+    let wr_loop = b.block("ti_write_loop");
+    let ti_done = b.cmd_end_block("ti_complete");
+    let c_iccs = b.cmd_end_block("cmd_iccs");
+    let c_msgacc = b.cmd_end_block("cmd_msg_accepted");
+    let c_selatn = b.block("cmd_select_with_atn");
+    let get_cmd_loop = b.block("get_cmd_copy_loop");
+    let parse_cdb = b.block("parse_cdb_group");
+    let grp_dispatch = b.block("cdb_group_dispatch");
+    let grp0 = b.block("cdb_group0_len6");
+    let grp1 = b.block("cdb_group1_len10");
+    let grp5 = b.block("cdb_group5_len12");
+    let grp_other = b.block("cdb_group_reserved");
+    let exec_cdb = b.cmd_decision_block("scsi_opcode_dispatch");
+    let op_tur = b.cmd_end_block("scsi_test_unit_ready");
+    let op_sense = b.block("scsi_request_sense");
+    let op_inquiry = b.block("scsi_inquiry");
+    let op_readcap = b.block("scsi_read_capacity");
+    let op_read10 = b.block("scsi_read10_setup");
+    let op_write10 = b.block("scsi_write10_setup");
+    let op_unknown = b.block("scsi_unknown_opcode");
+    let sense_fill = b.block("sense_fill_loop");
+    let resp_ready = b.cmd_end_block("response_ready");
+
+    b.select(entry);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::IoAddr, Expr::lit(0xf)),
+        vec![
+            (reg::TCLO, tclo_w),
+            (reg::TCMED, tcmed_w),
+            (reg::FIFO, fifo_w),
+            (reg::CMD, cmd_w),
+            (reg::STAT, selid_w),
+            (reg::DMALO, dmalo_w),
+            (reg::DMAHI, dmahi_w),
+        ],
+        done,
+    );
+
+    b.select(tclo_w);
+    b.set_var(v.tclo, Expr::IoData);
+    b.jump(done);
+
+    b.select(tcmed_w);
+    b.set_var(v.tcmed, Expr::IoData);
+    b.jump(done);
+
+    b.select(selid_w);
+    b.set_var(v.selid, Expr::bin(BinOp::And, Expr::IoData, Expr::lit(7)));
+    b.jump(done);
+
+    b.select(dmalo_w);
+    b.set_var(v.dmalo, Expr::IoData);
+    b.jump(done);
+
+    b.select(dmahi_w);
+    b.set_var(v.dmahi, Expr::IoData);
+    b.jump(done);
+
+    // FIFO register write (the CVE-2016-4439 site).
+    b.select(fifo_w);
+    if fifo_unbounded {
+        b.intrinsic(Intrinsic::Note("CVE-2016-4439: FIFO write pointer unbounded".into()));
+        b.jump(fifo_store);
+    } else {
+        b.branch(
+            Expr::bin(BinOp::Ge, Expr::var(v.ti_wptr), Expr::lit(FIFO_SIZE)),
+            fifo_full,
+            fifo_store,
+        );
+    }
+    b.select(fifo_store);
+    // QEMU stores through a temporary copy of the pointer; the temp (a
+    // local) is what blinds the parameter check, as in the paper.
+    let wp = b.local("wptr_tmp", W32);
+    b.set_local(wp, Expr::var(v.ti_wptr));
+    b.buf_store(v.fifo, Expr::local(wp), Expr::IoData);
+    b.set_var(v.ti_wptr, Expr::bin(BinOp::Add, Expr::local(wp), Expr::lit(1)));
+    b.set_var(v.rflags, Expr::bin(BinOp::And, Expr::var(v.ti_wptr), Expr::lit(0x1f)));
+    b.jump(done);
+
+    b.select(fifo_full);
+    b.jump(done);
+
+    // ESP command dispatch.
+    b.select(cmd_w);
+    b.set_var(v.cmdreg, Expr::IoData);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0x7f)),
+        vec![
+            (cmd::NOP, c_nop),
+            (cmd::FLUSH, c_flush),
+            (cmd::RESET, c_reset),
+            (cmd::BUSRESET, c_busreset),
+            (cmd::TI, c_ti),
+            (cmd::ICCS, c_iccs),
+            (cmd::MSGACC, c_msgacc),
+            (cmd::SELATN, c_selatn),
+        ],
+        done,
+    );
+
+    b.select(c_nop);
+    b.jump(done);
+
+    b.select(c_flush);
+    b.set_var(v.ti_wptr, Expr::lit(0));
+    b.set_var(v.ti_rptr, Expr::lit(0));
+    b.set_var(v.rflags, Expr::lit(0));
+    b.jump(done);
+
+    b.select(c_reset);
+    b.set_var(v.ti_wptr, Expr::lit(0));
+    b.set_var(v.ti_rptr, Expr::lit(0));
+    b.set_var(v.rflags, Expr::lit(0));
+    b.set_var(v.rstat, Expr::lit(0));
+    b.set_var(v.rintr, Expr::lit(0));
+    b.set_var(v.rseq, Expr::lit(0));
+    if stale_pending_on_reset {
+        b.intrinsic(Intrinsic::Note(
+            "CVE-2016-1568 analog: pending transfer state not reinitialized".into(),
+        ));
+    } else {
+        b.set_var(v.pending_op, Expr::lit(0));
+        b.set_var(v.xfer_count, Expr::lit(0));
+    }
+    b.jump(done);
+
+    b.select(c_busreset);
+    b.set_var(v.rintr, Expr::lit(intr::BUS));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(ESP_IRQ) });
+    b.jump(done);
+
+    b.select(c_iccs);
+    b.buf_store(v.fifo, Expr::lit(0), Expr::lit(0)); // status GOOD
+    b.buf_store(v.fifo, Expr::lit(1), Expr::lit(0)); // message COMMAND COMPLETE
+    b.set_var(v.ti_rptr, Expr::lit(0));
+    b.set_var(v.ti_wptr, Expr::lit(2));
+    b.set_var(v.rflags, Expr::lit(2));
+    b.set_var(v.rintr, Expr::lit(intr::FC));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(ESP_IRQ) });
+    b.jump(done);
+
+    b.select(c_msgacc);
+    b.set_var(v.rintr, Expr::lit(0));
+    b.set_var(v.rseq, Expr::lit(0));
+    b.jump(done);
+
+    // SELECT WITH ATN: copy the CDB out of the FIFO and dispatch it.
+    b.select(c_selatn);
+    b.set_var(v.cmdlen, Expr::var(v.ti_wptr));
+    b.set_var(v.ti_rptr, Expr::lit(0));
+    let i = b.local("copy_i", W32);
+    b.set_local(i, Expr::lit(0));
+    b.branch(Expr::eq(Expr::var(v.cmdlen), Expr::lit(0)), done, get_cmd_loop);
+
+    b.select(get_cmd_loop);
+    b.buf_store(v.cmdbuf, Expr::local(i), Expr::buf(v.fifo, Expr::local(i)));
+    b.set_local(i, Expr::bin(BinOp::Add, Expr::local(i), Expr::lit(1)));
+    b.branch(Expr::bin(BinOp::Lt, Expr::local(i), Expr::var(v.cmdlen)), get_cmd_loop, parse_cdb);
+
+    b.select(parse_cdb);
+    b.set_var(v.ti_wptr, Expr::lit(0));
+    b.set_var(v.rflags, Expr::lit(0));
+    b.set_var(v.cdb_group, Expr::bin(BinOp::Shr, Expr::buf(v.cmdbuf, Expr::lit(0)), Expr::lit(5)));
+    b.jump(grp_dispatch);
+
+    b.select(grp_dispatch);
+    b.switch(
+        Expr::var(v.cdb_group),
+        vec![(0, grp0), (1, grp1), (2, grp1), (5, grp5)],
+        grp_other,
+    );
+
+    b.select(grp0);
+    b.jump(exec_cdb);
+    b.select(grp1);
+    b.jump(exec_cdb);
+    b.select(grp5);
+    b.jump(exec_cdb);
+
+    // Reserved group codes — the CVE-2015-5158 fork.
+    b.select(grp_other);
+    if reserved_groups_accepted {
+        b.intrinsic(Intrinsic::Note("CVE-2015-5158: reserved CDB group executed".into()));
+        b.jump(exec_cdb);
+    } else {
+        b.set_var(v.rintr, Expr::lit(intr::ILL));
+        b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(ESP_IRQ) });
+        b.jump(done);
+    }
+
+    // SCSI opcode dispatch (the second command-decision level).
+    b.select(exec_cdb);
+    b.switch(
+        Expr::buf(v.cmdbuf, Expr::lit(0)),
+        vec![
+            (scsi_op::TEST_UNIT_READY, op_tur),
+            (scsi_op::REQUEST_SENSE, op_sense),
+            (scsi_op::INQUIRY, op_inquiry),
+            (scsi_op::READ_CAPACITY, op_readcap),
+            (scsi_op::READ_10, op_read10),
+            (scsi_op::WRITE_10, op_write10),
+        ],
+        op_unknown,
+    );
+
+    b.select(op_tur);
+    b.set_var(v.rstat, Expr::lit(0));
+    b.set_var(v.rintr, Expr::lit(intr::FC));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(ESP_IRQ) });
+    b.jump(done);
+
+    // REQUEST SENSE / unknown opcodes share the sense-fill loop whose
+    // length comes from CDB byte 4 (allocation length).
+    b.select(op_sense);
+    b.jump(sense_fill);
+    b.select(op_unknown);
+    if reserved_groups_accepted {
+        b.jump(sense_fill);
+    } else {
+        b.set_var(v.rintr, Expr::lit(intr::ILL));
+        b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(ESP_IRQ) });
+        b.jump(done);
+    }
+
+    b.select(sense_fill);
+    {
+        let j = b.local("sense_i", W32);
+        let n = b.local("sense_n", W32);
+        b.set_local(j, Expr::lit(0));
+        if reserved_groups_accepted {
+            // Vulnerable: allocation length used unbounded.
+            b.set_local(n, Expr::buf(v.cmdbuf, Expr::lit(4)));
+        } else {
+            // Patched: clamped to the FIFO.
+            b.set_local(n, Expr::bin(BinOp::And, Expr::buf(v.cmdbuf, Expr::lit(4)), Expr::lit(0xf)));
+        }
+        let fill_loop = b.block("sense_fill_body");
+        b.branch(Expr::eq(Expr::local(n), Expr::lit(0)), resp_ready, fill_loop);
+        b.select(fill_loop);
+        b.buf_store(v.fifo, Expr::local(j), Expr::lit(0x70));
+        b.set_local(j, Expr::bin(BinOp::Add, Expr::local(j), Expr::lit(1)));
+        b.branch(Expr::bin(BinOp::Lt, Expr::local(j), Expr::local(n)), fill_loop, resp_ready);
+    }
+
+    b.select(op_inquiry);
+    for (k, byte) in [0x00u64, 0x00, 0x05, 0x02, 12, 0, 0, 0, b'S' as u64, b'E' as u64, b'D' as u64, b'S' as u64]
+        .into_iter()
+        .enumerate()
+    {
+        b.buf_store(v.fifo, Expr::lit(k as u64), Expr::lit(byte));
+    }
+    b.set_var(v.ti_wptr, Expr::lit(12));
+    b.set_var(v.rflags, Expr::lit(12));
+    b.jump(resp_ready);
+
+    b.select(op_readcap);
+    for k in 0..4u64 {
+        // Capacity: sectors-1, big-endian (backend capacity surrogate).
+        b.buf_store(v.fifo, Expr::lit(k), Expr::lit(0));
+    }
+    b.buf_store(v.fifo, Expr::lit(3), Expr::lit(0xff));
+    b.buf_store(v.fifo, Expr::lit(4), Expr::lit(0));
+    b.buf_store(v.fifo, Expr::lit(5), Expr::lit(0));
+    b.buf_store(v.fifo, Expr::lit(6), Expr::lit(2));
+    b.buf_store(v.fifo, Expr::lit(7), Expr::lit(0));
+    b.set_var(v.ti_wptr, Expr::lit(8));
+    b.set_var(v.rflags, Expr::lit(8));
+    b.jump(resp_ready);
+
+    // READ(10)/WRITE(10): latch LBA (bytes 2..6, big-endian) and count
+    // (bytes 7..9); the data moves on the TI command.
+    let latch_xfer = |b: &mut ProgramBuilder, v: &Vars| {
+        b.set_var(
+            v.xfer_sector,
+            Expr::bin(
+                BinOp::Or,
+                Expr::bin(BinOp::Shl, Expr::buf(v.cmdbuf, Expr::lit(4)), Expr::lit(8)),
+                Expr::buf(v.cmdbuf, Expr::lit(5)),
+            ),
+        );
+        b.set_var(
+            v.xfer_count,
+            Expr::bin(
+                BinOp::Or,
+                Expr::bin(BinOp::Shl, Expr::buf(v.cmdbuf, Expr::lit(7)), Expr::lit(8)),
+                Expr::buf(v.cmdbuf, Expr::lit(8)),
+            ),
+        );
+    };
+    b.select(op_read10);
+    latch_xfer(&mut b, v);
+    b.set_var(v.pending_op, Expr::lit(1)); // read pending
+    b.set_var(v.rstat, Expr::lit(0x01)); // data-in phase
+    b.jump(resp_ready);
+
+    b.select(op_write10);
+    latch_xfer(&mut b, v);
+    b.set_var(v.pending_op, Expr::lit(2)); // write pending
+    b.set_var(v.rstat, Expr::lit(0x00)); // data-out phase
+    b.jump(resp_ready);
+
+    b.select(resp_ready);
+    b.set_var(v.rintr, Expr::lit(intr::BUS | intr::FC));
+    b.set_var(v.rseq, Expr::lit(4)); // sequence: command complete
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(ESP_IRQ) });
+    b.jump(done);
+
+    // TRANSFER INFORMATION: move pending sectors via DMA.
+    b.select(c_ti);
+    b.set_var(
+        v.dma_cur,
+        Expr::bin(BinOp::Or, Expr::var(v.dmalo), Expr::bin(BinOp::Shl, Expr::var(v.dmahi), Expr::lit(16))),
+    );
+    b.branch(Expr::eq(Expr::var(v.pending_op), Expr::lit(1)), ti_read, ti_write);
+
+    b.select(ti_read);
+    b.branch(Expr::eq(Expr::var(v.xfer_count), Expr::lit(0)), ti_done, rd_loop);
+
+    b.select(rd_loop);
+    b.intrinsic(Intrinsic::DiskReadToBuf {
+        buf: v.databuf,
+        buf_off: Expr::lit(0),
+        sector: Expr::var(v.xfer_sector),
+    });
+    b.intrinsic(Intrinsic::DmaFromBuf {
+        buf: v.databuf,
+        buf_off: Expr::lit(0),
+        gpa: Expr::var(v.dma_cur),
+        len: Expr::lit(512),
+    });
+    b.set_var(v.dma_cur, Expr::bin(BinOp::Add, Expr::var(v.dma_cur), Expr::lit(512)));
+    b.set_var(v.xfer_sector, Expr::bin(BinOp::Add, Expr::var(v.xfer_sector), Expr::lit(1)));
+    b.set_var(v.xfer_count, Expr::bin(BinOp::Sub, Expr::var(v.xfer_count), Expr::lit(1)));
+    b.branch(Expr::eq(Expr::var(v.xfer_count), Expr::lit(0)), ti_done, rd_loop);
+
+    b.select(ti_write);
+    b.branch(Expr::eq(Expr::var(v.pending_op), Expr::lit(2)), wr_loop, done);
+
+    b.select(wr_loop);
+    b.intrinsic(Intrinsic::DmaToBuf {
+        buf: v.databuf,
+        buf_off: Expr::lit(0),
+        gpa: Expr::var(v.dma_cur),
+        len: Expr::lit(512),
+    });
+    b.intrinsic(Intrinsic::DiskWriteFromBuf {
+        buf: v.databuf,
+        buf_off: Expr::lit(0),
+        sector: Expr::var(v.xfer_sector),
+    });
+    b.set_var(v.dma_cur, Expr::bin(BinOp::Add, Expr::var(v.dma_cur), Expr::lit(512)));
+    b.set_var(v.xfer_sector, Expr::bin(BinOp::Add, Expr::var(v.xfer_sector), Expr::lit(1)));
+    b.set_var(v.xfer_count, Expr::bin(BinOp::Sub, Expr::var(v.xfer_count), Expr::lit(1)));
+    b.branch(Expr::eq(Expr::var(v.xfer_count), Expr::lit(0)), ti_done, wr_loop);
+
+    b.select(ti_done);
+    b.set_var(v.pending_op, Expr::lit(0));
+    b.set_var(v.rstat, Expr::lit(0x03)); // status phase
+    b.set_var(v.rintr, Expr::lit(intr::FC));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(ESP_IRQ) });
+    b.jump(done);
+
+    b.finish().expect("esp pmio_write program is well-formed")
+}
+
+fn build_pmio_read(v: &Vars) -> Program {
+    let mut b = ProgramBuilder::new("esp_pmio_read");
+    let entry = b.entry_block("entry");
+    let done = b.exit_block("done");
+    let fifo_r = b.block("fifo_read");
+    let fifo_pop = b.block("fifo_pop");
+    let fifo_empty = b.block("fifo_empty");
+    let stat_r = b.block("status_read");
+    let intr_r = b.block("intr_read_clear");
+    let seq_r = b.block("seq_read");
+    let flags_r = b.block("flags_read");
+    let tclo_r = b.block("tclo_read");
+    let tcmed_r = b.block("tcmed_read");
+
+    b.select(entry);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::IoAddr, Expr::lit(0xf)),
+        vec![
+            (reg::TCLO, tclo_r),
+            (reg::TCMED, tcmed_r),
+            (reg::FIFO, fifo_r),
+            (reg::STAT, stat_r),
+            (reg::INTR, intr_r),
+            (reg::SEQ, seq_r),
+            (reg::FLAGS, flags_r),
+        ],
+        done,
+    );
+
+    b.select(tclo_r);
+    b.reply(Expr::var(v.tclo));
+    b.jump(done);
+
+    b.select(tcmed_r);
+    b.reply(Expr::var(v.tcmed));
+    b.jump(done);
+
+    b.select(fifo_r);
+    b.branch(Expr::bin(BinOp::Lt, Expr::var(v.ti_rptr), Expr::var(v.ti_wptr)), fifo_pop, fifo_empty);
+    b.select(fifo_pop);
+    b.reply(Expr::buf(v.fifo, Expr::bin(BinOp::And, Expr::var(v.ti_rptr), Expr::lit(0xf))));
+    b.set_var(v.ti_rptr, Expr::bin(BinOp::Add, Expr::var(v.ti_rptr), Expr::lit(1)));
+    b.jump(done);
+    b.select(fifo_empty);
+    b.reply(Expr::lit(0));
+    b.jump(done);
+
+    b.select(stat_r);
+    b.reply(Expr::var(v.rstat));
+    b.jump(done);
+
+    // Reading INTR clears it and lowers the line, as on real hardware.
+    b.select(intr_r);
+    b.reply(Expr::var(v.rintr));
+    b.set_var(v.rintr, Expr::lit(0));
+    b.intrinsic(Intrinsic::IrqLower { line: Expr::lit(ESP_IRQ) });
+    b.jump(done);
+
+    b.select(seq_r);
+    b.reply(Expr::var(v.rseq));
+    b.jump(done);
+
+    b.select(flags_r);
+    b.reply(Expr::var(v.rflags));
+    b.jump(done);
+
+    b.finish().expect("esp pmio_read program is well-formed")
+}
+
+/// Builds the ESP SCSI model at the given behaviour version.
+pub fn build(version: QemuVersion) -> Device {
+    let (cs, vars) = control_structure();
+    let write = build_pmio_write(&vars, version);
+    let read = build_pmio_read(&vars);
+    Device::assemble(
+        "SCSI",
+        version,
+        cs,
+        vec![(EntryPoint::PmioWrite, write), (EntryPoint::PmioRead, read)],
+        vec![(AddressSpace::Pmio, ESP_BASE, 0x10)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_vmm::{IoRequest, VmContext};
+
+    fn ctx() -> VmContext {
+        VmContext::new(0x100000, 4096)
+    }
+
+    fn outb(d: &mut Device, c: &mut VmContext, off: u64, val: u64) -> sedspec_dbl::interp::ExecOutcome {
+        d.handle_io(c, &IoRequest::write(AddressSpace::Pmio, ESP_BASE + off, 1, val)).unwrap()
+    }
+
+    fn inb(d: &mut Device, c: &mut VmContext, off: u64) -> u64 {
+        d.handle_io(c, &IoRequest::read(AddressSpace::Pmio, ESP_BASE + off, 1)).unwrap().reply
+    }
+
+    fn send_cdb(d: &mut Device, c: &mut VmContext, cdb: &[u8]) {
+        outb(d, c, reg::CMD, cmd::FLUSH);
+        for &byte in cdb {
+            outb(d, c, reg::FIFO, u64::from(byte));
+        }
+        outb(d, c, reg::CMD, cmd::SELATN);
+    }
+
+    #[test]
+    fn inquiry_returns_device_data() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        send_cdb(&mut d, &mut c, &[0x12, 0, 0, 0, 36, 0]);
+        assert_eq!(inb(&mut d, &mut c, reg::FLAGS), 12);
+        assert_eq!(inb(&mut d, &mut c, reg::INTR), intr::BUS | intr::FC);
+        let mut data = Vec::new();
+        for _ in 0..12 {
+            data.push(inb(&mut d, &mut c, reg::FIFO) as u8);
+        }
+        assert_eq!(&data[8..12], b"SEDS");
+        assert_eq!(data[2], 0x05); // SPC-3
+    }
+
+    #[test]
+    fn intr_read_clears_and_lowers_irq() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        send_cdb(&mut d, &mut c, &[0x00, 0, 0, 0, 0, 0]); // TEST UNIT READY
+        assert!(c.irqs.line(ESP_IRQ as usize).is_raised());
+        assert_ne!(inb(&mut d, &mut c, reg::INTR), 0);
+        assert!(!c.irqs.line(ESP_IRQ as usize).is_raised());
+        assert_eq!(inb(&mut d, &mut c, reg::INTR), 0);
+    }
+
+    #[test]
+    fn read10_write10_round_trip_through_dma() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        // WRITE(10): LBA 0x0102, 2 sectors, data staged at 0x8000.
+        c.mem.write_bytes(0x8000, &vec![0x9au8; 1024]).unwrap();
+        send_cdb(&mut d, &mut c, &[0x2a, 0, 0, 0, 0x01, 0x02, 0, 0, 2, 0]);
+        outb(&mut d, &mut c, reg::DMALO, 0x8000);
+        outb(&mut d, &mut c, reg::DMAHI, 0);
+        outb(&mut d, &mut c, reg::CMD, cmd::TI);
+        assert_eq!(c.disk.write_count(), 2);
+        // READ(10) the same two sectors back to 0xa000.
+        send_cdb(&mut d, &mut c, &[0x28, 0, 0, 0, 0x01, 0x02, 0, 0, 2, 0]);
+        outb(&mut d, &mut c, reg::DMALO, 0xa000);
+        outb(&mut d, &mut c, reg::DMAHI, 0);
+        outb(&mut d, &mut c, reg::CMD, cmd::TI);
+        assert_eq!(c.mem.read_vec(0xa000, 1024).unwrap(), vec![0x9a; 1024]);
+        assert_eq!(inb(&mut d, &mut c, reg::STAT), 0x03); // status phase
+    }
+
+    #[test]
+    fn iccs_reports_good_status() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        outb(&mut d, &mut c, reg::CMD, cmd::ICCS);
+        assert_eq!(inb(&mut d, &mut c, reg::FIFO), 0); // GOOD
+        assert_eq!(inb(&mut d, &mut c, reg::FIFO), 0); // COMMAND COMPLETE
+        assert_eq!(inb(&mut d, &mut c, reg::INTR), intr::FC);
+    }
+
+    #[test]
+    fn cve_2016_4439_fifo_writes_walk_into_cmdbuf() {
+        let mut d = build(QemuVersion::V2_6_0);
+        let mut c = ctx();
+        outb(&mut d, &mut c, reg::CMD, cmd::FLUSH);
+        let mut spills = 0;
+        for k in 0..24u64 {
+            spills += outb(&mut d, &mut c, reg::FIFO, 0xd0 + k).spills;
+        }
+        assert!(spills >= 8, "writes 16..24 must spill into cmdbuf");
+        // The spilled bytes are visible in cmdbuf — corrupted state.
+        let cmdbuf = d.control.buf_by_name("cmdbuf").unwrap();
+        assert_eq!(d.state.buf_bytes(cmdbuf)[0], 0xd0 + 16);
+    }
+
+    #[test]
+    fn patched_version_drops_fifo_overflow() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        outb(&mut d, &mut c, reg::CMD, cmd::FLUSH);
+        let mut spills = 0;
+        for k in 0..24u64 {
+            spills += outb(&mut d, &mut c, reg::FIFO, 0xd0 + k).spills;
+        }
+        assert_eq!(spills, 0);
+        assert_eq!(inb(&mut d, &mut c, reg::FLAGS), 16);
+    }
+
+    #[test]
+    fn cve_2015_5158_reserved_group_overruns_fifo() {
+        let mut d = build(QemuVersion::V2_4_0);
+        let mut c = ctx();
+        // Group 7 (reserved) opcode 0xff, allocation length 200.
+        let out_spills = {
+            outb(&mut d, &mut c, reg::CMD, cmd::FLUSH);
+            for &byte in &[0xffu8, 0, 0, 0, 200, 0] {
+                outb(&mut d, &mut c, reg::FIFO, u64::from(byte));
+            }
+            outb(&mut d, &mut c, reg::CMD, cmd::SELATN).spills
+        };
+        assert!(out_spills > 0, "sense fill must overrun the 16-byte FIFO");
+    }
+
+    #[test]
+    fn patched_version_rejects_reserved_groups() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        send_cdb(&mut d, &mut c, &[0xff, 0, 0, 0, 200, 0]);
+        assert_eq!(inb(&mut d, &mut c, reg::INTR), intr::ILL);
+        // And request sense stays clamped.
+        send_cdb(&mut d, &mut c, &[0x03, 0, 0, 0, 200, 0]);
+        assert_eq!(inb(&mut d, &mut c, reg::INTR), intr::BUS | intr::FC);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        send_cdb(&mut d, &mut c, &[0x12, 0, 0, 0, 36, 0]);
+        outb(&mut d, &mut c, reg::CMD, cmd::RESET);
+        assert_eq!(inb(&mut d, &mut c, reg::FLAGS), 0);
+        assert_eq!(inb(&mut d, &mut c, reg::STAT), 0);
+        assert_eq!(inb(&mut d, &mut c, reg::FIFO), 0);
+    }
+}

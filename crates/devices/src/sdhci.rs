@@ -1,0 +1,783 @@
+//! SD Host Controller Interface (QEMU `hw/sd/sdhci.c`).
+//!
+//! Reproduces the SDHC register file over MMIO, the PIO data port for
+//! single-block transfers, and SDMA multi-block transfers that pause at
+//! DMA-boundary interrupts and resume when the guest acknowledges them —
+//! the re-entrancy the CVE depends on.
+//!
+//! **CVE-2021-3409** ([`QemuVersion::V5_2_0`] and earlier): the block
+//! size register remains writable while a transfer is active. An SDMA
+//! multi-block write pauses mid-block with `data_count` bytes already
+//! staged; if the guest shrinks `blksize` below `data_count` before
+//! acknowledging, the resume path computes the remaining length as
+//! `blksize - data_count`, which underflows the unsigned 16-bit
+//! subtraction and is then used as a DMA copy length — overrunning
+//! `fifo_buffer`. The patched behaviour refuses block-size writes while
+//! the transfer is active.
+
+use sedspec_dbl::builder::ProgramBuilder;
+use sedspec_dbl::ir::Width::{W16, W32, W8};
+use sedspec_dbl::ir::{BinOp, BufId, Expr, Intrinsic, Program, VarId};
+use sedspec_dbl::state::ControlStructure;
+use sedspec_vmm::AddressSpace;
+
+use crate::{Device, EntryPoint, QemuVersion};
+
+/// SDHCI interrupt line.
+pub const SDHCI_IRQ: u64 = 9;
+/// Base of the claimed MMIO window.
+pub const SDHCI_BASE: u64 = 0x3000;
+/// Internal FIFO size (one block).
+pub const FIFO_SIZE: u64 = 512;
+/// Bytes staged by the first SDMA chunk before the boundary pause.
+pub const SDMA_CHUNK: u64 = 256;
+
+/// Register offsets (SD Host Controller spec).
+pub mod reg {
+    /// SDMA system address.
+    pub const SDMASYSAD: u64 = 0x00;
+    /// Block size.
+    pub const BLKSIZE: u64 = 0x04;
+    /// Block count.
+    pub const BLKCNT: u64 = 0x06;
+    /// Command argument.
+    pub const ARGUMENT: u64 = 0x08;
+    /// Transfer mode.
+    pub const TRNMOD: u64 = 0x0c;
+    /// Command register (index in bits 13:8).
+    pub const CMDREG: u64 = 0x0e;
+    /// Response word 0.
+    pub const RSP0: u64 = 0x10;
+    /// Buffer data port.
+    pub const BUFDATA: u64 = 0x20;
+    /// Present state.
+    pub const PRNSTS: u64 = 0x24;
+    /// Host control.
+    pub const HOSTCTL: u64 = 0x28;
+    /// Clock control.
+    pub const CLKCON: u64 = 0x2c;
+    /// Normal interrupt status (write 1 / ack to resume SDMA).
+    pub const NORINTSTS: u64 = 0x30;
+}
+
+/// PRNSTS bits.
+pub mod prnsts {
+    /// Data line active (a transfer is in progress).
+    pub const DAT_ACTIVE: u64 = 0x4;
+    /// Buffer write enable.
+    pub const BWE: u64 = 0x400;
+    /// Buffer read enable.
+    pub const BRE: u64 = 0x800;
+}
+
+/// NORINTSTS bits.
+pub mod intsts {
+    /// Command complete.
+    pub const CMD_COMPLETE: u64 = 0x1;
+    /// Transfer complete.
+    pub const XFER_COMPLETE: u64 = 0x2;
+    /// DMA boundary interrupt.
+    pub const DMA_INT: u64 = 0x8;
+}
+
+/// TRNMOD bits.
+pub mod trnmod {
+    /// DMA enable.
+    pub const DMA: u64 = 0x1;
+    /// Multi-block.
+    pub const MULTI: u64 = 0x20;
+}
+
+struct Vars {
+    sdmasysad: VarId,
+    blksize: VarId,
+    blkcnt: VarId,
+    argument: VarId,
+    trnmod_v: VarId,
+    cmdreg: VarId,
+    rsp0: VarId,
+    prnsts_v: VarId,
+    hostctl: VarId,
+    clkcon: VarId,
+    norintsts: VarId,
+    data_count: VarId,
+    transfer_len: VarId,
+    block_idx: VarId,
+    is_write: VarId,
+    fifo_buffer: BufId,
+}
+
+fn control_structure() -> (ControlStructure, Vars) {
+    let mut cs = ControlStructure::new("SDHCIState");
+    let sdmasysad = cs.register("sdmasysad", W32, 0);
+    let blksize = cs.register("blksize", W16, 0);
+    let blkcnt = cs.register("blkcnt", W16, 0);
+    let argument = cs.register("argument", W32, 0);
+    let trnmod_v = cs.register("trnmod", W16, 0);
+    let cmdreg = cs.register("cmdreg", W16, 0);
+    let rsp0 = cs.var("rsp0", W32);
+    let prnsts_v = cs.register("prnsts", W32, 0);
+    let hostctl = cs.register("hostctl", W8, 0);
+    let clkcon = cs.register("clkcon", W16, 0);
+    let norintsts = cs.var("norintsts", W16);
+    let data_count = cs.var("data_count", W16);
+    let transfer_len = cs.var("transfer_len", W16);
+    let block_idx = cs.var("block_idx", W16);
+    let is_write = cs.var("is_write", W8);
+    let fifo_buffer = cs.buffer("fifo_buffer", FIFO_SIZE as usize);
+    // The rest of SDHCIState behind the fifo: overruns land here first.
+    let _tail = cs.buffer("sdhci_tail", 512);
+    (
+        cs,
+        Vars {
+            sdmasysad,
+            blksize,
+            blkcnt,
+            argument,
+            trnmod_v,
+            cmdreg,
+            rsp0,
+            prnsts_v,
+            hostctl,
+            clkcon,
+            norintsts,
+            data_count,
+            transfer_len,
+            block_idx,
+            is_write,
+            fifo_buffer,
+        },
+    )
+}
+
+/// Current disk sector: `argument + block_idx`.
+fn sector_expr(v: &Vars) -> Expr {
+    Expr::bin(BinOp::Add, Expr::var(v.argument), Expr::var(v.block_idx))
+}
+
+fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
+    let blksize_mutable = version.has_vulnerability(QemuVersion::V5_2_0); // CVE-2021-3409
+    let mut b = ProgramBuilder::new("sdhci_mmio_write");
+
+    let entry = b.entry_block("entry");
+    let done = b.exit_block("done");
+    let sdmasysad_w = b.block("sdmasysad_write");
+    let blksize_w = b.block("blksize_write");
+    let blksize_set = b.block("blksize_set");
+    let blkcnt_w = b.block("blkcnt_write");
+    let argument_w = b.block("argument_write");
+    let trnmod_w = b.block("trnmod_write");
+    let hostctl_w = b.block("hostctl_write");
+    let clkcon_w = b.block("clkcon_write");
+    let cmd_w = b.cmd_decision_block("command_dispatch");
+    let cmd_go_idle = b.cmd_end_block("cmd0_go_idle");
+    let cmd_if_cond = b.cmd_end_block("cmd8_send_if_cond");
+    let cmd_status = b.cmd_end_block("cmd13_send_status");
+    let cmd_blocklen = b.cmd_end_block("cmd16_set_blocklen");
+    let cmd_read_single = b.block("cmd17_read_single");
+    let cmd_read_multi = b.block("cmd18_read_multi");
+    let rm_loop = b.block("sdma_read_block");
+    let rm_done = b.cmd_end_block("sdma_read_complete");
+    let cmd_write_single = b.block("cmd24_write_single");
+    let cmd_write_multi = b.block("cmd25_write_multi_sdma");
+    let cmd_write_multi_cnt = b.block("cmd25_count_check");
+    let cmd_write_multi_go = b.block("cmd25_start");
+    let cmd_stop = b.cmd_end_block("cmd12_stop");
+    let dataport_w = b.block("dataport_write");
+    let dp_store = b.block("dataport_store_word");
+    let dp_flush = b.block("dataport_block_flush");
+    let dp_complete = b.cmd_end_block("pio_write_complete");
+    let intsts_w = b.block("norintsts_ack");
+    let sdma_resume = b.block("sdma_resume_check");
+    let sdma_step = b.block("sdma_resume_tail_copy");
+    let sdma_flush = b.block("sdma_block_flush");
+    let sdma_next = b.block("sdma_next_block_head");
+    let sdma_done = b.cmd_end_block("sdma_write_complete");
+
+    b.select(entry);
+    b.switch(
+        Expr::bin(BinOp::And, Expr::IoAddr, Expr::lit(0x3f)),
+        vec![
+            (reg::SDMASYSAD, sdmasysad_w),
+            (reg::BLKSIZE, blksize_w),
+            (reg::BLKCNT, blkcnt_w),
+            (reg::ARGUMENT, argument_w),
+            (reg::TRNMOD, trnmod_w),
+            (reg::CMDREG, cmd_w),
+            (reg::BUFDATA, dataport_w),
+            (reg::HOSTCTL, hostctl_w),
+            (reg::CLKCON, clkcon_w),
+            (reg::NORINTSTS, intsts_w),
+        ],
+        done,
+    );
+
+    b.select(sdmasysad_w);
+    b.set_var(v.sdmasysad, Expr::IoData);
+    b.jump(done);
+
+    b.select(blksize_w);
+    if blksize_mutable {
+        // Vulnerable: accepted even while a transfer is active.
+        b.intrinsic(Intrinsic::Note("CVE-2021-3409: blksize writable mid-transfer".into()));
+        b.jump(blksize_set);
+    } else {
+        // Patched: ignored while the data line is active.
+        b.branch(
+            Expr::ne(
+                Expr::bin(BinOp::And, Expr::var(v.prnsts_v), Expr::lit(prnsts::DAT_ACTIVE)),
+                Expr::lit(0),
+            ),
+            done,
+            blksize_set,
+        );
+    }
+    b.select(blksize_set);
+    b.set_var(v.blksize, Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0xfff)));
+    b.jump(done);
+
+    b.select(blkcnt_w);
+    // Capped at 1023 blocks to keep single-command work bounded in this
+    // model (QEMU allows 65535; the cap does not affect any CVE path).
+    b.set_var(v.blkcnt, Expr::bin(BinOp::And, Expr::IoData, Expr::lit(0x3ff)));
+    b.jump(done);
+
+    b.select(argument_w);
+    b.set_var(v.argument, Expr::IoData);
+    b.jump(done);
+
+    b.select(trnmod_w);
+    b.set_var(v.trnmod_v, Expr::IoData);
+    b.jump(done);
+
+    b.select(hostctl_w);
+    b.set_var(v.hostctl, Expr::IoData);
+    b.jump(done);
+
+    b.select(clkcon_w);
+    b.set_var(v.clkcon, Expr::IoData);
+    b.jump(done);
+
+    // Command dispatch: index in bits 13:8 of the written value.
+    b.select(cmd_w);
+    b.set_var(v.cmdreg, Expr::IoData);
+    b.set_var(
+        v.norintsts,
+        Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::CMD_COMPLETE)),
+    );
+    b.switch(
+        Expr::bin(BinOp::And, Expr::bin(BinOp::Shr, Expr::IoData, Expr::lit(8)), Expr::lit(0x3f)),
+        vec![
+            (0, cmd_go_idle),
+            (8, cmd_if_cond),
+            (12, cmd_stop),
+            (13, cmd_status),
+            (16, cmd_blocklen),
+            (17, cmd_read_single),
+            (18, cmd_read_multi),
+            (24, cmd_write_single),
+            (25, cmd_write_multi),
+        ],
+        done,
+    );
+
+    b.select(cmd_go_idle);
+    b.set_var(v.prnsts_v, Expr::lit(0));
+    b.set_var(v.data_count, Expr::lit(0));
+    b.set_var(v.block_idx, Expr::lit(0));
+    b.set_var(v.rsp0, Expr::lit(0));
+    b.jump(done);
+
+    b.select(cmd_if_cond);
+    b.set_var(v.rsp0, Expr::var(v.argument));
+    b.jump(done);
+
+    b.select(cmd_status);
+    b.set_var(v.rsp0, Expr::lit(0x900)); // ready-for-data | tran state
+    b.jump(done);
+
+    b.select(cmd_blocklen);
+    b.set_var(v.rsp0, Expr::lit(0));
+    b.jump(done);
+
+    // CMD17: single-block PIO read.
+    b.select(cmd_read_single);
+    b.intrinsic(Intrinsic::DiskReadToBuf {
+        buf: v.fifo_buffer,
+        buf_off: Expr::lit(0),
+        sector: Expr::var(v.argument),
+    });
+    b.set_var(v.data_count, Expr::lit(0));
+    b.set_var(v.is_write, Expr::lit(0));
+    b.set_var(
+        v.prnsts_v,
+        Expr::bin(BinOp::Or, Expr::var(v.prnsts_v), Expr::lit(prnsts::DAT_ACTIVE | prnsts::BRE)),
+    );
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
+    b.jump(done);
+
+    // CMD18: multi-block SDMA read (runs to completion).
+    b.select(cmd_read_multi);
+    b.set_var(v.block_idx, Expr::lit(0));
+    b.branch(Expr::eq(Expr::var(v.blkcnt), Expr::lit(0)), done, rm_loop);
+
+    b.select(rm_loop);
+    b.intrinsic(Intrinsic::DiskReadToBuf {
+        buf: v.fifo_buffer,
+        buf_off: Expr::lit(0),
+        sector: sector_expr(v),
+    });
+    b.intrinsic(Intrinsic::DmaFromBuf {
+        buf: v.fifo_buffer,
+        buf_off: Expr::lit(0),
+        gpa: Expr::var(v.sdmasysad),
+        len: Expr::var(v.blksize),
+    });
+    b.set_var(v.sdmasysad, Expr::bin(BinOp::Add, Expr::var(v.sdmasysad), Expr::var(v.blksize)));
+    b.set_var(v.block_idx, Expr::bin(BinOp::Add, Expr::var(v.block_idx), Expr::lit(1)));
+    b.set_var(v.blkcnt, Expr::bin(BinOp::Sub, Expr::var(v.blkcnt), Expr::lit(1)));
+    b.branch(Expr::eq(Expr::var(v.blkcnt), Expr::lit(0)), rm_done, rm_loop);
+
+    b.select(rm_done);
+    b.set_var(
+        v.norintsts,
+        Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::XFER_COMPLETE)),
+    );
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
+    b.jump(done);
+
+    // CMD24: single-block PIO write (data arrives via the data port).
+    b.select(cmd_write_single);
+    b.set_var(v.data_count, Expr::lit(0));
+    b.set_var(v.is_write, Expr::lit(1));
+    b.set_var(
+        v.prnsts_v,
+        Expr::bin(BinOp::Or, Expr::var(v.prnsts_v), Expr::lit(prnsts::DAT_ACTIVE | prnsts::BWE)),
+    );
+    b.jump(done);
+
+    // CMD25: multi-block SDMA write. The transfer only starts with a
+    // sane block size and count (QEMU's BlockSizeAndCnt guard); the
+    // first chunk of the first block is staged, then the transfer
+    // pauses at the DMA boundary.
+    b.select(cmd_write_multi);
+    b.branch(
+        Expr::bin(BinOp::Lt, Expr::var(v.blksize), Expr::lit(SDMA_CHUNK)),
+        done,
+        cmd_write_multi_cnt,
+    );
+    b.select(cmd_write_multi_cnt);
+    b.branch(Expr::eq(Expr::var(v.blkcnt), Expr::lit(0)), done, cmd_write_multi_go);
+    b.select(cmd_write_multi_go);
+    b.set_var(v.block_idx, Expr::lit(0));
+    b.set_var(v.is_write, Expr::lit(1));
+    b.set_var(
+        v.prnsts_v,
+        Expr::bin(BinOp::Or, Expr::var(v.prnsts_v), Expr::lit(prnsts::DAT_ACTIVE)),
+    );
+    b.intrinsic(Intrinsic::DmaToBuf {
+        buf: v.fifo_buffer,
+        buf_off: Expr::lit(0),
+        gpa: Expr::var(v.sdmasysad),
+        len: Expr::lit(SDMA_CHUNK),
+    });
+    b.set_var(v.data_count, Expr::lit(SDMA_CHUNK));
+    b.set_var(v.norintsts, Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::DMA_INT)));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
+    b.jump(done);
+
+    b.select(cmd_stop);
+    b.set_var(
+        v.prnsts_v,
+        Expr::bin(
+            BinOp::And,
+            Expr::var(v.prnsts_v),
+            Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::lit(prnsts::DAT_ACTIVE | prnsts::BWE | prnsts::BRE)),
+        ),
+    );
+    b.set_var(v.data_count, Expr::lit(0));
+    b.jump(done);
+
+    // PIO data port (CMD24 path), one 32-bit word per write.
+    b.select(dataport_w);
+    b.branch(
+        Expr::eq(
+            Expr::bin(BinOp::And, Expr::var(v.prnsts_v), Expr::lit(prnsts::DAT_ACTIVE)),
+            Expr::lit(0),
+        ),
+        done,
+        dp_store,
+    );
+
+    b.select(dp_store);
+    for k in 0..4u64 {
+        b.buf_store(
+            v.fifo_buffer,
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Add, Expr::var(v.data_count), Expr::lit(k)),
+                Expr::lit(FIFO_SIZE - 1),
+            ),
+            Expr::bin(BinOp::Shr, Expr::IoData, Expr::lit(k * 8)),
+        );
+    }
+    b.set_var(v.data_count, Expr::bin(BinOp::Add, Expr::var(v.data_count), Expr::lit(4)));
+    b.branch(Expr::bin(BinOp::Ge, Expr::var(v.data_count), Expr::var(v.blksize)), dp_flush, done);
+
+    b.select(dp_flush);
+    b.intrinsic(Intrinsic::DiskWriteFromBuf {
+        buf: v.fifo_buffer,
+        buf_off: Expr::lit(0),
+        sector: Expr::var(v.argument),
+    });
+    b.set_var(v.data_count, Expr::lit(0));
+    b.jump(dp_complete);
+
+    b.select(dp_complete);
+    b.set_var(
+        v.prnsts_v,
+        Expr::bin(
+            BinOp::And,
+            Expr::var(v.prnsts_v),
+            Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::lit(prnsts::DAT_ACTIVE | prnsts::BWE)),
+        ),
+    );
+    b.set_var(
+        v.norintsts,
+        Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::XFER_COMPLETE)),
+    );
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
+    b.jump(done);
+
+    // Interrupt status ack; acking the DMA interrupt resumes SDMA.
+    b.select(intsts_w);
+    b.set_var(
+        v.norintsts,
+        Expr::bin(BinOp::And, Expr::var(v.norintsts), Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::IoData)),
+    );
+    b.branch(
+        Expr::ne(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(intsts::DMA_INT)), Expr::lit(0)),
+        sdma_resume,
+        done,
+    );
+
+    b.select(sdma_resume);
+    b.branch(
+        Expr::eq(
+            Expr::bin(BinOp::And, Expr::var(v.prnsts_v), Expr::lit(prnsts::DAT_ACTIVE)),
+            Expr::lit(0),
+        ),
+        done,
+        sdma_step,
+    );
+
+    // The CVE site: the tail length of the paused block is computed as
+    // blksize - data_count at the *current* blksize. If the guest shrank
+    // blksize below the already-staged data_count, this 16-bit unsigned
+    // subtraction wraps and the wrapped value is used as the DMA length.
+    b.select(sdma_step);
+    b.set_var(v.transfer_len, Expr::bin(BinOp::Sub, Expr::var(v.blksize), Expr::var(v.data_count)));
+    b.intrinsic(Intrinsic::DmaToBuf {
+        buf: v.fifo_buffer,
+        buf_off: Expr::var(v.data_count),
+        gpa: Expr::bin(BinOp::Add, Expr::var(v.sdmasysad), Expr::var(v.data_count)),
+        len: Expr::var(v.transfer_len),
+    });
+    b.set_var(v.data_count, Expr::bin(BinOp::Add, Expr::var(v.data_count), Expr::var(v.transfer_len)));
+    b.jump(sdma_flush);
+
+    b.select(sdma_flush);
+    b.intrinsic(Intrinsic::DiskWriteFromBuf {
+        buf: v.fifo_buffer,
+        buf_off: Expr::lit(0),
+        sector: sector_expr(v),
+    });
+    b.set_var(v.sdmasysad, Expr::bin(BinOp::Add, Expr::var(v.sdmasysad), Expr::var(v.blksize)));
+    b.set_var(v.block_idx, Expr::bin(BinOp::Add, Expr::var(v.block_idx), Expr::lit(1)));
+    b.set_var(v.blkcnt, Expr::bin(BinOp::Sub, Expr::var(v.blkcnt), Expr::lit(1)));
+    b.set_var(v.data_count, Expr::lit(0));
+    b.branch(Expr::eq(Expr::var(v.blkcnt), Expr::lit(0)), sdma_done, sdma_next);
+
+    b.select(sdma_next);
+    b.intrinsic(Intrinsic::DmaToBuf {
+        buf: v.fifo_buffer,
+        buf_off: Expr::lit(0),
+        gpa: Expr::var(v.sdmasysad),
+        len: Expr::lit(SDMA_CHUNK),
+    });
+    b.set_var(v.data_count, Expr::lit(SDMA_CHUNK));
+    b.set_var(v.norintsts, Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::DMA_INT)));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
+    b.jump(done);
+
+    b.select(sdma_done);
+    b.set_var(
+        v.prnsts_v,
+        Expr::bin(
+            BinOp::And,
+            Expr::var(v.prnsts_v),
+            Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::lit(prnsts::DAT_ACTIVE)),
+        ),
+    );
+    b.set_var(
+        v.norintsts,
+        Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::XFER_COMPLETE)),
+    );
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
+    b.jump(done);
+
+    b.finish().expect("sdhci mmio_write program is well-formed")
+}
+
+fn build_mmio_read(v: &Vars) -> Program {
+    let mut b = ProgramBuilder::new("sdhci_mmio_read");
+    let entry = b.entry_block("entry");
+    let done = b.exit_block("done");
+    let regs: Vec<(u64, VarId, &str)> = vec![
+        (reg::SDMASYSAD, v.sdmasysad, "read_sdmasysad"),
+        (reg::BLKSIZE, v.blksize, "read_blksize"),
+        (reg::BLKCNT, v.blkcnt, "read_blkcnt"),
+        (reg::ARGUMENT, v.argument, "read_argument"),
+        (reg::TRNMOD, v.trnmod_v, "read_trnmod"),
+        (reg::RSP0, v.rsp0, "read_rsp0"),
+        (reg::PRNSTS, v.prnsts_v, "read_prnsts"),
+        (reg::NORINTSTS, v.norintsts, "read_norintsts"),
+    ];
+    let ids: Vec<_> = regs.iter().map(|&(off, var, name)| (off, var, b.block(name))).collect();
+    let dataport_r = b.block("dataport_read");
+    let dp_word = b.block("dataport_read_word");
+    let dp_last = b.cmd_end_block("pio_read_complete");
+    let other = b.block("read_other");
+
+    b.select(entry);
+    let mut arms: Vec<(u64, sedspec_dbl::ir::BlockId)> =
+        ids.iter().map(|&(off, _, blk)| (off, blk)).collect();
+    arms.push((reg::BUFDATA, dataport_r));
+    b.switch(Expr::bin(BinOp::And, Expr::IoAddr, Expr::lit(0x3f)), arms, other);
+
+    for &(_, var, blk) in &ids {
+        b.select(blk);
+        b.reply(Expr::var(var));
+        b.jump(done);
+    }
+
+    b.select(other);
+    b.reply(Expr::lit(0));
+    b.jump(done);
+
+    // PIO data-port read (CMD17 path).
+    b.select(dataport_r);
+    b.branch(
+        Expr::eq(
+            Expr::bin(BinOp::And, Expr::var(v.prnsts_v), Expr::lit(prnsts::BRE)),
+            Expr::lit(0),
+        ),
+        other,
+        dp_word,
+    );
+
+    b.select(dp_word);
+    let word = |k: u64, v: &Vars| {
+        Expr::bin(
+            BinOp::Shl,
+            Expr::buf(
+                v.fifo_buffer,
+                Expr::bin(
+                    BinOp::And,
+                    Expr::bin(BinOp::Add, Expr::var(v.data_count), Expr::lit(k)),
+                    Expr::lit(FIFO_SIZE - 1),
+                ),
+            ),
+            Expr::lit(k * 8),
+        )
+    };
+    b.reply(Expr::bin(
+        BinOp::Or,
+        Expr::bin(BinOp::Or, word(0, v), word(1, v)),
+        Expr::bin(BinOp::Or, word(2, v), word(3, v)),
+    ));
+    b.set_var(v.data_count, Expr::bin(BinOp::Add, Expr::var(v.data_count), Expr::lit(4)));
+    b.branch(Expr::bin(BinOp::Ge, Expr::var(v.data_count), Expr::var(v.blksize)), dp_last, done);
+
+    b.select(dp_last);
+    b.set_var(
+        v.prnsts_v,
+        Expr::bin(
+            BinOp::And,
+            Expr::var(v.prnsts_v),
+            Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::lit(prnsts::DAT_ACTIVE | prnsts::BRE)),
+        ),
+    );
+    b.set_var(
+        v.norintsts,
+        Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::XFER_COMPLETE)),
+    );
+    b.set_var(v.data_count, Expr::lit(0));
+    b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
+    b.jump(done);
+
+    b.finish().expect("sdhci mmio_read program is well-formed")
+}
+
+/// Builds the SDHCI model at the given behaviour version.
+pub fn build(version: QemuVersion) -> Device {
+    let (cs, vars) = control_structure();
+    let write = build_mmio_write(&vars, version);
+    let read = build_mmio_read(&vars);
+    Device::assemble(
+        "SDHCI",
+        version,
+        cs,
+        vec![(EntryPoint::MmioWrite, write), (EntryPoint::MmioRead, read)],
+        vec![(AddressSpace::Mmio, SDHCI_BASE, 0x40)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_dbl::interp::Fault;
+    use sedspec_vmm::{IoRequest, VmContext};
+
+    fn ctx() -> VmContext {
+        VmContext::new(0x100000, 256)
+    }
+
+    fn w(d: &mut Device, c: &mut VmContext, off: u64, val: u64) -> Result<sedspec_dbl::interp::ExecOutcome, Fault> {
+        d.handle_io(c, &IoRequest::write(AddressSpace::Mmio, SDHCI_BASE + off, 4, val))
+    }
+
+    fn r(d: &mut Device, c: &mut VmContext, off: u64) -> u64 {
+        d.handle_io(c, &IoRequest::read(AddressSpace::Mmio, SDHCI_BASE + off, 4)).unwrap().reply
+    }
+
+    fn cmd(d: &mut Device, c: &mut VmContext, index: u64) {
+        w(d, c, reg::CMDREG, index << 8).unwrap();
+    }
+
+    #[test]
+    fn if_cond_echoes_argument() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        w(&mut d, &mut c, reg::ARGUMENT, 0x1aa).unwrap();
+        cmd(&mut d, &mut c, 8);
+        assert_eq!(r(&mut d, &mut c, reg::RSP0), 0x1aa);
+        assert_ne!(r(&mut d, &mut c, reg::NORINTSTS) & intsts::CMD_COMPLETE, 0);
+    }
+
+    #[test]
+    fn pio_write_then_read_round_trip() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        w(&mut d, &mut c, reg::BLKSIZE, 512).unwrap();
+        w(&mut d, &mut c, reg::ARGUMENT, 5).unwrap(); // sector 5
+        cmd(&mut d, &mut c, 24);
+        assert_ne!(r(&mut d, &mut c, reg::PRNSTS) & prnsts::BWE, 0);
+        for i in 0..128u64 {
+            w(&mut d, &mut c, reg::BUFDATA, 0x0101_0101u64.wrapping_mul(i) & 0xffff_ffff).unwrap();
+        }
+        assert_ne!(r(&mut d, &mut c, reg::NORINTSTS) & intsts::XFER_COMPLETE, 0);
+        assert_eq!(c.disk.write_count(), 1);
+        // Read it back via CMD17.
+        cmd(&mut d, &mut c, 17);
+        assert_ne!(r(&mut d, &mut c, reg::PRNSTS) & prnsts::BRE, 0);
+        let first = r(&mut d, &mut c, reg::BUFDATA);
+        assert_eq!(first, 0);
+        let second = r(&mut d, &mut c, reg::BUFDATA);
+        assert_eq!(second, 0x0101_0101);
+    }
+
+    #[test]
+    fn sdma_multi_block_write_with_boundary_pauses() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        c.mem.write_bytes(0x8000, &vec![0x77u8; 1024]).unwrap();
+        w(&mut d, &mut c, reg::SDMASYSAD, 0x8000).unwrap();
+        w(&mut d, &mut c, reg::BLKSIZE, 512).unwrap();
+        w(&mut d, &mut c, reg::BLKCNT, 2).unwrap();
+        w(&mut d, &mut c, reg::ARGUMENT, 10).unwrap();
+        w(&mut d, &mut c, reg::TRNMOD, trnmod::DMA | trnmod::MULTI).unwrap();
+        cmd(&mut d, &mut c, 25);
+        // First boundary pause.
+        assert_ne!(r(&mut d, &mut c, reg::NORINTSTS) & intsts::DMA_INT, 0);
+        w(&mut d, &mut c, reg::NORINTSTS, intsts::DMA_INT).unwrap(); // ack: block 1 done, pause again
+        assert_ne!(r(&mut d, &mut c, reg::NORINTSTS) & intsts::DMA_INT, 0);
+        w(&mut d, &mut c, reg::NORINTSTS, intsts::DMA_INT).unwrap(); // ack: block 2 done
+        assert_ne!(r(&mut d, &mut c, reg::NORINTSTS) & intsts::XFER_COMPLETE, 0);
+        assert_eq!(c.disk.write_count(), 2);
+        assert_eq!(c.disk.read_sector(10).unwrap()[0], 0x77);
+        assert_eq!(c.disk.read_sector(11).unwrap()[511], 0x77);
+    }
+
+    #[test]
+    fn sdma_multi_block_read_completes() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        c.disk.write_sector(20, &[0x42u8; 512]).unwrap();
+        c.disk.write_sector(21, &[0x43u8; 512]).unwrap();
+        w(&mut d, &mut c, reg::SDMASYSAD, 0x9000).unwrap();
+        w(&mut d, &mut c, reg::BLKSIZE, 512).unwrap();
+        w(&mut d, &mut c, reg::BLKCNT, 2).unwrap();
+        w(&mut d, &mut c, reg::ARGUMENT, 20).unwrap();
+        w(&mut d, &mut c, reg::TRNMOD, trnmod::DMA | trnmod::MULTI).unwrap();
+        cmd(&mut d, &mut c, 18);
+        assert_eq!(c.mem.read_u8(0x9000).unwrap(), 0x42);
+        assert_eq!(c.mem.read_u8(0x9000 + 512).unwrap(), 0x43);
+        assert_ne!(r(&mut d, &mut c, reg::NORINTSTS) & intsts::XFER_COMPLETE, 0);
+    }
+
+    #[test]
+    fn cve_2021_3409_blksize_shrink_underflows_and_overruns() {
+        let mut d = build(QemuVersion::V5_2_0);
+        let mut c = ctx();
+        c.mem.write_bytes(0x8000, &vec![0x55u8; 0x20000].to_vec()).unwrap();
+        w(&mut d, &mut c, reg::SDMASYSAD, 0x8000).unwrap();
+        w(&mut d, &mut c, reg::BLKSIZE, 512).unwrap();
+        w(&mut d, &mut c, reg::BLKCNT, 2).unwrap();
+        w(&mut d, &mut c, reg::TRNMOD, trnmod::DMA | trnmod::MULTI).unwrap();
+        cmd(&mut d, &mut c, 25);
+        // Mid-transfer (256 bytes staged), shrink blksize below data_count.
+        w(&mut d, &mut c, reg::BLKSIZE, 128).unwrap(); // accepted: the defect
+        assert_eq!(r(&mut d, &mut c, reg::BLKSIZE), 128);
+        // Resume: transfer_len = 128 - 256 underflows to 65408.
+        let res = w(&mut d, &mut c, reg::NORINTSTS, intsts::DMA_INT);
+        match res {
+            Ok(out) => {
+                assert!(out.spills > 0, "underflowed length must overrun the fifo");
+                assert!(out.overflow.arithmetic, "the subtraction must be flagged");
+            }
+            Err(f) => assert!(matches!(f, Fault::Arena(_)), "unexpected fault {f:?}"),
+        }
+    }
+
+    #[test]
+    fn patched_version_refuses_blksize_mid_transfer() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        w(&mut d, &mut c, reg::SDMASYSAD, 0x8000).unwrap();
+        w(&mut d, &mut c, reg::BLKSIZE, 512).unwrap();
+        w(&mut d, &mut c, reg::BLKCNT, 2).unwrap();
+        w(&mut d, &mut c, reg::TRNMOD, trnmod::DMA | trnmod::MULTI).unwrap();
+        cmd(&mut d, &mut c, 25);
+        w(&mut d, &mut c, reg::BLKSIZE, 128).unwrap(); // ignored while active
+        assert_eq!(r(&mut d, &mut c, reg::BLKSIZE), 512);
+        let out = w(&mut d, &mut c, reg::NORINTSTS, intsts::DMA_INT).unwrap();
+        assert_eq!(out.spills, 0);
+        assert!(!out.overflow.arithmetic);
+    }
+
+    #[test]
+    fn stop_command_clears_transfer_state() {
+        let mut d = build(QemuVersion::Patched);
+        let mut c = ctx();
+        w(&mut d, &mut c, reg::BLKSIZE, 512).unwrap();
+        cmd(&mut d, &mut c, 24);
+        assert_ne!(r(&mut d, &mut c, reg::PRNSTS) & prnsts::DAT_ACTIVE, 0);
+        cmd(&mut d, &mut c, 12);
+        assert_eq!(r(&mut d, &mut c, reg::PRNSTS) & prnsts::DAT_ACTIVE, 0);
+        // Data port now inert.
+        let out = w(&mut d, &mut c, reg::BUFDATA, 0xffff_ffff).unwrap();
+        assert_eq!(out.spills, 0);
+        assert_eq!(c.disk.write_count(), 0);
+    }
+}

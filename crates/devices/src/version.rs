@@ -1,0 +1,82 @@
+use std::fmt;
+
+/// The QEMU release whose behaviour a device model reproduces.
+///
+/// The paper's case studies run each CVE PoC against the QEMU version it
+/// affects (Table III). Our device models take the version as a knob:
+/// versions at or before a CVE's fix keep the vulnerable code path,
+/// later versions use the patched one. [`QemuVersion::Patched`] has
+/// every fix applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QemuVersion {
+    /// QEMU 2.3.0 — vulnerable to CVE-2015-3456 (Venom).
+    V2_3_0,
+    /// QEMU 2.4.0 — vulnerable to CVE-2015-7504/-7512 and CVE-2015-5158.
+    V2_4_0,
+    /// QEMU 2.6.0 — vulnerable to CVE-2016-7909 and CVE-2016-4439.
+    V2_6_0,
+    /// QEMU 5.1.0 — vulnerable to CVE-2020-14364.
+    V5_1_0,
+    /// QEMU 5.2.0 — vulnerable to CVE-2021-3409.
+    V5_2_0,
+    /// All reproduced fixes applied.
+    Patched,
+}
+
+impl QemuVersion {
+    /// All modelled versions, oldest first.
+    pub fn all() -> [QemuVersion; 6] {
+        [
+            QemuVersion::V2_3_0,
+            QemuVersion::V2_4_0,
+            QemuVersion::V2_6_0,
+            QemuVersion::V5_1_0,
+            QemuVersion::V5_2_0,
+            QemuVersion::Patched,
+        ]
+    }
+
+    /// Whether this version still contains the fix-pending code for a
+    /// vulnerability fixed in `fixed_after`.
+    ///
+    /// `fixed_after` is the last *affected* version: e.g. Venom was fixed
+    /// right after 2.3.0, so `self.has_vulnerability(QemuVersion::V2_3_0)`
+    /// is true only for 2.3.0 itself.
+    pub fn has_vulnerability(self, fixed_after: QemuVersion) -> bool {
+        self != QemuVersion::Patched && self <= fixed_after
+    }
+}
+
+impl fmt::Display for QemuVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QemuVersion::V2_3_0 => "v2.3.0",
+            QemuVersion::V2_4_0 => "v2.4.0",
+            QemuVersion::V2_6_0 => "v2.6.0",
+            QemuVersion::V5_1_0 => "v5.1.0",
+            QemuVersion::V5_2_0 => "v5.2.0",
+            QemuVersion::Patched => "patched",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vulnerability_windows() {
+        assert!(QemuVersion::V2_3_0.has_vulnerability(QemuVersion::V2_3_0));
+        assert!(!QemuVersion::V2_4_0.has_vulnerability(QemuVersion::V2_3_0));
+        assert!(QemuVersion::V2_3_0.has_vulnerability(QemuVersion::V2_6_0));
+        assert!(QemuVersion::V2_6_0.has_vulnerability(QemuVersion::V2_6_0));
+        assert!(!QemuVersion::Patched.has_vulnerability(QemuVersion::V5_2_0));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(QemuVersion::V2_3_0.to_string(), "v2.3.0");
+        assert_eq!(QemuVersion::V5_2_0.to_string(), "v5.2.0");
+    }
+}

@@ -1,0 +1,892 @@
+//! The ES-Checker: runtime enforcement of an execution specification
+//! (paper §VI).
+//!
+//! For every I/O interaction the checker *simulates the execution based
+//! on the execution specification*: it walks the ES-CFG from the entry
+//! block, executes each block's DSOD on a **shadow device state** (a
+//! separate control-structure instance initialized at device boot and
+//! updated only by I/O data and the ES-CFG), and evaluates each NBTD to
+//! pick the next block. Three check strategies run during the walk:
+//!
+//! * **Parameter check** — integer overflow in DSOD arithmetic (UBSan-
+//!   style, from each parameter's declared width/signedness) and buffer
+//!   overflow where a device-state index/length parameter (or pure I/O
+//!   data) addresses a monitored buffer outside its extent;
+//! * **Indirect-jump check** — an indirect call whose pointer value does
+//!   not correspond to a legitimate target;
+//! * **Conditional-jump check** — a branch outcome whose edge was never
+//!   traversed in training, an unknown command at a command-decision
+//!   block, or a block outside the active command's access bitmap.
+//!
+//! DSOD operations that need *external* data (sync points) ask a
+//! [`SyncProvider`]; with [`NoSync`] the walk suspends and the caller
+//! runs the device first, then re-walks with a [`RecordedSync`] built
+//! from the observation log — the paper's sync-point protocol.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sedspec_dbl::interp::{eval_expr, EvalCtx, EvalError};
+use sedspec_dbl::ir::{BufId, Expr, Stmt, VarId};
+use sedspec_dbl::state::{ControlStructure, CsState};
+use sedspec_dbl::value::{OverflowFlags, TypedValue};
+use sedspec_vmm::IoRequest;
+use serde::{Deserialize, Serialize};
+
+use crate::escfg::{gid, DsodOp, EdgeKey, EsCfg, Nbtd};
+use crate::observe::{IoRoundLog, ObsEvent};
+use crate::spec::ExecutionSpecification;
+
+/// The three check strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Parameter check (integer/buffer overflow).
+    Parameter,
+    /// Indirect jump check (control-flow hijack).
+    IndirectJump,
+    /// Conditional jump check (irregular device operation).
+    ConditionalJump,
+}
+
+/// Which strategies are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckConfig {
+    /// Enable the parameter check.
+    pub parameter: bool,
+    /// Enable the indirect-jump check.
+    pub indirect_jump: bool,
+    /// Enable the conditional-jump check.
+    pub conditional_jump: bool,
+    /// Enforce per-command accessibility (the command access table).
+    /// Disabling this is the whole-graph-checking ablation DESIGN.md
+    /// calls out; unknown commands and out-of-scope blocks then go
+    /// unchecked.
+    pub command_scope: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig { parameter: true, indirect_jump: true, conditional_jump: true, command_scope: true }
+    }
+}
+
+impl CheckConfig {
+    /// Exactly one strategy enabled (the paper's per-strategy case studies).
+    pub fn only(strategy: Strategy) -> Self {
+        CheckConfig {
+            parameter: strategy == Strategy::Parameter,
+            indirect_jump: strategy == Strategy::IndirectJump,
+            conditional_jump: strategy == Strategy::ConditionalJump,
+            command_scope: strategy == Strategy::ConditionalJump,
+        }
+    }
+}
+
+/// ES-Checker working modes (paper §VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkingMode {
+    /// Halt device and VM on any detected anomaly.
+    Protection,
+    /// Halt only on parameter-check anomalies; warn otherwise.
+    Enhancement,
+}
+
+/// A detected specification violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// DSOD arithmetic wrapped at a parameter's width.
+    IntegerOverflow {
+        /// Handler index.
+        program: usize,
+        /// ES block.
+        block: u32,
+        /// Block label.
+        label: String,
+    },
+    /// A monitored buffer was addressed outside its extent.
+    BufferOverflow {
+        /// Handler index.
+        program: usize,
+        /// ES block.
+        block: u32,
+        /// Block label.
+        label: String,
+        /// The buffer.
+        buf: BufId,
+        /// First accessed offset.
+        start: i64,
+        /// One past the last accessed offset.
+        end: i64,
+        /// Declared buffer length.
+        cap: u64,
+    },
+    /// Shadow execution itself faulted (arena escape, division by zero).
+    ShadowFault {
+        /// Handler index.
+        program: usize,
+        /// ES block.
+        block: u32,
+        /// Fault description.
+        detail: String,
+    },
+    /// An indirect call through an illegitimate pointer value.
+    IndirectTarget {
+        /// Handler index.
+        program: usize,
+        /// ES block.
+        block: u32,
+        /// Block label.
+        label: String,
+        /// The pointer value.
+        value: u64,
+    },
+    /// A branch outcome whose edge training never traversed.
+    UntrainedBranch {
+        /// Handler index.
+        program: usize,
+        /// ES block.
+        block: u32,
+        /// Block label.
+        label: String,
+        /// The outcome that has no edge.
+        taken: bool,
+    },
+    /// A switch value with no observed target.
+    UnknownSwitchTarget {
+        /// Handler index.
+        program: usize,
+        /// ES block.
+        block: u32,
+        /// Block label.
+        label: String,
+        /// The scrutinee value.
+        value: u64,
+    },
+    /// A command value the command access table has never seen.
+    UnknownCommand {
+        /// Handler index.
+        program: usize,
+        /// ES block.
+        block: u32,
+        /// Block label.
+        label: String,
+        /// The command value.
+        cmd: u64,
+    },
+    /// A block outside the active command's access bitmap.
+    BlockOutsideCommand {
+        /// Handler index.
+        program: usize,
+        /// ES block.
+        block: u32,
+        /// Block label.
+        label: String,
+        /// The active command.
+        cmd: u64,
+    },
+    /// The request routed to a handler whose entry was never traced.
+    UntracedEntry {
+        /// Handler index.
+        program: usize,
+    },
+    /// Execution reached a path segment training never traced.
+    UntracedPath {
+        /// Handler index.
+        program: usize,
+        /// ES block the walk was at.
+        block: u32,
+    },
+}
+
+impl Violation {
+    /// The strategy this violation belongs to.
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            Violation::IntegerOverflow { .. }
+            | Violation::BufferOverflow { .. }
+            | Violation::ShadowFault { .. } => Strategy::Parameter,
+            Violation::IndirectTarget { .. } => Strategy::IndirectJump,
+            Violation::UntrainedBranch { .. }
+            | Violation::UnknownSwitchTarget { .. }
+            | Violation::UnknownCommand { .. }
+            | Violation::BlockOutsideCommand { .. }
+            | Violation::UntracedEntry { .. }
+            | Violation::UntracedPath { .. } => Strategy::ConditionalJump,
+        }
+    }
+}
+
+/// Result of checking one I/O round.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Violations found (walks stop at the first).
+    pub violations: Vec<Violation>,
+    /// The walk needs device-side sync data to proceed.
+    pub needs_sync: bool,
+    /// The walk reached the exit block.
+    pub completed: bool,
+    /// ES blocks walked.
+    pub blocks_walked: u64,
+    /// Sync values consumed.
+    pub syncs_used: u64,
+    /// Bytes of external buffer content replayed into the shadow.
+    pub sync_bytes: u64,
+}
+
+impl RoundReport {
+    /// No violations were found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Source of sync-point values during a walk.
+pub trait SyncProvider {
+    /// Next external value loaded into `var`, if available.
+    fn var_value(&mut self, var: VarId) -> Option<u64>;
+    /// Next branch outcome observed at program block `origin`.
+    fn branch_outcome(&mut self, origin: u32) -> Option<bool>;
+    /// Next switch value observed at program block `origin`.
+    fn switch_value(&mut self, origin: u32) -> Option<u64>;
+    /// Next externally copied content for `buf`: `(offset, bytes)`.
+    fn buf_content(&mut self, buf: BufId) -> Option<(i64, Vec<u8>)>;
+}
+
+/// Provider with no data: sync requests suspend the walk (pre-execution
+/// checking).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSync;
+
+impl SyncProvider for NoSync {
+    fn var_value(&mut self, _var: VarId) -> Option<u64> {
+        None
+    }
+    fn branch_outcome(&mut self, _origin: u32) -> Option<bool> {
+        None
+    }
+    fn switch_value(&mut self, _origin: u32) -> Option<u64> {
+        None
+    }
+    fn buf_content(&mut self, _buf: BufId) -> Option<(i64, Vec<u8>)> {
+        None
+    }
+}
+
+/// Sync data replayed from one recorded device round.
+#[derive(Debug, Default)]
+pub struct RecordedSync {
+    vars: BTreeMap<VarId, VecDeque<u64>>,
+    branches: BTreeMap<u32, VecDeque<bool>>,
+    switches: BTreeMap<u32, VecDeque<u64>>,
+    bufs: BTreeMap<BufId, VecDeque<(i64, Vec<u8>)>>,
+}
+
+impl RecordedSync {
+    /// Builds the replay queues from an observed round.
+    pub fn from_round(round: &IoRoundLog) -> Self {
+        let mut out = RecordedSync::default();
+        for e in &round.events {
+            match e {
+                ObsEvent::ExternalLoad { var: Some(v), value, .. } => {
+                    out.vars.entry(*v).or_default().push_back(*value);
+                }
+                ObsEvent::CondBranch { block, taken } => {
+                    out.branches.entry(*block).or_default().push_back(*taken);
+                }
+                ObsEvent::Switch { block, value, .. } => {
+                    out.switches.entry(*block).or_default().push_back(*value);
+                }
+                ObsEvent::ExternalBuf { buf, off, bytes } => {
+                    out.bufs.entry(*buf).or_default().push_back((*off, bytes.clone()));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+impl SyncProvider for RecordedSync {
+    fn var_value(&mut self, var: VarId) -> Option<u64> {
+        self.vars.get_mut(&var).and_then(VecDeque::pop_front)
+    }
+    fn branch_outcome(&mut self, origin: u32) -> Option<bool> {
+        self.branches.get_mut(&origin).and_then(VecDeque::pop_front)
+    }
+    fn switch_value(&mut self, origin: u32) -> Option<u64> {
+        self.switches.get_mut(&origin).and_then(VecDeque::pop_front)
+    }
+    fn buf_content(&mut self, buf: BufId) -> Option<(i64, Vec<u8>)> {
+        self.bufs.get_mut(&buf).and_then(VecDeque::pop_front)
+    }
+}
+
+/// Active command scope carried across rounds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CmdCtx {
+    /// Decision-block global id.
+    pub decision: u64,
+    /// Command value.
+    pub cmd: u64,
+    /// Cached allowed set.
+    pub allowed: BTreeSet<u64>,
+}
+
+/// Outcome of one walk: the report plus the tentative post-round state.
+#[derive(Debug)]
+pub struct WalkResult {
+    /// The check report.
+    pub report: RoundReport,
+    /// Shadow state after the walk (commit on acceptance).
+    pub shadow: CsState,
+    /// Command scope after the walk.
+    pub cmd_ctx: Option<CmdCtx>,
+}
+
+/// Safety bound on walked blocks per round.
+const WALK_LIMIT: u64 = 1 << 20;
+
+/// Whether an index/length expression is within the parameter check's
+/// scope: it must be computable without handler temporaries and involve
+/// either a selected device-state parameter or pure I/O data. Overflows
+/// through *temporaries* (QEMU's local pointer copies) are exactly the
+/// cases the paper reports as parameter-check blind spots.
+fn checkable_range_expr(e: &Expr, params: &crate::params::DeviceStateParams) -> bool {
+    if !e.locals().is_empty() {
+        return false;
+    }
+    let vars = e.vars();
+    vars.is_empty() || vars.iter().any(|v| params.contains_var(*v))
+}
+
+/// The ES-Checker.
+#[derive(Debug)]
+pub struct EsChecker {
+    spec: ExecutionSpecification,
+    control: ControlStructure,
+    shadow: CsState,
+    cmd_ctx: Option<CmdCtx>,
+    /// Strategy configuration.
+    pub config: CheckConfig,
+}
+
+impl EsChecker {
+    /// Creates a checker over `spec`, with the shadow state initialized
+    /// from the control structure's boot values (paper §V-A-1).
+    pub fn new(spec: ExecutionSpecification, control: ControlStructure) -> Self {
+        let shadow = control.instantiate();
+        EsChecker { spec, control, shadow, cmd_ctx: None, config: CheckConfig::default() }
+    }
+
+    /// Replaces the strategy configuration.
+    pub fn with_config(mut self, config: CheckConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The specification being enforced.
+    pub fn spec(&self) -> &ExecutionSpecification {
+        &self.spec
+    }
+
+    /// Current shadow state (read-only).
+    pub fn shadow(&self) -> &CsState {
+        &self.shadow
+    }
+
+    /// The active command scope, if any.
+    pub fn cmd_ctx(&self) -> Option<&CmdCtx> {
+        self.cmd_ctx.as_ref()
+    }
+
+    /// Restores a previously captured shadow state and command scope
+    /// (snapshot rollback, paper §VIII).
+    pub fn restore(&mut self, shadow: CsState, cmd_ctx: Option<CmdCtx>) {
+        self.shadow = shadow;
+        self.cmd_ctx = cmd_ctx;
+    }
+
+    /// Commits a walk's tentative state (call after accepting the round).
+    pub fn commit(&mut self, result: &WalkResult) {
+        self.shadow = result.shadow.clone();
+        self.cmd_ctx = result.cmd_ctx.clone();
+    }
+
+    /// Re-synchronizes the shadow from the real device state (used in
+    /// enhancement mode after a warned round, so one divergence does not
+    /// cascade into spurious warnings).
+    pub fn resync_shadow(&mut self, real: &CsState) {
+        self.shadow = real.clone();
+        self.cmd_ctx = None;
+    }
+
+    /// Walks the specification for one I/O round without committing.
+    pub fn walk_round(
+        &self,
+        program: usize,
+        req: &IoRequest,
+        sync: &mut dyn SyncProvider,
+    ) -> WalkResult {
+        let mut report = RoundReport::default();
+        let mut shadow = self.shadow.clone();
+        let mut cmd_ctx = self.cmd_ctx.clone();
+
+        let cfg = &self.spec.cfgs[program];
+        let Some(entry) = cfg.entry else {
+            if self.config.conditional_jump {
+                report.violations.push(Violation::UntracedEntry { program });
+            }
+            return WalkResult { report, shadow, cmd_ctx };
+        };
+
+        let mut locals: Vec<TypedValue> =
+            cfg.locals.iter().map(|&w| TypedValue::unsigned(0, w)).collect();
+        let mut call_stack: Vec<u32> = Vec::new();
+        let mut cur = entry;
+
+        'walk: loop {
+            report.blocks_walked += 1;
+            if report.blocks_walked > WALK_LIMIT {
+                break;
+            }
+            let blk = &cfg.blocks[cur as usize];
+
+            // Command-scope accessibility (finer-grained conditional check).
+            if let Some(ctx) = &cmd_ctx {
+                if self.config.command_scope && !ctx.allowed.contains(&gid(program, cur)) {
+                    if self.config.conditional_jump {
+                        report.violations.push(Violation::BlockOutsideCommand {
+                            program,
+                            block: cur,
+                            label: blk.label.clone(),
+                            cmd: ctx.cmd,
+                        });
+                    }
+                    break;
+                }
+            }
+            if blk.kind == sedspec_dbl::ir::BlockKind::CmdEnd {
+                cmd_ctx = None;
+            }
+
+            // --- DSOD ---
+            for op in &blk.dsod {
+                match op {
+                    DsodOp::Exec(stmt) => {
+                        // With the parameter check off, corruption is
+                        // allowed to propagate into the shadow, just as
+                        // it does in the device (only fatal shadow
+                        // faults still end the walk, silently).
+                        if let Err(v) = self.exec_shadow(
+                            stmt,
+                            &mut shadow,
+                            &mut locals,
+                            req,
+                            program,
+                            cur,
+                            &blk.label,
+                            cfg,
+                            self.config.parameter,
+                        ) {
+                            if self.config.parameter {
+                                report.violations.push(v);
+                            }
+                            break 'walk;
+                        }
+                    }
+                    DsodOp::SyncVar(v) => match sync.var_value(*v) {
+                        Some(val) => {
+                            shadow.set_var(*v, val);
+                            report.syncs_used += 1;
+                        }
+                        None => {
+                            report.needs_sync = true;
+                            break 'walk;
+                        }
+                    },
+                    DsodOp::SyncBuf { buf, off, len } => {
+                        if let Some(v) = self.range_violation(
+                            *buf, off, len, &shadow, &locals, req, program, cur, &blk.label,
+                        ) {
+                            report.violations.push(v);
+                            break 'walk;
+                        }
+                        // Replay the externally copied content into the
+                        // shadow so later state (and any corruption the
+                        // copy caused) is faithful.
+                        match sync.buf_content(*buf) {
+                            Some((off0, bytes)) => {
+                                report.syncs_used += 1;
+                                report.sync_bytes += bytes.len() as u64;
+                                for (k, byte) in bytes.iter().enumerate() {
+                                    if shadow.buf_write(*buf, off0 + k as i64, *byte).is_err() {
+                                        if self.config.parameter {
+                                            report.violations.push(Violation::ShadowFault {
+                                                program,
+                                                block: cur,
+                                                detail: "external copy left the arena".into(),
+                                            });
+                                        }
+                                        break 'walk;
+                                    }
+                                }
+                            }
+                            None => {
+                                report.needs_sync = true;
+                                break 'walk;
+                            }
+                        }
+                    }
+                    DsodOp::CheckBufRead { buf, off, len } => {
+                        if let Some(v) = self.range_violation(
+                            *buf, off, len, &shadow, &locals, req, program, cur, &blk.label,
+                        ) {
+                            report.violations.push(v);
+                            break 'walk;
+                        }
+                    }
+                }
+            }
+
+            // --- NBTD ---
+            match &blk.nbtd {
+                Nbtd::None => {
+                    if blk.is_exit {
+                        report.completed = true;
+                        break;
+                    }
+                    if blk.is_return {
+                        let Some(ret) = call_stack.pop() else {
+                            if self.config.conditional_jump {
+                                report.violations.push(Violation::UntracedPath {
+                                    program,
+                                    block: cur,
+                                });
+                            }
+                            break;
+                        };
+                        match cfg.resolve(ret) {
+                            Some(es) => {
+                                cur = es;
+                                continue;
+                            }
+                            None => {
+                                if self.config.conditional_jump {
+                                    report.violations.push(Violation::UntracedPath {
+                                        program,
+                                        block: cur,
+                                    });
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    match cfg.edge(cur, EdgeKey::Next) {
+                        Some(e) => cur = e.to,
+                        None => {
+                            if self.config.conditional_jump {
+                                report.violations.push(Violation::UntracedPath {
+                                    program,
+                                    block: cur,
+                                });
+                            }
+                            break;
+                        }
+                    }
+                }
+                Nbtd::Branch { cond, needs_sync } => {
+                    let taken = if *needs_sync {
+                        match sync.branch_outcome(blk.origin) {
+                            Some(t) => {
+                                report.syncs_used += 1;
+                                t
+                            }
+                            None => {
+                                report.needs_sync = true;
+                                break;
+                            }
+                        }
+                    } else {
+                        let mut flags = OverflowFlags::clear();
+                        let ctx = EvalCtx { cs: &shadow, locals: &locals, io: req };
+                        match eval_expr(cond, &ctx, &mut flags) {
+                            Ok(v) => v.is_true(),
+                            Err(e) => {
+                                if self.config.parameter {
+                                    report.violations.push(Violation::ShadowFault {
+                                        program,
+                                        block: cur,
+                                        detail: e.to_string(),
+                                    });
+                                }
+                                break;
+                            }
+                        }
+                    };
+                    let key = if taken { EdgeKey::Taken } else { EdgeKey::NotTaken };
+                    match cfg.edge(cur, key) {
+                        Some(e) => cur = e.to,
+                        None => {
+                            if self.config.conditional_jump {
+                                report.violations.push(Violation::UntrainedBranch {
+                                    program,
+                                    block: cur,
+                                    label: blk.label.clone(),
+                                    taken,
+                                });
+                            }
+                            break;
+                        }
+                    }
+                }
+                Nbtd::Switch { scrutinee, needs_sync, is_cmd_decision } => {
+                    let value = if *needs_sync {
+                        match sync.switch_value(blk.origin) {
+                            Some(v) => {
+                                report.syncs_used += 1;
+                                v
+                            }
+                            None => {
+                                report.needs_sync = true;
+                                break;
+                            }
+                        }
+                    } else {
+                        let mut flags = OverflowFlags::clear();
+                        let ctx = EvalCtx { cs: &shadow, locals: &locals, io: req };
+                        match eval_expr(scrutinee, &ctx, &mut flags) {
+                            Ok(v) => v.bits,
+                            Err(e) => {
+                                if self.config.parameter {
+                                    report.violations.push(Violation::ShadowFault {
+                                        program,
+                                        block: cur,
+                                        detail: e.to_string(),
+                                    });
+                                }
+                                break;
+                            }
+                        }
+                    };
+                    if *is_cmd_decision {
+                        match self.spec.cmd_table.lookup(gid(program, cur), value) {
+                            Some(entry) => {
+                                cmd_ctx = Some(CmdCtx {
+                                    decision: gid(program, cur),
+                                    cmd: value,
+                                    allowed: entry.allowed.clone(),
+                                });
+                            }
+                            None => {
+                                if self.config.conditional_jump && self.config.command_scope {
+                                    report.violations.push(Violation::UnknownCommand {
+                                        program,
+                                        block: cur,
+                                        label: blk.label.clone(),
+                                        cmd: value,
+                                    });
+                                    break;
+                                }
+                                cmd_ctx = None;
+                            }
+                        }
+                    }
+                    match cfg.edge(cur, EdgeKey::Case(value)) {
+                        Some(e) => cur = e.to,
+                        None => {
+                            if self.config.conditional_jump {
+                                report.violations.push(Violation::UnknownSwitchTarget {
+                                    program,
+                                    block: cur,
+                                    label: blk.label.clone(),
+                                    value,
+                                });
+                            }
+                            break;
+                        }
+                    }
+                }
+                Nbtd::Indirect { ptr, ret_origin } => {
+                    let value = shadow.var(*ptr);
+                    if !cfg.legit_fn_values.contains(&value) {
+                        if self.config.indirect_jump {
+                            report.violations.push(Violation::IndirectTarget {
+                                program,
+                                block: cur,
+                                label: blk.label.clone(),
+                                value,
+                            });
+                        }
+                        break;
+                    }
+                    match cfg.fn_targets.get(&value) {
+                        Some(&t) => {
+                            call_stack.push(*ret_origin);
+                            cur = t;
+                        }
+                        None => {
+                            if self.config.conditional_jump {
+                                report.violations.push(Violation::UntracedPath {
+                                    program,
+                                    block: cur,
+                                });
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        WalkResult { report, shadow, cmd_ctx }
+    }
+
+    /// Bounds-checks a buffer range expression pair under the parameter
+    /// check's scope rule, returning the violation if it fires.
+    #[allow(clippy::too_many_arguments)]
+    fn range_violation(
+        &self,
+        buf: BufId,
+        off: &Expr,
+        len: &Expr,
+        shadow: &CsState,
+        locals: &[TypedValue],
+        req: &IoRequest,
+        program: usize,
+        block: u32,
+        label: &str,
+    ) -> Option<Violation> {
+        if !self.config.parameter
+            || !checkable_range_expr(off, &self.spec.params)
+            || !checkable_range_expr(len, &self.spec.params)
+        {
+            return None;
+        }
+        let mut flags = OverflowFlags::clear();
+        let ctx = EvalCtx { cs: shadow, locals, io: req };
+        let o = eval_expr(off, &ctx, &mut flags).ok()?.as_i128() as i64;
+        let l = eval_expr(len, &ctx, &mut flags).ok()?.as_i128() as i64;
+        let cap = shadow.buf_len(buf) as i64;
+        if o < 0 || l < 0 || o + l > cap {
+            return Some(Violation::BufferOverflow {
+                program,
+                block,
+                label: label.to_string(),
+                buf,
+                start: o,
+                end: o + l,
+                cap: cap as u64,
+            });
+        }
+        None
+    }
+
+    /// Executes one DSOD statement on the shadow state. With `enforce`
+    /// set, the parameter check applies; otherwise only fatal shadow
+    /// faults (arena escape, division by zero) are reported, and
+    /// overflowing stores execute — corruption propagates as it does in
+    /// the real device.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_shadow(
+        &self,
+        stmt: &Stmt,
+        shadow: &mut CsState,
+        locals: &mut [TypedValue],
+        req: &IoRequest,
+        program: usize,
+        block: u32,
+        label: &str,
+        cfg: &EsCfg,
+        enforce: bool,
+    ) -> Result<(), Violation> {
+        let mut flags = OverflowFlags::clear();
+        let param_refs = |e: &Expr| e.vars().iter().any(|v| self.spec.params.contains_var(*v));
+        let eval = |e: &Expr, shadow: &CsState, locals: &[TypedValue], flags: &mut OverflowFlags| {
+            eval_expr(e, &EvalCtx { cs: shadow, locals, io: req }, flags)
+        };
+        let shadow_fault = |e: EvalError| Violation::ShadowFault {
+            program,
+            block,
+            detail: e.to_string(),
+        };
+
+        match stmt {
+            Stmt::SetVar(v, e) => {
+                let val = eval(e, shadow, locals, &mut flags).map_err(shadow_fault)?;
+                if enforce && flags.arithmetic && (param_refs(e) || self.spec.params.contains_var(*v)) {
+                    return Err(Violation::IntegerOverflow {
+                        program,
+                        block,
+                        label: label.to_string(),
+                    });
+                }
+                let decl = self.control.var_decl(*v);
+                let (conv, _) = val.convert(decl.width, decl.signed);
+                shadow.set_var(*v, conv.bits);
+            }
+            Stmt::SetLocal(l, e) => {
+                let val = eval(e, shadow, locals, &mut flags).map_err(shadow_fault)?;
+                let w = cfg.locals.get(l.0 as usize).copied().unwrap_or(sedspec_dbl::ir::Width::W64);
+                let (conv, _) = val.convert(w, false);
+                locals[l.0 as usize] = conv;
+            }
+            Stmt::BufStore(b, idx, val) => {
+                let i =
+                    eval(idx, shadow, locals, &mut flags).map_err(shadow_fault)?.as_i128() as i64;
+                let v = eval(val, shadow, locals, &mut flags).map_err(shadow_fault)?;
+                let cap = shadow.buf_len(*b) as i64;
+                if enforce && checkable_range_expr(idx, &self.spec.params) && (i < 0 || i >= cap) {
+                    return Err(Violation::BufferOverflow {
+                        program,
+                        block,
+                        label: label.to_string(),
+                        buf: *b,
+                        start: i,
+                        end: i + 1,
+                        cap: cap as u64,
+                    });
+                }
+                shadow.buf_write(*b, i, v.bits as u8).map_err(|e| Violation::ShadowFault {
+                    program,
+                    block,
+                    detail: e.to_string(),
+                })?;
+            }
+            Stmt::BufFill(b, e) => {
+                let v = eval(e, shadow, locals, &mut flags).map_err(shadow_fault)?;
+                shadow.buf_fill(*b, v.bits as u8);
+            }
+            Stmt::CopyPayload { buf, buf_off, len } => {
+                let off = eval(buf_off, shadow, locals, &mut flags).map_err(shadow_fault)?.as_i128()
+                    as i64;
+                let n =
+                    eval(len, shadow, locals, &mut flags).map_err(shadow_fault)?.as_i128().max(0) as i64;
+                let cap = shadow.buf_len(*buf) as i64;
+                if enforce
+                    && checkable_range_expr(buf_off, &self.spec.params)
+                    && checkable_range_expr(len, &self.spec.params)
+                    && (off < 0 || off + n > cap)
+                {
+                    return Err(Violation::BufferOverflow {
+                        program,
+                        block,
+                        label: label.to_string(),
+                        buf: *buf,
+                        start: off,
+                        end: off + n,
+                        cap: cap as u64,
+                    });
+                }
+                for k in 0..n {
+                    let byte = req.payload_byte(k as usize);
+                    shadow.buf_write(*buf, off + k, byte).map_err(|e| Violation::ShadowFault {
+                        program,
+                        block,
+                        detail: e.to_string(),
+                    })?;
+                }
+            }
+            Stmt::Intrinsic(_) => unreachable!("intrinsics never appear as Exec DSOD"),
+        }
+        Ok(())
+    }
+}

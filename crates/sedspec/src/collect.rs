@@ -1,0 +1,248 @@
+//! The data-collection phase (paper §IV, Figure 1 phase 1).
+//!
+//! Benign training samples drive the device while the IPT-style tracer
+//! captures branch packets (decoded into the ITC-CFG) and the
+//! observation points record the device state change log. The CFG
+//! analyzer then selects the device state parameters.
+//!
+//! The paper runs two passes (trace first, instrument and re-run);
+//! because our observation points record every variable change, one
+//! combined pass suffices — both hooks attach to the same execution and
+//! see identical behaviour.
+
+use sedspec_dbl::interp::ExecHook;
+use sedspec_dbl::ir::{BlockId, BlockKind, BufId, VarId};
+use sedspec_dbl::state::AccessEffect;
+use sedspec_dbl::value::OverflowKind;
+use sedspec_devices::Device;
+use sedspec_trace::decode::decode_run;
+use sedspec_trace::itc_cfg::ItcCfg;
+use sedspec_trace::tracer::{TraceConfig, Tracer};
+use sedspec_vmm::{IoRequest, VmContext};
+
+use crate::observe::{DeviceStateChangeLog, Observer};
+use crate::params::{select_params, DeviceStateParams};
+
+/// One step of a guest-side training script.
+///
+/// Training samples are not pure I/O streams: a guest driver also
+/// prepares descriptors in its own memory between accesses (qTDs,
+/// descriptor rings, init blocks) and sometimes idles. Scripts capture
+/// all three.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainStep {
+    /// An I/O interaction with the device.
+    Io(IoRequest),
+    /// The guest writes bytes into its own memory.
+    MemWrite {
+        /// Guest physical destination.
+        gpa: u64,
+        /// Bytes to write.
+        bytes: Vec<u8>,
+    },
+    /// The guest idles (random-with-delay interaction mode).
+    DelayNs(u64),
+}
+
+impl From<IoRequest> for TrainStep {
+    fn from(req: IoRequest) -> Self {
+        TrainStep::Io(req)
+    }
+}
+
+/// Applies a non-I/O step to the VM context; returns the request for I/O
+/// steps. Shared by training, evaluation and performance harnesses so
+/// every consumer replays scripts identically.
+pub fn apply_step<'a>(step: &'a TrainStep, ctx: &mut VmContext) -> Option<&'a IoRequest> {
+    match step {
+        TrainStep::Io(req) => Some(req),
+        TrainStep::MemWrite { gpa, bytes } => {
+            let _ = ctx.mem.write_bytes(*gpa, bytes);
+            None
+        }
+        TrainStep::DelayNs(ns) => {
+            ctx.clock.advance_ns(*ns);
+            None
+        }
+    }
+}
+
+/// Everything data collection produces.
+#[derive(Debug)]
+pub struct CollectionResult {
+    /// The indirect-targets-connected CFG accumulated over training.
+    pub itc: ItcCfg,
+    /// Selected device-state parameters.
+    pub params: DeviceStateParams,
+    /// The device state change log.
+    pub log: DeviceStateChangeLog,
+    /// Rounds whose packet streams failed to decode (device faulted).
+    pub undecoded_rounds: usize,
+}
+
+/// Fans one execution out to the tracer and the observer.
+struct FanoutHook<'a> {
+    tracer: &'a mut Tracer,
+    observer: &'a mut Observer,
+}
+
+impl ExecHook for FanoutHook<'_> {
+    fn on_block_enter(&mut self, block: BlockId, kind: BlockKind) {
+        self.tracer.on_block_enter(block, kind);
+        self.observer.on_block_enter(block, kind);
+    }
+    fn on_var_write(&mut self, var: VarId, old: u64, new: u64, of: OverflowKind) {
+        self.tracer.on_var_write(var, old, new, of);
+        self.observer.on_var_write(var, old, new, of);
+    }
+    fn on_buf_store(&mut self, buf: BufId, index: i64, effect: AccessEffect) {
+        self.tracer.on_buf_store(buf, index, effect);
+        self.observer.on_buf_store(buf, index, effect);
+    }
+    fn on_external_load(&mut self, var: Option<VarId>, buf: Option<BufId>, value: u64) {
+        self.tracer.on_external_load(var, buf, value);
+        self.observer.on_external_load(var, buf, value);
+    }
+    fn on_external_buf(&mut self, buf: BufId, off: i64, bytes: &[u8]) {
+        self.tracer.on_external_buf(buf, off, bytes);
+        self.observer.on_external_buf(buf, off, bytes);
+    }
+    fn on_cond_branch(&mut self, block: BlockId, taken: bool) {
+        self.tracer.on_cond_branch(block, taken);
+        self.observer.on_cond_branch(block, taken);
+    }
+    fn on_switch(&mut self, block: BlockId, value: u64, target: BlockId) {
+        self.tracer.on_switch(block, value, target);
+        self.observer.on_switch(block, value, target);
+    }
+    fn on_indirect_call(&mut self, block: BlockId, fn_value: u64, target: Option<BlockId>) {
+        self.tracer.on_indirect_call(block, fn_value, target);
+        self.observer.on_indirect_call(block, fn_value, target);
+    }
+    fn on_return(&mut self, block: BlockId, to: BlockId) {
+        self.tracer.on_return(block, to);
+        self.observer.on_return(block, to);
+    }
+    fn on_exit(&mut self, block: BlockId) {
+        self.tracer.on_exit(block);
+        self.observer.on_exit(block);
+    }
+}
+
+/// Runs the training samples against the device, collecting the ITC-CFG,
+/// the device state change log and the parameter selection.
+///
+/// Samples are request sequences; the device is *not* reset between
+/// samples (the training stream is continuous, like the paper's
+/// long-running guest interactions), so samples should be self-contained
+/// command-wise.
+pub fn collect(
+    device: &mut Device,
+    ctx: &mut VmContext,
+    samples: &[Vec<IoRequest>],
+    trace_config: TraceConfig,
+) -> CollectionResult {
+    let script: Vec<Vec<TrainStep>> = samples
+        .iter()
+        .map(|s| s.iter().cloned().map(TrainStep::Io).collect())
+        .collect();
+    collect_script(device, ctx, &script, trace_config)
+}
+
+/// Script-based variant of [`collect`], supporting guest memory writes
+/// and idle time between I/O interactions.
+pub fn collect_script(
+    device: &mut Device,
+    ctx: &mut VmContext,
+    samples: &[Vec<TrainStep>],
+    trace_config: TraceConfig,
+) -> CollectionResult {
+    let layout = device.layout().clone();
+    let mut tracer = Tracer::with_config(layout.clone(), trace_config);
+    let mut observer = Observer::new();
+    let mut itc = ItcCfg::new();
+    let mut log = DeviceStateChangeLog::new();
+    let mut undecoded = 0;
+
+    for sample in samples {
+        for step in sample {
+            let Some(req) = apply_step(step, ctx) else { continue };
+            let Some(pi) = device.route(req) else { continue };
+            let entry = device.programs()[pi].entry;
+            tracer.begin(pi, entry);
+            observer.begin(pi, req);
+            let fault = {
+                let mut hook = FanoutHook { tracer: &mut tracer, observer: &mut observer };
+                device.handle_io_hooked(ctx, req, &mut hook).err()
+            };
+            let packets = tracer.end();
+            log.rounds.push(observer.end(fault.as_ref().map(|f| f.to_string())));
+            let refs = device.program_refs();
+            match decode_run(&refs, &layout, &packets) {
+                Ok(run) => itc.add_run(&layout, &run),
+                Err(_) => undecoded += 1,
+            }
+        }
+    }
+
+    let refs = device.program_refs();
+    let params = select_params(&device.control, &refs, Some(&itc));
+    CollectionResult { itc, params, log, undecoded_rounds: undecoded }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+    use sedspec_vmm::AddressSpace;
+
+    #[test]
+    fn collects_itc_log_and_params() {
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let samples = vec![
+            vec![
+                IoRequest::read(AddressSpace::Pmio, 0x3f4, 1),
+                IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08),
+                IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
+                IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
+            ],
+        ];
+        let out = collect(&mut d, &mut ctx, &samples, TraceConfig::default());
+        assert_eq!(out.log.len(), 4);
+        assert_eq!(out.undecoded_rounds, 0);
+        assert!(out.itc.edge_count() > 0);
+        assert!(out.params.selected_var_count() > 0);
+        assert_eq!(out.itc.runs(), 4);
+    }
+
+    #[test]
+    fn trace_and_observation_agree_on_rounds() {
+        let mut d = build_device(DeviceKind::Scsi, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let samples = vec![vec![
+            IoRequest::write(AddressSpace::Pmio, 0xc03, 1, 0x01), // FLUSH
+            IoRequest::write(AddressSpace::Pmio, 0xc02, 1, 0x12), // CDB bytes
+            IoRequest::write(AddressSpace::Pmio, 0xc02, 1, 0x00),
+            IoRequest::write(AddressSpace::Pmio, 0xc02, 1, 0x00),
+            IoRequest::write(AddressSpace::Pmio, 0xc02, 1, 0x00),
+            IoRequest::write(AddressSpace::Pmio, 0xc02, 1, 36),
+            IoRequest::write(AddressSpace::Pmio, 0xc02, 1, 0x00),
+            IoRequest::write(AddressSpace::Pmio, 0xc03, 1, 0x42), // SELATN
+            IoRequest::read(AddressSpace::Pmio, 0xc05, 1),
+        ]];
+        let out = collect(&mut d, &mut ctx, &samples, TraceConfig::default());
+        assert_eq!(out.log.len(), 9);
+        assert_eq!(out.undecoded_rounds, 0);
+        assert_eq!(out.itc.runs(), out.log.len() as u64);
+    }
+
+    #[test]
+    fn unclaimed_requests_are_skipped() {
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let samples = vec![vec![IoRequest::read(AddressSpace::Pmio, 0x9999, 1)]];
+        let out = collect(&mut d, &mut ctx, &samples, TraceConfig::default());
+        assert_eq!(out.log.len(), 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! ES-CFG construction from the device state change log — the paper's
+//! Algorithm 1.
+//!
+//! For each log entry the runtime CFG is restored from the recorded
+//! block sequence; ES basic blocks (with DSOD/NBTD from the handler
+//! source) and transition edges are created for conditional and indirect
+//! jumps; command-decision blocks key the command access table, whose
+//! per-command bitmaps accumulate every block visited until the matching
+//! command-end block. Command context persists across I/O rounds, since
+//! one device command spans many interactions.
+
+use sedspec_dbl::ir::{BlockId, BlockKind, Program, Terminator};
+use serde::{Deserialize, Serialize};
+
+use crate::escfg::{
+    dsod_of_block, empty_escfg, gid, is_relevant, CommandAccessTable, EdgeKey, EsBlock, EsCfg,
+    Nbtd,
+};
+use crate::observe::{DeviceStateChangeLog, ObsEvent};
+use crate::params::DeviceStateParams;
+
+/// Output of the construction phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstructedSpec {
+    /// One ES-CFG per handler program.
+    pub cfgs: Vec<EsCfg>,
+    /// Device-global command access table.
+    pub cmd_table: CommandAccessTable,
+    /// Rounds skipped because the device faulted during training.
+    pub skipped_rounds: usize,
+}
+
+fn make_es_block(prog: &Program, b: BlockId, params: &DeviceStateParams) -> EsBlock {
+    let blk = prog.block(b);
+    let nbtd = match &blk.term {
+        Terminator::Branch { cond, .. } => Nbtd::Branch { cond: cond.clone(), needs_sync: false },
+        Terminator::Switch { scrutinee, .. } => Nbtd::Switch {
+            scrutinee: scrutinee.clone(),
+            needs_sync: false,
+            is_cmd_decision: blk.kind == BlockKind::CmdDecision,
+        },
+        Terminator::IndirectCall { ptr, ret } => {
+            Nbtd::Indirect { ptr: *ptr, ret_origin: ret.0 }
+        }
+        Terminator::Jump(_) | Terminator::Return | Terminator::Exit => Nbtd::None,
+    };
+    EsBlock {
+        origin: b.0,
+        label: blk.label.clone(),
+        kind: blk.kind,
+        dsod: dsod_of_block(prog, b, params),
+        nbtd,
+        is_exit: matches!(blk.term, Terminator::Exit),
+        is_return: matches!(blk.term, Terminator::Return),
+    }
+}
+
+fn ensure_block(cfg: &mut EsCfg, prog: &Program, b: BlockId, params: &DeviceStateParams) -> u32 {
+    if let Some(&es) = cfg.by_origin.get(&b.0) {
+        return es;
+    }
+    let es = cfg.blocks.len() as u32;
+    cfg.blocks.push(make_es_block(prog, b, params));
+    cfg.by_origin.insert(b.0, es);
+    es
+}
+
+/// Pending outgoing-edge annotation between consecutive ES blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    /// Fall-through (jump chains, straight-line).
+    Next,
+    /// A decided transition.
+    Key(EdgeKey),
+    /// A return transfer: validated by the call stack at runtime, no edge.
+    Skip,
+}
+
+/// Builds the preliminary ES-CFGs and command table from a training log.
+pub fn construct(
+    programs: &[&Program],
+    params: &DeviceStateParams,
+    log: &DeviceStateChangeLog,
+) -> ConstructedSpec {
+    let mut cfgs: Vec<EsCfg> =
+        programs.iter().enumerate().map(|(i, p)| empty_escfg(i, p, params)).collect();
+    let mut cmd_table = CommandAccessTable::default();
+    let mut skipped = 0;
+
+    // Command context persists across rounds within the training stream.
+    let mut cmd_key: Option<(u64, u64)> = None; // (decision gid, cmd value)
+
+    for round in &log.rounds {
+        if round.fault.is_some() {
+            skipped += 1;
+            continue;
+        }
+        let pi = round.program;
+        let prog = programs[pi];
+
+        let mut prev: Option<u32> = None;
+        let mut pending = Pending::Next;
+        let mut pending_fn: Option<u64> = None;
+
+        for event in &round.events {
+            match event {
+                ObsEvent::BlockEnter { block, .. } => {
+                    let b = BlockId(*block);
+                    if !is_relevant(prog, b, params) {
+                        continue;
+                    }
+                    let es = ensure_block(&mut cfgs[pi], prog, b, params);
+                    if cfgs[pi].entry.is_none() && prev.is_none() {
+                        cfgs[pi].entry = Some(es);
+                    }
+                    match (prev, pending) {
+                        (Some(p), Pending::Next) => cfgs[pi].record_edge(p, EdgeKey::Next, es),
+                        (Some(p), Pending::Key(k)) => cfgs[pi].record_edge(p, k, es),
+                        (Some(_), Pending::Skip) | (None, _) => {}
+                    }
+                    if let Some(val) = pending_fn.take() {
+                        cfgs[pi].fn_targets.insert(val, es);
+                    }
+                    pending = Pending::Next;
+                    prev = Some(es);
+                    if let Some((dec, cmd)) = cmd_key {
+                        cmd_table.entry_mut(dec, cmd).allowed.insert(gid(pi, es));
+                    }
+                    if cfgs[pi].blocks[es as usize].kind == BlockKind::CmdEnd {
+                        // Algorithm 1 line 19-20: store and invalidate.
+                        cmd_key = None;
+                    }
+                }
+                ObsEvent::CondBranch { taken, .. } => {
+                    pending =
+                        Pending::Key(if *taken { EdgeKey::Taken } else { EdgeKey::NotTaken });
+                }
+                ObsEvent::Switch { block, value, .. } => {
+                    pending = Pending::Key(EdgeKey::Case(*value));
+                    if prog.block(BlockId(*block)).kind == BlockKind::CmdDecision {
+                        // Algorithm 1 line 15-16: decode the command and
+                        // load its access vector.
+                        if let Some(&es) = cfgs[pi].by_origin.get(block) {
+                            cmd_key = Some((gid(pi, es), *value));
+                        }
+                    }
+                }
+                ObsEvent::IndirectCall { value, .. } => {
+                    pending = Pending::Key(EdgeKey::IndirectTo(*value));
+                    pending_fn = Some(*value);
+                }
+                ObsEvent::Return { .. } => {
+                    pending = Pending::Skip;
+                }
+                ObsEvent::Exit { .. }
+                | ObsEvent::VarWrite { .. }
+                | ObsEvent::ExternalLoad { .. }
+                | ObsEvent::ExternalBuf { .. } => {}
+            }
+        }
+    }
+
+    ConstructedSpec { cfgs, cmd_table, skipped_rounds: skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::Observer;
+    use crate::params::select_params;
+    use sedspec_devices::{build_device, Device, DeviceKind, QemuVersion};
+    use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+    fn record(
+        device: &mut Device,
+        ctx: &mut VmContext,
+        reqs: &[IoRequest],
+    ) -> DeviceStateChangeLog {
+        let mut log = DeviceStateChangeLog::new();
+        let mut obs = Observer::new();
+        for req in reqs {
+            let Some(pi) = device.route(req) else { continue };
+            obs.begin(pi, req);
+            let fault = device.handle_io_hooked(ctx, req, &mut obs).err().map(|f| f.to_string());
+            log.rounds.push(obs.end(fault));
+        }
+        log
+    }
+
+    fn fdc_spec(reqs: &[IoRequest]) -> (Device, DeviceStateParams, ConstructedSpec) {
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let refs: Vec<_> = d.programs().to_vec();
+        let refs: Vec<&_> = refs.iter().collect();
+        let params = select_params(&d.control, &refs, None);
+        let mut ctx = VmContext::new(0x10000, 1024);
+        let log = record(&mut d, &mut ctx, reqs);
+        let built = construct(&refs, &params, &log);
+        (d, params, built)
+    }
+
+    fn wr(port: u64, v: u64) -> IoRequest {
+        IoRequest::write(AddressSpace::Pmio, port, 1, v)
+    }
+
+    fn rd(port: u64) -> IoRequest {
+        IoRequest::read(AddressSpace::Pmio, port, 1)
+    }
+
+    #[test]
+    fn sense_interrupt_round_builds_command_entry() {
+        let (_, _, built) =
+            fdc_spec(&[wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5), rd(0x3f4)]);
+        // The SENSE INTERRUPT command (0x08) must have a table entry.
+        assert!(built.cmd_table.entries.iter().any(|e| e.cmd == 0x08));
+        // Its allowed set spans both handlers (write decodes, read drains).
+        let e = built.cmd_table.entries.iter().find(|e| e.cmd == 0x08).unwrap();
+        let programs: std::collections::BTreeSet<usize> =
+            e.allowed.iter().map(|&g| crate::escfg::ungid(g).0).collect();
+        assert!(programs.len() >= 2, "command scope spans handlers: {programs:?}");
+    }
+
+    #[test]
+    fn entry_is_resolved_and_edges_observed() {
+        let (_, _, built) = fdc_spec(&[rd(0x3f4)]);
+        let read_cfg = built.cfgs.iter().find(|c| c.name == "fdc_pmio_read").unwrap();
+        assert!(read_cfg.entry.is_some());
+        assert!(read_cfg.edge_count() >= 1);
+        // The msr read path: entry --Case(4)--> read_msr.
+        let entry = read_cfg.entry.unwrap();
+        assert!(read_cfg.edge(entry, EdgeKey::Case(4)).is_some());
+    }
+
+    #[test]
+    fn untraced_paths_leave_no_edges() {
+        let (_, _, built) = fdc_spec(&[rd(0x3f4)]);
+        let read_cfg = built.cfgs.iter().find(|c| c.name == "fdc_pmio_read").unwrap();
+        let entry = read_cfg.entry.unwrap();
+        // The fifo read arm was never traced.
+        assert!(read_cfg.edge(entry, EdgeKey::Case(5)).is_none());
+        // The write handler was never invoked at all.
+        let write_cfg = built.cfgs.iter().find(|c| c.name == "fdc_pmio_write").unwrap();
+        assert!(write_cfg.entry.is_none());
+    }
+
+    #[test]
+    fn edge_hits_accumulate_across_rounds() {
+        let (_, _, built) = fdc_spec(&[rd(0x3f4), rd(0x3f4), rd(0x3f4)]);
+        let read_cfg = built.cfgs.iter().find(|c| c.name == "fdc_pmio_read").unwrap();
+        let entry = read_cfg.entry.unwrap();
+        assert_eq!(read_cfg.edge(entry, EdgeKey::Case(4)).unwrap().hits, 3);
+    }
+
+    #[test]
+    fn pcnet_indirect_targets_are_learned() {
+        let mut d = build_device(DeviceKind::Pcnet, QemuVersion::Patched);
+        let refs: Vec<_> = d.programs().to_vec();
+        let refs: Vec<&_> = refs.iter().collect();
+        let params = select_params(&d.control, &refs, None);
+        let mut ctx = VmContext::new(0x100000, 16);
+        // Bring the NIC up (init raises the IRQ through the fn pointer).
+        let ib = 0x1000u64;
+        ctx.mem.write_u16(ib + 12, 8).unwrap();
+        ctx.mem.write_u16(ib + 14, 4).unwrap();
+        let reqs = vec![
+            wr(0x312, 1),
+            wr(0x310, ib & 0xffff),
+            wr(0x312, 2),
+            wr(0x310, ib >> 16),
+            wr(0x312, 0),
+            wr(0x310, 1), // INIT -> indirect call through irq
+        ];
+        let log = record(&mut d, &mut ctx, &reqs);
+        let built = construct(&refs, &params, &log);
+        let wcfg = built.cfgs.iter().find(|c| c.name == "pcnet_pmio_write").unwrap();
+        assert!(wcfg.fn_targets.contains_key(&sedspec_devices::pcnet::IRQ_HANDLER_FN));
+        assert!(wcfg.legit_fn_values.contains(&sedspec_devices::pcnet::IRQ_HANDLER_FN));
+    }
+
+    #[test]
+    fn faulted_rounds_are_skipped() {
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+        let refs: Vec<_> = d.programs().to_vec();
+        let refs: Vec<&_> = refs.iter().collect();
+        let params = select_params(&d.control, &refs, None);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let mut reqs = vec![wr(0x3f5, 0x8e)];
+        for _ in 0..2000 {
+            reqs.push(wr(0x3f5, 0x01)); // Venom grinds into a fault
+        }
+        let log = record(&mut d, &mut ctx, &reqs);
+        let built = construct(&refs, &params, &log);
+        assert!(built.skipped_rounds >= 1);
+    }
+}

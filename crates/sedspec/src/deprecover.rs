@@ -1,0 +1,209 @@
+//! Data-dependency recovery (paper §V-D).
+//!
+//! NBTD conditions may depend on data the shadow walk does not have. Two
+//! cases exist in this reproduction:
+//!
+//! * **Recoverable**: the condition reads handler locals. The shadow
+//!   walk executes `SetLocal` statements from the DSOD, so the values
+//!   are reproduced exactly — the equivalent of the paper's rewriting of
+//!   a temporary in terms of device state (our walk carries the data
+//!   dependency instead of substituting it syntactically).
+//! * **Unrecoverable**: the condition reads bytes of a buffer whose
+//!   contents came from *external* loads (guest memory or disk). The
+//!   shadow cannot know them; a **sync point** is inserted and the
+//!   branch outcome (or switch value) is synchronized from the device at
+//!   runtime.
+//!
+//! [`RecoveryMode::AlwaysSync`] disables the recoverable case (every
+//! condition involving a non-device-state variable syncs), providing the
+//! ablation baseline DESIGN.md calls out.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sedspec_dbl::ir::{BufId, Expr, LocalId, Program, Stmt};
+use serde::{Deserialize, Serialize};
+
+use crate::escfg::{tainted_buffers, EsCfg, Nbtd};
+
+/// Recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecoveryMode {
+    /// Recover local-carried dependencies; sync only external data.
+    #[default]
+    Recover,
+    /// Ablation: sync every condition that involves any local.
+    AlwaysSync,
+}
+
+/// Summary of a recovery pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Conditions evaluable purely on the shadow state.
+    pub pure_conditions: usize,
+    /// Conditions demoted to sync points.
+    pub sync_points: usize,
+}
+
+/// Flow-insensitive map of locals to the expressions assigned to them.
+fn local_defs(prog: &Program) -> BTreeMap<LocalId, Vec<Expr>> {
+    let mut defs: BTreeMap<LocalId, Vec<Expr>> = BTreeMap::new();
+    for blk in &prog.blocks {
+        for s in &blk.stmts {
+            if let Stmt::SetLocal(l, e) = s {
+                defs.entry(*l).or_default().push(e.clone());
+            }
+        }
+    }
+    defs
+}
+
+/// Whether `expr` (transitively, through locals) reads a tainted buffer.
+fn reads_tainted(
+    expr: &Expr,
+    taint: &BTreeSet<BufId>,
+    defs: &BTreeMap<LocalId, Vec<Expr>>,
+) -> bool {
+    let mut direct = false;
+    expr.visit(&mut |n| {
+        if let Expr::BufLoad(b, _) = n {
+            if taint.contains(b) {
+                direct = true;
+            }
+        }
+    });
+    if direct {
+        return true;
+    }
+    // Follow local dependencies, flow-insensitively.
+    let mut seen: BTreeSet<LocalId> = BTreeSet::new();
+    let mut work = expr.locals();
+    while let Some(l) = work.pop() {
+        if !seen.insert(l) {
+            continue;
+        }
+        if let Some(exprs) = defs.get(&l) {
+            for d in exprs {
+                let mut hit = false;
+                d.visit(&mut |n| {
+                    if let Expr::BufLoad(b, _) = n {
+                        if taint.contains(b) {
+                            hit = true;
+                        }
+                    }
+                });
+                if hit {
+                    return true;
+                }
+                work.extend(d.locals());
+            }
+        }
+    }
+    false
+}
+
+/// Runs data-dependency recovery over every handler's ES-CFG, setting
+/// the `needs_sync` flags on NBTDs.
+pub fn recover(cfgs: &mut [EsCfg], programs: &[&Program], mode: RecoveryMode) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
+    for cfg in cfgs.iter_mut() {
+        let prog = programs[cfg.program];
+        let taint = tainted_buffers(prog);
+        let defs = local_defs(prog);
+        for blk in &mut cfg.blocks {
+            let expr = match &blk.nbtd {
+                Nbtd::Branch { cond, .. } => Some(cond.clone()),
+                Nbtd::Switch { scrutinee, .. } => Some(scrutinee.clone()),
+                _ => None,
+            };
+            let Some(expr) = expr else { continue };
+            let sync = match mode {
+                RecoveryMode::Recover => reads_tainted(&expr, &taint, &defs),
+                RecoveryMode::AlwaysSync => {
+                    reads_tainted(&expr, &taint, &defs) || expr.has_locals()
+                }
+            };
+            match &mut blk.nbtd {
+                Nbtd::Branch { needs_sync, .. } | Nbtd::Switch { needs_sync, .. } => {
+                    *needs_sync = sync;
+                }
+                _ => unreachable!("filtered above"),
+            }
+            if sync {
+                report.sync_points += 1;
+            } else {
+                report.pure_conditions += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::construct;
+    use crate::observe::{DeviceStateChangeLog, Observer};
+    use crate::params::select_params;
+    use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+    use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+    fn ehci_cfgs(mode: RecoveryMode) -> (Vec<EsCfg>, RecoveryReport) {
+        let mut d = build_device(DeviceKind::UsbEhci, QemuVersion::Patched);
+        let progs: Vec<_> = d.programs().to_vec();
+        let refs: Vec<&_> = progs.iter().collect();
+        let params = select_params(&d.control, &refs, None);
+        let mut ctx = VmContext::new(0x100000, 16);
+        // Drive a GET_DESCRIPTOR control transfer so the setup branches trace.
+        ctx.mem
+            .write_bytes(0x5000, &[0x80, 0x06, 0x00, 0x01, 0, 0, 18, 0])
+            .unwrap();
+        ctx.mem.write_u32(0x1000, 0x2d).unwrap();
+        ctx.mem.write_u32(0x1004, 0x5000).unwrap();
+        let reqs = vec![
+            IoRequest::write(AddressSpace::Mmio, 0x2000, 4, 1),
+            IoRequest::write(AddressSpace::Mmio, 0x2018, 4, 0x1000),
+            IoRequest::write(AddressSpace::Mmio, 0x2020, 4, 1),
+        ];
+        let mut log = DeviceStateChangeLog::new();
+        let mut obs = Observer::new();
+        for req in &reqs {
+            let pi = d.route(req).unwrap();
+            obs.begin(pi, req);
+            let fault = d.handle_io_hooked(&mut ctx, req, &mut obs).err().map(|f| f.to_string());
+            log.rounds.push(obs.end(fault));
+        }
+        let mut built = construct(&refs, &params, &log);
+        let report = recover(&mut built.cfgs, &refs, mode);
+        (built.cfgs, report)
+    }
+
+    #[test]
+    fn setup_buf_conditions_become_sync_points() {
+        let (cfgs, report) = ehci_cfgs(RecoveryMode::Recover);
+        assert!(report.sync_points > 0, "EHCI decodes requests from DMA'd setup_buf");
+        // The request-decode branch reads setup_buf and must sync.
+        let wcfg = cfgs.iter().find(|c| c.name == "ehci_mmio_write").unwrap();
+        let decode = wcfg
+            .blocks
+            .iter()
+            .find(|b| b.label == "setup_request_decode")
+            .expect("decode block traced");
+        assert!(matches!(decode.nbtd, Nbtd::Branch { needs_sync: true, .. }));
+    }
+
+    #[test]
+    fn register_conditions_stay_pure() {
+        let (cfgs, _) = ehci_cfgs(RecoveryMode::Recover);
+        let wcfg = cfgs.iter().find(|c| c.name == "ehci_mmio_write").unwrap();
+        // The doorbell run/stop check reads only usbcmd: pure.
+        let doorbell = wcfg.blocks.iter().find(|b| b.label == "doorbell").expect("doorbell traced");
+        assert!(matches!(doorbell.nbtd, Nbtd::Branch { needs_sync: false, .. }));
+    }
+
+    #[test]
+    fn always_sync_mode_adds_sync_points() {
+        let (_, recover_report) = ehci_cfgs(RecoveryMode::Recover);
+        let (_, always_report) = ehci_cfgs(RecoveryMode::AlwaysSync);
+        assert!(always_report.sync_points >= recover_report.sync_points);
+    }
+}

@@ -1,0 +1,249 @@
+//! Deploying the ES-Checker in front of a device (Figure 1 phase 3).
+//!
+//! [`EnforcingDevice`] intercepts every I/O interaction. If the
+//! specification walk completes without sync points, the verdict is
+//! rendered **before** the device executes (the paper's early-detection
+//! property); otherwise the device runs under observation points, the
+//! recorded sync values complete the walk, and the verdict is rendered
+//! post-hoc (the granularity deviation from the paper's mid-handler sync
+//! functions is documented in DESIGN.md).
+//!
+//! The wrapper also charges virtual time for checking work, which is
+//! what the performance experiments of Figures 3–5 measure.
+
+use sedspec_dbl::interp::ExecOutcome;
+use sedspec_devices::Device;
+use sedspec_vmm::{IoRequest, VmContext};
+use serde::{Deserialize, Serialize};
+
+use crate::checker::{
+    CheckConfig, EsChecker, NoSync, RecordedSync, RoundReport, Strategy, Violation, WorkingMode,
+};
+use crate::observe::Observer;
+use crate::spec::ExecutionSpecification;
+
+/// Virtual nanoseconds charged per walked ES block. The spec walk is a
+/// table-driven graph traversal, roughly an order of magnitude lighter
+/// than emulating the block.
+pub const CHECK_BLOCK_NS: u64 = 1;
+/// Virtual nanoseconds charged per consumed sync value.
+pub const CHECK_SYNC_NS: u64 = 10;
+/// Fixed virtual nanoseconds charged per checked round.
+pub const CHECK_ROUND_NS: u64 = 15;
+
+/// Counters accumulated by an enforcing device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnforceStats {
+    /// I/O rounds intercepted.
+    pub rounds: u64,
+    /// Rounds fully checked before device execution.
+    pub precheck_complete: u64,
+    /// Rounds requiring device-side sync data.
+    pub synced_rounds: u64,
+    /// Rounds that raised warnings (enhancement mode).
+    pub warnings: u64,
+    /// Rounds that halted the device.
+    pub halts: u64,
+    /// Total ES blocks walked.
+    pub check_blocks: u64,
+    /// Total sync values consumed.
+    pub check_syncs: u64,
+}
+
+/// The outcome of one enforced I/O interaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoVerdict {
+    /// No anomaly; the device serviced the request.
+    Allowed(ExecOutcome),
+    /// The checker found no violation but the device crashed — a missed
+    /// detection (ground truth for the evaluation).
+    DeviceFault {
+        /// The device fault description.
+        fault: String,
+        /// Violations found post-hoc, if any.
+        violations: Vec<Violation>,
+    },
+    /// The device (and VM) was halted.
+    Halted {
+        /// The violations that triggered the halt.
+        violations: Vec<Violation>,
+        /// Whether the device had already executed the request (post-hoc
+        /// detection through a sync point).
+        executed: bool,
+    },
+    /// Enhancement mode: anomaly warned, execution continued.
+    Warned {
+        /// The violations warned about.
+        violations: Vec<Violation>,
+        /// The device outcome, when it completed.
+        outcome: Option<ExecOutcome>,
+    },
+}
+
+impl IoVerdict {
+    /// Whether the round was detected as anomalous (halted or warned).
+    pub fn flagged(&self) -> bool {
+        matches!(self, IoVerdict::Halted { .. } | IoVerdict::Warned { .. })
+    }
+
+    /// The violations attached to the verdict.
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            IoVerdict::Allowed(_) => &[],
+            IoVerdict::DeviceFault { violations, .. }
+            | IoVerdict::Halted { violations, .. }
+            | IoVerdict::Warned { violations, .. } => violations,
+        }
+    }
+}
+
+/// A device with an ES-Checker enforcing its execution specification.
+#[derive(Debug)]
+pub struct EnforcingDevice {
+    /// The wrapped device.
+    pub device: Device,
+    checker: EsChecker,
+    /// Working mode.
+    pub mode: WorkingMode,
+    /// Accumulated statistics.
+    pub stats: EnforceStats,
+    halted: bool,
+}
+
+impl EnforcingDevice {
+    /// Wraps `device` with a checker enforcing `spec` in `mode`.
+    pub fn new(device: Device, spec: ExecutionSpecification, mode: WorkingMode) -> Self {
+        let checker = EsChecker::new(spec, device.control.clone());
+        EnforcingDevice { device, checker, mode, stats: EnforceStats::default(), halted: false }
+    }
+
+    /// Replaces the strategy configuration (for per-strategy experiments).
+    pub fn with_config(mut self, config: CheckConfig) -> Self {
+        self.checker = self.checker.with_config(config);
+        self
+    }
+
+    /// Whether a halt verdict has stopped the device.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Clears the halt latch (test harnesses re-arm between cases).
+    pub fn reset_halt(&mut self) {
+        self.halted = false;
+    }
+
+    /// The checker (for inspection).
+    pub fn checker(&self) -> &EsChecker {
+        &self.checker
+    }
+
+    /// Mutable checker access (shadow resync, reconfiguration).
+    pub fn checker_mut(&mut self) -> &mut EsChecker {
+        &mut self.checker
+    }
+
+    fn should_halt(&self, violations: &[Violation]) -> bool {
+        match self.mode {
+            WorkingMode::Protection => !violations.is_empty(),
+            WorkingMode::Enhancement => {
+                violations.iter().any(|v| v.strategy() == Strategy::Parameter)
+            }
+        }
+    }
+
+    fn charge(&mut self, ctx: &mut VmContext, report: &RoundReport, base: bool) {
+        self.stats.check_blocks += report.blocks_walked;
+        self.stats.check_syncs += report.syncs_used;
+        ctx.clock.advance_ns(
+            if base { CHECK_ROUND_NS } else { 0 }
+                + CHECK_BLOCK_NS * report.blocks_walked
+                + CHECK_SYNC_NS * report.syncs_used
+                + report.sync_bytes / 16, // shadow content replay (memcpy speed)
+        );
+    }
+
+    /// Services one I/O interaction under enforcement.
+    pub fn handle_io(&mut self, ctx: &mut VmContext, req: &IoRequest) -> IoVerdict {
+        self.stats.rounds += 1;
+        if self.halted {
+            return IoVerdict::Halted { violations: Vec::new(), executed: false };
+        }
+        let Some(pi) = self.device.route(req) else {
+            // Unclaimed requests bypass the checker, as they bypass the device.
+            return match self.device.handle_io(ctx, req) {
+                Ok(out) => IoVerdict::Allowed(out),
+                Err(f) => IoVerdict::DeviceFault { fault: f.to_string(), violations: Vec::new() },
+            };
+        };
+
+        // Phase 1: pre-execution walk.
+        let pre = self.checker.walk_round(pi, req, &mut NoSync);
+        self.charge(ctx, &pre.report, true);
+
+        if !pre.report.needs_sync {
+            if pre.report.ok() {
+                self.checker.commit(&pre);
+                self.stats.precheck_complete += 1;
+                return match self.device.handle_io(ctx, req) {
+                    Ok(out) => IoVerdict::Allowed(out),
+                    Err(f) => {
+                        IoVerdict::DeviceFault { fault: f.to_string(), violations: Vec::new() }
+                    }
+                };
+            }
+            let violations = pre.report.violations;
+            return if self.should_halt(&violations) {
+                self.halted = true;
+                self.stats.halts += 1;
+                IoVerdict::Halted { violations, executed: false }
+            } else {
+                self.stats.warnings += 1;
+                let outcome = self.device.handle_io(ctx, req).ok();
+                self.checker.resync_shadow(&self.device.state);
+                IoVerdict::Warned { violations, outcome }
+            };
+        }
+
+        // Phase 2: the walk needs sync data — run the device under
+        // observation, then complete the check post-hoc.
+        self.stats.synced_rounds += 1;
+        let mut obs = Observer::new();
+        obs.begin(pi, req);
+        let result = self.device.handle_io_hooked(ctx, req, &mut obs);
+        let round_log = obs.end(result.as_ref().err().map(|f| f.to_string()));
+        let mut recorded = RecordedSync::from_round(&round_log);
+        let post = self.checker.walk_round(pi, req, &mut recorded);
+        self.charge(ctx, &post.report, false);
+
+        if post.report.ok() && !post.report.needs_sync {
+            self.checker.commit(&post);
+            return match result {
+                Ok(out) => IoVerdict::Allowed(out),
+                Err(f) => IoVerdict::DeviceFault { fault: f.to_string(), violations: Vec::new() },
+            };
+        }
+
+        let violations = post.report.violations;
+        if violations.is_empty() {
+            // Sync data ran out without a verdict: the device diverged
+            // from every trained path (it may have crashed mid-round).
+            return match result {
+                Err(f) => IoVerdict::DeviceFault { fault: f.to_string(), violations },
+                Ok(out) => {
+                    self.checker.resync_shadow(&self.device.state);
+                    IoVerdict::Allowed(out)
+                }
+            };
+        }
+        if self.should_halt(&violations) {
+            self.halted = true;
+            self.stats.halts += 1;
+            IoVerdict::Halted { violations, executed: true }
+        } else {
+            self.stats.warnings += 1;
+            self.checker.resync_shadow(&self.device.state);
+            IoVerdict::Warned { violations, outcome: result.ok() }
+        }
+    }
+}

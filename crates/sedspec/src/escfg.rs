@@ -1,0 +1,477 @@
+//! The Execution Specification CFG (ES-CFG), paper §V.
+//!
+//! An ES-CFG abstracts one device handler into the blocks that matter
+//! for device state. Each [`EsBlock`] carries:
+//!
+//! * **DSOD** (*Device State Operation Data*): the statements that
+//!   manipulate the device state, in a re-executable form ([`DsodOp`]).
+//!   Statements that pull *external* data (guest memory, disk) into the
+//!   state cannot be re-executed on the shadow state and appear as sync
+//!   operations instead — the paper's sync points.
+//! * **NBTD** (*Next Block Transition Data*): how the block picks its
+//!   successor ([`Nbtd`]), evaluated over device state parameters.
+//!
+//! Program blocks that neither touch device state nor make decisions
+//! ("the source code that does not affect the device state") are not ES
+//! blocks; edges pass through them. Observed transitions between ES
+//! blocks form the edge map, and command-decision blocks key the
+//! [`CommandAccessTable`] with per-command accessibility bitmaps
+//! (Algorithm 1's `cmd_act`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sedspec_dbl::ir::{
+    BlockId, BlockKind, BufId, Expr, Intrinsic, Program, Stmt, Terminator, VarId,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::params::DeviceStateParams;
+
+/// One re-executable / checkable DSOD operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DsodOp {
+    /// A statement the shadow walk executes directly (its inputs are
+    /// device state, handler locals, or the I/O request).
+    Exec(Stmt),
+    /// External data loaded into a scalar parameter: the shadow needs
+    /// the value from a sync point.
+    SyncVar(VarId),
+    /// External data loaded into a buffer: the range is bounds-checked,
+    /// the content is unavailable to the shadow (tainting the buffer).
+    SyncBuf {
+        /// Target buffer.
+        buf: BufId,
+        /// Start offset expression.
+        off: Expr,
+        /// Length expression.
+        len: Expr,
+    },
+    /// A read of a buffer range by an outbound transfer: bounds-checked
+    /// only (no shadow side effect).
+    CheckBufRead {
+        /// Source buffer.
+        buf: BufId,
+        /// Start offset expression.
+        off: Expr,
+        /// Length expression.
+        len: Expr,
+    },
+}
+
+/// Next-block transition data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Nbtd {
+    /// No decision: the block has exactly one successor (or was merged
+    /// by control-flow reduction).
+    None,
+    /// Conditional branch on `cond`.
+    Branch {
+        /// Condition over device state / locals / I/O data.
+        cond: Expr,
+        /// Whether the outcome must be synchronized from the device
+        /// (the condition reads externally tainted data).
+        needs_sync: bool,
+    },
+    /// Multi-way dispatch on `scrutinee`.
+    Switch {
+        /// Dispatched expression.
+        scrutinee: Expr,
+        /// Whether the value must be synchronized from the device.
+        needs_sync: bool,
+        /// Whether this is a command-decision block.
+        is_cmd_decision: bool,
+    },
+    /// Indirect call through a function-pointer parameter.
+    Indirect {
+        /// The pointer variable.
+        ptr: VarId,
+        /// Program block execution resumes at after the callee returns.
+        ret_origin: u32,
+    },
+}
+
+/// An ES-CFG basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EsBlock {
+    /// Originating program block.
+    pub origin: u32,
+    /// Label copied from the program block.
+    pub label: String,
+    /// Block-type auxiliary information.
+    pub kind: BlockKind,
+    /// Device state operation data.
+    pub dsod: Vec<DsodOp>,
+    /// Next block transition data.
+    pub nbtd: Nbtd,
+    /// Whether the block ends the I/O round.
+    pub is_exit: bool,
+    /// Whether the block returns from an indirect call.
+    pub is_return: bool,
+}
+
+/// Outcome tag of an observed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EdgeKey {
+    /// Unconditional / merged transition.
+    Next,
+    /// Conditional branch, taken.
+    Taken,
+    /// Conditional branch, not taken.
+    NotTaken,
+    /// Switch case with this scrutinee value.
+    Case(u64),
+    /// Indirect call through this function-pointer value.
+    IndirectTo(u64),
+}
+
+/// An observed outgoing edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EsEdge {
+    /// Outcome tag.
+    pub key: EdgeKey,
+    /// Destination ES block index.
+    pub to: u32,
+    /// Times observed during training.
+    pub hits: u64,
+}
+
+/// Globally unique ES block id: `(program << 32) | es_index`.
+///
+/// A device command's execution spans handlers and I/O rounds (an FDC
+/// command decoded on the data-port *write* path drains its result bytes
+/// on the *read* path), so command accessibility is tracked over global
+/// ids rather than per-handler indices.
+pub fn gid(program: usize, es: u32) -> u64 {
+    ((program as u64) << 32) | u64::from(es)
+}
+
+/// Splits a global id back into `(program, es_index)`.
+pub fn ungid(g: u64) -> (usize, u32) {
+    ((g >> 32) as usize, g as u32)
+}
+
+/// One command's accessibility entry (Algorithm 1's `cmd_act` rows).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandEntry {
+    /// Global id of the command-decision block that decoded the command.
+    pub decision: u64,
+    /// The command value.
+    pub cmd: u64,
+    /// Global ids of blocks accessible while this command is active.
+    pub allowed: BTreeSet<u64>,
+}
+
+/// The command access table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandAccessTable {
+    /// Entries, unique per `(decision, cmd)`.
+    pub entries: Vec<CommandEntry>,
+}
+
+impl CommandAccessTable {
+    /// The entry for command `cmd` at decision block `decision`, if trained.
+    pub fn lookup(&self, decision: u64, cmd: u64) -> Option<&CommandEntry> {
+        self.entries.iter().find(|e| e.decision == decision && e.cmd == cmd)
+    }
+
+    /// Mutable access, creating the entry if new.
+    pub fn entry_mut(&mut self, decision: u64, cmd: u64) -> &mut CommandEntry {
+        if let Some(i) = self.entries.iter().position(|e| e.decision == decision && e.cmd == cmd) {
+            &mut self.entries[i]
+        } else {
+            self.entries.push(CommandEntry { decision, cmd, allowed: BTreeSet::new() });
+            self.entries.last_mut().expect("just pushed")
+        }
+    }
+
+    /// Number of `(decision, cmd)` entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The execution-specification CFG of one handler program.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EsCfg {
+    /// Handler (program) index within the device.
+    pub program: usize,
+    /// Handler name.
+    pub name: String,
+    /// ES blocks; indices are the `u32` ids used everywhere else.
+    pub blocks: Vec<EsBlock>,
+    /// Program block origin → ES block index.
+    pub by_origin: BTreeMap<u32, u32>,
+    /// Static pass-through resolution: any program block → the origin of
+    /// the next ES-relevant program block reached by jump-only chains.
+    pub forward: BTreeMap<u32, u32>,
+    /// Observed adjacency: ES block → outgoing edges.
+    pub edges: BTreeMap<u32, Vec<EsEdge>>,
+    /// ES index of the entry block (`None` until the entry was traced).
+    pub entry: Option<u32>,
+    /// Observed indirect-call targets: fn value → ES block index.
+    pub fn_targets: BTreeMap<u64, u32>,
+    /// Statically legitimate function-pointer values (the program's
+    /// function table) — the indirect-jump check's reference set.
+    pub legit_fn_values: BTreeSet<u64>,
+    /// Declared widths of the handler's locals (the shadow walk executes
+    /// `SetLocal` statements, so it needs their truncation widths).
+    pub locals: Vec<sedspec_dbl::ir::Width>,
+}
+
+impl EsCfg {
+    /// The edge out of `from` with outcome `key`, if observed.
+    pub fn edge(&self, from: u32, key: EdgeKey) -> Option<&EsEdge> {
+        self.edges.get(&from).and_then(|v| v.iter().find(|e| e.key == key))
+    }
+
+    /// Records (or bumps) an observed edge.
+    pub fn record_edge(&mut self, from: u32, key: EdgeKey, to: u32) {
+        let list = self.edges.entry(from).or_default();
+        if let Some(e) = list.iter_mut().find(|e| e.key == key && e.to == to) {
+            e.hits += 1;
+        } else {
+            list.push(EsEdge { key, to, hits: 1 });
+        }
+    }
+
+    /// Total distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(Vec::len).sum()
+    }
+
+    /// ES block index for a program block, if it is an ES block.
+    pub fn es_of_origin(&self, origin: u32) -> Option<u32> {
+        self.by_origin.get(&origin).copied()
+    }
+
+    /// Resolves a program block through pass-through chains to the ES
+    /// block that execution would reach, if that block was traced.
+    pub fn resolve(&self, origin: u32) -> Option<u32> {
+        let target = self.forward.get(&origin).copied()?;
+        self.es_of_origin(target)
+    }
+}
+
+/// Whether a program block is ES-relevant given the selected params.
+///
+/// Irrelevant blocks are plain, touch no device state the spec models,
+/// and fall through unconditionally — exactly "the source code that does
+/// not affect the device state".
+pub fn is_relevant(prog: &Program, b: BlockId, params: &DeviceStateParams) -> bool {
+    let blk = prog.block(b);
+    if blk.kind != BlockKind::Plain {
+        return true;
+    }
+    match blk.term {
+        Terminator::Jump(_) => {}
+        _ => return true,
+    }
+    !dsod_of_block(prog, b, params).is_empty()
+}
+
+/// Builds the DSOD of a program block under the selected params.
+///
+/// The shadow walk executes *all* executable state updates (so the
+/// shadow stays exact for everything derivable from I/O data), while the
+/// parameter check later *monitors* only the selected parameters — the
+/// paper's "focus on structures or variables susceptible to security
+/// issues". Pure outward effects (IRQ, replies, guest stores) are not
+/// device state and are omitted.
+pub fn dsod_of_block(prog: &Program, b: BlockId, params: &DeviceStateParams) -> Vec<DsodOp> {
+    let _ = params; // monitoring scope is applied at check time
+    let mut out = Vec::new();
+    for stmt in &prog.block(b).stmts {
+        match stmt {
+            Stmt::SetVar(..) | Stmt::SetLocal(..) | Stmt::BufStore(..) | Stmt::BufFill(..)
+            | Stmt::CopyPayload { .. } => out.push(DsodOp::Exec(stmt.clone())),
+            Stmt::Intrinsic(i) => match i {
+                Intrinsic::DmaLoadVar { var, .. } => out.push(DsodOp::SyncVar(*var)),
+                Intrinsic::DmaToBuf { buf, buf_off, len, .. } => out.push(DsodOp::SyncBuf {
+                    buf: *buf,
+                    off: buf_off.clone(),
+                    len: len.clone(),
+                }),
+                Intrinsic::DiskReadToBuf { buf, buf_off, .. } => out.push(DsodOp::SyncBuf {
+                    buf: *buf,
+                    off: buf_off.clone(),
+                    len: Expr::lit(sedspec_vmm::SECTOR_SIZE as u64),
+                }),
+                Intrinsic::DmaFromBuf { buf, buf_off, len, .. } => out.push(DsodOp::CheckBufRead {
+                    buf: *buf,
+                    off: buf_off.clone(),
+                    len: len.clone(),
+                }),
+                Intrinsic::NetTransmit { buf, off, len } => out.push(DsodOp::CheckBufRead {
+                    buf: *buf,
+                    off: off.clone(),
+                    len: len.clone(),
+                }),
+                Intrinsic::DiskWriteFromBuf { buf, buf_off, .. } => out.push(DsodOp::CheckBufRead {
+                    buf: *buf,
+                    off: buf_off.clone(),
+                    len: Expr::lit(sedspec_vmm::SECTOR_SIZE as u64),
+                }),
+                Intrinsic::IrqRaise { .. }
+                | Intrinsic::IrqLower { .. }
+                | Intrinsic::IoReply { .. }
+                | Intrinsic::DmaStore { .. }
+                | Intrinsic::DelayNs { .. }
+                | Intrinsic::Note(_) => {}
+            },
+        }
+    }
+    out
+}
+
+/// Buffers that receive external data anywhere in the program: their
+/// contents are unknown to the shadow state ("tainted").
+pub fn tainted_buffers(prog: &Program) -> BTreeSet<BufId> {
+    let mut out = BTreeSet::new();
+    for blk in &prog.blocks {
+        for stmt in &blk.stmts {
+            if let Stmt::Intrinsic(i) = stmt {
+                if let Some(b) = i.written_buf() {
+                    out.insert(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Computes the static pass-through map: every program block → origin of
+/// the next relevant block (itself when relevant).
+pub fn forward_map(prog: &Program, params: &DeviceStateParams) -> BTreeMap<u32, u32> {
+    let mut map = BTreeMap::new();
+    for i in 0..prog.len() {
+        let mut cur = BlockId(i as u32);
+        let mut guard = 0;
+        while !is_relevant(prog, cur, params) {
+            match prog.block(cur).term {
+                Terminator::Jump(next) => cur = next,
+                _ => break,
+            }
+            guard += 1;
+            if guard > prog.len() {
+                break; // jump-only cycle: give up, map to self
+            }
+        }
+        map.insert(i as u32, cur.0);
+    }
+    map
+}
+
+/// Creates an empty ES-CFG shell for a program (blocks are added as
+/// training observes them).
+pub fn empty_escfg(program: usize, prog: &Program, params: &DeviceStateParams) -> EsCfg {
+    EsCfg {
+        program,
+        name: prog.name.clone(),
+        blocks: Vec::new(),
+        by_origin: BTreeMap::new(),
+        forward: forward_map(prog, params),
+        edges: BTreeMap::new(),
+        entry: None,
+        fn_targets: BTreeMap::new(),
+        legit_fn_values: prog.fn_table.keys().copied().collect(),
+        locals: prog.locals.iter().map(|&(_, w)| w).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::select_params;
+    use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+
+    #[test]
+    fn fdc_relevance_covers_decisions_and_state() {
+        let d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let refs = d.program_refs();
+        let params = select_params(&d.control, &refs, None);
+        let prog = &d.programs()[0];
+        // Every branch/switch block is relevant.
+        for (i, blk) in prog.blocks.iter().enumerate() {
+            if matches!(blk.term, Terminator::Branch { .. } | Terminator::Switch { .. }) {
+                assert!(is_relevant(prog, BlockId(i as u32), &params), "{}", blk.label);
+            }
+        }
+    }
+
+    #[test]
+    fn dsod_extracts_state_ops_and_syncs() {
+        let d = build_device(DeviceKind::Pcnet, QemuVersion::Patched);
+        let refs = d.program_refs();
+        let params = select_params(&d.control, &refs, None);
+        // The receive program's descriptor fetch holds SyncVar ops.
+        let rx = d
+            .programs()
+            .iter()
+            .find(|p| p.name == "pcnet_receive")
+            .expect("receive handler");
+        let fetch = rx
+            .blocks
+            .iter()
+            .position(|b| b.label == "rx_descriptor_fetch")
+            .expect("fetch block");
+        let dsod = dsod_of_block(rx, BlockId(fetch as u32), &params);
+        let syncs = dsod.iter().filter(|op| matches!(op, DsodOp::SyncVar(_))).count();
+        assert_eq!(syncs, 3); // rmd_addr, rmd_len, rmd_flags
+    }
+
+    #[test]
+    fn taint_finds_externally_written_buffers() {
+        let d = build_device(DeviceKind::UsbEhci, QemuVersion::Patched);
+        let prog = &d.programs()[0]; // mmio_write
+        let tainted = tainted_buffers(prog);
+        let setup_buf = d.control.buf_by_name("setup_buf").unwrap();
+        let data_buf = d.control.buf_by_name("data_buf").unwrap();
+        assert!(tainted.contains(&setup_buf));
+        assert!(tainted.contains(&data_buf));
+    }
+
+    #[test]
+    fn forward_map_is_total_and_idempotent_on_relevant() {
+        let d = build_device(DeviceKind::Scsi, QemuVersion::Patched);
+        let refs = d.program_refs();
+        let params = select_params(&d.control, &refs, None);
+        for prog in d.programs() {
+            let fwd = forward_map(prog, &params);
+            assert_eq!(fwd.len(), prog.len());
+            for (&from, &to) in &fwd {
+                let _ = from;
+                assert!(is_relevant(prog, BlockId(to), &params) || fwd[&to] == to);
+            }
+        }
+    }
+
+    #[test]
+    fn command_table_entries_are_unique() {
+        let mut t = CommandAccessTable::default();
+        t.entry_mut(3, 0x08).allowed.insert(5);
+        t.entry_mut(3, 0x08).allowed.insert(6);
+        t.entry_mut(3, 0x0a).allowed.insert(7);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(3, 0x08).unwrap().allowed.len(), 2);
+        assert!(t.lookup(4, 0x08).is_none());
+    }
+
+    #[test]
+    fn edges_record_and_bump() {
+        let d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let refs = d.program_refs();
+        let params = select_params(&d.control, &refs, None);
+        let mut cfg = empty_escfg(0, &d.programs()[0], &params);
+        cfg.record_edge(0, EdgeKey::Taken, 1);
+        cfg.record_edge(0, EdgeKey::Taken, 1);
+        cfg.record_edge(0, EdgeKey::NotTaken, 2);
+        assert_eq!(cfg.edge(0, EdgeKey::Taken).unwrap().hits, 2);
+        assert_eq!(cfg.edge_count(), 2);
+        assert!(cfg.edge(0, EdgeKey::Case(5)).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! SEDSpec: automatic execution-specification generation and runtime
+//! enforcement for emulated devices.
+//!
+//! This crate is the paper's contribution. The pipeline has the three
+//! phases of Figure 1:
+//!
+//! 1. **Data collection** ([`collect`]): benign training samples drive
+//!    the device under the IPT-style tracer; the resulting ITC-CFG and
+//!    the device handlers' IR feed the CFG analyzer, which selects the
+//!    *device state parameters* ([`params`], paper Table I). A second
+//!    pass instruments observation points and records the *device state
+//!    change log* ([`observe`]).
+//! 2. **Execution specification construction** ([`construct`], the
+//!    paper's Algorithm 1): logs plus source build the ES-CFG
+//!    ([`escfg`]) — basic blocks carrying Device State Operation Data
+//!    (DSOD) and Next Block Transition Data (NBTD), a command access
+//!    table, control-flow reduction ([`reduce`]) and data-dependency
+//!    recovery with sync points ([`deprecover`]).
+//! 3. **Runtime protection** ([`checker`]): the ES-Checker simulates
+//!    each I/O interaction on a shadow device state *before* the real
+//!    device services it, applying three check strategies — parameter
+//!    check (integer/buffer overflow), indirect-jump check and
+//!    conditional-jump check — under a protection or enhancement working
+//!    mode. [`enforce::EnforcingDevice`] wires a checker in front of a
+//!    device.
+//!
+//! [`pipeline`] ties it together: `train` produces a serializable
+//! [`spec::ExecutionSpecification`]; `deploy` wraps a device with it.
+//!
+//! Two extensions implement the paper's §VIII future-work avenues:
+//! [`merge`] composes specifications trained by different parties (the
+//! false-positive remedy), and [`response`] adds alert-level
+//! classification and snapshot rollback as alternatives to halting.
+//!
+//! # Examples
+//!
+//! ```
+//! use sedspec::pipeline::{train, TrainingConfig};
+//! use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+//! use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+//!
+//! // Train a specification for the FDC from a tiny benign sample set.
+//! let mut device = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+//! let samples: Vec<Vec<IoRequest>> = vec![
+//!     vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)],
+//!     vec![
+//!         IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08),
+//!         IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
+//!         IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
+//!     ],
+//! ];
+//! let mut ctx = VmContext::new(0x10000, 64);
+//! let spec = train(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap();
+//! assert!(spec.params.selected_var_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod collect;
+pub mod construct;
+pub mod deprecover;
+pub mod enforce;
+pub mod escfg;
+pub mod merge;
+pub mod observe;
+pub mod params;
+pub mod pipeline;
+pub mod reduce;
+pub mod response;
+pub mod spec;

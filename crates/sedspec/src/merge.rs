@@ -1,0 +1,275 @@
+//! Merging execution specifications trained on different sample sets —
+//! the paper's false-positive remedy (§VIII): "distributing SEDSpec
+//! among device developers and testers ... enables the utilization of
+//! extensive test cases to formulate precise execution specifications".
+//!
+//! Merging unions the observed blocks, transition edges, indirect
+//! targets and command access bitmaps. Blocks are aligned by their
+//! originating program block, so specifications trained on the same
+//! device build compose exactly.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::escfg::{gid, ungid, EdgeKey, EsCfg, Nbtd};
+use crate::spec::ExecutionSpecification;
+
+/// Why two specifications cannot merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// Different device or behaviour version.
+    DeviceMismatch {
+        /// `device/version` of the left spec.
+        left: String,
+        /// `device/version` of the right spec.
+        right: String,
+    },
+    /// The parameter selections differ (different analyzer inputs).
+    ParamMismatch,
+    /// Structural disagreement on a block both specs observed.
+    BlockMismatch {
+        /// Handler index.
+        program: usize,
+        /// Program block origin.
+        origin: u32,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::DeviceMismatch { left, right } => {
+                write!(f, "specifications target different devices: {left} vs {right}")
+            }
+            MergeError::ParamMismatch => write!(f, "device state parameter selections differ"),
+            MergeError::BlockMismatch { program, origin } => {
+                write!(f, "handler {program} block {origin} differs structurally")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// What a merge added.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MergeReport {
+    /// ES blocks that only the other specification had observed.
+    pub new_blocks: u64,
+    /// Edges added (distinct `(from, key, to)`).
+    pub new_edges: u64,
+    /// Commands added to the access table.
+    pub new_commands: u64,
+}
+
+fn merge_cfg(dst: &mut EsCfg, src: &EsCfg, report: &mut MergeReport) -> Result<Vec<u32>, MergeError> {
+    // Map src es-id -> dst es-id, appending unseen blocks.
+    let mut remap = vec![0u32; src.blocks.len()];
+    for (sid, blk) in src.blocks.iter().enumerate() {
+        match dst.by_origin.get(&blk.origin) {
+            Some(&did) => {
+                let mine = &mut dst.blocks[did as usize];
+                // Reduction may have demoted one side's branch NBTD to
+                // None; keep the undemoted variant (re-reduction can
+                // merge it again later).
+                match (&mine.nbtd, &blk.nbtd) {
+                    (Nbtd::None, Nbtd::Branch { .. }) => mine.nbtd = blk.nbtd.clone(),
+                    (Nbtd::Branch { .. }, Nbtd::None) | (Nbtd::None, Nbtd::None) => {}
+                    (a, b) if a == b => {}
+                    (
+                        Nbtd::Branch { cond: c1, needs_sync: s1 },
+                        Nbtd::Branch { cond: c2, needs_sync: s2 },
+                    ) if c1 == c2 => {
+                        let needs = *s1 || *s2;
+                        mine.nbtd = Nbtd::Branch { cond: c1.clone(), needs_sync: needs };
+                    }
+                    _ => {
+                        return Err(MergeError::BlockMismatch {
+                            program: dst.program,
+                            origin: blk.origin,
+                        })
+                    }
+                }
+                remap[sid] = did;
+            }
+            None => {
+                let did = dst.blocks.len() as u32;
+                dst.blocks.push(blk.clone());
+                dst.by_origin.insert(blk.origin, did);
+                remap[sid] = did;
+                report.new_blocks += 1;
+            }
+        }
+    }
+    if dst.entry.is_none() {
+        dst.entry = src.entry.map(|e| remap[e as usize]);
+    }
+    for (&from, edges) in &src.edges {
+        for e in edges {
+            let dfrom = remap[from as usize];
+            let dto = remap[e.to as usize];
+            let existed = dst.edge(dfrom, e.key).is_some_and(|x| x.to == dto);
+            if !existed {
+                report.new_edges += 1;
+            }
+            dst.record_edge(dfrom, e.key, dto);
+        }
+    }
+    for (&value, &target) in &src.fn_targets {
+        dst.fn_targets.entry(value).or_insert(remap[target as usize]);
+    }
+    // A block whose branch got un-reduced needs its merged Next edge
+    // expanded back into both outcomes.
+    let ids: Vec<u32> = (0..dst.blocks.len() as u32).collect();
+    for es in ids {
+        if matches!(dst.blocks[es as usize].nbtd, Nbtd::Branch { .. }) {
+            if let Some(next) = dst.edge(es, EdgeKey::Next).copied() {
+                dst.record_edge(es, EdgeKey::Taken, next.to);
+                dst.record_edge(es, EdgeKey::NotTaken, next.to);
+                dst.edges.get_mut(&es).expect("edges exist").retain(|e| e.key != EdgeKey::Next);
+            }
+        }
+    }
+    Ok(remap)
+}
+
+/// Merges `other` into `base`, returning what was added.
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] if the specifications target different
+/// devices/versions, selected different parameters, or disagree
+/// structurally on a shared block.
+pub fn merge(
+    base: &mut ExecutionSpecification,
+    other: &ExecutionSpecification,
+) -> Result<MergeReport, MergeError> {
+    if base.device != other.device || base.version != other.version {
+        return Err(MergeError::DeviceMismatch {
+            left: format!("{}/{}", base.device, base.version),
+            right: format!("{}/{}", other.device, other.version),
+        });
+    }
+    if base.params != other.params {
+        return Err(MergeError::ParamMismatch);
+    }
+    let mut report = MergeReport::default();
+    let mut remaps = Vec::with_capacity(base.cfgs.len());
+    for (dst, src) in base.cfgs.iter_mut().zip(&other.cfgs) {
+        remaps.push(merge_cfg(dst, src, &mut report)?);
+    }
+    for entry in &other.cmd_table.entries {
+        let (dp, des) = ungid(entry.decision);
+        let decision = gid(dp, remaps[dp][des as usize]);
+        let existed = base.cmd_table.lookup(decision, entry.cmd).is_some();
+        if !existed {
+            report.new_commands += 1;
+        }
+        let dst_entry = base.cmd_table.entry_mut(decision, entry.cmd);
+        for &g in &entry.allowed {
+            let (p, es) = ungid(g);
+            dst_entry.allowed.insert(gid(p, remaps[p][es as usize]));
+        }
+    }
+    base.stats.training_rounds += other.stats.training_rounds;
+    base.stats.es_blocks = base.cfgs.iter().map(|c| c.blocks.len() as u64).sum();
+    base.stats.es_edges = base.cfgs.iter().map(|c| c.edge_count() as u64).sum();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{EsChecker, NoSync};
+    use crate::pipeline::{train, TrainingConfig};
+    use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+    use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+    fn wr(port: u64, v: u64) -> IoRequest {
+        IoRequest::write(AddressSpace::Pmio, port, 1, v)
+    }
+
+    fn rd(port: u64) -> IoRequest {
+        IoRequest::read(AddressSpace::Pmio, port, 1)
+    }
+
+    fn spec_from(samples: &[Vec<IoRequest>]) -> ExecutionSpecification {
+        let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        train(&mut device, &mut ctx, samples, &TrainingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn merging_unions_coverage() {
+        // Developer A tested status polls; tester B tested SENSE INT.
+        let mut a = spec_from(&[vec![rd(0x3f4), rd(0x3f2)]]);
+        let b = spec_from(&[vec![wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)]]);
+        let before = a.edge_count();
+        let report = merge(&mut a, &b).unwrap();
+        assert!(report.new_blocks > 0);
+        assert!(report.new_edges > 0);
+        assert!(a.edge_count() > before);
+
+        // The merged spec accepts BOTH parties' traffic.
+        let device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let checker = EsChecker::new(a, device.control.clone());
+        for req in [rd(0x3f4), rd(0x3f2)] {
+            let pi = device.route(&req).unwrap();
+            let r = checker.walk_round(pi, &req, &mut NoSync);
+            assert!(r.report.ok() && r.report.completed, "{req:?}");
+        }
+        // B's command round: the write-handler entry must now resolve.
+        let req = wr(0x3f5, 0x08);
+        let pi = device.route(&req).unwrap();
+        let r = checker.walk_round(pi, &req, &mut NoSync);
+        assert!(r.report.ok(), "{:?}", r.report.violations);
+    }
+
+    #[test]
+    fn merging_removes_false_positives() {
+        // A alone flags the SENSE DRIVE STATUS command; after merging a
+        // spec that trained it, the flag disappears — the paper's remedy.
+        let mut a = spec_from(&[vec![wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)]]);
+        let tester = spec_from(&[vec![wr(0x3f5, 0x04), wr(0x3f5, 0x00), rd(0x3f5)]]);
+        let device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+
+        let checker = EsChecker::new(a.clone(), device.control.clone());
+        let req = wr(0x3f5, 0x04);
+        let pi = device.route(&req).unwrap();
+        assert!(!checker.walk_round(pi, &req, &mut NoSync).report.ok(), "A alone must flag");
+
+        merge(&mut a, &tester).unwrap();
+        let checker = EsChecker::new(a, device.control.clone());
+        let r = checker.walk_round(pi, &req, &mut NoSync);
+        assert!(r.report.ok(), "merged spec flags: {:?}", r.report.violations);
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = spec_from(&[vec![rd(0x3f4)]]);
+        let b = a.clone();
+        let r1 = merge(&mut a, &b).unwrap();
+        assert_eq!(r1, MergeReport::default());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn mismatched_devices_refuse_to_merge() {
+        let mut a = spec_from(&[vec![rd(0x3f4)]]);
+        let mut other = {
+            let mut device = build_device(DeviceKind::Scsi, QemuVersion::Patched);
+            let mut ctx = VmContext::new(0x10000, 64);
+            train(&mut device, &mut ctx, &[vec![rd(0xc04)]], &TrainingConfig::default()).unwrap()
+        };
+        assert!(matches!(merge(&mut a, &other), Err(MergeError::DeviceMismatch { .. })));
+        // Same device, different version: also refused.
+        let mut v230 = {
+            let mut device = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+            let mut ctx = VmContext::new(0x10000, 64);
+            train(&mut device, &mut ctx, &[vec![rd(0x3f4)]], &TrainingConfig::default()).unwrap()
+        };
+        assert!(matches!(merge(&mut v230, &a), Err(MergeError::DeviceMismatch { .. })));
+        let _ = &mut other;
+    }
+}

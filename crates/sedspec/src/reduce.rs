@@ -1,0 +1,131 @@
+//! Control-flow reduction (paper §V-C).
+//!
+//! Because the ES-CFG ignores code that does not affect device state, a
+//! conditional basic block's taken and not-taken paths can converge on
+//! the *same* ES successor. Checking such a branch buys nothing: both
+//! outcomes are legitimate and lead to the same place. Reduction merges
+//! the pair — the branch's NBTD is removed and the two observed edges
+//! collapse into one unconditional transition — shrinking the spec and
+//! the runtime walk.
+
+use serde::{Deserialize, Serialize};
+
+use crate::escfg::{EdgeKey, EsCfg, Nbtd};
+
+/// Summary of a reduction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceReport {
+    /// Conditional NBTDs removed because both outcomes converge.
+    pub merged_branches: usize,
+    /// Edges eliminated.
+    pub removed_edges: usize,
+}
+
+/// Applies control-flow reduction to every handler's ES-CFG.
+pub fn reduce(cfgs: &mut [EsCfg]) -> ReduceReport {
+    let mut report = ReduceReport::default();
+    for cfg in cfgs.iter_mut() {
+        let ids: Vec<u32> = (0..cfg.blocks.len() as u32).collect();
+        for es in ids {
+            if !matches!(cfg.blocks[es as usize].nbtd, Nbtd::Branch { .. }) {
+                continue;
+            }
+            let taken = cfg.edge(es, EdgeKey::Taken).map(|e| (e.to, e.hits));
+            let not_taken = cfg.edge(es, EdgeKey::NotTaken).map(|e| (e.to, e.hits));
+            if let (Some((t, th)), Some((n, nh))) = (taken, not_taken) {
+                if t == n {
+                    // Both observed outcomes converge: merge.
+                    cfg.blocks[es as usize].nbtd = Nbtd::None;
+                    let edges = cfg.edges.get_mut(&es).expect("edges exist");
+                    edges.retain(|e| e.key != EdgeKey::Taken && e.key != EdgeKey::NotTaken);
+                    edges.push(crate::escfg::EsEdge { key: EdgeKey::Next, to: t, hits: th + nh });
+                    report.merged_branches += 1;
+                    report.removed_edges += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::escfg::{empty_escfg, EsBlock};
+    use crate::params::DeviceStateParams;
+    use sedspec_dbl::builder::ProgramBuilder;
+    use sedspec_dbl::ir::{BlockKind, Expr};
+
+    fn cfg_with_branch(t: u32, n: u32) -> EsCfg {
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.exit();
+        let prog = b.finish().unwrap();
+        let mut cfg = empty_escfg(0, &prog, &DeviceStateParams::default());
+        for i in 0..3u32 {
+            cfg.blocks.push(EsBlock {
+                origin: i,
+                label: format!("b{i}"),
+                kind: BlockKind::Plain,
+                dsod: vec![],
+                nbtd: if i == 0 {
+                    Nbtd::Branch { cond: Expr::IoData, needs_sync: false }
+                } else {
+                    Nbtd::None
+                },
+                is_exit: i != 0,
+                is_return: false,
+            });
+            cfg.by_origin.insert(i, i);
+        }
+        cfg.record_edge(0, EdgeKey::Taken, t);
+        cfg.record_edge(0, EdgeKey::Taken, t);
+        cfg.record_edge(0, EdgeKey::NotTaken, n);
+        cfg
+    }
+
+    #[test]
+    fn converging_branch_is_merged() {
+        let mut cfgs = vec![cfg_with_branch(1, 1)];
+        let report = reduce(&mut cfgs);
+        assert_eq!(report.merged_branches, 1);
+        assert!(matches!(cfgs[0].blocks[0].nbtd, Nbtd::None));
+        let e = cfgs[0].edge(0, EdgeKey::Next).unwrap();
+        assert_eq!(e.to, 1);
+        assert_eq!(e.hits, 3); // 2 taken + 1 not-taken
+        assert!(cfgs[0].edge(0, EdgeKey::Taken).is_none());
+    }
+
+    #[test]
+    fn diverging_branch_is_kept() {
+        let mut cfgs = vec![cfg_with_branch(1, 2)];
+        let report = reduce(&mut cfgs);
+        assert_eq!(report.merged_branches, 0);
+        assert!(matches!(cfgs[0].blocks[0].nbtd, Nbtd::Branch { .. }));
+    }
+
+    #[test]
+    fn single_sided_branch_is_kept() {
+        // Only the taken side observed: the conditional check must stay
+        // (the missing side is exactly what it detects).
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.exit();
+        let prog = b.finish().unwrap();
+        let mut cfg = empty_escfg(0, &prog, &DeviceStateParams::default());
+        cfg.blocks.push(EsBlock {
+            origin: 0,
+            label: "b0".into(),
+            kind: BlockKind::Plain,
+            dsod: vec![],
+            nbtd: Nbtd::Branch { cond: Expr::IoData, needs_sync: false },
+            is_exit: false,
+            is_return: false,
+        });
+        cfg.record_edge(0, EdgeKey::Taken, 0);
+        let mut cfgs = vec![cfg];
+        assert_eq!(reduce(&mut cfgs).merged_branches, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Anomaly responses beyond halting — the paper's future-work avenues
+//! (§VIII, *Anomaly Defence*): rolling the device back to a snapshot
+//! taken before the exploitation, and classifying alert levels per check
+//! strategy.
+//!
+//! Snapshots cover the device-side state the checker governs: the real
+//! control structure, the shadow, and the command scope. (The paper
+//! envisions whole-VM rollback; guest memory and backends are the
+//! embedder's to snapshot, since they are shared with the rest of the
+//! machine.)
+
+use sedspec_dbl::state::CsState;
+use serde::{Deserialize, Serialize};
+
+use crate::checker::{CmdCtx, Strategy, Violation};
+use crate::enforce::EnforcingDevice;
+
+/// Alert severity, classified from the violated strategy (§VIII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AlertLevel {
+    /// Unusual but possibly legitimate operation (untrained paths,
+    /// unknown commands): warrants logging and review.
+    Notice,
+    /// Strong exploitation signal with a small false-positive window
+    /// (command-scope escapes, untrained branch outcomes under attack
+    /// preconditions).
+    Warning,
+    /// Direct exploitation evidence (overflows, hijacked pointers):
+    /// never produced by legitimate traffic.
+    Critical,
+}
+
+/// Classifies a violation into an alert level.
+pub fn alert_level(v: &Violation) -> AlertLevel {
+    match v.strategy() {
+        // "Anomalies detected by the parameter check strategy are
+        // directly related to vulnerability exploitation and do not
+        // cause false positives."
+        Strategy::Parameter => AlertLevel::Critical,
+        Strategy::IndirectJump => AlertLevel::Critical,
+        Strategy::ConditionalJump => match v {
+            Violation::BlockOutsideCommand { .. } | Violation::UntrainedBranch { .. } => {
+                AlertLevel::Warning
+            }
+            _ => AlertLevel::Notice,
+        },
+    }
+}
+
+/// The highest alert level among a verdict's violations.
+pub fn highest_alert(violations: &[Violation]) -> Option<AlertLevel> {
+    violations.iter().map(alert_level).max()
+}
+
+/// A device-side snapshot: everything needed to resume enforcement from
+/// a known-good point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The device control-structure state.
+    pub device_state: CsState,
+    /// The checker's shadow state.
+    pub shadow: CsState,
+    /// The active command scope.
+    pub cmd_ctx: Option<CmdCtx>,
+}
+
+/// A bounded ring of snapshots (newest last).
+#[derive(Debug, Default)]
+pub struct SnapshotRing {
+    slots: std::collections::VecDeque<Snapshot>,
+    capacity: usize,
+}
+
+impl SnapshotRing {
+    /// A ring holding up to `capacity` snapshots.
+    pub fn new(capacity: usize) -> Self {
+        SnapshotRing { slots: std::collections::VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    /// Takes a snapshot of an enforcing device.
+    pub fn capture(&mut self, enforcer: &EnforcingDevice) {
+        if self.slots.len() == self.capacity {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(Snapshot {
+            device_state: enforcer.device.state.clone(),
+            shadow: enforcer.checker().shadow().clone(),
+            cmd_ctx: enforcer.checker().cmd_ctx().cloned(),
+        });
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Restores the most recent snapshot onto the enforcer, clearing the
+    /// halt latch so the (rolled-back) device can continue — the paper's
+    /// "restore the virtual machine state to a previous point before the
+    /// exploitation". Returns `false` when no snapshot exists.
+    pub fn rollback_latest(&mut self, enforcer: &mut EnforcingDevice) -> bool {
+        let Some(snap) = self.slots.pop_back() else { return false };
+        enforcer.device.state = snap.device_state;
+        enforcer.checker_mut().restore(snap.shadow, snap.cmd_ctx);
+        enforcer.reset_halt();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::WorkingMode;
+    use crate::pipeline::{deploy, train, TrainingConfig};
+    use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+    use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+    fn wr(port: u64, v: u64) -> IoRequest {
+        IoRequest::write(AddressSpace::Pmio, port, 1, v)
+    }
+
+    fn rd(port: u64) -> IoRequest {
+        IoRequest::read(AddressSpace::Pmio, port, 1)
+    }
+
+    #[test]
+    fn alert_levels_order_by_severity() {
+        let param = Violation::IntegerOverflow { program: 0, block: 0, label: "x".into() };
+        let cond = Violation::UnknownCommand { program: 0, block: 0, label: "x".into(), cmd: 4 };
+        let branch =
+            Violation::UntrainedBranch { program: 0, block: 0, label: "x".into(), taken: true };
+        assert_eq!(alert_level(&param), AlertLevel::Critical);
+        assert_eq!(alert_level(&cond), AlertLevel::Notice);
+        assert_eq!(alert_level(&branch), AlertLevel::Warning);
+        assert_eq!(
+            highest_alert(&[cond.clone(), branch.clone(), param.clone()]),
+            Some(AlertLevel::Critical)
+        );
+        assert_eq!(highest_alert(&[cond, branch]), Some(AlertLevel::Warning));
+        assert_eq!(highest_alert(&[]), None);
+    }
+
+    #[test]
+    fn rollback_restores_pre_attack_state_and_continues() {
+        // Train on benign FDC traffic, snapshot, attack, roll back.
+        let mut device = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let samples = vec![
+            vec![rd(0x3f4)],
+            vec![wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)],
+            vec![wr(0x3f5, 0x8e), wr(0x3f5, 0x20), wr(0x3f5, 0xc0)],
+        ];
+        let spec = train(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap();
+        let mut enforcer = deploy(device, spec, WorkingMode::Protection);
+        let mut ring = SnapshotRing::new(4);
+
+        // Healthy operation, snapshot after each round.
+        let v = enforcer.handle_io(&mut ctx, &rd(0x3f4));
+        assert!(!v.flagged());
+        ring.capture(&enforcer);
+
+        // Attack: Venom grinds until halted.
+        let _ = enforcer.handle_io(&mut ctx, &wr(0x3f5, 0x8e));
+        for _ in 0..600 {
+            if enforcer.handle_io(&mut ctx, &wr(0x3f5, 0x01)).flagged() {
+                break;
+            }
+        }
+        assert!(enforcer.is_halted());
+
+        // Roll back: the device resumes from the clean snapshot.
+        assert!(ring.rollback_latest(&mut enforcer));
+        assert!(!enforcer.is_halted());
+        let v = enforcer.handle_io(&mut ctx, &rd(0x3f4));
+        assert!(matches!(v, crate::enforce::IoVerdict::Allowed(out) if out.reply & 0x80 != 0));
+        // And the shadow matches the restored device again.
+        let msr = enforcer.device.control.var_by_name("msr").unwrap();
+        assert_eq!(enforcer.checker().shadow().var(msr), enforcer.device.state.var(msr));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let spec =
+            train(&mut device, &mut ctx, &[vec![rd(0x3f4)]], &TrainingConfig::default()).unwrap();
+        let enforcer = deploy(device, spec, WorkingMode::Protection);
+        let mut ring = SnapshotRing::new(2);
+        for _ in 0..5 {
+            ring.capture(&enforcer);
+        }
+        assert_eq!(ring.len(), 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! The serializable execution-specification bundle.
+
+use serde::{Deserialize, Serialize};
+
+use crate::deprecover::RecoveryReport;
+use crate::escfg::{CommandAccessTable, EsCfg};
+use crate::params::DeviceStateParams;
+use crate::reduce::ReduceReport;
+
+/// A complete execution specification for one emulated device.
+///
+/// Produced by [`crate::pipeline::train`], consumed by
+/// [`crate::checker::EsChecker`]. Serializable, so specifications can be
+/// generated once (e.g. by device developers and testers, as the paper
+/// suggests) and deployed separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionSpecification {
+    /// Device name the spec was trained for.
+    pub device: String,
+    /// Behaviour version string of the trained device.
+    pub version: String,
+    /// Selected device-state parameters (Table I).
+    pub params: DeviceStateParams,
+    /// One ES-CFG per handler program, indexed by program id.
+    pub cfgs: Vec<EsCfg>,
+    /// Device-global command access table.
+    pub cmd_table: CommandAccessTable,
+    /// Training statistics.
+    pub stats: SpecStats,
+}
+
+/// Statistics about how a specification was built.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpecStats {
+    /// Training rounds folded in.
+    pub training_rounds: u64,
+    /// Rounds skipped for faults.
+    pub skipped_rounds: u64,
+    /// ES blocks across all handlers.
+    pub es_blocks: u64,
+    /// Observed edges across all handlers.
+    pub es_edges: u64,
+    /// Reduction summary.
+    pub reduce: ReduceReport,
+    /// Data-dependency recovery summary.
+    pub recovery: RecoveryReport,
+}
+
+impl ExecutionSpecification {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specification serializes")
+    }
+
+    /// Parses a specification from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Total ES blocks.
+    pub fn block_count(&self) -> usize {
+        self.cfgs.iter().map(|c| c.blocks.len()).sum()
+    }
+
+    /// Total observed edges.
+    pub fn edge_count(&self) -> usize {
+        self.cfgs.iter().map(EsCfg::edge_count).sum()
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end smoke test: train on benign FDC traffic, deploy on the
+//! vulnerable device, detect Venom before execution.
+
+use sedspec::checker::{CheckConfig, Strategy, Violation, WorkingMode};
+use sedspec::enforce::IoVerdict;
+use sedspec::pipeline::{deploy, train, TrainingConfig};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+fn wr(port: u64, v: u64) -> IoRequest {
+    IoRequest::write(AddressSpace::Pmio, port, 1, v)
+}
+
+fn rd(port: u64) -> IoRequest {
+    IoRequest::read(AddressSpace::Pmio, port, 1)
+}
+
+/// Benign FDC traffic covering the common command set, including a
+/// well-formed DRIVE SPECIFICATION interaction.
+fn benign_samples() -> Vec<Vec<IoRequest>> {
+    let mut samples = vec![
+        // Status poll.
+        vec![rd(0x3f4), rd(0x3f2)],
+        // SENSE INTERRUPT STATUS.
+        vec![wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)],
+        // SEEK + SENSE INTERRUPT.
+        vec![
+            wr(0x3f5, 0x0f),
+            wr(0x3f5, 0x00),
+            wr(0x3f5, 0x05),
+            wr(0x3f5, 0x08),
+            rd(0x3f5),
+            rd(0x3f5),
+        ],
+        // RECALIBRATE.
+        vec![wr(0x3f5, 0x07), wr(0x3f5, 0x00), wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)],
+        // Well-formed DRIVE SPECIFICATION: two setting bytes, terminator.
+        vec![wr(0x3f5, 0x8e), wr(0x3f5, 0x20), wr(0x3f5, 0x01), wr(0x3f5, 0xc0)],
+    ];
+    // READ a sector.
+    let mut read = vec![wr(0x3f5, 0x46)];
+    for p in [0u64, 0, 0, 1, 2, 18, 0x1b, 0xff] {
+        read.push(wr(0x3f5, p));
+    }
+    for _ in 0..512 {
+        read.push(rd(0x3f5));
+    }
+    samples.push(read);
+    // WRITE a sector.
+    let mut write = vec![wr(0x3f5, 0x45)];
+    for p in [0u64, 0, 0, 2, 2, 18, 0x1b, 0xff] {
+        write.push(wr(0x3f5, p));
+    }
+    for i in 0..512u64 {
+        write.push(wr(0x3f5, i & 0xff));
+    }
+    for _ in 0..7 {
+        write.push(rd(0x3f5));
+    }
+    samples.push(write);
+    // Controller reset via DOR.
+    samples.push(vec![wr(0x3f2, 0x00), wr(0x3f2, 0x0c), rd(0x3f4)]);
+    samples
+}
+
+fn trained_enforcer(
+    mode: WorkingMode,
+    config: CheckConfig,
+) -> (sedspec::enforce::EnforcingDevice, VmContext) {
+    let mut device = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+    let mut ctx = VmContext::new(0x10000, 1024);
+    let spec = train(&mut device, &mut ctx, &benign_samples(), &TrainingConfig::default())
+        .expect("training succeeds");
+    let enforcer = deploy(device, spec, mode).with_config(config);
+    (enforcer, VmContext::new(0x10000, 1024))
+}
+
+#[test]
+fn benign_replay_raises_no_alarms() {
+    let (mut enf, mut ctx) = trained_enforcer(WorkingMode::Protection, CheckConfig::default());
+    for sample in benign_samples() {
+        for req in sample {
+            let verdict = enf.handle_io(&mut ctx, &req);
+            assert!(
+                matches!(verdict, IoVerdict::Allowed(_)),
+                "benign request flagged: {verdict:?}"
+            );
+        }
+    }
+    assert_eq!(enf.stats.halts, 0);
+    assert_eq!(enf.stats.warnings, 0);
+}
+
+#[test]
+fn venom_is_halted_before_execution() {
+    let (mut enf, mut ctx) = trained_enforcer(WorkingMode::Protection, CheckConfig::default());
+    // The Venom PoC: DRIVE SPECIFICATION, then endless non-terminator bytes.
+    let mut flagged = None;
+    let _ = enf.handle_io(&mut ctx, &wr(0x3f5, 0x8e));
+    for i in 0..600 {
+        match enf.handle_io(&mut ctx, &wr(0x3f5, 0x01)) {
+            IoVerdict::Halted { violations, executed } => {
+                flagged = Some((i, violations, executed));
+                break;
+            }
+            IoVerdict::DeviceFault { fault, .. } => panic!("device crashed undetected: {fault}"),
+            _ => {}
+        }
+    }
+    let (i, violations, executed) = flagged.expect("Venom must be detected");
+    assert!(!executed, "detection happens before the device executes the round");
+    assert!(!violations.is_empty());
+    // Both the conditional-jump check (overrun branch, early) and the
+    // parameter check could fire; the first detection is the overrun
+    // branch at parameter byte 6.
+    assert!(i < 600);
+    assert!(enf.is_halted());
+    // Once halted, everything is refused.
+    assert!(matches!(enf.handle_io(&mut ctx, &rd(0x3f4)), IoVerdict::Halted { .. }));
+}
+
+#[test]
+fn venom_detected_by_parameter_check_alone() {
+    let (mut enf, mut ctx) =
+        trained_enforcer(WorkingMode::Protection, CheckConfig::only(Strategy::Parameter));
+    let _ = enf.handle_io(&mut ctx, &wr(0x3f5, 0x8e));
+    let mut hit = false;
+    for _ in 0..600 {
+        if let IoVerdict::Halted { violations, .. } = enf.handle_io(&mut ctx, &wr(0x3f5, 0x01)) {
+            assert!(violations
+                .iter()
+                .all(|v| v.strategy() == Strategy::Parameter));
+            assert!(matches!(violations[0], Violation::BufferOverflow { .. }));
+            hit = true;
+            break;
+        }
+    }
+    assert!(hit, "parameter check alone must catch the FIFO overflow");
+}
+
+#[test]
+fn venom_detected_by_conditional_check_alone() {
+    let (mut enf, mut ctx) =
+        trained_enforcer(WorkingMode::Protection, CheckConfig::only(Strategy::ConditionalJump));
+    let _ = enf.handle_io(&mut ctx, &wr(0x3f5, 0x8e));
+    let mut hit = false;
+    for _ in 0..600 {
+        if let IoVerdict::Halted { violations, .. } = enf.handle_io(&mut ctx, &wr(0x3f5, 0x01)) {
+            assert!(violations
+                .iter()
+                .all(|v| v.strategy() == Strategy::ConditionalJump));
+            hit = true;
+            break;
+        }
+    }
+    assert!(hit, "conditional check alone must catch the overrun branch");
+}
+
+#[test]
+fn enhancement_mode_halts_on_parameter_violations() {
+    let (mut enf, mut ctx) = trained_enforcer(
+        WorkingMode::Enhancement,
+        CheckConfig::only(Strategy::Parameter),
+    );
+    let _ = enf.handle_io(&mut ctx, &wr(0x3f5, 0x8e));
+    let mut halted = false;
+    for _ in 0..600 {
+        if let IoVerdict::Halted { .. } = enf.handle_io(&mut ctx, &wr(0x3f5, 0x01)) {
+            halted = true;
+            break;
+        }
+    }
+    assert!(halted, "parameter anomalies halt even in enhancement mode");
+}
+
+#[test]
+fn enhancement_mode_warns_on_conditional_violations() {
+    let (mut enf, mut ctx) = trained_enforcer(
+        WorkingMode::Enhancement,
+        CheckConfig::only(Strategy::ConditionalJump),
+    );
+    let _ = enf.handle_io(&mut ctx, &wr(0x3f5, 0x8e));
+    let mut warned = false;
+    for _ in 0..600 {
+        match enf.handle_io(&mut ctx, &wr(0x3f5, 0x01)) {
+            IoVerdict::Warned { violations, .. } => {
+                assert!(violations.iter().all(|v| v.strategy() == Strategy::ConditionalJump));
+                warned = true;
+                break;
+            }
+            IoVerdict::Halted { .. } => panic!("conditional anomalies must not halt in enhancement mode"),
+            IoVerdict::DeviceFault { .. } => break, // device may crash later; warning must come first
+            _ => {}
+        }
+    }
+    assert!(warned);
+    assert!(!enf.is_halted());
+}

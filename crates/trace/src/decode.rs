@@ -1,0 +1,359 @@
+//! Replay decoding of packet streams back into block sequences.
+//!
+//! Real Intel PT decoding re-executes the program binary statically,
+//! consuming one TNT bit per conditional branch and one TIP per indirect
+//! transfer. [`decode_run`] does exactly that over the DBL IR: starting
+//! from the block the PGE packet names, it follows unconditional jumps
+//! silently, consumes TNT bits at `Branch` terminators and TIP targets
+//! at `Switch`/`IndirectCall`/`Return` terminators, until `Exit` (which
+//! must coincide with PGD).
+
+use sedspec_dbl::ir::{BlockId, Program, Terminator};
+use sedspec_dbl::layout::CodeLayout;
+
+use crate::packet::Packet;
+
+/// One edge of a decoded run, with its control-transfer kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// Fall-through / unconditional jump.
+    Fallthrough,
+    /// Conditional branch, taken side.
+    CondTaken,
+    /// Conditional branch, not-taken side.
+    CondNotTaken,
+    /// Switch (jump-table) dispatch.
+    Switch,
+    /// Indirect call through a function pointer.
+    Indirect,
+    /// Return from an indirect call.
+    Return,
+}
+
+/// A decoded handler invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedRun {
+    /// Index of the program (handler) that ran.
+    pub program: usize,
+    /// Executed blocks, in order.
+    pub blocks: Vec<BlockId>,
+    /// Executed edges `(from, kind, to)`, in order.
+    pub edges: Vec<(BlockId, EdgeKind, BlockId)>,
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Stream did not start with PGE.
+    MissingPge,
+    /// PGE address does not resolve to a known block.
+    UnknownEntry {
+        /// The unresolvable address.
+        ip: u64,
+    },
+    /// A conditional branch had no TNT bit left to consume.
+    TntUnderflow {
+        /// Block whose branch lacked a bit.
+        block: BlockId,
+    },
+    /// An indirect transfer had no TIP packet to consume.
+    TipUnderflow {
+        /// Block whose transfer lacked a TIP.
+        block: BlockId,
+    },
+    /// A TIP pointed at an address that is not a block of this program.
+    BadTipTarget {
+        /// The unresolvable address.
+        ip: u64,
+    },
+    /// Packets remained after the program exited.
+    TrailingPackets,
+    /// The replay exceeded a safety bound (corrupt stream).
+    ReplayBound,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::MissingPge => write!(f, "packet stream does not start with PGE"),
+            DecodeError::UnknownEntry { ip } => write!(f, "PGE address {ip:#x} is not a known block"),
+            DecodeError::TntUnderflow { block } => {
+                write!(f, "no TNT bit available for branch in block {}", block.0)
+            }
+            DecodeError::TipUnderflow { block } => {
+                write!(f, "no TIP available for indirect transfer in block {}", block.0)
+            }
+            DecodeError::BadTipTarget { ip } => write!(f, "TIP target {ip:#x} is not a known block"),
+            DecodeError::TrailingPackets => write!(f, "packets remain after program exit"),
+            DecodeError::ReplayBound => write!(f, "replay exceeded safety bound"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct PacketCursor<'a> {
+    packets: &'a [Packet],
+    idx: usize,
+    tnt_bits: std::collections::VecDeque<bool>,
+}
+
+impl<'a> PacketCursor<'a> {
+    fn new(packets: &'a [Packet]) -> Self {
+        PacketCursor { packets, idx: 0, tnt_bits: std::collections::VecDeque::new() }
+    }
+
+    /// Pulls packets until a TNT bit is available.
+    fn next_tnt(&mut self, device_range: &std::ops::Range<u64>) -> Option<bool> {
+        loop {
+            if let Some(b) = self.tnt_bits.pop_front() {
+                return Some(b);
+            }
+            match self.packets.get(self.idx)? {
+                Packet::Tnt { bits } => {
+                    self.tnt_bits.extend(bits.iter().copied());
+                    self.idx += 1;
+                }
+                // Skip out-of-range noise (unfiltered library TIPs).
+                Packet::Tip { ip } if !device_range.contains(ip) => self.idx += 1,
+                _ => return None,
+            }
+        }
+    }
+
+    /// Pulls packets until an in-range TIP is available.
+    fn next_tip(&mut self, device_range: &std::ops::Range<u64>) -> Option<u64> {
+        // A pending TNT bit before a TIP would indicate desync; TNT bits
+        // are always consumed first by construction.
+        loop {
+            match self.packets.get(self.idx)? {
+                Packet::Tip { ip } if device_range.contains(ip) => {
+                    self.idx += 1;
+                    return Some(*ip);
+                }
+                Packet::Tip { .. } => self.idx += 1,
+                _ => return None,
+            }
+        }
+    }
+
+    fn at_end(&mut self, device_range: &std::ops::Range<u64>) -> bool {
+        while let Some(p) = self.packets.get(self.idx) {
+            match p {
+                Packet::Pgd => return self.idx + 1 == self.packets.len(),
+                Packet::Tip { ip } if !device_range.contains(ip) => self.idx += 1,
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Safety bound on replayed blocks per run.
+const REPLAY_BOUND: usize = 2_000_000;
+
+/// Decodes one handler invocation's packets into its block sequence.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the stream is malformed or desynchronized
+/// from the program (e.g. it was produced by different code).
+pub fn decode_run(
+    programs: &[&Program],
+    layout: &CodeLayout,
+    packets: &[Packet],
+) -> Result<DecodedRun, DecodeError> {
+    let device_range = layout.device_range();
+    let Some(Packet::Pge { ip }) = packets.first() else {
+        return Err(DecodeError::MissingPge);
+    };
+    let (program, entry) = layout.resolve(*ip).ok_or(DecodeError::UnknownEntry { ip: *ip })?;
+    let prog = programs[program];
+
+    let mut cursor = PacketCursor::new(&packets[1..]);
+    let mut blocks = vec![entry];
+    let mut edges = Vec::new();
+    let mut cur = entry;
+    let mut call_stack: Vec<BlockId> = Vec::new();
+
+    loop {
+        if blocks.len() > REPLAY_BOUND {
+            return Err(DecodeError::ReplayBound);
+        }
+        let next: (EdgeKind, BlockId) = match &prog.block(cur).term {
+            Terminator::Jump(b) => (EdgeKind::Fallthrough, *b),
+            Terminator::Branch { taken, not_taken, .. } => {
+                let bit =
+                    cursor.next_tnt(&device_range).ok_or(DecodeError::TntUnderflow { block: cur })?;
+                if bit {
+                    (EdgeKind::CondTaken, *taken)
+                } else {
+                    (EdgeKind::CondNotTaken, *not_taken)
+                }
+            }
+            Terminator::Switch { .. } => {
+                let ip =
+                    cursor.next_tip(&device_range).ok_or(DecodeError::TipUnderflow { block: cur })?;
+                let (p, b) = layout.resolve(ip).ok_or(DecodeError::BadTipTarget { ip })?;
+                if p != program {
+                    return Err(DecodeError::BadTipTarget { ip });
+                }
+                (EdgeKind::Switch, b)
+            }
+            Terminator::IndirectCall { ret, .. } => {
+                let ip =
+                    cursor.next_tip(&device_range).ok_or(DecodeError::TipUnderflow { block: cur })?;
+                let (p, b) = layout.resolve(ip).ok_or(DecodeError::BadTipTarget { ip })?;
+                if p != program {
+                    return Err(DecodeError::BadTipTarget { ip });
+                }
+                call_stack.push(*ret);
+                (EdgeKind::Indirect, b)
+            }
+            Terminator::Return => {
+                let ip =
+                    cursor.next_tip(&device_range).ok_or(DecodeError::TipUnderflow { block: cur })?;
+                let (p, b) = layout.resolve(ip).ok_or(DecodeError::BadTipTarget { ip })?;
+                if p != program {
+                    return Err(DecodeError::BadTipTarget { ip });
+                }
+                call_stack.pop();
+                (EdgeKind::Return, b)
+            }
+            Terminator::Exit => {
+                if !cursor.at_end(&device_range) {
+                    return Err(DecodeError::TrailingPackets);
+                }
+                return Ok(DecodedRun { program, blocks, edges });
+            }
+        };
+        edges.push((cur, next.0, next.1));
+        blocks.push(next.1);
+        cur = next.1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+    use sedspec_dbl::builder::ProgramBuilder;
+    use sedspec_dbl::interp::Interpreter;
+    use sedspec_dbl::ir::{BinOp, Expr, Width};
+    use sedspec_dbl::state::ControlStructure;
+    use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+    struct Rig {
+        cs: ControlStructure,
+        prog: Program,
+        layout: CodeLayout,
+    }
+
+    /// entry --(IoData in {1,2})--> switch targets; arm 1 loops a counter.
+    fn rig() -> Rig {
+        let mut cs = ControlStructure::new("D");
+        let i = cs.var("i", Width::W8);
+        let ptr = cs.fn_ptr("cb", 0x9);
+        let mut b = ProgramBuilder::new("h");
+        let e = b.entry_block("e");
+        let loop_head = b.block("loop_head");
+        let loop_body = b.block("loop_body");
+        let call = b.block("call");
+        let callee = b.block("callee");
+        let after = b.block("after");
+        let x = b.exit_block("x");
+        b.register_fn(0x9, callee);
+        b.select(e);
+        b.switch(Expr::IoData, vec![(1, loop_head), (2, call)], x);
+        b.select(loop_head);
+        b.branch(Expr::bin(BinOp::Lt, Expr::var(i), Expr::lit(3)), loop_body, x);
+        b.select(loop_body);
+        b.set_var(i, Expr::bin(BinOp::Add, Expr::var(i), Expr::lit(1)));
+        b.jump(loop_head);
+        b.select(call);
+        b.indirect_call(ptr, after);
+        b.select(callee);
+        b.ret();
+        b.select(after);
+        b.jump(x);
+        let prog = b.finish().unwrap();
+        let layout = CodeLayout::assign(&[&prog]);
+        Rig { cs, prog, layout }
+    }
+
+    fn trace(rig: &Rig, data: u64) -> Vec<Packet> {
+        let mut tracer = Tracer::new(rig.layout.clone());
+        tracer.begin(0, rig.prog.entry);
+        let mut st = rig.cs.instantiate();
+        let mut ctx = VmContext::new(0x100, 1);
+        Interpreter::new(&rig.prog, &rig.cs)
+            .run(&mut st, &mut ctx, &IoRequest::write(AddressSpace::Pmio, 0, 1, data), &mut tracer)
+            .unwrap();
+        tracer.end()
+    }
+
+    #[test]
+    fn decodes_loop_iterations() {
+        let rig = rig();
+        let packets = trace(&rig, 1);
+        let run = decode_run(&[&rig.prog], &rig.layout, &packets).unwrap();
+        // e -> loop_head, 3 iterations of (body, head), final not-taken -> x
+        assert_eq!(run.blocks.len(), 1 + 1 + 3 * 2 + 1);
+        let cond_taken =
+            run.edges.iter().filter(|(_, k, _)| *k == EdgeKind::CondTaken).count();
+        assert_eq!(cond_taken, 3);
+        assert_eq!(
+            run.edges.iter().filter(|(_, k, _)| *k == EdgeKind::CondNotTaken).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn decodes_indirect_call_and_return() {
+        let rig = rig();
+        let packets = trace(&rig, 2);
+        let run = decode_run(&[&rig.prog], &rig.layout, &packets).unwrap();
+        assert!(run.edges.iter().any(|(_, k, _)| *k == EdgeKind::Indirect));
+        assert!(run.edges.iter().any(|(_, k, _)| *k == EdgeKind::Return));
+    }
+
+    #[test]
+    fn decodes_switch_default() {
+        let rig = rig();
+        let packets = trace(&rig, 77);
+        let run = decode_run(&[&rig.prog], &rig.layout, &packets).unwrap();
+        assert_eq!(run.blocks.len(), 2); // e -> x
+        assert_eq!(run.edges[0].1, EdgeKind::Switch);
+    }
+
+    #[test]
+    fn missing_pge_is_error() {
+        let rig = rig();
+        assert_eq!(decode_run(&[&rig.prog], &rig.layout, &[Packet::Pgd]), Err(DecodeError::MissingPge));
+    }
+
+    #[test]
+    fn desynced_stream_is_detected() {
+        let rig = rig();
+        let mut packets = trace(&rig, 1);
+        // Drop one TNT packet: the replay must underflow.
+        let tnt_pos = packets.iter().position(|p| matches!(p, Packet::Tnt { .. })).unwrap();
+        packets.remove(tnt_pos);
+        assert!(matches!(
+            decode_run(&[&rig.prog], &rig.layout, &packets),
+            Err(DecodeError::TntUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_packets_rejected() {
+        let rig = rig();
+        let mut packets = trace(&rig, 77);
+        let ip = rig.layout.block_addr(0, rig.prog.entry);
+        packets.insert(packets.len() - 1, Packet::Tip { ip });
+        assert_eq!(
+            decode_run(&[&rig.prog], &rig.layout, &packets),
+            Err(DecodeError::TrailingPackets)
+        );
+    }
+}

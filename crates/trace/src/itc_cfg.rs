@@ -1,0 +1,289 @@
+//! The Indirect-Targets-Connected CFG (ITC-CFG).
+//!
+//! FlowGuard's construction: nodes are code addresses reached at
+//! runtime; conditional edges connect branch sites to their observed
+//! taken/not-taken successors, and indirect transfers contribute
+//! *observed target* edges (the "indirect targets connected" part). The
+//! graph accumulates over many training runs; edge hit counts support
+//! the coverage analyses of the evaluation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sedspec_dbl::ir::BlockId;
+use sedspec_dbl::layout::CodeLayout;
+use serde::{Deserialize, Serialize};
+
+use crate::decode::{DecodedRun, EdgeKind};
+
+/// Serializable edge-kind tag (mirrors [`EdgeKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ItcEdgeKind {
+    /// Fall-through / unconditional.
+    Fallthrough,
+    /// Conditional, taken.
+    CondTaken,
+    /// Conditional, not taken.
+    CondNotTaken,
+    /// Switch dispatch.
+    Switch,
+    /// Indirect call.
+    Indirect,
+    /// Return.
+    Return,
+}
+
+impl From<EdgeKind> for ItcEdgeKind {
+    fn from(k: EdgeKind) -> Self {
+        match k {
+            EdgeKind::Fallthrough => ItcEdgeKind::Fallthrough,
+            EdgeKind::CondTaken => ItcEdgeKind::CondTaken,
+            EdgeKind::CondNotTaken => ItcEdgeKind::CondNotTaken,
+            EdgeKind::Switch => ItcEdgeKind::Switch,
+            EdgeKind::Indirect => ItcEdgeKind::Indirect,
+            EdgeKind::Return => ItcEdgeKind::Return,
+        }
+    }
+}
+
+/// An accumulated runtime control-flow graph over code addresses.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItcCfg {
+    nodes: BTreeSet<u64>,
+    #[serde(with = "edge_map_serde")]
+    edges: BTreeMap<(u64, u64), EdgeStats>,
+    runs: u64,
+}
+
+/// JSON-friendly (de)serialization of the edge map: tuple keys are not
+/// valid JSON object keys, so edges travel as a list of records.
+mod edge_map_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<(u64, u64), EdgeStats>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let list: Vec<(u64, u64, EdgeStats)> =
+            map.iter().map(|(&(a, b), &s)| (a, b, s)).collect();
+        serde::Serialize::serialize(&list, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<(u64, u64), EdgeStats>, D::Error> {
+        let list: Vec<(u64, u64, EdgeStats)> = serde::Deserialize::deserialize(de)?;
+        Ok(list.into_iter().map(|(a, b, s)| ((a, b), s)).collect())
+    }
+}
+
+/// Statistics attached to one edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdgeStats {
+    /// Control-transfer kind.
+    pub kind: ItcEdgeKind,
+    /// Times the edge was traversed across all added runs.
+    pub hits: u64,
+}
+
+impl ItcCfg {
+    /// An empty graph.
+    pub fn new() -> Self {
+        ItcCfg::default()
+    }
+
+    /// Folds one decoded run into the graph.
+    pub fn add_run(&mut self, layout: &CodeLayout, run: &DecodedRun) {
+        self.runs += 1;
+        for &b in &run.blocks {
+            self.nodes.insert(layout.block_addr(run.program, b));
+        }
+        for &(from, kind, to) in &run.edges {
+            let key = (layout.block_addr(run.program, from), layout.block_addr(run.program, to));
+            self.edges
+                .entry(key)
+                .and_modify(|s| s.hits += 1)
+                .or_insert(EdgeStats { kind: kind.into(), hits: 1 });
+        }
+    }
+
+    /// Merges another graph into this one.
+    pub fn merge(&mut self, other: &ItcCfg) {
+        self.runs += other.runs;
+        self.nodes.extend(other.nodes.iter().copied());
+        for (&key, &stats) in &other.edges {
+            self.edges
+                .entry(key)
+                .and_modify(|s| s.hits += stats.hits)
+                .or_insert(stats);
+        }
+    }
+
+    /// Number of distinct nodes (visited block addresses).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of runs folded in.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Whether the edge `(from, to)` was ever observed.
+    pub fn has_edge(&self, from: u64, to: u64) -> bool {
+        self.edges.contains_key(&(from, to))
+    }
+
+    /// Stats for edge `(from, to)`, if observed.
+    pub fn edge(&self, from: u64, to: u64) -> Option<EdgeStats> {
+        self.edges.get(&(from, to)).copied()
+    }
+
+    /// Iterates all edges as `((from, to), stats)`.
+    pub fn edges(&self) -> impl Iterator<Item = ((u64, u64), EdgeStats)> + '_ {
+        self.edges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// All observed nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Observed successors of the given block (by address resolution).
+    pub fn successors_of(
+        &self,
+        layout: &CodeLayout,
+        program: usize,
+        block: BlockId,
+    ) -> Vec<(BlockId, EdgeStats)> {
+        let from = layout.block_addr(program, block);
+        self.edges
+            .range((from, 0)..=(from, u64::MAX))
+            .filter_map(|(&(_, to), &stats)| {
+                layout.resolve(to).filter(|&(p, _)| p == program).map(|(_, b)| (b, stats))
+            })
+            .collect()
+    }
+
+    /// Fraction of this graph's edges that also appear in `reference`.
+    ///
+    /// Used for the effective-coverage metric of the evaluation: with
+    /// `self` the fuzz-approximated legitimate-behaviour graph and
+    /// `reference` the training graph, this is the ratio of covered
+    /// paths (paper Table III).
+    pub fn coverage_in(&self, reference: &ItcCfg) -> f64 {
+        if self.edges.is_empty() {
+            return 1.0;
+        }
+        let covered = self.edges.keys().filter(|k| reference.edges.contains_key(k)).count();
+        covered as f64 / self.edges.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_run;
+    use crate::tracer::Tracer;
+    use sedspec_dbl::builder::ProgramBuilder;
+    use sedspec_dbl::interp::Interpreter;
+    use sedspec_dbl::ir::{BinOp, Expr, Program, Width};
+    use sedspec_dbl::state::ControlStructure;
+    use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+    fn rig() -> (ControlStructure, Program, CodeLayout) {
+        let mut cs = ControlStructure::new("D");
+        let v = cs.var("v", Width::W8);
+        let mut b = ProgramBuilder::new("h");
+        let e = b.entry_block("e");
+        let t = b.block("t");
+        let x = b.exit_block("x");
+        b.select(e);
+        b.branch(Expr::bin(BinOp::Gt, Expr::IoData, Expr::lit(4)), t, x);
+        b.select(t);
+        b.set_var(v, Expr::lit(1));
+        b.jump(x);
+        let prog = b.finish().unwrap();
+        let layout = CodeLayout::assign(&[&prog]);
+        (cs, prog, layout)
+    }
+
+    fn run_of(cs: &ControlStructure, prog: &Program, layout: &CodeLayout, data: u64) -> DecodedRun {
+        let mut tracer = Tracer::new(layout.clone());
+        tracer.begin(0, prog.entry);
+        let mut st = cs.instantiate();
+        let mut ctx = VmContext::new(0x100, 1);
+        Interpreter::new(prog, cs)
+            .run(&mut st, &mut ctx, &IoRequest::write(AddressSpace::Pmio, 0, 1, data), &mut tracer)
+            .unwrap();
+        decode_run(&[prog], layout, &tracer.end()).unwrap()
+    }
+
+    #[test]
+    fn accumulates_nodes_edges_and_hits() {
+        let (cs, prog, layout) = rig();
+        let mut cfg = ItcCfg::new();
+        cfg.add_run(&layout, &run_of(&cs, &prog, &layout, 9)); // taken
+        cfg.add_run(&layout, &run_of(&cs, &prog, &layout, 9)); // taken again
+        cfg.add_run(&layout, &run_of(&cs, &prog, &layout, 1)); // not taken
+        assert_eq!(cfg.node_count(), 3);
+        assert_eq!(cfg.edge_count(), 3); // e->t, t->x, e->x
+        assert_eq!(cfg.runs(), 3);
+        let e_addr = layout.block_addr(0, prog.entry);
+        let t_addr = layout.block_addr(0, BlockId(1));
+        assert_eq!(cfg.edge(e_addr, t_addr).unwrap().hits, 2);
+        assert_eq!(cfg.edge(e_addr, t_addr).unwrap().kind, ItcEdgeKind::CondTaken);
+    }
+
+    #[test]
+    fn successors_resolve_to_blocks() {
+        let (cs, prog, layout) = rig();
+        let mut cfg = ItcCfg::new();
+        cfg.add_run(&layout, &run_of(&cs, &prog, &layout, 9));
+        let succ = cfg.successors_of(&layout, 0, prog.entry);
+        assert_eq!(succ.len(), 1);
+        assert_eq!(succ[0].0, BlockId(1));
+    }
+
+    #[test]
+    fn merge_combines_graphs() {
+        let (cs, prog, layout) = rig();
+        let mut a = ItcCfg::new();
+        a.add_run(&layout, &run_of(&cs, &prog, &layout, 9));
+        let mut b = ItcCfg::new();
+        b.add_run(&layout, &run_of(&cs, &prog, &layout, 1));
+        a.merge(&b);
+        assert_eq!(a.edge_count(), 3);
+        assert_eq!(a.runs(), 2);
+    }
+
+    #[test]
+    fn coverage_metric() {
+        let (cs, prog, layout) = rig();
+        let mut train = ItcCfg::new();
+        train.add_run(&layout, &run_of(&cs, &prog, &layout, 9));
+        let mut fuzz = ItcCfg::new();
+        fuzz.add_run(&layout, &run_of(&cs, &prog, &layout, 9));
+        fuzz.add_run(&layout, &run_of(&cs, &prog, &layout, 1));
+        // Training saw 2 of the 3 edges the fuzzer reaches.
+        let cov = train.coverage_in(&fuzz);
+        let cov2 = fuzz.coverage_in(&train);
+        assert!((cov - 1.0).abs() < 1e-9);
+        assert!((cov2 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (cs, prog, layout) = rig();
+        let mut cfg = ItcCfg::new();
+        cfg.add_run(&layout, &run_of(&cs, &prog, &layout, 9));
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ItcCfg = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! Intel-PT-style software branch tracing for DBL device programs.
+//!
+//! The paper's data-collection phase configures Intel Processor Trace to
+//! record the control flow of the emulated device, filters it to the
+//! device's code range, and decodes the packet stream into FlowGuard's
+//! *Indirect Targets Connected CFG* (ITC-CFG). This crate reproduces
+//! that pipeline in software:
+//!
+//! * [`packet`] — a compact binary packet vocabulary (PGE/PGD for filter
+//!   enter/exit, TNT for conditional branch outcomes — packed up to six
+//!   per packet like real PT — and TIP for indirect targets);
+//! * [`tracer`] — an [`sedspec_dbl::interp::ExecHook`] that emits
+//!   packets while a device handler runs, honouring address-range and
+//!   ring filters;
+//! * [`decode`] — a replay decoder that walks the program IR and
+//!   consumes the packet stream to recover the executed block sequence
+//!   (exactly how real PT decoding replays the binary);
+//! * [`itc_cfg`] — the ITC-CFG accumulated over many decoded runs, with
+//!   edge kinds and hit counts.
+//!
+//! # Examples
+//!
+//! ```
+//! use sedspec_dbl::builder::ProgramBuilder;
+//! use sedspec_dbl::interp::{Interpreter, NullHook};
+//! use sedspec_dbl::ir::{BinOp, Expr, Width};
+//! use sedspec_dbl::layout::CodeLayout;
+//! use sedspec_dbl::state::ControlStructure;
+//! use sedspec_trace::{decode::decode_run, itc_cfg::ItcCfg, tracer::Tracer};
+//! use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+//!
+//! let mut cs = ControlStructure::new("D");
+//! let v = cs.var("v", Width::W8);
+//! let mut b = ProgramBuilder::new("h");
+//! let e = b.entry_block("e");
+//! let t = b.block("t");
+//! let x = b.exit_block("x");
+//! b.select(e);
+//! b.branch(Expr::bin(BinOp::Gt, Expr::IoData, Expr::lit(4)), t, x);
+//! b.select(t);
+//! b.set_var(v, Expr::lit(1));
+//! b.jump(x);
+//! let prog = b.finish().unwrap();
+//!
+//! let layout = CodeLayout::assign(&[&prog]);
+//! let mut tracer = Tracer::new(layout.clone());
+//! tracer.begin(0, prog.entry);
+//! let mut st = cs.instantiate();
+//! let mut ctx = VmContext::new(0x100, 1);
+//! Interpreter::new(&prog, &cs)
+//!     .run(&mut st, &mut ctx, &IoRequest::write(AddressSpace::Pmio, 0, 1, 9), &mut tracer)
+//!     .unwrap();
+//! let packets = tracer.end();
+//!
+//! let run = decode_run(&[&prog], &layout, &packets).unwrap();
+//! assert_eq!(run.blocks, vec![e, t, x]);
+//!
+//! let mut cfg = ItcCfg::new();
+//! cfg.add_run(&layout, &run);
+//! assert_eq!(cfg.edge_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod itc_cfg;
+pub mod packet;
+pub mod tracer;

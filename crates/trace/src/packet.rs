@@ -1,0 +1,183 @@
+//! Trace packet vocabulary and binary wire format.
+//!
+//! A simplified Intel PT encoding: four packet types with fixed opcodes.
+//! TNT packets pack up to six taken/not-taken bits, LSB first, like real
+//! short-TNT packets; the tracer flushes a partial TNT before any TIP or
+//! PGD so decoding order matches emission order.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum branch bits one TNT packet carries.
+pub const TNT_CAPACITY: usize = 6;
+
+/// A trace packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// Packet-generation enable: tracing entered the filter range at `ip`.
+    Pge {
+        /// Instruction pointer where tracing started.
+        ip: u64,
+    },
+    /// Packet-generation disable: tracing left the filter range.
+    Pgd,
+    /// Conditional-branch outcomes, oldest first (up to [`TNT_CAPACITY`]).
+    Tnt {
+        /// Branch outcomes, `true` = taken.
+        bits: Vec<bool>,
+    },
+    /// Target of an indirect transfer (switch table, indirect call, return).
+    Tip {
+        /// Target instruction pointer.
+        ip: u64,
+    },
+}
+
+const OP_PGE: u8 = 0x01;
+const OP_PGD: u8 = 0x02;
+const OP_TIP: u8 = 0x03;
+const OP_TNT: u8 = 0x04;
+
+/// Errors when decoding a packet stream from bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Stream ended in the middle of a packet.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// A TNT packet declared an impossible bit count.
+    BadTntCount(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet stream"),
+            WireError::BadOpcode(op) => write!(f, "unknown packet opcode {op:#x}"),
+            WireError::BadTntCount(n) => write!(f, "invalid TNT bit count {n}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializes packets into the binary wire format.
+pub fn encode(packets: &[Packet]) -> Bytes {
+    let mut buf = BytesMut::new();
+    for p in packets {
+        match p {
+            Packet::Pge { ip } => {
+                buf.put_u8(OP_PGE);
+                buf.put_u64_le(*ip);
+            }
+            Packet::Pgd => buf.put_u8(OP_PGD),
+            Packet::Tip { ip } => {
+                buf.put_u8(OP_TIP);
+                buf.put_u64_le(*ip);
+            }
+            Packet::Tnt { bits } => {
+                debug_assert!(bits.len() <= TNT_CAPACITY && !bits.is_empty());
+                let mut byte = 0u8;
+                for (i, b) in bits.iter().enumerate() {
+                    if *b {
+                        byte |= 1 << i;
+                    }
+                }
+                buf.put_u8(OP_TNT);
+                buf.put_u8(bits.len() as u8);
+                buf.put_u8(byte);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Parses the binary wire format back into packets.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, unknown opcodes or malformed
+/// TNT counts.
+pub fn parse(mut bytes: Bytes) -> Result<Vec<Packet>, WireError> {
+    let mut out = Vec::new();
+    while bytes.has_remaining() {
+        let op = bytes.get_u8();
+        match op {
+            OP_PGE | OP_TIP => {
+                if bytes.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                let ip = bytes.get_u64_le();
+                out.push(if op == OP_PGE { Packet::Pge { ip } } else { Packet::Tip { ip } });
+            }
+            OP_PGD => out.push(Packet::Pgd),
+            OP_TNT => {
+                if bytes.remaining() < 2 {
+                    return Err(WireError::Truncated);
+                }
+                let n = bytes.get_u8();
+                if n == 0 || n as usize > TNT_CAPACITY {
+                    return Err(WireError::BadTntCount(n));
+                }
+                let byte = bytes.get_u8();
+                let bits = (0..n).map(|i| byte & (1 << i) != 0).collect();
+                out.push(Packet::Tnt { bits });
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_kinds() {
+        let packets = vec![
+            Packet::Pge { ip: 0x5555_0000_0000 },
+            Packet::Tnt { bits: vec![true, false, true] },
+            Packet::Tip { ip: 0x5555_0000_0040 },
+            Packet::Tnt { bits: vec![false; 6] },
+            Packet::Pgd,
+        ];
+        let wire = encode(&packets);
+        assert_eq!(parse(wire).unwrap(), packets);
+    }
+
+    #[test]
+    fn tnt_bit_order_is_lsb_first() {
+        let wire = encode(&[Packet::Tnt { bits: vec![true, false, false, true] }]);
+        // opcode, count, bits byte: 0b1001
+        assert_eq!(&wire[..], &[OP_TNT, 4, 0b1001]);
+    }
+
+    #[test]
+    fn truncated_stream_is_error() {
+        let mut wire = encode(&[Packet::Tip { ip: 42 }]).to_vec();
+        wire.truncate(5);
+        assert_eq!(parse(Bytes::from(wire)).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn bad_opcode_is_error() {
+        assert_eq!(parse(Bytes::from_static(&[0x7f])).unwrap_err(), WireError::BadOpcode(0x7f));
+    }
+
+    #[test]
+    fn bad_tnt_count_is_error() {
+        assert_eq!(
+            parse(Bytes::from_static(&[OP_TNT, 9, 0])).unwrap_err(),
+            WireError::BadTntCount(9)
+        );
+        assert_eq!(
+            parse(Bytes::from_static(&[OP_TNT, 0, 0])).unwrap_err(),
+            WireError::BadTntCount(0)
+        );
+    }
+
+    #[test]
+    fn empty_stream_parses_empty() {
+        assert!(parse(Bytes::new()).unwrap().is_empty());
+    }
+}

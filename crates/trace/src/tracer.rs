@@ -1,0 +1,278 @@
+//! The runtime tracer: an [`ExecHook`] that emits trace packets.
+//!
+//! Reproduces the paper's IPT module configuration (Section IV-A):
+//! tracing starts where the I/O stream enters the device and stops where
+//! it exits ([`Tracer::begin`]/[`Tracer::end`] emit PGE/PGD); an address
+//! filter confines collection to the device code range (shared-library
+//! helper activity is suppressed unless the filter is disabled); and
+//! kernel-ring activity is never collected unless explicitly enabled.
+
+use sedspec_dbl::interp::ExecHook;
+use sedspec_dbl::ir::{BlockId, BlockKind, BufId, VarId};
+use sedspec_dbl::layout::{CodeLayout, KERNEL_CODE_BASE, LIBRARY_CODE_BASE};
+use sedspec_dbl::state::AccessEffect;
+use sedspec_dbl::value::OverflowKind;
+
+use crate::packet::{Packet, TNT_CAPACITY};
+
+/// Tracer filter configuration (the paper's IPT filtering rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Restrict collection to the device code range. When disabled, the
+    /// helper-library activity triggered by external intrinsics shows up
+    /// as TIP packets into the library range — the "contamination" the
+    /// paper's filter rules exist to remove.
+    pub filter_to_device_range: bool,
+    /// Collect kernel-ring activity (always off in the paper).
+    pub trace_kernel: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { filter_to_device_range: true, trace_kernel: false }
+    }
+}
+
+/// Emits IPT-style packets while a device handler executes.
+///
+/// Use one tracer per device; call [`Tracer::begin`] before each handler
+/// invocation and [`Tracer::end`] after it to retrieve the packets of
+/// that I/O round.
+#[derive(Debug)]
+pub struct Tracer {
+    layout: CodeLayout,
+    config: TraceConfig,
+    program: usize,
+    packets: Vec<Packet>,
+    pending_tnt: Vec<bool>,
+    active: bool,
+    helper_calls: u64,
+}
+
+impl Tracer {
+    /// A tracer over `layout` with default (paper) filtering.
+    pub fn new(layout: CodeLayout) -> Self {
+        Tracer::with_config(layout, TraceConfig::default())
+    }
+
+    /// A tracer with explicit filter configuration.
+    pub fn with_config(layout: CodeLayout, config: TraceConfig) -> Self {
+        Tracer {
+            layout,
+            config,
+            program: 0,
+            packets: Vec::new(),
+            pending_tnt: Vec::new(),
+            active: false,
+            helper_calls: 0,
+        }
+    }
+
+    /// Starts tracing an invocation of program `program` at its `entry` block.
+    pub fn begin(&mut self, program: usize, entry: BlockId) {
+        self.packets.clear();
+        self.pending_tnt.clear();
+        self.program = program;
+        self.active = true;
+        let ip = self.layout.block_addr(program, entry);
+        self.packets.push(Packet::Pge { ip });
+    }
+
+    /// Stops tracing and returns the packets of the finished round.
+    pub fn end(&mut self) -> Vec<Packet> {
+        self.flush_tnt();
+        if self.active {
+            self.packets.push(Packet::Pgd);
+        }
+        self.active = false;
+        std::mem::take(&mut self.packets)
+    }
+
+    /// Number of helper-library transfers observed (filtered or not).
+    pub fn helper_calls(&self) -> u64 {
+        self.helper_calls
+    }
+
+    fn flush_tnt(&mut self) {
+        if !self.pending_tnt.is_empty() {
+            self.packets.push(Packet::Tnt { bits: std::mem::take(&mut self.pending_tnt) });
+        }
+    }
+
+    fn push_tip(&mut self, ip: u64) {
+        self.flush_tnt();
+        self.packets.push(Packet::Tip { ip });
+    }
+}
+
+impl ExecHook for Tracer {
+    fn on_cond_branch(&mut self, _block: BlockId, taken: bool) {
+        if !self.active {
+            return;
+        }
+        self.pending_tnt.push(taken);
+        if self.pending_tnt.len() == TNT_CAPACITY {
+            self.flush_tnt();
+        }
+    }
+
+    fn on_switch(&mut self, _block: BlockId, _value: u64, target: BlockId) {
+        if !self.active {
+            return;
+        }
+        let ip = self.layout.block_addr(self.program, target);
+        self.push_tip(ip);
+    }
+
+    fn on_indirect_call(&mut self, _block: BlockId, fn_value: u64, target: Option<BlockId>) {
+        if !self.active {
+            return;
+        }
+        match target {
+            Some(t) => {
+                let ip = self.layout.block_addr(self.program, t);
+                self.push_tip(ip);
+            }
+            None => {
+                // A wild transfer: real PT reports the raw target. We
+                // synthesize an address outside the device range from the
+                // bogus pointer value so the decoder (and the ITC-CFG)
+                // can see the hijack attempt when unfiltered.
+                self.push_tip(KERNEL_CODE_BASE.wrapping_add(fn_value));
+            }
+        }
+    }
+
+    fn on_return(&mut self, _block: BlockId, to: BlockId) {
+        if !self.active {
+            return;
+        }
+        let ip = self.layout.block_addr(self.program, to);
+        self.push_tip(ip);
+    }
+
+    fn on_external_load(&mut self, _var: Option<VarId>, _buf: Option<BufId>, value: u64) {
+        if !self.active {
+            return;
+        }
+        self.helper_calls += 1;
+        if !self.config.filter_to_device_range {
+            // Unfiltered traces show the excursion into helper code.
+            self.push_tip(LIBRARY_CODE_BASE + (value % 0x100) * 0x10);
+            // ... and the return back into the device range is implied by
+            // the next device packet.
+        }
+    }
+
+    fn on_block_enter(&mut self, _block: BlockId, _kind: BlockKind) {}
+    fn on_var_write(&mut self, _var: VarId, _old: u64, _new: u64, _of: OverflowKind) {}
+    fn on_buf_store(&mut self, _buf: BufId, _index: i64, _effect: AccessEffect) {}
+    fn on_exit(&mut self, _block: BlockId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_dbl::builder::ProgramBuilder;
+    use sedspec_dbl::interp::{Interpreter, NullHook};
+    use sedspec_dbl::ir::{BinOp, Expr, Intrinsic, Width};
+    use sedspec_dbl::state::ControlStructure;
+    use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+    fn run_traced(
+        config: TraceConfig,
+        data: u64,
+    ) -> (Vec<Packet>, sedspec_dbl::ir::Program, CodeLayout) {
+        let mut cs = ControlStructure::new("D");
+        let v = cs.var("v", Width::W32);
+        let mut b = ProgramBuilder::new("h");
+        let e = b.entry_block("e");
+        let big = b.block("big");
+        let x = b.exit_block("x");
+        b.select(e);
+        b.branch(Expr::bin(BinOp::Gt, Expr::IoData, Expr::lit(4)), big, x);
+        b.select(big);
+        b.intrinsic(Intrinsic::DmaLoadVar { var: v, gpa: Expr::lit(0x40), width: Width::W32 });
+        b.jump(x);
+        let prog = b.finish().unwrap();
+        let layout = CodeLayout::assign(&[&prog]);
+        let mut tracer = Tracer::with_config(layout.clone(), config);
+        tracer.begin(0, prog.entry);
+        let mut st = cs.instantiate();
+        let mut ctx = VmContext::new(0x1000, 1);
+        Interpreter::new(&prog, &cs)
+            .run(&mut st, &mut ctx, &IoRequest::write(AddressSpace::Pmio, 0, 1, data), &mut NullHook)
+            .unwrap();
+        // Re-run with the tracer attached (fresh state for determinism).
+        let mut st = cs.instantiate();
+        let mut ctx = VmContext::new(0x1000, 1);
+        Interpreter::new(&prog, &cs)
+            .run(&mut st, &mut ctx, &IoRequest::write(AddressSpace::Pmio, 0, 1, data), &mut tracer)
+            .unwrap();
+        (tracer.end(), prog, layout)
+    }
+
+    #[test]
+    fn trace_brackets_with_pge_pgd() {
+        let (packets, prog, layout) = run_traced(TraceConfig::default(), 1);
+        assert_eq!(packets.first(), Some(&Packet::Pge { ip: layout.block_addr(0, prog.entry) }));
+        assert_eq!(packets.last(), Some(&Packet::Pgd));
+    }
+
+    #[test]
+    fn conditional_branches_become_tnt() {
+        let (packets, ..) = run_traced(TraceConfig::default(), 9);
+        let tnt: Vec<_> = packets.iter().filter(|p| matches!(p, Packet::Tnt { .. })).collect();
+        assert_eq!(tnt.len(), 1);
+        assert_eq!(tnt[0], &Packet::Tnt { bits: vec![true] });
+    }
+
+    #[test]
+    fn filtered_trace_hides_helper_calls() {
+        let (packets, ..) = run_traced(TraceConfig::default(), 9);
+        assert!(packets
+            .iter()
+            .all(|p| !matches!(p, Packet::Tip { ip } if *ip >= LIBRARY_CODE_BASE)));
+    }
+
+    #[test]
+    fn unfiltered_trace_shows_library_noise() {
+        let cfg = TraceConfig { filter_to_device_range: false, trace_kernel: false };
+        let (packets, ..) = run_traced(cfg, 9);
+        assert!(packets
+            .iter()
+            .any(|p| matches!(p, Packet::Tip { ip } if *ip >= LIBRARY_CODE_BASE)));
+    }
+
+    #[test]
+    fn tnt_bits_flush_at_capacity() {
+        // A loop with 8 conditional branches must produce two TNT packets.
+        let mut cs = ControlStructure::new("D");
+        let i = cs.var("i", Width::W8);
+        let mut b = ProgramBuilder::new("h");
+        let e = b.entry_block("e");
+        let body = b.block("body");
+        let x = b.exit_block("x");
+        b.select(e);
+        b.branch(Expr::bin(BinOp::Lt, Expr::var(i), Expr::lit(7)), body, x);
+        b.select(body);
+        b.set_var(i, Expr::bin(BinOp::Add, Expr::var(i), Expr::lit(1)));
+        b.jump(e);
+        let prog = b.finish().unwrap();
+        let layout = CodeLayout::assign(&[&prog]);
+        let mut tracer = Tracer::new(layout.clone());
+        tracer.begin(0, prog.entry);
+        let mut st = cs.instantiate();
+        let mut ctx = VmContext::new(0x100, 1);
+        Interpreter::new(&prog, &cs)
+            .run(&mut st, &mut ctx, &IoRequest::write(AddressSpace::Pmio, 0, 1, 0), &mut tracer)
+            .unwrap();
+        let packets = tracer.end();
+        let tnt_packets: Vec<&Packet> =
+            packets.iter().filter(|p| matches!(p, Packet::Tnt { .. })).collect();
+        assert_eq!(tnt_packets.len(), 2);
+        if let Packet::Tnt { bits } = tnt_packets[0] {
+            assert_eq!(bits.len(), TNT_CAPACITY);
+        }
+    }
+}

@@ -1,0 +1,170 @@
+use crate::{AddressSpace, IoRequest, VmmError};
+
+/// Identifier of a registered bus region, returned by [`Bus::register`].
+///
+/// The identifier doubles as the routing key: dispatching a request
+/// yields the `RegionId` of the claiming region, and the VM driver maps
+/// it to the owning device model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// One claimed address range on the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusRegion {
+    /// Region identifier.
+    pub id: RegionId,
+    /// Address space the region lives in.
+    pub space: AddressSpace,
+    /// First address of the region.
+    pub base: u64,
+    /// Length in bytes (ports count as bytes for PMIO).
+    pub len: u64,
+    /// Human-readable owner tag, e.g. `"fdc"`.
+    pub tag: String,
+}
+
+impl BusRegion {
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, space: AddressSpace, addr: u64) -> bool {
+        self.space == space && addr >= self.base && addr - self.base < self.len
+    }
+}
+
+/// Routes guest I/O requests to registered device regions.
+///
+/// This mirrors QEMU's `MemoryRegion`/`PortioList` registration: each
+/// device claims PMIO port ranges and/or MMIO windows at realize time,
+/// and the machine dispatches guest accesses by address.
+///
+/// # Examples
+///
+/// ```
+/// use sedspec_vmm::{AddressSpace, Bus, IoRequest};
+///
+/// let mut bus = Bus::new();
+/// let fdc = bus.register(AddressSpace::Pmio, 0x3f0, 8, "fdc")?;
+/// let req = IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x4a);
+/// assert_eq!(bus.route(&req)?, fdc);
+/// # Ok::<(), sedspec_vmm::VmmError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Bus {
+    regions: Vec<BusRegion>,
+    next_id: u32,
+}
+
+impl Bus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Claims `[base, base+len)` in `space` for a device tagged `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::RegionOverlap`] if the range intersects an
+    /// existing region in the same address space.
+    pub fn register(
+        &mut self,
+        space: AddressSpace,
+        base: u64,
+        len: u64,
+        tag: impl Into<String>,
+    ) -> Result<RegionId, VmmError> {
+        let end = base.checked_add(len).ok_or(VmmError::RegionOverlap { base, len })?;
+        for r in &self.regions {
+            if r.space == space && base < r.base + r.len && r.base < end {
+                return Err(VmmError::RegionOverlap { base, len });
+            }
+        }
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        self.regions.push(BusRegion { id, space, base, len, tag: tag.into() });
+        Ok(id)
+    }
+
+    /// Finds the region claiming `req`'s address.
+    ///
+    /// [`AddressSpace::NetFrame`] requests route to the (single) region
+    /// registered in that pseudo space regardless of address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::UnmappedIo`] if no region claims the address.
+    pub fn route(&self, req: &IoRequest) -> Result<RegionId, VmmError> {
+        if req.space == AddressSpace::NetFrame {
+            return self
+                .regions
+                .iter()
+                .find(|r| r.space == AddressSpace::NetFrame)
+                .map(|r| r.id)
+                .ok_or(VmmError::UnmappedIo { addr: req.addr });
+        }
+        self.regions
+            .iter()
+            .find(|r| r.contains(req.space, req.addr))
+            .map(|r| r.id)
+            .ok_or(VmmError::UnmappedIo { addr: req.addr })
+    }
+
+    /// The region registered under `id`, if any.
+    pub fn region(&self, id: RegionId) -> Option<&BusRegion> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    /// All regions, in registration order.
+    pub fn regions(&self) -> &[BusRegion] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_address() {
+        let mut bus = Bus::new();
+        let a = bus.register(AddressSpace::Pmio, 0x3f0, 8, "fdc").unwrap();
+        let b = bus.register(AddressSpace::Mmio, 0x1000, 0x100, "sdhci").unwrap();
+        assert_eq!(bus.route(&IoRequest::read(AddressSpace::Pmio, 0x3f7, 1)).unwrap(), a);
+        assert_eq!(bus.route(&IoRequest::read(AddressSpace::Mmio, 0x10ff, 1)).unwrap(), b);
+        assert!(bus.route(&IoRequest::read(AddressSpace::Pmio, 0x3f8, 1)).is_err());
+    }
+
+    #[test]
+    fn same_range_in_different_spaces_is_fine() {
+        let mut bus = Bus::new();
+        bus.register(AddressSpace::Pmio, 0x100, 8, "a").unwrap();
+        assert!(bus.register(AddressSpace::Mmio, 0x100, 8, "b").is_ok());
+    }
+
+    #[test]
+    fn rejects_overlap() {
+        let mut bus = Bus::new();
+        bus.register(AddressSpace::Pmio, 0x100, 0x10, "a").unwrap();
+        assert!(matches!(
+            bus.register(AddressSpace::Pmio, 0x108, 0x10, "b"),
+            Err(VmmError::RegionOverlap { .. })
+        ));
+        // Adjacent is fine.
+        assert!(bus.register(AddressSpace::Pmio, 0x110, 0x10, "c").is_ok());
+    }
+
+    #[test]
+    fn net_frames_route_to_net_region() {
+        let mut bus = Bus::new();
+        bus.register(AddressSpace::Pmio, 0x300, 0x20, "pcnet-io").unwrap();
+        let rx = bus.register(AddressSpace::NetFrame, 0, 0, "pcnet-rx").unwrap();
+        assert_eq!(bus.route(&IoRequest::net_frame(vec![1])).unwrap(), rx);
+    }
+
+    #[test]
+    fn region_lookup() {
+        let mut bus = Bus::new();
+        let id = bus.register(AddressSpace::Pmio, 0x3f0, 8, "fdc").unwrap();
+        assert_eq!(bus.region(id).unwrap().tag, "fdc");
+        assert_eq!(bus.regions().len(), 1);
+    }
+}

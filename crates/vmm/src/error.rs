@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced by the virtual-machine substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmmError {
+    /// A guest-physical access fell outside the memory region.
+    OutOfBounds {
+        /// Requested guest physical address.
+        addr: u64,
+        /// Requested access length in bytes.
+        len: usize,
+        /// Size of the memory region.
+        size: usize,
+    },
+    /// An I/O request targeted an address no device claims.
+    UnmappedIo {
+        /// Requested I/O address.
+        addr: u64,
+    },
+    /// A bus region overlaps an existing registration.
+    RegionOverlap {
+        /// Base of the conflicting region.
+        base: u64,
+        /// Length of the conflicting region.
+        len: u64,
+    },
+    /// A disk access referenced a sector past the end of the backend.
+    SectorOutOfRange {
+        /// Requested sector index.
+        sector: u64,
+        /// Number of sectors in the backend.
+        capacity: u64,
+    },
+    /// An IRQ line index past the controller's line count.
+    BadIrqLine {
+        /// Requested line index.
+        line: usize,
+        /// Number of lines the controller has.
+        lines: usize,
+    },
+}
+
+impl fmt::Display for VmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmmError::OutOfBounds { addr, len, size } => write!(
+                f,
+                "guest memory access out of bounds: addr {addr:#x} len {len} in region of {size} bytes"
+            ),
+            VmmError::UnmappedIo { addr } => {
+                write!(f, "no device mapped at I/O address {addr:#x}")
+            }
+            VmmError::RegionOverlap { base, len } => {
+                write!(f, "bus region {base:#x}+{len:#x} overlaps an existing region")
+            }
+            VmmError::SectorOutOfRange { sector, capacity } => {
+                write!(f, "sector {sector} out of range for disk of {capacity} sectors")
+            }
+            VmmError::BadIrqLine { line, lines } => {
+                write!(f, "irq line {line} out of range for controller with {lines} lines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmmError {}

@@ -1,0 +1,150 @@
+use serde::{Deserialize, Serialize};
+
+/// Which address space an I/O request targets.
+///
+/// The paper's threat surface is the guest-visible interface of an
+/// emulated device: port-mapped I/O, memory-mapped I/O and DMA. DMA is
+/// modelled separately ([`crate::DmaEngine`]); requests arriving *at*
+/// the device are PMIO or MMIO, plus a network-frame delivery pseudo
+/// space for NIC receive paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressSpace {
+    /// x86 port-mapped I/O (`in`/`out` instructions).
+    Pmio,
+    /// Memory-mapped I/O.
+    Mmio,
+    /// A network frame handed to the device's receive path. The request
+    /// `addr` is unused and the frame bytes travel in
+    /// [`IoRequest::payload`].
+    NetFrame,
+}
+
+/// Direction of an I/O request, from the guest's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IoDirection {
+    /// The guest reads from the device.
+    Read,
+    /// The guest writes to the device.
+    Write,
+}
+
+/// A single guest I/O interaction with an emulated device.
+///
+/// This is the unit the paper calls an "I/O interaction round": SEDSpec's
+/// ES-Checker simulates the execution specification under one
+/// `IoRequest` before the real device is allowed to service it.
+///
+/// # Examples
+///
+/// ```
+/// use sedspec_vmm::{AddressSpace, IoDirection, IoRequest};
+///
+/// // Guest writes the READ-ID command byte to the FDC data port.
+/// let req = IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x4a);
+/// assert_eq!(req.direction, IoDirection::Write);
+/// assert_eq!(req.data, 0x4a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Targeted address space.
+    pub space: AddressSpace,
+    /// Port number (PMIO) or guest physical address (MMIO).
+    pub addr: u64,
+    /// Access width in bytes (1, 2, 4 or 8). Ignored for [`AddressSpace::NetFrame`].
+    pub size: u8,
+    /// Direction of the access.
+    pub direction: IoDirection,
+    /// Value written by the guest (for writes); 0 for reads.
+    pub data: u64,
+    /// Frame payload for [`AddressSpace::NetFrame`] deliveries, empty otherwise.
+    pub payload: Vec<u8>,
+}
+
+impl IoRequest {
+    /// A guest read of `size` bytes at `addr`.
+    pub fn read(space: AddressSpace, addr: u64, size: u8) -> Self {
+        IoRequest { space, addr, size, direction: IoDirection::Read, data: 0, payload: Vec::new() }
+    }
+
+    /// A guest write of `data` (`size` bytes wide) at `addr`.
+    pub fn write(space: AddressSpace, addr: u64, size: u8, data: u64) -> Self {
+        IoRequest { space, addr, size, direction: IoDirection::Write, data, payload: Vec::new() }
+    }
+
+    /// A network frame delivered to the device's receive path.
+    pub fn net_frame(payload: Vec<u8>) -> Self {
+        IoRequest {
+            space: AddressSpace::NetFrame,
+            addr: 0,
+            size: 0,
+            direction: IoDirection::Write,
+            data: 0,
+            payload,
+        }
+    }
+
+    /// Whether this is a guest write (or frame delivery).
+    pub fn is_write(&self) -> bool {
+        self.direction == IoDirection::Write
+    }
+
+    /// Whether this is a guest read.
+    pub fn is_read(&self) -> bool {
+        self.direction == IoDirection::Read
+    }
+
+    /// Byte `idx` of the frame payload, or 0 if out of range.
+    ///
+    /// NIC receive handlers index the frame body; reading past the end
+    /// yields zero just as QEMU's zero-padded receive buffers do.
+    pub fn payload_byte(&self, idx: usize) -> u8 {
+        self.payload.get(idx).copied().unwrap_or(0)
+    }
+}
+
+/// Outcome of one serviced I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct IoResult {
+    /// Value returned to the guest for reads; 0 for writes.
+    pub value: u64,
+    /// Virtual nanoseconds the device spent servicing the request.
+    pub elapsed_ns: u64,
+}
+
+impl IoResult {
+    /// A result carrying `value` with no accounted service time.
+    pub fn value(value: u64) -> Self {
+        IoResult { value, elapsed_ns: 0 }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_direction() {
+        assert!(IoRequest::read(AddressSpace::Mmio, 0x100, 4).is_read());
+        assert!(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 9).is_write());
+        assert!(IoRequest::net_frame(vec![1, 2, 3]).is_write());
+    }
+
+    #[test]
+    fn payload_byte_is_zero_padded() {
+        let req = IoRequest::net_frame(vec![0xaa, 0xbb]);
+        assert_eq!(req.payload_byte(0), 0xaa);
+        assert_eq!(req.payload_byte(1), 0xbb);
+        assert_eq!(req.payload_byte(2), 0);
+        assert_eq!(req.payload_byte(10_000), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let req = IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x4a);
+        let json = serde_json::to_string(&req).unwrap();
+        let back: IoRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(req, back);
+    }
+}

@@ -1,0 +1,212 @@
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::VmmError;
+
+/// A level-triggered interrupt line shared between a device and the VM.
+///
+/// Lines are cheaply cloneable handles onto shared state so a device
+/// model can hold one end while the test harness observes the other —
+/// the same split QEMU's `qemu_irq` provides.
+///
+/// # Examples
+///
+/// ```
+/// use sedspec_vmm::IrqLine;
+///
+/// let line = IrqLine::new(6);
+/// let dev_end = line.clone();
+/// dev_end.raise();
+/// assert!(line.is_raised());
+/// assert_eq!(line.raise_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IrqLine {
+    inner: Arc<IrqInner>,
+}
+
+#[derive(Debug)]
+struct IrqInner {
+    number: usize,
+    level: AtomicBool,
+    raises: AtomicU64,
+    lowers: AtomicU64,
+}
+
+impl IrqLine {
+    /// Creates a standalone line with the given line number, initially low.
+    pub fn new(number: usize) -> Self {
+        IrqLine {
+            inner: Arc::new(IrqInner {
+                number,
+                level: AtomicBool::new(false),
+                raises: AtomicU64::new(0),
+                lowers: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The line's interrupt number.
+    pub fn number(&self) -> usize {
+        self.inner.number
+    }
+
+    /// Asserts the line.
+    pub fn raise(&self) {
+        self.inner.level.store(true, Ordering::SeqCst);
+        self.inner.raises.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Deasserts the line.
+    pub fn lower(&self) {
+        self.inner.level.store(false, Ordering::SeqCst);
+        self.inner.lowers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Sets the line level explicitly (QEMU's `qemu_set_irq`).
+    pub fn set(&self, level: bool) {
+        if level {
+            self.raise()
+        } else {
+            self.lower()
+        }
+    }
+
+    /// Whether the line is currently asserted.
+    pub fn is_raised(&self) -> bool {
+        self.inner.level.load(Ordering::SeqCst)
+    }
+
+    /// Total number of raise events since creation.
+    pub fn raise_count(&self) -> u64 {
+        self.inner.raises.load(Ordering::SeqCst)
+    }
+
+    /// Total number of lower events since creation.
+    pub fn lower_count(&self) -> u64 {
+        self.inner.lowers.load(Ordering::SeqCst)
+    }
+}
+
+/// A bank of interrupt lines.
+///
+/// # Examples
+///
+/// ```
+/// use sedspec_vmm::InterruptController;
+///
+/// let pic = InterruptController::new(16);
+/// pic.line(11).raise();
+/// assert_eq!(pic.pending(), vec![11]);
+/// ```
+#[derive(Debug)]
+pub struct InterruptController {
+    lines: Vec<IrqLine>,
+}
+
+impl InterruptController {
+    /// Creates a controller with `lines` lines, all low.
+    pub fn new(lines: usize) -> Self {
+        InterruptController { lines: (0..lines).map(IrqLine::new).collect() }
+    }
+
+    /// Number of lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the controller has no lines.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Handle on line `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range; use [`InterruptController::try_line`]
+    /// for a fallible variant.
+    pub fn line(&self, n: usize) -> IrqLine {
+        self.lines[n].clone()
+    }
+
+    /// Fallible handle on line `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmmError::BadIrqLine`] if `n` is out of range.
+    pub fn try_line(&self, n: usize) -> Result<IrqLine, VmmError> {
+        self.lines
+            .get(n)
+            .cloned()
+            .ok_or(VmmError::BadIrqLine { line: n, lines: self.lines.len() })
+    }
+
+    /// Indices of currently asserted lines, ascending.
+    pub fn pending(&self) -> Vec<usize> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_raised())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Deasserts every line.
+    pub fn clear_all(&self) {
+        for l in &self.lines {
+            l.lower();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raise_lower_counts() {
+        let l = IrqLine::new(0);
+        l.raise();
+        l.raise();
+        l.lower();
+        assert!(!l.is_raised());
+        assert_eq!(l.raise_count(), 2);
+        assert_eq!(l.lower_count(), 1);
+    }
+
+    #[test]
+    fn set_matches_raise_lower() {
+        let l = IrqLine::new(0);
+        l.set(true);
+        assert!(l.is_raised());
+        l.set(false);
+        assert!(!l.is_raised());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = IrqLine::new(5);
+        let b = a.clone();
+        b.raise();
+        assert!(a.is_raised());
+        assert_eq!(a.number(), 5);
+    }
+
+    #[test]
+    fn controller_pending_and_clear() {
+        let pic = InterruptController::new(4);
+        pic.line(1).raise();
+        pic.line(3).raise();
+        assert_eq!(pic.pending(), vec![1, 3]);
+        pic.clear_all();
+        assert!(pic.pending().is_empty());
+    }
+
+    #[test]
+    fn bad_line_is_error() {
+        let pic = InterruptController::new(2);
+        assert!(pic.try_line(1).is_ok());
+        assert!(matches!(pic.try_line(2), Err(VmmError::BadIrqLine { .. })));
+    }
+}

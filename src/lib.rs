@@ -1,0 +1,13 @@
+//! Umbrella crate for the SEDSpec reproduction workspace.
+//!
+//! Hosts the cross-crate integration tests (`tests/`) and the runnable
+//! examples (`examples/`). Library users should depend on the individual
+//! crates directly; the re-exports below exist so examples and tests can
+//! reach everything through one dependency.
+
+pub use sedspec;
+pub use sedspec_dbl as dbl;
+pub use sedspec_devices as devices;
+pub use sedspec_trace as trace;
+pub use sedspec_vmm as vmm;
+pub use sedspec_workloads as workloads;

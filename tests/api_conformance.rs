@@ -1,0 +1,83 @@
+//! API-guideline conformance checks (C-SEND-SYNC, C-GOOD-ERR,
+//! C-DEBUG-NONEMPTY): the types users hold across threads must be Send
+//! and Sync, error types must implement `Error + Display`, and Debug
+//! output is never empty.
+
+use std::error::Error;
+
+use sedspec::checker::{EsChecker, Violation};
+use sedspec::enforce::EnforcingDevice;
+use sedspec::spec::ExecutionSpecification;
+use sedspec_repro::devices::{build_device, Device, DeviceKind, QemuVersion};
+use sedspec_repro::vmm::VmContext;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send_sync::<Device>();
+    assert_send_sync::<ExecutionSpecification>();
+    assert_send_sync::<EsChecker>();
+    assert_send_sync::<EnforcingDevice>();
+    assert_send_sync::<VmContext>();
+    assert_send_sync::<sedspec_dbl::ir::Program>();
+    assert_send_sync::<sedspec_dbl::state::CsState>();
+    assert_send_sync::<sedspec_trace::itc_cfg::ItcCfg>();
+    assert_send_sync::<sedspec_vmm::IrqLine>();
+    assert_send_sync::<Violation>();
+}
+
+#[test]
+fn error_types_behave() {
+    fn check<E: Error + Send + Sync + 'static>(e: E) {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        assert!(!msg.ends_with('.'), "error messages are unpunctuated: {msg:?}");
+        let boxed: Box<dyn Error + Send + Sync> = Box::new(e);
+        let _ = boxed.to_string();
+    }
+    check(sedspec_vmm::VmmError::UnmappedIo { addr: 0x1234 });
+    check(sedspec_dbl::verify::VerifyError::NoEntry);
+    check(sedspec_dbl::interp::Fault::StepLimit { limit: 7 });
+    check(sedspec_dbl::state::ArenaOutOfBounds { offset: -1, size: 8 });
+    check(sedspec_trace::packet::WireError::Truncated);
+    check(sedspec_trace::decode::DecodeError::MissingPge);
+    check(sedspec::pipeline::TrainError::EmptyTraining);
+    check(sedspec::merge::MergeError::ParamMismatch);
+}
+
+#[test]
+fn debug_output_is_never_empty() {
+    let device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+    assert!(!format!("{device:?}").is_empty());
+    assert!(!format!("{:?}", sedspec_dbl::value::OverflowFlags::clear()).is_empty());
+    assert!(!format!("{:?}", sedspec_vmm::IoResult::default()).is_empty());
+    assert!(!format!("{:?}", sedspec_trace::itc_cfg::ItcCfg::new()).is_empty());
+}
+
+#[test]
+fn enforcement_works_across_threads() {
+    // The whole enforcement stack can be moved to a worker thread (the
+    // shape a per-device I/O thread in a VMM would use).
+    use sedspec::checker::WorkingMode;
+    use sedspec::pipeline::{deploy, train, TrainingConfig};
+    use sedspec_vmm::{AddressSpace, IoRequest};
+
+    let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x10000, 64);
+    let spec = train(
+        &mut device,
+        &mut ctx,
+        &[vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)]],
+        &TrainingConfig::default(),
+    )
+    .unwrap();
+    let mut enforcer = deploy(device, spec, WorkingMode::Protection);
+
+    let handle = std::thread::spawn(move || {
+        let mut ctx = VmContext::new(0x10000, 64);
+        let v = enforcer.handle_io(&mut ctx, &IoRequest::read(AddressSpace::Pmio, 0x3f4, 1));
+        matches!(v, sedspec::enforce::IoVerdict::Allowed(_))
+    });
+    assert!(handle.join().unwrap());
+}

@@ -1,0 +1,134 @@
+//! Memory-safety property of the *patched* device models: no guest
+//! input sequence — valid or garbage — may corrupt the control
+//! structure (spill past a buffer), hijack a function pointer, or crash
+//! the device. This is the ground truth that makes the vulnerable
+//! versions' CVE behaviour meaningful: the defects are in the removed
+//! checks, not in the substrate.
+
+use proptest::prelude::*;
+use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_repro::vmm::VmContext;
+use sedspec_dbl::interp::{ExecLimits, Fault};
+use sedspec_vmm::{AddressSpace, IoRequest};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Pmio { off: u16, write: bool, data: u64, wide: bool },
+    Mmio { off: u16, write: bool, data: u64 },
+    Frame { len: u16, byte: u8 },
+    GuestWrite { gpa: u16, data: u64 },
+}
+
+fn ops() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<bool>(), any::<u64>(), any::<bool>())
+            .prop_map(|(off, write, data, wide)| Op::Pmio { off: off % 0x40, write, data, wide }),
+        (any::<u16>(), any::<bool>(), any::<u64>())
+            .prop_map(|(off, write, data)| Op::Mmio { off: off % 0x40, write, data }),
+        (any::<u16>(), any::<u8>()).prop_map(|(len, byte)| Op::Frame { len: len % 5000, byte }),
+        (any::<u16>(), any::<u64>()).prop_map(|(gpa, data)| Op::GuestWrite { gpa, data }),
+    ]
+}
+
+fn base_of(kind: DeviceKind) -> (AddressSpace, u64) {
+    match kind {
+        DeviceKind::Fdc => (AddressSpace::Pmio, 0x3f0),
+        DeviceKind::Scsi => (AddressSpace::Pmio, 0xc00),
+        DeviceKind::Pcnet => (AddressSpace::Pmio, 0x300),
+        DeviceKind::UsbEhci => (AddressSpace::Mmio, 0x2000),
+        DeviceKind::Sdhci => (AddressSpace::Mmio, 0x3000),
+    }
+}
+
+fn run_garbage(kind: DeviceKind, seq: &[Op]) -> Result<(), TestCaseError> {
+    let mut device = build_device(kind, QemuVersion::Patched);
+    device.set_limits(ExecLimits { max_steps: 400_000 });
+    let mut ctx = VmContext::new(0x40000, 4096);
+    let (space, base) = base_of(kind);
+    for op in seq {
+        let req = match *op {
+            Op::Pmio { off, write, data, wide } => {
+                let size = if wide { 2 } else { 1 };
+                let addr = base + u64::from(off);
+                if write {
+                    IoRequest::write(space, addr, size, data)
+                } else {
+                    IoRequest::read(space, addr, size)
+                }
+            }
+            Op::Mmio { off, write, data } => {
+                let addr = base + u64::from(off & !3);
+                if write {
+                    IoRequest::write(space, addr, 4, data)
+                } else {
+                    IoRequest::read(space, addr, 4)
+                }
+            }
+            Op::Frame { len, byte } => {
+                if kind != DeviceKind::Pcnet {
+                    continue;
+                }
+                IoRequest::net_frame(vec![byte; len as usize])
+            }
+            Op::GuestWrite { gpa, data } => {
+                let _ = ctx.mem.write_u64(u64::from(gpa) * 8 % 0x3f000, data);
+                continue;
+            }
+        };
+        if device.route(&req).is_none() {
+            continue;
+        }
+        match device.handle_io(&mut ctx, &req) {
+            Ok(out) => {
+                prop_assert_eq!(
+                    out.spills,
+                    0,
+                    "{}: patched device spilled on {:?}",
+                    kind,
+                    op
+                );
+            }
+            Err(f) => {
+                prop_assert!(
+                    matches!(f, Fault::StepLimit { .. }),
+                    "{}: patched device crashed on {:?}: {}",
+                    kind,
+                    op,
+                    f
+                );
+                // Even a step-limit abort must not have corrupted state.
+                return Err(TestCaseError::fail(format!("{kind}: unexpected long-running op {op:?}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn patched_fdc_is_memory_safe(seq in proptest::collection::vec(ops(), 1..120)) {
+        run_garbage(DeviceKind::Fdc, &seq)?;
+    }
+
+    #[test]
+    fn patched_scsi_is_memory_safe(seq in proptest::collection::vec(ops(), 1..120)) {
+        run_garbage(DeviceKind::Scsi, &seq)?;
+    }
+
+    #[test]
+    fn patched_pcnet_is_memory_safe(seq in proptest::collection::vec(ops(), 1..120)) {
+        run_garbage(DeviceKind::Pcnet, &seq)?;
+    }
+
+    #[test]
+    fn patched_ehci_is_memory_safe(seq in proptest::collection::vec(ops(), 1..120)) {
+        run_garbage(DeviceKind::UsbEhci, &seq)?;
+    }
+
+    #[test]
+    fn patched_sdhci_is_memory_safe(seq in proptest::collection::vec(ops(), 1..120)) {
+        run_garbage(DeviceKind::Sdhci, &seq)?;
+    }
+}

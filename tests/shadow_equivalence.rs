@@ -1,0 +1,106 @@
+//! The ES-Checker's core soundness property: on benign traffic, the
+//! shadow device state tracks the real device's selected parameters
+//! exactly, round after round — otherwise the three check strategies
+//! would be judging fiction.
+
+use proptest::prelude::*;
+use sedspec::checker::WorkingMode;
+use sedspec::collect::apply_step;
+use sedspec::enforce::{EnforcingDevice, IoVerdict};
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_repro::vmm::VmContext;
+use sedspec_repro::workloads::generators::{eval_case, training_suite};
+use sedspec_repro::workloads::InteractionMode;
+
+fn shadow_matches_device(enforcer: &EnforcingDevice, kind: DeviceKind) -> Result<(), String> {
+    let spec = enforcer.checker().spec();
+    let shadow = enforcer.checker().shadow();
+    for (v, _) in &spec.params.vars {
+        let s = shadow.var(*v);
+        let d = enforcer.device.state.var(*v);
+        if s != d {
+            return Err(format!(
+                "{kind}: param {} diverged: shadow {s:#x}, device {d:#x}",
+                enforcer.device.control.var_decl(*v).name
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run_equivalence(kind: DeviceKind, case_seed: u64) -> Result<(), TestCaseError> {
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 40, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+    let mut enforcer =
+        EnforcingDevice::new(build_device(kind, QemuVersion::Patched), spec, WorkingMode::Protection);
+    let mut ctx = VmContext::new(0x200000, 8192);
+
+    let case = eval_case(kind, InteractionMode::Sequential, 0.0, case_seed);
+    for step in &case {
+        let Some(req) = apply_step(step, &mut ctx) else { continue };
+        if enforcer.device.route(req).is_none() {
+            continue;
+        }
+        let verdict = enforcer.handle_io(&mut ctx, req);
+        prop_assert!(
+            matches!(verdict, IoVerdict::Allowed(_)),
+            "{kind}: benign round flagged: {verdict:?}"
+        );
+        if let Err(msg) = shadow_matches_device(&enforcer, kind) {
+            return Err(TestCaseError::fail(msg));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fdc_shadow_tracks_device(seed in 0u64..5000) {
+        run_equivalence(DeviceKind::Fdc, seed)?;
+    }
+
+    #[test]
+    fn sdhci_shadow_tracks_device(seed in 0u64..5000) {
+        run_equivalence(DeviceKind::Sdhci, seed)?;
+    }
+
+    #[test]
+    fn scsi_shadow_tracks_device(seed in 0u64..5000) {
+        run_equivalence(DeviceKind::Scsi, seed)?;
+    }
+
+    #[test]
+    fn ehci_shadow_tracks_device(seed in 0u64..5000) {
+        run_equivalence(DeviceKind::UsbEhci, seed)?;
+    }
+
+    #[test]
+    fn pcnet_shadow_tracks_device(seed in 0u64..5000) {
+        run_equivalence(DeviceKind::Pcnet, seed)?;
+    }
+}
+
+/// Walks are pure: checking the same round twice from the same state
+/// yields identical reports and identical tentative shadows.
+#[test]
+fn walks_are_deterministic() {
+    use sedspec::checker::NoSync;
+    let kind = DeviceKind::Fdc;
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 20, 3);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+    let checker = sedspec::checker::EsChecker::new(spec, device.control.clone());
+    let req = sedspec_vmm::IoRequest::write(sedspec_vmm::AddressSpace::Pmio, 0x3f5, 1, 0x08);
+    let pi = device.route(&req).unwrap();
+    let a = checker.walk_round(pi, &req, &mut NoSync);
+    let b = checker.walk_round(pi, &req, &mut NoSync);
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.shadow, b.shadow);
+    assert_eq!(a.cmd_ctx, b.cmd_ctx);
+}
