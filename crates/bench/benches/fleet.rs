@@ -1,0 +1,87 @@
+//! Fleet pool scaling: one shard versus several at a fixed tenant count.
+//!
+//! Each iteration hosts eight three-device tenants on a fresh pool and
+//! drives two benign batches through every tenant. Shards are OS
+//! threads, so the multi-shard configuration overlaps checking work
+//! across cores; on a single-core host the two configurations converge
+//! to the same throughput plus channel overhead.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_fleet::pool::{EnforcementPool, TenantConfig, TenantId};
+use sedspec_fleet::registry::SpecRegistry;
+use sedspec_vmm::VmContext;
+use sedspec_workloads::generators::training_suite;
+
+const TENANTS: u64 = 8;
+const BATCHES: usize = 2;
+const CASES: usize = 6;
+const SEED: u64 = 0x7a11;
+const KINDS: [DeviceKind; 3] = [DeviceKind::Fdc, DeviceKind::Sdhci, DeviceKind::Scsi];
+
+fn make_registry() -> Arc<SpecRegistry> {
+    let registry = Arc::new(SpecRegistry::new());
+    for kind in KINDS {
+        let mut device = build_device(kind, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x100000, 4096);
+        let suite = training_suite(kind, CASES, SEED);
+        let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+        registry.publish(kind, QemuVersion::Patched, spec);
+    }
+    registry
+}
+
+fn build_pool(shards: usize, registry: &Arc<SpecRegistry>) -> EnforcementPool {
+    let pool = EnforcementPool::new(shards, Arc::clone(registry));
+    for t in 0..TENANTS {
+        let devices = KINDS.iter().map(|&k| (k, QemuVersion::Patched)).collect();
+        pool.add_tenant(TenantConfig::new(t).with_devices(devices)).unwrap();
+    }
+    pool
+}
+
+fn run_batches(pool: &mut EnforcementPool) -> u64 {
+    let mut rounds = 0;
+    for batch in 0..BATCHES {
+        let mut tickets = Vec::new();
+        for t in 0..TENANTS {
+            let mut steps = Vec::new();
+            for kind in KINDS {
+                let suite = training_suite(kind, CASES, SEED);
+                steps.extend(suite[batch % suite.len()].clone());
+            }
+            tickets.push(pool.submit_steps(TenantId(t), steps).unwrap());
+        }
+        for ticket in tickets {
+            let report = pool.wait(ticket).unwrap();
+            assert!(!report.rejected && !report.quarantined);
+            rounds += report.rounds;
+        }
+    }
+    rounds
+}
+
+fn fleet_scaling(c: &mut Criterion) {
+    let registry = make_registry();
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    for shards in [1usize, 4] {
+        group.bench_function(format!("{shards}-shard/{TENANTS}-tenant"), |b| {
+            b.iter_batched(
+                || build_pool(shards, &registry),
+                |mut pool| {
+                    let rounds = run_batches(&mut pool);
+                    (rounds, pool)
+                },
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_scaling);
+criterion_main!(benches);

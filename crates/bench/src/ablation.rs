@@ -19,7 +19,7 @@ use sedspec_workloads::generators::{eval_case, training_suite};
 use sedspec_workloads::InteractionMode;
 
 /// One ablation row for a device.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct AblationRow {
     /// Device.
     pub device: DeviceKind,
@@ -44,8 +44,11 @@ fn precheck_ratio(kind: DeviceKind, config: &TrainingConfig) -> (u64, f64) {
     let suite = training_suite(kind, 40, 0x7a11);
     let spec = train_script(&mut device, &mut ctx, &suite, config).unwrap();
     let syncs = spec.stats.recovery.sync_points as u64;
-    let mut enforcer =
-        EnforcingDevice::new(build_device(kind, QemuVersion::Patched), spec, WorkingMode::Enhancement);
+    let mut enforcer = EnforcingDevice::new(
+        build_device(kind, QemuVersion::Patched),
+        spec,
+        WorkingMode::Enhancement,
+    );
     let mut ctx = VmContext::new(0x200000, 8192);
     for seed in 0..10u64 {
         let case = eval_case(kind, InteractionMode::Sequential, 0.0, seed);
@@ -64,9 +67,12 @@ fn unknown_cmd_flags(kind: DeviceKind, scope: bool) -> u64 {
     let suite = training_suite(kind, 40, 0x7a11);
     let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
     let config = CheckConfig { command_scope: scope, ..CheckConfig::default() };
-    let mut enforcer =
-        EnforcingDevice::new(build_device(kind, QemuVersion::Patched), spec, WorkingMode::Enhancement)
-            .with_config(config);
+    let mut enforcer = EnforcingDevice::new(
+        build_device(kind, QemuVersion::Patched),
+        spec,
+        WorkingMode::Enhancement,
+    )
+    .with_config(config);
     let mut ctx = VmContext::new(0x200000, 8192);
     let mut flags = 0;
     for seed in 0..6u64 {
@@ -109,8 +115,13 @@ pub fn ablation_row(kind: DeviceKind) -> AblationRow {
     let spec_with = {
         let mut d = build_device(kind, QemuVersion::Patched);
         let mut ctx = VmContext::new(0x200000, 8192);
-        train_script(&mut d, &mut ctx, &training_suite(kind, 40, 0x7a11), &TrainingConfig::default())
-            .unwrap()
+        train_script(
+            &mut d,
+            &mut ctx,
+            &training_suite(kind, 40, 0x7a11),
+            &TrainingConfig::default(),
+        )
+        .unwrap()
     };
     let spec_without = {
         let mut d = build_device(kind, QemuVersion::Patched);
@@ -148,7 +159,11 @@ pub fn ablation_row(kind: DeviceKind) -> AblationRow {
 /// False positives on a fixed evaluation set as training size grows —
 /// the paper's §VIII remedy quantified: "utilization of extensive test
 /// cases to formulate precise execution specifications".
-pub fn training_size_curve(kind: DeviceKind, sizes: &[usize], eval_cases: u64) -> Vec<(usize, u64)> {
+pub fn training_size_curve(
+    kind: DeviceKind,
+    sizes: &[usize],
+    eval_cases: u64,
+) -> Vec<(usize, u64)> {
     sizes
         .iter()
         .map(|&n| {

@@ -16,7 +16,11 @@ fn main() {
         let fuzz = fuzz_device(kind, &FuzzConfig { cases: 300, ..FuzzConfig::default() });
         let device = build_device(kind, QemuVersion::Patched);
         let layout = device.layout();
-        println!("== {kind}: train edges {} fuzz edges {}", train_itc.edge_count(), fuzz.itc.edge_count());
+        println!(
+            "== {kind}: train edges {} fuzz edges {}",
+            train_itc.edge_count(),
+            fuzz.itc.edge_count()
+        );
         let mut missing = 0;
         for ((from, to), stats) in fuzz.itc.edges() {
             if !train_itc.has_edge(from, to) {
@@ -25,10 +29,20 @@ fn main() {
                     let f = layout.resolve(from);
                     let t = layout.resolve(to);
                     let name = |r: Option<(usize, sedspec_dbl::ir::BlockId)>| match r {
-                        Some((p, b)) => format!("{}:{}", device.programs()[p].name, device.programs()[p].block(b).label),
+                        Some((p, b)) => format!(
+                            "{}:{}",
+                            device.programs()[p].name,
+                            device.programs()[p].block(b).label
+                        ),
                         None => "?".into(),
                     };
-                    println!("  missing {:?} {} -> {} (hits {})", stats.kind, name(f), name(t), stats.hits);
+                    println!(
+                        "  missing {:?} {} -> {} (hits {})",
+                        stats.kind,
+                        name(f),
+                        name(t),
+                        stats.hits
+                    );
                 }
             }
         }

@@ -52,8 +52,7 @@ fn main() {
             for kind in DeviceKind::all() {
                 let curve =
                     sedspec_bench::ablation::training_size_curve(kind, &[4, 16, 64, 120], 60);
-                let series: Vec<String> =
-                    curve.iter().map(|(n, fp)| format!("{n}:{fp}")).collect();
+                let series: Vec<String> = curve.iter().map(|(n, fp)| format!("{n}:{fp}")).collect();
                 println!("  {:<9} {}", kind.to_string(), series.join("  "));
             }
         }

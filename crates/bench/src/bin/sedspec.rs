@@ -4,14 +4,23 @@
 //! sedspec train  <device> [--cases N] [--seed S] [--out spec.json]
 //! sedspec inspect <spec.json>
 //! sedspec attack <cve> [--spec spec.json] [--mode protection|enhancement]
+//! sedspec fleet  [--tenants K] [--shards N] [--cases C] [--batches B] [--seed S]
 //! sedspec devices|cves
 //! ```
 //!
 //! `train` produces a serializable execution specification for a patched
 //! device; `attack` trains (or loads) a specification for the CVE's
-//! vulnerable device version and replays the PoC under enforcement.
+//! vulnerable device version and replays the PoC under enforcement;
+//! `fleet` hosts K tenants of five enforced devices each on an N-shard
+//! pool, drives benign traffic plus injected CVE PoCs, and prints
+//! throughput and the quarantine summary.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sedspec_fleet::pool::{EnforcementPool, TenantConfig, TenantId};
+use sedspec_fleet::registry::SpecRegistry;
 
 use sedspec::checker::WorkingMode;
 use sedspec::collect::apply_step;
@@ -45,7 +54,12 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
-fn train_spec(kind: DeviceKind, version: QemuVersion, cases: usize, seed: u64) -> ExecutionSpecification {
+fn train_spec(
+    kind: DeviceKind,
+    version: QemuVersion,
+    cases: usize,
+    seed: u64,
+) -> ExecutionSpecification {
     let mut device = build_device(kind, version);
     let mut ctx = VmContext::new(0x200000, 8192);
     let suite = training_suite(kind, cases, seed);
@@ -55,7 +69,9 @@ fn train_spec(kind: DeviceKind, version: QemuVersion, cases: usize, seed: u64) -
 
 fn cmd_train(args: &[String]) -> ExitCode {
     let Some(kind) = args.first().and_then(|a| parse_device(a)) else {
-        eprintln!("usage: sedspec train <fdc|ehci|pcnet|sdhci|scsi> [--cases N] [--seed S] [--out FILE]");
+        eprintln!(
+            "usage: sedspec train <fdc|ehci|pcnet|sdhci|scsi> [--cases N] [--seed S] [--out FILE]"
+        );
         return ExitCode::from(2);
     };
     let cases = flag(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(60);
@@ -103,12 +119,24 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
         }
     };
     println!("device:   {} ({})", spec.device, spec.version);
-    println!("params:   {} vars, {} buffers, {} fn ptrs",
-        spec.params.selected_var_count(), spec.params.buffers.len(), spec.params.fn_ptrs.len());
-    println!("spec:     {} blocks, {} edges, {} commands",
-        spec.block_count(), spec.edge_count(), spec.cmd_table.len());
-    println!("training: {} rounds, {} sync points, {} merged branches",
-        spec.stats.training_rounds, spec.stats.recovery.sync_points, spec.stats.reduce.merged_branches);
+    println!(
+        "params:   {} vars, {} buffers, {} fn ptrs",
+        spec.params.selected_var_count(),
+        spec.params.buffers.len(),
+        spec.params.fn_ptrs.len()
+    );
+    println!(
+        "spec:     {} blocks, {} edges, {} commands",
+        spec.block_count(),
+        spec.edge_count(),
+        spec.cmd_table.len()
+    );
+    println!(
+        "training: {} rounds, {} sync points, {} merged branches",
+        spec.stats.training_rounds,
+        spec.stats.recovery.sync_points,
+        spec.stats.reduce.merged_branches
+    );
     for cfg in &spec.cfgs {
         println!("  {:<20} {:>3} blocks {:>3} edges", cfg.name, cfg.blocks.len(), cfg.edge_count());
     }
@@ -177,12 +205,159 @@ fn cmd_attack(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Every fourth tenant is compromised, cycling through the PoC list.
+fn injected_cve(tenant: u64) -> Option<Cve> {
+    if tenant % 4 == 3 {
+        let all = Cve::all();
+        Some(all[(tenant as usize / 4) % all.len()])
+    } else {
+        None
+    }
+}
+
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    let tenants: u64 = flag(args, "--tenants").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let shards: usize = flag(args, "--shards").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let cases: usize = flag(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(30);
+    let batches: usize = flag(args, "--batches").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let seed: u64 = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x7a11);
+
+    // Publish one revision per channel the fleet needs: the five
+    // patched devices, plus the vulnerable versions the injected PoCs
+    // target.
+    let registry = Arc::new(SpecRegistry::new());
+    let mut channels: Vec<(DeviceKind, QemuVersion)> =
+        DeviceKind::all().into_iter().map(|k| (k, QemuVersion::Patched)).collect();
+    for t in 0..tenants {
+        if let Some(cve) = injected_cve(t) {
+            let p = poc(cve);
+            if !channels.contains(&(p.device, p.qemu_version)) {
+                channels.push((p.device, p.qemu_version));
+            }
+        }
+    }
+    eprintln!("training {} channels ({cases} cases each) ...", channels.len());
+    for &(kind, version) in &channels {
+        registry.publish(kind, version, train_spec(kind, version, cases, seed));
+    }
+
+    // Host the tenants. A compromised tenant runs its PoC's device at
+    // the vulnerable version; everything else is patched.
+    let mut pool = EnforcementPool::new(shards, Arc::clone(&registry));
+    for t in 0..tenants {
+        let mut devices: Vec<(DeviceKind, QemuVersion)> =
+            DeviceKind::all().into_iter().map(|k| (k, QemuVersion::Patched)).collect();
+        if let Some(cve) = injected_cve(t) {
+            let p = poc(cve);
+            for slot in &mut devices {
+                if slot.0 == p.device {
+                    slot.1 = p.qemu_version;
+                }
+            }
+        }
+        if let Err(e) = pool.add_tenant(TenantConfig::new(t).with_devices(devices)) {
+            eprintln!("cannot host tenant {t}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("hosting {tenants} tenants x 5 devices on {shards} shards");
+
+    // Benign phase: every tenant replays training-suite cases on every
+    // device in training order, so batch B is the suite's case B and
+    // the device walks a path it was trained on from boot.
+    let start = Instant::now();
+    let mut benign_rounds = 0u64;
+    let mut benign_flagged = 0u64;
+    for batch in 0..batches {
+        let mut tickets = Vec::new();
+        for t in 0..tenants {
+            let mut steps = Vec::new();
+            for kind in DeviceKind::all() {
+                let suite = training_suite(kind, cases, seed);
+                steps.extend(suite[batch % suite.len()].clone());
+            }
+            match pool.submit_steps(TenantId(t), steps) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(e) => {
+                    eprintln!("submit failed for tenant {t}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        for ticket in tickets {
+            let r = pool.wait(ticket).expect("shard serves the batch");
+            benign_rounds += r.rounds;
+            benign_flagged += r.flagged;
+        }
+    }
+    let elapsed = start.elapsed();
+    let throughput = benign_rounds as f64 / elapsed.as_secs_f64();
+    println!(
+        "benign phase: {benign_rounds} rounds in {:.2?} ({throughput:.0} rounds/s), {benign_flagged} flagged",
+        elapsed
+    );
+
+    // Attack phase: the compromised tenants replay their PoCs twice —
+    // the first halt is absorbed by rollback, the second quarantines.
+    let mut attacked = Vec::new();
+    for t in 0..tenants {
+        if let Some(cve) = injected_cve(t) {
+            attacked.push((t, cve));
+            for _ in 0..2 {
+                let steps = poc(cve).steps;
+                let ticket = pool.submit_steps(TenantId(t), steps).expect("submit PoC");
+                let _ = pool.wait(ticket).expect("shard serves the PoC");
+            }
+        }
+    }
+    for &(t, cve) in &attacked {
+        println!("injected {} into tenant {t}", cve.id());
+    }
+
+    // Telemetry: the fleet report, the alert stream, and the
+    // aggregate-equals-sum invariant.
+    let report = pool.report();
+    print!("{}", report.render());
+    let alerts = pool.drain_alerts();
+    println!("alert stream: {} events", alerts.len());
+
+    let aggregate = report.aggregate();
+    let mut summed = sedspec::enforce::EnforceStats::default();
+    for t in report.tenants() {
+        summed += t.stats;
+    }
+    if aggregate != summed {
+        eprintln!("FAIL: aggregate stats diverge from per-tenant sum");
+        return ExitCode::FAILURE;
+    }
+    println!("aggregate == sum of per-tenant stats: ok ({} rounds)", aggregate.rounds);
+
+    let quarantined: Vec<u64> =
+        report.tenants().iter().filter(|t| t.quarantined).map(|t| t.tenant.0).collect();
+    let expected: Vec<u64> = attacked.iter().map(|&(t, _)| t).collect();
+    if quarantined != expected {
+        eprintln!("FAIL: quarantined {quarantined:?}, expected {expected:?}");
+        return ExitCode::FAILURE;
+    }
+    if benign_flagged > 0 {
+        eprintln!("FAIL: {benign_flagged} benign rounds flagged");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "quarantined {}/{} injected tenants; zero false halts on benign tenants",
+        quarantined.len(),
+        attacked.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("attack") => cmd_attack(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("devices") => {
             for k in DeviceKind::all() {
                 println!("{k}");
@@ -197,7 +372,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: sedspec <train|inspect|attack|devices|cves> ...");
+            eprintln!("usage: sedspec <train|inspect|attack|fleet|devices|cves> ...");
             ExitCode::from(2)
         }
     }

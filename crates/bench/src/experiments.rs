@@ -12,9 +12,7 @@ use sedspec_vmm::VmContext;
 use sedspec_workloads::attacks::{poc, Cve};
 use sedspec_workloads::fuzz::{effective_coverage, fuzz_device, FuzzConfig};
 use sedspec_workloads::generators::{eval_case, training_suite};
-use sedspec_workloads::perf::{
-    network_bench, ping_bench, storage_bench, IoDir, NetDir, Transport,
-};
+use sedspec_workloads::perf::{network_bench, ping_bench, storage_bench, IoDir, NetDir, Transport};
 use sedspec_workloads::InteractionMode;
 
 /// Training cases per device for all experiments.
@@ -41,7 +39,7 @@ pub fn trained_spec(kind: DeviceKind, version: QemuVersion) -> (ExecutionSpecifi
 // ------------------------------------------------------------ Table I --
 
 /// One row of Table I: a parameter class with device examples.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Table1Row {
     /// Variable class (Table I column 1).
     pub class: &'static str,
@@ -97,7 +95,7 @@ pub fn table1() -> Vec<Table1Row> {
 // ----------------------------------------------------------- Table II --
 
 /// False positives for one device at the three time horizons.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize)]
 pub struct Table2Row {
     /// The device.
     pub device: DeviceKind,
@@ -155,7 +153,7 @@ pub fn table2() -> Vec<Table2Row> {
 // ---------------------------------------------------------- Table III --
 
 /// One case-study row of Table III.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Table3Row {
     /// The CVE.
     pub cve: Cve,
@@ -170,7 +168,7 @@ pub struct Table3Row {
 }
 
 /// Coverage/FPR summary per device for Table III's right columns.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize)]
 pub struct Table3Summary {
     /// The device.
     pub device: DeviceKind,
@@ -230,11 +228,8 @@ pub fn table3_summaries(table2_rows: &[Table2Row]) -> Vec<Table3Summary> {
             let fuzz =
                 fuzz_device(kind, &FuzzConfig { cases: FUZZ_CASES, ..FuzzConfig::default() });
             let coverage = effective_coverage(&train_itc, &fuzz.itc);
-            let fpr = table2_rows
-                .iter()
-                .find(|r| r.device == kind)
-                .map(|r| r.fpr)
-                .unwrap_or(f64::NAN);
+            let fpr =
+                table2_rows.iter().find(|r| r.device == kind).map(|r| r.fpr).unwrap_or(f64::NAN);
             Table3Summary { device: kind, fpr, effective_coverage: coverage }
         })
         .collect()
@@ -248,7 +243,7 @@ pub fn table3(table2_rows: &[Table2Row]) -> (Vec<Table3Row>, Vec<Table3Summary>)
 // ------------------------------------------------------- Figures 3/4 --
 
 /// One normalized storage measurement.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize)]
 pub struct StoragePoint {
     /// The device.
     pub device: DeviceKind,
@@ -308,7 +303,7 @@ pub fn fig4() -> Vec<StoragePoint> {
 // ----------------------------------------------------------- Figure 5 --
 
 /// PCNet bandwidth and ping results.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct Fig5Data {
     /// `(label, raw Mbit/s, enforced Mbit/s, overhead %)` rows.
     pub bandwidth: Vec<(&'static str, f64, f64, f64)>,

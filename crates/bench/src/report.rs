@@ -79,10 +79,7 @@ pub fn render_table3(cases: &[Table3Row], summaries: &[Table3Summary]) -> String
         ));
     }
     s.push('\n');
-    s.push_str(&format!(
-        "{:<10} {:>8} {:>20}\n",
-        "Device", "FPR", "Effective Coverage"
-    ));
+    s.push_str(&format!("{:<10} {:>8} {:>20}\n", "Device", "FPR", "Effective Coverage"));
     for m in summaries {
         s.push_str(&format!(
             "{:<10} {:>7.2}% {:>19.1}%\n",
@@ -120,11 +117,8 @@ fn render_storage(points: &[StoragePoint], throughput: bool) -> String {
     };
     for write in [false, true] {
         s.push_str(if write { "\n  [write]\n" } else { "\n  [read]\n" });
-        let mut devices: Vec<_> = points
-            .iter()
-            .filter(|p| p.write == write)
-            .map(|p| p.device)
-            .collect();
+        let mut devices: Vec<_> =
+            points.iter().filter(|p| p.write == write).map(|p| p.device).collect();
         devices.dedup();
         for dev in devices {
             let series: Vec<String> = points

@@ -247,8 +247,7 @@ fn stmt_clobbers(s: &Stmt, vars: &BTreeSet<VarId>, bufs: &BTreeSet<BufId>) -> bo
 /// reported as unresolved.
 pub fn rewrite_along_path(prog: &Program, path: &[BlockId], expr: &Expr) -> Rewrite {
     // Flatten executed statements.
-    let stmts: Vec<&Stmt> =
-        path.iter().flat_map(|b| prog.block(*b).stmts.iter()).collect();
+    let stmts: Vec<&Stmt> = path.iter().flat_map(|b| prog.block(*b).stmts.iter()).collect();
 
     let mut current = expr.clone();
     let mut unresolved: BTreeSet<LocalId> = BTreeSet::new();
@@ -263,7 +262,8 @@ pub fn rewrite_along_path(prog: &Program, path: &[BlockId], expr: &Expr) -> Rewr
         let mut subst: BTreeMap<LocalId, Expr> = BTreeMap::new();
         for l in pending {
             // Find the last definition of l in the flattened sequence.
-            let def_pos = stmts.iter().rposition(|s| matches!(s, Stmt::SetLocal(dl, _) if dl == &l));
+            let def_pos =
+                stmts.iter().rposition(|s| matches!(s, Stmt::SetLocal(dl, _) if dl == &l));
             match def_pos {
                 None => {
                     unresolved.insert(l);
@@ -390,7 +390,9 @@ mod tests {
         let prog = b.finish().unwrap();
         let cond = Expr::local(tmp);
         let rw = rewrite_along_path(&prog, &[e], &cond);
-        assert!(matches!(rw, Rewrite::NeedsSync { ref unresolved, .. } if unresolved == &vec![tmp]));
+        assert!(
+            matches!(rw, Rewrite::NeedsSync { ref unresolved, .. } if unresolved == &vec![tmp])
+        );
     }
 
     #[test]

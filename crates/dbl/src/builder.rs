@@ -120,10 +120,7 @@ impl ProgramBuilder {
     ///
     /// Panics if `block` was not declared by this builder.
     pub fn select(&mut self, block: BlockId) {
-        assert!(
-            (block.0 as usize) < self.blocks.len(),
-            "select of undeclared block {block:?}"
-        );
+        assert!((block.0 as usize) < self.blocks.len(), "select of undeclared block {block:?}");
         self.current = Some(block);
     }
 
@@ -213,8 +210,13 @@ impl ProgramBuilder {
             })?;
             blocks.push(Block { label: pb.label, stmts: pb.stmts, term, kind: pb.kind });
         }
-        let prog =
-            Program { name: self.name, blocks, entry, fn_table: self.fn_table, locals: self.locals };
+        let prog = Program {
+            name: self.name,
+            blocks,
+            entry,
+            fn_table: self.fn_table,
+            locals: self.locals,
+        };
         verify::verify(&prog)?;
         Ok(prog)
     }

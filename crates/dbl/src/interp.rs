@@ -22,9 +22,7 @@ use crate::ir::{
     BlockId, BlockKind, BufId, Expr, Intrinsic, Program, Stmt, Terminator, VarId, Width,
 };
 use crate::state::{AccessEffect, ArenaOutOfBounds, ControlStructure, CsState};
-use crate::value::{
-    apply_binop, apply_unop, ArithError, OverflowFlags, OverflowKind, TypedValue,
-};
+use crate::value::{apply_binop, apply_unop, ArithError, OverflowFlags, OverflowKind, TypedValue};
 
 /// Why device execution aborted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,7 +205,11 @@ fn fits(c: u64, other: TypedValue) -> bool {
 ///
 /// Returns [`EvalError`] on arena faults (spilled buffer loads stay
 /// legal; only leaving the arena faults) and division by zero.
-pub fn eval_expr(e: &Expr, ctx: &EvalCtx<'_>, flags: &mut OverflowFlags) -> Result<TypedValue, EvalError> {
+pub fn eval_expr(
+    e: &Expr,
+    ctx: &EvalCtx<'_>,
+    flags: &mut OverflowFlags,
+) -> Result<TypedValue, EvalError> {
     Ok(match e {
         Expr::Const(v) => TypedValue::u64(*v),
         Expr::Var(v) => ctx.cs.var_typed(*v),
@@ -218,7 +220,10 @@ pub fn eval_expr(e: &Expr, ctx: &EvalCtx<'_>, flags: &mut OverflowFlags) -> Resu
         Expr::IoLen => TypedValue::u64(ctx.io.payload.len() as u64),
         Expr::IoByte(idx) => {
             let i = eval_expr(idx, ctx, flags)?;
-            TypedValue::unsigned(u64::from(ctx.io.payload_byte(i.as_i128().max(0) as usize)), Width::W8)
+            TypedValue::unsigned(
+                u64::from(ctx.io.payload_byte(i.as_i128().max(0) as usize)),
+                Width::W8,
+            )
         }
         Expr::BufLoad(b, idx) => {
             let i = eval_expr(idx, ctx, flags)?;
@@ -312,7 +317,11 @@ impl<'p> Interpreter<'p> {
                 Terminator::Jump(b) => cur = *b,
                 Terminator::Branch { cond, taken, not_taken } => {
                     let mut flags = OverflowFlags::clear();
-                    let v = eval_expr(cond, &EvalCtx { cs: state, locals: &locals, io: req }, &mut flags)?;
+                    let v = eval_expr(
+                        cond,
+                        &EvalCtx { cs: state, locals: &locals, io: req },
+                        &mut flags,
+                    )?;
                     out.overflow.merge(flags);
                     let t = v.is_true();
                     hook.on_cond_branch(cur, t);
@@ -320,8 +329,11 @@ impl<'p> Interpreter<'p> {
                 }
                 Terminator::Switch { scrutinee, arms, default } => {
                     let mut flags = OverflowFlags::clear();
-                    let v =
-                        eval_expr(scrutinee, &EvalCtx { cs: state, locals: &locals, io: req }, &mut flags)?;
+                    let v = eval_expr(
+                        scrutinee,
+                        &EvalCtx { cs: state, locals: &locals, io: req },
+                        &mut flags,
+                    )?;
                     out.overflow.merge(flags);
                     let target = arms
                         .iter()
@@ -415,8 +427,9 @@ impl<'p> Interpreter<'p> {
             Stmt::CopyPayload { buf, buf_off, len } => {
                 let off = eval_expr(buf_off, &EvalCtx { cs: state, locals, io: req }, &mut flags)?
                     .as_i128() as i64;
-                let n =
-                    eval_expr(len, &EvalCtx { cs: state, locals, io: req }, &mut flags)?.as_i128().max(0) as i64;
+                let n = eval_expr(len, &EvalCtx { cs: state, locals, io: req }, &mut flags)?
+                    .as_i128()
+                    .max(0) as i64;
                 for k in 0..n {
                     let byte = req.payload_byte(k as usize);
                     let effect = state.buf_write(*buf, off + k, byte)?;
@@ -455,7 +468,8 @@ impl<'p> Interpreter<'p> {
                 let addr = ev(gpa, state, locals, flags)?.bits;
                 let n = ev(len, state, locals, flags)?.as_i128().max(0) as u64;
                 // Guest-memory errors tolerated: unreadable bytes read as 0.
-                let data = ctx.mem.read_vec(addr, n as usize).unwrap_or_else(|_| vec![0; n as usize]);
+                let data =
+                    ctx.mem.read_vec(addr, n as usize).unwrap_or_else(|_| vec![0; n as usize]);
                 ctx.clock.advance_ns(100 + 2 * n); // DMA setup + ~500 MB/s
                 hook.on_external_buf(*buf, off, &data);
                 for (k, byte) in data.iter().enumerate() {
@@ -515,7 +529,8 @@ impl<'p> Interpreter<'p> {
             Intrinsic::DiskReadToBuf { buf, buf_off, sector } => {
                 let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
                 let s = ev(sector, state, locals, flags)?.bits;
-                let data = ctx.disk.read_sector(s).unwrap_or_else(|_| vec![0; sedspec_vmm::SECTOR_SIZE]);
+                let data =
+                    ctx.disk.read_sector(s).unwrap_or_else(|_| vec![0; sedspec_vmm::SECTOR_SIZE]);
                 hook.on_external_buf(*buf, off, &data);
                 for (k, byte) in data.iter().enumerate() {
                     let effect = state.buf_write(*buf, off + k as i64, *byte)?;
@@ -592,7 +607,8 @@ mod tests {
         b.exit();
         let p = b.finish().unwrap();
         let mut st = cs.instantiate();
-        let out = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(5), &mut NullHook).unwrap();
+        let out =
+            Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(5), &mut NullHook).unwrap();
         assert_eq!(st.var(a), 5);
         assert_eq!(out.reply, 5);
         assert_eq!(out.steps, 1);
@@ -668,7 +684,8 @@ mod tests {
         b.jump(x);
         let p = b.finish().unwrap();
         let mut st = cs.instantiate();
-        let out = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook).unwrap();
+        let out =
+            Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook).unwrap();
         assert_eq!(st.var(a), 7);
         assert_eq!(out.steps, 4);
     }
@@ -702,9 +719,12 @@ mod tests {
         b.jump(e);
         let p = b.finish().unwrap();
         let mut st = cs.instantiate();
-        let r = Interpreter::new(&p, &cs)
-            .with_limits(ExecLimits { max_steps: 100 })
-            .run(&mut st, &mut ctx(), &wreq(0), &mut NullHook);
+        let r = Interpreter::new(&p, &cs).with_limits(ExecLimits { max_steps: 100 }).run(
+            &mut st,
+            &mut ctx(),
+            &wreq(0),
+            &mut NullHook,
+        );
         assert!(matches!(r, Err(Fault::StepLimit { limit: 100 })));
     }
 
@@ -720,7 +740,8 @@ mod tests {
         b.exit();
         let p = b.finish().unwrap();
         let mut st = cs.instantiate();
-        let out = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(4), &mut NullHook).unwrap();
+        let out =
+            Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(4), &mut NullHook).unwrap();
         assert_eq!(out.spills, 1);
         assert_eq!(st.var(tail), 0x77);
     }
@@ -775,7 +796,11 @@ mod tests {
         let mut b = ProgramBuilder::new("p");
         let e = b.entry_block("e");
         b.select(e);
-        b.intrinsic(Intrinsic::DmaLoadVar { var: v, gpa: Expr::lit(u64::MAX - 2), width: Width::W32 });
+        b.intrinsic(Intrinsic::DmaLoadVar {
+            var: v,
+            gpa: Expr::lit(u64::MAX - 2),
+            width: Width::W32,
+        });
         b.exit();
         let p = b.finish().unwrap();
         let mut st = cs.instantiate();
@@ -796,7 +821,8 @@ mod tests {
         let p = b.finish().unwrap();
         let mut st = cs.instantiate();
         st.set_var(a, 2);
-        let out = Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook).unwrap();
+        let out =
+            Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook).unwrap();
         assert!(out.overflow.arithmetic);
         assert_eq!(st.var(a), 1);
     }

@@ -432,7 +432,9 @@ impl Intrinsic {
     pub fn loads_external_data(&self) -> bool {
         matches!(
             self,
-            Intrinsic::DmaToBuf { .. } | Intrinsic::DmaLoadVar { .. } | Intrinsic::DiskReadToBuf { .. }
+            Intrinsic::DmaToBuf { .. }
+                | Intrinsic::DmaLoadVar { .. }
+                | Intrinsic::DiskReadToBuf { .. }
         )
     }
 
@@ -678,8 +680,18 @@ mod tests {
                     },
                     kind: BlockKind::Plain,
                 },
-                Block { label: "b".into(), stmts: vec![], term: Terminator::Jump(BlockId(2)), kind: BlockKind::Plain },
-                Block { label: "c".into(), stmts: vec![], term: Terminator::Exit, kind: BlockKind::Plain },
+                Block {
+                    label: "b".into(),
+                    stmts: vec![],
+                    term: Terminator::Jump(BlockId(2)),
+                    kind: BlockKind::Plain,
+                },
+                Block {
+                    label: "c".into(),
+                    stmts: vec![],
+                    term: Terminator::Exit,
+                    kind: BlockKind::Plain,
+                },
             ],
             entry: BlockId(0),
             fn_table: BTreeMap::new(),

@@ -91,7 +91,12 @@ pub struct ControlStructure {
 impl ControlStructure {
     /// An empty structure named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        ControlStructure { name: name.into(), vars: Vec::new(), bufs: Vec::new(), order: Vec::new() }
+        ControlStructure {
+            name: name.into(),
+            vars: Vec::new(),
+            bufs: Vec::new(),
+            order: Vec::new(),
+        }
     }
 
     /// Appends an unsigned scalar field initialized to 0.
@@ -234,7 +239,11 @@ pub struct ArenaOutOfBounds {
 
 impl std::fmt::Display for ArenaOutOfBounds {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "control-structure access at offset {} outside arena of {} bytes", self.offset, self.size)
+        write!(
+            f,
+            "control-structure access at offset {} outside arena of {} bytes",
+            self.offset, self.size
+        )
     }
 }
 

@@ -60,8 +60,11 @@ impl TypedValue {
     /// whether the mathematical value survived.
     pub fn convert(&self, width: Width, signed: bool) -> (TypedValue, bool) {
         let math = self.as_i128();
-        let out =
-            if signed { TypedValue::signed(self.bits, width) } else { TypedValue::unsigned(self.bits, width) };
+        let out = if signed {
+            TypedValue::signed(self.bits, width)
+        } else {
+            TypedValue::unsigned(self.bits, width)
+        };
         (out, out.as_i128() != math)
     }
 }
@@ -263,7 +266,12 @@ mod tests {
 
     #[test]
     fn addition_overflow_at_width() {
-        let (v, of) = apply_binop(BinOp::Add, TypedValue::unsigned(0xff, Width::W8), TypedValue::unsigned(1, Width::W8)).unwrap();
+        let (v, of) = apply_binop(
+            BinOp::Add,
+            TypedValue::unsigned(0xff, Width::W8),
+            TypedValue::unsigned(1, Width::W8),
+        )
+        .unwrap();
         assert_eq!(of, OverflowKind::Arithmetic);
         assert_eq!(v.bits, 0);
     }
@@ -321,7 +329,7 @@ mod tests {
         let neg = TypedValue::signed(0x8000, Width::W16);
         let (sar, _) = apply_binop(BinOp::Shr, neg, TypedValue::unsigned(1, Width::W16)).unwrap();
         assert_eq!(sar.bits, 0xc000); // arithmetic shift keeps the sign bit
-        // Oversized right shifts saturate instead of wrapping the amount.
+                                      // Oversized right shifts saturate instead of wrapping the amount.
         let (z, _) = apply_binop(BinOp::Shr, u16v(0x1234), u16v(40)).unwrap();
         assert_eq!(z.bits, 0);
         let (m, _) = apply_binop(BinOp::Shr, neg, u16v(40)).unwrap();

@@ -65,11 +65,7 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-fn check_expr(
-    prog: &Program,
-    block: BlockId,
-    e: &Expr,
-) -> Result<(), VerifyError> {
+fn check_expr(prog: &Program, block: BlockId, e: &Expr) -> Result<(), VerifyError> {
     let mut err = None;
     e.visit(&mut |n| {
         if let Expr::Local(l) = n {
@@ -98,7 +94,8 @@ fn exprs_of_stmt(s: &Stmt) -> Vec<&Expr> {
             I::DmaStore { gpa, value, .. } => vec![gpa, value],
             I::IrqRaise { line } | I::IrqLower { line } => vec![line],
             I::IoReply { value } => vec![value],
-            I::DiskReadToBuf { buf_off, sector, .. } | I::DiskWriteFromBuf { buf_off, sector, .. } => {
+            I::DiskReadToBuf { buf_off, sector, .. }
+            | I::DiskWriteFromBuf { buf_off, sector, .. } => {
                 vec![buf_off, sector]
             }
             I::NetTransmit { off, len, .. } => vec![off, len],

@@ -120,10 +120,9 @@ impl Device {
     pub fn route(&self, req: &IoRequest) -> Option<usize> {
         let ep = EntryPoint::of_request(req);
         if ep != EntryPoint::NetReceive {
-            let claimed = self
-                .regions
-                .iter()
-                .any(|&(space, base, len)| space == req.space && req.addr >= base && req.addr - base < len);
+            let claimed = self.regions.iter().any(|&(space, base, len)| {
+                space == req.space && req.addr >= base && req.addr - base < len
+            });
             if !claimed {
                 return None;
             }
@@ -143,7 +142,11 @@ impl Device {
     /// Returns [`Fault`] on device crashes (arena escape, wild indirect
     /// call, step-limit DoS); `Ok` carries the reply value and ground
     /// truth counters.
-    pub fn handle_io(&mut self, ctx: &mut VmContext, req: &IoRequest) -> Result<ExecOutcome, Fault> {
+    pub fn handle_io(
+        &mut self,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+    ) -> Result<ExecOutcome, Fault> {
         self.handle_io_hooked(ctx, req, &mut NullHook)
     }
 
@@ -163,9 +166,12 @@ impl Device {
             return Ok(ExecOutcome::default());
         };
         let prog = &self.programs[pi];
-        let result = Interpreter::new(prog, &self.control)
-            .with_limits(self.limits)
-            .run(&mut self.state, ctx, req, hook);
+        let result = Interpreter::new(prog, &self.control).with_limits(self.limits).run(
+            &mut self.state,
+            ctx,
+            req,
+            hook,
+        );
         if let Ok(out) = &result {
             // Virtual service time: vmexit + dispatch overhead plus
             // per-block emulation work. Bulk transfers (disk, frames)
@@ -199,7 +205,10 @@ mod tests {
             "Tiny",
             QemuVersion::Patched,
             cs,
-            vec![(EntryPoint::PmioWrite, w.finish().unwrap()), (EntryPoint::PmioRead, r.finish().unwrap())],
+            vec![
+                (EntryPoint::PmioWrite, w.finish().unwrap()),
+                (EntryPoint::PmioRead, r.finish().unwrap()),
+            ],
             vec![(AddressSpace::Pmio, 0x100, 4)],
         )
     }

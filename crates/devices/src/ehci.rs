@@ -262,7 +262,11 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
     );
 
     b.select(fetch_qtd);
-    b.intrinsic(Intrinsic::DmaLoadVar { var: v.qtd_token, gpa: Expr::var(v.asynclistaddr), width: W32 });
+    b.intrinsic(Intrinsic::DmaLoadVar {
+        var: v.qtd_token,
+        gpa: Expr::var(v.asynclistaddr),
+        width: W32,
+    });
     b.intrinsic(Intrinsic::DmaLoadVar {
         var: v.qtd_buf,
         gpa: Expr::bin(BinOp::Add, Expr::var(v.asynclistaddr), Expr::lit(4)),
@@ -358,14 +362,22 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
     b.jump(setup_done);
 
     b.select(chk_set_addr);
-    b.branch(Expr::eq(Expr::buf(v.setup_buf, Expr::lit(1)), Expr::lit(0x05)), do_set_addr, chk_set_conf);
+    b.branch(
+        Expr::eq(Expr::buf(v.setup_buf, Expr::lit(1)), Expr::lit(0x05)),
+        do_set_addr,
+        chk_set_conf,
+    );
     b.select(do_set_addr);
     b.set_var(v.dev_addr, Expr::buf(v.setup_buf, Expr::lit(2)));
     b.set_var(v.setup_state_v, Expr::lit(setup_state::ACK));
     b.jump(setup_done);
 
     b.select(chk_set_conf);
-    b.branch(Expr::eq(Expr::buf(v.setup_buf, Expr::lit(1)), Expr::lit(0x09)), do_set_conf, setup_done);
+    b.branch(
+        Expr::eq(Expr::buf(v.setup_buf, Expr::lit(1)), Expr::lit(0x09)),
+        do_set_conf,
+        setup_done,
+    );
     b.select(do_set_conf);
     b.set_var(v.config, Expr::buf(v.setup_buf, Expr::lit(2)));
     b.set_var(v.setup_state_v, Expr::lit(setup_state::ACK));
@@ -377,23 +389,19 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
 
     // --- IN: data stage, device to guest ---
     b.select(tok_in);
-    b.branch(
-        Expr::eq(Expr::var(v.setup_state_v), Expr::lit(setup_state::DATA)),
-        in_active,
-        nak,
-    );
+    b.branch(Expr::eq(Expr::var(v.setup_state_v), Expr::lit(setup_state::DATA)), in_active, nak);
 
     b.select(in_active);
     b.set_var(
         v.xfer_len,
-        Expr::bin(BinOp::And, Expr::bin(BinOp::Shr, Expr::var(v.qtd_token), Expr::lit(16)), Expr::lit(0x7fff)),
+        Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Shr, Expr::var(v.qtd_token), Expr::lit(16)),
+            Expr::lit(0x7fff),
+        ),
     );
     b.set_var(v.xfer_rem, Expr::bin(BinOp::Sub, Expr::var(v.setup_len), Expr::var(v.setup_index)));
-    b.branch(
-        Expr::bin(BinOp::Gt, Expr::var(v.xfer_len), Expr::var(v.xfer_rem)),
-        in_clamp,
-        in_copy,
-    );
+    b.branch(Expr::bin(BinOp::Gt, Expr::var(v.xfer_len), Expr::var(v.xfer_rem)), in_clamp, in_copy);
     b.select(in_clamp);
     b.set_var(v.xfer_len, Expr::var(v.xfer_rem));
     b.jump(in_copy);
@@ -405,12 +413,11 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
         gpa: Expr::var(v.qtd_buf),
         len: Expr::var(v.xfer_len),
     });
-    b.set_var(v.setup_index, Expr::bin(BinOp::Add, Expr::var(v.setup_index), Expr::var(v.xfer_len)));
-    b.branch(
-        Expr::bin(BinOp::Ge, Expr::var(v.setup_index), Expr::var(v.setup_len)),
-        in_last,
-        done,
+    b.set_var(
+        v.setup_index,
+        Expr::bin(BinOp::Add, Expr::var(v.setup_index), Expr::var(v.xfer_len)),
     );
+    b.branch(Expr::bin(BinOp::Ge, Expr::var(v.setup_index), Expr::var(v.setup_len)), in_last, done);
 
     b.select(in_last);
     b.set_var(v.setup_state_v, Expr::lit(setup_state::ACK));
@@ -434,7 +441,11 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
     b.select(out_active);
     b.set_var(
         v.xfer_len,
-        Expr::bin(BinOp::And, Expr::bin(BinOp::Shr, Expr::var(v.qtd_token), Expr::lit(16)), Expr::lit(0x7fff)),
+        Expr::bin(
+            BinOp::And,
+            Expr::bin(BinOp::Shr, Expr::var(v.qtd_token), Expr::lit(16)),
+            Expr::lit(0x7fff),
+        ),
     );
     b.set_var(v.xfer_rem, Expr::bin(BinOp::Sub, Expr::var(v.setup_len), Expr::var(v.setup_index)));
     b.branch(
@@ -455,7 +466,10 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
         gpa: Expr::var(v.qtd_buf),
         len: Expr::var(v.xfer_len),
     });
-    b.set_var(v.setup_index, Expr::bin(BinOp::Add, Expr::var(v.setup_index), Expr::var(v.xfer_len)));
+    b.set_var(
+        v.setup_index,
+        Expr::bin(BinOp::Add, Expr::var(v.setup_index), Expr::var(v.xfer_len)),
+    );
     b.branch(
         Expr::bin(BinOp::Ge, Expr::var(v.setup_index), Expr::var(v.setup_len)),
         out_last,
@@ -533,7 +547,8 @@ mod tests {
     }
 
     fn w32(d: &mut Device, c: &mut VmContext, off: u64, val: u64) -> Result<u64, Fault> {
-        d.handle_io(c, &IoRequest::write(AddressSpace::Mmio, EHCI_BASE + off, 4, val)).map(|o| o.reply)
+        d.handle_io(c, &IoRequest::write(AddressSpace::Mmio, EHCI_BASE + off, 4, val))
+            .map(|o| o.reply)
     }
 
     fn r32(d: &mut Device, c: &mut VmContext, off: u64) -> u64 {
@@ -556,7 +571,16 @@ mod tests {
         c.mem
             .write_bytes(
                 gpa,
-                &[bm, req, (val & 0xff) as u8, (val >> 8) as u8, (idx & 0xff) as u8, (idx >> 8) as u8, (len & 0xff) as u8, (len >> 8) as u8],
+                &[
+                    bm,
+                    req,
+                    (val & 0xff) as u8,
+                    (val >> 8) as u8,
+                    (idx & 0xff) as u8,
+                    (idx >> 8) as u8,
+                    (len & 0xff) as u8,
+                    (len >> 8) as u8,
+                ],
             )
             .unwrap();
     }
@@ -590,7 +614,7 @@ mod tests {
         assert_eq!(desc[0], 18); // bLength
         assert_eq!(desc[1], 1); // DEVICE descriptor
         assert_eq!(&desc[8..10], &[0x27, 0x06]); // idVendor
-        // Status: OUT zero-length ACK.
+                                                 // Status: OUT zero-length ACK.
         submit(&mut d, &mut c, pid::OUT as u32, 0).unwrap();
         assert!(c.irqs.line(EHCI_IRQ as usize).is_raised());
     }
@@ -657,7 +681,7 @@ mod tests {
         assert_ne!(r32(&mut d, &mut c, reg::USBSTS) & sts::ERR, 0);
         let len_var = d.control.var_by_name("setup_len").unwrap();
         assert_eq!(d.state.var(len_var), 0x1800); // the defect
-        // Attacker data that will land on setup_index and irq.
+                                                  // Attacker data that will land on setup_index and irq.
         c.mem.write_bytes(0x7000, &[0x41u8; 0x1000]).unwrap();
         // First OUT fills data_buf fully (4096 bytes), in bounds.
         submit(&mut d, &mut c, (0x1000 << 16) | pid::OUT as u32, 0x7000).unwrap();

@@ -15,8 +15,8 @@
 //! `data_pos` reaches `data_len`.
 
 use sedspec_dbl::builder::ProgramBuilder;
-use sedspec_dbl::ir::{BinOp, Expr, Intrinsic, Program};
 use sedspec_dbl::ir::Width::{W16, W32, W8};
+use sedspec_dbl::ir::{BinOp, Expr, Intrinsic, Program};
 use sedspec_dbl::state::ControlStructure;
 use sedspec_vmm::AddressSpace;
 
@@ -347,11 +347,7 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
         );
     }
     b.select(ds_overrun_chk);
-    b.branch(
-        Expr::bin(BinOp::Gt, Expr::var(v.data_pos), Expr::var(v.data_len)),
-        ds_overrun,
-        done,
-    );
+    b.branch(Expr::bin(BinOp::Gt, Expr::var(v.data_pos), Expr::var(v.data_len)), ds_overrun, done);
     b.select(ds_overrun);
     b.jump(done);
 
@@ -414,7 +410,11 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
     b.set_var(v.track, Expr::buf(v.fifo, Expr::lit(1)));
     b.set_var(v.head, Expr::buf(v.fifo, Expr::lit(2)));
     b.set_var(v.sector, Expr::buf(v.fifo, Expr::lit(3)));
-    b.intrinsic(Intrinsic::DiskReadToBuf { buf: v.fifo, buf_off: Expr::lit(0), sector: chs_expr(v) });
+    b.intrinsic(Intrinsic::DiskReadToBuf {
+        buf: v.fifo,
+        buf_off: Expr::lit(0),
+        sector: chs_expr(v),
+    });
     b.set_var(v.data_pos, Expr::lit(0));
     b.set_var(v.data_len, Expr::lit(FD_SECTOR_LEN));
     b.set_var(v.data_state, Expr::lit(st::DATA_READ));
@@ -451,7 +451,11 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
     b.set_var(v.track, Expr::buf(v.fifo, Expr::lit(1)));
     b.set_var(v.sector, Expr::lit(1));
     b.buf_fill(v.fifo, Expr::lit(0));
-    b.intrinsic(Intrinsic::DiskWriteFromBuf { buf: v.fifo, buf_off: Expr::lit(0), sector: chs_expr(v) });
+    b.intrinsic(Intrinsic::DiskWriteFromBuf {
+        buf: v.fifo,
+        buf_off: Expr::lit(0),
+        sector: chs_expr(v),
+    });
     b.buf_store(v.fifo, Expr::lit(0), Expr::var(v.status0));
     b.set_var(v.data_len, Expr::lit(7));
     b.set_var(v.data_pos, Expr::lit(0));
@@ -479,7 +483,11 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
     b.branch(Expr::bin(BinOp::Ge, Expr::var(v.data_pos), Expr::var(v.data_len)), wr_complete, done);
 
     b.select(wr_complete);
-    b.intrinsic(Intrinsic::DiskWriteFromBuf { buf: v.fifo, buf_off: Expr::lit(0), sector: chs_expr(v) });
+    b.intrinsic(Intrinsic::DiskWriteFromBuf {
+        buf: v.fifo,
+        buf_off: Expr::lit(0),
+        sector: chs_expr(v),
+    });
     b.set_var(v.status0, Expr::lit(0));
     b.buf_store(v.fifo, Expr::lit(0), Expr::lit(0));
     b.buf_store(v.fifo, Expr::lit(1), Expr::lit(0));
@@ -732,9 +740,8 @@ mod tests {
         outb(&mut d, &mut c, DATA, 0x8e);
         let mut spilled = 0;
         for _ in 0..600 {
-            let out = d
-                .handle_io(&mut c, &IoRequest::write(AddressSpace::Pmio, DATA, 1, 0x01))
-                .unwrap();
+            let out =
+                d.handle_io(&mut c, &IoRequest::write(AddressSpace::Pmio, DATA, 1, 0x01)).unwrap();
             spilled += out.spills;
         }
         assert_eq!(spilled, 0);

@@ -47,7 +47,9 @@ pub use device::{Device, EntryPoint};
 pub use version::QemuVersion;
 
 /// The five reproduced devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum DeviceKind {
     /// Floppy disk controller (`fdc`), the Venom target.
     Fdc,
@@ -64,7 +66,13 @@ pub enum DeviceKind {
 impl DeviceKind {
     /// All five kinds, in the paper's Table III order.
     pub fn all() -> [DeviceKind; 5] {
-        [DeviceKind::Fdc, DeviceKind::UsbEhci, DeviceKind::Pcnet, DeviceKind::Sdhci, DeviceKind::Scsi]
+        [
+            DeviceKind::Fdc,
+            DeviceKind::UsbEhci,
+            DeviceKind::Pcnet,
+            DeviceKind::Sdhci,
+            DeviceKind::Scsi,
+        ]
     }
 
     /// The device's display name as used in the paper.

@@ -262,7 +262,10 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
 
     b.select(csr15_w);
     b.set_var(v.csr15, Expr::IoData);
-    b.set_var(v.looptest, Expr::ne(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(4)), Expr::lit(0)));
+    b.set_var(
+        v.looptest,
+        Expr::ne(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(4)), Expr::lit(0)),
+    );
     b.jump(done);
 
     b.select(rcvrl_w);
@@ -842,8 +845,8 @@ mod tests {
         let mut d = build(QemuVersion::V2_4_0);
         let mut c = ctx();
         bring_up(&mut d, &mut c, 4, 8); // loopback mode
-        // A 4096-byte frame passes the loopback check; the CRC append
-        // writes buffer[4096..4100], i.e. the irq pointer's low bytes.
+                                        // A 4096-byte frame passes the loopback check; the CRC append
+                                        // writes buffer[4096..4100], i.e. the irq pointer's low bytes.
         let frame = vec![0x11u8; 4096];
         match d.handle_io(&mut c, &IoRequest::net_frame(frame)) {
             // The hijack fires within this invocation at rx_done's

@@ -186,11 +186,11 @@ fn control_structure() -> (ControlStructure, Vars) {
 fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
     let fifo_unbounded = version.has_vulnerability(QemuVersion::V2_6_0); // CVE-2016-4439
     let reserved_groups_accepted = version.has_vulnerability(QemuVersion::V2_4_0); // CVE-2015-5158
-    // CVE-2016-1568 analog: the reset handler forgets to reinitialize the
-    // pending-transfer state, so a command set up before the reset can
-    // still be driven afterwards — the use-after-free shape the paper
-    // reports as SEDSpec's known miss (no anomalous state transition
-    // exists for the specification to learn).
+                                                                                   // CVE-2016-1568 analog: the reset handler forgets to reinitialize the
+                                                                                   // pending-transfer state, so a command set up before the reset can
+                                                                                   // still be driven afterwards — the use-after-free shape the paper
+                                                                                   // reports as SEDSpec's known miss (no anomalous state transition
+                                                                                   // exists for the specification to learn).
     let stale_pending_on_reset = version.has_vulnerability(QemuVersion::V2_4_0);
 
     let mut b = ProgramBuilder::new("esp_pmio_write");
@@ -380,11 +380,7 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
     b.jump(grp_dispatch);
 
     b.select(grp_dispatch);
-    b.switch(
-        Expr::var(v.cdb_group),
-        vec![(0, grp0), (1, grp1), (2, grp1), (5, grp5)],
-        grp_other,
-    );
+    b.switch(Expr::var(v.cdb_group), vec![(0, grp0), (1, grp1), (2, grp1), (5, grp5)], grp_other);
 
     b.select(grp0);
     b.jump(exec_cdb);
@@ -448,7 +444,10 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
             b.set_local(n, Expr::buf(v.cmdbuf, Expr::lit(4)));
         } else {
             // Patched: clamped to the FIFO.
-            b.set_local(n, Expr::bin(BinOp::And, Expr::buf(v.cmdbuf, Expr::lit(4)), Expr::lit(0xf)));
+            b.set_local(
+                n,
+                Expr::bin(BinOp::And, Expr::buf(v.cmdbuf, Expr::lit(4)), Expr::lit(0xf)),
+            );
         }
         let fill_loop = b.block("sense_fill_body");
         b.branch(Expr::eq(Expr::local(n), Expr::lit(0)), resp_ready, fill_loop);
@@ -459,9 +458,10 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
     }
 
     b.select(op_inquiry);
-    for (k, byte) in [0x00u64, 0x00, 0x05, 0x02, 12, 0, 0, 0, b'S' as u64, b'E' as u64, b'D' as u64, b'S' as u64]
-        .into_iter()
-        .enumerate()
+    for (k, byte) in
+        [0x00u64, 0x00, 0x05, 0x02, 12, 0, 0, 0, b'S' as u64, b'E' as u64, b'D' as u64, b'S' as u64]
+            .into_iter()
+            .enumerate()
     {
         b.buf_store(v.fifo, Expr::lit(k as u64), Expr::lit(byte));
     }
@@ -525,7 +525,11 @@ fn build_pmio_write(v: &Vars, version: QemuVersion) -> Program {
     b.select(c_ti);
     b.set_var(
         v.dma_cur,
-        Expr::bin(BinOp::Or, Expr::var(v.dmalo), Expr::bin(BinOp::Shl, Expr::var(v.dmahi), Expr::lit(16))),
+        Expr::bin(
+            BinOp::Or,
+            Expr::var(v.dmalo),
+            Expr::bin(BinOp::Shl, Expr::var(v.dmahi), Expr::lit(16)),
+        ),
     );
     b.branch(Expr::eq(Expr::var(v.pending_op), Expr::lit(1)), ti_read, ti_write);
 
@@ -617,7 +621,11 @@ fn build_pmio_read(v: &Vars) -> Program {
     b.jump(done);
 
     b.select(fifo_r);
-    b.branch(Expr::bin(BinOp::Lt, Expr::var(v.ti_rptr), Expr::var(v.ti_wptr)), fifo_pop, fifo_empty);
+    b.branch(
+        Expr::bin(BinOp::Lt, Expr::var(v.ti_rptr), Expr::var(v.ti_wptr)),
+        fifo_pop,
+        fifo_empty,
+    );
     b.select(fifo_pop);
     b.reply(Expr::buf(v.fifo, Expr::bin(BinOp::And, Expr::var(v.ti_rptr), Expr::lit(0xf))));
     b.set_var(v.ti_rptr, Expr::bin(BinOp::Add, Expr::var(v.ti_rptr), Expr::lit(1)));
@@ -671,7 +679,12 @@ mod tests {
         VmContext::new(0x100000, 4096)
     }
 
-    fn outb(d: &mut Device, c: &mut VmContext, off: u64, val: u64) -> sedspec_dbl::interp::ExecOutcome {
+    fn outb(
+        d: &mut Device,
+        c: &mut VmContext,
+        off: u64,
+        val: u64,
+    ) -> sedspec_dbl::interp::ExecOutcome {
         d.handle_io(c, &IoRequest::write(AddressSpace::Pmio, ESP_BASE + off, 1, val)).unwrap()
     }
 

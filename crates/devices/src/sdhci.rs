@@ -382,7 +382,10 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
         len: Expr::lit(SDMA_CHUNK),
     });
     b.set_var(v.data_count, Expr::lit(SDMA_CHUNK));
-    b.set_var(v.norintsts, Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::DMA_INT)));
+    b.set_var(
+        v.norintsts,
+        Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::DMA_INT)),
+    );
     b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
     b.jump(done);
 
@@ -392,7 +395,10 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
         Expr::bin(
             BinOp::And,
             Expr::var(v.prnsts_v),
-            Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::lit(prnsts::DAT_ACTIVE | prnsts::BWE | prnsts::BRE)),
+            Expr::un(
+                sedspec_dbl::ir::UnOp::Not,
+                Expr::lit(prnsts::DAT_ACTIVE | prnsts::BWE | prnsts::BRE),
+            ),
         ),
     );
     b.set_var(v.data_count, Expr::lit(0));
@@ -453,7 +459,11 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
     b.select(intsts_w);
     b.set_var(
         v.norintsts,
-        Expr::bin(BinOp::And, Expr::var(v.norintsts), Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::IoData)),
+        Expr::bin(
+            BinOp::And,
+            Expr::var(v.norintsts),
+            Expr::un(sedspec_dbl::ir::UnOp::Not, Expr::IoData),
+        ),
     );
     b.branch(
         Expr::ne(Expr::bin(BinOp::And, Expr::IoData, Expr::lit(intsts::DMA_INT)), Expr::lit(0)),
@@ -483,7 +493,10 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
         gpa: Expr::bin(BinOp::Add, Expr::var(v.sdmasysad), Expr::var(v.data_count)),
         len: Expr::var(v.transfer_len),
     });
-    b.set_var(v.data_count, Expr::bin(BinOp::Add, Expr::var(v.data_count), Expr::var(v.transfer_len)));
+    b.set_var(
+        v.data_count,
+        Expr::bin(BinOp::Add, Expr::var(v.data_count), Expr::var(v.transfer_len)),
+    );
     b.jump(sdma_flush);
 
     b.select(sdma_flush);
@@ -506,7 +519,10 @@ fn build_mmio_write(v: &Vars, version: QemuVersion) -> Program {
         len: Expr::lit(SDMA_CHUNK),
     });
     b.set_var(v.data_count, Expr::lit(SDMA_CHUNK));
-    b.set_var(v.norintsts, Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::DMA_INT)));
+    b.set_var(
+        v.norintsts,
+        Expr::bin(BinOp::Or, Expr::var(v.norintsts), Expr::lit(intsts::DMA_INT)),
+    );
     b.intrinsic(Intrinsic::IrqRaise { line: Expr::lit(SDHCI_IRQ) });
     b.jump(done);
 
@@ -643,7 +659,12 @@ mod tests {
         VmContext::new(0x100000, 256)
     }
 
-    fn w(d: &mut Device, c: &mut VmContext, off: u64, val: u64) -> Result<sedspec_dbl::interp::ExecOutcome, Fault> {
+    fn w(
+        d: &mut Device,
+        c: &mut VmContext,
+        off: u64,
+        val: u64,
+    ) -> Result<sedspec_dbl::interp::ExecOutcome, Fault> {
         d.handle_io(c, &IoRequest::write(AddressSpace::Mmio, SDHCI_BASE + off, 4, val))
     }
 

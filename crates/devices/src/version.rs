@@ -7,7 +7,9 @@ use std::fmt;
 /// versions at or before a CVE's fix keep the vulnerable code path,
 /// later versions use the patched one. [`QemuVersion::Patched`] has
 /// every fix applied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum QemuVersion {
     /// QEMU 2.3.0 — vulnerable to CVE-2015-3456 (Venom).
     V2_3_0,

@@ -1,0 +1,65 @@
+//! Sharded multi-tenant enforcement runtime for SEDSpec.
+//!
+//! The paper deploys one ES-Checker in front of one emulated device.
+//! A cloud host runs *fleets*: many tenant VMs, each with several
+//! emulated devices, all needing enforcement without sharing fate.
+//! This crate scales the single-device pipeline out to that setting:
+//!
+//! * [`registry::SpecRegistry`] — a content-addressed store of
+//!   published execution specifications, keyed by
+//!   `(device, QEMU version, digest)`, with atomic hot-swap: publishing
+//!   a new revision retargets every tenant at its next batch.
+//! * [`pool::EnforcementPool`] — N worker shards over channels, each
+//!   owning its tenants' machines of
+//!   [`EnforcingDevice`](sedspec::enforce::EnforcingDevice)s.
+//!   Placement is deterministic (`tenant id mod N`), batches run in
+//!   submission order, and a compromised tenant degrades gracefully —
+//!   snapshot rollback first, then quarantine — while its shard keeps
+//!   serving the other tenants.
+//! * [`telemetry`] — per-shard/per-tenant
+//!   [`EnforceStats`](sedspec::enforce::EnforceStats) aggregation, a
+//!   live alert stream classified by
+//!   [`highest_alert`](sedspec::response::highest_alert), and a
+//!   plain-text fleet report.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sedspec::pipeline::{train_script, TrainingConfig};
+//! use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+//! use sedspec_fleet::pool::{EnforcementPool, TenantConfig, TenantId};
+//! use sedspec_fleet::registry::SpecRegistry;
+//! use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+//!
+//! // Publish a trained spec for the FDC channel.
+//! let registry = Arc::new(SpecRegistry::new());
+//! let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+//! let mut ctx = VmContext::new(0x10000, 64);
+//! let samples = vec![vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1).into()]];
+//! let spec = train_script(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap();
+//! registry.publish(DeviceKind::Fdc, QemuVersion::Patched, spec);
+//!
+//! // Host a tenant on a two-shard pool and run a batch.
+//! let mut pool = EnforcementPool::new(2, registry);
+//! let cfg = TenantConfig::new(7)
+//!     .with_devices(vec![(DeviceKind::Fdc, QemuVersion::Patched)]);
+//! pool.add_tenant(cfg).unwrap();
+//! let ticket = pool
+//!     .submit_batch(TenantId(7), vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)])
+//!     .unwrap();
+//! let report = pool.wait(ticket).unwrap();
+//! assert_eq!(report.rounds, 1);
+//! assert!(!report.quarantined);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod registry;
+pub mod telemetry;
+
+pub use pool::{BatchReport, EnforcementPool, PoolError, TenantConfig, TenantId, Ticket};
+pub use registry::{SpecDigest, SpecKey, SpecRegistry};
+pub use telemetry::{AlertEvent, FleetReport, ShardTelemetry, TenantStatus};

@@ -1,0 +1,574 @@
+//! The sharded enforcement pool.
+//!
+//! One pool hosts many *tenants* — isolated machines of enforcing
+//! devices — spread deterministically over N worker shards
+//! (`shard = tenant id mod N`). Guest traffic is submitted in batches;
+//! each shard services its tenants' batches in submission order, so a
+//! tenant's verdict stream depends only on its own traffic, never on
+//! shard count or sibling load.
+//!
+//! Degradation is graceful and tenant-local: a protection-mode halt
+//! first tries a [`SnapshotRing`] rollback (the paper's §VIII anomaly
+//! defence); once the rollback budget is exhausted the tenant is
+//! quarantined — later batches are rejected — while the shard keeps
+//! serving its other tenants.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sedspec::checker::WorkingMode;
+use sedspec::collect::{apply_step, TrainStep};
+use sedspec::enforce::{EnforceStats, EnforcingDevice};
+use sedspec::pipeline::deploy;
+use sedspec::response::{highest_alert, AlertLevel, SnapshotRing};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_vmm::{IoRequest, VmContext};
+use serde::{Deserialize, Serialize};
+
+use crate::registry::{SpecKey, SpecRegistry};
+use crate::telemetry::{AlertEvent, FleetReport, ShardTelemetry, TenantStatus};
+
+/// Fleet-wide tenant identity. Placement is `id mod shard_count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TenantId(pub u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant-{}", self.0)
+    }
+}
+
+/// How a tenant's machine is built and degraded.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// The tenant's identity (also decides its shard).
+    pub tenant: TenantId,
+    /// Devices to attach, resolved against the registry's current
+    /// revision per `(kind, version)` channel.
+    pub devices: Vec<(DeviceKind, QemuVersion)>,
+    /// Enforcement mode for every attached device.
+    pub mode: WorkingMode,
+    /// Snapshots retained per device for rollback.
+    pub snapshot_depth: usize,
+    /// Halts absorbed by rollback before the tenant is quarantined.
+    pub rollback_budget: u32,
+    /// Guest memory bytes.
+    pub mem_size: usize,
+    /// Disk backend size in sectors.
+    pub disk_sectors: usize,
+}
+
+impl TenantConfig {
+    /// A protection-mode tenant with the fleet defaults: every device
+    /// patched, four snapshots, one rollback before quarantine.
+    pub fn new(tenant: u64) -> Self {
+        TenantConfig {
+            tenant: TenantId(tenant),
+            devices: DeviceKind::all().into_iter().map(|k| (k, QemuVersion::Patched)).collect(),
+            mode: WorkingMode::Protection,
+            snapshot_depth: 4,
+            rollback_budget: 1,
+            mem_size: 0x100000,
+            disk_sectors: 4096,
+        }
+    }
+
+    /// Replaces the device list.
+    pub fn with_devices(mut self, devices: Vec<(DeviceKind, QemuVersion)>) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Replaces the working mode.
+    pub fn with_mode(mut self, mode: WorkingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+/// Handle for one submitted batch; redeem with [`EnforcementPool::wait`].
+#[derive(Debug, PartialEq, Eq, Hash)]
+#[must_use = "redeem the ticket with EnforcementPool::wait"]
+pub struct Ticket(u64);
+
+/// The outcome of one batch on one tenant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// The tenant the batch ran on.
+    pub tenant: TenantId,
+    /// I/O rounds serviced (memory writes and delays excluded).
+    pub rounds: u64,
+    /// Rounds flagged anomalous (halted or warned).
+    pub flagged: u64,
+    /// Snapshot rollbacks performed during the batch.
+    pub rollbacks: u32,
+    /// Whether the tenant ended the batch quarantined.
+    pub quarantined: bool,
+    /// Whether the batch was refused because the tenant was already
+    /// quarantined when it arrived (no rounds ran).
+    pub rejected: bool,
+    /// Checking counters accumulated by this batch alone.
+    pub stats: EnforceStats,
+    /// Highest alert level raised during the batch.
+    pub alert: Option<AlertLevel>,
+}
+
+/// Why a pool call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The tenant id is not registered on its shard.
+    UnknownTenant(TenantId),
+    /// The tenant id is already registered.
+    TenantExists(TenantId),
+    /// No specification is published for a requested channel.
+    NoSpec(DeviceKind, QemuVersion),
+    /// Two attached devices claim overlapping bus regions.
+    RegionConflict(TenantId),
+    /// The shard worker is gone (its thread exited).
+    ShardDown(usize),
+    /// The ticket was already redeemed or never issued.
+    UnknownTicket,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::UnknownTenant(t) => write!(f, "{t} is not registered"),
+            PoolError::TenantExists(t) => write!(f, "{t} is already registered"),
+            PoolError::NoSpec(k, v) => {
+                write!(f, "no specification published for {k}/{v}")
+            }
+            PoolError::RegionConflict(t) => {
+                write!(f, "{t}: attached devices claim overlapping regions")
+            }
+            PoolError::ShardDown(s) => write!(f, "shard {s} is down"),
+            PoolError::UnknownTicket => write!(f, "unknown or already redeemed ticket"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// One enforcing device inside a tenant, plus its provenance.
+struct DeviceSlot {
+    kind: DeviceKind,
+    version: QemuVersion,
+    key: SpecKey,
+    /// Registry epoch the deployment was built at; compared against the
+    /// channel epoch at batch boundaries to detect hot-swaps.
+    epoch: u64,
+    enforcer: EnforcingDevice,
+    ring: SnapshotRing,
+}
+
+/// A tenant's runtime state, owned by exactly one shard.
+struct TenantRuntime {
+    id: TenantId,
+    mode: WorkingMode,
+    snapshot_depth: usize,
+    rollback_budget: u32,
+    rollbacks_used: u32,
+    ctx: VmContext,
+    slots: Vec<DeviceSlot>,
+    /// Stats of enforcers retired by hot-swaps.
+    retired: EnforceStats,
+    flagged_rounds: u64,
+    worst_alert: Option<AlertLevel>,
+    quarantined: bool,
+}
+
+impl TenantRuntime {
+    fn build(cfg: &TenantConfig, registry: &SpecRegistry) -> Result<Self, PoolError> {
+        let ctx = VmContext::new(cfg.mem_size, cfg.disk_sectors);
+        // Probe for region overlaps the way Machine::attach would.
+        let mut bus = sedspec_vmm::Bus::new();
+        let mut slots = Vec::with_capacity(cfg.devices.len());
+        for &(kind, version) in &cfg.devices {
+            let (key, spec, epoch) =
+                registry.current(kind, version).ok_or(PoolError::NoSpec(kind, version))?;
+            let device = build_device(kind, version);
+            for &(space, base, len) in &device.regions {
+                bus.register(space, base, len, device.name.clone())
+                    .map_err(|_| PoolError::RegionConflict(cfg.tenant))?;
+            }
+            slots.push(DeviceSlot {
+                kind,
+                version,
+                key,
+                epoch,
+                enforcer: deploy(device, (*spec).clone(), cfg.mode),
+                ring: SnapshotRing::new(cfg.snapshot_depth),
+            });
+        }
+        let mut runtime = TenantRuntime {
+            id: cfg.tenant,
+            mode: cfg.mode,
+            snapshot_depth: cfg.snapshot_depth,
+            rollback_budget: cfg.rollback_budget,
+            rollbacks_used: 0,
+            ctx,
+            slots,
+            retired: EnforceStats::default(),
+            flagged_rounds: 0,
+            worst_alert: None,
+            quarantined: false,
+        };
+        // Baseline snapshot: a tenant attacked in its very first batch
+        // can still roll back to boot state.
+        for slot in &mut runtime.slots {
+            slot.ring.capture(&slot.enforcer);
+        }
+        Ok(runtime)
+    }
+
+    /// Redeploys any slot whose registry channel advanced past the
+    /// epoch it was built at. The replacement starts from device boot
+    /// state (the same contract as a fresh deployment); the retired
+    /// enforcer's counters are folded into the tenant total.
+    fn refresh_specs(&mut self, registry: &SpecRegistry) {
+        for slot in &mut self.slots {
+            let epoch_now = registry.epoch(slot.kind, slot.version);
+            if epoch_now == slot.epoch {
+                continue;
+            }
+            if let Some((key, spec, epoch)) = registry.current(slot.kind, slot.version) {
+                let fresh =
+                    deploy(build_device(slot.kind, slot.version), (*spec).clone(), self.mode);
+                let old = std::mem::replace(&mut slot.enforcer, fresh);
+                self.retired += old.stats;
+                slot.key = key;
+                slot.epoch = epoch;
+                slot.ring = SnapshotRing::new(self.snapshot_depth);
+                slot.ring.capture(&slot.enforcer);
+            }
+        }
+    }
+
+    fn total_stats(&self) -> EnforceStats {
+        let mut total = self.retired;
+        for slot in &self.slots {
+            total += slot.enforcer.stats;
+        }
+        total
+    }
+
+    fn run_batch(
+        &mut self,
+        steps: &[TrainStep],
+        registry: &SpecRegistry,
+        shard: usize,
+        alerts: &Sender<AlertEvent>,
+    ) -> BatchReport {
+        if self.quarantined {
+            return BatchReport {
+                tenant: self.id,
+                rounds: 0,
+                flagged: 0,
+                rollbacks: 0,
+                quarantined: true,
+                rejected: true,
+                stats: EnforceStats::default(),
+                alert: None,
+            };
+        }
+        self.refresh_specs(registry);
+
+        let before = self.total_stats();
+        let mut flagged = 0u64;
+        let mut rollbacks = 0u32;
+        let mut worst: Option<AlertLevel> = None;
+
+        for step in steps {
+            let Some(req) = apply_step(step, &mut self.ctx) else { continue };
+            let Some(idx) = self.slots.iter().position(|s| s.enforcer.device.route(req).is_some())
+            else {
+                continue; // unmapped, as on a real bus: ignored
+            };
+            let slot = &mut self.slots[idx];
+            let verdict = slot.enforcer.handle_io(&mut self.ctx, req);
+            if verdict.flagged() {
+                flagged += 1;
+                let level = highest_alert(verdict.violations());
+                worst = worst.max(level);
+                let _ = alerts.send(AlertEvent {
+                    shard,
+                    tenant: self.id,
+                    device: slot.kind,
+                    level,
+                    detail: verdict
+                        .violations()
+                        .first()
+                        .map(|v| format!("{v:?}"))
+                        .unwrap_or_default(),
+                });
+            }
+            if slot.enforcer.is_halted() {
+                if self.rollbacks_used < self.rollback_budget
+                    && slot.ring.rollback_latest(&mut slot.enforcer)
+                {
+                    self.rollbacks_used += 1;
+                    rollbacks += 1;
+                } else {
+                    self.quarantined = true;
+                    break;
+                }
+            }
+        }
+
+        if !self.quarantined {
+            for slot in &mut self.slots {
+                slot.ring.capture(&slot.enforcer);
+            }
+        }
+        self.flagged_rounds += flagged;
+        self.worst_alert = self.worst_alert.max(worst);
+
+        let after = self.total_stats();
+        BatchReport {
+            tenant: self.id,
+            rounds: after.rounds - before.rounds,
+            flagged,
+            rollbacks,
+            quarantined: self.quarantined,
+            rejected: false,
+            stats: stats_delta(&after, &before),
+            alert: worst,
+        }
+    }
+
+    fn status(&self) -> TenantStatus {
+        TenantStatus {
+            tenant: self.id,
+            quarantined: self.quarantined,
+            rollbacks: self.rollbacks_used,
+            flagged_rounds: self.flagged_rounds,
+            worst_alert: self.worst_alert,
+            stats: self.total_stats(),
+            specs: self.slots.iter().map(|s| s.key).collect(),
+        }
+    }
+}
+
+fn stats_delta(after: &EnforceStats, before: &EnforceStats) -> EnforceStats {
+    EnforceStats {
+        rounds: after.rounds - before.rounds,
+        precheck_complete: after.precheck_complete - before.precheck_complete,
+        synced_rounds: after.synced_rounds - before.synced_rounds,
+        warnings: after.warnings - before.warnings,
+        halts: after.halts - before.halts,
+        check_blocks: after.check_blocks - before.check_blocks,
+        check_syncs: after.check_syncs - before.check_syncs,
+    }
+}
+
+enum ShardMsg {
+    AddTenant(Box<TenantConfig>, Sender<Result<(), PoolError>>),
+    Submit { tenant: TenantId, steps: Vec<TrainStep>, reply: Sender<BatchReport> },
+    Report(Sender<ShardTelemetry>),
+    Shutdown,
+}
+
+struct ShardHandle {
+    tx: Sender<ShardMsg>,
+    thread: Option<JoinHandle<()>>,
+}
+
+fn shard_main(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    registry: Arc<SpecRegistry>,
+    alerts: Sender<AlertEvent>,
+) {
+    let mut tenants: HashMap<TenantId, TenantRuntime> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::AddTenant(cfg, reply) => {
+                let result = match tenants.entry(cfg.tenant) {
+                    Entry::Occupied(_) => Err(PoolError::TenantExists(cfg.tenant)),
+                    Entry::Vacant(slot) => TenantRuntime::build(&cfg, &registry).map(|rt| {
+                        slot.insert(rt);
+                    }),
+                };
+                let _ = reply.send(result);
+            }
+            ShardMsg::Submit { tenant, steps, reply } => {
+                let report = match tenants.get_mut(&tenant) {
+                    Some(rt) => rt.run_batch(&steps, &registry, shard, &alerts),
+                    None => BatchReport {
+                        tenant,
+                        rounds: 0,
+                        flagged: 0,
+                        rollbacks: 0,
+                        quarantined: false,
+                        rejected: true,
+                        stats: EnforceStats::default(),
+                        alert: None,
+                    },
+                };
+                let _ = reply.send(report);
+            }
+            ShardMsg::Report(reply) => {
+                let mut statuses: Vec<TenantStatus> =
+                    tenants.values().map(TenantRuntime::status).collect();
+                statuses.sort_by_key(|s| s.tenant);
+                let mut stats = EnforceStats::default();
+                for s in &statuses {
+                    stats.merge(&s.stats);
+                }
+                let _ = reply.send(ShardTelemetry { shard, tenants: statuses, stats });
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+/// The sharded multi-tenant enforcement runtime.
+pub struct EnforcementPool {
+    registry: Arc<SpecRegistry>,
+    shards: Vec<ShardHandle>,
+    alerts_rx: Receiver<AlertEvent>,
+    next_ticket: u64,
+    pending: HashMap<u64, Receiver<BatchReport>>,
+}
+
+impl EnforcementPool {
+    /// Spawns `shards` worker threads sharing `registry`.
+    pub fn new(shards: usize, registry: Arc<SpecRegistry>) -> Self {
+        let shards = shards.max(1);
+        let (alerts_tx, alerts_rx) = unbounded();
+        let handles = (0..shards)
+            .map(|i| {
+                let (tx, rx) = unbounded();
+                let reg = Arc::clone(&registry);
+                let alerts = alerts_tx.clone();
+                let thread = std::thread::Builder::new()
+                    .name(format!("sedspec-shard-{i}"))
+                    .spawn(move || shard_main(i, rx, reg, alerts))
+                    .expect("spawn shard worker");
+                ShardHandle { tx, thread: Some(thread) }
+            })
+            .collect();
+        EnforcementPool {
+            registry,
+            shards: handles,
+            alerts_rx,
+            next_ticket: 0,
+            pending: HashMap::new(),
+        }
+    }
+
+    /// The registry this pool resolves specifications from.
+    pub fn registry(&self) -> &Arc<SpecRegistry> {
+        &self.registry
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Deterministic tenant placement: `id mod shard_count`.
+    pub fn shard_of(&self, tenant: TenantId) -> usize {
+        (tenant.0 % self.shards.len() as u64) as usize
+    }
+
+    /// Registers a tenant on its shard, deploying its devices from the
+    /// registry's current revisions. Blocks until the shard confirms.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::TenantExists`] for duplicate ids,
+    /// [`PoolError::NoSpec`] when a channel has no published revision,
+    /// [`PoolError::RegionConflict`] for overlapping device claims.
+    pub fn add_tenant(&self, cfg: TenantConfig) -> Result<(), PoolError> {
+        let shard = self.shard_of(cfg.tenant);
+        let (reply_tx, reply_rx) = unbounded();
+        self.shards[shard]
+            .tx
+            .send(ShardMsg::AddTenant(Box::new(cfg), reply_tx))
+            .map_err(|_| PoolError::ShardDown(shard))?;
+        reply_rx.recv().map_err(|_| PoolError::ShardDown(shard))?
+    }
+
+    /// Submits a batch of guest script steps (I/O, memory writes,
+    /// delays) to a tenant. Returns immediately with a ticket.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::ShardDown`] when the tenant's shard has exited.
+    pub fn submit_steps(
+        &mut self,
+        tenant: TenantId,
+        steps: Vec<TrainStep>,
+    ) -> Result<Ticket, PoolError> {
+        let shard = self.shard_of(tenant);
+        let (reply_tx, reply_rx) = unbounded();
+        self.shards[shard]
+            .tx
+            .send(ShardMsg::Submit { tenant, steps, reply: reply_tx })
+            .map_err(|_| PoolError::ShardDown(shard))?;
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.pending.insert(ticket, reply_rx);
+        Ok(Ticket(ticket))
+    }
+
+    /// Submits a batch of raw I/O requests to a tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::ShardDown`] when the tenant's shard has exited.
+    pub fn submit_batch(
+        &mut self,
+        tenant: TenantId,
+        requests: Vec<IoRequest>,
+    ) -> Result<Ticket, PoolError> {
+        self.submit_steps(tenant, requests.into_iter().map(TrainStep::Io).collect())
+    }
+
+    /// Blocks until the batch behind `ticket` completes.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownTicket`] for redeemed tickets,
+    /// [`PoolError::ShardDown`] when the worker died mid-batch.
+    pub fn wait(&mut self, ticket: Ticket) -> Result<BatchReport, PoolError> {
+        let rx = self.pending.remove(&ticket.0).ok_or(PoolError::UnknownTicket)?;
+        rx.recv().map_err(|_| PoolError::ShardDown(usize::MAX))
+    }
+
+    /// Drains the alert stream (non-blocking).
+    pub fn drain_alerts(&mut self) -> Vec<AlertEvent> {
+        self.alerts_rx.try_iter().collect()
+    }
+
+    /// Collects per-shard, per-tenant telemetry from every worker.
+    pub fn report(&self) -> FleetReport {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for handle in &self.shards {
+            let (tx, rx) = unbounded();
+            if handle.tx.send(ShardMsg::Report(tx)).is_ok() {
+                if let Ok(telemetry) = rx.recv() {
+                    shards.push(telemetry);
+                }
+            }
+        }
+        FleetReport { shards }
+    }
+}
+
+impl Drop for EnforcementPool {
+    fn drop(&mut self) {
+        for handle in &self.shards {
+            let _ = handle.tx.send(ShardMsg::Shutdown);
+        }
+        for handle in &mut self.shards {
+            if let Some(thread) = handle.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Content-addressed specification store with atomic hot-swap.
+//!
+//! The paper has device developers and testers generate execution
+//! specifications once and ship them to deployments (§IV). At fleet
+//! scale that shipping needs an authority: one process-wide registry
+//! holding every published revision, addressed by content digest, with
+//! a *current* pointer per `(device, QEMU version)` channel. Publishing
+//! a new revision bumps the channel epoch; enforcement shards compare
+//! epochs at batch boundaries and retarget their tenants without any
+//! cross-thread locking on the hot path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use sedspec::spec::ExecutionSpecification;
+use sedspec_devices::{DeviceKind, QemuVersion};
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a digest of a specification's canonical (pretty) JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SpecDigest(pub u64);
+
+impl std::fmt::Display for SpecDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Identity of one published specification revision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpecKey {
+    /// Device the specification was trained for.
+    pub device: DeviceKind,
+    /// QEMU behaviour version it was trained against.
+    pub version: QemuVersion,
+    /// Content digest of the revision.
+    pub digest: SpecDigest,
+}
+
+impl std::fmt::Display for SpecKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}@{}", self.device, self.version, self.digest)
+    }
+}
+
+/// All revisions published for one `(device, version)` pair.
+#[derive(Default)]
+struct Channel {
+    revisions: HashMap<SpecDigest, Arc<ExecutionSpecification>>,
+    current: Option<SpecDigest>,
+    /// Bumped on every publish; consumers poll it at batch boundaries.
+    epoch: u64,
+}
+
+/// The fleet's specification store.
+///
+/// Cheap to share: clone an `Arc<SpecRegistry>` into every shard.
+/// Reads take a shared lock and clone an `Arc`, so concurrent tenants
+/// never copy a specification.
+#[derive(Default)]
+pub struct SpecRegistry {
+    channels: RwLock<HashMap<(DeviceKind, QemuVersion), Channel>>,
+}
+
+impl SpecRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SpecRegistry::default()
+    }
+
+    /// Content digest of a specification (FNV-1a over its JSON).
+    pub fn digest_of(spec: &ExecutionSpecification) -> SpecDigest {
+        let json = spec.to_json();
+        let mut h = 0xcbf29ce484222325u64;
+        for b in json.as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x100000001b3);
+        }
+        SpecDigest(h)
+    }
+
+    /// Publishes a revision and makes it the channel's current one.
+    ///
+    /// Republishing identical content is idempotent (same key), but
+    /// still bumps the epoch so consumers refresh.
+    pub fn publish(
+        &self,
+        device: DeviceKind,
+        version: QemuVersion,
+        spec: ExecutionSpecification,
+    ) -> SpecKey {
+        let digest = Self::digest_of(&spec);
+        let mut channels = self.channels.write();
+        let channel = channels.entry((device, version)).or_default();
+        channel.revisions.entry(digest).or_insert_with(|| Arc::new(spec));
+        channel.current = Some(digest);
+        channel.epoch += 1;
+        SpecKey { device, version, digest }
+    }
+
+    /// Publishes a revision parsed from JSON (the shipping format).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error on malformed input.
+    pub fn publish_json(
+        &self,
+        device: DeviceKind,
+        version: QemuVersion,
+        json: &str,
+    ) -> Result<SpecKey, serde_json::Error> {
+        Ok(self.publish(device, version, ExecutionSpecification::from_json(json)?))
+    }
+
+    /// Looks up a revision by key.
+    pub fn get(&self, key: &SpecKey) -> Option<Arc<ExecutionSpecification>> {
+        let channels = self.channels.read();
+        channels.get(&(key.device, key.version))?.revisions.get(&key.digest).cloned()
+    }
+
+    /// The channel's current revision, with the epoch it was read at.
+    pub fn current(
+        &self,
+        device: DeviceKind,
+        version: QemuVersion,
+    ) -> Option<(SpecKey, Arc<ExecutionSpecification>, u64)> {
+        let channels = self.channels.read();
+        let channel = channels.get(&(device, version))?;
+        let digest = channel.current?;
+        let spec = channel.revisions.get(&digest)?.clone();
+        Some((SpecKey { device, version, digest }, spec, channel.epoch))
+    }
+
+    /// The channel's publish epoch (0 when nothing was ever published).
+    pub fn epoch(&self, device: DeviceKind, version: QemuVersion) -> u64 {
+        self.channels.read().get(&(device, version)).map_or(0, |c| c.epoch)
+    }
+
+    /// Serializes a stored revision back to its shipping JSON.
+    pub fn export_json(&self, key: &SpecKey) -> Option<String> {
+        self.get(key).map(|spec| spec.to_json())
+    }
+
+    /// Number of channels with at least one revision.
+    pub fn channel_count(&self) -> usize {
+        self.channels.read().len()
+    }
+
+    /// Total stored revisions across all channels.
+    pub fn revision_count(&self) -> usize {
+        self.channels.read().values().map(|c| c.revisions.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec::checker::WorkingMode;
+    use sedspec::pipeline::{deploy, train, TrainingConfig};
+    use sedspec_devices::build_device;
+    use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+    fn small_spec() -> ExecutionSpecification {
+        let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let samples = vec![vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)]];
+        train(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn publish_and_lookup_round_trip() {
+        let reg = SpecRegistry::new();
+        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec());
+        assert_eq!(key.device, DeviceKind::Fdc);
+        let (cur_key, spec, epoch) = reg.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap();
+        assert_eq!(cur_key, key);
+        assert_eq!(epoch, 1);
+        assert_eq!(spec.device, "FDC");
+        // The stored revision still deploys.
+        let device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut enforcer = deploy(device, (*spec).clone(), WorkingMode::Protection);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let v = enforcer.handle_io(&mut ctx, &IoRequest::read(AddressSpace::Pmio, 0x3f4, 1));
+        assert!(!v.flagged());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_digest() {
+        let reg = SpecRegistry::new();
+        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec());
+        let json = reg.export_json(&key).unwrap();
+        let reg2 = SpecRegistry::new();
+        let key2 = reg2.publish_json(DeviceKind::Fdc, QemuVersion::Patched, &json).unwrap();
+        assert_eq!(key, key2, "shipping a spec through JSON must not change its identity");
+    }
+
+    #[test]
+    fn republish_bumps_epoch_and_retargets_current() {
+        let reg = SpecRegistry::new();
+        let spec = small_spec();
+        let first = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, spec.clone());
+        let mut grown = spec;
+        grown.stats.training_rounds += 1;
+        let second = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, grown);
+        assert_ne!(first.digest, second.digest);
+        let (cur, _, epoch) = reg.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap();
+        assert_eq!(cur, second);
+        assert_eq!(epoch, 2);
+        // The superseded revision stays addressable.
+        assert!(reg.get(&first).is_some());
+        assert_eq!(reg.revision_count(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Fleet telemetry: per-tenant status, per-shard aggregates, the alert
+//! stream, and a plain-text operator report.
+//!
+//! Aggregation is plain counter addition ([`EnforceStats::merge`]), so
+//! the fleet-wide numbers are exactly the sum of the per-tenant numbers
+//! — an invariant the integration tests assert.
+
+use sedspec::enforce::EnforceStats;
+use sedspec::response::AlertLevel;
+use sedspec_devices::DeviceKind;
+use serde::{Deserialize, Serialize};
+
+use crate::pool::TenantId;
+use crate::registry::SpecKey;
+
+/// One flagged round, emitted on the pool's alert stream as it happens.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlertEvent {
+    /// Shard that raised the alert.
+    pub shard: usize,
+    /// Tenant whose traffic was flagged.
+    pub tenant: TenantId,
+    /// Device the flagged round targeted.
+    pub device: DeviceKind,
+    /// Severity, classified per strategy (§VIII).
+    pub level: Option<AlertLevel>,
+    /// The first violation, rendered for the log line.
+    pub detail: String,
+}
+
+/// A tenant's cumulative health, as reported by its shard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantStatus {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Whether the tenant has been quarantined.
+    pub quarantined: bool,
+    /// Rollbacks spent absorbing halts.
+    pub rollbacks: u32,
+    /// Rounds flagged anomalous over the tenant's lifetime.
+    pub flagged_rounds: u64,
+    /// Highest alert level ever raised.
+    pub worst_alert: Option<AlertLevel>,
+    /// Cumulative checking counters (including retired deployments).
+    pub stats: EnforceStats,
+    /// Specification revisions currently deployed, one per device.
+    pub specs: Vec<SpecKey>,
+}
+
+/// One shard's tenants and aggregate counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardTelemetry {
+    /// Shard index.
+    pub shard: usize,
+    /// Tenant statuses, ordered by tenant id.
+    pub tenants: Vec<TenantStatus>,
+    /// Sum of the tenants' counters.
+    pub stats: EnforceStats,
+}
+
+/// A point-in-time snapshot of the whole fleet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Every shard's telemetry, ordered by shard index.
+    pub shards: Vec<ShardTelemetry>,
+}
+
+impl FleetReport {
+    /// Fleet-wide counter aggregate (sum over shards, hence tenants).
+    pub fn aggregate(&self) -> EnforceStats {
+        let mut total = EnforceStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.stats);
+        }
+        total
+    }
+
+    /// All tenant statuses across shards, ordered by tenant id.
+    pub fn tenants(&self) -> Vec<&TenantStatus> {
+        let mut all: Vec<&TenantStatus> =
+            self.shards.iter().flat_map(|s| s.tenants.iter()).collect();
+        all.sort_by_key(|t| t.tenant);
+        all
+    }
+
+    /// Number of tenants hosted.
+    pub fn tenant_count(&self) -> usize {
+        self.shards.iter().map(|s| s.tenants.len()).sum()
+    }
+
+    /// Number of quarantined tenants.
+    pub fn quarantined_count(&self) -> usize {
+        self.shards.iter().flat_map(|s| s.tenants.iter()).filter(|t| t.quarantined).count()
+    }
+
+    /// Renders the operator-facing plain-text report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let total = self.aggregate();
+        let _ = writeln!(
+            out,
+            "fleet: {} tenants on {} shards, {} quarantined",
+            self.tenant_count(),
+            self.shards.len(),
+            self.quarantined_count()
+        );
+        let _ = writeln!(
+            out,
+            "  rounds {}  precheck {}  synced {}  warnings {}  halts {}",
+            total.rounds, total.precheck_complete, total.synced_rounds, total.warnings, total.halts
+        );
+        for shard in &self.shards {
+            let _ = writeln!(
+                out,
+                "shard {}: {} tenants, {} rounds",
+                shard.shard,
+                shard.tenants.len(),
+                shard.stats.rounds
+            );
+            for t in &shard.tenants {
+                let state = if t.quarantined { "QUARANTINED" } else { "healthy" };
+                let alert = match t.worst_alert {
+                    Some(a) => format!("{a:?}"),
+                    None => "-".into(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<12} {:<11} rounds {:>8}  flagged {:>5}  rollbacks {}  worst {}",
+                    t.tenant.to_string(),
+                    state,
+                    t.stats.rounds,
+                    t.flagged_rounds,
+                    t.rollbacks,
+                    alert
+                );
+            }
+        }
+        out
+    }
+}

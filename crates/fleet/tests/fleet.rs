@@ -1,0 +1,207 @@
+//! Fleet runtime integration tests: shard-count determinism, tenant
+//! quarantine isolation, and registry hot-swap.
+
+use std::sync::Arc;
+
+use sedspec::enforce::EnforceStats;
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec::response::AlertLevel;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_fleet::pool::{EnforcementPool, TenantConfig, TenantId};
+use sedspec_fleet::registry::SpecRegistry;
+use sedspec_vmm::VmContext;
+use sedspec_workloads::attacks::{poc, Cve};
+use sedspec_workloads::generators::training_suite;
+
+const SUITE_SEED: u64 = 11;
+
+/// Trains and publishes a spec for one channel from `cases` benign cases.
+fn publish_channel(registry: &SpecRegistry, kind: DeviceKind, version: QemuVersion, cases: usize) {
+    let mut device = build_device(kind, version);
+    let mut ctx = VmContext::new(0x100000, 4096);
+    let suite = training_suite(kind, cases, SUITE_SEED);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+    registry.publish(kind, version, spec);
+}
+
+/// Per-tenant benign traffic: cases replayed from the training suite,
+/// rotated by tenant id so tenants exercise different cases.
+fn benign_batch(kind: DeviceKind, tenant: u64, batch: usize) -> Vec<sedspec::collect::TrainStep> {
+    let suite = training_suite(kind, 6, SUITE_SEED);
+    suite[(tenant as usize + batch) % suite.len()].clone()
+}
+
+#[test]
+fn verdicts_and_stats_do_not_depend_on_shard_count() {
+    let registry = Arc::new(SpecRegistry::new());
+    for kind in [DeviceKind::Fdc, DeviceKind::Sdhci, DeviceKind::Scsi] {
+        publish_channel(&registry, kind, QemuVersion::Patched, 6);
+    }
+
+    let run = |shards: usize| {
+        let mut pool = EnforcementPool::new(shards, Arc::clone(&registry));
+        for t in 0..6u64 {
+            let cfg = TenantConfig::new(t).with_devices(vec![
+                (DeviceKind::Fdc, QemuVersion::Patched),
+                (DeviceKind::Sdhci, QemuVersion::Patched),
+                (DeviceKind::Scsi, QemuVersion::Patched),
+            ]);
+            pool.add_tenant(cfg).unwrap();
+        }
+        let mut per_tenant: Vec<(u64, u64, EnforceStats)> = Vec::new();
+        for batch in 0..3 {
+            let mut tickets = Vec::new();
+            for t in 0..6u64 {
+                let mut steps = Vec::new();
+                for kind in [DeviceKind::Fdc, DeviceKind::Sdhci, DeviceKind::Scsi] {
+                    steps.extend(benign_batch(kind, t, batch));
+                }
+                tickets.push(pool.submit_steps(TenantId(t), steps).unwrap());
+            }
+            for ticket in tickets {
+                let r = pool.wait(ticket).unwrap();
+                assert!(!r.rejected);
+                per_tenant.push((r.tenant.0, r.flagged, r.stats));
+            }
+        }
+        per_tenant.sort_by_key(|&(t, _, _)| t);
+        let report = pool.report();
+        (per_tenant, report)
+    };
+
+    let (seq_results, seq_report) = run(1);
+    let (par_results, par_report) = run(4);
+
+    assert_eq!(seq_results, par_results, "per-batch verdicts must not depend on shard count");
+    assert_eq!(
+        seq_report.aggregate(),
+        par_report.aggregate(),
+        "fleet aggregate must not depend on shard count"
+    );
+
+    // The aggregate is exactly the sum of per-tenant stats.
+    let mut summed = EnforceStats::default();
+    for t in par_report.tenants() {
+        summed += t.stats;
+    }
+    assert_eq!(par_report.aggregate(), summed);
+    assert_eq!(par_report.tenant_count(), 6);
+    // 6 tenants over 4 shards: deterministic modulo placement.
+    assert_eq!(par_report.shards.len(), 4);
+    assert_eq!(par_report.shards[0].tenants.len(), 2); // tenants 0, 4
+    assert_eq!(par_report.shards[1].tenants.len(), 2); // tenants 1, 5
+}
+
+#[test]
+fn cve_tenant_is_quarantined_while_siblings_keep_serving() {
+    let registry = Arc::new(SpecRegistry::new());
+    // Venom targets the 2.3.0 FDC; train that channel on benign traffic.
+    publish_channel(&registry, DeviceKind::Fdc, QemuVersion::V2_3_0, 6);
+
+    let mut pool = EnforcementPool::new(2, Arc::clone(&registry));
+    for t in 0..3u64 {
+        let cfg = TenantConfig::new(t).with_devices(vec![(DeviceKind::Fdc, QemuVersion::V2_3_0)]);
+        pool.add_tenant(cfg).unwrap();
+    }
+
+    // Warm every tenant with one benign batch.
+    for t in 0..3u64 {
+        let ticket = pool.submit_steps(TenantId(t), benign_batch(DeviceKind::Fdc, t, 0)).unwrap();
+        let r = pool.wait(ticket).unwrap();
+        assert_eq!(r.flagged, 0, "benign warm-up must not flag");
+    }
+
+    // Tenant 1 is compromised: the Venom PoC grinds the FIFO. The halt
+    // consumes the rollback budget, the next halt quarantines.
+    let venom = poc(Cve::Cve2015_3456);
+    let ticket = pool.submit_steps(TenantId(1), venom.steps.clone()).unwrap();
+    let r = pool.wait(ticket).unwrap();
+    assert!(r.flagged > 0, "the PoC must be detected");
+    let ticket = pool.submit_steps(TenantId(1), venom.steps).unwrap();
+    let r = pool.wait(ticket).unwrap();
+    assert!(r.quarantined, "repeat attack past the rollback budget quarantines");
+
+    // The attacked tenant is refused further service...
+    let ticket = pool.submit_steps(TenantId(1), benign_batch(DeviceKind::Fdc, 1, 1)).unwrap();
+    let r = pool.wait(ticket).unwrap();
+    assert!(r.rejected && r.quarantined);
+    assert_eq!(r.rounds, 0);
+
+    // ...while its siblings — including tenant 1's shard-mate — serve on.
+    for t in [0u64, 2] {
+        let ticket = pool.submit_steps(TenantId(t), benign_batch(DeviceKind::Fdc, t, 1)).unwrap();
+        let r = pool.wait(ticket).unwrap();
+        assert!(!r.rejected && !r.quarantined && r.flagged == 0, "tenant {t} must stay healthy");
+    }
+
+    // Telemetry: exactly one quarantined tenant, and the alert stream
+    // carries critical events for it.
+    let report = pool.report();
+    assert_eq!(report.quarantined_count(), 1);
+    let statuses = report.tenants();
+    assert!(statuses.iter().find(|s| s.tenant == TenantId(1)).unwrap().quarantined);
+    assert!(!statuses.iter().find(|s| s.tenant == TenantId(0)).unwrap().quarantined);
+    let alerts = pool.drain_alerts();
+    assert!(alerts.iter().any(|a| a.tenant == TenantId(1)
+        && a.device == DeviceKind::Fdc
+        && a.level >= Some(AlertLevel::Warning)));
+    assert!(alerts.iter().all(|a| a.tenant == TenantId(1)), "no benign tenant raises alerts");
+}
+
+#[test]
+fn publishing_a_revision_retargets_tenants_at_their_next_batch() {
+    let registry = Arc::new(SpecRegistry::new());
+    publish_channel(&registry, DeviceKind::Fdc, QemuVersion::Patched, 4);
+    let first = registry.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap().0;
+
+    let mut pool = EnforcementPool::new(1, Arc::clone(&registry));
+    let cfg = TenantConfig::new(0).with_devices(vec![(DeviceKind::Fdc, QemuVersion::Patched)]);
+    pool.add_tenant(cfg).unwrap();
+
+    let ticket = pool.submit_steps(TenantId(0), benign_batch(DeviceKind::Fdc, 0, 0)).unwrap();
+    let before = pool.wait(ticket).unwrap();
+    assert!(!before.quarantined);
+    let status = &pool.report().shards[0].tenants[0];
+    assert_eq!(status.specs, vec![first], "tenant starts on the first revision");
+    let rounds_before = status.stats.rounds;
+    assert!(rounds_before > 0);
+
+    // Publish a broader revision (the 4-case suite is a prefix of the
+    // 8-case one, so traffic trained under the old spec stays legal).
+    publish_channel(&registry, DeviceKind::Fdc, QemuVersion::Patched, 8);
+    let second = registry.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap().0;
+    assert_ne!(first.digest, second.digest);
+
+    // The very next batch runs under the new revision.
+    let ticket = pool.submit_steps(TenantId(0), benign_batch(DeviceKind::Fdc, 0, 1)).unwrap();
+    let after = pool.wait(ticket).unwrap();
+    assert!(!after.quarantined && after.flagged == 0, "hot-swap must not disrupt the tenant");
+    let status = &pool.report().shards[0].tenants[0];
+    assert_eq!(status.specs, vec![second], "tenant retargeted to the published revision");
+    // Counters survive the swap: the retired deployment's rounds are
+    // folded into the tenant total.
+    assert_eq!(status.stats.rounds, rounds_before + after.stats.rounds);
+}
+
+#[test]
+fn enforce_stats_merge_is_field_wise_addition() {
+    let a = EnforceStats {
+        rounds: 5,
+        precheck_complete: 4,
+        synced_rounds: 1,
+        warnings: 2,
+        halts: 1,
+        check_blocks: 100,
+        check_syncs: 7,
+    };
+    let b = EnforceStats { rounds: 3, check_blocks: 50, ..EnforceStats::default() };
+    let mut m = a;
+    m += b;
+    assert_eq!(m.rounds, 8);
+    assert_eq!(m.check_blocks, 150);
+    assert_eq!(m.precheck_complete, 4);
+    assert_eq!(a + b, m);
+    let mut via_merge = a;
+    via_merge.merge(&b);
+    assert_eq!(via_merge, m);
+}

@@ -65,7 +65,12 @@ pub struct CheckConfig {
 
 impl Default for CheckConfig {
     fn default() -> Self {
-        CheckConfig { parameter: true, indirect_jump: true, conditional_jump: true, command_scope: true }
+        CheckConfig {
+            parameter: true,
+            indirect_jump: true,
+            conditional_jump: true,
+            command_scope: true,
+        }
     }
 }
 
@@ -557,10 +562,9 @@ impl EsChecker {
                     if blk.is_return {
                         let Some(ret) = call_stack.pop() else {
                             if self.config.conditional_jump {
-                                report.violations.push(Violation::UntracedPath {
-                                    program,
-                                    block: cur,
-                                });
+                                report
+                                    .violations
+                                    .push(Violation::UntracedPath { program, block: cur });
                             }
                             break;
                         };
@@ -571,10 +575,9 @@ impl EsChecker {
                             }
                             None => {
                                 if self.config.conditional_jump {
-                                    report.violations.push(Violation::UntracedPath {
-                                        program,
-                                        block: cur,
-                                    });
+                                    report
+                                        .violations
+                                        .push(Violation::UntracedPath { program, block: cur });
                                 }
                                 break;
                             }
@@ -584,10 +587,9 @@ impl EsChecker {
                         Some(e) => cur = e.to,
                         None => {
                             if self.config.conditional_jump {
-                                report.violations.push(Violation::UntracedPath {
-                                    program,
-                                    block: cur,
-                                });
+                                report
+                                    .violations
+                                    .push(Violation::UntracedPath { program, block: cur });
                             }
                             break;
                         }
@@ -725,10 +727,9 @@ impl EsChecker {
                         }
                         None => {
                             if self.config.conditional_jump {
-                                report.violations.push(Violation::UntracedPath {
-                                    program,
-                                    block: cur,
-                                });
+                                report
+                                    .violations
+                                    .push(Violation::UntracedPath { program, block: cur });
                             }
                             break;
                         }
@@ -800,19 +801,20 @@ impl EsChecker {
     ) -> Result<(), Violation> {
         let mut flags = OverflowFlags::clear();
         let param_refs = |e: &Expr| e.vars().iter().any(|v| self.spec.params.contains_var(*v));
-        let eval = |e: &Expr, shadow: &CsState, locals: &[TypedValue], flags: &mut OverflowFlags| {
-            eval_expr(e, &EvalCtx { cs: shadow, locals, io: req }, flags)
-        };
-        let shadow_fault = |e: EvalError| Violation::ShadowFault {
-            program,
-            block,
-            detail: e.to_string(),
-        };
+        let eval =
+            |e: &Expr, shadow: &CsState, locals: &[TypedValue], flags: &mut OverflowFlags| {
+                eval_expr(e, &EvalCtx { cs: shadow, locals, io: req }, flags)
+            };
+        let shadow_fault =
+            |e: EvalError| Violation::ShadowFault { program, block, detail: e.to_string() };
 
         match stmt {
             Stmt::SetVar(v, e) => {
                 let val = eval(e, shadow, locals, &mut flags).map_err(shadow_fault)?;
-                if enforce && flags.arithmetic && (param_refs(e) || self.spec.params.contains_var(*v)) {
+                if enforce
+                    && flags.arithmetic
+                    && (param_refs(e) || self.spec.params.contains_var(*v))
+                {
                     return Err(Violation::IntegerOverflow {
                         program,
                         block,
@@ -825,7 +827,8 @@ impl EsChecker {
             }
             Stmt::SetLocal(l, e) => {
                 let val = eval(e, shadow, locals, &mut flags).map_err(shadow_fault)?;
-                let w = cfg.locals.get(l.0 as usize).copied().unwrap_or(sedspec_dbl::ir::Width::W64);
+                let w =
+                    cfg.locals.get(l.0 as usize).copied().unwrap_or(sedspec_dbl::ir::Width::W64);
                 let (conv, _) = val.convert(w, false);
                 locals[l.0 as usize] = conv;
             }
@@ -859,7 +862,8 @@ impl EsChecker {
                 let off = eval(buf_off, shadow, locals, &mut flags).map_err(shadow_fault)?.as_i128()
                     as i64;
                 let n =
-                    eval(len, shadow, locals, &mut flags).map_err(shadow_fault)?.as_i128().max(0) as i64;
+                    eval(len, shadow, locals, &mut flags).map_err(shadow_fault)?.as_i128().max(0)
+                        as i64;
                 let cap = shadow.buf_len(*buf) as i64;
                 if enforce
                     && checkable_range_expr(buf_off, &self.spec.params)

@@ -142,10 +142,8 @@ pub fn collect(
     samples: &[Vec<IoRequest>],
     trace_config: TraceConfig,
 ) -> CollectionResult {
-    let script: Vec<Vec<TrainStep>> = samples
-        .iter()
-        .map(|s| s.iter().cloned().map(TrainStep::Io).collect())
-        .collect();
+    let script: Vec<Vec<TrainStep>> =
+        samples.iter().map(|s| s.iter().cloned().map(TrainStep::Io).collect()).collect();
     collect_script(device, ctx, &script, trace_config)
 }
 
@@ -200,14 +198,12 @@ mod tests {
     fn collects_itc_log_and_params() {
         let mut d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
         let mut ctx = VmContext::new(0x10000, 64);
-        let samples = vec![
-            vec![
-                IoRequest::read(AddressSpace::Pmio, 0x3f4, 1),
-                IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08),
-                IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
-                IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
-            ],
-        ];
+        let samples = vec![vec![
+            IoRequest::read(AddressSpace::Pmio, 0x3f4, 1),
+            IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08),
+            IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
+            IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
+        ]];
         let out = collect(&mut d, &mut ctx, &samples, TraceConfig::default());
         assert_eq!(out.log.len(), 4);
         assert_eq!(out.undecoded_rounds, 0);

@@ -13,8 +13,7 @@ use sedspec_dbl::ir::{BlockId, BlockKind, Program, Terminator};
 use serde::{Deserialize, Serialize};
 
 use crate::escfg::{
-    dsod_of_block, empty_escfg, gid, is_relevant, CommandAccessTable, EdgeKey, EsBlock, EsCfg,
-    Nbtd,
+    dsod_of_block, empty_escfg, gid, is_relevant, CommandAccessTable, EdgeKey, EsBlock, EsCfg, Nbtd,
 };
 use crate::observe::{DeviceStateChangeLog, ObsEvent};
 use crate::params::DeviceStateParams;
@@ -39,9 +38,7 @@ fn make_es_block(prog: &Program, b: BlockId, params: &DeviceStateParams) -> EsBl
             needs_sync: false,
             is_cmd_decision: blk.kind == BlockKind::CmdDecision,
         },
-        Terminator::IndirectCall { ptr, ret } => {
-            Nbtd::Indirect { ptr: *ptr, ret_origin: ret.0 }
-        }
+        Terminator::IndirectCall { ptr, ret } => Nbtd::Indirect { ptr: *ptr, ret_origin: ret.0 },
         Terminator::Jump(_) | Terminator::Return | Terminator::Exit => Nbtd::None,
     };
     EsBlock {
@@ -132,8 +129,7 @@ pub fn construct(
                     }
                 }
                 ObsEvent::CondBranch { taken, .. } => {
-                    pending =
-                        Pending::Key(if *taken { EdgeKey::Taken } else { EdgeKey::NotTaken });
+                    pending = Pending::Key(if *taken { EdgeKey::Taken } else { EdgeKey::NotTaken });
                 }
                 ObsEvent::Switch { block, value, .. } => {
                     pending = Pending::Key(EdgeKey::Case(*value));
@@ -208,8 +204,7 @@ mod tests {
 
     #[test]
     fn sense_interrupt_round_builds_command_entry() {
-        let (_, _, built) =
-            fdc_spec(&[wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5), rd(0x3f4)]);
+        let (_, _, built) = fdc_spec(&[wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5), rd(0x3f4)]);
         // The SENSE INTERRUPT command (0x08) must have a table entry.
         assert!(built.cmd_table.entries.iter().any(|e| e.cmd == 0x08));
         // Its allowed set spans both handlers (write decodes, read drains).

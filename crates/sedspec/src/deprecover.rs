@@ -154,9 +154,7 @@ mod tests {
         let params = select_params(&d.control, &refs, None);
         let mut ctx = VmContext::new(0x100000, 16);
         // Drive a GET_DESCRIPTOR control transfer so the setup branches trace.
-        ctx.mem
-            .write_bytes(0x5000, &[0x80, 0x06, 0x00, 0x01, 0, 0, 18, 0])
-            .unwrap();
+        ctx.mem.write_bytes(0x5000, &[0x80, 0x06, 0x00, 0x01, 0, 0, 18, 0]).unwrap();
         ctx.mem.write_u32(0x1000, 0x2d).unwrap();
         ctx.mem.write_u32(0x1004, 0x5000).unwrap();
         let reqs = vec![

@@ -50,6 +50,35 @@ pub struct EnforceStats {
     pub check_syncs: u64,
 }
 
+impl EnforceStats {
+    /// Folds another counter set into this one. Aggregation across
+    /// devices, tenants or shards is plain per-field addition.
+    pub fn merge(&mut self, other: &EnforceStats) {
+        self.rounds += other.rounds;
+        self.precheck_complete += other.precheck_complete;
+        self.synced_rounds += other.synced_rounds;
+        self.warnings += other.warnings;
+        self.halts += other.halts;
+        self.check_blocks += other.check_blocks;
+        self.check_syncs += other.check_syncs;
+    }
+}
+
+impl std::ops::AddAssign for EnforceStats {
+    fn add_assign(&mut self, other: EnforceStats) {
+        self.merge(&other);
+    }
+}
+
+impl std::ops::Add for EnforceStats {
+    type Output = EnforceStats;
+
+    fn add(mut self, other: EnforceStats) -> EnforceStats {
+        self.merge(&other);
+        self
+    }
+}
+
 /// The outcome of one enforced I/O interaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IoVerdict {

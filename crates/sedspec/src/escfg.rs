@@ -287,15 +287,16 @@ pub fn dsod_of_block(prog: &Program, b: BlockId, params: &DeviceStateParams) -> 
     let mut out = Vec::new();
     for stmt in &prog.block(b).stmts {
         match stmt {
-            Stmt::SetVar(..) | Stmt::SetLocal(..) | Stmt::BufStore(..) | Stmt::BufFill(..)
+            Stmt::SetVar(..)
+            | Stmt::SetLocal(..)
+            | Stmt::BufStore(..)
+            | Stmt::BufFill(..)
             | Stmt::CopyPayload { .. } => out.push(DsodOp::Exec(stmt.clone())),
             Stmt::Intrinsic(i) => match i {
                 Intrinsic::DmaLoadVar { var, .. } => out.push(DsodOp::SyncVar(*var)),
-                Intrinsic::DmaToBuf { buf, buf_off, len, .. } => out.push(DsodOp::SyncBuf {
-                    buf: *buf,
-                    off: buf_off.clone(),
-                    len: len.clone(),
-                }),
+                Intrinsic::DmaToBuf { buf, buf_off, len, .. } => {
+                    out.push(DsodOp::SyncBuf { buf: *buf, off: buf_off.clone(), len: len.clone() })
+                }
                 Intrinsic::DiskReadToBuf { buf, buf_off, .. } => out.push(DsodOp::SyncBuf {
                     buf: *buf,
                     off: buf_off.clone(),
@@ -306,16 +307,16 @@ pub fn dsod_of_block(prog: &Program, b: BlockId, params: &DeviceStateParams) -> 
                     off: buf_off.clone(),
                     len: len.clone(),
                 }),
-                Intrinsic::NetTransmit { buf, off, len } => out.push(DsodOp::CheckBufRead {
-                    buf: *buf,
-                    off: off.clone(),
-                    len: len.clone(),
-                }),
-                Intrinsic::DiskWriteFromBuf { buf, buf_off, .. } => out.push(DsodOp::CheckBufRead {
-                    buf: *buf,
-                    off: buf_off.clone(),
-                    len: Expr::lit(sedspec_vmm::SECTOR_SIZE as u64),
-                }),
+                Intrinsic::NetTransmit { buf, off, len } => {
+                    out.push(DsodOp::CheckBufRead { buf: *buf, off: off.clone(), len: len.clone() })
+                }
+                Intrinsic::DiskWriteFromBuf { buf, buf_off, .. } => {
+                    out.push(DsodOp::CheckBufRead {
+                        buf: *buf,
+                        off: buf_off.clone(),
+                        len: Expr::lit(sedspec_vmm::SECTOR_SIZE as u64),
+                    })
+                }
                 Intrinsic::IrqRaise { .. }
                 | Intrinsic::IrqLower { .. }
                 | Intrinsic::IoReply { .. }
@@ -409,16 +410,9 @@ mod tests {
         let refs = d.program_refs();
         let params = select_params(&d.control, &refs, None);
         // The receive program's descriptor fetch holds SyncVar ops.
-        let rx = d
-            .programs()
-            .iter()
-            .find(|p| p.name == "pcnet_receive")
-            .expect("receive handler");
-        let fetch = rx
-            .blocks
-            .iter()
-            .position(|b| b.label == "rx_descriptor_fetch")
-            .expect("fetch block");
+        let rx = d.programs().iter().find(|p| p.name == "pcnet_receive").expect("receive handler");
+        let fetch =
+            rx.blocks.iter().position(|b| b.label == "rx_descriptor_fetch").expect("fetch block");
         let dsod = dsod_of_block(rx, BlockId(fetch as u32), &params);
         let syncs = dsod.iter().filter(|op| matches!(op, DsodOp::SyncVar(_))).count();
         assert_eq!(syncs, 3); // rmd_addr, rmd_len, rmd_flags

@@ -63,7 +63,11 @@ pub struct MergeReport {
     pub new_commands: u64,
 }
 
-fn merge_cfg(dst: &mut EsCfg, src: &EsCfg, report: &mut MergeReport) -> Result<Vec<u32>, MergeError> {
+fn merge_cfg(
+    dst: &mut EsCfg,
+    src: &EsCfg,
+    report: &mut MergeReport,
+) -> Result<Vec<u32>, MergeError> {
     // Map src es-id -> dst es-id, appending unseen blocks.
     let mut remap = vec![0u32; src.blocks.len()];
     for (sid, blk) in src.blocks.iter().enumerate() {

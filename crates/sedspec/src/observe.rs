@@ -246,8 +246,11 @@ impl ExecHook for Observer {
     }
 
     fn on_indirect_call(&mut self, block: BlockId, fn_value: u64, target: Option<BlockId>) {
-        self.events
-            .push(ObsEvent::IndirectCall { block: block.0, value: fn_value, target: target.map(|b| b.0) });
+        self.events.push(ObsEvent::IndirectCall {
+            block: block.0,
+            value: fn_value,
+            target: target.map(|b| b.0),
+        });
     }
 
     fn on_return(&mut self, block: BlockId, to: BlockId) {
@@ -286,7 +289,10 @@ mod tests {
     #[test]
     fn records_switch_at_command_decision() {
         let log = record_one(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08));
-        let has_decision_switch = log.events.iter().any(|e| matches!(e, ObsEvent::Switch { value, .. } if *value == 0x08));
+        let has_decision_switch = log
+            .events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::Switch { value, .. } if *value == 0x08));
         assert!(has_decision_switch, "SENSE INTERRUPT command value observed");
         // The command-decision block kind is recorded too.
         assert!(log

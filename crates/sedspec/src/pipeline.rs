@@ -118,8 +118,11 @@ pub fn train_script_with_artifacts(
 
     let refs = device.program_refs();
     let mut built = construct(&refs, &collection.params, &collection.log);
-    let reduce_report =
-        if config.reduce { reduce(&mut built.cfgs) } else { crate::reduce::ReduceReport::default() };
+    let reduce_report = if config.reduce {
+        reduce(&mut built.cfgs)
+    } else {
+        crate::reduce::ReduceReport::default()
+    };
     let recovery_report = recover(&mut built.cfgs, &refs, config.recovery);
 
     let stats = SpecStats {
@@ -159,7 +162,14 @@ mod tests {
         vec![
             vec![rd(0x3f4)],
             vec![wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)],
-            vec![wr(0x3f5, 0x0f), wr(0x3f5, 0), wr(0x3f5, 3), wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)],
+            vec![
+                wr(0x3f5, 0x0f),
+                wr(0x3f5, 0),
+                wr(0x3f5, 3),
+                wr(0x3f5, 0x08),
+                rd(0x3f5),
+                rd(0x3f5),
+            ],
         ]
     }
 

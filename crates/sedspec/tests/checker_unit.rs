@@ -179,10 +179,7 @@ fn corrupted_fn_ptr_trips_indirect_check() {
     // Drive the trained load-then-call path (ext = 20 > 10).
     match enforcer.handle_io(&mut ctx, &wr(0x41, 0)) {
         IoVerdict::Halted { violations, .. } => {
-            assert!(matches!(
-                violations[0],
-                Violation::IndirectTarget { value: 0xbad, .. }
-            ));
+            assert!(matches!(violations[0], Violation::IndirectTarget { value: 0xbad, .. }));
         }
         other => panic!("expected indirect halt, got {other:?}"),
     }
@@ -242,8 +239,8 @@ fn untraced_entry_is_flagged() {
     // handler; then read from it.
     let (mut device, _) = mini_device();
     let mut ctx = VmContext::new(0x1000, 4);
-    let spec = train(&mut device, &mut ctx, &[vec![wr(0x43, 1)]], &TrainingConfig::default())
-        .unwrap();
+    let spec =
+        train(&mut device, &mut ctx, &[vec![wr(0x43, 1)]], &TrainingConfig::default()).unwrap();
     let checker = EsChecker::new(spec, device.control.clone());
     // Handler 0 exists but imagine an untraced one: simulate by asking
     // for a program whose entry was never resolved. Our mini device has

@@ -127,9 +127,7 @@ fn venom_detected_by_parameter_check_alone() {
     let mut hit = false;
     for _ in 0..600 {
         if let IoVerdict::Halted { violations, .. } = enf.handle_io(&mut ctx, &wr(0x3f5, 0x01)) {
-            assert!(violations
-                .iter()
-                .all(|v| v.strategy() == Strategy::Parameter));
+            assert!(violations.iter().all(|v| v.strategy() == Strategy::Parameter));
             assert!(matches!(violations[0], Violation::BufferOverflow { .. }));
             hit = true;
             break;
@@ -146,9 +144,7 @@ fn venom_detected_by_conditional_check_alone() {
     let mut hit = false;
     for _ in 0..600 {
         if let IoVerdict::Halted { violations, .. } = enf.handle_io(&mut ctx, &wr(0x3f5, 0x01)) {
-            assert!(violations
-                .iter()
-                .all(|v| v.strategy() == Strategy::ConditionalJump));
+            assert!(violations.iter().all(|v| v.strategy() == Strategy::ConditionalJump));
             hit = true;
             break;
         }
@@ -158,10 +154,8 @@ fn venom_detected_by_conditional_check_alone() {
 
 #[test]
 fn enhancement_mode_halts_on_parameter_violations() {
-    let (mut enf, mut ctx) = trained_enforcer(
-        WorkingMode::Enhancement,
-        CheckConfig::only(Strategy::Parameter),
-    );
+    let (mut enf, mut ctx) =
+        trained_enforcer(WorkingMode::Enhancement, CheckConfig::only(Strategy::Parameter));
     let _ = enf.handle_io(&mut ctx, &wr(0x3f5, 0x8e));
     let mut halted = false;
     for _ in 0..600 {
@@ -175,10 +169,8 @@ fn enhancement_mode_halts_on_parameter_violations() {
 
 #[test]
 fn enhancement_mode_warns_on_conditional_violations() {
-    let (mut enf, mut ctx) = trained_enforcer(
-        WorkingMode::Enhancement,
-        CheckConfig::only(Strategy::ConditionalJump),
-    );
+    let (mut enf, mut ctx) =
+        trained_enforcer(WorkingMode::Enhancement, CheckConfig::only(Strategy::ConditionalJump));
     let _ = enf.handle_io(&mut ctx, &wr(0x3f5, 0x8e));
     let mut warned = false;
     for _ in 0..600 {
@@ -188,7 +180,9 @@ fn enhancement_mode_warns_on_conditional_violations() {
                 warned = true;
                 break;
             }
-            IoVerdict::Halted { .. } => panic!("conditional anomalies must not halt in enhancement mode"),
+            IoVerdict::Halted { .. } => {
+                panic!("conditional anomalies must not halt in enhancement mode")
+            }
             IoVerdict::DeviceFault { .. } => break, // device may crash later; warning must come first
             _ => {}
         }

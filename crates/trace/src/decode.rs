@@ -76,14 +76,18 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::MissingPge => write!(f, "packet stream does not start with PGE"),
-            DecodeError::UnknownEntry { ip } => write!(f, "PGE address {ip:#x} is not a known block"),
+            DecodeError::UnknownEntry { ip } => {
+                write!(f, "PGE address {ip:#x} is not a known block")
+            }
             DecodeError::TntUnderflow { block } => {
                 write!(f, "no TNT bit available for branch in block {}", block.0)
             }
             DecodeError::TipUnderflow { block } => {
                 write!(f, "no TIP available for indirect transfer in block {}", block.0)
             }
-            DecodeError::BadTipTarget { ip } => write!(f, "TIP target {ip:#x} is not a known block"),
+            DecodeError::BadTipTarget { ip } => {
+                write!(f, "TIP target {ip:#x} is not a known block")
+            }
             DecodeError::TrailingPackets => write!(f, "packets remain after program exit"),
             DecodeError::ReplayBound => write!(f, "replay exceeded safety bound"),
         }
@@ -183,8 +187,9 @@ pub fn decode_run(
         let next: (EdgeKind, BlockId) = match &prog.block(cur).term {
             Terminator::Jump(b) => (EdgeKind::Fallthrough, *b),
             Terminator::Branch { taken, not_taken, .. } => {
-                let bit =
-                    cursor.next_tnt(&device_range).ok_or(DecodeError::TntUnderflow { block: cur })?;
+                let bit = cursor
+                    .next_tnt(&device_range)
+                    .ok_or(DecodeError::TntUnderflow { block: cur })?;
                 if bit {
                     (EdgeKind::CondTaken, *taken)
                 } else {
@@ -192,8 +197,9 @@ pub fn decode_run(
                 }
             }
             Terminator::Switch { .. } => {
-                let ip =
-                    cursor.next_tip(&device_range).ok_or(DecodeError::TipUnderflow { block: cur })?;
+                let ip = cursor
+                    .next_tip(&device_range)
+                    .ok_or(DecodeError::TipUnderflow { block: cur })?;
                 let (p, b) = layout.resolve(ip).ok_or(DecodeError::BadTipTarget { ip })?;
                 if p != program {
                     return Err(DecodeError::BadTipTarget { ip });
@@ -201,8 +207,9 @@ pub fn decode_run(
                 (EdgeKind::Switch, b)
             }
             Terminator::IndirectCall { ret, .. } => {
-                let ip =
-                    cursor.next_tip(&device_range).ok_or(DecodeError::TipUnderflow { block: cur })?;
+                let ip = cursor
+                    .next_tip(&device_range)
+                    .ok_or(DecodeError::TipUnderflow { block: cur })?;
                 let (p, b) = layout.resolve(ip).ok_or(DecodeError::BadTipTarget { ip })?;
                 if p != program {
                     return Err(DecodeError::BadTipTarget { ip });
@@ -211,8 +218,9 @@ pub fn decode_run(
                 (EdgeKind::Indirect, b)
             }
             Terminator::Return => {
-                let ip =
-                    cursor.next_tip(&device_range).ok_or(DecodeError::TipUnderflow { block: cur })?;
+                let ip = cursor
+                    .next_tip(&device_range)
+                    .ok_or(DecodeError::TipUnderflow { block: cur })?;
                 let (p, b) = layout.resolve(ip).ok_or(DecodeError::BadTipTarget { ip })?;
                 if p != program {
                     return Err(DecodeError::BadTipTarget { ip });
@@ -299,13 +307,9 @@ mod tests {
         let run = decode_run(&[&rig.prog], &rig.layout, &packets).unwrap();
         // e -> loop_head, 3 iterations of (body, head), final not-taken -> x
         assert_eq!(run.blocks.len(), 1 + 1 + 3 * 2 + 1);
-        let cond_taken =
-            run.edges.iter().filter(|(_, k, _)| *k == EdgeKind::CondTaken).count();
+        let cond_taken = run.edges.iter().filter(|(_, k, _)| *k == EdgeKind::CondTaken).count();
         assert_eq!(cond_taken, 3);
-        assert_eq!(
-            run.edges.iter().filter(|(_, k, _)| *k == EdgeKind::CondNotTaken).count(),
-            1
-        );
+        assert_eq!(run.edges.iter().filter(|(_, k, _)| *k == EdgeKind::CondNotTaken).count(), 1);
     }
 
     #[test]
@@ -329,7 +333,10 @@ mod tests {
     #[test]
     fn missing_pge_is_error() {
         let rig = rig();
-        assert_eq!(decode_run(&[&rig.prog], &rig.layout, &[Packet::Pgd]), Err(DecodeError::MissingPge));
+        assert_eq!(
+            decode_run(&[&rig.prog], &rig.layout, &[Packet::Pgd]),
+            Err(DecodeError::MissingPge)
+        );
     }
 
     #[test]

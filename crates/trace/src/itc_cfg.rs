@@ -64,8 +64,7 @@ mod edge_map_serde {
         map: &BTreeMap<(u64, u64), EdgeStats>,
         ser: S,
     ) -> Result<S::Ok, S::Error> {
-        let list: Vec<(u64, u64, EdgeStats)> =
-            map.iter().map(|(&(a, b), &s)| (a, b, s)).collect();
+        let list: Vec<(u64, u64, EdgeStats)> = map.iter().map(|(&(a, b), &s)| (a, b, s)).collect();
         serde::Serialize::serialize(&list, ser)
     }
 
@@ -112,10 +111,7 @@ impl ItcCfg {
         self.runs += other.runs;
         self.nodes.extend(other.nodes.iter().copied());
         for (&key, &stats) in &other.edges {
-            self.edges
-                .entry(key)
-                .and_modify(|s| s.hits += stats.hits)
-                .or_insert(stats);
+            self.edges.entry(key).and_modify(|s| s.hits += stats.hits).or_insert(stats);
         }
     }
 

@@ -201,7 +201,12 @@ mod tests {
         let mut st = cs.instantiate();
         let mut ctx = VmContext::new(0x1000, 1);
         Interpreter::new(&prog, &cs)
-            .run(&mut st, &mut ctx, &IoRequest::write(AddressSpace::Pmio, 0, 1, data), &mut NullHook)
+            .run(
+                &mut st,
+                &mut ctx,
+                &IoRequest::write(AddressSpace::Pmio, 0, 1, data),
+                &mut NullHook,
+            )
             .unwrap();
         // Re-run with the tracer attached (fresh state for determinism).
         let mut st = cs.instantiate();

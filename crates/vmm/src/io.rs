@@ -103,8 +103,7 @@ impl IoRequest {
 }
 
 /// Outcome of one serviced I/O request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct IoResult {
     /// Value returned to the guest for reads; 0 for writes.
     pub value: u64,
@@ -118,7 +117,6 @@ impl IoResult {
         IoResult { value, elapsed_ns: 0 }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

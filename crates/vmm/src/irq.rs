@@ -136,20 +136,12 @@ impl InterruptController {
     ///
     /// Returns [`VmmError::BadIrqLine`] if `n` is out of range.
     pub fn try_line(&self, n: usize) -> Result<IrqLine, VmmError> {
-        self.lines
-            .get(n)
-            .cloned()
-            .ok_or(VmmError::BadIrqLine { line: n, lines: self.lines.len() })
+        self.lines.get(n).cloned().ok_or(VmmError::BadIrqLine { line: n, lines: self.lines.len() })
     }
 
     /// Indices of currently asserted lines, ascending.
     pub fn pending(&self) -> Vec<usize> {
-        self.lines
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.is_raised())
-            .map(|(i, _)| i)
-            .collect()
+        self.lines.iter().enumerate().filter(|(_, l)| l.is_raised()).map(|(i, _)| i).collect()
     }
 
     /// Deasserts every line.

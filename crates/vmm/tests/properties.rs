@@ -1,7 +1,7 @@
 //! Property-based tests for the VM substrate.
 
 use proptest::prelude::*;
-use sedspec_vmm::{Bus, AddressSpace, DiskBackend, DmaEngine, GuestMemory, IoRequest, SECTOR_SIZE};
+use sedspec_vmm::{AddressSpace, Bus, DiskBackend, DmaEngine, GuestMemory, IoRequest, SECTOR_SIZE};
 
 proptest! {
     /// Guest memory round-trips arbitrary byte strings at arbitrary

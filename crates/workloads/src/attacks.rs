@@ -12,7 +12,9 @@ use sedspec_devices::{DeviceKind, QemuVersion};
 use sedspec_vmm::{AddressSpace, IoRequest};
 
 /// The eight reproduced vulnerabilities.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Cve {
     /// Venom: FDC FIFO overflow via unbounded `data_pos`.
     Cve2015_3456,
@@ -303,8 +305,8 @@ fn pcnet_attack_bring_up(mode: u16) -> Vec<TrainStep> {
 mod tests {
     use super::*;
     use sedspec::collect::apply_step;
-    use sedspec_devices::build_device;
     use sedspec_dbl::interp::{ExecLimits, Fault};
+    use sedspec_devices::build_device;
     use sedspec_vmm::VmContext;
 
     /// Ground truth: every PoC must visibly damage the *unprotected*

@@ -14,8 +14,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sedspec::collect::{apply_step, TrainStep};
-use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_dbl::interp::ExecLimits;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_trace::decode::decode_run;
 use sedspec_trace::itc_cfg::ItcCfg;
 use sedspec_trace::tracer::Tracer;
@@ -105,9 +105,15 @@ fn random_io(kind: DeviceKind, rng: &mut StdRng) -> IoRequest {
     }
 }
 
-fn mutate_case(kind: DeviceKind, case: Vec<TrainStep>, cfg: &FuzzConfig, rng: &mut StdRng) -> Vec<TrainStep> {
+fn mutate_case(
+    kind: DeviceKind,
+    case: Vec<TrainStep>,
+    cfg: &FuzzConfig,
+    rng: &mut StdRng,
+) -> Vec<TrainStep> {
     let mut out = Vec::with_capacity(case.len() + 8);
-    let cut = if rng.gen_bool(cfg.truncate) { rng.gen_range(1..=case.len().max(2)) } else { usize::MAX };
+    let cut =
+        if rng.gen_bool(cfg.truncate) { rng.gen_range(1..=case.len().max(2)) } else { usize::MAX };
     for (i, step) in case.into_iter().enumerate() {
         if i >= cut {
             break;
@@ -199,10 +205,7 @@ mod tests {
 
     #[test]
     fn fuzzer_reaches_beyond_one_handler() {
-        let out = fuzz_device(
-            DeviceKind::Fdc,
-            &FuzzConfig { cases: 30, ..FuzzConfig::default() },
-        );
+        let out = fuzz_device(DeviceKind::Fdc, &FuzzConfig { cases: 30, ..FuzzConfig::default() });
         assert!(out.rounds > 100);
         assert!(out.itc.edge_count() > 20, "fuzzing must discover real structure");
     }

@@ -88,7 +88,15 @@ fn fdc_batch(rng: &mut StdRng, profile: &StorageProfile, rare: bool) -> Vec<Trai
         12 => {
             // Data-rate select and precompensation setup, plus a stray
             // data-port write during the result phase (flushed drivers).
-            vec![wr(DSR_PORT, 0x02), wr(CCR_PORT, 0x00), wr(DATA, 0x08), rd(DATA), wr(DATA, 0x55), rd(DATA), rd(MSR)]
+            vec![
+                wr(DSR_PORT, 0x02),
+                wr(CCR_PORT, 0x00),
+                wr(DATA, 0x08),
+                rd(DATA),
+                wr(DATA, 0x55),
+                rd(DATA),
+                rd(MSR),
+            ]
         }
         13 => {
             // DSR software reset, probes of the write-only ports and the
@@ -842,7 +850,12 @@ pub fn training_suite(kind: DeviceKind, n_cases: usize, seed: u64) -> Vec<Vec<Tr
 }
 
 /// One evaluation case with the rare-command tail enabled.
-pub fn eval_case(kind: DeviceKind, mode: InteractionMode, rare_prob: f64, seed: u64) -> Vec<TrainStep> {
+pub fn eval_case(
+    kind: DeviceKind,
+    mode: InteractionMode,
+    rare_prob: f64,
+    seed: u64,
+) -> Vec<TrainStep> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xe7a1_0000_0000 ^ kind as u64);
     let cfg = CaseConfig { mode, rare_prob, batches: 10 + (seed % 8) as usize };
     device_case(kind, &cfg, &mut rng)
@@ -913,11 +926,7 @@ mod tests {
         // the command byte, so training must never open with 0x04.
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for _ in 0..200 {
-            let cfg = CaseConfig {
-                mode: InteractionMode::Sequential,
-                rare_prob: 0.0,
-                batches: 1,
-            };
+            let cfg = CaseConfig { mode: InteractionMode::Sequential, rare_prob: 0.0, batches: 1 };
             let case = device_case(DeviceKind::Fdc, &cfg, &mut rng);
             let first_cmd = case.iter().find_map(|step| match step {
                 TrainStep::Io(req) if req.addr == 0x3f5 && req.is_write() => Some(req.data),
@@ -929,8 +938,7 @@ mod tests {
         }
         // And with the tail forced on, it does appear.
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let cfg =
-            CaseConfig { mode: InteractionMode::Sequential, rare_prob: 1.0, batches: 1 };
+        let cfg = CaseConfig { mode: InteractionMode::Sequential, rare_prob: 1.0, batches: 1 };
         let case = device_case(DeviceKind::Fdc, &cfg, &mut rng);
         let first_cmd = case
             .iter()

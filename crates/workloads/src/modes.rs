@@ -106,8 +106,7 @@ mod tests {
     #[test]
     fn delay_mode_inserts_idle_steps() {
         let mut rng = StdRng::seed_from_u64(3);
-        let out =
-            InteractionMode::RandomWithDelay.arrange(vec![batch(1), batch(2)], &mut rng);
+        let out = InteractionMode::RandomWithDelay.arrange(vec![batch(1), batch(2)], &mut rng);
         assert_eq!(out.iter().filter(|s| matches!(s, TrainStep::DelayNs(_))).count(), 2);
     }
 

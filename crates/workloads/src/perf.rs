@@ -369,8 +369,10 @@ pub fn network_bench(
                 for op in arm_rx() {
                     harness.step(&mut ctx, &op);
                 }
-                harness
-                    .step(&mut ctx, &TrainStep::Io(IoRequest::net_frame(vec![0x07; frame_len as usize])));
+                harness.step(
+                    &mut ctx,
+                    &TrainStep::Io(IoRequest::net_frame(vec![0x07; frame_len as usize])),
+                );
                 harness.step(&mut ctx, &wr16(0x312, 0));
                 harness.step(&mut ctx, &wr16(0x310, 0x0400));
                 if transport == Transport::Tcp && i % 2 == 1 {

@@ -54,8 +54,7 @@ fn main() {
         let mut detected = None;
         for step in &p.steps {
             let Some(req) = apply_step(step, &mut ctx) else { continue };
-            if let IoVerdict::Halted { violations, executed } = enforcer.handle_io(&mut ctx, req)
-            {
+            if let IoVerdict::Halted { violations, executed } = enforcer.handle_io(&mut ctx, req) {
                 detected = Some((violations, executed));
                 break;
             }

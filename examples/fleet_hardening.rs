@@ -1,24 +1,35 @@
-//! The paper's §VIII operational story, end to end: specifications
-//! trained by different parties are *merged* to kill false positives,
-//! alerts are *classified* by severity, and a detected exploitation is
-//! answered with a *rollback* to a pre-attack snapshot instead of a
-//! plain halt.
+//! Fleet-scale hardening on the `sedspec-fleet` runtime: independently
+//! trained specifications are *merged* and *published* to a registry,
+//! tenants deploy from it on a sharded pool, a *hot-swap* retargets
+//! them without downtime, and a Venom-compromised tenant is detected,
+//! rolled back, then *quarantined* — all while its shard-mates keep
+//! serving.
 //!
 //! ```text
 //! cargo run --example fleet_hardening
 //! ```
 
-use sedspec::checker::WorkingMode;
-use sedspec::collect::apply_step;
-use sedspec::enforce::IoVerdict;
+use std::sync::Arc;
+
 use sedspec::merge::merge;
-use sedspec::pipeline::{deploy, train_script, TrainingConfig};
-use sedspec::response::{highest_alert, SnapshotRing};
+use sedspec::pipeline::{train_script, TrainingConfig};
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_repro::fleet::pool::{EnforcementPool, TenantConfig, TenantId};
+use sedspec_repro::fleet::registry::SpecRegistry;
 use sedspec_repro::vmm::VmContext;
 use sedspec_repro::workloads::attacks::{poc, Cve};
 use sedspec_repro::workloads::generators::{eval_case, training_suite};
 use sedspec_repro::workloads::InteractionMode;
+
+fn train(
+    kind: DeviceKind,
+    version: QemuVersion,
+    suite: &[Vec<sedspec::collect::TrainStep>],
+) -> sedspec::spec::ExecutionSpecification {
+    let mut device = build_device(kind, version);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    train_script(&mut device, &mut ctx, suite, &TrainingConfig::default()).unwrap()
+}
 
 fn main() {
     let kind = DeviceKind::Fdc;
@@ -26,75 +37,87 @@ fn main() {
 
     // Two parties train independently: a developer on one sample mix, a
     // tester on another (including commands the developer never used).
-    let mut dev_spec = {
-        let mut device = build_device(kind, version);
-        let mut ctx = VmContext::new(0x200000, 8192);
-        train_script(&mut device, &mut ctx, &training_suite(kind, 30, 1), &TrainingConfig::default())
-            .unwrap()
-    };
+    let dev_suite = training_suite(kind, 30, 1);
+    let mut dev_spec = train(kind, version, &dev_suite);
     let tester_spec = {
-        let mut device = build_device(kind, version);
-        let mut ctx = VmContext::new(0x200000, 8192);
-        // The tester's evaluation harness exercises the rare tail too.
         let mut suite = training_suite(kind, 30, 2);
         for seed in 0..6 {
             suite.push(eval_case(kind, InteractionMode::Random, 0.5, seed));
         }
-        train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap()
+        train(kind, version, &suite)
     };
 
+    // The merged spec ships to the fleet's registry...
     let report = merge(&mut dev_spec, &tester_spec).expect("same device, same version");
     println!(
         "merged tester spec into developer spec: +{} blocks, +{} edges, +{} commands",
         report.new_blocks, report.new_edges, report.new_commands
     );
+    let registry = Arc::new(SpecRegistry::new());
+    let first = registry.publish(kind, version, dev_spec.clone());
+    println!("published {first}");
 
-    // Deploy the merged specification with snapshots every few rounds.
-    let mut enforcer = deploy(build_device(kind, version), dev_spec, WorkingMode::Protection);
-    let mut ctx = VmContext::new(0x200000, 8192);
-    let mut ring = SnapshotRing::new(8);
+    // ...and three tenants deploy from it on a two-shard pool. Tenants
+    // 0 and 2 share shard 0; tenant 1 runs alone on shard 1.
+    let mut pool = EnforcementPool::new(2, Arc::clone(&registry));
+    for t in 0..3u64 {
+        pool.add_tenant(TenantConfig::new(t).with_devices(vec![(kind, version)])).unwrap();
+    }
 
-    // Production traffic, including the rare commands the developer
-    // alone would have flagged.
+    // Production traffic: every tenant replays benign cases.
     let mut rounds = 0u64;
-    for seed in 100..106u64 {
-        let case = eval_case(kind, InteractionMode::Sequential, 0.3, seed);
-        for step in &case {
-            let Some(req) = apply_step(step, &mut ctx) else { continue };
-            let verdict = enforcer.handle_io(&mut ctx, req);
-            assert!(!verdict.flagged(), "merged spec must not flag tester-covered traffic");
-            rounds += 1;
-            if rounds.is_multiple_of(64) {
-                ring.capture(&enforcer);
-            }
+    for case in dev_suite.iter().take(4) {
+        let mut tickets = Vec::new();
+        for t in 0..3u64 {
+            tickets.push(pool.submit_steps(TenantId(t), case.clone()).unwrap());
+        }
+        for ticket in tickets {
+            let r = pool.wait(ticket).unwrap();
+            assert_eq!(r.flagged, 0, "merged spec must not flag covered traffic");
+            rounds += r.rounds;
         }
     }
-    ring.capture(&enforcer);
-    println!("{rounds} production rounds clean; {} snapshots banked", ring.len());
+    println!("{rounds} production rounds clean across 3 tenants");
 
-    // An attacker strikes with Venom.
+    // Operations publishes a grown revision; every tenant picks it up
+    // at its next batch, no restart needed.
+    let mut grown = dev_spec;
+    grown.stats.training_rounds += 1; // stand-in for further training
+    let second = registry.publish(kind, version, grown);
+    let ticket = pool.submit_steps(TenantId(0), dev_suite[4].clone()).unwrap();
+    assert_eq!(pool.wait(ticket).unwrap().flagged, 0);
+    let status = pool.report();
+    let tenant0 = &status.tenants()[0];
+    assert_eq!(tenant0.specs, vec![second]);
+    println!("hot-swapped {} -> {} on the fly", first.digest, second.digest);
+
+    // An attacker strikes tenant 0 with Venom. The first halt is
+    // absorbed by a snapshot rollback; the attacker persists, so the
+    // tenant is quarantined.
     let attack = poc(Cve::Cve2015_3456);
-    let mut alert = None;
-    for step in &attack.steps {
-        let Some(req) = apply_step(step, &mut ctx) else { continue };
-        if let IoVerdict::Halted { violations, .. } = enforcer.handle_io(&mut ctx, req) {
-            alert = highest_alert(&violations);
-            println!(
-                "attack detected: {:?} (alert level {:?})",
-                violations.first().map(|v| v.strategy()),
-                alert
-            );
-            break;
-        }
+    for round in 0..2 {
+        let ticket = pool.submit_steps(TenantId(0), attack.steps.clone()).unwrap();
+        let r = pool.wait(ticket).unwrap();
+        println!(
+            "attack round {round}: flagged {}, rollbacks {}, quarantined {}",
+            r.flagged, r.rollbacks, r.quarantined
+        );
     }
-    assert!(alert.is_some(), "Venom must be detected");
+    for alert in pool.drain_alerts() {
+        println!(
+            "alert: {} on {} -> {:?}: {}",
+            alert.tenant, alert.device, alert.level, alert.detail
+        );
+    }
 
-    // Instead of leaving the VM dead, roll back to the last snapshot.
-    assert!(ring.rollback_latest(&mut enforcer));
-    let status = enforcer.handle_io(
-        &mut ctx,
-        &sedspec_vmm::IoRequest::read(sedspec_vmm::AddressSpace::Pmio, 0x3f4, 1),
-    );
-    println!("after rollback, status poll -> {status:?}");
-    assert!(matches!(status, IoVerdict::Allowed(_)));
+    // The shard-mate (tenant 2) and the other shard (tenant 1) never
+    // noticed.
+    for t in [1u64, 2] {
+        let ticket = pool.submit_steps(TenantId(t), dev_suite[5].clone()).unwrap();
+        let r = pool.wait(ticket).unwrap();
+        assert!(!r.rejected && r.flagged == 0);
+    }
+    let report = pool.report();
+    assert_eq!(report.quarantined_count(), 1);
+    print!("{}", report.render());
 }

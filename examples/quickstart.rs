@@ -8,8 +8,8 @@
 use sedspec::checker::WorkingMode;
 use sedspec::enforce::IoVerdict;
 use sedspec::pipeline::{deploy, train_script, TrainingConfig};
-use sedspec_repro::vmm::VmContext;
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_repro::vmm::VmContext;
 use sedspec_repro::workloads::generators::training_suite;
 use sedspec_vmm::{AddressSpace, IoRequest};
 
@@ -35,15 +35,14 @@ fn main() {
     let mut enforcer = deploy(device, spec, WorkingMode::Protection);
 
     // 4. Benign traffic passes...
-    let status = enforcer
-        .handle_io(&mut ctx, &IoRequest::read(AddressSpace::Pmio, 0x3f4, 1));
+    let status = enforcer.handle_io(&mut ctx, &IoRequest::read(AddressSpace::Pmio, 0x3f4, 1));
     println!("benign status read -> {status:?}");
 
     // 5. ...the Venom exploit does not.
     let _ = enforcer.handle_io(&mut ctx, &IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x8e));
     for i in 0..600 {
-        let verdict = enforcer
-            .handle_io(&mut ctx, &IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x01));
+        let verdict =
+            enforcer.handle_io(&mut ctx, &IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x01));
         if let IoVerdict::Halted { violations, executed } = verdict {
             println!(
                 "Venom halted at byte {i}: executed={executed}, first violation: {:?}",

@@ -1,0 +1,216 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the measurement API shape this workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `black_box` —
+//! with a simple calibrated wall-clock sampler: per sample the routine
+//! runs enough iterations to cover a minimum window, and the harness
+//! reports the median, min and max nanoseconds per iteration. There is
+//! no statistical outlier analysis or HTML report.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim re-runs setup per
+/// batch element either way; the variants only exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    samples: usize,
+    /// Filled by the measurement loop: median/min/max ns per iteration.
+    result: Option<Measurement>,
+}
+
+/// One benchmark's summary statistics (nanoseconds per iteration).
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median over samples.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+const MIN_SAMPLE_WINDOW: Duration = Duration::from_millis(8);
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the per-sample iteration count until one
+        // sample spans the minimum window.
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_WINDOW || iters_per_sample >= 1 << 24 {
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some(Measurement {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        });
+    }
+
+    /// Measures `routine` over fresh inputs built by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_WINDOW || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            per_iter.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result = Some(Measurement {
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark and prints its summary line.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, result: None };
+        f(&mut bencher);
+        let full = format!("{}/{}", self.name, id);
+        match bencher.result {
+            Some(m) => {
+                println!(
+                    "{full:<44} time: [{} {} {}]",
+                    format_ns(m.min_ns),
+                    format_ns(m.median_ns),
+                    format_ns(m.max_ns)
+                );
+                self.criterion.results.push((full, m));
+            }
+            None => println!("{full:<44} (no measurement taken)"),
+        }
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {
+    /// Completed measurements, for callers that post-process results.
+    pub results: Vec<(String, Measurement)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 20 }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the slices of the API this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng` extension methods
+//! (`gen`, `gen_bool`, `gen_range` over integer ranges) — on top of a
+//! deterministic xoshiro256** generator seeded through SplitMix64.
+//! Streams are reproducible across runs but are NOT the streams the
+//! real `rand` crate would produce for the same seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from OS entropy. The shim derives the seed
+    /// from the system clock instead.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// Types producible uniformly at random (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f64::sample(rng) as f32
+    }
+}
+
+/// Integer types drawable uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Widens to `i128` for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrows back after span arithmetic.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges drawable by [`Rng::gen_range`]. Blanket impls over
+/// [`SampleUniform`] (matching the real crate's shape) let the element
+/// type unify with the call site's expected type.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        let span = (hi - lo) as u128;
+        let offset = (rng.next_u64() as u128) % span;
+        T::from_i128(lo + offset as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = (hi - lo) as u128 + 1;
+        let offset = (rng.next_u64() as u128) % span;
+        T::from_i128(lo + offset as i128)
+    }
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+
+    /// Uniform draw from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A process-global draw (clock-seeded in this shim).
+pub fn random<T: Standard>() -> T {
+    use rngs::StdRng;
+    let mut rng = StdRng::from_entropy();
+    T::sample(&mut rng)
+}
+
+/// Returns a clock-seeded generator, mirroring `rand::thread_rng`.
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}

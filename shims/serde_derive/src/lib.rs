@@ -1,0 +1,520 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Expands `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-tree data model of the vendored `serde` shim. The item grammar
+//! is parsed by hand from the raw `TokenStream` (no `syn`): non-generic
+//! structs (named / tuple / unit) and enums (unit / tuple / struct
+//! variants, with or without discriminants), plus the one field
+//! attribute this repository uses, `#[serde(with = "module")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    /// Named field name, or tuple index rendered as a string.
+    name: String,
+    /// `#[serde(with = "module")]` payload.
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Body {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, body: Body },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, body } => serialize_struct(name, body),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    code.parse().expect("serialize expansion parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, body } => deserialize_struct(name, body),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    code.parse().expect("deserialize expansion parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(parse_tuple_fields(g.stream()))
+                }
+                _ => Body::Unit,
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(pos) else {
+                panic!("serde shim derive: enum `{name}` has no body");
+            };
+            Item::Enum { name, variants: parse_variants(g.stream()) }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skips `#[...]` / `#![...]` runs, returning the `serde(with = "...")`
+/// payload if one of them carries it.
+fn skip_attributes(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    let mut with = None;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *pos += 1;
+                }
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    if let Some(w) = extract_with(g.stream()) {
+                        with = Some(w);
+                    }
+                    *pos += 1;
+                }
+            }
+            _ => return with,
+        }
+    }
+}
+
+/// Pulls the module path out of `serde(with = "path")` attribute tokens.
+fn extract_with(attr: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut i = 0;
+            while i < inner.len() {
+                if let TokenTree::Ident(key) = &inner[i] {
+                    if key.to_string() == "with"
+                        && matches!(inner.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                    {
+                        if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                            let text = lit.to_string();
+                            return Some(text.trim_matches('"').to_string());
+                        }
+                    }
+                }
+                i += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        // pub(crate), pub(super), ...
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips one type (or any token run) up to a top-level `,`, tracking
+/// angle-bracket depth so `Vec<(u64, u64)>` stays one field.
+fn skip_to_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let with = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        // `:`
+        pos += 1;
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1; // the comma itself
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let with = skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1;
+        fields.push(Field { name: fields.len().to_string(), with });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let body = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Body::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Body::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen.
+// ---------------------------------------------------------------------
+
+fn field_to_value(access: &str, field: &Field) -> String {
+    match &field.with {
+        Some(module) => {
+            format!("::serde::with_to_value(|__s| {module}::serialize(&{access}, __s))")
+        }
+        None => format!("::serde::Serialize::to_value(&{access})"),
+    }
+}
+
+fn field_from_value(source: &str, field: &Field, label: &str) -> String {
+    match &field.with {
+        Some(module) => {
+            format!("{module}::deserialize(::serde::ValueDeserializer::new({source}))?")
+        }
+        None => format!(
+            "::serde::Deserialize::from_value(&{source}).map_err(|e| \
+             ::serde::DeError(format!(\"{label}: {{e}}\")))?"
+        ),
+    }
+}
+
+fn serialize_struct(name: &str, body: &Body) -> String {
+    let to_value = match body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Tuple(fields) if fields.len() == 1 => field_to_value("self.0", &fields[0]),
+        Body::Tuple(fields) => {
+            let items: Vec<String> =
+                fields.iter().map(|f| field_to_value(&format!("self.{}", f.name), f)).collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{}\"), {})",
+                        f.name,
+                        field_to_value(&format!("self.{}", f.name), f)
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {to_value} }}\n\
+         }}"
+    )
+}
+
+fn deserialize_struct(name: &str, body: &Body) -> String {
+    let from_value = match body {
+        Body::Unit => format!("Ok({name})"),
+        Body::Tuple(fields) if fields.len() == 1 => {
+            let inner = field_from_value("(*__v).clone()", &fields[0], &format!("{name}.0"));
+            let inner = if fields[0].with.is_some() {
+                inner
+            } else {
+                // Plain newtype: read straight from the borrowed value.
+                format!(
+                    "::serde::Deserialize::from_value(__v).map_err(|e| \
+                     ::serde::DeError(format!(\"{name}: {{e}}\")))?"
+                )
+            };
+            format!("Ok({name}({inner}))")
+        }
+        Body::Tuple(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    field_from_value(&format!("__items[{i}].clone()"), f, &format!("{name}.{i}"))
+                })
+                .collect();
+            format!(
+                "let __items = ::serde::seq_elements(__v, \"{name}\")?;\n\
+                 if __items.len() != {n} {{\n\
+                     return Err(::serde::DeError(format!(\
+                         \"{name}: expected {n} elements, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| match &f.with {
+                    Some(module) => format!(
+                        "{field}: {module}::deserialize(::serde::ValueDeserializer::new(\
+                         ::serde::field_value(__v, \"{field}\")))?",
+                        field = f.name
+                    ),
+                    None => format!(
+                        "{field}: ::serde::field_from_value(__v, \"{field}\")?",
+                        field = f.name
+                    ),
+                })
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {from_value}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.body {
+                Body::Unit => format!(
+                    "{name}::{vname} => ::serde::Value::Str(\
+                     ::std::string::String::from(\"{vname}\")),"
+                ),
+                Body::Tuple(fields) if fields.len() == 1 => format!(
+                    "{name}::{vname}(__a0) => ::serde::Value::Map(vec![(\
+                     ::std::string::String::from(\"{vname}\"), {})]),",
+                    field_to_value("*__a0", &fields[0])
+                ),
+                Body::Tuple(fields) => {
+                    let binders: Vec<String> =
+                        (0..fields.len()).map(|i| format!("__a{i}")).collect();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| field_to_value(&format!("*__a{i}"), f))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Seq(vec![{items}]))]),",
+                        binds = binders.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                Body::Named(fields) => {
+                    let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{field}\"), {})",
+                                field_to_value(&format!("*{}", f.name), f),
+                                field = f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Map(vec![{entries}]))]),",
+                        binds = binders.join(", "),
+                        entries = entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.body {
+                Body::Unit => {
+                    format!("(\"{vname}\", _) => Ok({name}::{vname}),")
+                }
+                Body::Tuple(fields) if fields.len() == 1 => {
+                    let inner = match &fields[0].with {
+                        Some(module) => format!(
+                            "{module}::deserialize(::serde::ValueDeserializer::new(\
+                             __payload.clone()))?"
+                        ),
+                        None => format!(
+                            "::serde::Deserialize::from_value(__payload).map_err(|e| \
+                             ::serde::DeError(format!(\"{name}::{vname}: {{e}}\")))?"
+                        ),
+                    };
+                    format!(
+                        "(\"{vname}\", Some(__payload)) => Ok({name}::{vname}({inner})),"
+                    )
+                }
+                Body::Tuple(fields) => {
+                    let n = fields.len();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(i, f)| {
+                            field_from_value(
+                                &format!("__items[{i}].clone()"),
+                                f,
+                                &format!("{name}::{vname}.{i}"),
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "(\"{vname}\", Some(__payload)) => {{\n\
+                             let __items = ::serde::seq_elements(__payload, \"{name}::{vname}\")?;\n\
+                             if __items.len() != {n} {{\n\
+                                 return Err(::serde::DeError(format!(\
+                                     \"{name}::{vname}: expected {n} elements, got {{}}\", \
+                                     __items.len())));\n\
+                             }}\n\
+                             Ok({name}::{vname}({items}))\n\
+                         }}",
+                        items = items.join(", ")
+                    )
+                }
+                Body::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| match &f.with {
+                            Some(module) => format!(
+                                "{field}: {module}::deserialize(::serde::ValueDeserializer::new(\
+                                 ::serde::field_value(__payload, \"{field}\")))?",
+                                field = f.name
+                            ),
+                            None => format!(
+                                "{field}: ::serde::field_from_value(__payload, \"{field}\")?",
+                                field = f.name
+                            ),
+                        })
+                        .collect();
+                    format!(
+                        "(\"{vname}\", Some(__payload)) => Ok({name}::{vname} {{ {} }}),",
+                        inits.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let (__variant, __payload) = ::serde::enum_parts(__v, \"{name}\")?;\n\
+                 match (__variant, __payload) {{\n{}\n\
+                     (other, _) => Err(::serde::DeError(format!(\
+                         \"{name}: unknown variant `{{other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}

@@ -1,0 +1,74 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde`
+//! shim's [`Value`] tree and JSON text codec.
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+impl serde::ErrorTrait for Error {
+    fn custom(msg: impl fmt::Display) -> Self {
+        Error::custom(msg)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible in this shim; the `Result` mirrors the real API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_compact_string(&value.to_value()))
+}
+
+/// Serializes `value` as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible in this shim; the `Result` mirrors the real API.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::json::to_pretty_string(&value.to_value()))
+}
+
+/// Parses a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: for<'de> serde::Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = serde::json::parse(s).map_err(Error)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into a loosely typed [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON.
+pub fn from_str_value(s: &str) -> Result<Value, Error> {
+    serde::json::parse(s).map_err(Error)
+}

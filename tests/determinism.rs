@@ -16,9 +16,7 @@ fn spec_json(kind: DeviceKind, seed: u64) -> String {
     let mut device = build_device(kind, QemuVersion::Patched);
     let mut ctx = VmContext::new(0x200000, 8192);
     let suite = training_suite(kind, 25, seed);
-    train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
-        .unwrap()
-        .to_json()
+    train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap().to_json()
 }
 
 #[test]
@@ -39,8 +37,7 @@ fn enforcement_is_deterministic() {
         let mut device = build_device(kind, QemuVersion::Patched);
         let mut ctx = VmContext::new(0x200000, 8192);
         let suite = training_suite(kind, 30, 7);
-        let spec =
-            train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+        let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
         let mut enforcer = EnforcingDevice::new(
             build_device(kind, QemuVersion::Patched),
             spec,
@@ -75,8 +72,7 @@ fn enforcement_stats_partition_the_rounds() {
         let mut device = build_device(kind, QemuVersion::Patched);
         let mut ctx = VmContext::new(0x200000, 8192);
         let suite = training_suite(kind, 60, 0x7a11);
-        let spec =
-            train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+        let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
         let mut enforcer = EnforcingDevice::new(
             build_device(kind, QemuVersion::Patched),
             spec,

@@ -6,9 +6,9 @@
 //! checks, not in the substrate.
 
 use proptest::prelude::*;
+use sedspec_dbl::interp::{ExecLimits, Fault};
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_repro::vmm::VmContext;
-use sedspec_dbl::interp::{ExecLimits, Fault};
 use sedspec_vmm::{AddressSpace, IoRequest};
 
 #[derive(Debug, Clone)]
@@ -23,8 +23,11 @@ fn ops() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u16>(), any::<bool>(), any::<u64>(), any::<bool>())
             .prop_map(|(off, write, data, wide)| Op::Pmio { off: off % 0x40, write, data, wide }),
-        (any::<u16>(), any::<bool>(), any::<u64>())
-            .prop_map(|(off, write, data)| Op::Mmio { off: off % 0x40, write, data }),
+        (any::<u16>(), any::<bool>(), any::<u64>()).prop_map(|(off, write, data)| Op::Mmio {
+            off: off % 0x40,
+            write,
+            data
+        }),
         (any::<u16>(), any::<u8>()).prop_map(|(len, byte)| Op::Frame { len: len % 5000, byte }),
         (any::<u16>(), any::<u64>()).prop_map(|(gpa, data)| Op::GuestWrite { gpa, data }),
     ]
@@ -80,13 +83,7 @@ fn run_garbage(kind: DeviceKind, seq: &[Op]) -> Result<(), TestCaseError> {
         }
         match device.handle_io(&mut ctx, &req) {
             Ok(out) => {
-                prop_assert_eq!(
-                    out.spills,
-                    0,
-                    "{}: patched device spilled on {:?}",
-                    kind,
-                    op
-                );
+                prop_assert_eq!(out.spills, 0, "{}: patched device spilled on {:?}", kind, op);
             }
             Err(f) => {
                 prop_assert!(
@@ -97,7 +94,9 @@ fn run_garbage(kind: DeviceKind, seq: &[Op]) -> Result<(), TestCaseError> {
                     f
                 );
                 // Even a step-limit abort must not have corrupted state.
-                return Err(TestCaseError::fail(format!("{kind}: unexpected long-running op {op:?}")));
+                return Err(TestCaseError::fail(format!(
+                    "{kind}: unexpected long-running op {op:?}"
+                )));
             }
         }
     }

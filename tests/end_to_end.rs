@@ -7,12 +7,12 @@ use sedspec::collect::apply_step;
 use sedspec::enforce::{EnforcingDevice, IoVerdict};
 use sedspec::pipeline::{train_script, train_script_with_artifacts, TrainingConfig};
 use sedspec::spec::ExecutionSpecification;
+use sedspec_dbl::interp::ExecLimits;
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_repro::vmm::VmContext;
 use sedspec_repro::workloads::attacks::{poc, Cve};
 use sedspec_repro::workloads::generators::{eval_case, training_suite};
 use sedspec_repro::workloads::InteractionMode;
-use sedspec_dbl::interp::ExecLimits;
 
 fn trained(kind: DeviceKind, version: QemuVersion) -> ExecutionSpecification {
     let mut device = build_device(kind, version);
@@ -47,9 +47,7 @@ fn every_cve_is_detected_with_all_strategies() {
 fn per_strategy_detection_matches_table_iii() {
     for cve in Cve::all() {
         let p = poc(cve);
-        for strategy in
-            [Strategy::Parameter, Strategy::IndirectJump, Strategy::ConditionalJump]
-        {
+        for strategy in [Strategy::Parameter, Strategy::IndirectJump, Strategy::ConditionalJump] {
             let spec = trained(p.device, p.qemu_version);
             let mut device = build_device(p.device, p.qemu_version);
             device.set_limits(ExecLimits { max_steps: 50_000 });

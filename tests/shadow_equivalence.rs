@@ -34,8 +34,11 @@ fn run_equivalence(kind: DeviceKind, case_seed: u64) -> Result<(), TestCaseError
     let mut ctx = VmContext::new(0x200000, 8192);
     let suite = training_suite(kind, 40, 0x7a11);
     let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
-    let mut enforcer =
-        EnforcingDevice::new(build_device(kind, QemuVersion::Patched), spec, WorkingMode::Protection);
+    let mut enforcer = EnforcingDevice::new(
+        build_device(kind, QemuVersion::Patched),
+        spec,
+        WorkingMode::Protection,
+    );
     let mut ctx = VmContext::new(0x200000, 8192);
 
     let case = eval_case(kind, InteractionMode::Sequential, 0.0, case_seed);
