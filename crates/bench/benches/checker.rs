@@ -1,0 +1,110 @@
+//! Hot-path cost of the specification walk: compiled versus interpreted.
+//!
+//! Three layers, matching where the compiled path changes the work:
+//! the bare walk (per-round spec traversal, the tentpole), the enforced
+//! device round (walk + device emulation + verdict plumbing), and fleet
+//! round throughput (many tenants sharing one compiled spec). Numbers
+//! feed `BENCH_checker.json` via `sedspec bench-checker`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sedspec::checker::{EsChecker, NoSync, WorkingMode};
+use sedspec::enforce::{EnforcingDevice, Engine};
+use sedspec_bench::experiments::trained_spec;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_fleet::pool::{EnforcementPool, TenantConfig, TenantId};
+use sedspec_fleet::registry::SpecRegistry;
+use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+
+fn poll_request(kind: DeviceKind) -> IoRequest {
+    match kind {
+        DeviceKind::Fdc => IoRequest::read(AddressSpace::Pmio, 0x3f4, 1),
+        _ => IoRequest::read(AddressSpace::Mmio, 0x3024, 4),
+    }
+}
+
+/// The bare specification walk, no device: interpreted `walk_round`
+/// (clones the shadow) versus compiled `walk_round_fast` + `abort_round`
+/// (in-place walk, journal rollback — the abort is charged so the
+/// comparison covers the full keep-state-stable cycle).
+fn bench_walk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk");
+    group.sample_size(60);
+    for kind in [DeviceKind::Fdc, DeviceKind::Sdhci] {
+        let (spec, _) = trained_spec(kind, QemuVersion::Patched);
+        let device = build_device(kind, QemuVersion::Patched);
+        let req = poll_request(kind);
+        let pi = device.route(&req).unwrap();
+        let checker = EsChecker::new(spec, device.control.clone());
+        group.bench_function(format!("{kind}_interpreted"), |b| {
+            b.iter(|| checker.walk_round(pi, &req, &mut NoSync));
+        });
+        let (spec, _) = trained_spec(kind, QemuVersion::Patched);
+        let mut fast = EsChecker::new(spec, device.control.clone());
+        group.bench_function(format!("{kind}_compiled"), |b| {
+            b.iter(|| {
+                let report = fast.walk_round_fast(pi, &req, &mut NoSync);
+                fast.abort_round();
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Full enforced rounds per device (walk + emulation + verdict).
+fn bench_enforced_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforced_round");
+    group.sample_size(30);
+    for kind in [DeviceKind::Fdc, DeviceKind::Sdhci] {
+        let (spec, _) = trained_spec(kind, QemuVersion::Patched);
+        let req = poll_request(kind);
+        for engine in [Engine::Interpreted, Engine::Compiled] {
+            let tag = match engine {
+                Engine::Interpreted => "interpreted",
+                Engine::Compiled => "compiled",
+            };
+            let device = build_device(kind, QemuVersion::Patched);
+            let mut enforcer = EnforcingDevice::new(device, spec.clone(), WorkingMode::Enhancement)
+                .with_engine(engine);
+            let mut ctx = VmContext::new(0x10000, 64);
+            group.bench_function(format!("{kind}_{tag}"), |b| {
+                b.iter(|| enforcer.handle_io(&mut ctx, &req));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Fleet round throughput: four single-device tenants on one shard, all
+/// sharing the registry's publish-time compiled spec.
+fn bench_fleet_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_rounds");
+    group.sample_size(10);
+    let registry = Arc::new(SpecRegistry::new());
+    let (spec, _) = trained_spec(DeviceKind::Fdc, QemuVersion::Patched);
+    registry.publish(DeviceKind::Fdc, QemuVersion::Patched, spec);
+    let mut pool = EnforcementPool::new(1, Arc::clone(&registry));
+    for t in 0..4u64 {
+        pool.add_tenant(
+            TenantConfig::new(t).with_devices(vec![(DeviceKind::Fdc, QemuVersion::Patched)]),
+        )
+        .unwrap();
+    }
+    let batch: Vec<IoRequest> = (0..64).map(|_| poll_request(DeviceKind::Fdc)).collect();
+    group.bench_function("4_tenants_x64_rounds", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> =
+                (0..4u64).map(|t| pool.submit_batch(TenantId(t), batch.clone()).unwrap()).collect();
+            for ticket in tickets {
+                let report = pool.wait(ticket).unwrap();
+                assert_eq!(report.rounds, 64);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk, bench_enforced_round, bench_fleet_rounds);
+criterion_main!(benches);

@@ -260,6 +260,51 @@ pub enum AccessEffect {
     Spilled,
 }
 
+/// Undo journal for speculative writes to a [`CsState`] arena.
+///
+/// Scalars and buffers share one arena, and buffer spills overwrite
+/// scalar bytes — so the journal records *raw byte ranges* in write
+/// order and undoes them in strict reverse order. Keeping separate
+/// per-field undo lists would restore the wrong bytes whenever a spill
+/// and a scalar write overlap.
+///
+/// The entry vector is reused across rounds ([`CsJournal::clear`] keeps
+/// its capacity), so a steady-state walk allocates nothing.
+#[derive(Debug, Default)]
+pub struct CsJournal {
+    entries: Vec<JournalEntry>,
+}
+
+/// One journaled write: up to 8 original bytes at `off`.
+#[derive(Debug, Clone, Copy)]
+struct JournalEntry {
+    off: u32,
+    len: u8,
+    old: u64,
+}
+
+impl CsJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        CsJournal::default()
+    }
+
+    /// Drops all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of journaled writes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was journaled.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A runtime control-structure instance: the flat byte arena.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CsState {
@@ -368,6 +413,91 @@ impl CsState {
         self.arena[off..off + len].to_vec()
     }
 
+    /// Width and signedness of scalar `v` (the declaration metadata the
+    /// instance carries, so callers need not hold the declaring
+    /// [`ControlStructure`]).
+    pub fn var_meta(&self, v: VarId) -> (Width, bool) {
+        self.var_meta[v.0 as usize]
+    }
+
+    /// Journals the current bytes of `arena[off..off + len]` in 8-byte
+    /// chunks before they are overwritten.
+    fn log_range(&self, journal: &mut CsJournal, off: usize, len: usize) {
+        let mut at = off;
+        let end = off + len;
+        while at < end {
+            let n = (end - at).min(8);
+            let mut old = [0u8; 8];
+            old[..n].copy_from_slice(&self.arena[at..at + n]);
+            journal.entries.push(JournalEntry {
+                off: at as u32,
+                len: n as u8,
+                old: u64::from_le_bytes(old),
+            });
+            at += n;
+        }
+    }
+
+    /// [`CsState::set_var`] with the overwritten bytes journaled.
+    pub fn set_var_logged(&mut self, v: VarId, val: u64, journal: &mut CsJournal) {
+        let off = self.var_off[v.0 as usize];
+        let (w, _) = self.var_meta[v.0 as usize];
+        self.log_range(journal, off, w.bytes());
+        self.set_var(v, val);
+    }
+
+    /// [`CsState::buf_write`] with the overwritten byte journaled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArenaOutOfBounds`] exactly when [`CsState::buf_write`]
+    /// would; nothing is journaled on error.
+    pub fn buf_write_logged(
+        &mut self,
+        b: BufId,
+        idx: i64,
+        byte: u8,
+        journal: &mut CsJournal,
+    ) -> Result<AccessEffect, ArenaOutOfBounds> {
+        let base = self.buf_off[b.0 as usize] as i64;
+        let off = base + idx;
+        if off < 0 || off as usize >= self.arena.len() {
+            return Err(ArenaOutOfBounds { offset: off, size: self.arena.len() });
+        }
+        self.log_range(journal, off as usize, 1);
+        self.buf_write(b, idx, byte)
+    }
+
+    /// [`CsState::buf_fill`] with the overwritten bytes journaled.
+    pub fn buf_fill_logged(&mut self, b: BufId, byte: u8, journal: &mut CsJournal) {
+        let off = self.buf_off[b.0 as usize];
+        let len = self.buf_len[b.0 as usize];
+        self.log_range(journal, off, len);
+        self.buf_fill(b, byte);
+    }
+
+    /// Rolls back every journaled write in reverse order and clears the
+    /// journal. Afterwards the arena is byte-identical to its state
+    /// before the first logged write.
+    pub fn undo(&mut self, journal: &mut CsJournal) {
+        for e in journal.entries.iter().rev() {
+            let off = e.off as usize;
+            let n = e.len as usize;
+            self.arena[off..off + n].copy_from_slice(&e.old.to_le_bytes()[..n]);
+        }
+        journal.clear();
+    }
+
+    /// Copies another instance's arena contents into this one without
+    /// reallocating (both must come from the same declaration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arenas differ in size.
+    pub fn copy_arena_from(&mut self, other: &CsState) {
+        self.arena.copy_from_slice(&other.arena);
+    }
+
     /// Size of the arena in bytes.
     pub fn arena_size(&self) -> usize {
         self.arena.len()
@@ -474,6 +604,68 @@ mod tests {
         let mut st = cs.instantiate();
         st.set_var(s, 0xffff);
         assert_eq!(st.var_typed(s).as_i128(), -1);
+    }
+
+    #[test]
+    fn journal_undo_restores_exactly() {
+        let (cs, msr, fifo, data_pos, irq) = fdc_like();
+        let mut st = cs.instantiate();
+        st.set_var(data_pos, 0x1234);
+        let before = st.clone();
+        let mut j = CsJournal::new();
+        st.set_var_logged(msr, 0x55, &mut j);
+        st.buf_write_logged(fifo, 2, 0xaa, &mut j).unwrap();
+        st.buf_fill_logged(fifo, 0xee, &mut j);
+        st.set_var_logged(irq, 0xdeadbeef, &mut j);
+        assert_ne!(st, before);
+        st.undo(&mut j);
+        assert_eq!(st, before);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn journal_undo_handles_aliased_spill_then_var_write() {
+        // A buf spill corrupts data_pos, then a logged var write hits the
+        // same bytes: only strict reverse-chronological undo restores the
+        // original value.
+        let (cs, _, fifo, data_pos, _) = fdc_like();
+        let mut st = cs.instantiate();
+        st.set_var(data_pos, 0x0102_0304);
+        let before = st.clone();
+        let mut j = CsJournal::new();
+        st.buf_write_logged(fifo, 16, 0x2a, &mut j).unwrap(); // spills into data_pos
+        st.set_var_logged(data_pos, 0x5555_5555, &mut j);
+        st.undo(&mut j);
+        assert_eq!(st, before);
+        assert_eq!(st.var(data_pos), 0x0102_0304);
+    }
+
+    #[test]
+    fn journal_out_of_arena_write_logs_nothing() {
+        let (cs, _, fifo, ..) = fdc_like();
+        let mut st = cs.instantiate();
+        let mut j = CsJournal::new();
+        assert!(st.buf_write_logged(fifo, st.arena_size() as i64, 0, &mut j).is_err());
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn copy_arena_from_matches_clone() {
+        let (cs, msr, fifo, ..) = fdc_like();
+        let mut a = cs.instantiate();
+        let mut b = cs.instantiate();
+        a.set_var(msr, 0x7f);
+        a.buf_write(fifo, 3, 0x99).unwrap();
+        b.copy_arena_from(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn var_meta_exposes_declaration() {
+        let mut cs = ControlStructure::new("S");
+        let s = cs.var_signed("idx", Width::W16);
+        let st = cs.instantiate();
+        assert_eq!(st.var_meta(s), (Width::W16, true));
     }
 
     #[test]

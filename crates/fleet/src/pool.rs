@@ -22,7 +22,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use sedspec::checker::WorkingMode;
 use sedspec::collect::{apply_step, TrainStep};
 use sedspec::enforce::{EnforceStats, EnforcingDevice};
-use sedspec::pipeline::deploy;
+use sedspec::pipeline::deploy_compiled;
 use sedspec::response::{highest_alert, AlertLevel, SnapshotRing};
 use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_vmm::{IoRequest, VmContext};
@@ -187,8 +187,10 @@ impl TenantRuntime {
         let mut bus = sedspec_vmm::Bus::new();
         let mut slots = Vec::with_capacity(cfg.devices.len());
         for &(kind, version) in &cfg.devices {
-            let (key, spec, epoch) =
-                registry.current(kind, version).ok_or(PoolError::NoSpec(kind, version))?;
+            // The publish-time compile is shared: deploying a tenant
+            // device is an `Arc` clone, not a specification clone.
+            let (key, compiled, epoch) =
+                registry.current_compiled(kind, version).ok_or(PoolError::NoSpec(kind, version))?;
             let device = build_device(kind, version);
             for &(space, base, len) in &device.regions {
                 bus.register(space, base, len, device.name.clone())
@@ -199,7 +201,7 @@ impl TenantRuntime {
                 version,
                 key,
                 epoch,
-                enforcer: deploy(device, (*spec).clone(), cfg.mode),
+                enforcer: deploy_compiled(device, compiled, cfg.mode),
                 ring: SnapshotRing::new(cfg.snapshot_depth),
             });
         }
@@ -234,9 +236,10 @@ impl TenantRuntime {
             if epoch_now == slot.epoch {
                 continue;
             }
-            if let Some((key, spec, epoch)) = registry.current(slot.kind, slot.version) {
+            if let Some((key, compiled, epoch)) = registry.current_compiled(slot.kind, slot.version)
+            {
                 let fresh =
-                    deploy(build_device(slot.kind, slot.version), (*spec).clone(), self.mode);
+                    deploy_compiled(build_device(slot.kind, slot.version), compiled, self.mode);
                 let old = std::mem::replace(&mut slot.enforcer, fresh);
                 self.retired += old.stats;
                 slot.key = key;

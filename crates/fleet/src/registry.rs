@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
+use sedspec::compiled::CompiledSpec;
 use sedspec::spec::ExecutionSpecification;
 use sedspec_devices::{DeviceKind, QemuVersion};
 use serde::{Deserialize, Serialize};
@@ -48,6 +49,9 @@ impl std::fmt::Display for SpecKey {
 #[derive(Default)]
 struct Channel {
     revisions: HashMap<SpecDigest, Arc<ExecutionSpecification>>,
+    /// Hot-path form of each revision, compiled once at publish time and
+    /// shared by every tenant checker.
+    compiled: HashMap<SpecDigest, Arc<CompiledSpec>>,
     current: Option<SpecDigest>,
     /// Bumped on every publish; consumers poll it at batch boundaries.
     epoch: u64,
@@ -92,7 +96,8 @@ impl SpecRegistry {
         let digest = Self::digest_of(&spec);
         let mut channels = self.channels.write();
         let channel = channels.entry((device, version)).or_default();
-        channel.revisions.entry(digest).or_insert_with(|| Arc::new(spec));
+        let stored = Arc::clone(channel.revisions.entry(digest).or_insert_with(|| Arc::new(spec)));
+        channel.compiled.entry(digest).or_insert_with(|| Arc::new(CompiledSpec::compile(stored)));
         channel.current = Some(digest);
         channel.epoch += 1;
         SpecKey { device, version, digest }
@@ -129,6 +134,28 @@ impl SpecRegistry {
         let digest = channel.current?;
         let spec = channel.revisions.get(&digest)?.clone();
         Some((SpecKey { device, version, digest }, spec, channel.epoch))
+    }
+
+    /// The channel's current revision in compiled form, with the epoch
+    /// it was read at. This is what enforcement shards deploy: the
+    /// publish-time compile is shared, so retargeting a tenant is an
+    /// `Arc` clone instead of a specification clone plus re-lowering.
+    pub fn current_compiled(
+        &self,
+        device: DeviceKind,
+        version: QemuVersion,
+    ) -> Option<(SpecKey, Arc<CompiledSpec>, u64)> {
+        let channels = self.channels.read();
+        let channel = channels.get(&(device, version))?;
+        let digest = channel.current?;
+        let compiled = channel.compiled.get(&digest)?.clone();
+        Some((SpecKey { device, version, digest }, compiled, channel.epoch))
+    }
+
+    /// A stored revision's compiled form, by key.
+    pub fn get_compiled(&self, key: &SpecKey) -> Option<Arc<CompiledSpec>> {
+        let channels = self.channels.read();
+        channels.get(&(key.device, key.version))?.compiled.get(&key.digest).cloned()
     }
 
     /// The channel's publish epoch (0 when nothing was ever published).

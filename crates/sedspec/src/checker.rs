@@ -24,6 +24,7 @@
 //! from the observation log — the paper's sync-point protocol.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use sedspec_dbl::interp::{eval_expr, EvalCtx, EvalError};
 use sedspec_dbl::ir::{BufId, Expr, Stmt, VarId};
@@ -32,6 +33,7 @@ use sedspec_dbl::value::{OverflowFlags, TypedValue};
 use sedspec_vmm::IoRequest;
 use serde::{Deserialize, Serialize};
 
+use crate::compiled::{CompiledSpec, WalkState};
 use crate::escfg::{gid, DsodOp, EdgeKey, EsCfg, Nbtd};
 use crate::observe::{IoRoundLog, ObsEvent};
 use crate::spec::ExecutionSpecification;
@@ -252,8 +254,10 @@ pub trait SyncProvider {
     fn branch_outcome(&mut self, origin: u32) -> Option<bool>;
     /// Next switch value observed at program block `origin`.
     fn switch_value(&mut self, origin: u32) -> Option<u64>;
-    /// Next externally copied content for `buf`: `(offset, bytes)`.
-    fn buf_content(&mut self, buf: BufId) -> Option<(i64, Vec<u8>)>;
+    /// Next externally copied content for `buf`: `(offset, bytes)`. The
+    /// payload is a shared slice — providers hand out views of the
+    /// observation log instead of cloning it.
+    fn buf_content(&mut self, buf: BufId) -> Option<(i64, Arc<[u8]>)>;
 }
 
 /// Provider with no data: sync requests suspend the walk (pre-execution
@@ -271,10 +275,13 @@ impl SyncProvider for NoSync {
     fn switch_value(&mut self, _origin: u32) -> Option<u64> {
         None
     }
-    fn buf_content(&mut self, _buf: BufId) -> Option<(i64, Vec<u8>)> {
+    fn buf_content(&mut self, _buf: BufId) -> Option<(i64, Arc<[u8]>)> {
         None
     }
 }
+
+/// An externally observed buffer copy: destination offset + payload.
+type BufCopy = (i64, Arc<[u8]>);
 
 /// Sync data replayed from one recorded device round.
 #[derive(Debug, Default)]
@@ -282,7 +289,7 @@ pub struct RecordedSync {
     vars: BTreeMap<VarId, VecDeque<u64>>,
     branches: BTreeMap<u32, VecDeque<bool>>,
     switches: BTreeMap<u32, VecDeque<u64>>,
-    bufs: BTreeMap<BufId, VecDeque<(i64, Vec<u8>)>>,
+    bufs: BTreeMap<BufId, VecDeque<BufCopy>>,
 }
 
 impl RecordedSync {
@@ -301,7 +308,8 @@ impl RecordedSync {
                     out.switches.entry(*block).or_default().push_back(*value);
                 }
                 ObsEvent::ExternalBuf { buf, off, bytes } => {
-                    out.bufs.entry(*buf).or_default().push_back((*off, bytes.clone()));
+                    // Refcount bump, not a payload copy.
+                    out.bufs.entry(*buf).or_default().push_back((*off, Arc::clone(bytes)));
                 }
                 _ => {}
             }
@@ -320,7 +328,7 @@ impl SyncProvider for RecordedSync {
     fn switch_value(&mut self, origin: u32) -> Option<u64> {
         self.switches.get_mut(&origin).and_then(VecDeque::pop_front)
     }
-    fn buf_content(&mut self, buf: BufId) -> Option<(i64, Vec<u8>)> {
+    fn buf_content(&mut self, buf: BufId) -> Option<(i64, Arc<[u8]>)> {
         self.bufs.get_mut(&buf).and_then(VecDeque::pop_front)
     }
 }
@@ -355,7 +363,7 @@ const WALK_LIMIT: u64 = 1 << 20;
 /// either a selected device-state parameter or pure I/O data. Overflows
 /// through *temporaries* (QEMU's local pointer copies) are exactly the
 /// cases the paper reports as parameter-check blind spots.
-fn checkable_range_expr(e: &Expr, params: &crate::params::DeviceStateParams) -> bool {
+pub(crate) fn checkable_range_expr(e: &Expr, params: &crate::params::DeviceStateParams) -> bool {
     if !e.locals().is_empty() {
         return false;
     }
@@ -364,22 +372,35 @@ fn checkable_range_expr(e: &Expr, params: &crate::params::DeviceStateParams) -> 
 }
 
 /// The ES-Checker.
+///
+/// Holds a shared [`CompiledSpec`] plus a reusable [`WalkState`]. The
+/// enforcement hot path is [`EsChecker::walk_round_fast`] (in-place
+/// journaled walk, O(1) commit); [`EsChecker::walk_round`] is the
+/// interpreted reference walk over the same specification, kept for the
+/// differential equivalence suite and as executable documentation of the
+/// check semantics.
 #[derive(Debug)]
 pub struct EsChecker {
-    spec: ExecutionSpecification,
+    compiled: Arc<CompiledSpec>,
     control: ControlStructure,
-    shadow: CsState,
-    cmd_ctx: Option<CmdCtx>,
+    walk: WalkState,
     /// Strategy configuration.
     pub config: CheckConfig,
 }
 
 impl EsChecker {
     /// Creates a checker over `spec`, with the shadow state initialized
-    /// from the control structure's boot values (paper §V-A-1).
+    /// from the control structure's boot values (paper §V-A-1). Compiles
+    /// the specification; to share one compiled spec across checkers use
+    /// [`EsChecker::from_compiled`].
     pub fn new(spec: ExecutionSpecification, control: ControlStructure) -> Self {
-        let shadow = control.instantiate();
-        EsChecker { spec, control, shadow, cmd_ctx: None, config: CheckConfig::default() }
+        Self::from_compiled(Arc::new(CompiledSpec::compile(Arc::new(spec))), control)
+    }
+
+    /// Creates a checker over an already-compiled specification.
+    pub fn from_compiled(compiled: Arc<CompiledSpec>, control: ControlStructure) -> Self {
+        let walk = WalkState::new(control.instantiate());
+        EsChecker { compiled, control, walk, config: CheckConfig::default() }
     }
 
     /// Replaces the strategy configuration.
@@ -390,41 +411,71 @@ impl EsChecker {
 
     /// The specification being enforced.
     pub fn spec(&self) -> &ExecutionSpecification {
-        &self.spec
+        self.compiled.spec()
+    }
+
+    /// The compiled form of the specification.
+    pub fn compiled(&self) -> &Arc<CompiledSpec> {
+        &self.compiled
     }
 
     /// Current shadow state (read-only).
     pub fn shadow(&self) -> &CsState {
-        &self.shadow
+        self.walk.shadow()
     }
 
-    /// The active command scope, if any.
-    pub fn cmd_ctx(&self) -> Option<&CmdCtx> {
-        self.cmd_ctx.as_ref()
+    /// The active command scope, if any (materialized on demand).
+    pub fn cmd_ctx(&self) -> Option<CmdCtx> {
+        self.compiled.materialize(self.walk.scope())
     }
 
     /// Restores a previously captured shadow state and command scope
     /// (snapshot rollback, paper §VIII).
     pub fn restore(&mut self, shadow: CsState, cmd_ctx: Option<CmdCtx>) {
-        self.shadow = shadow;
-        self.cmd_ctx = cmd_ctx;
+        let scope = self.compiled.scope_of(cmd_ctx.as_ref());
+        self.walk.reset(shadow, scope);
     }
 
     /// Commits a walk's tentative state (call after accepting the round).
     pub fn commit(&mut self, result: &WalkResult) {
-        self.shadow = result.shadow.clone();
-        self.cmd_ctx = result.cmd_ctx.clone();
+        let scope = self.compiled.scope_of(result.cmd_ctx.as_ref());
+        self.walk.reset(result.shadow.clone(), scope);
     }
 
     /// Re-synchronizes the shadow from the real device state (used in
     /// enhancement mode after a warned round, so one divergence does not
     /// cascade into spurious warnings).
     pub fn resync_shadow(&mut self, real: &CsState) {
-        self.shadow = real.clone();
-        self.cmd_ctx = None;
+        self.walk.resync(real);
     }
 
-    /// Walks the specification for one I/O round without committing.
+    /// Walks one I/O round **in place** on the reusable [`WalkState`],
+    /// journaling every shadow write. Follow with
+    /// [`EsChecker::commit_round`] to accept (O(1)) or
+    /// [`EsChecker::abort_round`] to roll the shadow back.
+    pub fn walk_round_fast(
+        &mut self,
+        program: usize,
+        req: &IoRequest,
+        sync: &mut dyn SyncProvider,
+    ) -> RoundReport {
+        self.compiled.walk(&self.config, program, req, sync, &mut self.walk)
+    }
+
+    /// Accepts the last [`EsChecker::walk_round_fast`]: keeps the shadow
+    /// mutations and promotes the walked command scope.
+    pub fn commit_round(&mut self) {
+        self.walk.commit();
+    }
+
+    /// Rejects the last [`EsChecker::walk_round_fast`]: undoes the
+    /// journaled shadow writes and drops the walked command scope.
+    pub fn abort_round(&mut self) {
+        self.walk.abort();
+    }
+
+    /// Walks the specification for one I/O round without committing
+    /// (interpreted reference path; allocates a full shadow clone).
     pub fn walk_round(
         &self,
         program: usize,
@@ -432,10 +483,11 @@ impl EsChecker {
         sync: &mut dyn SyncProvider,
     ) -> WalkResult {
         let mut report = RoundReport::default();
-        let mut shadow = self.shadow.clone();
-        let mut cmd_ctx = self.cmd_ctx.clone();
+        let mut shadow = self.walk.shadow().clone();
+        let mut cmd_ctx = self.cmd_ctx();
 
-        let cfg = &self.spec.cfgs[program];
+        let spec = self.compiled.spec();
+        let cfg = &spec.cfgs[program];
         let Some(entry) = cfg.entry else {
             if self.config.conditional_jump {
                 report.violations.push(Violation::UntracedEntry { program });
@@ -670,7 +722,7 @@ impl EsChecker {
                         }
                     };
                     if *is_cmd_decision {
-                        match self.spec.cmd_table.lookup(gid(program, cur), value) {
+                        match spec.cmd_table.lookup(gid(program, cur), value) {
                             Some(entry) => {
                                 cmd_ctx = Some(CmdCtx {
                                     decision: gid(program, cur),
@@ -756,9 +808,10 @@ impl EsChecker {
         block: u32,
         label: &str,
     ) -> Option<Violation> {
+        let params = &self.compiled.spec().params;
         if !self.config.parameter
-            || !checkable_range_expr(off, &self.spec.params)
-            || !checkable_range_expr(len, &self.spec.params)
+            || !checkable_range_expr(off, params)
+            || !checkable_range_expr(len, params)
         {
             return None;
         }
@@ -800,7 +853,8 @@ impl EsChecker {
         enforce: bool,
     ) -> Result<(), Violation> {
         let mut flags = OverflowFlags::clear();
-        let param_refs = |e: &Expr| e.vars().iter().any(|v| self.spec.params.contains_var(*v));
+        let params = &self.compiled.spec().params;
+        let param_refs = |e: &Expr| e.vars().iter().any(|v| params.contains_var(*v));
         let eval =
             |e: &Expr, shadow: &CsState, locals: &[TypedValue], flags: &mut OverflowFlags| {
                 eval_expr(e, &EvalCtx { cs: shadow, locals, io: req }, flags)
@@ -811,10 +865,7 @@ impl EsChecker {
         match stmt {
             Stmt::SetVar(v, e) => {
                 let val = eval(e, shadow, locals, &mut flags).map_err(shadow_fault)?;
-                if enforce
-                    && flags.arithmetic
-                    && (param_refs(e) || self.spec.params.contains_var(*v))
-                {
+                if enforce && flags.arithmetic && (param_refs(e) || params.contains_var(*v)) {
                     return Err(Violation::IntegerOverflow {
                         program,
                         block,
@@ -837,7 +888,7 @@ impl EsChecker {
                     eval(idx, shadow, locals, &mut flags).map_err(shadow_fault)?.as_i128() as i64;
                 let v = eval(val, shadow, locals, &mut flags).map_err(shadow_fault)?;
                 let cap = shadow.buf_len(*b) as i64;
-                if enforce && checkable_range_expr(idx, &self.spec.params) && (i < 0 || i >= cap) {
+                if enforce && checkable_range_expr(idx, params) && (i < 0 || i >= cap) {
                     return Err(Violation::BufferOverflow {
                         program,
                         block,
@@ -866,8 +917,8 @@ impl EsChecker {
                         as i64;
                 let cap = shadow.buf_len(*buf) as i64;
                 if enforce
-                    && checkable_range_expr(buf_off, &self.spec.params)
-                    && checkable_range_expr(len, &self.spec.params)
+                    && checkable_range_expr(buf_off, params)
+                    && checkable_range_expr(len, params)
                     && (off < 0 || off + n > cap)
                 {
                     return Err(Violation::BufferOverflow {

@@ -1,0 +1,875 @@
+//! Ahead-of-time compilation of an [`ExecutionSpecification`] into the
+//! enforcement hot path's data layout.
+//!
+//! The interpreted walk ([`crate::checker::EsChecker::walk_round`])
+//! resolves every transition through `BTreeMap<u32, Vec<EsEdge>>` plus a
+//! per-step linear scan, looks commands up with a table scan, re-derives
+//! the parameter check's expression scope on every statement, and clones
+//! the entire shadow `ControlStructure` twice per round. [`CompiledSpec`]
+//! lowers the specification once:
+//!
+//! * dense `u32`-indexed per-block transition tables (`next` / `taken` /
+//!   `not_taken` fields, flat sorted switch-case slices, sorted
+//!   indirect-target arrays) replacing map lookups with direct indexing
+//!   and binary search;
+//! * the command access table as sorted `(decision, cmd)` keys with
+//!   per-entry **bitmaps over a dense global block index**, so the
+//!   per-block scope check is one bit test instead of a `BTreeSet`
+//!   membership probe;
+//! * per-operation precomputed parameter-check flags (overflow
+//!   relevance, range-expression checkability), hoisting the allocating
+//!   `Expr::vars()` / `Expr::locals()` walks out of the hot loop;
+//! * a reusable [`WalkState`] whose shadow is mutated **in place** under
+//!   a [`CsJournal`] undo journal — committing a round is a journal
+//!   clear, aborting replays the journal backwards; no per-round clone.
+//!
+//! Verdicts are identical to the interpreted walk by construction (the
+//! differential suite in `tests/compiled_equivalence.rs` asserts it);
+//! block labels are materialized into [`Violation`]s only when one is
+//! actually raised.
+
+use std::sync::Arc;
+
+use sedspec_dbl::interp::{eval_expr, EvalCtx, EvalError};
+use sedspec_dbl::ir::{BufId, Expr, Stmt, Width};
+use sedspec_dbl::state::{CsJournal, CsState};
+use sedspec_dbl::value::{OverflowFlags, TypedValue};
+use sedspec_vmm::IoRequest;
+
+use crate::checker::{
+    checkable_range_expr, CheckConfig, CmdCtx, RoundReport, SyncProvider, Violation,
+};
+use crate::escfg::{gid, ungid, DsodOp, EdgeKey, EsCfg, Nbtd};
+use crate::params::DeviceStateParams;
+use crate::spec::ExecutionSpecification;
+
+/// Sentinel for "no block" in dense transition tables.
+const NO_BLOCK: u32 = u32::MAX;
+
+/// Safety bound on walked blocks per round (mirrors the interpreter's).
+const WALK_LIMIT: u64 = 1 << 20;
+
+/// Compiled per-block transition table and operation metadata.
+#[derive(Debug, Clone, Copy)]
+struct CBlock {
+    /// Unconditional successor ([`NO_BLOCK`] if untrained).
+    next: u32,
+    /// Taken-side successor of a branch.
+    taken: u32,
+    /// Not-taken-side successor of a branch.
+    not_taken: u32,
+    /// Range into `case_vals` / `case_tos` (switch dispatch).
+    cases: (u32, u32),
+    /// Start of this block's flags in `op_flags` (`dsod.len()` entries).
+    ops_at: u32,
+    /// The block ends the I/O round.
+    is_exit: bool,
+    /// The block returns from an indirect call.
+    is_return: bool,
+    /// The block closes the active command scope.
+    is_cmd_end: bool,
+}
+
+/// One handler's compiled ES-CFG.
+#[derive(Debug)]
+struct CompiledCfg {
+    /// Entry ES block, [`NO_BLOCK`] when the entry was never traced.
+    entry: u32,
+    blocks: Vec<CBlock>,
+    /// Flat sorted switch-case scrutinee values, sliced per block.
+    case_vals: Vec<u64>,
+    /// Case targets, parallel to `case_vals`.
+    case_tos: Vec<u32>,
+    /// Per-DSOD-op parameter-check flags (meaning depends on op kind;
+    /// see [`op_flag`]).
+    op_flags: Vec<bool>,
+    /// Program-block origin → ES block after pass-through resolution.
+    resolve: Vec<u32>,
+    /// Statically legitimate function-pointer values, sorted.
+    fn_vals: Vec<u64>,
+    /// Observed ES target per legit value ([`NO_BLOCK`] = legit but
+    /// untraced), parallel to `fn_vals`.
+    fn_tos: Vec<u32>,
+}
+
+/// The active command scope in compiled form.
+///
+/// The steady-state variants are `Copy`-cheap; `Custom` carries a full
+/// [`CmdCtx`] and only appears when a restored snapshot's scope does not
+/// match any compiled table entry (hand-edited contexts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CmdScope {
+    /// No command active.
+    #[default]
+    None,
+    /// Scope of compiled command entry `i` (index into the sorted keys).
+    Entry(u32),
+    /// A restored scope with no matching compiled entry; checked through
+    /// its own `allowed` set, exactly like the interpreted walk.
+    Custom(CmdCtx),
+}
+
+/// Reusable per-checker walk state: the shadow instance, its undo
+/// journal, scratch buffers and the committed/pending command scope.
+///
+/// All scratch storage is reused across rounds, so a steady-state walk
+/// performs no heap allocation.
+#[derive(Debug)]
+pub struct WalkState {
+    pub(crate) shadow: CsState,
+    journal: CsJournal,
+    locals: Vec<TypedValue>,
+    call_stack: Vec<u32>,
+    scope: CmdScope,
+    pending: CmdScope,
+}
+
+impl WalkState {
+    /// Fresh state over a boot-initialized shadow instance.
+    pub fn new(shadow: CsState) -> Self {
+        WalkState {
+            shadow,
+            journal: CsJournal::new(),
+            locals: Vec::new(),
+            call_stack: Vec::new(),
+            scope: CmdScope::None,
+            pending: CmdScope::None,
+        }
+    }
+
+    /// The current (committed) shadow state.
+    pub fn shadow(&self) -> &CsState {
+        &self.shadow
+    }
+
+    /// The committed command scope.
+    pub(crate) fn scope(&self) -> &CmdScope {
+        &self.scope
+    }
+
+    /// Replaces shadow and scope wholesale (snapshot restore).
+    pub(crate) fn reset(&mut self, shadow: CsState, scope: CmdScope) {
+        self.shadow = shadow;
+        self.scope = scope;
+        self.journal.clear();
+        self.pending = CmdScope::None;
+    }
+
+    /// Re-synchronizes the shadow from the real device state without
+    /// reallocating, clearing the command scope.
+    pub(crate) fn resync(&mut self, real: &CsState) {
+        if self.shadow.arena_size() == real.arena_size() {
+            self.shadow.copy_arena_from(real);
+        } else {
+            self.shadow = real.clone();
+        }
+        self.scope = CmdScope::None;
+        self.journal.clear();
+        self.pending = CmdScope::None;
+    }
+
+    /// Accepts the last walk: keeps the shadow mutations and promotes
+    /// the pending command scope.
+    pub(crate) fn commit(&mut self) {
+        self.journal.clear();
+        self.scope = std::mem::take(&mut self.pending);
+    }
+
+    /// Rejects the last walk: rolls the shadow back through the journal
+    /// and drops the pending scope.
+    pub(crate) fn abort(&mut self) {
+        self.shadow.undo(&mut self.journal);
+        self.pending = CmdScope::None;
+    }
+}
+
+/// An execution specification lowered for the enforcement hot path.
+///
+/// Cheap to share: the fleet compiles each published revision once and
+/// every tenant's checker holds an `Arc<CompiledSpec>`.
+#[derive(Debug)]
+pub struct CompiledSpec {
+    spec: Arc<ExecutionSpecification>,
+    cfgs: Vec<CompiledCfg>,
+    /// Dense-global-block-index offset per program.
+    block_offsets: Vec<u32>,
+    /// Sorted `(decision gid, cmd)` command keys.
+    cmd_keys: Vec<(u64, u64)>,
+    /// Accessibility bitmap over dense block ids, parallel to `cmd_keys`.
+    cmd_masks: Vec<Vec<u64>>,
+    /// Index into `spec.cmd_table.entries`, parallel to `cmd_keys`.
+    cmd_entry_idx: Vec<u32>,
+}
+
+/// Precomputed parameter-check flag for one DSOD op (the allocating
+/// `Expr::vars()`/`Expr::locals()` scope derivation, hoisted to compile
+/// time):
+///
+/// * `Exec(SetVar)` — the statement is overflow-relevant (reads or
+///   writes a selected parameter);
+/// * `Exec(BufStore)` — the index expression is range-checkable;
+/// * `Exec(CopyPayload)`, `SyncBuf`, `CheckBufRead` — both range
+///   expressions are checkable;
+/// * everything else — unused (`false`).
+fn op_flag(op: &DsodOp, params: &DeviceStateParams) -> bool {
+    let param_refs = |e: &Expr| e.vars().iter().any(|v| params.contains_var(*v));
+    match op {
+        DsodOp::Exec(Stmt::SetVar(v, e)) => param_refs(e) || params.contains_var(*v),
+        DsodOp::Exec(Stmt::BufStore(_, idx, _)) => checkable_range_expr(idx, params),
+        DsodOp::Exec(Stmt::CopyPayload { buf_off, len, .. }) => {
+            checkable_range_expr(buf_off, params) && checkable_range_expr(len, params)
+        }
+        DsodOp::Exec(_) => false,
+        DsodOp::SyncVar(_) => false,
+        DsodOp::SyncBuf { off, len, .. } | DsodOp::CheckBufRead { off, len, .. } => {
+            checkable_range_expr(off, params) && checkable_range_expr(len, params)
+        }
+    }
+}
+
+fn compile_cfg(cfg: &EsCfg, params: &DeviceStateParams) -> CompiledCfg {
+    let mut blocks = Vec::with_capacity(cfg.blocks.len());
+    let mut case_vals = Vec::new();
+    let mut case_tos = Vec::new();
+    let mut op_flags = Vec::new();
+    for (i, blk) in cfg.blocks.iter().enumerate() {
+        let es = i as u32;
+        let pick = |key: EdgeKey| cfg.edge(es, key).map_or(NO_BLOCK, |e| e.to);
+        let cases_start = case_vals.len() as u32;
+        if let Some(list) = cfg.edges.get(&es) {
+            let mut cases: Vec<(u64, u32)> = list
+                .iter()
+                .filter_map(|e| match e.key {
+                    EdgeKey::Case(v) => Some((v, e.to)),
+                    _ => None,
+                })
+                .collect();
+            cases.sort_unstable(); // already key-sorted post-training; re-sort defensively
+            for (v, to) in cases {
+                case_vals.push(v);
+                case_tos.push(to);
+            }
+        }
+        let ops_at = op_flags.len() as u32;
+        op_flags.extend(blk.dsod.iter().map(|op| op_flag(op, params)));
+        blocks.push(CBlock {
+            next: pick(EdgeKey::Next),
+            taken: pick(EdgeKey::Taken),
+            not_taken: pick(EdgeKey::NotTaken),
+            cases: (cases_start, case_vals.len() as u32),
+            ops_at,
+            is_exit: blk.is_exit,
+            is_return: blk.is_return,
+            is_cmd_end: blk.kind == sedspec_dbl::ir::BlockKind::CmdEnd,
+        });
+    }
+    let max_origin = cfg.forward.keys().next_back().map_or(0, |&k| k as usize + 1);
+    let mut resolve = vec![NO_BLOCK; max_origin];
+    for &origin in cfg.forward.keys() {
+        if let Some(es) = cfg.resolve(origin) {
+            resolve[origin as usize] = es;
+        }
+    }
+    let fn_vals: Vec<u64> = cfg.legit_fn_values.iter().copied().collect();
+    let fn_tos: Vec<u32> =
+        fn_vals.iter().map(|v| cfg.fn_targets.get(v).copied().unwrap_or(NO_BLOCK)).collect();
+    CompiledCfg {
+        entry: cfg.entry.unwrap_or(NO_BLOCK),
+        blocks,
+        case_vals,
+        case_tos,
+        op_flags,
+        resolve,
+        fn_vals,
+        fn_tos,
+    }
+}
+
+impl CompiledSpec {
+    /// Lowers a specification. The original is retained (shared) for
+    /// DSOD statements, NBTD expressions, labels and serialization.
+    pub fn compile(spec: Arc<ExecutionSpecification>) -> Self {
+        let mut block_offsets = Vec::with_capacity(spec.cfgs.len());
+        let mut total: u32 = 0;
+        for cfg in &spec.cfgs {
+            block_offsets.push(total);
+            total += cfg.blocks.len() as u32;
+        }
+        let cfgs: Vec<CompiledCfg> =
+            spec.cfgs.iter().map(|c| compile_cfg(c, &spec.params)).collect();
+
+        let mut cmd_entry_idx: Vec<u32> = (0..spec.cmd_table.entries.len() as u32).collect();
+        cmd_entry_idx.sort_by_key(|&i| {
+            let e = &spec.cmd_table.entries[i as usize];
+            (e.decision, e.cmd)
+        });
+        let cmd_keys: Vec<(u64, u64)> = cmd_entry_idx
+            .iter()
+            .map(|&i| {
+                let e = &spec.cmd_table.entries[i as usize];
+                (e.decision, e.cmd)
+            })
+            .collect();
+        let words = (total as usize).div_ceil(64).max(1);
+        let cmd_masks: Vec<Vec<u64>> = cmd_entry_idx
+            .iter()
+            .map(|&i| {
+                let mut mask = vec![0u64; words];
+                for &g in &spec.cmd_table.entries[i as usize].allowed {
+                    let (p, es) = ungid(g);
+                    if let Some(&off) = block_offsets.get(p) {
+                        if es < spec.cfgs[p].blocks.len() as u32 {
+                            let d = (off + es) as usize;
+                            mask[d / 64] |= 1u64 << (d % 64);
+                        }
+                    }
+                }
+                mask
+            })
+            .collect();
+        CompiledSpec { spec, cfgs, block_offsets, cmd_keys, cmd_masks, cmd_entry_idx }
+    }
+
+    /// The specification this was compiled from.
+    pub fn spec(&self) -> &ExecutionSpecification {
+        &self.spec
+    }
+
+    /// Shared handle to the original specification.
+    pub fn spec_arc(&self) -> &Arc<ExecutionSpecification> {
+        &self.spec
+    }
+
+    /// Maps a (possibly restored) interpreted command context to its
+    /// compiled scope. Contexts matching a table entry collapse to the
+    /// bitmap-backed [`CmdScope::Entry`]; anything else is carried as
+    /// [`CmdScope::Custom`] and checked through its own set.
+    pub fn scope_of(&self, ctx: Option<&CmdCtx>) -> CmdScope {
+        match ctx {
+            None => CmdScope::None,
+            Some(c) => match self.cmd_keys.binary_search(&(c.decision, c.cmd)) {
+                Ok(i)
+                    if self.spec.cmd_table.entries[self.cmd_entry_idx[i] as usize].allowed
+                        == c.allowed =>
+                {
+                    CmdScope::Entry(i as u32)
+                }
+                _ => CmdScope::Custom(c.clone()),
+            },
+        }
+    }
+
+    /// Materializes a compiled scope back into the interpreted
+    /// [`CmdCtx`] representation (allocates; inspection/snapshot only).
+    pub fn materialize(&self, scope: &CmdScope) -> Option<CmdCtx> {
+        match scope {
+            CmdScope::None => None,
+            CmdScope::Entry(i) => {
+                let (decision, cmd) = self.cmd_keys[*i as usize];
+                let entry = &self.spec.cmd_table.entries[self.cmd_entry_idx[*i as usize] as usize];
+                Some(CmdCtx { decision, cmd, allowed: entry.allowed.clone() })
+            }
+            CmdScope::Custom(c) => Some(c.clone()),
+        }
+    }
+
+    /// Whether dense block `program`/`es` is accessible under `scope`.
+    #[inline]
+    fn scope_allows(&self, scope: &CmdScope, program: usize, es: u32) -> bool {
+        match scope {
+            CmdScope::None => true,
+            CmdScope::Entry(i) => {
+                let d = (self.block_offsets[program] + es) as usize;
+                self.cmd_masks[*i as usize][d / 64] & (1u64 << (d % 64)) != 0
+            }
+            CmdScope::Custom(c) => c.allowed.contains(&gid(program, es)),
+        }
+    }
+
+    fn scope_cmd(&self, scope: &CmdScope) -> u64 {
+        match scope {
+            CmdScope::None => 0,
+            CmdScope::Entry(i) => self.cmd_keys[*i as usize].1,
+            CmdScope::Custom(c) => c.cmd,
+        }
+    }
+
+    /// Walks the specification for one I/O round **in place** on
+    /// `ws.shadow`, journaling every write. The caller decides the
+    /// round's fate: [`WalkState::commit`] keeps the mutations (O(1)),
+    /// [`WalkState::abort`] rolls them back through the journal.
+    ///
+    /// Verdict-equivalent to [`crate::checker::EsChecker::walk_round`].
+    pub fn walk(
+        &self,
+        config: &CheckConfig,
+        program: usize,
+        req: &IoRequest,
+        sync: &mut dyn SyncProvider,
+        ws: &mut WalkState,
+    ) -> RoundReport {
+        let mut report = RoundReport::default();
+        let mut scope = ws.scope.clone();
+        let ccfg = &self.cfgs[program];
+        let scfg = &self.spec.cfgs[program];
+
+        if ccfg.entry == NO_BLOCK {
+            if config.conditional_jump {
+                report.violations.push(Violation::UntracedEntry { program });
+            }
+            ws.pending = scope;
+            return report;
+        }
+
+        ws.locals.clear();
+        ws.locals.extend(scfg.locals.iter().map(|&w| TypedValue::unsigned(0, w)));
+        ws.call_stack.clear();
+        let mut cur = ccfg.entry;
+
+        'walk: loop {
+            report.blocks_walked += 1;
+            if report.blocks_walked > WALK_LIMIT {
+                break;
+            }
+            let cblk = ccfg.blocks[cur as usize];
+            let sblk = &scfg.blocks[cur as usize];
+
+            // Command-scope accessibility (finer-grained conditional check).
+            if !matches!(scope, CmdScope::None)
+                && config.command_scope
+                && !self.scope_allows(&scope, program, cur)
+            {
+                if config.conditional_jump {
+                    report.violations.push(Violation::BlockOutsideCommand {
+                        program,
+                        block: cur,
+                        label: sblk.label.clone(),
+                        cmd: self.scope_cmd(&scope),
+                    });
+                }
+                break;
+            }
+            if cblk.is_cmd_end {
+                scope = CmdScope::None;
+            }
+
+            // --- DSOD ---
+            for (k, op) in sblk.dsod.iter().enumerate() {
+                let flag = ccfg.op_flags[cblk.ops_at as usize + k];
+                match op {
+                    DsodOp::Exec(stmt) => {
+                        if let Err(v) = self.exec_shadow(
+                            stmt,
+                            flag,
+                            ws,
+                            req,
+                            config.parameter,
+                            program,
+                            cur,
+                            &sblk.label,
+                            scfg,
+                        ) {
+                            if config.parameter {
+                                report.violations.push(v);
+                            }
+                            break 'walk;
+                        }
+                    }
+                    DsodOp::SyncVar(v) => match sync.var_value(*v) {
+                        Some(val) => {
+                            ws.shadow.set_var_logged(*v, val, &mut ws.journal);
+                            report.syncs_used += 1;
+                        }
+                        None => {
+                            report.needs_sync = true;
+                            break 'walk;
+                        }
+                    },
+                    DsodOp::SyncBuf { buf, off, len } => {
+                        if let Some(v) = self.range_violation(
+                            config,
+                            flag,
+                            *buf,
+                            off,
+                            len,
+                            ws,
+                            req,
+                            program,
+                            cur,
+                            &sblk.label,
+                        ) {
+                            report.violations.push(v);
+                            break 'walk;
+                        }
+                        match sync.buf_content(*buf) {
+                            Some((off0, bytes)) => {
+                                report.syncs_used += 1;
+                                report.sync_bytes += bytes.len() as u64;
+                                for (k, byte) in bytes.iter().enumerate() {
+                                    if ws
+                                        .shadow
+                                        .buf_write_logged(
+                                            *buf,
+                                            off0 + k as i64,
+                                            *byte,
+                                            &mut ws.journal,
+                                        )
+                                        .is_err()
+                                    {
+                                        if config.parameter {
+                                            report.violations.push(Violation::ShadowFault {
+                                                program,
+                                                block: cur,
+                                                detail: "external copy left the arena".into(),
+                                            });
+                                        }
+                                        break 'walk;
+                                    }
+                                }
+                            }
+                            None => {
+                                report.needs_sync = true;
+                                break 'walk;
+                            }
+                        }
+                    }
+                    DsodOp::CheckBufRead { buf, off, len } => {
+                        if let Some(v) = self.range_violation(
+                            config,
+                            flag,
+                            *buf,
+                            off,
+                            len,
+                            ws,
+                            req,
+                            program,
+                            cur,
+                            &sblk.label,
+                        ) {
+                            report.violations.push(v);
+                            break 'walk;
+                        }
+                    }
+                }
+            }
+
+            // --- NBTD ---
+            match &sblk.nbtd {
+                Nbtd::None => {
+                    if cblk.is_exit {
+                        report.completed = true;
+                        break;
+                    }
+                    if cblk.is_return {
+                        let Some(ret) = ws.call_stack.pop() else {
+                            if config.conditional_jump {
+                                report
+                                    .violations
+                                    .push(Violation::UntracedPath { program, block: cur });
+                            }
+                            break;
+                        };
+                        let es = ccfg.resolve.get(ret as usize).copied().unwrap_or(NO_BLOCK);
+                        if es == NO_BLOCK {
+                            if config.conditional_jump {
+                                report
+                                    .violations
+                                    .push(Violation::UntracedPath { program, block: cur });
+                            }
+                            break;
+                        }
+                        cur = es;
+                        continue;
+                    }
+                    if cblk.next == NO_BLOCK {
+                        if config.conditional_jump {
+                            report.violations.push(Violation::UntracedPath { program, block: cur });
+                        }
+                        break;
+                    }
+                    cur = cblk.next;
+                }
+                Nbtd::Branch { cond, needs_sync } => {
+                    let taken = if *needs_sync {
+                        match sync.branch_outcome(sblk.origin) {
+                            Some(t) => {
+                                report.syncs_used += 1;
+                                t
+                            }
+                            None => {
+                                report.needs_sync = true;
+                                break;
+                            }
+                        }
+                    } else {
+                        let mut flags = OverflowFlags::clear();
+                        let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
+                        match eval_expr(cond, &ctx, &mut flags) {
+                            Ok(v) => v.is_true(),
+                            Err(e) => {
+                                if config.parameter {
+                                    report.violations.push(Violation::ShadowFault {
+                                        program,
+                                        block: cur,
+                                        detail: e.to_string(),
+                                    });
+                                }
+                                break;
+                            }
+                        }
+                    };
+                    let to = if taken { cblk.taken } else { cblk.not_taken };
+                    if to == NO_BLOCK {
+                        if config.conditional_jump {
+                            report.violations.push(Violation::UntrainedBranch {
+                                program,
+                                block: cur,
+                                label: sblk.label.clone(),
+                                taken,
+                            });
+                        }
+                        break;
+                    }
+                    cur = to;
+                }
+                Nbtd::Switch { scrutinee, needs_sync, is_cmd_decision } => {
+                    let value = if *needs_sync {
+                        match sync.switch_value(sblk.origin) {
+                            Some(v) => {
+                                report.syncs_used += 1;
+                                v
+                            }
+                            None => {
+                                report.needs_sync = true;
+                                break;
+                            }
+                        }
+                    } else {
+                        let mut flags = OverflowFlags::clear();
+                        let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
+                        match eval_expr(scrutinee, &ctx, &mut flags) {
+                            Ok(v) => v.bits,
+                            Err(e) => {
+                                if config.parameter {
+                                    report.violations.push(Violation::ShadowFault {
+                                        program,
+                                        block: cur,
+                                        detail: e.to_string(),
+                                    });
+                                }
+                                break;
+                            }
+                        }
+                    };
+                    if *is_cmd_decision {
+                        match self.cmd_keys.binary_search(&(gid(program, cur), value)) {
+                            Ok(i) => scope = CmdScope::Entry(i as u32),
+                            Err(_) => {
+                                if config.conditional_jump && config.command_scope {
+                                    report.violations.push(Violation::UnknownCommand {
+                                        program,
+                                        block: cur,
+                                        label: sblk.label.clone(),
+                                        cmd: value,
+                                    });
+                                    break;
+                                }
+                                scope = CmdScope::None;
+                            }
+                        }
+                    }
+                    let (cs, ce) = (cblk.cases.0 as usize, cblk.cases.1 as usize);
+                    match ccfg.case_vals[cs..ce].binary_search(&value) {
+                        Ok(i) => cur = ccfg.case_tos[cs + i],
+                        Err(_) => {
+                            if config.conditional_jump {
+                                report.violations.push(Violation::UnknownSwitchTarget {
+                                    program,
+                                    block: cur,
+                                    label: sblk.label.clone(),
+                                    value,
+                                });
+                            }
+                            break;
+                        }
+                    }
+                }
+                Nbtd::Indirect { ptr, ret_origin } => {
+                    let value = ws.shadow.var(*ptr);
+                    let Ok(i) = ccfg.fn_vals.binary_search(&value) else {
+                        if config.indirect_jump {
+                            report.violations.push(Violation::IndirectTarget {
+                                program,
+                                block: cur,
+                                label: sblk.label.clone(),
+                                value,
+                            });
+                        }
+                        break;
+                    };
+                    let t = ccfg.fn_tos[i];
+                    if t == NO_BLOCK {
+                        if config.conditional_jump {
+                            report.violations.push(Violation::UntracedPath { program, block: cur });
+                        }
+                        break;
+                    }
+                    ws.call_stack.push(*ret_origin);
+                    cur = t;
+                }
+            }
+        }
+
+        ws.pending = scope;
+        report
+    }
+
+    /// Bounds-checks a buffer range under the precomputed checkability
+    /// flag; mirrors the interpreted `range_violation` exactly,
+    /// including its silent tolerance of evaluation errors.
+    #[allow(clippy::too_many_arguments)]
+    fn range_violation(
+        &self,
+        config: &CheckConfig,
+        checkable: bool,
+        buf: BufId,
+        off: &Expr,
+        len: &Expr,
+        ws: &WalkState,
+        req: &IoRequest,
+        program: usize,
+        block: u32,
+        label: &str,
+    ) -> Option<Violation> {
+        if !config.parameter || !checkable {
+            return None;
+        }
+        let mut flags = OverflowFlags::clear();
+        let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
+        let o = eval_expr(off, &ctx, &mut flags).ok()?.as_i128() as i64;
+        let l = eval_expr(len, &ctx, &mut flags).ok()?.as_i128() as i64;
+        let cap = ws.shadow.buf_len(buf) as i64;
+        if o < 0 || l < 0 || o + l > cap {
+            return Some(Violation::BufferOverflow {
+                program,
+                block,
+                label: label.to_string(),
+                buf,
+                start: o,
+                end: o + l,
+                cap: cap as u64,
+            });
+        }
+        None
+    }
+
+    /// Executes one DSOD statement on the journaled shadow; the compiled
+    /// counterpart of the interpreted `exec_shadow`, with the
+    /// expression-scope derivation replaced by the precomputed `flag`.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_shadow(
+        &self,
+        stmt: &Stmt,
+        flag: bool,
+        ws: &mut WalkState,
+        req: &IoRequest,
+        enforce: bool,
+        program: usize,
+        block: u32,
+        label: &str,
+        scfg: &EsCfg,
+    ) -> Result<(), Violation> {
+        let mut flags = OverflowFlags::clear();
+        let shadow_fault =
+            |e: EvalError| Violation::ShadowFault { program, block, detail: e.to_string() };
+
+        match stmt {
+            Stmt::SetVar(v, e) => {
+                let val = {
+                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
+                    eval_expr(e, &ctx, &mut flags).map_err(shadow_fault)?
+                };
+                if enforce && flags.arithmetic && flag {
+                    return Err(Violation::IntegerOverflow {
+                        program,
+                        block,
+                        label: label.to_string(),
+                    });
+                }
+                let (w, signed) = ws.shadow.var_meta(*v);
+                let (conv, _) = val.convert(w, signed);
+                ws.shadow.set_var_logged(*v, conv.bits, &mut ws.journal);
+            }
+            Stmt::SetLocal(l, e) => {
+                let val = {
+                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
+                    eval_expr(e, &ctx, &mut flags).map_err(shadow_fault)?
+                };
+                let w = scfg.locals.get(l.0 as usize).copied().unwrap_or(Width::W64);
+                let (conv, _) = val.convert(w, false);
+                ws.locals[l.0 as usize] = conv;
+            }
+            Stmt::BufStore(b, idx, val) => {
+                let (i, v) = {
+                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
+                    let i =
+                        eval_expr(idx, &ctx, &mut flags).map_err(shadow_fault)?.as_i128() as i64;
+                    let v = eval_expr(val, &ctx, &mut flags).map_err(shadow_fault)?;
+                    (i, v)
+                };
+                let cap = ws.shadow.buf_len(*b) as i64;
+                if enforce && flag && (i < 0 || i >= cap) {
+                    return Err(Violation::BufferOverflow {
+                        program,
+                        block,
+                        label: label.to_string(),
+                        buf: *b,
+                        start: i,
+                        end: i + 1,
+                        cap: cap as u64,
+                    });
+                }
+                ws.shadow.buf_write_logged(*b, i, v.bits as u8, &mut ws.journal).map_err(|e| {
+                    Violation::ShadowFault { program, block, detail: e.to_string() }
+                })?;
+            }
+            Stmt::BufFill(b, e) => {
+                let v = {
+                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
+                    eval_expr(e, &ctx, &mut flags).map_err(shadow_fault)?
+                };
+                ws.shadow.buf_fill_logged(*b, v.bits as u8, &mut ws.journal);
+            }
+            Stmt::CopyPayload { buf, buf_off, len } => {
+                let (off, n) = {
+                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
+                    let off = eval_expr(buf_off, &ctx, &mut flags).map_err(shadow_fault)?.as_i128()
+                        as i64;
+                    let n = eval_expr(len, &ctx, &mut flags).map_err(shadow_fault)?.as_i128().max(0)
+                        as i64;
+                    (off, n)
+                };
+                let cap = ws.shadow.buf_len(*buf) as i64;
+                if enforce && flag && (off < 0 || off + n > cap) {
+                    return Err(Violation::BufferOverflow {
+                        program,
+                        block,
+                        label: label.to_string(),
+                        buf: *buf,
+                        start: off,
+                        end: off + n,
+                        cap: cap as u64,
+                    });
+                }
+                for k in 0..n {
+                    let byte = req.payload_byte(k as usize);
+                    ws.shadow.buf_write_logged(*buf, off + k, byte, &mut ws.journal).map_err(
+                        |e| Violation::ShadowFault { program, block, detail: e.to_string() },
+                    )?;
+                }
+            }
+            Stmt::Intrinsic(_) => unreachable!("intrinsics never appear as Exec DSOD"),
+        }
+        Ok(())
+    }
+}

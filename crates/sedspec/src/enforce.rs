@@ -11,6 +11,8 @@
 //! The wrapper also charges virtual time for checking work, which is
 //! what the performance experiments of Figures 3–5 measure.
 
+use std::sync::Arc;
+
 use sedspec_dbl::interp::ExecOutcome;
 use sedspec_devices::Device;
 use sedspec_vmm::{IoRequest, VmContext};
@@ -19,6 +21,7 @@ use serde::{Deserialize, Serialize};
 use crate::checker::{
     CheckConfig, EsChecker, NoSync, RecordedSync, RoundReport, Strategy, Violation, WorkingMode,
 };
+use crate::compiled::CompiledSpec;
 use crate::observe::Observer;
 use crate::spec::ExecutionSpecification;
 
@@ -126,6 +129,18 @@ impl IoVerdict {
     }
 }
 
+/// Which walk implementation an [`EnforcingDevice`] runs per round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// In-place journaled walk over the [`CompiledSpec`] (the hot path).
+    #[default]
+    Compiled,
+    /// The interpreted reference walk, cloning the shadow per round.
+    /// Kept for the differential equivalence suite and overhead
+    /// comparisons; verdicts and statistics are identical.
+    Interpreted,
+}
+
 /// A device with an ES-Checker enforcing its execution specification.
 #[derive(Debug)]
 pub struct EnforcingDevice {
@@ -137,18 +152,51 @@ pub struct EnforcingDevice {
     /// Accumulated statistics.
     pub stats: EnforceStats,
     halted: bool,
+    engine: Engine,
+    /// Reused across synced rounds; `begin` clears the event buffer.
+    observer: Observer,
 }
 
 impl EnforcingDevice {
     /// Wraps `device` with a checker enforcing `spec` in `mode`.
     pub fn new(device: Device, spec: ExecutionSpecification, mode: WorkingMode) -> Self {
         let checker = EsChecker::new(spec, device.control.clone());
-        EnforcingDevice { device, checker, mode, stats: EnforceStats::default(), halted: false }
+        EnforcingDevice {
+            device,
+            checker,
+            mode,
+            stats: EnforceStats::default(),
+            halted: false,
+            engine: Engine::default(),
+            observer: Observer::new(),
+        }
+    }
+
+    /// Wraps `device` with a checker over an already-compiled
+    /// specification (the fleet path: one compile per published
+    /// revision, shared by every tenant).
+    pub fn new_compiled(device: Device, compiled: Arc<CompiledSpec>, mode: WorkingMode) -> Self {
+        let checker = EsChecker::from_compiled(compiled, device.control.clone());
+        EnforcingDevice {
+            device,
+            checker,
+            mode,
+            stats: EnforceStats::default(),
+            halted: false,
+            engine: Engine::default(),
+            observer: Observer::new(),
+        }
     }
 
     /// Replaces the strategy configuration (for per-strategy experiments).
     pub fn with_config(mut self, config: CheckConfig) -> Self {
         self.checker = self.checker.with_config(config);
+        self
+    }
+
+    /// Selects the walk engine (compiled by default).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -205,7 +253,97 @@ impl EnforcingDevice {
                 Err(f) => IoVerdict::DeviceFault { fault: f.to_string(), violations: Vec::new() },
             };
         };
+        match self.engine {
+            Engine::Compiled => self.handle_io_compiled(ctx, req, pi),
+            Engine::Interpreted => self.handle_io_interpreted(ctx, req, pi),
+        }
+    }
 
+    /// The compiled hot path: the walk mutates the reusable shadow in
+    /// place under the undo journal; accepting a round is a journal
+    /// clear, rejecting replays the journal backwards. No per-round
+    /// shadow clone, no per-round allocation in the steady state.
+    fn handle_io_compiled(&mut self, ctx: &mut VmContext, req: &IoRequest, pi: usize) -> IoVerdict {
+        // Phase 1: pre-execution walk.
+        let pre = self.checker.walk_round_fast(pi, req, &mut NoSync);
+        self.charge(ctx, &pre, true);
+
+        if !pre.needs_sync {
+            if pre.ok() {
+                self.checker.commit_round();
+                self.stats.precheck_complete += 1;
+                return match self.device.handle_io(ctx, req) {
+                    Ok(out) => IoVerdict::Allowed(out),
+                    Err(f) => {
+                        IoVerdict::DeviceFault { fault: f.to_string(), violations: Vec::new() }
+                    }
+                };
+            }
+            self.checker.abort_round();
+            let violations = pre.violations;
+            return if self.should_halt(&violations) {
+                self.halted = true;
+                self.stats.halts += 1;
+                IoVerdict::Halted { violations, executed: false }
+            } else {
+                self.stats.warnings += 1;
+                let outcome = self.device.handle_io(ctx, req).ok();
+                self.checker.resync_shadow(&self.device.state);
+                IoVerdict::Warned { violations, outcome }
+            };
+        }
+
+        // Phase 2: the walk needs sync data — roll the partial walk
+        // back, run the device under observation, then re-walk with the
+        // recorded sync values.
+        self.checker.abort_round();
+        self.stats.synced_rounds += 1;
+        self.observer.begin(pi, req);
+        let result = self.device.handle_io_hooked(ctx, req, &mut self.observer);
+        let round_log = self.observer.end(result.as_ref().err().map(|f| f.to_string()));
+        let mut recorded = RecordedSync::from_round(&round_log);
+        let post = self.checker.walk_round_fast(pi, req, &mut recorded);
+        self.charge(ctx, &post, false);
+
+        if post.ok() && !post.needs_sync {
+            self.checker.commit_round();
+            return match result {
+                Ok(out) => IoVerdict::Allowed(out),
+                Err(f) => IoVerdict::DeviceFault { fault: f.to_string(), violations: Vec::new() },
+            };
+        }
+
+        self.checker.abort_round();
+        let violations = post.violations;
+        if violations.is_empty() {
+            // Sync data ran out without a verdict: the device diverged
+            // from every trained path (it may have crashed mid-round).
+            return match result {
+                Err(f) => IoVerdict::DeviceFault { fault: f.to_string(), violations },
+                Ok(out) => {
+                    self.checker.resync_shadow(&self.device.state);
+                    IoVerdict::Allowed(out)
+                }
+            };
+        }
+        if self.should_halt(&violations) {
+            self.halted = true;
+            self.stats.halts += 1;
+            IoVerdict::Halted { violations, executed: true }
+        } else {
+            self.stats.warnings += 1;
+            self.checker.resync_shadow(&self.device.state);
+            IoVerdict::Warned { violations, outcome: result.ok() }
+        }
+    }
+
+    /// The interpreted reference path (clones the shadow per walk).
+    fn handle_io_interpreted(
+        &mut self,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+        pi: usize,
+    ) -> IoVerdict {
         // Phase 1: pre-execution walk.
         let pre = self.checker.walk_round(pi, req, &mut NoSync);
         self.charge(ctx, &pre.report, true);
@@ -237,10 +375,9 @@ impl EnforcingDevice {
         // Phase 2: the walk needs sync data — run the device under
         // observation, then complete the check post-hoc.
         self.stats.synced_rounds += 1;
-        let mut obs = Observer::new();
-        obs.begin(pi, req);
-        let result = self.device.handle_io_hooked(ctx, req, &mut obs);
-        let round_log = obs.end(result.as_ref().err().map(|f| f.to_string()));
+        self.observer.begin(pi, req);
+        let result = self.device.handle_io_hooked(ctx, req, &mut self.observer);
+        let round_log = self.observer.end(result.as_ref().err().map(|f| f.to_string()));
         let mut recorded = RecordedSync::from_round(&round_log);
         let post = self.checker.walk_round(pi, req, &mut recorded);
         self.charge(ctx, &post.report, false);

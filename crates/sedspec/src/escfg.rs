@@ -169,19 +169,29 @@ pub struct CommandAccessTable {
 }
 
 impl CommandAccessTable {
-    /// The entry for command `cmd` at decision block `decision`, if trained.
-    pub fn lookup(&self, decision: u64, cmd: u64) -> Option<&CommandEntry> {
-        self.entries.iter().find(|e| e.decision == decision && e.cmd == cmd)
+    /// Index of the entry for `(decision, cmd)`, or the insertion point
+    /// keeping `entries` sorted by that pair.
+    fn position(&self, decision: u64, cmd: u64) -> Result<usize, usize> {
+        self.entries.binary_search_by(|e| (e.decision, e.cmd).cmp(&(decision, cmd)))
     }
 
-    /// Mutable access, creating the entry if new.
+    /// The entry for command `cmd` at decision block `decision`, if trained.
+    pub fn lookup(&self, decision: u64, cmd: u64) -> Option<&CommandEntry> {
+        self.position(decision, cmd).ok().map(|i| &self.entries[i])
+    }
+
+    /// Mutable access, creating the entry if new. Entries stay sorted by
+    /// `(decision, cmd)`, so lookups binary-search instead of scanning —
+    /// training on large sample suites used to be quadratic here.
     pub fn entry_mut(&mut self, decision: u64, cmd: u64) -> &mut CommandEntry {
-        if let Some(i) = self.entries.iter().position(|e| e.decision == decision && e.cmd == cmd) {
-            &mut self.entries[i]
-        } else {
-            self.entries.push(CommandEntry { decision, cmd, allowed: BTreeSet::new() });
-            self.entries.last_mut().expect("just pushed")
-        }
+        let i = match self.position(decision, cmd) {
+            Ok(i) => i,
+            Err(i) => {
+                self.entries.insert(i, CommandEntry { decision, cmd, allowed: BTreeSet::new() });
+                i
+            }
+        };
+        &mut self.entries[i]
     }
 
     /// Number of `(decision, cmd)` entries.
@@ -209,7 +219,8 @@ pub struct EsCfg {
     /// Static pass-through resolution: any program block → the origin of
     /// the next ES-relevant program block reached by jump-only chains.
     pub forward: BTreeMap<u32, u32>,
-    /// Observed adjacency: ES block → outgoing edges.
+    /// Observed adjacency: ES block → outgoing edges, each list sorted
+    /// by `(key, to)` (maintained by [`EsCfg::add_edge`]).
     pub edges: BTreeMap<u32, Vec<EsEdge>>,
     /// ES index of the entry block (`None` until the entry was traced).
     pub entry: Option<u32>,
@@ -225,17 +236,29 @@ pub struct EsCfg {
 
 impl EsCfg {
     /// The edge out of `from` with outcome `key`, if observed.
+    ///
+    /// Per-block edge lists are kept sorted by `(key, to)`, so the
+    /// lookup is a binary search (an outcome tag maps to one target: a
+    /// branch side, a switch case and an indirect value each resolve to
+    /// a single static successor).
     pub fn edge(&self, from: u32, key: EdgeKey) -> Option<&EsEdge> {
-        self.edges.get(&from).and_then(|v| v.iter().find(|e| e.key == key))
+        let list = self.edges.get(&from)?;
+        let i = list.partition_point(|e| e.key < key);
+        list.get(i).filter(|e| e.key == key)
     }
 
     /// Records (or bumps) an observed edge.
     pub fn record_edge(&mut self, from: u32, key: EdgeKey, to: u32) {
+        self.add_edge(from, key, to, 1);
+    }
+
+    /// Records an edge carrying `hits` observations, keeping the
+    /// per-block list sorted by `(key, to)`.
+    pub fn add_edge(&mut self, from: u32, key: EdgeKey, to: u32, hits: u64) {
         let list = self.edges.entry(from).or_default();
-        if let Some(e) = list.iter_mut().find(|e| e.key == key && e.to == to) {
-            e.hits += 1;
-        } else {
-            list.push(EsEdge { key, to, hits: 1 });
+        match list.binary_search_by(|e| (e.key, e.to).cmp(&(key, to))) {
+            Ok(i) => list[i].hits += hits,
+            Err(i) => list.insert(i, EsEdge { key, to, hits }),
         }
     }
 

@@ -59,6 +59,7 @@
 
 pub mod checker;
 pub mod collect;
+pub mod compiled;
 pub mod construct;
 pub mod deprecover;
 pub mod enforce;

@@ -8,6 +8,8 @@
 //! writes to the selected device-state parameters, and the values of
 //! external-data loads (the future sync-point values).
 
+use std::sync::Arc;
+
 use sedspec_dbl::interp::ExecHook;
 use sedspec_dbl::ir::{BlockId, BlockKind, BufId, VarId};
 use sedspec_dbl::state::AccessEffect;
@@ -74,8 +76,9 @@ pub enum ObsEvent {
         buf: BufId,
         /// Destination start offset.
         off: i64,
-        /// The copied bytes.
-        bytes: Vec<u8>,
+        /// The copied bytes, shared so replay queues and snapshots can
+        /// reference the payload without copying it.
+        bytes: Arc<[u8]>,
     },
     /// External data entered the device state (a sync-point value).
     ExternalLoad {
@@ -234,7 +237,7 @@ impl ExecHook for Observer {
     }
 
     fn on_external_buf(&mut self, buf: BufId, off: i64, bytes: &[u8]) {
-        self.events.push(ObsEvent::ExternalBuf { buf, off, bytes: bytes.to_vec() });
+        self.events.push(ObsEvent::ExternalBuf { buf, off, bytes: Arc::from(bytes) });
     }
 
     fn on_cond_branch(&mut self, block: BlockId, taken: bool) {

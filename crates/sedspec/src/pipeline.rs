@@ -150,6 +150,17 @@ pub fn deploy(device: Device, spec: ExecutionSpecification, mode: WorkingMode) -
     EnforcingDevice::new(device, spec, mode)
 }
 
+/// Like [`deploy`], over an already-compiled specification. Compiling
+/// once and sharing the [`CompiledSpec`] avoids re-lowering (and
+/// re-cloning) the specification for every deployed device.
+pub fn deploy_compiled(
+    device: Device,
+    compiled: std::sync::Arc<crate::compiled::CompiledSpec>,
+    mode: WorkingMode,
+) -> EnforcingDevice {
+    EnforcingDevice::new_compiled(device, compiled, mode)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,9 +36,13 @@ pub fn reduce(cfgs: &mut [EsCfg]) -> ReduceReport {
                 if t == n {
                     // Both observed outcomes converge: merge.
                     cfg.blocks[es as usize].nbtd = Nbtd::None;
-                    let edges = cfg.edges.get_mut(&es).expect("edges exist");
-                    edges.retain(|e| e.key != EdgeKey::Taken && e.key != EdgeKey::NotTaken);
-                    edges.push(crate::escfg::EsEdge { key: EdgeKey::Next, to: t, hits: th + nh });
+                    cfg.edges
+                        .get_mut(&es)
+                        .expect("edges exist")
+                        .retain(|e| e.key != EdgeKey::Taken && e.key != EdgeKey::NotTaken);
+                    // Sorted re-insertion keeps the (key, to) invariant
+                    // the binary-search lookups rely on.
+                    cfg.add_edge(es, EdgeKey::Next, t, th + nh);
                     report.merged_branches += 1;
                     report.removed_edges += 1;
                 }

@@ -85,7 +85,7 @@ impl SnapshotRing {
         self.slots.push_back(Snapshot {
             device_state: enforcer.device.state.clone(),
             shadow: enforcer.checker().shadow().clone(),
-            cmd_ctx: enforcer.checker().cmd_ctx().cloned(),
+            cmd_ctx: enforcer.checker().cmd_ctx(),
         });
     }
 

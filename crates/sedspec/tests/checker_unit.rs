@@ -217,7 +217,11 @@ fn recorded_sync_replays_in_order() {
             ObsEvent::ExternalLoad { var: Some(VarId(3)), buf: None, value: 22 },
             ObsEvent::CondBranch { block: 5, taken: false },
             ObsEvent::Switch { block: 9, value: 77, target: 1 },
-            ObsEvent::ExternalBuf { buf: sedspec_dbl::ir::BufId(0), off: 4, bytes: vec![1, 2] },
+            ObsEvent::ExternalBuf {
+                buf: sedspec_dbl::ir::BufId(0),
+                off: 4,
+                bytes: vec![1, 2].into(),
+            },
         ],
         fault: None,
     };
@@ -229,7 +233,7 @@ fn recorded_sync_replays_in_order() {
     assert_eq!(sync.branch_outcome(5), Some(false));
     assert_eq!(sync.branch_outcome(6), None);
     assert_eq!(sync.switch_value(9), Some(77));
-    assert_eq!(sync.buf_content(sedspec_dbl::ir::BufId(0)), Some((4, vec![1, 2])));
+    assert_eq!(sync.buf_content(sedspec_dbl::ir::BufId(0)), Some((4, vec![1, 2].into())));
     assert_eq!(sync.buf_content(sedspec_dbl::ir::BufId(0)), None);
 }
 

@@ -5,9 +5,13 @@
 //! cargo run --release --example overhead_report
 //! ```
 
+use std::time::Instant;
+
+use sedspec::checker::{EsChecker, NoSync};
+use sedspec::collect::TrainStep;
 use sedspec::pipeline::{train_script, TrainingConfig};
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
-use sedspec_repro::vmm::VmContext;
+use sedspec_repro::vmm::{IoDirection, IoRequest, VmContext};
 use sedspec_repro::workloads::generators::training_suite;
 use sedspec_repro::workloads::perf::{
     network_bench, ping_bench, storage_bench, IoDir, NetDir, Transport,
@@ -19,6 +23,67 @@ fn spec_for(kind: DeviceKind) -> sedspec::spec::ExecutionSpecification {
     let suite = training_suite(kind, 60, 0x7a11);
     train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
         .expect("training succeeds")
+}
+
+/// First trained read that the device routes: a benign steady-state
+/// round to repeat when timing the bare specification walk.
+fn probe_for(kind: DeviceKind) -> IoRequest {
+    let device = build_device(kind, QemuVersion::Patched);
+    training_suite(kind, 2, 0x7a11)
+        .into_iter()
+        .flatten()
+        .find_map(|step| match step {
+            TrainStep::Io(req)
+                if req.direction == IoDirection::Read && device.route(&req).is_some() =>
+            {
+                Some(req)
+            }
+            _ => None,
+        })
+        .expect("training suite contains a routable read")
+}
+
+/// Median ns/op over `samples` batches of `iters` calls.
+fn median_ns(samples: usize, iters: u32, mut op: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                op();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    times[times.len() / 2]
+}
+
+/// Per-round specification walk cost: the interpreted reference walk
+/// (clones the shadow each round) against the compiled hot path
+/// (in-place journaled walk + rollback). The same comparison behind
+/// `sedspec bench-checker` / BENCH_checker.json, in miniature.
+fn walk_cost_report() {
+    println!("\n{:<10} {:>16} {:>14} {:>9}", "device", "interpreted ns", "compiled ns", "speedup");
+    for kind in DeviceKind::all() {
+        let spec = spec_for(kind);
+        let device = build_device(kind, QemuVersion::Patched);
+        let req = probe_for(kind);
+        let pi = device.route(&req).expect("probe routes");
+        let interp = EsChecker::new(spec.clone(), device.control.clone());
+        let interp_ns = median_ns(9, 2000, || drop(interp.walk_round(pi, &req, &mut NoSync)));
+        let mut fast = EsChecker::new(spec, device.control.clone());
+        let compiled_ns = median_ns(9, 2000, || {
+            fast.walk_round_fast(pi, &req, &mut NoSync);
+            fast.abort_round();
+        });
+        println!(
+            "{:<10} {:>16.1} {:>14.1} {:>8.2}x",
+            kind.to_string(),
+            interp_ns,
+            compiled_ns,
+            interp_ns / compiled_ns
+        );
+    }
 }
 
 fn main() {
@@ -55,4 +120,6 @@ fn main() {
         enf_ping.latency_ns() / 1e3,
         (enf_ping.latency_ns() / raw_ping.latency_ns() - 1.0) * 100.0
     );
+
+    walk_cost_report();
 }

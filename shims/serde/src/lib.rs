@@ -376,6 +376,20 @@ impl<'de, T: Deserialize<'de>> Deserialize<'de> for Arc<T> {
     }
 }
 
+// The generic `Arc<T>` impls above are implicitly `T: Sized`; shared
+// byte slices need their own (serialized like `Vec<u8>`).
+impl Serialize for Arc<[u8]> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for Arc<[u8]> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<u8>::from_value(v).map(Arc::from)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {

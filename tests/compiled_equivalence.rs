@@ -1,0 +1,162 @@
+//! Differential proof that the compiled enforcement hot path is
+//! verdict-equivalent to the interpreted reference walk.
+//!
+//! Two enforcing devices over the *same trained specification* — one on
+//! [`Engine::Compiled`] (journaled in-place walk over the
+//! `CompiledSpec`), one on [`Engine::Interpreted`] (per-round shadow
+//! clone) — service identical traffic. Every round must produce the
+//! same [`IoVerdict`], the same alert level, and at the end the same
+//! [`EnforceStats`], halt latch, shadow state and command scope. Runs
+//! over random benign-and-rare batches for all five devices in both
+//! working modes, plus every CVE proof-of-concept stream from Table III.
+
+use proptest::prelude::*;
+use sedspec::checker::WorkingMode;
+use sedspec::collect::{apply_step, TrainStep};
+use sedspec::enforce::{EnforcingDevice, Engine};
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec::response::highest_alert;
+use sedspec::spec::ExecutionSpecification;
+use sedspec_dbl::interp::ExecLimits;
+use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_repro::vmm::VmContext;
+use sedspec_repro::workloads::attacks::{poc, Cve};
+use sedspec_repro::workloads::generators::{eval_case, training_suite};
+use sedspec_repro::workloads::InteractionMode;
+
+fn train(kind: DeviceKind, version: QemuVersion, cases: usize) -> ExecutionSpecification {
+    let mut device = build_device(kind, version);
+    device.set_limits(ExecLimits { max_steps: 50_000 });
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, cases, 0x7a11);
+    train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).expect("training")
+}
+
+/// Drives both engines through `steps` and asserts lockstep equality.
+fn assert_engines_agree(
+    kind: DeviceKind,
+    version: QemuVersion,
+    spec: &ExecutionSpecification,
+    mode: WorkingMode,
+    steps: &[TrainStep],
+) -> Result<(), TestCaseError> {
+    let build = |engine| {
+        let mut device = build_device(kind, version);
+        device.set_limits(ExecLimits { max_steps: 50_000 });
+        EnforcingDevice::new(device, spec.clone(), mode).with_engine(engine)
+    };
+    let mut compiled = build(Engine::Compiled);
+    let mut interp = build(Engine::Interpreted);
+    let mut ctx_c = VmContext::new(0x200000, 8192);
+    let mut ctx_i = VmContext::new(0x200000, 8192);
+
+    for (round, step) in steps.iter().enumerate() {
+        let req_c = apply_step(step, &mut ctx_c);
+        let req_i = apply_step(step, &mut ctx_i);
+        prop_assert_eq!(&req_c, &req_i, "{} round {}: request streams diverged", kind, round);
+        let Some(req) = req_c else { continue };
+        if compiled.device.route(req).is_none() {
+            continue;
+        }
+        let vc = compiled.handle_io(&mut ctx_c, req);
+        let vi = interp.handle_io(&mut ctx_i, req_i.unwrap());
+        prop_assert_eq!(
+            &vc,
+            &vi,
+            "{} {:?} round {}: verdicts diverged on {:?}",
+            kind,
+            mode,
+            round,
+            step
+        );
+        prop_assert_eq!(
+            highest_alert(vc.violations()),
+            highest_alert(vi.violations()),
+            "{} {:?} round {}: alert levels diverged",
+            kind,
+            mode,
+            round
+        );
+    }
+
+    prop_assert_eq!(compiled.stats, interp.stats, "{} {:?}: EnforceStats diverged", kind, mode);
+    prop_assert_eq!(
+        compiled.is_halted(),
+        interp.is_halted(),
+        "{} {:?}: halt latches diverged",
+        kind,
+        mode
+    );
+    prop_assert_eq!(
+        compiled.checker().shadow(),
+        interp.checker().shadow(),
+        "{} {:?}: committed shadow states diverged",
+        kind,
+        mode
+    );
+    prop_assert_eq!(
+        compiled.checker().cmd_ctx(),
+        interp.checker().cmd_ctx(),
+        "{} {:?}: command scopes diverged",
+        kind,
+        mode
+    );
+    Ok(())
+}
+
+fn run_differential(kind: DeviceKind, seed: u64) -> Result<(), TestCaseError> {
+    let spec = train(kind, QemuVersion::Patched, 40);
+    // Even seeds stay benign; odd seeds inject rare/hostile operations
+    // so the violation paths (halts, warnings, aborts) are compared too.
+    let rare = if seed.is_multiple_of(2) { 0.0 } else { 0.25 };
+    let mode = InteractionMode::all()[(seed % 3) as usize];
+    let steps = eval_case(kind, mode, rare, seed);
+    for working in [WorkingMode::Protection, WorkingMode::Enhancement] {
+        assert_engines_agree(kind, QemuVersion::Patched, &spec, working, &steps)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fdc_compiled_matches_interpreted(seed in 0u64..5000) {
+        run_differential(DeviceKind::Fdc, seed)?;
+    }
+
+    #[test]
+    fn sdhci_compiled_matches_interpreted(seed in 0u64..5000) {
+        run_differential(DeviceKind::Sdhci, seed)?;
+    }
+
+    #[test]
+    fn scsi_compiled_matches_interpreted(seed in 0u64..5000) {
+        run_differential(DeviceKind::Scsi, seed)?;
+    }
+
+    #[test]
+    fn ehci_compiled_matches_interpreted(seed in 0u64..5000) {
+        run_differential(DeviceKind::UsbEhci, seed)?;
+    }
+
+    #[test]
+    fn pcnet_compiled_matches_interpreted(seed in 0u64..5000) {
+        run_differential(DeviceKind::Pcnet, seed)?;
+    }
+}
+
+/// Every CVE proof-of-concept stream (including the known-miss case)
+/// renders identical verdicts on both engines, in both working modes,
+/// against the vulnerable device version it targets.
+#[test]
+fn cve_pocs_render_identical_verdicts() {
+    for cve in Cve::all_with_known_miss() {
+        let p = poc(cve);
+        let spec = train(p.device, p.qemu_version, 60);
+        for mode in [WorkingMode::Protection, WorkingMode::Enhancement] {
+            assert_engines_agree(p.device, p.qemu_version, &spec, mode, &p.steps)
+                .unwrap_or_else(|e| panic!("{}: {}", p.cve.id(), e));
+        }
+    }
+}
