@@ -77,6 +77,38 @@ fn bench_enforced_round(c: &mut Criterion) {
     group.finish();
 }
 
+/// Instrumentation overhead on the enforced round: no sink at all
+/// (the recorderless baseline), a disabled [`NoopSink`] (the
+/// branch-cheap path that must stay within noise of the baseline), and
+/// a live hub sink (full trace + metrics + timing cost, the price of
+/// turning observability on).
+fn bench_obs_overhead(c: &mut Criterion) {
+    use sedspec_obs::{NoopSink, ObsHub, ScopeInfo};
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(30);
+    let kind = DeviceKind::Fdc;
+    let (spec, _) = trained_spec(kind, QemuVersion::Patched);
+    let req = poll_request(kind);
+    for tag in ["disabled", "noop_sink", "hub_sink"] {
+        let device = build_device(kind, QemuVersion::Patched);
+        let mut enforcer = EnforcingDevice::new(device, spec.clone(), WorkingMode::Enhancement);
+        match tag {
+            "disabled" => {}
+            "noop_sink" => enforcer.set_sink(Some(Arc::new(NoopSink))),
+            _ => {
+                let hub = Arc::new(ObsHub::new());
+                enforcer.set_sink(Some(hub.sink(ScopeInfo::device("FDC"))));
+            }
+        }
+        let mut ctx = VmContext::new(0x10000, 64);
+        group.bench_function(tag, |b| {
+            b.iter(|| enforcer.handle_io(&mut ctx, &req));
+        });
+    }
+    group.finish();
+}
+
 /// Fleet round throughput: four single-device tenants on one shard, all
 /// sharing the registry's publish-time compiled spec.
 fn bench_fleet_rounds(c: &mut Criterion) {
@@ -106,5 +138,5 @@ fn bench_fleet_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_walk, bench_enforced_round, bench_fleet_rounds);
+criterion_group!(benches, bench_walk, bench_enforced_round, bench_obs_overhead, bench_fleet_rounds);
 criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! sedspec attack <cve> [--spec spec.json] [--mode protection|enhancement]
 //! sedspec fleet  [--tenants K] [--shards N] [--cases C] [--batches B] [--seed S]
 //! sedspec bench-checker [--cases N] [--out BENCH_checker.json]
+//! sedspec obs-report [--cases N] [--top K] [--metrics] [--trace]
 //! sedspec devices|cves
 //! ```
 //!
@@ -14,7 +15,11 @@
 //! vulnerable device version and replays the PoC under enforcement;
 //! `fleet` hosts K tenants of five enforced devices each on an N-shard
 //! pool, drives benign traffic plus injected CVE PoCs, and prints
-//! throughput and the quarantine summary.
+//! throughput and the quarantine summary; `obs-report` runs a small
+//! observed fleet (one benign tenant, one Venom-compromised tenant)
+//! and prints the observability report — hottest ES blocks, walk
+//! latency histograms, and the flight-recorder forensics of every
+//! flagged round.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -320,7 +325,9 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
     let report = pool.report();
     print!("{}", report.render());
     let alerts = pool.drain_alerts();
-    println!("alert stream: {} events", alerts.len());
+    println!("alert stream: {} events, tail:", alerts.len());
+    let tail = &alerts[alerts.len().saturating_sub(5)..];
+    print!("{}", sedspec_fleet::FleetReport::render_alerts(tail));
 
     let aggregate = report.aggregate();
     let mut summed = sedspec::enforce::EnforceStats::default();
@@ -352,6 +359,86 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---------------------------------------------------- obs-report --
+
+/// Runs a small fully observed fleet — a benign tenant and a
+/// Venom-compromised tenant sharing one shard pair — then prints the
+/// hub's operator report: hottest ES blocks (labelled from the
+/// published specification), walk latency histograms, and the
+/// flight-recorder forensics frozen at each flagged round.
+fn cmd_obs_report(args: &[String]) -> ExitCode {
+    use sedspec_fleet::FleetReport;
+    use sedspec_obs::ObsHub;
+
+    let cases: usize = flag(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(30);
+    let top: usize = flag(args, "--top").and_then(|v| v.parse().ok()).unwrap_or(5);
+    let seed = 0x7a11;
+    let kind = DeviceKind::Fdc;
+    let version = QemuVersion::V2_3_0; // the Venom-vulnerable FDC
+
+    let hub = Arc::new(ObsHub::new());
+    let registry = Arc::new(SpecRegistry::new());
+    registry.attach_obs(&hub);
+    eprintln!("training {kind}/{version} ({cases} cases) ...");
+    registry.publish(kind, version, train_spec(kind, version, cases, seed));
+    let spec = registry.current(kind, version).expect("just published").1;
+
+    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), Arc::clone(&hub));
+    for t in 0..2u64 {
+        if let Err(e) = pool.add_tenant(TenantConfig::new(t).with_devices(vec![(kind, version)])) {
+            eprintln!("cannot host tenant {t}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Benign traffic on both tenants, then the Venom PoC grinds tenant
+    // 1 through rollback into quarantine.
+    let suite = training_suite(kind, cases, seed);
+    for batch in 0..4 {
+        for t in 0..2u64 {
+            let steps = suite[(batch + t as usize) % suite.len()].clone();
+            let ticket = pool.submit_steps(TenantId(t), steps).expect("submit benign batch");
+            let _ = pool.wait(ticket).expect("shard serves the batch");
+        }
+    }
+    let venom = poc(Cve::Cve2015_3456);
+    for _ in 0..2 {
+        let ticket = pool.submit_steps(TenantId(1), venom.steps.clone()).expect("submit PoC");
+        let _ = pool.wait(ticket).expect("shard serves the PoC");
+    }
+
+    let alerts = pool.drain_alerts();
+    println!("alert stream ({} events):", alerts.len());
+    print!("{}", FleetReport::render_alerts(&alerts));
+
+    // Labels come from the published specification's ES-CFG blocks.
+    let resolve = move |device: &str, program: u32, block: u32| -> Option<String> {
+        if device != spec.device {
+            return None;
+        }
+        spec.cfgs
+            .get(program as usize)
+            .and_then(|c| c.blocks.get(block as usize))
+            .map(|b| b.label.clone())
+    };
+    print!("{}", hub.render_report(top, &resolve));
+
+    if args.iter().any(|a| a == "--metrics") {
+        println!("--- prometheus exposition ---");
+        print!("{}", hub.metrics().render_prometheus());
+    }
+    if args.iter().any(|a| a == "--trace") {
+        println!("--- trace (json lines) ---");
+        print!("{}", hub.trace_jsonl());
+    }
+
+    if hub.forensics().is_empty() {
+        eprintln!("FAIL: the PoC left no flight-recorder records");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 // ------------------------------------------------- bench-checker --
 
 /// One device's hot-path measurements for `BENCH_checker.json`.
@@ -368,6 +455,9 @@ struct CheckerBenchRow {
 #[derive(serde::Serialize)]
 struct CheckerBenchReport {
     note: String,
+    /// Logical cores visible to the benchmarking host; contextualizes
+    /// the fleet number (no multi-shard overlap on a single core).
+    host_cores: usize,
     devices: Vec<CheckerBenchRow>,
     walk_speedup_geomean: f64,
     fleet_rounds_per_sec: f64,
@@ -496,6 +586,7 @@ fn cmd_bench_checker(args: &[String]) -> ExitCode {
                has a near-constant per-round floor, so its advantage grows \
                with spec size (smallest on FDC, largest on SDHCI/EHCI)"
             .into(),
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         devices: rows,
         walk_speedup_geomean,
         fleet_rounds_per_sec,
@@ -522,6 +613,7 @@ fn main() -> ExitCode {
         Some("attack") => cmd_attack(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("bench-checker") => cmd_bench_checker(&args[1..]),
+        Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("devices") => {
             for k in DeviceKind::all() {
                 println!("{k}");
@@ -536,7 +628,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: sedspec <train|inspect|attack|fleet|bench-checker|devices|cves> ...");
+            eprintln!(
+                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|devices|cves> ..."
+            );
             ExitCode::from(2)
         }
     }

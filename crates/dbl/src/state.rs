@@ -211,6 +211,29 @@ impl ControlStructure {
         (var_off, buf_off)
     }
 
+    /// The field covering arena byte `off`, as `(name, offset within
+    /// the field)`. `None` when `off` is past the arena.
+    pub fn field_at(&self, off: usize) -> Option<(&str, usize)> {
+        let mut at = 0usize;
+        for f in &self.order {
+            let (name, len) = match f {
+                FieldRef::Var(i) => {
+                    let v = &self.vars[*i as usize];
+                    (v.name.as_str(), v.width.bytes())
+                }
+                FieldRef::Buf(i) => {
+                    let b = &self.bufs[*i as usize];
+                    (b.name.as_str(), b.len)
+                }
+            };
+            if off < at + len {
+                return Some((name, off - at));
+            }
+            at += len;
+        }
+        None
+    }
+
     /// Creates a reset-state runtime instance.
     pub fn instantiate(&self) -> CsState {
         let (var_off, buf_off) = self.offsets();
@@ -476,6 +499,38 @@ impl CsState {
         self.buf_fill(b, byte);
     }
 
+    /// The net byte changes the journaled writes left in the arena, as
+    /// coalesced `(offset, original bytes, current bytes)` ranges.
+    ///
+    /// The journal is chronological, so the *first* entry covering a
+    /// byte holds its pre-round value; bytes a later write restored to
+    /// their original value are omitted. Call before [`CsState::undo`]
+    /// — afterwards the journal is empty and the diff is too.
+    pub fn journal_diff(&self, journal: &CsJournal) -> Vec<(u32, Vec<u8>, Vec<u8>)> {
+        let mut original: std::collections::BTreeMap<u32, u8> = std::collections::BTreeMap::new();
+        for e in &journal.entries {
+            let bytes = e.old.to_le_bytes();
+            for (i, &b) in bytes.iter().enumerate().take(e.len as usize) {
+                original.entry(e.off + i as u32).or_insert(b);
+            }
+        }
+        let mut out: Vec<(u32, Vec<u8>, Vec<u8>)> = Vec::new();
+        for (off, old) in original {
+            let new = self.arena[off as usize];
+            if new == old {
+                continue;
+            }
+            match out.last_mut() {
+                Some((start, olds, news)) if *start + olds.len() as u32 == off => {
+                    olds.push(old);
+                    news.push(new);
+                }
+                _ => out.push((off, vec![old], vec![new])),
+            }
+        }
+        out
+    }
+
     /// Rolls back every journaled write in reverse order and clears the
     /// journal. Afterwards the arena is byte-identical to its state
     /// before the first logged write.
@@ -666,6 +721,42 @@ mod tests {
         let s = cs.var_signed("idx", Width::W16);
         let st = cs.instantiate();
         assert_eq!(st.var_meta(s), (Width::W16, true));
+    }
+
+    #[test]
+    fn field_at_walks_declaration_order() {
+        let (cs, ..) = fdc_like();
+        // Layout: msr @0 (1 byte), fifo @1..17, data_pos @17..21, irq @21..29.
+        assert_eq!(cs.field_at(0), Some(("msr", 0)));
+        assert_eq!(cs.field_at(1), Some(("fifo", 0)));
+        assert_eq!(cs.field_at(16), Some(("fifo", 15)));
+        assert_eq!(cs.field_at(17), Some(("data_pos", 0)));
+        assert_eq!(cs.field_at(21), Some(("irq", 0)));
+        assert_eq!(cs.field_at(cs.arena_size()), None);
+    }
+
+    #[test]
+    fn journal_diff_reports_net_changes_only() {
+        let (cs, msr, fifo, data_pos, _) = fdc_like();
+        let mut st = cs.instantiate();
+        st.set_var(data_pos, 0x0102_0304);
+        let mut j = CsJournal::new();
+        // msr written then restored to its original value: not in the diff.
+        st.set_var_logged(msr, 0x55, &mut j);
+        st.set_var_logged(msr, 0x80, &mut j);
+        // A spill into data_pos, then a var write over the same bytes:
+        // diff must compare against the *pre-round* bytes.
+        st.buf_write_logged(fifo, 16, 0x2a, &mut j).unwrap();
+        st.set_var_logged(data_pos, 0x0102_99aa, &mut j);
+        let diff = st.journal_diff(&j);
+        assert_eq!(diff.len(), 1);
+        let (off, old, new) = &diff[0];
+        assert_eq!(*off, 17);
+        assert_eq!(old, &vec![0x04, 0x03]);
+        assert_eq!(new, &vec![0xaa, 0x99]);
+        // After undo the journal is empty and so is the diff.
+        st.undo(&mut j);
+        assert!(st.journal_diff(&j).is_empty());
     }
 
     #[test]

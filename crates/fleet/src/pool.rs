@@ -15,6 +15,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -25,6 +26,7 @@ use sedspec::enforce::{EnforceStats, EnforcingDevice};
 use sedspec::pipeline::deploy_compiled;
 use sedspec::response::{highest_alert, AlertLevel, SnapshotRing};
 use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_obs::{ObsHub, ObsSink, ScopeId, ScopeInfo, ScopedSink, TraceEventKind};
 use sedspec_vmm::{IoRequest, VmContext};
 use serde::{Deserialize, Serialize};
 
@@ -162,6 +164,9 @@ struct DeviceSlot {
     epoch: u64,
     enforcer: EnforcingDevice,
     ring: SnapshotRing,
+    /// Observability sink bound to this slot's `shard/tenant/device`
+    /// scope; survives hot-swaps (the fresh enforcer is re-attached).
+    sink: Option<Arc<ScopedSink>>,
 }
 
 /// A tenant's runtime state, owned by exactly one shard.
@@ -178,10 +183,17 @@ struct TenantRuntime {
     flagged_rounds: u64,
     worst_alert: Option<AlertLevel>,
     quarantined: bool,
+    /// Hub plus the owning shard's scope, for tenant lifecycle events.
+    obs: Option<(Arc<ObsHub>, ScopeId)>,
 }
 
 impl TenantRuntime {
-    fn build(cfg: &TenantConfig, registry: &SpecRegistry) -> Result<Self, PoolError> {
+    fn build(
+        cfg: &TenantConfig,
+        registry: &SpecRegistry,
+        shard: usize,
+        obs: Option<&(Arc<ObsHub>, ScopeId)>,
+    ) -> Result<Self, PoolError> {
         let ctx = VmContext::new(cfg.mem_size, cfg.disk_sectors);
         // Probe for region overlaps the way Machine::attach would.
         let mut bus = sedspec_vmm::Bus::new();
@@ -196,13 +208,24 @@ impl TenantRuntime {
                 bus.register(space, base, len, device.name.clone())
                     .map_err(|_| PoolError::RegionConflict(cfg.tenant))?;
             }
+            let mut enforcer = deploy_compiled(device, compiled, cfg.mode);
+            let sink = obs.map(|(hub, _)| {
+                let sink = hub.sink(ScopeInfo::tenant_device(
+                    shard as u32,
+                    cfg.tenant.0,
+                    kind.to_string(),
+                ));
+                enforcer.set_sink(Some(Arc::clone(&sink) as Arc<dyn ObsSink>));
+                sink
+            });
             slots.push(DeviceSlot {
                 kind,
                 version,
                 key,
                 epoch,
-                enforcer: deploy_compiled(device, compiled, cfg.mode),
+                enforcer,
                 ring: SnapshotRing::new(cfg.snapshot_depth),
+                sink,
             });
         }
         let mut runtime = TenantRuntime {
@@ -217,6 +240,7 @@ impl TenantRuntime {
             flagged_rounds: 0,
             worst_alert: None,
             quarantined: false,
+            obs: obs.cloned(),
         };
         // Baseline snapshot: a tenant attacked in its very first batch
         // can still roll back to boot state.
@@ -244,6 +268,14 @@ impl TenantRuntime {
                 self.retired += old.stats;
                 slot.key = key;
                 slot.epoch = epoch;
+                if let Some(sink) = &slot.sink {
+                    slot.enforcer.set_sink(Some(Arc::clone(sink) as Arc<dyn ObsSink>));
+                    sink.event(TraceEventKind::SpecSwapped {
+                        tenant: self.id.0,
+                        device: slot.kind.to_string(),
+                        epoch,
+                    });
+                }
                 slot.ring = SnapshotRing::new(self.snapshot_depth);
                 slot.ring.capture(&slot.enforcer);
             }
@@ -264,6 +296,7 @@ impl TenantRuntime {
         registry: &SpecRegistry,
         shard: usize,
         alerts: &Sender<AlertEvent>,
+        alert_seq: &AtomicU64,
     ) -> BatchReport {
         if self.quarantined {
             return BatchReport {
@@ -296,7 +329,14 @@ impl TenantRuntime {
                 flagged += 1;
                 let level = highest_alert(verdict.violations());
                 worst = worst.max(level);
+                if let Some(sink) = &slot.sink {
+                    sink.event(TraceEventKind::Alert {
+                        level: level.map_or_else(|| "-".into(), |l| format!("{l:?}")),
+                    });
+                }
                 let _ = alerts.send(AlertEvent {
+                    seq: alert_seq.fetch_add(1, Ordering::Relaxed) + 1,
+                    round: slot.enforcer.stats.rounds,
                     shard,
                     tenant: self.id,
                     device: slot.kind,
@@ -316,6 +356,9 @@ impl TenantRuntime {
                     rollbacks += 1;
                 } else {
                     self.quarantined = true;
+                    if let Some((hub, scope)) = &self.obs {
+                        hub.record(*scope, TraceEventKind::TenantQuarantined { tenant: self.id.0 });
+                    }
                     break;
                 }
             }
@@ -362,6 +405,7 @@ fn stats_delta(after: &EnforceStats, before: &EnforceStats) -> EnforceStats {
         synced_rounds: after.synced_rounds - before.synced_rounds,
         warnings: after.warnings - before.warnings,
         halts: after.halts - before.halts,
+        aborts: after.aborts - before.aborts,
         check_blocks: after.check_blocks - before.check_blocks,
         check_syncs: after.check_syncs - before.check_syncs,
     }
@@ -384,22 +428,42 @@ fn shard_main(
     rx: Receiver<ShardMsg>,
     registry: Arc<SpecRegistry>,
     alerts: Sender<AlertEvent>,
+    alert_seq: Arc<AtomicU64>,
+    obs: Option<Arc<ObsHub>>,
 ) {
+    // Shard-level scope: worker lifecycle and tenant admission events.
+    let obs = obs.map(|hub| {
+        let scope = hub.register_scope(ScopeInfo {
+            shard: Some(shard as u32),
+            tenant: None,
+            device: "pool".into(),
+        });
+        hub.record(scope, TraceEventKind::ShardStarted { shard: shard as u32 });
+        (hub, scope)
+    });
     let mut tenants: HashMap<TenantId, TenantRuntime> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::AddTenant(cfg, reply) => {
                 let result = match tenants.entry(cfg.tenant) {
                     Entry::Occupied(_) => Err(PoolError::TenantExists(cfg.tenant)),
-                    Entry::Vacant(slot) => TenantRuntime::build(&cfg, &registry).map(|rt| {
-                        slot.insert(rt);
-                    }),
+                    Entry::Vacant(slot) => {
+                        TenantRuntime::build(&cfg, &registry, shard, obs.as_ref()).map(|rt| {
+                            if let Some((hub, scope)) = &obs {
+                                hub.record(
+                                    *scope,
+                                    TraceEventKind::TenantAdded { tenant: cfg.tenant.0 },
+                                );
+                            }
+                            slot.insert(rt);
+                        })
+                    }
                 };
                 let _ = reply.send(result);
             }
             ShardMsg::Submit { tenant, steps, reply } => {
                 let report = match tenants.get_mut(&tenant) {
-                    Some(rt) => rt.run_batch(&steps, &registry, shard, &alerts),
+                    Some(rt) => rt.run_batch(&steps, &registry, shard, &alerts, &alert_seq),
                     None => BatchReport {
                         tenant,
                         rounds: 0,
@@ -440,16 +504,31 @@ pub struct EnforcementPool {
 impl EnforcementPool {
     /// Spawns `shards` worker threads sharing `registry`.
     pub fn new(shards: usize, registry: Arc<SpecRegistry>) -> Self {
+        Self::build(shards, registry, None)
+    }
+
+    /// Like [`EnforcementPool::new`], but every shard, tenant device
+    /// and the registry report into `hub`: structured trace events,
+    /// metrics, and a forensic flight record per flagged round.
+    pub fn with_obs(shards: usize, registry: Arc<SpecRegistry>, hub: Arc<ObsHub>) -> Self {
+        registry.attach_obs(&hub);
+        Self::build(shards, registry, Some(hub))
+    }
+
+    fn build(shards: usize, registry: Arc<SpecRegistry>, obs: Option<Arc<ObsHub>>) -> Self {
         let shards = shards.max(1);
         let (alerts_tx, alerts_rx) = unbounded();
+        let alert_seq = Arc::new(AtomicU64::new(0));
         let handles = (0..shards)
             .map(|i| {
                 let (tx, rx) = unbounded();
                 let reg = Arc::clone(&registry);
                 let alerts = alerts_tx.clone();
+                let seq = Arc::clone(&alert_seq);
+                let hub = obs.clone();
                 let thread = std::thread::Builder::new()
                     .name(format!("sedspec-shard-{i}"))
-                    .spawn(move || shard_main(i, rx, reg, alerts))
+                    .spawn(move || shard_main(i, rx, reg, alerts, seq, hub))
                     .expect("spawn shard worker");
                 ShardHandle { tx, thread: Some(thread) }
             })

@@ -16,6 +16,7 @@ use parking_lot::RwLock;
 use sedspec::compiled::CompiledSpec;
 use sedspec::spec::ExecutionSpecification;
 use sedspec_devices::{DeviceKind, QemuVersion};
+use sedspec_obs::{ObsHub, ScopeId, ScopeInfo, TraceEventKind};
 use serde::{Deserialize, Serialize};
 
 /// FNV-1a digest of a specification's canonical (pretty) JSON.
@@ -65,12 +66,35 @@ struct Channel {
 #[derive(Default)]
 pub struct SpecRegistry {
     channels: RwLock<HashMap<(DeviceKind, QemuVersion), Channel>>,
+    /// Observability attachment: publish/compile events are recorded
+    /// under one interned "registry" scope.
+    obs: RwLock<Option<(Arc<ObsHub>, ScopeId)>>,
 }
 
 impl SpecRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         SpecRegistry::default()
+    }
+
+    /// Attaches an observability hub; subsequent publishes emit
+    /// [`TraceEventKind::SpecCompiled`] / [`TraceEventKind::SpecPublished`]
+    /// events. Attaching the same hub twice is a no-op.
+    pub fn attach_obs(&self, hub: &Arc<ObsHub>) {
+        let mut obs = self.obs.write();
+        if let Some((attached, _)) = obs.as_ref() {
+            if Arc::ptr_eq(attached, hub) {
+                return;
+            }
+        }
+        let scope = hub.register_scope(ScopeInfo::device("registry"));
+        *obs = Some((Arc::clone(hub), scope));
+    }
+
+    fn obs_record(&self, kind: TraceEventKind) {
+        if let Some((hub, scope)) = self.obs.read().as_ref() {
+            hub.record(*scope, kind);
+        }
     }
 
     /// Content digest of a specification (FNV-1a over its JSON).
@@ -97,9 +121,28 @@ impl SpecRegistry {
         let mut channels = self.channels.write();
         let channel = channels.entry((device, version)).or_default();
         let stored = Arc::clone(channel.revisions.entry(digest).or_insert_with(|| Arc::new(spec)));
-        channel.compiled.entry(digest).or_insert_with(|| Arc::new(CompiledSpec::compile(stored)));
+        let freshly_compiled = !channel.compiled.contains_key(&digest);
+        channel
+            .compiled
+            .entry(digest)
+            .or_insert_with(|| Arc::new(CompiledSpec::compile(Arc::clone(&stored))));
         channel.current = Some(digest);
         channel.epoch += 1;
+        let epoch = channel.epoch;
+        drop(channels);
+        if freshly_compiled {
+            self.obs_record(TraceEventKind::SpecCompiled {
+                device: device.to_string(),
+                programs: stored.cfgs.len() as u32,
+                blocks: stored.cfgs.iter().map(|c| c.blocks.len() as u32).sum(),
+            });
+        }
+        self.obs_record(TraceEventKind::SpecPublished {
+            device: device.to_string(),
+            version: version.to_string(),
+            digest: digest.to_string(),
+            epoch,
+        });
         SpecKey { device, version, digest }
     }
 

@@ -16,6 +16,13 @@ use crate::registry::SpecKey;
 /// One flagged round, emitted on the pool's alert stream as it happens.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AlertEvent {
+    /// Pool-wide monotonic sequence number (starts at 1). Shard workers
+    /// emit concurrently; `seq` gives the interleaved stream a total
+    /// order so multi-shard alert logs can be replayed faithfully.
+    pub seq: u64,
+    /// The originating device's enforcement round index when the alert
+    /// fired (its lifetime round counter, so re-deployments reset it).
+    pub round: u64,
     /// Shard that raised the alert.
     pub shard: usize,
     /// Tenant whose traffic was flagged.
@@ -26,6 +33,20 @@ pub struct AlertEvent {
     pub level: Option<AlertLevel>,
     /// The first violation, rendered for the log line.
     pub detail: String,
+}
+
+impl std::fmt::Display for AlertEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let level = match self.level {
+            Some(l) => format!("{l:?}"),
+            None => "-".into(),
+        };
+        write!(
+            f,
+            "#{} round {} shard {} {} {} {}: {}",
+            self.seq, self.round, self.shard, self.tenant, self.device, level, self.detail
+        )
+    }
 }
 
 /// A tenant's cumulative health, as reported by its shard.
@@ -66,6 +87,19 @@ pub struct FleetReport {
 }
 
 impl FleetReport {
+    /// Renders a drained alert stream as log lines ordered by sequence
+    /// number, restoring a total order over the shards' interleaving.
+    pub fn render_alerts(alerts: &[AlertEvent]) -> String {
+        use std::fmt::Write;
+        let mut sorted: Vec<&AlertEvent> = alerts.iter().collect();
+        sorted.sort_by_key(|a| a.seq);
+        let mut out = String::new();
+        for alert in sorted {
+            let _ = writeln!(out, "alert {alert}");
+        }
+        out
+    }
+
     /// Fleet-wide counter aggregate (sum over shards, hence tenants).
     pub fn aggregate(&self) -> EnforceStats {
         let mut total = EnforceStats::default();
@@ -107,8 +141,13 @@ impl FleetReport {
         );
         let _ = writeln!(
             out,
-            "  rounds {}  precheck {}  synced {}  warnings {}  halts {}",
-            total.rounds, total.precheck_complete, total.synced_rounds, total.warnings, total.halts
+            "  rounds {}  precheck {}  synced {}  warnings {}  halts {}  aborts {}",
+            total.rounds,
+            total.precheck_complete,
+            total.synced_rounds,
+            total.warnings,
+            total.halts,
+            total.aborts
         );
         for shard in &self.shards {
             let _ = writeln!(

@@ -184,6 +184,59 @@ fn publishing_a_revision_retargets_tenants_at_their_next_batch() {
 }
 
 #[test]
+fn observed_pool_records_lifecycle_alerts_and_forensics() {
+    use sedspec_obs::{ObsHub, TraceEventKind};
+
+    let registry = Arc::new(SpecRegistry::new());
+    publish_channel(&registry, DeviceKind::Fdc, QemuVersion::V2_3_0, 6);
+
+    let hub = Arc::new(ObsHub::new());
+    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), Arc::clone(&hub));
+    for t in 0..2u64 {
+        let cfg = TenantConfig::new(t).with_devices(vec![(DeviceKind::Fdc, QemuVersion::V2_3_0)]);
+        pool.add_tenant(cfg).unwrap();
+    }
+
+    // Republishing after attach emits the publish event (compile is
+    // cached from the first publish, so no second compile event).
+    publish_channel(&registry, DeviceKind::Fdc, QemuVersion::V2_3_0, 6);
+
+    // Drive tenant 0 through rollback into quarantine.
+    let venom = poc(Cve::Cve2015_3456);
+    for _ in 0..2 {
+        let ticket = pool.submit_steps(TenantId(0), venom.steps.clone()).unwrap();
+        let _ = pool.wait(ticket).unwrap();
+    }
+
+    // Alert stream: pool-wide monotonic seq, round indices populated.
+    let alerts = pool.drain_alerts();
+    assert!(!alerts.is_empty());
+    assert!(alerts.windows(2).all(|w| w[0].seq < w[1].seq), "seq must be monotonic");
+    assert!(alerts.iter().all(|a| a.seq > 0 && a.round > 0));
+    let rendered = sedspec_fleet::FleetReport::render_alerts(&alerts);
+    assert!(rendered.contains(&format!("#{} round {}", alerts[0].seq, alerts[0].round)));
+
+    // Trace ring: shard/tenant lifecycle and the hot-swap all recorded.
+    let events = hub.recent_events(4096);
+    let has = |pred: &dyn Fn(&TraceEventKind) -> bool| events.iter().any(|e| pred(&e.kind));
+    assert!(has(&|k| matches!(k, TraceEventKind::ShardStarted { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::TenantAdded { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::SpecPublished { .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::SpecSwapped { tenant: 0, .. })));
+    assert!(has(&|k| matches!(k, TraceEventKind::TenantQuarantined { tenant: 0 })));
+    assert!(has(&|k| matches!(k, TraceEventKind::Alert { .. })));
+
+    // Every halt froze a forensic record naming the tenant's device.
+    let records = hub.forensics();
+    assert!(!records.is_empty(), "halting PoC must leave flight-recorder records");
+    assert!(records.iter().all(|r| r.scope.device == "FDC" && r.scope.tenant == Some(0)));
+
+    // Metrics: the per-tenant alert counter saw tenant 0 only.
+    assert!(hub.metrics().counter("sedspec_alerts_total", Some(("tenant", "0"))) > 0);
+    assert_eq!(hub.metrics().counter("sedspec_alerts_total", Some(("tenant", "1"))), 0);
+}
+
+#[test]
 fn enforce_stats_merge_is_field_wise_addition() {
     let a = EnforceStats {
         rounds: 5,
@@ -191,6 +244,7 @@ fn enforce_stats_merge_is_field_wise_addition() {
         synced_rounds: 1,
         warnings: 2,
         halts: 1,
+        aborts: 2,
         check_blocks: 100,
         check_syncs: 7,
     };
@@ -200,6 +254,7 @@ fn enforce_stats_merge_is_field_wise_addition() {
     assert_eq!(m.rounds, 8);
     assert_eq!(m.check_blocks, 150);
     assert_eq!(m.precheck_complete, 4);
+    assert_eq!(m.aborts, 2);
     assert_eq!(a + b, m);
     let mut via_merge = a;
     via_merge.merge(&b);

@@ -1,0 +1,262 @@
+//! The violation flight recorder: frozen forensic context for every
+//! halted or warned round.
+//!
+//! When the checker flags a round, the instrumentation site assembles a
+//! [`ForensicData`] *before* the undo journal is replayed — the walked
+//! block path with labels materialized from the compiled specification,
+//! and the shadow-state byte diff the aborted round would have left
+//! behind. The hub freezes it together with the scope's most recent
+//! trace events into a [`ForensicRecord`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{ScopeInfo, TraceEvent, TraceEventKind, VerdictKind};
+
+/// One step of the walked block path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Handler index.
+    pub program: u32,
+    /// ES block index.
+    pub block: u32,
+    /// The block's label, materialized from the compiled spec.
+    pub label: String,
+}
+
+impl std::fmt::Display for PathStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}/b{} '{}'", self.program, self.block, self.label)
+    }
+}
+
+/// One contiguous range of shadow bytes the aborted round changed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShadowDelta {
+    /// Arena byte offset of the range.
+    pub offset: u32,
+    /// Field(s) the range lands in, e.g. `"fifo[+18]"` or `"data_pos"`.
+    pub field: String,
+    /// Bytes before the round.
+    pub old: Vec<u8>,
+    /// Bytes the round wrote (rolled back by the abort).
+    pub new: Vec<u8>,
+}
+
+/// The forensic payload assembled at the violation site.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForensicData {
+    /// How the round ended.
+    pub verdict: VerdictKind,
+    /// Strategy of the first violation, rendered.
+    pub strategy: String,
+    /// The first violation, rendered.
+    pub violation: String,
+    /// The block the violation was raised at, when it names one.
+    pub violated: Option<PathStep>,
+    /// Whether the device had already executed the request (post-hoc
+    /// detection through a sync point).
+    pub executed: bool,
+    /// The full walked block path of the flagged round, in walk order.
+    pub block_path: Vec<PathStep>,
+    /// Shadow byte ranges the aborted round changed.
+    pub shadow_diff: Vec<ShadowDelta>,
+}
+
+/// A frozen forensic record: the payload plus its trace context.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForensicRecord {
+    /// Hub-wide sequence number of the freeze.
+    pub seq: u64,
+    /// The scope's round counter when the round was flagged.
+    pub round: u64,
+    /// The originating scope, resolved.
+    pub scope: ScopeInfo,
+    /// The scope's most recent trace events, oldest first.
+    pub recent: Vec<TraceEvent>,
+    /// The violation payload.
+    pub data: ForensicData,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(" ")
+}
+
+impl ForensicRecord {
+    /// Renders the record as a human-readable multi-line dump.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== forensic record #{} (round {}, {}) ===",
+            self.seq, self.round, self.scope
+        );
+        let _ = writeln!(
+            out,
+            "verdict: {:?} ({})  strategy: {}",
+            self.data.verdict,
+            if self.data.executed { "post-hoc" } else { "pre-execution" },
+            self.data.strategy
+        );
+        let _ = writeln!(out, "violation: {}", self.data.violation);
+        match &self.data.violated {
+            Some(step) => {
+                let _ = writeln!(out, "violated block: {step}");
+            }
+            None => {
+                let _ = writeln!(out, "violated block: (handler entry)");
+            }
+        }
+        let _ = writeln!(out, "walked block path ({} blocks):", self.data.block_path.len());
+        for step in &self.data.block_path {
+            let _ = writeln!(out, "  {step}");
+        }
+        let _ = writeln!(out, "shadow diff ({} ranges):", self.data.shadow_diff.len());
+        if self.data.shadow_diff.is_empty() {
+            let _ = writeln!(out, "  (no shadow writes before the violation)");
+        }
+        for d in &self.data.shadow_diff {
+            let _ = writeln!(
+                out,
+                "  @{:#06x} {}: {} -> {}",
+                d.offset,
+                d.field,
+                hex(&d.old),
+                hex(&d.new)
+            );
+        }
+        let _ = writeln!(out, "recent events ({}):", self.recent.len());
+        for e in &self.recent {
+            let _ = writeln!(out, "  #{} r{} {}", e.seq, e.round, render_kind(&e.kind));
+        }
+        out
+    }
+}
+
+/// One-line rendering of an event kind for dumps.
+pub fn render_kind(kind: &TraceEventKind) -> String {
+    match kind {
+        TraceEventKind::RoundBegin { program } => format!("round-begin program={program}"),
+        TraceEventKind::RoundEnd { verdict, blocks, syncs, walk_ns } => {
+            format!("round-end {verdict:?} blocks={blocks} syncs={syncs} walk_ns={walk_ns}")
+        }
+        TraceEventKind::BlockStep { program, block } => format!("block p{program}/b{block}"),
+        TraceEventKind::SyncFetch { kind } => format!("sync-fetch {kind:?}"),
+        TraceEventKind::JournalCommit { writes } => format!("journal-commit writes={writes}"),
+        TraceEventKind::JournalAbort { writes } => format!("journal-abort writes={writes}"),
+        TraceEventKind::SpecCompiled { device, programs, blocks } => {
+            format!("spec-compiled {device} programs={programs} blocks={blocks}")
+        }
+        TraceEventKind::SpecPublished { device, version, digest, epoch } => {
+            format!("spec-published {device}/{version}@{digest} epoch={epoch}")
+        }
+        TraceEventKind::ShardStarted { shard } => format!("shard-started {shard}"),
+        TraceEventKind::TenantAdded { tenant } => format!("tenant-added {tenant}"),
+        TraceEventKind::TenantQuarantined { tenant } => format!("tenant-quarantined {tenant}"),
+        TraceEventKind::SpecSwapped { tenant, device, epoch } => {
+            format!("spec-swapped tenant={tenant} {device} epoch={epoch}")
+        }
+        TraceEventKind::Alert { level } => format!("alert {level}"),
+    }
+}
+
+/// Bounded store of the most recent forensic records.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    records: std::collections::VecDeque<ForensicRecord>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder { records: std::collections::VecDeque::new(), capacity: capacity.max(1) }
+    }
+
+    /// Freezes a record, evicting the oldest when full.
+    pub fn push(&mut self, record: ForensicRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(record);
+    }
+
+    /// Held records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &ForensicRecord> {
+        self.records.iter()
+    }
+
+    /// Number of held records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing was frozen yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64) -> ForensicRecord {
+        ForensicRecord {
+            seq,
+            round: 3,
+            scope: ScopeInfo::tenant_device(0, 7, "FDC"),
+            recent: Vec::new(),
+            data: ForensicData {
+                verdict: VerdictKind::Halted,
+                strategy: "Parameter".into(),
+                violation: "BufferOverflow".into(),
+                violated: Some(PathStep {
+                    program: 0,
+                    block: 4,
+                    label: "fdctrl_write_data#4".into(),
+                }),
+                executed: false,
+                block_path: vec![
+                    PathStep { program: 0, block: 0, label: "entry".into() },
+                    PathStep { program: 0, block: 4, label: "fdctrl_write_data#4".into() },
+                ],
+                shadow_diff: vec![ShadowDelta {
+                    offset: 0x14,
+                    field: "data_pos".into(),
+                    old: vec![0, 0],
+                    new: vec![0xff, 0x01],
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn render_names_path_and_diff() {
+        let dump = record(9).render();
+        assert!(dump.contains("forensic record #9"));
+        assert!(dump.contains("shard0/tenant-7/FDC"));
+        assert!(dump.contains("violated block: p0/b4 'fdctrl_write_data#4'"));
+        assert!(dump.contains("walked block path (2 blocks):"));
+        assert!(dump.contains("@0x0014 data_pos: 00 00 -> ff 01"));
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded() {
+        let mut fr = FlightRecorder::new(2);
+        for seq in 0..5 {
+            fr.push(record(seq));
+        }
+        assert_eq!(fr.len(), 2);
+        let seqs: Vec<u64> = fr.records().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn record_serializes_to_json() {
+        let r = record(1);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ForensicRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,403 @@
+//! The hub: one process-wide collector owning the trace ring, the
+//! metrics registry and the flight recorder.
+//!
+//! Components register a [`ScopeInfo`] once and emit through a
+//! [`ScopedSink`]; the hub stamps every event with a global sequence
+//! number and the scope's round counter, feeds the metrics registry,
+//! and maintains the per-block heat map behind `obs-report`'s
+//! "hottest blocks" listing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::{ScopeId, ScopeInfo, TraceEvent, TraceEventKind, VerdictKind};
+use crate::flight::{FlightRecorder, ForensicData, ForensicRecord};
+use crate::metrics::MetricsRegistry;
+use crate::sink::ScopedSink;
+use crate::trace::TraceRecorder;
+
+/// Capacity knobs for a hub.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Trace ring capacity (events).
+    pub ring_capacity: usize,
+    /// Flight recorder capacity (forensic records).
+    pub flight_capacity: usize,
+    /// Trace events frozen into each forensic record.
+    pub flight_events: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { ring_capacity: 4096, flight_capacity: 64, flight_events: 16 }
+    }
+}
+
+#[derive(Debug)]
+struct ScopeState {
+    info: ScopeInfo,
+    round: u64,
+}
+
+#[derive(Debug)]
+struct HubInner {
+    seq: u64,
+    scopes: Vec<ScopeState>,
+    ring: TraceRecorder,
+    flight: FlightRecorder,
+    /// `(scope, program, block)` → times the walk entered the block.
+    heat: HashMap<(ScopeId, u32, u32), u64>,
+}
+
+/// The central observability collector.
+#[derive(Debug)]
+pub struct ObsHub {
+    config: ObsConfig,
+    metrics: MetricsRegistry,
+    inner: Mutex<HubInner>,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        ObsHub::new()
+    }
+}
+
+impl ObsHub {
+    /// A hub with default capacities.
+    pub fn new() -> Self {
+        ObsHub::with_config(ObsConfig::default())
+    }
+
+    /// A hub with explicit capacities.
+    pub fn with_config(config: ObsConfig) -> Self {
+        ObsHub {
+            config,
+            metrics: MetricsRegistry::new(),
+            inner: Mutex::new(HubInner {
+                seq: 0,
+                scopes: Vec::new(),
+                ring: TraceRecorder::new(config.ring_capacity),
+                flight: FlightRecorder::new(config.flight_capacity),
+                heat: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Interns a component identity; the returned id keys every event
+    /// the component emits.
+    pub fn register_scope(&self, info: ScopeInfo) -> ScopeId {
+        let mut inner = self.inner.lock();
+        let id = ScopeId(inner.scopes.len() as u32);
+        inner.scopes.push(ScopeState { info, round: 0 });
+        id
+    }
+
+    /// Registers `info` and returns a sink bound to it.
+    pub fn sink(self: &Arc<Self>, info: ScopeInfo) -> Arc<ScopedSink> {
+        let scope = self.register_scope(info);
+        Arc::new(ScopedSink::new(Arc::clone(self), scope))
+    }
+
+    /// A sink bound to an already-registered scope.
+    pub fn sink_for(self: &Arc<Self>, scope: ScopeId) -> Arc<ScopedSink> {
+        Arc::new(ScopedSink::new(Arc::clone(self), scope))
+    }
+
+    /// The registered identity behind `scope`.
+    pub fn scope_info(&self, scope: ScopeId) -> ScopeInfo {
+        self.inner.lock().scopes[scope.0 as usize].info.clone()
+    }
+
+    /// Stamps and records one event, updating metrics and the heat map.
+    pub fn record(&self, scope: ScopeId, kind: TraceEventKind) {
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        let state = &mut inner.scopes[scope.0 as usize];
+        if matches!(kind, TraceEventKind::RoundBegin { .. }) {
+            state.round += 1;
+        }
+        let round = state.round;
+        let device = state.info.device.clone();
+        let tenant = state.info.tenant;
+        match &kind {
+            TraceEventKind::BlockStep { program, block } => {
+                *inner.heat.entry((scope, *program, *block)).or_default() += 1;
+            }
+            TraceEventKind::RoundBegin { .. } => {
+                self.metrics.inc_labeled("sedspec_rounds_total", ("device", &device), 1);
+            }
+            TraceEventKind::RoundEnd { verdict, blocks, syncs, walk_ns } => {
+                let label = ("device", device.as_str());
+                match verdict {
+                    VerdictKind::Halted => {
+                        self.metrics.inc_labeled("sedspec_halts_total", label, 1)
+                    }
+                    VerdictKind::Warned => {
+                        self.metrics.inc_labeled("sedspec_warnings_total", label, 1)
+                    }
+                    VerdictKind::DeviceFault => {
+                        self.metrics.inc_labeled("sedspec_device_faults_total", label, 1)
+                    }
+                    VerdictKind::Allowed => {}
+                }
+                self.metrics.observe_labeled("sedspec_walk_ns", label, *walk_ns);
+                self.metrics.observe_labeled("sedspec_blocks_per_round", label, *blocks);
+                self.metrics.observe_labeled("sedspec_syncs_per_round", label, *syncs);
+            }
+            TraceEventKind::SyncFetch { .. } => {
+                self.metrics.inc_labeled("sedspec_sync_fetch_total", ("device", &device), 1);
+            }
+            TraceEventKind::JournalCommit { writes } => {
+                self.metrics.observe_labeled(
+                    "sedspec_journal_undo_depth",
+                    ("device", &device),
+                    *writes,
+                );
+            }
+            TraceEventKind::JournalAbort { writes } => {
+                self.metrics.inc_labeled("sedspec_aborts_total", ("device", &device), 1);
+                self.metrics.observe_labeled(
+                    "sedspec_journal_undo_depth",
+                    ("device", &device),
+                    *writes,
+                );
+            }
+            TraceEventKind::SpecCompiled { .. } => {
+                self.metrics.inc("sedspec_spec_compiled_total", 1);
+            }
+            TraceEventKind::SpecPublished { .. } => {
+                self.metrics.inc("sedspec_spec_published_total", 1);
+            }
+            TraceEventKind::ShardStarted { .. } => {}
+            TraceEventKind::TenantAdded { .. } => {
+                self.metrics.inc("sedspec_tenants_total", 1);
+            }
+            TraceEventKind::TenantQuarantined { .. } => {
+                self.metrics.add_gauge("sedspec_quarantined_tenants", 1);
+            }
+            TraceEventKind::SpecSwapped { .. } => {
+                self.metrics.inc("sedspec_spec_swaps_total", 1);
+            }
+            TraceEventKind::Alert { .. } => {
+                let tenant_label = tenant.map(|t| t.to_string());
+                match &tenant_label {
+                    Some(t) => self.metrics.inc_labeled("sedspec_alerts_total", ("tenant", t), 1),
+                    None => {
+                        self.metrics.inc_labeled("sedspec_alerts_total", ("device", &device), 1)
+                    }
+                }
+            }
+        }
+        inner.ring.push(TraceEvent { seq, round, scope, kind });
+    }
+
+    /// Freezes a flagged round's forensic payload together with the
+    /// scope's most recent trace events.
+    pub fn record_violation(&self, scope: ScopeId, data: ForensicData) {
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        let state = &inner.scopes[scope.0 as usize];
+        let (round, info) = (state.round, state.info.clone());
+        let recent = inner.ring.tail_for(scope, self.config.flight_events);
+        inner.flight.push(ForensicRecord { seq, round, scope: info, recent, data });
+        self.metrics.inc("sedspec_forensic_records_total", 1);
+    }
+
+    /// The metrics registry (Prometheus exposition, JSON snapshot).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The trace ring serialized as JSON Lines, oldest first.
+    pub fn trace_jsonl(&self) -> String {
+        self.inner.lock().ring.to_jsonl()
+    }
+
+    /// The most recent `n` trace events, oldest first.
+    pub fn recent_events(&self, n: usize) -> Vec<TraceEvent> {
+        self.inner.lock().ring.tail(n)
+    }
+
+    /// Events evicted from the ring since creation.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.lock().ring.dropped()
+    }
+
+    /// All frozen forensic records, oldest first.
+    pub fn forensics(&self) -> Vec<ForensicRecord> {
+        self.inner.lock().flight.records().cloned().collect()
+    }
+
+    /// Per-device block heat, aggregated across scopes and sorted
+    /// hottest-first: `(device, program, block, hits)`.
+    pub fn block_heat(&self) -> Vec<(String, u32, u32, u64)> {
+        let inner = self.inner.lock();
+        let mut agg: HashMap<(String, u32, u32), u64> = HashMap::new();
+        for (&(scope, program, block), &hits) in &inner.heat {
+            let device = inner.scopes[scope.0 as usize].info.device.clone();
+            *agg.entry((device, program, block)).or_default() += hits;
+        }
+        let mut out: Vec<(String, u32, u32, u64)> =
+            agg.into_iter().map(|((d, p, b), h)| (d, p, b, h)).collect();
+        out.sort_by(|a, b| b.3.cmp(&a.3).then_with(|| a.cmp(b)));
+        out
+    }
+
+    /// Renders the operator report: totals, top-`top_n` hottest blocks
+    /// per device (labels via `resolve`), per-device latency
+    /// histograms, and the most recent forensic records.
+    pub fn render_report(
+        &self,
+        top_n: usize,
+        resolve: &dyn Fn(&str, u32, u32) -> Option<String>,
+    ) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "sedspec observability report");
+        let _ = writeln!(out, "============================");
+        {
+            let inner = self.inner.lock();
+            let _ = writeln!(
+                out,
+                "trace ring: {} events held, {} dropped; {} forensic records",
+                inner.ring.len(),
+                inner.ring.dropped(),
+                inner.flight.len()
+            );
+        }
+        let m = &self.metrics;
+        let _ = writeln!(
+            out,
+            "rounds {}  halts {}  warnings {}  aborts {}  alerts {}",
+            m.sum_counter("sedspec_rounds_total"),
+            m.sum_counter("sedspec_halts_total"),
+            m.sum_counter("sedspec_warnings_total"),
+            m.sum_counter("sedspec_aborts_total"),
+            m.sum_counter("sedspec_alerts_total"),
+        );
+
+        let heat = self.block_heat();
+        let mut devices: Vec<String> = heat.iter().map(|(d, ..)| d.clone()).collect();
+        devices.sort();
+        devices.dedup();
+        let _ = writeln!(out, "hottest blocks per device (top {top_n}):");
+        for device in &devices {
+            let _ = writeln!(out, "  {device}:");
+            for (d, program, block, hits) in heat.iter().filter(|(d, ..)| d == device).take(top_n) {
+                let label = resolve(d, *program, *block).unwrap_or_default();
+                let _ = writeln!(out, "    p{program}/b{block:<4} x{hits:<8} {label}");
+            }
+        }
+
+        let _ = writeln!(out, "walk latency per device (ns):");
+        for series in m.snapshot() {
+            if series.name != "sedspec_walk_ns" {
+                continue;
+            }
+            let Some(h) = &series.histogram else { continue };
+            let device = series.label.as_ref().map(|(_, v)| v.as_str()).unwrap_or("-");
+            let _ = writeln!(
+                out,
+                "  {:<10} count {:>8}  p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",
+                device, h.count, h.p50, h.p90, h.p99, h.max
+            );
+        }
+
+        let records = self.forensics();
+        let _ = writeln!(out, "recent alerts with forensics ({}):", records.len());
+        for record in records.iter().rev() {
+            out.push_str(&record.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SyncKind;
+    use crate::sink::ObsSink;
+
+    #[test]
+    fn stamps_rounds_and_sequences() {
+        let hub = Arc::new(ObsHub::new());
+        let sink = hub.sink(ScopeInfo::device("FDC"));
+        sink.event(TraceEventKind::RoundBegin { program: 0 });
+        sink.event(TraceEventKind::BlockStep { program: 0, block: 1 });
+        sink.event(TraceEventKind::RoundEnd {
+            verdict: VerdictKind::Allowed,
+            blocks: 1,
+            syncs: 0,
+            walk_ns: 120,
+        });
+        sink.event(TraceEventKind::RoundBegin { program: 0 });
+        let events = hub.recent_events(10);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(events.iter().map(|e| e.round).collect::<Vec<_>>(), vec![1, 1, 1, 2]);
+        assert_eq!(hub.metrics().counter("sedspec_rounds_total", Some(("device", "FDC"))), 2);
+    }
+
+    #[test]
+    fn violation_freezes_scope_events() {
+        let hub = Arc::new(ObsHub::new());
+        let fdc = hub.sink(ScopeInfo::tenant_device(0, 3, "FDC"));
+        let other = hub.sink(ScopeInfo::tenant_device(1, 4, "SDHCI"));
+        fdc.event(TraceEventKind::RoundBegin { program: 0 });
+        other.event(TraceEventKind::RoundBegin { program: 0 });
+        fdc.event(TraceEventKind::SyncFetch { kind: SyncKind::Var });
+        fdc.violation(ForensicData {
+            verdict: VerdictKind::Halted,
+            strategy: "Parameter".into(),
+            violation: "BufferOverflow".into(),
+            violated: None,
+            executed: false,
+            block_path: Vec::new(),
+            shadow_diff: Vec::new(),
+        });
+        let records = hub.forensics();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.scope, ScopeInfo::tenant_device(0, 3, "FDC"));
+        // Only the FDC scope's events were frozen.
+        assert_eq!(r.recent.len(), 2);
+        assert!(r.recent.iter().all(|e| e.scope == ScopeId(0)));
+    }
+
+    #[test]
+    fn report_lists_hot_blocks_with_resolved_labels() {
+        let hub = Arc::new(ObsHub::new());
+        let sink = hub.sink(ScopeInfo::device("FDC"));
+        for _ in 0..3 {
+            sink.event(TraceEventKind::BlockStep { program: 0, block: 7 });
+        }
+        sink.event(TraceEventKind::BlockStep { program: 0, block: 2 });
+        let report = hub.render_report(5, &|device, program, block| {
+            Some(format!("{device}-handler{program}-blk{block}"))
+        });
+        assert!(report.contains("p0/b7"));
+        assert!(report.contains("x3"));
+        assert!(report.contains("FDC-handler0-blk7"));
+        let b7 = report.find("p0/b7").unwrap();
+        let b2 = report.find("p0/b2").unwrap();
+        assert!(b7 < b2, "hotter block must list first");
+    }
+
+    #[test]
+    fn jsonl_export_parses_back() {
+        let hub = Arc::new(ObsHub::new());
+        let sink = hub.sink(ScopeInfo::device("PCNET"));
+        sink.event(TraceEventKind::RoundBegin { program: 1 });
+        sink.event(TraceEventKind::JournalCommit { writes: 5 });
+        let jsonl = hub.trace_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            let _: TraceEvent = serde_json::from_str(line).unwrap();
+        }
+    }
+}

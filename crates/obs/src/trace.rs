@@ -1,0 +1,131 @@
+//! The bounded structured trace ring with JSON Lines export.
+
+use std::collections::VecDeque;
+
+use crate::event::{ScopeId, TraceEvent};
+
+/// A bounded ring buffer of [`TraceEvent`]s. When full, the oldest
+/// event is dropped and counted; the buffer never reallocates past its
+/// capacity.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// A ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            buf: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceEvent> {
+        self.buf.iter().rev().take(n).rev().cloned().collect()
+    }
+
+    /// The most recent `n` events emitted by `scope`, oldest first.
+    pub fn tail_for(&self, scope: ScopeId, n: usize) -> Vec<TraceEvent> {
+        let mut out: Vec<TraceEvent> =
+            self.buf.iter().rev().filter(|e| e.scope == scope).take(n).cloned().collect();
+        out.reverse();
+        out
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Serializes the held events as JSON Lines, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.buf {
+            if let Ok(line) = serde_json::to_string(event) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind;
+
+    fn ev(seq: u64, scope: u32) -> TraceEvent {
+        TraceEvent {
+            seq,
+            round: seq,
+            scope: ScopeId(scope),
+            kind: TraceEventKind::RoundBegin { program: 0 },
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let mut r = TraceRecorder::new(3);
+        for i in 0..5 {
+            r.push(ev(i, 0));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn tail_filters_by_scope() {
+        let mut r = TraceRecorder::new(16);
+        for i in 0..8 {
+            r.push(ev(i, (i % 2) as u32));
+        }
+        let t = r.tail_for(ScopeId(1), 2);
+        assert_eq!(t.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![5, 7]);
+    }
+
+    #[test]
+    fn jsonl_is_one_parseable_line_per_event() {
+        let mut r = TraceRecorder::new(4);
+        r.push(ev(1, 0));
+        r.push(ev(2, 0));
+        let jsonl = r.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: TraceEvent = serde_json::from_str(line).unwrap();
+            assert!(back.seq == 1 || back.seq == 2);
+        }
+    }
+}

@@ -30,6 +30,7 @@ use sedspec_dbl::interp::{eval_expr, EvalCtx, EvalError};
 use sedspec_dbl::ir::{BufId, Expr, Stmt, VarId};
 use sedspec_dbl::state::{ControlStructure, CsState};
 use sedspec_dbl::value::{OverflowFlags, TypedValue};
+use sedspec_obs::{ObsSink, TraceEventKind};
 use sedspec_vmm::IoRequest;
 use serde::{Deserialize, Serialize};
 
@@ -205,6 +206,39 @@ pub enum Violation {
 }
 
 impl Violation {
+    /// The `(program, block)` site the violation was raised at.
+    /// [`Violation::UntracedEntry`] names no block.
+    pub fn site(&self) -> (usize, Option<u32>) {
+        match self {
+            Violation::IntegerOverflow { program, block, .. }
+            | Violation::BufferOverflow { program, block, .. }
+            | Violation::ShadowFault { program, block, .. }
+            | Violation::IndirectTarget { program, block, .. }
+            | Violation::UntrainedBranch { program, block, .. }
+            | Violation::UnknownSwitchTarget { program, block, .. }
+            | Violation::UnknownCommand { program, block, .. }
+            | Violation::BlockOutsideCommand { program, block, .. }
+            | Violation::UntracedPath { program, block } => (*program, Some(*block)),
+            Violation::UntracedEntry { program } => (*program, None),
+        }
+    }
+
+    /// The label of the violated block, when the violation carries one.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Violation::IntegerOverflow { label, .. }
+            | Violation::BufferOverflow { label, .. }
+            | Violation::IndirectTarget { label, .. }
+            | Violation::UntrainedBranch { label, .. }
+            | Violation::UnknownSwitchTarget { label, .. }
+            | Violation::UnknownCommand { label, .. }
+            | Violation::BlockOutsideCommand { label, .. } => Some(label),
+            Violation::ShadowFault { .. }
+            | Violation::UntracedEntry { .. }
+            | Violation::UntracedPath { .. } => None,
+        }
+    }
+
     /// The strategy this violation belongs to.
     pub fn strategy(&self) -> Strategy {
         match self {
@@ -386,6 +420,8 @@ pub struct EsChecker {
     walk: WalkState,
     /// Strategy configuration.
     pub config: CheckConfig,
+    /// Observability sink; `None` keeps the hot path allocation-free.
+    sink: Option<Arc<dyn ObsSink>>,
 }
 
 impl EsChecker {
@@ -400,13 +436,37 @@ impl EsChecker {
     /// Creates a checker over an already-compiled specification.
     pub fn from_compiled(compiled: Arc<CompiledSpec>, control: ControlStructure) -> Self {
         let walk = WalkState::new(control.instantiate());
-        EsChecker { compiled, control, walk, config: CheckConfig::default() }
+        EsChecker { compiled, control, walk, config: CheckConfig::default(), sink: None }
     }
 
     /// Replaces the strategy configuration.
     pub fn with_config(mut self, config: CheckConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Attaches (or detaches) the observability sink. Fast walks emit
+    /// block-step and sync-fetch events and retain the walked path for
+    /// forensics while a sink is present.
+    pub fn set_sink(&mut self, sink: Option<Arc<dyn ObsSink>>) {
+        self.sink = sink;
+    }
+
+    /// The control-structure declaration of the enforced device.
+    pub fn control(&self) -> &ControlStructure {
+        &self.control
+    }
+
+    /// ES blocks the last observed fast walk visited (empty without an
+    /// attached sink).
+    pub fn last_walk_path(&self) -> &[u32] {
+        self.walk.last_path()
+    }
+
+    /// Net shadow byte changes of the uncommitted round. Read before
+    /// [`EsChecker::commit_round`] / [`EsChecker::abort_round`].
+    pub fn walk_shadow_diff(&self) -> Vec<(u32, Vec<u8>, Vec<u8>)> {
+        self.walk.shadow_diff()
     }
 
     /// The specification being enforced.
@@ -459,18 +519,24 @@ impl EsChecker {
         req: &IoRequest,
         sync: &mut dyn SyncProvider,
     ) -> RoundReport {
-        self.compiled.walk(&self.config, program, req, sync, &mut self.walk)
+        self.compiled.walk(&self.config, program, req, sync, &mut self.walk, self.sink.as_deref())
     }
 
     /// Accepts the last [`EsChecker::walk_round_fast`]: keeps the shadow
     /// mutations and promotes the walked command scope.
     pub fn commit_round(&mut self) {
+        if let Some(s) = &self.sink {
+            s.event(TraceEventKind::JournalCommit { writes: self.walk.journal_len() as u64 });
+        }
         self.walk.commit();
     }
 
     /// Rejects the last [`EsChecker::walk_round_fast`]: undoes the
     /// journaled shadow writes and drops the walked command scope.
     pub fn abort_round(&mut self) {
+        if let Some(s) = &self.sink {
+            s.event(TraceEventKind::JournalAbort { writes: self.walk.journal_len() as u64 });
+        }
         self.walk.abort();
     }
 

@@ -34,6 +34,7 @@ use sedspec_dbl::interp::{eval_expr, EvalCtx, EvalError};
 use sedspec_dbl::ir::{BufId, Expr, Stmt, Width};
 use sedspec_dbl::state::{CsJournal, CsState};
 use sedspec_dbl::value::{OverflowFlags, TypedValue};
+use sedspec_obs::{ObsSink, SyncKind, TraceEventKind};
 use sedspec_vmm::IoRequest;
 
 use crate::checker::{
@@ -122,6 +123,9 @@ pub struct WalkState {
     call_stack: Vec<u32>,
     scope: CmdScope,
     pending: CmdScope,
+    /// ES blocks visited by the last observed walk (populated only when
+    /// a sink is attached, so the unobserved path stays allocation-free).
+    path: Vec<u32>,
 }
 
 impl WalkState {
@@ -134,12 +138,31 @@ impl WalkState {
             call_stack: Vec::new(),
             scope: CmdScope::None,
             pending: CmdScope::None,
+            path: Vec::new(),
         }
     }
 
     /// The current (committed) shadow state.
     pub fn shadow(&self) -> &CsState {
         &self.shadow
+    }
+
+    /// ES blocks the last observed walk visited, in walk order. Empty
+    /// unless the walk ran with a sink attached.
+    pub fn last_path(&self) -> &[u32] {
+        &self.path
+    }
+
+    /// Writes currently in the undo journal (uncommitted round depth).
+    pub(crate) fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Net shadow byte changes of the uncommitted round, as coalesced
+    /// `(offset, original, current)` ranges. Must be read before
+    /// [`WalkState::commit`] / [`WalkState::abort`].
+    pub fn shadow_diff(&self) -> Vec<(u32, Vec<u8>, Vec<u8>)> {
+        self.shadow.journal_diff(&self.journal)
     }
 
     /// The committed command scope.
@@ -400,6 +423,11 @@ impl CompiledSpec {
     /// [`WalkState::abort`] rolls them back through the journal.
     ///
     /// Verdict-equivalent to [`crate::checker::EsChecker::walk_round`].
+    ///
+    /// With `sink` set, every visited block and consumed sync value is
+    /// emitted as a trace event and the walked path is retained on `ws`
+    /// for forensics; with `sink` `None` each instrumentation site costs
+    /// one predictable branch and the walk allocates nothing.
     pub fn walk(
         &self,
         config: &CheckConfig,
@@ -407,7 +435,11 @@ impl CompiledSpec {
         req: &IoRequest,
         sync: &mut dyn SyncProvider,
         ws: &mut WalkState,
+        sink: Option<&dyn ObsSink>,
     ) -> RoundReport {
+        if sink.is_some() {
+            ws.path.clear();
+        }
         let mut report = RoundReport::default();
         let mut scope = ws.scope.clone();
         let ccfg = &self.cfgs[program];
@@ -430,6 +462,10 @@ impl CompiledSpec {
             report.blocks_walked += 1;
             if report.blocks_walked > WALK_LIMIT {
                 break;
+            }
+            if let Some(s) = sink {
+                ws.path.push(cur);
+                s.event(TraceEventKind::BlockStep { program: program as u32, block: cur });
             }
             let cblk = ccfg.blocks[cur as usize];
             let sblk = &scfg.blocks[cur as usize];
@@ -479,6 +515,9 @@ impl CompiledSpec {
                         Some(val) => {
                             ws.shadow.set_var_logged(*v, val, &mut ws.journal);
                             report.syncs_used += 1;
+                            if let Some(s) = sink {
+                                s.event(TraceEventKind::SyncFetch { kind: SyncKind::Var });
+                            }
                         }
                         None => {
                             report.needs_sync = true;
@@ -505,6 +544,9 @@ impl CompiledSpec {
                             Some((off0, bytes)) => {
                                 report.syncs_used += 1;
                                 report.sync_bytes += bytes.len() as u64;
+                                if let Some(s) = sink {
+                                    s.event(TraceEventKind::SyncFetch { kind: SyncKind::Buf });
+                                }
                                 for (k, byte) in bytes.iter().enumerate() {
                                     if ws
                                         .shadow
@@ -594,6 +636,9 @@ impl CompiledSpec {
                         match sync.branch_outcome(sblk.origin) {
                             Some(t) => {
                                 report.syncs_used += 1;
+                                if let Some(s) = sink {
+                                    s.event(TraceEventKind::SyncFetch { kind: SyncKind::Branch });
+                                }
                                 t
                             }
                             None => {
@@ -637,6 +682,9 @@ impl CompiledSpec {
                         match sync.switch_value(sblk.origin) {
                             Some(v) => {
                                 report.syncs_used += 1;
+                                if let Some(s) = sink {
+                                    s.event(TraceEventKind::SyncFetch { kind: SyncKind::Switch });
+                                }
                                 v
                             }
                             None => {

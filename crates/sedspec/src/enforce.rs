@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use sedspec_dbl::interp::ExecOutcome;
 use sedspec_devices::Device;
+use sedspec_obs::{ForensicData, ObsSink, PathStep, ShadowDelta, TraceEventKind, VerdictKind};
 use sedspec_vmm::{IoRequest, VmContext};
 use serde::{Deserialize, Serialize};
 
@@ -47,6 +48,9 @@ pub struct EnforceStats {
     pub warnings: u64,
     /// Rounds that halted the device.
     pub halts: u64,
+    /// Rounds whose journaled shadow writes were rolled back (partial
+    /// walks suspended at a sync point plus flagged rounds).
+    pub aborts: u64,
     /// Total ES blocks walked.
     pub check_blocks: u64,
     /// Total sync values consumed.
@@ -62,6 +66,7 @@ impl EnforceStats {
         self.synced_rounds += other.synced_rounds;
         self.warnings += other.warnings;
         self.halts += other.halts;
+        self.aborts += other.aborts;
         self.check_blocks += other.check_blocks;
         self.check_syncs += other.check_syncs;
     }
@@ -129,6 +134,16 @@ impl IoVerdict {
     }
 }
 
+/// Summarizes a verdict for the trace (drops the payloads).
+fn verdict_kind(v: &IoVerdict) -> VerdictKind {
+    match v {
+        IoVerdict::Allowed(_) => VerdictKind::Allowed,
+        IoVerdict::DeviceFault { .. } => VerdictKind::DeviceFault,
+        IoVerdict::Halted { .. } => VerdictKind::Halted,
+        IoVerdict::Warned { .. } => VerdictKind::Warned,
+    }
+}
+
 /// Which walk implementation an [`EnforcingDevice`] runs per round.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Engine {
@@ -155,6 +170,10 @@ pub struct EnforcingDevice {
     engine: Engine,
     /// Reused across synced rounds; `begin` clears the event buffer.
     observer: Observer,
+    /// Observability sink; also forwarded to the checker.
+    sink: Option<Arc<dyn ObsSink>>,
+    /// Wall-clock ns spent in spec walks this round (sink-enabled only).
+    walk_ns: u64,
 }
 
 impl EnforcingDevice {
@@ -169,6 +188,8 @@ impl EnforcingDevice {
             halted: false,
             engine: Engine::default(),
             observer: Observer::new(),
+            sink: None,
+            walk_ns: 0,
         }
     }
 
@@ -185,12 +206,28 @@ impl EnforcingDevice {
             halted: false,
             engine: Engine::default(),
             observer: Observer::new(),
+            sink: None,
+            walk_ns: 0,
         }
     }
 
     /// Replaces the strategy configuration (for per-strategy experiments).
     pub fn with_config(mut self, config: CheckConfig) -> Self {
         self.checker = self.checker.with_config(config);
+        self
+    }
+
+    /// Attaches (or detaches) the observability sink, forwarding it to
+    /// the checker. With no sink every instrumentation site is a single
+    /// predictable branch.
+    pub fn set_sink(&mut self, sink: Option<Arc<dyn ObsSink>>) {
+        self.checker.set_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// Builder form of [`EnforcingDevice::set_sink`].
+    pub fn with_sink(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.set_sink(Some(sink));
         self
     }
 
@@ -253,10 +290,128 @@ impl EnforcingDevice {
                 Err(f) => IoVerdict::DeviceFault { fault: f.to_string(), violations: Vec::new() },
             };
         };
-        match self.engine {
+        match &self.sink {
+            None => match self.engine {
+                Engine::Compiled => self.handle_io_compiled(ctx, req, pi),
+                Engine::Interpreted => self.handle_io_interpreted(ctx, req, pi),
+            },
+            Some(_) => self.handle_io_observed(ctx, req, pi),
+        }
+    }
+
+    /// Brackets one round with `RoundBegin`/`RoundEnd` events carrying
+    /// the verdict, this round's block/sync tallies and the wall-clock
+    /// nanoseconds spent inside the specification walks.
+    fn handle_io_observed(&mut self, ctx: &mut VmContext, req: &IoRequest, pi: usize) -> IoVerdict {
+        let sink = self.sink.clone().expect("observed dispatch requires a sink");
+        sink.event(TraceEventKind::RoundBegin { program: pi as u32 });
+        let blocks0 = self.stats.check_blocks;
+        let syncs0 = self.stats.check_syncs;
+        self.walk_ns = 0;
+        let verdict = match self.engine {
             Engine::Compiled => self.handle_io_compiled(ctx, req, pi),
             Engine::Interpreted => self.handle_io_interpreted(ctx, req, pi),
+        };
+        sink.event(TraceEventKind::RoundEnd {
+            verdict: verdict_kind(&verdict),
+            blocks: self.stats.check_blocks - blocks0,
+            syncs: self.stats.check_syncs - syncs0,
+            walk_ns: self.walk_ns,
+        });
+        verdict
+    }
+
+    /// [`EsChecker::walk_round_fast`], timed when a sink is attached.
+    fn walk_fast_timed(
+        &mut self,
+        pi: usize,
+        req: &IoRequest,
+        sync: &mut dyn crate::checker::SyncProvider,
+    ) -> RoundReport {
+        if self.sink.is_none() {
+            return self.checker.walk_round_fast(pi, req, sync);
         }
+        let t0 = std::time::Instant::now();
+        let report = self.checker.walk_round_fast(pi, req, sync);
+        self.walk_ns += t0.elapsed().as_nanos() as u64;
+        report
+    }
+
+    /// [`EsChecker::walk_round`], timed when a sink is attached.
+    fn walk_interp_timed(
+        &mut self,
+        pi: usize,
+        req: &IoRequest,
+        sync: &mut dyn crate::checker::SyncProvider,
+    ) -> crate::checker::WalkResult {
+        if self.sink.is_none() {
+            return self.checker.walk_round(pi, req, sync);
+        }
+        let t0 = std::time::Instant::now();
+        let result = self.checker.walk_round(pi, req, sync);
+        self.walk_ns += t0.elapsed().as_nanos() as u64;
+        result
+    }
+
+    /// Assembles and emits the forensic payload of a flagged round:
+    /// the walked block path with labels from the compiled spec, the
+    /// violated block, and the shadow byte diff still held in the undo
+    /// journal. Must run *before* the abort replays the journal.
+    fn emit_forensics(
+        &self,
+        violations: &[Violation],
+        verdict: VerdictKind,
+        executed: bool,
+        pi: usize,
+    ) {
+        let Some(sink) = &self.sink else { return };
+        if violations.is_empty() || !sink.wants_forensics() {
+            return;
+        }
+        let spec = self.checker.compiled().spec();
+        let label_of = |program: usize, block: u32| -> String {
+            spec.cfgs
+                .get(program)
+                .and_then(|c| c.blocks.get(block as usize))
+                .map(|b| b.label.clone())
+                .unwrap_or_default()
+        };
+        let block_path: Vec<PathStep> = self
+            .checker
+            .last_walk_path()
+            .iter()
+            .map(|&b| PathStep { program: pi as u32, block: b, label: label_of(pi, b) })
+            .collect();
+        let first = &violations[0];
+        let (vp, vb) = first.site();
+        let violated = vb.map(|b| PathStep {
+            program: vp as u32,
+            block: b,
+            label: first.label().map(str::to_string).unwrap_or_else(|| label_of(vp, b)),
+        });
+        let control = self.checker.control();
+        let shadow_diff: Vec<ShadowDelta> = self
+            .checker
+            .walk_shadow_diff()
+            .into_iter()
+            .map(|(offset, old, new)| {
+                let field = match control.field_at(offset as usize) {
+                    Some((name, 0)) => name.to_string(),
+                    Some((name, at)) => format!("{name}[+{at}]"),
+                    None => "?".to_string(),
+                };
+                ShadowDelta { offset, field, old, new }
+            })
+            .collect();
+        sink.violation(ForensicData {
+            verdict,
+            strategy: format!("{:?}", first.strategy()),
+            violation: format!("{first:?}"),
+            violated,
+            executed,
+            block_path,
+            shadow_diff,
+        });
     }
 
     /// The compiled hot path: the walk mutates the reusable shadow in
@@ -265,7 +420,7 @@ impl EnforcingDevice {
     /// shadow clone, no per-round allocation in the steady state.
     fn handle_io_compiled(&mut self, ctx: &mut VmContext, req: &IoRequest, pi: usize) -> IoVerdict {
         // Phase 1: pre-execution walk.
-        let pre = self.checker.walk_round_fast(pi, req, &mut NoSync);
+        let pre = self.walk_fast_timed(pi, req, &mut NoSync);
         self.charge(ctx, &pre, true);
 
         if !pre.needs_sync {
@@ -279,9 +434,19 @@ impl EnforcingDevice {
                     }
                 };
             }
-            self.checker.abort_round();
             let violations = pre.violations;
-            return if self.should_halt(&violations) {
+            let halt = self.should_halt(&violations);
+            // Freeze forensics while the undo journal still holds the
+            // round's shadow writes; the abort replays and clears it.
+            self.emit_forensics(
+                &violations,
+                if halt { VerdictKind::Halted } else { VerdictKind::Warned },
+                false,
+                pi,
+            );
+            self.checker.abort_round();
+            self.stats.aborts += 1;
+            return if halt {
                 self.halted = true;
                 self.stats.halts += 1;
                 IoVerdict::Halted { violations, executed: false }
@@ -297,12 +462,13 @@ impl EnforcingDevice {
         // back, run the device under observation, then re-walk with the
         // recorded sync values.
         self.checker.abort_round();
+        self.stats.aborts += 1;
         self.stats.synced_rounds += 1;
         self.observer.begin(pi, req);
         let result = self.device.handle_io_hooked(ctx, req, &mut self.observer);
         let round_log = self.observer.end(result.as_ref().err().map(|f| f.to_string()));
         let mut recorded = RecordedSync::from_round(&round_log);
-        let post = self.checker.walk_round_fast(pi, req, &mut recorded);
+        let post = self.walk_fast_timed(pi, req, &mut recorded);
         self.charge(ctx, &post, false);
 
         if post.ok() && !post.needs_sync {
@@ -313,7 +479,15 @@ impl EnforcingDevice {
             };
         }
 
+        let halt = self.should_halt(&post.violations);
+        self.emit_forensics(
+            &post.violations,
+            if halt { VerdictKind::Halted } else { VerdictKind::Warned },
+            true,
+            pi,
+        );
         self.checker.abort_round();
+        self.stats.aborts += 1;
         let violations = post.violations;
         if violations.is_empty() {
             // Sync data ran out without a verdict: the device diverged
@@ -326,7 +500,7 @@ impl EnforcingDevice {
                 }
             };
         }
-        if self.should_halt(&violations) {
+        if halt {
             self.halted = true;
             self.stats.halts += 1;
             IoVerdict::Halted { violations, executed: true }
@@ -345,7 +519,7 @@ impl EnforcingDevice {
         pi: usize,
     ) -> IoVerdict {
         // Phase 1: pre-execution walk.
-        let pre = self.checker.walk_round(pi, req, &mut NoSync);
+        let pre = self.walk_interp_timed(pi, req, &mut NoSync);
         self.charge(ctx, &pre.report, true);
 
         if !pre.report.needs_sync {
@@ -359,6 +533,10 @@ impl EnforcingDevice {
                     }
                 };
             }
+            // The compiled engine aborts its journal here; count the
+            // discarded-walk decision identically so the differential
+            // suite's stats equality holds.
+            self.stats.aborts += 1;
             let violations = pre.report.violations;
             return if self.should_halt(&violations) {
                 self.halted = true;
@@ -374,12 +552,13 @@ impl EnforcingDevice {
 
         // Phase 2: the walk needs sync data — run the device under
         // observation, then complete the check post-hoc.
+        self.stats.aborts += 1;
         self.stats.synced_rounds += 1;
         self.observer.begin(pi, req);
         let result = self.device.handle_io_hooked(ctx, req, &mut self.observer);
         let round_log = self.observer.end(result.as_ref().err().map(|f| f.to_string()));
         let mut recorded = RecordedSync::from_round(&round_log);
-        let post = self.checker.walk_round(pi, req, &mut recorded);
+        let post = self.walk_interp_timed(pi, req, &mut recorded);
         self.charge(ctx, &post.report, false);
 
         if post.report.ok() && !post.report.needs_sync {
@@ -390,6 +569,7 @@ impl EnforcingDevice {
             };
         }
 
+        self.stats.aborts += 1;
         let violations = post.report.violations;
         if violations.is_empty() {
             // Sync data ran out without a verdict: the device diverged

@@ -3,7 +3,10 @@
 //! tenants deploy from it on a sharded pool, a *hot-swap* retargets
 //! them without downtime, and a Venom-compromised tenant is detected,
 //! rolled back, then *quarantined* — all while its shard-mates keep
-//! serving.
+//! serving. An observability hub watches the whole run: the final
+//! section prints the quarantined tenant's flight-recorder forensics —
+//! the walked ES-block path and the shadow-state diff of the fatal
+//! round.
 //!
 //! ```text
 //! cargo run --example fleet_hardening
@@ -16,6 +19,8 @@ use sedspec::pipeline::{train_script, TrainingConfig};
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_repro::fleet::pool::{EnforcementPool, TenantConfig, TenantId};
 use sedspec_repro::fleet::registry::SpecRegistry;
+use sedspec_repro::fleet::FleetReport;
+use sedspec_repro::obs::ObsHub;
 use sedspec_repro::vmm::VmContext;
 use sedspec_repro::workloads::attacks::{poc, Cve};
 use sedspec_repro::workloads::generators::{eval_case, training_suite};
@@ -57,9 +62,11 @@ fn main() {
     let first = registry.publish(kind, version, dev_spec.clone());
     println!("published {first}");
 
-    // ...and three tenants deploy from it on a two-shard pool. Tenants
-    // 0 and 2 share shard 0; tenant 1 runs alone on shard 1.
-    let mut pool = EnforcementPool::new(2, Arc::clone(&registry));
+    // ...and three tenants deploy from it on a two-shard pool with an
+    // observability hub attached. Tenants 0 and 2 share shard 0;
+    // tenant 1 runs alone on shard 1.
+    let hub = Arc::new(ObsHub::new());
+    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), Arc::clone(&hub));
     for t in 0..3u64 {
         pool.add_tenant(TenantConfig::new(t).with_devices(vec![(kind, version)])).unwrap();
     }
@@ -103,12 +110,7 @@ fn main() {
             r.flagged, r.rollbacks, r.quarantined
         );
     }
-    for alert in pool.drain_alerts() {
-        println!(
-            "alert: {} on {} -> {:?}: {}",
-            alert.tenant, alert.device, alert.level, alert.detail
-        );
-    }
+    print!("{}", FleetReport::render_alerts(&pool.drain_alerts()));
 
     // The shard-mate (tenant 2) and the other shard (tenant 1) never
     // noticed.
@@ -120,4 +122,15 @@ fn main() {
     let report = pool.report();
     assert_eq!(report.quarantined_count(), 1);
     print!("{}", report.render());
+
+    // The flight recorder froze the quarantined tenant's fatal rounds:
+    // the walked block path and the shadow diff tell the operator what
+    // the attack did before a single byte of device state was kept.
+    let records = hub.forensics();
+    let fatal = records
+        .iter()
+        .rev()
+        .find(|r| r.scope.tenant == Some(0))
+        .expect("the quarantined tenant left forensics");
+    print!("{}", fatal.render());
 }
