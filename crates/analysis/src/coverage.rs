@@ -1,0 +1,385 @@
+//! Pass 3: command-coverage audit (`SA2xx`).
+//!
+//! Cross-checks the trained [`CommandAccessTable`] against the device's
+//! *static* command set — the arms of each command-decision block's
+//! switch in the handler IR. Three families of findings:
+//!
+//! * `SA201`: a command the device decodes was never trained. In
+//!   enhancement mode the checker synchronizes-and-continues on unknown
+//!   commands, so every untrained command is an enforcement blind spot.
+//! * `SA202`/`SA204`: the table names a command the decision cannot
+//!   decode, or anchors on invalid block ids — table corruption.
+//! * `SA203`: a *reset-class* command (one that bulk-reinitializes
+//!   device state with constant stores) leaves stale some parameter
+//!   that gates another command's control flow and that commands do
+//!   write. This is the shape of CVE-2016-1568: the ESP RESET handler
+//!   forgets `pending_op`/`xfer_count`, so a later TI acts on the
+//!   previous command's pending transfer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sedspec::escfg::{gid, ungid, DsodOp, EdgeKey, Nbtd};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_dbl::ir::{Expr, Stmt, Terminator, VarId};
+use sedspec_devices::Device;
+use serde::{Deserialize, Serialize};
+
+use crate::diag::Diagnostic;
+
+/// How many distinct selected parameters a command must constant-store
+/// to classify as reset-class for the `SA203` staleness check.
+const RESET_CLASS_MIN_CONST_WRITES: usize = 5;
+
+/// Per-decision command coverage, reported alongside the diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionCoverage {
+    /// Handler program index of the decision block.
+    pub program: usize,
+    /// Handler name.
+    pub handler: String,
+    /// Decision block label.
+    pub label: String,
+    /// Global id of the decision block.
+    pub gid: u64,
+    /// Commands the device statically decodes at this decision.
+    pub static_cmds: usize,
+    /// Commands the table trained at this decision.
+    pub trained_cmds: usize,
+    /// Static command values never trained, ascending.
+    pub untrained: Vec<u64>,
+}
+
+pub fn run(
+    spec: &ExecutionSpecification,
+    device: Option<&Device>,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<DecisionCoverage> {
+    let mut coverage = Vec::new();
+    check_table_anchors(spec, out);
+    if let Some(device) = device {
+        coverage = audit_static_sets(spec, device, out);
+    }
+    let name_fn = device.map(|d| {
+        move |v: VarId| -> String {
+            if (v.0 as usize) < d.control.vars().len() {
+                d.control.var_decl(v).name.clone()
+            } else {
+                format!("v{}", v.0)
+            }
+        }
+    });
+    match &name_fn {
+        Some(f) => check_stale_reset_state(spec, Some(f), out),
+        None => check_stale_reset_state(spec, None, out),
+    }
+    coverage
+}
+
+/// `SA204`: every id the table stores must resolve inside the spec.
+fn check_table_anchors(spec: &ExecutionSpecification, out: &mut Vec<Diagnostic>) {
+    let valid = |g: u64| {
+        let (p, es) = ungid(g);
+        spec.cfgs.get(p).is_some_and(|c| (es as usize) < c.blocks.len())
+    };
+    for entry in &spec.cmd_table.entries {
+        if !valid(entry.decision) {
+            out.push(Diagnostic::new(
+                "SA204",
+                format!(
+                    "entry for cmd {:#x} anchors on decision gid {:#x}, which no block has",
+                    entry.cmd, entry.decision
+                ),
+            ));
+            continue;
+        }
+        let (p, es) = ungid(entry.decision);
+        let blk = &spec.cfgs[p].blocks[es as usize];
+        let is_decision = matches!(blk.nbtd, Nbtd::Switch { is_cmd_decision: true, .. });
+        if !is_decision {
+            out.push(
+                Diagnostic::new(
+                    "SA204",
+                    format!(
+                        "entry for cmd {:#x} anchors on '{}', which is not a command-decision \
+                         block",
+                        entry.cmd, blk.label
+                    ),
+                )
+                .in_program(p, &spec.cfgs[p].name)
+                .at_gid(entry.decision),
+            );
+        }
+        for &g in &entry.allowed {
+            if !valid(g) {
+                out.push(
+                    Diagnostic::new(
+                        "SA204",
+                        format!(
+                            "allowed set of cmd {:#x} references gid {:#x}, which no block has",
+                            entry.cmd, g
+                        ),
+                    )
+                    .at_gid(entry.decision),
+                );
+            }
+        }
+    }
+}
+
+/// `SA201`/`SA202`: trained table vs the device's static switch arms.
+fn audit_static_sets(
+    spec: &ExecutionSpecification,
+    device: &Device,
+    out: &mut Vec<Diagnostic>,
+) -> Vec<DecisionCoverage> {
+    let mut coverage = Vec::new();
+    for cfg in &spec.cfgs {
+        let Some(prog) = device.programs().get(cfg.program) else { continue };
+        for (es, blk) in cfg.blocks.iter().enumerate() {
+            if !matches!(blk.nbtd, Nbtd::Switch { is_cmd_decision: true, .. }) {
+                continue;
+            }
+            let g = gid(cfg.program, es as u32);
+            let Some(pblk) = prog.blocks.get(blk.origin as usize) else { continue };
+            let Terminator::Switch { arms, .. } = &pblk.term else { continue };
+            let static_set: BTreeSet<u64> = arms.iter().map(|&(v, _)| v).collect();
+            let trained: BTreeSet<u64> =
+                spec.cmd_table.entries.iter().filter(|e| e.decision == g).map(|e| e.cmd).collect();
+            let untrained: Vec<u64> = static_set.difference(&trained).copied().collect();
+            for &v in &untrained {
+                out.push(
+                    Diagnostic::new(
+                        "SA201",
+                        format!(
+                            "command {v:#x} decoded at '{}' was never trained; in enhancement \
+                             mode it executes unchecked",
+                            blk.label
+                        ),
+                    )
+                    .in_program(cfg.program, &cfg.name)
+                    .at_gid(g),
+                );
+            }
+            for &v in trained.difference(&static_set) {
+                // Non-arm commands can legitimately enter the table via
+                // the switch's default arm; the observed Case edge is
+                // the witness. A table entry with neither an arm nor an
+                // observed decode is a phantom.
+                if cfg.edge(es as u32, EdgeKey::Case(v)).is_some() {
+                    continue;
+                }
+                out.push(
+                    Diagnostic::new(
+                        "SA202",
+                        format!(
+                            "table holds cmd {v:#x} at '{}', but the decision has no such arm \
+                             and never decoded it",
+                            blk.label
+                        ),
+                    )
+                    .in_program(cfg.program, &cfg.name)
+                    .at_gid(g),
+                );
+            }
+            coverage.push(DecisionCoverage {
+                program: cfg.program,
+                handler: cfg.name.clone(),
+                label: blk.label.clone(),
+                gid: g,
+                static_cmds: static_set.len(),
+                trained_cmds: trained.intersection(&static_set).count(),
+                untrained,
+            });
+        }
+    }
+    coverage
+}
+
+/// What one command's allowed blocks do to the selected parameters.
+#[derive(Default)]
+struct CmdEffects {
+    /// Selected vars written (any right-hand side, or synced).
+    writes: BTreeSet<VarId>,
+    /// Selected vars written with a constant (reinitialized).
+    const_writes: BTreeSet<VarId>,
+    /// Selected vars its guards read.
+    gates: BTreeSet<VarId>,
+}
+
+fn effects_of(spec: &ExecutionSpecification, allowed: &BTreeSet<u64>) -> CmdEffects {
+    let mut fx = CmdEffects::default();
+    for &g in allowed {
+        let (p, es) = ungid(g);
+        let Some(blk) = spec.cfgs.get(p).and_then(|c| c.blocks.get(es as usize)) else {
+            continue;
+        };
+        for op in &blk.dsod {
+            match op {
+                DsodOp::Exec(Stmt::SetVar(v, rhs)) if spec.params.contains_var(*v) => {
+                    fx.writes.insert(*v);
+                    if matches!(rhs, Expr::Const(_)) {
+                        fx.const_writes.insert(*v);
+                    }
+                }
+                DsodOp::SyncVar(v) if spec.params.contains_var(*v) => {
+                    fx.writes.insert(*v);
+                }
+                _ => {}
+            }
+        }
+        let guard_vars = match &blk.nbtd {
+            Nbtd::Branch { cond, .. } => cond.vars(),
+            Nbtd::Switch { scrutinee, .. } => scrutinee.vars(),
+            _ => Vec::new(),
+        };
+        for v in guard_vars {
+            if spec.params.contains_var(v) {
+                fx.gates.insert(v);
+            }
+        }
+    }
+    fx
+}
+
+fn block_writes(blk: &sedspec::escfg::EsBlock, x: VarId) -> bool {
+    blk.dsod.iter().any(|op| match op {
+        DsodOp::Exec(Stmt::SetVar(v, _)) | DsodOp::SyncVar(v) => *v == x,
+        _ => false,
+    })
+}
+
+fn block_gates(blk: &sedspec::escfg::EsBlock, x: VarId) -> bool {
+    let vars = match &blk.nbtd {
+        Nbtd::Branch { cond, .. } => cond.vars(),
+        Nbtd::Switch { scrutinee, .. } => scrutinee.vars(),
+        _ => return false,
+    };
+    vars.contains(&x)
+}
+
+/// Whether command `entry` can *read* `x` in a guard before any of its
+/// own blocks wrote it — i.e. whether the value left behind by previous
+/// commands actually matters to it.
+///
+/// Walks each program's slice of the allowed set from its scope entry
+/// points (the decision's `Case(cmd)` target, plus any allowed block no
+/// allowed block reaches), stopping at blocks that write `x`: within a
+/// block, DSOD executes before the NBTD guard, so a writing block
+/// shields both its own guard and everything behind it.
+fn reads_stale(
+    spec: &ExecutionSpecification,
+    entry: &sedspec::escfg::CommandEntry,
+    x: VarId,
+) -> bool {
+    let mut by_prog: BTreeMap<usize, BTreeSet<u32>> = BTreeMap::new();
+    for &g in &entry.allowed {
+        let (p, es) = ungid(g);
+        if spec.cfgs.get(p).is_some_and(|c| (es as usize) < c.blocks.len()) {
+            by_prog.entry(p).or_default().insert(es);
+        }
+    }
+    let (dp, des) = ungid(entry.decision);
+    for (&p, blocks) in &by_prog {
+        let cfg = &spec.cfgs[p];
+        let mut starts: Vec<u32> = Vec::new();
+        if p == dp {
+            if let Some(e) = cfg.edge(des, EdgeKey::Case(entry.cmd)) {
+                starts.push(e.to);
+            }
+        }
+        let mut has_pred: BTreeSet<u32> = BTreeSet::new();
+        for &b in blocks {
+            if let Some(list) = cfg.edges.get(&b) {
+                for e in list {
+                    if blocks.contains(&e.to) {
+                        has_pred.insert(e.to);
+                    }
+                }
+            }
+        }
+        starts.extend(blocks.iter().copied().filter(|b| !has_pred.contains(b)));
+        let mut seen: BTreeSet<u32> = BTreeSet::new();
+        let mut stack = starts;
+        while let Some(b) = stack.pop() {
+            if !blocks.contains(&b) || !seen.insert(b) {
+                continue;
+            }
+            let blk = &cfg.blocks[b as usize];
+            let writes = block_writes(blk, x);
+            if block_gates(blk, x) && !writes {
+                return true;
+            }
+            if writes {
+                continue; // x is fresh past this block
+            }
+            if let Some(list) = cfg.edges.get(&b) {
+                for e in list {
+                    stack.push(e.to);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// `SA203`: reset-class commands that leave gating state stale.
+fn check_stale_reset_state(
+    spec: &ExecutionSpecification,
+    var_name: Option<&dyn Fn(VarId) -> String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let effects: Vec<CmdEffects> =
+        spec.cmd_table.entries.iter().map(|e| effects_of(spec, &e.allowed)).collect();
+    // A parameter is cross-command state if more than one command (or a
+    // command other than the reset candidate) writes it.
+    let mut writers: BTreeMap<VarId, Vec<usize>> = BTreeMap::new();
+    for (i, fx) in effects.iter().enumerate() {
+        for &v in &fx.writes {
+            writers.entry(v).or_default().push(i);
+        }
+    }
+    for (r, entry) in spec.cmd_table.entries.iter().enumerate() {
+        if effects[r].const_writes.len() < RESET_CLASS_MIN_CONST_WRITES {
+            continue;
+        }
+        // Every selected param gating a sibling command but neither
+        // reinitialized by the reset nor written only by the reset.
+        let mut stale: BTreeMap<VarId, Vec<u64>> = BTreeMap::new();
+        for (c, peer) in spec.cmd_table.entries.iter().enumerate() {
+            if c == r || peer.decision != entry.decision {
+                continue;
+            }
+            for &x in &effects[c].gates {
+                if effects[r].writes.contains(&x) {
+                    continue; // the reset does reinitialize it
+                }
+                let written_elsewhere =
+                    writers.get(&x).is_some_and(|ws| ws.iter().any(|&w| w != r));
+                if written_elsewhere && reads_stale(spec, peer, x) {
+                    stale.entry(x).or_default().push(peer.cmd);
+                }
+            }
+        }
+        for (x, gated) in stale {
+            let (p, _) = ungid(entry.decision);
+            let handler = spec.cfgs.get(p).map_or("?", |cfg| cfg.name.as_str());
+            let name = var_name.map_or_else(|| format!("v{}", x.0), |f| f(x));
+            let cmds: Vec<String> = gated.iter().map(|c| format!("{c:#x}")).collect();
+            out.push(
+                Diagnostic::new(
+                    "SA203",
+                    format!(
+                        "reset-class cmd {:#x} reinitializes {} params but not '{name}', \
+                         which gates cmd {} and is written by other commands; stale state \
+                         survives the reset",
+                        entry.cmd,
+                        effects[r].const_writes.len(),
+                        cmds.join("/")
+                    ),
+                )
+                .in_program(p, handler)
+                .at_gid(entry.decision),
+            );
+        }
+    }
+}

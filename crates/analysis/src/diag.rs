@@ -1,0 +1,182 @@
+//! Typed diagnostics with stable codes.
+//!
+//! Every pass emits [`Diagnostic`]s carrying a stable `SAxxx` code, a
+//! severity, and a location anchored on the spec's own coordinates
+//! (program index + [`gid`](sedspec::escfg::gid)). Codes are grouped by
+//! hundreds per pass:
+//!
+//! | range   | pass                        |
+//! |---------|-----------------------------|
+//! | `SA0xx` | reachability / structure    |
+//! | `SA1xx` | guard satisfiability        |
+//! | `SA2xx` | command-coverage audit      |
+//! | `SA3xx` | shadow-write soundness      |
+//! | `SA4xx` | compile-preservation diff   |
+
+use std::fmt;
+
+use sedspec::escfg::ungid;
+use serde::{Deserialize, Serialize};
+
+/// How bad a finding is.
+///
+/// `Error` findings make [`crate::AnalysisReport::has_errors`] true and
+/// are what the fleet publish gate and the CI lint step reject on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational only.
+    Info,
+    /// Suspicious but deployable (e.g. an enforcement blind spot).
+    Warning,
+    /// The spec is unsound or self-inconsistent; do not deploy.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes with their default severity and summary.
+///
+/// The code string is the contract: tests, allowlists and dashboards key
+/// on it, so entries are append-only.
+pub const CODES: &[(&str, Severity, &str)] = &[
+    ("SA001", Severity::Warning, "ES block unreachable from the handler entry"),
+    ("SA002", Severity::Error, "edge or fn target references a block that does not exist"),
+    ("SA003", Severity::Error, "observed indirect-call value is not statically legitimate"),
+    ("SA004", Severity::Error, "two edges with the same (from, key) disagree on the target"),
+    ("SA005", Severity::Error, "per-block edge list lost its (key, to) sort invariant"),
+    ("SA006", Severity::Warning, "handler entry was never traced"),
+    ("SA007", Severity::Error, "by_origin map is not a bijection onto the block list"),
+    ("SA008", Severity::Error, "spec device/version does not match the deployment target"),
+    ("SA101", Severity::Warning, "conditional guard is vacuous (one outcome is impossible)"),
+    ("SA102", Severity::Error, "trained edge is infeasible under its guard"),
+    ("SA201", Severity::Warning, "command in the device's static set was never trained"),
+    ("SA202", Severity::Error, "command table entry for a value the decision cannot decode"),
+    ("SA203", Severity::Warning, "reset-class command leaves cross-command gating state stale"),
+    ("SA204", Severity::Error, "command access set references an invalid global block id"),
+    ("SA301", Severity::Error, "shadow write lands outside the control-structure arena"),
+    ("SA302", Severity::Error, "DSOD op references an undeclared variable or buffer"),
+    ("SA303", Severity::Warning, "constant buffer access spills into an adjacent field"),
+    ("SA401", Severity::Error, "compiled spec diverges structurally from the ES-CFG"),
+];
+
+/// The registered default severity and summary of `code`.
+pub fn describe(code: &str) -> Option<(Severity, &'static str)> {
+    CODES.iter().find(|(c, _, _)| *c == code).map(|&(_, s, d)| (s, d))
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable code (`SA001`...).
+    pub code: String,
+    /// Severity (defaults to the registered one for the code).
+    pub severity: Severity,
+    /// Handler program index, when the finding is handler-scoped.
+    pub program: Option<usize>,
+    /// Handler name, when known.
+    pub handler: Option<String>,
+    /// Global ES block id the finding anchors on, when block-scoped.
+    pub gid: Option<u64>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the registered severity of `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is not registered in [`CODES`] — an unregistered
+    /// code is a bug in the calling pass, not an input problem.
+    pub fn new(code: &str, message: impl Into<String>) -> Diagnostic {
+        let (severity, _) = describe(code).unwrap_or_else(|| panic!("unregistered code {code}"));
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            program: None,
+            handler: None,
+            gid: None,
+            message: message.into(),
+        }
+    }
+
+    /// Anchors the diagnostic on a handler program.
+    #[must_use]
+    pub fn in_program(mut self, program: usize, handler: &str) -> Diagnostic {
+        self.program = Some(program);
+        self.handler = Some(handler.to_string());
+        self
+    }
+
+    /// Anchors the diagnostic on a global ES block id.
+    #[must_use]
+    pub fn at_gid(mut self, g: u64) -> Diagnostic {
+        self.gid = Some(g);
+        self
+    }
+
+    /// Whether this finding is error severity.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// One-line human rendering: `severity[CODE] handler#es: message`.
+    pub fn render(&self) -> String {
+        let mut loc = String::new();
+        if let Some(h) = &self.handler {
+            loc.push_str(h);
+        } else if let Some(p) = self.program {
+            loc.push_str(&format!("program{p}"));
+        }
+        if let Some(g) = self.gid {
+            let (_, es) = ungid(g);
+            loc.push_str(&format!("#{es}"));
+        }
+        if loc.is_empty() {
+            format!("{}[{}] {}", self.severity, self.code, self.message)
+        } else {
+            format!("{}[{}] {}: {}", self.severity, self.code, loc, self.message)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_sorted() {
+        for w in CODES.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} vs {}", w[0].0, w[1].0);
+        }
+    }
+
+    #[test]
+    fn default_severity_comes_from_registry() {
+        let d = Diagnostic::new("SA002", "dangles");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.is_error());
+        let d = Diagnostic::new("SA001", "unreachable");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn render_includes_anchor() {
+        let d = Diagnostic::new("SA002", "edge dangles").in_program(1, "fdc_pmio_read").at_gid(5);
+        assert_eq!(d.render(), "error[SA002] fdc_pmio_read#5: edge dangles");
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered code")]
+    fn unregistered_code_panics() {
+        let _ = Diagnostic::new("SA999", "nope");
+    }
+}

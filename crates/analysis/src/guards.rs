@@ -1,0 +1,121 @@
+//! Pass 2: guard satisfiability (`SA1xx`).
+//!
+//! Abstractly interprets every conditional-jump guard over the
+//! [`crate::interval`] domain. A guard whose outcome is fixed makes the
+//! check vacuous (`SA101`) — the runtime walk would accept either label
+//! anyway — and any *trained* edge on the impossible side, or a switch
+//! case outside the scrutinee's range, can only have entered the spec
+//! through corruption or a bad merge (`SA102`).
+//!
+//! Guards whose outcome is synchronized from the device (`needs_sync`)
+//! read externally tainted data the domain cannot bound; they are
+//! skipped.
+
+use sedspec::escfg::{gid, EdgeKey, Nbtd};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_dbl::ir::{BufId, LocalId, VarId, Width};
+use sedspec_devices::Device;
+
+use crate::diag::Diagnostic;
+use crate::interval::{eval, Iv, VarBounds};
+
+/// Variable bounds from the device's control-structure declaration plus
+/// the handler's declared local widths.
+struct DeclBounds<'a> {
+    device: Option<&'a Device>,
+    locals: &'a [Width],
+}
+
+impl VarBounds for DeclBounds<'_> {
+    fn var_range(&self, v: VarId) -> Iv {
+        match self.device {
+            Some(d) if (v.0 as usize) < d.control.vars().len() => {
+                let decl = d.control.var_decl(v);
+                Iv { lo: 0, hi: decl.width.mask(), signed_taint: decl.signed }
+            }
+            _ => Iv::TOP,
+        }
+    }
+
+    fn buf_len(&self, b: BufId) -> Option<u64> {
+        let d = self.device?;
+        ((b.0 as usize) < d.control.buffers().len()).then(|| d.control.buf_decl(b).len as u64)
+    }
+
+    fn local_width(&self, l: LocalId) -> Option<Width> {
+        self.locals.get(l.0 as usize).copied()
+    }
+}
+
+pub fn run(spec: &ExecutionSpecification, device: Option<&Device>, out: &mut Vec<Diagnostic>) {
+    for cfg in &spec.cfgs {
+        let env = DeclBounds { device, locals: &cfg.locals };
+        for (es, blk) in cfg.blocks.iter().enumerate() {
+            let es = es as u32;
+            match &blk.nbtd {
+                Nbtd::Branch { cond, needs_sync: false } => {
+                    let iv = eval(cond, &env);
+                    let (fixed, dead_key) = if iv.always_true() {
+                        (Some("true"), EdgeKey::NotTaken)
+                    } else if iv.always_false() {
+                        (Some("false"), EdgeKey::Taken)
+                    } else {
+                        (None, EdgeKey::Next)
+                    };
+                    let Some(outcome) = fixed else { continue };
+                    out.push(
+                        Diagnostic::new(
+                            "SA101",
+                            format!(
+                                "guard of '{}' is always {outcome}; the branch check is vacuous",
+                                blk.label
+                            ),
+                        )
+                        .in_program(cfg.program, &cfg.name)
+                        .at_gid(gid(cfg.program, es)),
+                    );
+                    if let Some(e) = cfg.edge(es, dead_key) {
+                        out.push(
+                            Diagnostic::new(
+                                "SA102",
+                                format!(
+                                    "trained {dead_key:?} edge -> {} contradicts the always-\
+                                     {outcome} guard of '{}'",
+                                    e.to, blk.label
+                                ),
+                            )
+                            .in_program(cfg.program, &cfg.name)
+                            .at_gid(gid(cfg.program, es)),
+                        );
+                    }
+                }
+                Nbtd::Switch { scrutinee, needs_sync: false, .. } => {
+                    let iv = eval(scrutinee, &env);
+                    if iv == Iv::TOP || iv.signed_taint {
+                        continue;
+                    }
+                    let Some(list) = cfg.edges.get(&es) else { continue };
+                    for e in list {
+                        if let EdgeKey::Case(v) = e.key {
+                            if !iv.contains(v) {
+                                out.push(
+                                    Diagnostic::new(
+                                        "SA102",
+                                        format!(
+                                            "trained case {v:#x} lies outside the scrutinee \
+                                             range [{:#x}, {:#x}] of '{}'",
+                                            iv.lo, iv.hi, blk.label
+                                        ),
+                                    )
+                                    .in_program(cfg.program, &cfg.name)
+                                    .at_gid(gid(cfg.program, es)),
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

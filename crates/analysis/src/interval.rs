@@ -1,0 +1,280 @@
+//! A small unsigned-interval abstract domain for guard satisfiability.
+//!
+//! Expressions over device state are abstracted to `[lo, hi]` ranges of
+//! `u64`. The domain is deliberately conservative: anything the
+//! abstraction cannot bound soundly collapses to ⊤ (`[0, u64::MAX]`),
+//! and comparison outcomes involving *signed* variables are never
+//! decided (DBL compares signed operands arithmetically, which an
+//! unsigned range cannot capture). Constants evaluate at width 64 in the
+//! DBL interpreter, so constant folding here is exact.
+
+use sedspec_dbl::ir::{BinOp, Expr, UnOp, Width};
+
+/// An inclusive unsigned range, plus a taint bit for signed operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Iv {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+    /// Whether a signed variable flowed in (comparison results on such
+    /// values are not decided).
+    pub signed_taint: bool,
+}
+
+impl Iv {
+    /// The full range ⊤.
+    pub const TOP: Iv = Iv { lo: 0, hi: u64::MAX, signed_taint: false };
+
+    /// An exact value.
+    pub fn exact(v: u64) -> Iv {
+        Iv { lo: v, hi: v, signed_taint: false }
+    }
+
+    /// An inclusive range.
+    pub fn range(lo: u64, hi: u64) -> Iv {
+        Iv { lo, hi, signed_taint: false }
+    }
+
+    /// Whether the range is a single value.
+    pub fn singleton(&self) -> Option<u64> {
+        (self.lo == self.hi && !self.signed_taint).then_some(self.lo)
+    }
+
+    /// Whether `v` can be the expression's value.
+    pub fn contains(&self, v: u64) -> bool {
+        self.signed_taint || (self.lo <= v && v <= self.hi)
+    }
+
+    /// Whether the expression is definitely nonzero (guard always taken).
+    pub fn always_true(&self) -> bool {
+        !self.signed_taint && self.lo > 0
+    }
+
+    /// Whether the expression is definitely zero (guard never taken).
+    pub fn always_false(&self) -> bool {
+        !self.signed_taint && self.hi == 0
+    }
+
+    fn taint(mut self, other: Iv) -> Iv {
+        self.signed_taint |= other.signed_taint;
+        self
+    }
+
+    /// 0/1 result of a comparison whose outcome is unknown.
+    fn bool_unknown(a: Iv, b: Iv) -> Iv {
+        Iv { lo: 0, hi: 1, signed_taint: a.signed_taint || b.signed_taint }
+    }
+
+    /// 0/1 result of a decided comparison. Signed taint on the operands
+    /// still forces the undecided form — only the decision is withheld,
+    /// the 0/1 range stays valid.
+    fn bool_known(v: bool, a: Iv, b: Iv) -> Iv {
+        if a.signed_taint || b.signed_taint {
+            Self::bool_unknown(a, b)
+        } else {
+            Iv::exact(u64::from(v))
+        }
+    }
+}
+
+/// How [`eval`] resolves the leaves the spec itself cannot bound.
+pub trait VarBounds {
+    /// Range (and signedness) of a device-state variable.
+    fn var_range(&self, v: sedspec_dbl::ir::VarId) -> Iv;
+    /// Declared length of a device buffer, if known.
+    fn buf_len(&self, b: sedspec_dbl::ir::BufId) -> Option<u64>;
+    /// Width of handler local `l`, if known.
+    fn local_width(&self, l: sedspec_dbl::ir::LocalId) -> Option<Width>;
+}
+
+/// Bounds when no device context is available: every variable is ⊤.
+pub struct NoBounds;
+
+impl VarBounds for NoBounds {
+    fn var_range(&self, _v: sedspec_dbl::ir::VarId) -> Iv {
+        Iv::TOP
+    }
+    fn buf_len(&self, _b: sedspec_dbl::ir::BufId) -> Option<u64> {
+        None
+    }
+    fn local_width(&self, _l: sedspec_dbl::ir::LocalId) -> Option<Width> {
+        None
+    }
+}
+
+/// Evaluates `e` to a sound unsigned range.
+pub fn eval(e: &Expr, env: &dyn VarBounds) -> Iv {
+    match e {
+        Expr::Const(v) => Iv::exact(*v),
+        Expr::Var(v) => env.var_range(*v),
+        Expr::Local(l) => match env.local_width(*l) {
+            Some(w) => Iv::range(0, w.mask()),
+            None => Iv::TOP,
+        },
+        // Guest-controlled leaves.
+        Expr::IoData | Expr::IoAddr | Expr::IoLen => Iv::TOP,
+        Expr::IoSize => Iv::range(1, 8),
+        Expr::IoByte(_) | Expr::BufLoad(..) => Iv::range(0, 0xff),
+        Expr::BufLen(b) => match env.buf_len(*b) {
+            Some(n) => Iv::exact(n),
+            None => Iv::TOP,
+        },
+        Expr::Unary(op, a) => {
+            let ia = eval(a, env);
+            match (op, ia.singleton()) {
+                (UnOp::Not, Some(v)) => Iv::exact(!v).taint(ia),
+                (UnOp::Neg, Some(v)) => Iv::exact(v.wrapping_neg()).taint(ia),
+                (UnOp::BoolNot, _) => {
+                    if ia.always_true() {
+                        Iv::exact(0)
+                    } else if ia.always_false() {
+                        Iv::exact(1)
+                    } else {
+                        Iv { lo: 0, hi: 1, signed_taint: ia.signed_taint }
+                    }
+                }
+                _ => Iv::TOP.taint(ia),
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let (ia, ib) = (eval(a, env), eval(b, env));
+            bin(*op, ia, ib)
+        }
+    }
+}
+
+fn bin(op: BinOp, a: Iv, b: Iv) -> Iv {
+    // Exact constant folding: DBL evaluates bare constants at width 64,
+    // so a singleton-singleton operation is exactly the interpreter's
+    // u64 semantics (comparisons stay range-decided below to respect
+    // signedness taint).
+    if let (Some(x), Some(y), false) = (a.singleton(), b.singleton(), op.is_comparison()) {
+        let v = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div if y != 0 => x / y,
+            BinOp::Rem if y != 0 => x % y,
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl((y % 64) as u32),
+            BinOp::Shr => x.wrapping_shr((y % 64) as u32),
+            _ => return Iv::TOP,
+        };
+        return Iv::exact(v);
+    }
+    match op {
+        // Bitwise AND of unsigned ranges never exceeds either operand.
+        BinOp::And => {
+            Iv { lo: 0, hi: a.hi.min(b.hi), signed_taint: a.signed_taint || b.signed_taint }
+        }
+        // Remainder by a known-positive range is bounded by the divisor.
+        BinOp::Rem if b.lo > 0 => {
+            Iv { lo: 0, hi: b.hi - 1, signed_taint: a.signed_taint || b.signed_taint }
+        }
+        // Division by a known-positive range shrinks the dividend.
+        BinOp::Div if b.lo > 0 => {
+            Iv { lo: a.lo / b.hi, hi: a.hi / b.lo, signed_taint: a.signed_taint || b.signed_taint }
+        }
+        // Addition without u64 overflow is monotone. (Narrower result
+        // widths can still wrap in DBL, so keep this only when one side
+        // is an exact small constant range staying below 32 bits — the
+        // common `x + 1` index shapes — and fall to ⊤ otherwise.)
+        BinOp::Add => match a.hi.checked_add(b.hi) {
+            Some(hi) if hi < (1 << 32) => {
+                Iv { lo: a.lo + b.lo, hi, signed_taint: a.signed_taint || b.signed_taint }
+            }
+            _ => Iv::TOP.taint(a).taint(b),
+        },
+        BinOp::Eq => match (a.singleton(), b.singleton()) {
+            (Some(x), Some(y)) => Iv::bool_known(x == y, a, b),
+            _ if a.hi < b.lo || b.hi < a.lo => Iv::bool_known(false, a, b),
+            _ => Iv::bool_unknown(a, b),
+        },
+        BinOp::Ne => match (a.singleton(), b.singleton()) {
+            (Some(x), Some(y)) => Iv::bool_known(x != y, a, b),
+            _ if a.hi < b.lo || b.hi < a.lo => Iv::bool_known(true, a, b),
+            _ => Iv::bool_unknown(a, b),
+        },
+        BinOp::Lt if a.hi < b.lo => Iv::bool_known(true, a, b),
+        BinOp::Lt if a.lo >= b.hi => Iv::bool_known(false, a, b),
+        BinOp::Le if a.hi <= b.lo => Iv::bool_known(true, a, b),
+        BinOp::Le if a.lo > b.hi => Iv::bool_known(false, a, b),
+        BinOp::Gt if a.lo > b.hi => Iv::bool_known(true, a, b),
+        BinOp::Gt if a.hi <= b.lo => Iv::bool_known(false, a, b),
+        BinOp::Ge if a.lo >= b.hi => Iv::bool_known(true, a, b),
+        BinOp::Ge if a.hi < b.lo => Iv::bool_known(false, a, b),
+        op if op.is_comparison() => Iv::bool_unknown(a, b),
+        _ => Iv::TOP.taint(a).taint(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec_dbl::ir::Expr as E;
+
+    fn ev(e: &Expr) -> Iv {
+        eval(e, &NoBounds)
+    }
+
+    #[test]
+    fn masking_bounds_guest_data() {
+        // IoData & 0x7f — the ESP command decode shape.
+        let e = E::bin(BinOp::And, E::IoData, E::lit(0x7f));
+        let iv = ev(&e);
+        assert_eq!((iv.lo, iv.hi), (0, 0x7f));
+        assert!(!iv.contains(0x80));
+    }
+
+    #[test]
+    fn constant_guards_decide() {
+        assert!(ev(&E::lit(1)).always_true());
+        assert!(ev(&E::lit(0)).always_false());
+        let e = E::eq(E::lit(3), E::lit(3));
+        assert!(ev(&e).always_true());
+        let e = E::bin(BinOp::Lt, E::lit(7), E::lit(3));
+        assert!(ev(&e).always_false());
+    }
+
+    #[test]
+    fn disjoint_ranges_decide_comparisons() {
+        // IoByte (0..=255) < 0x100 is always true.
+        let e = E::bin(BinOp::Lt, E::IoByte(Box::new(E::lit(0))), E::lit(0x100));
+        assert!(ev(&e).always_true());
+        // IoByte == 0x1ff is impossible.
+        let e = E::eq(E::IoByte(Box::new(E::lit(0))), E::lit(0x1ff));
+        assert!(ev(&e).always_false());
+    }
+
+    #[test]
+    fn unknown_stays_undecided() {
+        let e = E::eq(E::IoData, E::lit(5));
+        let iv = ev(&e);
+        assert!(!iv.always_true() && !iv.always_false());
+        assert_eq!((iv.lo, iv.hi), (0, 1));
+    }
+
+    #[test]
+    fn signed_taint_blocks_decisions() {
+        struct Signed;
+        impl VarBounds for Signed {
+            fn var_range(&self, _v: sedspec_dbl::ir::VarId) -> Iv {
+                Iv { lo: 0, hi: 0xff, signed_taint: true }
+            }
+            fn buf_len(&self, _b: sedspec_dbl::ir::BufId) -> Option<u64> {
+                None
+            }
+            fn local_width(&self, _l: sedspec_dbl::ir::LocalId) -> Option<Width> {
+                None
+            }
+        }
+        // 0..=0xff < 0x100 would decide true unsigned, but the variable
+        // is signed: stay undecided.
+        let e = E::bin(BinOp::Lt, E::var(sedspec_dbl::ir::VarId(0)), E::lit(0x100));
+        let iv = eval(&e, &Signed);
+        assert!(!iv.always_true() && !iv.always_false());
+    }
+}

@@ -1,0 +1,214 @@
+//! Static spec verifier and lint framework (`sedspec-analysis`).
+//!
+//! The training pipeline produces an [`ExecutionSpecification`] by
+//! observation; nothing in that path proves the artifact is internally
+//! consistent, let alone that it still matches the device build it will
+//! police. This crate closes that gap with a fixed pass pipeline that
+//! vets every ES-CFG *before* it can be deployed:
+//!
+//! 1. **structure** — reachability and referential integrity (`SA0xx`);
+//! 2. **guards** — interval-domain satisfiability of conditional-jump
+//!    guards (`SA1xx`);
+//! 3. **coverage** — the trained command table against the device's
+//!    static command set, including reset-staleness (`SA2xx`);
+//! 4. **shadow** — DSOD writes against the declared control-structure
+//!    arena (`SA3xx`);
+//! 5. **preserve** — structural equivalence of
+//!    [`CompiledSpec::compile`]'s output with the interpreted spec
+//!    (`SA401`).
+//!
+//! Every finding is a typed [`Diagnostic`] with a stable code, so the
+//! fleet registry can gate publishes on error findings and CI can diff
+//! runs against an allowlist.
+//!
+//! # Examples
+//!
+//! ```
+//! use sedspec::pipeline::{train, TrainingConfig};
+//! use sedspec_analysis::{analyze, AnalysisContext};
+//! use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+//! use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+//!
+//! let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+//! let mut ctx = VmContext::new(0x10000, 64);
+//! let samples = vec![vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)]];
+//! let spec = train(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap();
+//! let report = analyze(&spec, &AnalysisContext::for_device(&device));
+//! assert!(!report.has_errors(), "{}", report.render_human());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod interval;
+
+mod coverage;
+mod guards;
+mod preserve;
+mod shadow;
+mod structure;
+
+use sedspec::compiled::CompiledSpec;
+use sedspec::spec::ExecutionSpecification;
+use sedspec_devices::{Device, DeviceKind, QemuVersion};
+use serde::{Deserialize, Serialize};
+
+pub use coverage::DecisionCoverage;
+pub use diag::{Diagnostic, Severity};
+
+/// What the analyzer may compare the spec against.
+///
+/// Every field is optional: with neither a device nor a compiled form,
+/// only the spec-intrinsic passes (structure, guards without declared
+/// widths, table anchors, reset staleness) run.
+#[derive(Default, Clone, Copy)]
+pub struct AnalysisContext<'a> {
+    /// The device build the spec is intended to police. Enables the
+    /// command-coverage audit, declared-width guard bounds, the
+    /// shadow-write pass, and the device/version cross-check.
+    pub device: Option<&'a Device>,
+    /// The compiled form to diff against the interpreted spec.
+    pub compiled: Option<&'a CompiledSpec>,
+}
+
+impl<'a> AnalysisContext<'a> {
+    /// Context with a target device only.
+    pub fn for_device(device: &'a Device) -> Self {
+        AnalysisContext { device: Some(device), compiled: None }
+    }
+
+    /// Context with a target device and a compiled form.
+    pub fn full(device: &'a Device, compiled: &'a CompiledSpec) -> Self {
+        AnalysisContext { device: Some(device), compiled: Some(compiled) }
+    }
+}
+
+/// The analyzer's output: findings plus per-decision coverage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// Device the analyzed spec targets.
+    pub device: String,
+    /// Version string the analyzed spec targets.
+    pub version: String,
+    /// All findings, ordered by pass then location.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Command coverage per decision block (needs a device context).
+    pub coverage: Vec<DecisionCoverage>,
+}
+
+impl AnalysisReport {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_error()).count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count()
+    }
+
+    /// Whether any finding is error severity (the deploy-gate signal).
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Findings carrying `code`.
+    pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Multi-line human rendering: one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        for c in &self.coverage {
+            out.push_str(&format!(
+                "coverage {}/'{}': {}/{} commands trained{}\n",
+                c.handler,
+                c.label,
+                c.trained_cmds,
+                c.static_cmds,
+                if c.untrained.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " (untrained: {})",
+                        c.untrained
+                            .iter()
+                            .map(|v| format!("{v:#x}"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "{}/{}: {} error(s), {} warning(s)\n",
+            self.device,
+            self.version,
+            self.error_count(),
+            self.warning_count()
+        ));
+        out
+    }
+
+    /// JSON rendering (stable field names; suitable for CI diffing).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Parses the spec's own device/version strings back to a buildable
+/// target, so callers can construct the matching [`Device`] without
+/// out-of-band knowledge.
+pub fn device_for_spec(spec: &ExecutionSpecification) -> Option<(DeviceKind, QemuVersion)> {
+    let kind = DeviceKind::all().into_iter().find(|k| k.name() == spec.device)?;
+    let version = QemuVersion::all().into_iter().find(|v| v.to_string() == spec.version)?;
+    Some((kind, version))
+}
+
+/// Runs the full pass pipeline over `spec`.
+pub fn analyze(spec: &ExecutionSpecification, ctx: &AnalysisContext<'_>) -> AnalysisReport {
+    let mut diagnostics = Vec::new();
+    if let Some(device) = ctx.device {
+        if spec.device != device.name || spec.version != device.version.to_string() {
+            diagnostics.push(Diagnostic::new(
+                "SA008",
+                format!(
+                    "spec targets {}/{} but the deployment device is {}/{}",
+                    spec.device, spec.version, device.name, device.version
+                ),
+            ));
+        }
+    }
+    structure::run(spec, &mut diagnostics);
+    guards::run(spec, ctx.device, &mut diagnostics);
+    let coverage = coverage::run(spec, ctx.device, &mut diagnostics);
+    shadow::run(spec, ctx.device, &mut diagnostics);
+    if let Some(compiled) = ctx.compiled {
+        preserve::run(spec, compiled, &mut diagnostics);
+    }
+    AnalysisReport {
+        device: spec.device.clone(),
+        version: spec.version.clone(),
+        diagnostics,
+        coverage,
+    }
+}
+
+/// Convenience: analyze with a freshly compiled form and, when the
+/// spec's device/version strings parse, a freshly built device.
+pub fn analyze_full(spec: &ExecutionSpecification) -> AnalysisReport {
+    let compiled = CompiledSpec::compile(std::sync::Arc::new(spec.clone()));
+    match device_for_spec(spec) {
+        Some((kind, version)) => {
+            let device = sedspec_devices::build_device(kind, version);
+            analyze(spec, &AnalysisContext { device: Some(&device), compiled: Some(&compiled) })
+        }
+        None => analyze(spec, &AnalysisContext { device: None, compiled: Some(&compiled) }),
+    }
+}

@@ -1,0 +1,179 @@
+//! Pass 4: shadow-write soundness (`SA3xx`).
+//!
+//! The checker re-executes DSOD ops against a shadow copy of the control
+//! structure and undoes them through a [`CsJournal`] on rollback. That
+//! machinery assumes every op's references are declared fields and that
+//! writes stay inside the arena. This pass proves the *definite*
+//! violations statically: an op naming an undeclared var/buffer
+//! (`SA302`), a write whose least possible offset already escapes the
+//! arena (`SA301`), and a constant in-arena write that lands past its
+//! buffer's declared extent, aliasing the adjacent field (`SA303` —
+//! legal C-layout spill, but it makes the journal undo granularity
+//! field-crossing, so it is worth a warning). Anything merely *possible*
+//! is left to the runtime parameter check, which is the component that
+//! sees real values.
+//!
+//! [`CsJournal`]: sedspec_dbl::state::CsJournal
+
+use sedspec::escfg::{gid, DsodOp};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_dbl::ir::{BufId, Expr, LocalId, Stmt, VarId, Width};
+use sedspec_devices::Device;
+
+use crate::diag::Diagnostic;
+use crate::interval::{eval, Iv, VarBounds};
+
+struct ArenaBounds<'a> {
+    device: &'a Device,
+    locals: &'a [Width],
+}
+
+impl VarBounds for ArenaBounds<'_> {
+    fn var_range(&self, v: VarId) -> Iv {
+        if (v.0 as usize) < self.device.control.vars().len() {
+            let decl = self.device.control.var_decl(v);
+            Iv { lo: 0, hi: decl.width.mask(), signed_taint: decl.signed }
+        } else {
+            Iv::TOP
+        }
+    }
+    fn buf_len(&self, b: BufId) -> Option<u64> {
+        ((b.0 as usize) < self.device.control.buffers().len())
+            .then(|| self.device.control.buf_decl(b).len as u64)
+    }
+    fn local_width(&self, l: LocalId) -> Option<Width> {
+        self.locals.get(l.0 as usize).copied()
+    }
+}
+
+pub fn run(spec: &ExecutionSpecification, device: Option<&Device>, out: &mut Vec<Diagnostic>) {
+    let Some(device) = device else { return };
+    let control = &device.control;
+    let n_vars = control.vars().len() as u32;
+    let n_bufs = control.buffers().len() as u32;
+    let arena = control.arena_size() as u64;
+
+    for cfg in &spec.cfgs {
+        let env = ArenaBounds { device, locals: &cfg.locals };
+        for (es, blk) in cfg.blocks.iter().enumerate() {
+            let g = gid(cfg.program, es as u32);
+            let mut diag = |code: &str, msg: String| {
+                out.push(Diagnostic::new(code, msg).in_program(cfg.program, &cfg.name).at_gid(g));
+            };
+            for op in &blk.dsod {
+                match op {
+                    DsodOp::Exec(stmt) => {
+                        check_stmt(stmt, control, n_vars, n_bufs, arena, &env, &mut diag);
+                    }
+                    DsodOp::SyncVar(v) => {
+                        if v.0 >= n_vars {
+                            diag("SA302", format!("sync of undeclared var v{}", v.0));
+                        }
+                    }
+                    DsodOp::SyncBuf { buf, off, len } | DsodOp::CheckBufRead { buf, off, len } => {
+                        check_buf_range(
+                            *buf,
+                            off,
+                            Some(len),
+                            control,
+                            n_bufs,
+                            arena,
+                            &env,
+                            &mut diag,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_stmt(
+    stmt: &Stmt,
+    control: &sedspec_dbl::state::ControlStructure,
+    n_vars: u32,
+    n_bufs: u32,
+    arena: u64,
+    env: &dyn VarBounds,
+    diag: &mut impl FnMut(&str, String),
+) {
+    match stmt {
+        Stmt::SetVar(v, _) if v.0 >= n_vars => {
+            diag("SA302", format!("write to undeclared var v{}", v.0));
+        }
+        Stmt::BufStore(b, idx, _) => {
+            check_buf_range(*b, idx, None, control, n_bufs, arena, env, diag);
+        }
+        Stmt::BufFill(b, _) if b.0 >= n_bufs => {
+            diag("SA302", format!("fill of undeclared buffer b{}", b.0));
+        }
+        Stmt::CopyPayload { buf, buf_off, len } => {
+            check_buf_range(*buf, buf_off, Some(len), control, n_bufs, arena, env, diag);
+        }
+        _ => {}
+    }
+}
+
+/// Checks a buffer access at `off` (optionally spanning `len` bytes).
+///
+/// * Undeclared buffer → `SA302`.
+/// * Even the *smallest* possible offset escapes the arena → `SA301`
+///   (the access faults on every execution).
+/// * A constant offset that stays in the arena but starts past the
+///   buffer's declared extent → `SA303`: it deterministically writes the
+///   adjacent field.
+#[allow(clippy::too_many_arguments)]
+fn check_buf_range(
+    b: BufId,
+    off: &Expr,
+    len: Option<&Expr>,
+    control: &sedspec_dbl::state::ControlStructure,
+    n_bufs: u32,
+    arena: u64,
+    env: &dyn VarBounds,
+    diag: &mut impl FnMut(&str, String),
+) {
+    if b.0 >= n_bufs {
+        diag("SA302", format!("access to undeclared buffer b{}", b.0));
+        return;
+    }
+    let decl_len = control.buf_decl(b).len as u64;
+    let base = control.buf_offset(b) as u64;
+    let remaining = arena - base; // bytes from buffer start to arena end
+    let off_iv = eval(off, env);
+    if off_iv.signed_taint {
+        return;
+    }
+    // Least bytes the access certainly touches past `off`.
+    let min_extra = len.map_or(0, |l| eval(l, env).lo.saturating_sub(1));
+    let min_end = off_iv.lo.saturating_add(min_extra);
+    if off_iv.lo >= remaining || min_end >= remaining {
+        diag(
+            "SA301",
+            format!(
+                "access to '{}' at offset >= {} always escapes the {arena}-byte arena \
+                 ({} bytes remain past the buffer start)",
+                control.buf_decl(b).name,
+                off_iv.lo,
+                remaining
+            ),
+        );
+        return;
+    }
+    if let Some(c) = off_iv.singleton() {
+        if c >= decl_len {
+            let victim = control
+                .field_at((base + c) as usize)
+                .map_or_else(|| "?".to_string(), |(name, _)| name.to_string());
+            diag(
+                "SA303",
+                format!(
+                    "constant offset {c} past '{}' (len {decl_len}) deterministically \
+                     spills into field '{victim}'",
+                    control.buf_decl(b).name
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Pass 1: reachability and structural integrity (`SA0xx`).
+//!
+//! Re-derives the invariants [`EsCfg::validate`] asserts, but as
+//! diagnostics instead of a hard failure, and adds a reachability sweep:
+//! a block no path from the entry reaches is dead weight the checker can
+//! never walk to — usually a sign the spec was merged or hand-edited
+//! badly.
+
+use std::collections::BTreeSet;
+
+use sedspec::escfg::{gid, EsCfg, Nbtd};
+use sedspec::spec::ExecutionSpecification;
+
+use crate::diag::Diagnostic;
+
+pub fn run(spec: &ExecutionSpecification, out: &mut Vec<Diagnostic>) {
+    for cfg in &spec.cfgs {
+        check_references(cfg, out);
+        check_reachability(cfg, out);
+    }
+}
+
+fn check_references(cfg: &EsCfg, out: &mut Vec<Diagnostic>) {
+    let n = cfg.blocks.len() as u32;
+    let p = cfg.program;
+    for (&from, list) in &cfg.edges {
+        if from >= n {
+            out.push(
+                Diagnostic::new("SA002", format!("edge list keyed by unknown block {from}"))
+                    .in_program(p, &cfg.name),
+            );
+            continue;
+        }
+        for e in list {
+            if e.to >= n {
+                out.push(
+                    Diagnostic::new(
+                        "SA002",
+                        format!("edge {:?} -> {} dangles ({n} blocks)", e.key, e.to),
+                    )
+                    .in_program(p, &cfg.name)
+                    .at_gid(gid(p, from)),
+                );
+            }
+        }
+        for w in list.windows(2) {
+            if (w[0].key, w[0].to) >= (w[1].key, w[1].to) {
+                out.push(
+                    Diagnostic::new("SA005", "edge list is not sorted by (key, to)")
+                        .in_program(p, &cfg.name)
+                        .at_gid(gid(p, from)),
+                );
+            } else if w[0].key == w[1].key {
+                out.push(
+                    Diagnostic::new(
+                        "SA004",
+                        format!(
+                            "duplicate {:?} edges disagree on the target ({} vs {})",
+                            w[0].key, w[0].to, w[1].to
+                        ),
+                    )
+                    .in_program(p, &cfg.name)
+                    .at_gid(gid(p, from)),
+                );
+            }
+        }
+    }
+    for (&value, &target) in &cfg.fn_targets {
+        if target >= n {
+            out.push(
+                Diagnostic::new("SA002", format!("fn target {value:#x} -> block {target} dangles"))
+                    .in_program(p, &cfg.name),
+            );
+        }
+        if !cfg.legit_fn_values.is_empty() && !cfg.legit_fn_values.contains(&value) {
+            out.push(
+                Diagnostic::new(
+                    "SA003",
+                    format!(
+                        "observed fn-pointer value {value:#x} is not in the handler's \
+                         static function table"
+                    ),
+                )
+                .in_program(p, &cfg.name),
+            );
+        }
+    }
+    if cfg.by_origin.len() != cfg.blocks.len() {
+        out.push(
+            Diagnostic::new(
+                "SA007",
+                format!("by_origin has {} entries for {} blocks", cfg.by_origin.len(), n),
+            )
+            .in_program(p, &cfg.name),
+        );
+    }
+    for (&origin, &es) in &cfg.by_origin {
+        if es >= n {
+            out.push(
+                Diagnostic::new("SA007", format!("by_origin[{origin}] = {es} is out of range"))
+                    .in_program(p, &cfg.name),
+            );
+        } else if cfg.blocks[es as usize].origin != origin {
+            out.push(
+                Diagnostic::new(
+                    "SA007",
+                    format!(
+                        "by_origin[{origin}] = {es}, but block {es} originates from {}",
+                        cfg.blocks[es as usize].origin
+                    ),
+                )
+                .in_program(p, &cfg.name)
+                .at_gid(gid(p, es)),
+            );
+        }
+    }
+    if let Some(entry) = cfg.entry {
+        if entry >= n {
+            out.push(
+                Diagnostic::new("SA002", format!("entry {entry} is out of range"))
+                    .in_program(p, &cfg.name),
+            );
+        }
+    }
+}
+
+fn check_reachability(cfg: &EsCfg, out: &mut Vec<Diagnostic>) {
+    let n = cfg.blocks.len() as u32;
+    let p = cfg.program;
+    let Some(entry) = cfg.entry.filter(|&e| e < n) else {
+        if !cfg.blocks.is_empty() {
+            // Untraced handler: report once instead of flooding SA001
+            // for every block.
+            out.push(
+                Diagnostic::new(
+                    "SA006",
+                    format!("entry never traced, {} blocks unanchored", cfg.blocks.len()),
+                )
+                .in_program(p, &cfg.name),
+            );
+        }
+        return;
+    };
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut stack = vec![entry];
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        if let Some(list) = cfg.edges.get(&b) {
+            for e in list {
+                if e.to < n {
+                    stack.push(e.to);
+                }
+            }
+        }
+        // An indirect call continues at the return-resolution block once
+        // the callee returns; that successor is not an explicit edge.
+        if let Nbtd::Indirect { ret_origin, .. } = &cfg.blocks[b as usize].nbtd {
+            if let Some(ret) = cfg.resolve(*ret_origin) {
+                stack.push(ret);
+            }
+        }
+    }
+    for es in 0..n {
+        if !seen.contains(&es) {
+            out.push(
+                Diagnostic::new(
+                    "SA001",
+                    format!("block '{}' unreachable from entry", cfg.blocks[es as usize].label),
+                )
+                .in_program(p, &cfg.name)
+                .at_gid(gid(p, es)),
+            );
+        }
+    }
+}

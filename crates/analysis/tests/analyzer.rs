@@ -1,0 +1,93 @@
+//! End-to-end analyzer acceptance: every benign trained spec for every
+//! patched device must come out error-clean, and the coverage audit must
+//! rediscover the CVE-2016-1568 analog (ESP RESET leaving transfer
+//! state stale) from the vulnerable SCSI build — statically, without
+//! running a PoC.
+
+use std::sync::Arc;
+
+use sedspec::compiled::CompiledSpec;
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_analysis::{analyze, analyze_full, AnalysisContext, AnalysisReport, Severity};
+use sedspec_devices::{build_device, Device, DeviceKind, QemuVersion};
+use sedspec_vmm::VmContext;
+use sedspec_workloads::generators::training_suite;
+
+fn trained(kind: DeviceKind, version: QemuVersion) -> (Device, ExecutionSpecification) {
+    let mut device = build_device(kind, version);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 60, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+        .expect("training produced rounds");
+    (device, spec)
+}
+
+#[test]
+fn benign_specs_are_error_clean_for_all_patched_devices() {
+    for kind in DeviceKind::all() {
+        let (device, spec) = trained(kind, QemuVersion::Patched);
+        let compiled = CompiledSpec::compile(Arc::new(spec.clone()));
+        let report = analyze(&spec, &AnalysisContext::full(&device, &compiled));
+        assert!(
+            !report.has_errors(),
+            "{kind}: benign patched spec must carry no error findings:\n{}",
+            report.render_human()
+        );
+        // The audit still produces coverage rows for every command
+        // decision, and any warnings are blind spots, not corruption.
+        assert!(!report.coverage.is_empty(), "{kind}: no command decision audited");
+        for d in &report.diagnostics {
+            assert!(d.severity <= Severity::Warning, "{kind}: {}", d.render());
+        }
+    }
+}
+
+#[test]
+fn vulnerable_scsi_build_trips_the_reset_staleness_audit() {
+    let (device, spec) = trained(DeviceKind::Scsi, QemuVersion::V2_4_0);
+    let report = analyze(&spec, &AnalysisContext::for_device(&device));
+    let findings = report.with_code("SA203");
+    assert!(!findings.is_empty(), "CVE-2016-1568 analog must surface as SA203");
+    // The omission is precise: RESET (0x2) fails to reinitialize the
+    // transfer bookkeeping that gates TRANSFER INFO (0x10).
+    assert!(
+        findings.iter().any(|d| d.message.contains("pending_op") && d.message.contains("0x10")),
+        "expected pending_op gating cmd 0x10:\n{}",
+        report.render_human()
+    );
+    assert!(
+        findings.iter().any(|d| d.message.contains("xfer_count")),
+        "expected xfer_count finding:\n{}",
+        report.render_human()
+    );
+    // The patched build reinitializes both: the same audit stays quiet.
+    let (device, spec) = trained(DeviceKind::Scsi, QemuVersion::Patched);
+    let report = analyze(&spec, &AnalysisContext::for_device(&device));
+    assert!(report.with_code("SA203").is_empty(), "{}", report.render_human());
+}
+
+#[test]
+fn cross_device_context_is_flagged_as_sa008() {
+    let (_, spec) = trained(DeviceKind::Fdc, QemuVersion::Patched);
+    let scsi = build_device(DeviceKind::Scsi, QemuVersion::Patched);
+    let report = analyze(&spec, &AnalysisContext::for_device(&scsi));
+    assert!(report.has_errors());
+    assert!(!report.with_code("SA008").is_empty());
+}
+
+#[test]
+fn analyze_full_resolves_device_from_spec_strings() {
+    let (_, spec) = trained(DeviceKind::Pcnet, QemuVersion::Patched);
+    let report = analyze_full(&spec);
+    assert!(!report.has_errors(), "{}", report.render_human());
+    assert!(!report.coverage.is_empty(), "device context must have been resolved");
+}
+
+#[test]
+fn report_json_round_trips() {
+    let (device, spec) = trained(DeviceKind::Sdhci, QemuVersion::Patched);
+    let report = analyze(&spec, &AnalysisContext::for_device(&device));
+    let back: AnalysisReport = serde_json::from_str(&report.to_json()).expect("parses back");
+    assert_eq!(back, report);
+}

@@ -116,7 +116,7 @@ fn bench_fleet_rounds(c: &mut Criterion) {
     group.sample_size(10);
     let registry = Arc::new(SpecRegistry::new());
     let (spec, _) = trained_spec(DeviceKind::Fdc, QemuVersion::Patched);
-    registry.publish(DeviceKind::Fdc, QemuVersion::Patched, spec);
+    registry.publish(DeviceKind::Fdc, QemuVersion::Patched, spec).unwrap();
     let mut pool = EnforcementPool::new(1, Arc::clone(&registry));
     for t in 0..4u64 {
         pool.add_tenant(

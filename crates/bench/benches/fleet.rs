@@ -29,7 +29,7 @@ fn make_registry() -> Arc<SpecRegistry> {
         let mut ctx = VmContext::new(0x100000, 4096);
         let suite = training_suite(kind, CASES, SEED);
         let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
-        registry.publish(kind, QemuVersion::Patched, spec);
+        registry.publish(kind, QemuVersion::Patched, spec).unwrap();
     }
     registry
 }

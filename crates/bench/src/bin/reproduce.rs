@@ -20,7 +20,7 @@ fn run_table2(hours: u64) -> Vec<Table2Row> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
+    let what = args.first().map_or("all", String::as_str);
     let hours: u64 = args
         .iter()
         .position(|a| a == "--hours")

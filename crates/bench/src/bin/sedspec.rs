@@ -7,6 +7,8 @@
 //! sedspec fleet  [--tenants K] [--shards N] [--cases C] [--batches B] [--seed S]
 //! sedspec bench-checker [--cases N] [--out BENCH_checker.json]
 //! sedspec obs-report [--cases N] [--top K] [--metrics] [--trace]
+//! sedspec lint-spec [--device D | --all-devices | --spec FILE] [--version V]
+//!                   [--json] [--cases N] [--seed S] [--allow FILE]
 //! sedspec devices|cves
 //! ```
 //!
@@ -19,7 +21,11 @@
 //! observed fleet (one benign tenant, one Venom-compromised tenant)
 //! and prints the observability report — hottest ES blocks, walk
 //! latency histograms, and the flight-recorder forensics of every
-//! flagged round.
+//! flagged round; `lint-spec` trains (or loads) specifications and runs
+//! the `sedspec-analysis` static pass pipeline over them, exiting
+//! non-zero on any error-severity finding not in the `--allow` list —
+//! the same vet the fleet registry applies at publish time, shaped for
+//! CI.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,10 +36,12 @@ use sedspec_fleet::registry::SpecRegistry;
 
 use sedspec::checker::WorkingMode;
 use sedspec::collect::apply_step;
+use sedspec::compiled::CompiledSpec;
 use sedspec::enforce::{EnforcingDevice, IoVerdict};
 use sedspec::pipeline::{train_script, TrainingConfig};
 use sedspec::response::highest_alert;
 use sedspec::spec::ExecutionSpecification;
+use sedspec_analysis::{analyze, analyze_full, AnalysisContext, AnalysisReport};
 use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_vmm::VmContext;
 use sedspec_workloads::attacks::{poc, Cve};
@@ -152,7 +160,10 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
 fn cmd_attack(args: &[String]) -> ExitCode {
     let Some(cve) = args.first().and_then(|a| parse_cve(a)) else {
         eprintln!("usage: sedspec attack <CVE-id> [--spec FILE] [--mode protection|enhancement]");
-        eprintln!("known: {}", Cve::all_with_known_miss().map(|c| c.id()).join(", "));
+        eprintln!(
+            "known: {}",
+            Cve::all_with_known_miss().map(sedspec_workloads::attacks::Cve::id).join(", ")
+        );
         return ExitCode::from(2);
     };
     let p = poc(cve);
@@ -188,7 +199,7 @@ fn cmd_attack(args: &[String]) -> ExitCode {
                     "{}: HALTED at step {i} ({} execution) — {:?}, alert {:?}",
                     p.cve.id(),
                     if executed { "after" } else { "before" },
-                    violations.first().map(|v| v.strategy()),
+                    violations.first().map(sedspec::checker::Violation::strategy),
                     highest_alert(&violations),
                 );
                 return ExitCode::SUCCESS;
@@ -197,7 +208,7 @@ fn cmd_attack(args: &[String]) -> ExitCode {
                 println!(
                     "{}: WARNED at step {i} — {:?}",
                     p.cve.id(),
-                    violations.first().map(|v| v.strategy())
+                    violations.first().map(sedspec::checker::Violation::strategy)
                 );
             }
             IoVerdict::DeviceFault { fault, .. } => {
@@ -244,7 +255,12 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
     }
     eprintln!("training {} channels ({cases} cases each) ...", channels.len());
     for &(kind, version) in &channels {
-        registry.publish(kind, version, train_spec(kind, version, cases, seed));
+        registry.publish(kind, version, train_spec(kind, version, cases, seed)).unwrap_or_else(
+            |e| {
+                eprintln!("{e}");
+                std::process::exit(2)
+            },
+        );
     }
 
     // Host the tenants. A compromised tenant runs its PoC's device at
@@ -299,8 +315,7 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
     let elapsed = start.elapsed();
     let throughput = benign_rounds as f64 / elapsed.as_secs_f64();
     println!(
-        "benign phase: {benign_rounds} rounds in {:.2?} ({throughput:.0} rounds/s), {benign_flagged} flagged",
-        elapsed
+        "benign phase: {benign_rounds} rounds in {elapsed:.2?} ({throughput:.0} rounds/s), {benign_flagged} flagged"
     );
 
     // Attack phase: the compromised tenants replay their PoCs twice —
@@ -380,10 +395,13 @@ fn cmd_obs_report(args: &[String]) -> ExitCode {
     let registry = Arc::new(SpecRegistry::new());
     registry.attach_obs(&hub);
     eprintln!("training {kind}/{version} ({cases} cases) ...");
-    registry.publish(kind, version, train_spec(kind, version, cases, seed));
+    registry.publish(kind, version, train_spec(kind, version, cases, seed)).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2)
+    });
     let spec = registry.current(kind, version).expect("just published").1;
 
-    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), Arc::clone(&hub));
+    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), &hub);
     for t in 0..2u64 {
         if let Err(e) = pool.add_tenant(TenantConfig::new(t).with_devices(vec![(kind, version)])) {
             eprintln!("cannot host tenant {t}: {e}");
@@ -551,11 +569,13 @@ fn cmd_bench_checker(args: &[String]) -> ExitCode {
     // publish-time compiled spec.
     eprintln!("benchmarking fleet throughput ...");
     let registry = Arc::new(SpecRegistry::new());
-    registry.publish(
-        DeviceKind::Fdc,
-        QemuVersion::Patched,
-        train_spec(DeviceKind::Fdc, QemuVersion::Patched, cases, 0x7a11),
-    );
+    registry
+        .publish(
+            DeviceKind::Fdc,
+            QemuVersion::Patched,
+            train_spec(DeviceKind::Fdc, QemuVersion::Patched, cases, 0x7a11),
+        )
+        .expect("benign spec passes the publish gate");
     let mut pool = EnforcementPool::new(1, Arc::clone(&registry));
     for t in 0..4u64 {
         pool.add_tenant(
@@ -586,7 +606,7 @@ fn cmd_bench_checker(args: &[String]) -> ExitCode {
                has a near-constant per-round floor, so its advantage grows \
                with spec size (smallest on FDC, largest on SDHCI/EHCI)"
             .into(),
-        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
         devices: rows,
         walk_speedup_geomean,
         fleet_rounds_per_sec,
@@ -605,6 +625,110 @@ fn cmd_bench_checker(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_lint_spec(args: &[String]) -> ExitCode {
+    let json_out = args.iter().any(|a| a == "--json");
+    let all = args.iter().any(|a| a == "--all-devices");
+    let cases = flag(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(60);
+    let seed = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x7a11);
+    let version = match flag(args, "--version") {
+        Some(v) => {
+            match QemuVersion::all().into_iter().find(|q| q.to_string().eq_ignore_ascii_case(v)) {
+                Some(q) => q,
+                None => {
+                    eprintln!("unknown QEMU version '{v}' (try: patched, v2.3.0, ...)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => QemuVersion::Patched,
+    };
+    // Error-severity codes CI has reviewed and accepted (JSON array of
+    // strings). Warnings never block; errors outside this list do.
+    let allow: Vec<String> = match flag(args, "--allow") {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_str(&text) {
+                Ok(codes) => codes,
+                Err(e) => {
+                    eprintln!("malformed allowlist {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => Vec::new(),
+    };
+
+    let mut reports: Vec<AnalysisReport> = Vec::new();
+    if let Some(path) = flag(args, "--spec") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let spec = match ExecutionSpecification::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        reports.push(analyze_full(&spec));
+    } else {
+        let kinds: Vec<DeviceKind> = if all {
+            DeviceKind::all().into_iter().collect()
+        } else {
+            match flag(args, "--device").and_then(parse_device) {
+                Some(k) => vec![k],
+                None => {
+                    eprintln!(
+                        "usage: sedspec lint-spec [--device D | --all-devices | --spec FILE] \
+                         [--version V] [--json] [--cases N] [--seed S] [--allow FILE]"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        for kind in kinds {
+            eprintln!("training {kind}/{version} ({cases} cases) ...");
+            let spec = train_spec(kind, version, cases, seed);
+            let device = build_device(kind, version);
+            let compiled = CompiledSpec::compile(Arc::new(spec.clone()));
+            reports.push(analyze(&spec, &AnalysisContext::full(&device, &compiled)));
+        }
+    }
+
+    let blocking: Vec<String> = reports
+        .iter()
+        .flat_map(|r| r.diagnostics.iter().filter(|d| d.is_error()))
+        .filter(|d| !allow.iter().any(|c| c == &d.code))
+        .map(sedspec_analysis::Diagnostic::render)
+        .collect();
+    if json_out {
+        println!("{}", serde_json::to_string_pretty(&reports).expect("reports serialize"));
+    } else {
+        for r in &reports {
+            print!("{}", r.render_human());
+        }
+    }
+    if blocking.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint-spec: {} blocking error finding(s):", blocking.len());
+        for line in blocking {
+            eprintln!("  {line}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -614,6 +738,7 @@ fn main() -> ExitCode {
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("bench-checker") => cmd_bench_checker(&args[1..]),
         Some("obs-report") => cmd_obs_report(&args[1..]),
+        Some("lint-spec") => cmd_lint_spec(&args[1..]),
         Some("devices") => {
             for k in DeviceKind::all() {
                 println!("{k}");
@@ -629,7 +754,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|devices|cves> ..."
+                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|lint-spec|devices|cves> ..."
             );
             ExitCode::from(2)
         }

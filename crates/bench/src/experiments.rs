@@ -228,8 +228,7 @@ pub fn table3_summaries(table2_rows: &[Table2Row]) -> Vec<Table3Summary> {
             let fuzz =
                 fuzz_device(kind, &FuzzConfig { cases: FUZZ_CASES, ..FuzzConfig::default() });
             let coverage = effective_coverage(&train_itc, &fuzz.itc);
-            let fpr =
-                table2_rows.iter().find(|r| r.device == kind).map(|r| r.fpr).unwrap_or(f64::NAN);
+            let fpr = table2_rows.iter().find(|r| r.device == kind).map_or(f64::NAN, |r| r.fpr);
             Table3Summary { device: kind, fpr, effective_coverage: coverage }
         })
         .collect()

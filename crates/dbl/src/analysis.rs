@@ -142,7 +142,7 @@ pub fn classify(programs: &[&Program]) -> UsageClasses {
                 };
                 match s {
                     Stmt::SetVar(_, e) | Stmt::SetLocal(_, e) | Stmt::BufFill(_, e) => {
-                        walk_bufload(e, &mut out)
+                        walk_bufload(e, &mut out);
                     }
                     Stmt::BufStore(_, a, b) => {
                         walk_bufload(a, &mut out);

@@ -335,11 +335,8 @@ impl<'p> Interpreter<'p> {
                         &mut flags,
                     )?;
                     out.overflow.merge(flags);
-                    let target = arms
-                        .iter()
-                        .find(|&&(k, _)| k == v.bits)
-                        .map(|&(_, b)| b)
-                        .unwrap_or(*default);
+                    let target =
+                        arms.iter().find(|&&(k, _)| k == v.bits).map_or(*default, |&(_, b)| b);
                     hook.on_switch(cur, v.bits, target);
                     cur = target;
                 }

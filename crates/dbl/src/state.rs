@@ -211,6 +211,25 @@ impl ControlStructure {
         (var_off, buf_off)
     }
 
+    /// Arena byte offset of scalar `v` (C layout: fields in declaration
+    /// order, no padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was not declared on this structure.
+    pub fn var_offset(&self, v: VarId) -> usize {
+        self.offsets().0[v.0 as usize]
+    }
+
+    /// Arena byte offset of buffer `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` was not declared on this structure.
+    pub fn buf_offset(&self, b: BufId) -> usize {
+        self.offsets().1[b.0 as usize]
+    }
+
     /// The field covering arena byte `off`, as `(name, offset within
     /// the field)`. `None` when `off` is past the arena.
     pub fn field_at(&self, off: usize) -> Option<(&str, usize)> {

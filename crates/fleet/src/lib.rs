@@ -38,7 +38,7 @@
 //! let mut ctx = VmContext::new(0x10000, 64);
 //! let samples = vec![vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1).into()]];
 //! let spec = train_script(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap();
-//! registry.publish(DeviceKind::Fdc, QemuVersion::Patched, spec);
+//! registry.publish(DeviceKind::Fdc, QemuVersion::Patched, spec).unwrap();
 //!
 //! // Host a tenant on a two-shard pool and run a batch.
 //! let mut pool = EnforcementPool::new(2, registry);
@@ -61,5 +61,5 @@ pub mod registry;
 pub mod telemetry;
 
 pub use pool::{BatchReport, EnforcementPool, PoolError, TenantConfig, TenantId, Ticket};
-pub use registry::{SpecDigest, SpecKey, SpecRegistry};
+pub use registry::{PublishJsonError, PublishRejected, SpecDigest, SpecKey, SpecRegistry};
 pub use telemetry::{AlertEvent, FleetReport, ShardTelemetry, TenantStatus};

@@ -423,6 +423,8 @@ struct ShardHandle {
     thread: Option<JoinHandle<()>>,
 }
 
+// Thread entry point: owns its channel endpoints for the worker's lifetime.
+#[allow(clippy::needless_pass_by_value)]
 fn shard_main(
     shard: usize,
     rx: Receiver<ShardMsg>,
@@ -510,12 +512,12 @@ impl EnforcementPool {
     /// Like [`EnforcementPool::new`], but every shard, tenant device
     /// and the registry report into `hub`: structured trace events,
     /// metrics, and a forensic flight record per flagged round.
-    pub fn with_obs(shards: usize, registry: Arc<SpecRegistry>, hub: Arc<ObsHub>) -> Self {
-        registry.attach_obs(&hub);
+    pub fn with_obs(shards: usize, registry: Arc<SpecRegistry>, hub: &Arc<ObsHub>) -> Self {
+        registry.attach_obs(hub);
         Self::build(shards, registry, Some(hub))
     }
 
-    fn build(shards: usize, registry: Arc<SpecRegistry>, obs: Option<Arc<ObsHub>>) -> Self {
+    fn build(shards: usize, registry: Arc<SpecRegistry>, obs: Option<&Arc<ObsHub>>) -> Self {
         let shards = shards.max(1);
         let (alerts_tx, alerts_rx) = unbounded();
         let alert_seq = Arc::new(AtomicU64::new(0));
@@ -525,7 +527,7 @@ impl EnforcementPool {
                 let reg = Arc::clone(&registry);
                 let alerts = alerts_tx.clone();
                 let seq = Arc::clone(&alert_seq);
-                let hub = obs.clone();
+                let hub = obs.cloned();
                 let thread = std::thread::Builder::new()
                     .name(format!("sedspec-shard-{i}"))
                     .spawn(move || shard_main(i, rx, reg, alerts, seq, hub))
@@ -617,6 +619,8 @@ impl EnforcementPool {
     ///
     /// [`PoolError::UnknownTicket`] for redeemed tickets,
     /// [`PoolError::ShardDown`] when the worker died mid-batch.
+    // Takes the ticket by value on purpose: a ticket is single-redeem.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn wait(&mut self, ticket: Ticket) -> Result<BatchReport, PoolError> {
         let rx = self.pending.remove(&ticket.0).ok_or(PoolError::UnknownTicket)?;
         rx.recv().map_err(|_| PoolError::ShardDown(usize::MAX))

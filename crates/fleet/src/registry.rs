@@ -15,7 +15,8 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use sedspec::compiled::CompiledSpec;
 use sedspec::spec::ExecutionSpecification;
-use sedspec_devices::{DeviceKind, QemuVersion};
+use sedspec_analysis::{analyze, AnalysisContext, AnalysisReport};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_obs::{ObsHub, ScopeId, ScopeInfo, TraceEventKind};
 use serde::{Deserialize, Serialize};
 
@@ -107,25 +108,70 @@ impl SpecRegistry {
         SpecDigest(h)
     }
 
-    /// Publishes a revision and makes it the channel's current one.
+    /// Publishes a revision and makes it the channel's current one,
+    /// after vetting it with the full `sedspec-analysis` pass pipeline
+    /// against a freshly built `(device, version)` target and the
+    /// publish-time compiled form.
     ///
     /// Republishing identical content is idempotent (same key), but
     /// still bumps the epoch so consumers refresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishRejected`] when the analyzer reports any
+    /// error-severity finding — including `SA008` for a spec trained on
+    /// a different device or version than the channel it was submitted
+    /// to. Rejected revisions are not stored. Use
+    /// [`SpecRegistry::publish_unchecked`] to force-publish.
     pub fn publish(
+        &self,
+        device: DeviceKind,
+        version: QemuVersion,
+        spec: ExecutionSpecification,
+    ) -> Result<SpecKey, PublishRejected> {
+        let digest = Self::digest_of(&spec);
+        let stored = Arc::new(spec);
+        let compiled = Arc::new(CompiledSpec::compile(Arc::clone(&stored)));
+        let target = build_device(device, version);
+        let report = analyze(&stored, &AnalysisContext::full(&target, &compiled));
+        if report.has_errors() {
+            return Err(PublishRejected {
+                key: SpecKey { device, version, digest },
+                report: Box::new(report),
+            });
+        }
+        Ok(self.store(device, version, digest, &stored, &compiled))
+    }
+
+    /// Publishes a revision *without* running the static analyzer — the
+    /// forced path for operators who have reviewed the findings and for
+    /// callers that already vetted the artifact out of band.
+    pub fn publish_unchecked(
         &self,
         device: DeviceKind,
         version: QemuVersion,
         spec: ExecutionSpecification,
     ) -> SpecKey {
         let digest = Self::digest_of(&spec);
+        let stored = Arc::new(spec);
+        let compiled = Arc::new(CompiledSpec::compile(Arc::clone(&stored)));
+        self.store(device, version, digest, &stored, &compiled)
+    }
+
+    fn store(
+        &self,
+        device: DeviceKind,
+        version: QemuVersion,
+        digest: SpecDigest,
+        spec: &Arc<ExecutionSpecification>,
+        compiled: &Arc<CompiledSpec>,
+    ) -> SpecKey {
         let mut channels = self.channels.write();
         let channel = channels.entry((device, version)).or_default();
-        let stored = Arc::clone(channel.revisions.entry(digest).or_insert_with(|| Arc::new(spec)));
+        let stored =
+            Arc::clone(channel.revisions.entry(digest).or_insert_with(|| Arc::clone(spec)));
         let freshly_compiled = !channel.compiled.contains_key(&digest);
-        channel
-            .compiled
-            .entry(digest)
-            .or_insert_with(|| Arc::new(CompiledSpec::compile(Arc::clone(&stored))));
+        channel.compiled.entry(digest).or_insert_with(|| Arc::clone(compiled));
         channel.current = Some(digest);
         channel.epoch += 1;
         let epoch = channel.epoch;
@@ -146,18 +192,22 @@ impl SpecRegistry {
         SpecKey { device, version, digest }
     }
 
-    /// Publishes a revision parsed from JSON (the shipping format).
+    /// Publishes a revision parsed from JSON (the shipping format),
+    /// running the same publish-time analyzer gate as
+    /// [`SpecRegistry::publish`].
     ///
     /// # Errors
     ///
-    /// Returns the parse error on malformed input.
+    /// Returns the parse error on malformed input, or the analyzer
+    /// rejection on error findings.
     pub fn publish_json(
         &self,
         device: DeviceKind,
         version: QemuVersion,
         json: &str,
-    ) -> Result<SpecKey, serde_json::Error> {
-        Ok(self.publish(device, version, ExecutionSpecification::from_json(json)?))
+    ) -> Result<SpecKey, PublishJsonError> {
+        let spec = ExecutionSpecification::from_json(json).map_err(PublishJsonError::Parse)?;
+        self.publish(device, version, spec).map_err(PublishJsonError::Rejected)
     }
 
     /// Looks up a revision by key.
@@ -222,6 +272,52 @@ impl SpecRegistry {
     }
 }
 
+/// A revision the publish-time analyzer gate refused to store.
+#[derive(Debug)]
+pub struct PublishRejected {
+    /// The identity the revision would have had.
+    pub key: SpecKey,
+    /// The full analysis report; `has_errors()` is true.
+    pub report: Box<AnalysisReport>,
+}
+
+impl std::fmt::Display for PublishRejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spec {} rejected by static analysis: {} error finding(s)",
+            self.key,
+            self.report.error_count()
+        )?;
+        for d in self.report.diagnostics.iter().filter(|d| d.is_error()) {
+            write!(f, "\n  {}", d.render())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PublishRejected {}
+
+/// Failure publishing a JSON-shipped revision.
+#[derive(Debug)]
+pub enum PublishJsonError {
+    /// The shipping JSON did not parse.
+    Parse(serde_json::Error),
+    /// The parsed spec failed the analyzer gate.
+    Rejected(PublishRejected),
+}
+
+impl std::fmt::Display for PublishJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishJsonError::Parse(e) => write!(f, "malformed spec JSON: {e}"),
+            PublishJsonError::Rejected(r) => r.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PublishJsonError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,7 +336,7 @@ mod tests {
     #[test]
     fn publish_and_lookup_round_trip() {
         let reg = SpecRegistry::new();
-        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec());
+        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec()).unwrap();
         assert_eq!(key.device, DeviceKind::Fdc);
         let (cur_key, spec, epoch) = reg.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap();
         assert_eq!(cur_key, key);
@@ -257,7 +353,7 @@ mod tests {
     #[test]
     fn json_round_trip_preserves_digest() {
         let reg = SpecRegistry::new();
-        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec());
+        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec()).unwrap();
         let json = reg.export_json(&key).unwrap();
         let reg2 = SpecRegistry::new();
         let key2 = reg2.publish_json(DeviceKind::Fdc, QemuVersion::Patched, &json).unwrap();
@@ -268,10 +364,10 @@ mod tests {
     fn republish_bumps_epoch_and_retargets_current() {
         let reg = SpecRegistry::new();
         let spec = small_spec();
-        let first = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, spec.clone());
+        let first = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, spec.clone()).unwrap();
         let mut grown = spec;
         grown.stats.training_rounds += 1;
-        let second = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, grown);
+        let second = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, grown).unwrap();
         assert_ne!(first.digest, second.digest);
         let (cur, _, epoch) = reg.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap();
         assert_eq!(cur, second);
@@ -279,5 +375,37 @@ mod tests {
         // The superseded revision stays addressable.
         assert!(reg.get(&first).is_some());
         assert_eq!(reg.revision_count(), 2);
+    }
+
+    #[test]
+    fn gate_rejects_error_findings_and_unchecked_forces() {
+        let reg = SpecRegistry::new();
+        let mut broken = small_spec();
+        // Retarget a trained edge at a block that does not exist: the
+        // structure pass reports this as SA002 (error severity).
+        let cfg = broken.cfgs.iter_mut().find(|c| !c.edges.is_empty()).expect("some trained edges");
+        let bogus = cfg.blocks.len() as u32 + 7;
+        cfg.edges.values_mut().next().unwrap()[0].to = bogus;
+        let err = reg
+            .publish(DeviceKind::Fdc, QemuVersion::Patched, broken.clone())
+            .expect_err("dangling edge must be rejected");
+        assert!(err.report.has_errors());
+        assert!(!err.report.with_code("SA002").is_empty(), "{}", err.report.render_human());
+        assert_eq!(reg.revision_count(), 0, "rejected revisions are not stored");
+        // The force path still stores it.
+        let key = reg.publish_unchecked(DeviceKind::Fdc, QemuVersion::Patched, broken);
+        assert_eq!(reg.revision_count(), 1);
+        assert!(reg.get_compiled(&key).is_some());
+    }
+
+    #[test]
+    fn gate_rejects_wrong_channel_publish() {
+        let reg = SpecRegistry::new();
+        // An FDC-trained spec submitted to the SCSI channel: SA008.
+        let err = reg
+            .publish(DeviceKind::Scsi, QemuVersion::Patched, small_spec())
+            .expect_err("cross-device publish must be rejected");
+        assert!(!err.report.with_code("SA008").is_empty());
+        assert_eq!(err.key.device, DeviceKind::Scsi);
     }
 }

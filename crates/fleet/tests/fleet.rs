@@ -21,7 +21,7 @@ fn publish_channel(registry: &SpecRegistry, kind: DeviceKind, version: QemuVersi
     let mut ctx = VmContext::new(0x100000, 4096);
     let suite = training_suite(kind, cases, SUITE_SEED);
     let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
-    registry.publish(kind, version, spec);
+    registry.publish(kind, version, spec).expect("benign spec passes the publish gate");
 }
 
 /// Per-tenant benign traffic: cases replayed from the training suite,
@@ -191,7 +191,7 @@ fn observed_pool_records_lifecycle_alerts_and_forensics() {
     publish_channel(&registry, DeviceKind::Fdc, QemuVersion::V2_3_0, 6);
 
     let hub = Arc::new(ObsHub::new());
-    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), Arc::clone(&hub));
+    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), &hub);
     for t in 0..2u64 {
         let cfg = TenantConfig::new(t).with_devices(vec![(DeviceKind::Fdc, QemuVersion::V2_3_0)]);
         pool.add_tenant(cfg).unwrap();

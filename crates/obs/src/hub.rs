@@ -134,13 +134,13 @@ impl ObsHub {
                 let label = ("device", device.as_str());
                 match verdict {
                     VerdictKind::Halted => {
-                        self.metrics.inc_labeled("sedspec_halts_total", label, 1)
+                        self.metrics.inc_labeled("sedspec_halts_total", label, 1);
                     }
                     VerdictKind::Warned => {
-                        self.metrics.inc_labeled("sedspec_warnings_total", label, 1)
+                        self.metrics.inc_labeled("sedspec_warnings_total", label, 1);
                     }
                     VerdictKind::DeviceFault => {
-                        self.metrics.inc_labeled("sedspec_device_faults_total", label, 1)
+                        self.metrics.inc_labeled("sedspec_device_faults_total", label, 1);
                     }
                     VerdictKind::Allowed => {}
                 }
@@ -187,7 +187,7 @@ impl ObsHub {
                 match &tenant_label {
                     Some(t) => self.metrics.inc_labeled("sedspec_alerts_total", ("tenant", t), 1),
                     None => {
-                        self.metrics.inc_labeled("sedspec_alerts_total", ("device", &device), 1)
+                        self.metrics.inc_labeled("sedspec_alerts_total", ("device", &device), 1);
                     }
                 }
             }
@@ -300,7 +300,7 @@ impl ObsHub {
                 continue;
             }
             let Some(h) = &series.histogram else { continue };
-            let device = series.label.as_ref().map(|(_, v)| v.as_str()).unwrap_or("-");
+            let device = series.label.as_ref().map_or("-", |(_, v)| v.as_str());
             let _ = writeln!(
                 out,
                 "  {:<10} count {:>8}  p50 {:>8}  p90 {:>8}  p99 {:>8}  max {:>8}",

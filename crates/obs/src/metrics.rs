@@ -340,7 +340,7 @@ impl MetricsRegistry {
 fn label_suffix(key: &Key) -> String {
     match &key.label {
         None => String::new(),
-        Some((k, v)) => format!("{{{}=\"{}\"}}", k, v),
+        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
     }
 }
 

@@ -491,8 +491,8 @@ impl EsChecker {
 
     /// Restores a previously captured shadow state and command scope
     /// (snapshot rollback, paper §VIII).
-    pub fn restore(&mut self, shadow: CsState, cmd_ctx: Option<CmdCtx>) {
-        let scope = self.compiled.scope_of(cmd_ctx.as_ref());
+    pub fn restore(&mut self, shadow: CsState, cmd_ctx: Option<&CmdCtx>) {
+        let scope = self.compiled.scope_of(cmd_ctx);
         self.walk.reset(shadow, scope);
     }
 

@@ -174,7 +174,7 @@ pub fn collect_script(
                 device.handle_io_hooked(ctx, req, &mut hook).err()
             };
             let packets = tracer.end();
-            log.rounds.push(observer.end(fault.as_ref().map(|f| f.to_string())));
+            log.rounds.push(observer.end(fault.as_ref().map(std::string::ToString::to_string)));
             let refs = device.program_refs();
             match decode_run(&refs, &layout, &packets) {
                 Ok(run) => itc.add_run(&layout, &run),

@@ -363,6 +363,96 @@ impl CompiledSpec {
         &self.spec
     }
 
+    // ---- structural introspection (the static compile-preservation
+    // ---- diff in `sedspec-analysis` compares these against the
+    // ---- interpreted `EsCfg` it was lowered from) ----
+
+    /// Number of compiled handler CFGs.
+    pub fn program_count(&self) -> usize {
+        self.cfgs.len()
+    }
+
+    /// Compiled entry block of `program`, `None` when untraced.
+    pub fn entry_of(&self, program: usize) -> Option<u32> {
+        let e = self.cfgs[program].entry;
+        (e != NO_BLOCK).then_some(e)
+    }
+
+    /// Compiled transition target out of `program`/`es` for `key`,
+    /// resolved exactly as the hot-path walk would (dense fields for
+    /// branch/next, binary search for cases and indirect values).
+    pub fn edge_target(&self, program: usize, es: u32, key: EdgeKey) -> Option<u32> {
+        let ccfg = &self.cfgs[program];
+        let blk = ccfg.blocks.get(es as usize)?;
+        let to = match key {
+            EdgeKey::Next => blk.next,
+            EdgeKey::Taken => blk.taken,
+            EdgeKey::NotTaken => blk.not_taken,
+            EdgeKey::Case(v) => {
+                let (cs, ce) = (blk.cases.0 as usize, blk.cases.1 as usize);
+                match ccfg.case_vals[cs..ce].binary_search(&v) {
+                    Ok(i) => ccfg.case_tos[cs + i],
+                    Err(_) => NO_BLOCK,
+                }
+            }
+            EdgeKey::IndirectTo(v) => match ccfg.fn_vals.binary_search(&v) {
+                Ok(i) => ccfg.fn_tos[i],
+                Err(_) => NO_BLOCK,
+            },
+        };
+        (to != NO_BLOCK).then_some(to)
+    }
+
+    /// Number of compiled switch cases out of `program`/`es`.
+    pub fn case_count(&self, program: usize, es: u32) -> usize {
+        let blk = &self.cfgs[program].blocks[es as usize];
+        (blk.cases.1 - blk.cases.0) as usize
+    }
+
+    /// Compiled pass-through resolution of a program-block origin.
+    pub fn resolve_of(&self, program: usize, origin: u32) -> Option<u32> {
+        let es = self.cfgs[program].resolve.get(origin as usize).copied()?;
+        (es != NO_BLOCK).then_some(es)
+    }
+
+    /// Compiled function-pointer table of `program`: every statically
+    /// legitimate value with its observed ES target (`None` = legit but
+    /// untraced).
+    pub fn fn_entries(&self, program: usize) -> Vec<(u64, Option<u32>)> {
+        let ccfg = &self.cfgs[program];
+        ccfg.fn_vals
+            .iter()
+            .zip(&ccfg.fn_tos)
+            .map(|(&v, &t)| (v, (t != NO_BLOCK).then_some(t)))
+            .collect()
+    }
+
+    /// Sorted compiled `(decision gid, cmd)` command keys.
+    pub fn cmd_keys(&self) -> &[(u64, u64)] {
+        &self.cmd_keys
+    }
+
+    /// Whether compiled command key `key_idx` admits block
+    /// `program`/`es` through its accessibility bitmap.
+    pub fn cmd_mask_allows(&self, key_idx: usize, program: usize, es: u32) -> bool {
+        let d = (self.block_offsets[program] + es) as usize;
+        self.cmd_masks[key_idx][d / 64] & (1u64 << (d % 64)) != 0
+    }
+
+    /// Number of bits set in compiled command key `key_idx`'s bitmap.
+    pub fn cmd_mask_popcount(&self, key_idx: usize) -> u32 {
+        self.cmd_masks[key_idx].iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Precomputed parameter-check flags of `program`/`es`, one per
+    /// DSOD op.
+    pub fn op_flags_of(&self, program: usize, es: u32) -> &[bool] {
+        let ccfg = &self.cfgs[program];
+        let blk = &ccfg.blocks[es as usize];
+        let n = self.spec.cfgs[program].blocks[es as usize].dsod.len();
+        &ccfg.op_flags[blk.ops_at as usize..blk.ops_at as usize + n]
+    }
+
     /// Maps a (possibly restored) interpreted command context to its
     /// compiled scope. Contexts matching a table entry collapse to the
     /// bitmap-backed [`CmdScope::Entry`]; anything else is carried as
@@ -494,7 +584,7 @@ impl CompiledSpec {
                 let flag = ccfg.op_flags[cblk.ops_at as usize + k];
                 match op {
                     DsodOp::Exec(stmt) => {
-                        if let Err(v) = self.exec_shadow(
+                        if let Err(v) = Self::exec_shadow(
                             stmt,
                             flag,
                             ws,
@@ -525,7 +615,7 @@ impl CompiledSpec {
                         }
                     },
                     DsodOp::SyncBuf { buf, off, len } => {
-                        if let Some(v) = self.range_violation(
+                        if let Some(v) = Self::range_violation(
                             config,
                             flag,
                             *buf,
@@ -576,7 +666,7 @@ impl CompiledSpec {
                         }
                     }
                     DsodOp::CheckBufRead { buf, off, len } => {
-                        if let Some(v) = self.range_violation(
+                        if let Some(v) = Self::range_violation(
                             config,
                             flag,
                             *buf,
@@ -777,7 +867,6 @@ impl CompiledSpec {
     /// including its silent tolerance of evaluation errors.
     #[allow(clippy::too_many_arguments)]
     fn range_violation(
-        &self,
         config: &CheckConfig,
         checkable: bool,
         buf: BufId,
@@ -816,7 +905,6 @@ impl CompiledSpec {
     /// expression-scope derivation replaced by the precomputed `flag`.
     #[allow(clippy::too_many_arguments)]
     fn exec_shadow(
-        &self,
         stmt: &Stmt,
         flag: bool,
         ws: &mut WalkState,

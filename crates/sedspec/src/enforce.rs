@@ -387,7 +387,7 @@ impl EnforcingDevice {
         let violated = vb.map(|b| PathStep {
             program: vp as u32,
             block: b,
-            label: first.label().map(str::to_string).unwrap_or_else(|| label_of(vp, b)),
+            label: first.label().map_or_else(|| label_of(vp, b), str::to_string),
         });
         let control = self.checker.control();
         let shadow_diff: Vec<ShadowDelta> = self
@@ -466,7 +466,8 @@ impl EnforcingDevice {
         self.stats.synced_rounds += 1;
         self.observer.begin(pi, req);
         let result = self.device.handle_io_hooked(ctx, req, &mut self.observer);
-        let round_log = self.observer.end(result.as_ref().err().map(|f| f.to_string()));
+        let round_log =
+            self.observer.end(result.as_ref().err().map(std::string::ToString::to_string));
         let mut recorded = RecordedSync::from_round(&round_log);
         let post = self.walk_fast_timed(pi, req, &mut recorded);
         self.charge(ctx, &post, false);
@@ -556,7 +557,8 @@ impl EnforcingDevice {
         self.stats.synced_rounds += 1;
         self.observer.begin(pi, req);
         let result = self.device.handle_io_hooked(ctx, req, &mut self.observer);
-        let round_log = self.observer.end(result.as_ref().err().map(|f| f.to_string()));
+        let round_log =
+            self.observer.end(result.as_ref().err().map(std::string::ToString::to_string));
         let mut recorded = RecordedSync::from_round(&round_log);
         let post = self.walk_interp_timed(pi, req, &mut recorded);
         self.charge(ctx, &post.report, false);

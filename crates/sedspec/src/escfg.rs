@@ -191,7 +191,29 @@ impl CommandAccessTable {
                 i
             }
         };
+        debug_assert!(
+            self.entries.windows(2).all(|w| (w[0].decision, w[0].cmd) < (w[1].decision, w[1].cmd)),
+            "command table lost its (decision, cmd) sort invariant"
+        );
         &mut self.entries[i]
+    }
+
+    /// Checks the sorted-unique `(decision, cmd)` invariant the binary
+    /// searches rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.entries.windows(2) {
+            if (w[0].decision, w[0].cmd) >= (w[1].decision, w[1].cmd) {
+                return Err(format!(
+                    "command table unsorted/duplicated at ({:#x}, {:#x})",
+                    w[1].decision, w[1].cmd
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Number of `(decision, cmd)` entries.
@@ -260,6 +282,10 @@ impl EsCfg {
             Ok(i) => list[i].hits += hits,
             Err(i) => list.insert(i, EsEdge { key, to, hits }),
         }
+        debug_assert!(
+            list.windows(2).all(|w| (w[0].key, w[0].to) < (w[1].key, w[1].to)),
+            "edge list of block {from} lost its (key, to) sort invariant"
+        );
     }
 
     /// Total distinct edges.
@@ -277,6 +303,76 @@ impl EsCfg {
     pub fn resolve(&self, origin: u32) -> Option<u32> {
         let target = self.forward.get(&origin).copied()?;
         self.es_of_origin(target)
+    }
+
+    /// Checks the structural invariants every lookup relies on: per-block
+    /// edge lists strictly sorted by `(key, to)` with at most one target
+    /// per outcome tag, all edge/entry/`fn_targets` references inside
+    /// `blocks`, and `by_origin` a bijection onto the block list.
+    ///
+    /// Cheap (linear); [`crate::reduce::reduce`] and
+    /// [`crate::merge::merge`] `debug_assert!` it after every rewrite so
+    /// invariant breaks fail fast in tests instead of surfacing later as
+    /// analyzer findings or wrong binary-search results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.blocks.len() as u32;
+        if let Some(entry) = self.entry {
+            if entry >= n {
+                return Err(format!("entry {entry} out of range ({n} blocks)"));
+            }
+        }
+        for (&from, list) in &self.edges {
+            if from >= n {
+                return Err(format!("edge list keyed by unknown block {from}"));
+            }
+            for e in list {
+                if e.to >= n {
+                    return Err(format!(
+                        "edge {from} -{:?}-> {} dangles ({n} blocks)",
+                        e.key, e.to
+                    ));
+                }
+            }
+            for w in list.windows(2) {
+                if (w[0].key, w[0].to) >= (w[1].key, w[1].to) {
+                    return Err(format!("edge list of block {from} is not sorted by (key, to)"));
+                }
+                if w[0].key == w[1].key {
+                    return Err(format!(
+                        "block {from} has duplicate {:?} edges (-> {} and {})",
+                        w[0].key, w[0].to, w[1].to
+                    ));
+                }
+            }
+        }
+        for (&value, &target) in &self.fn_targets {
+            if target >= n {
+                return Err(format!("fn target {value:#x} -> {target} dangles ({n} blocks)"));
+            }
+        }
+        if self.by_origin.len() != self.blocks.len() {
+            return Err(format!(
+                "by_origin has {} entries for {} blocks",
+                self.by_origin.len(),
+                self.blocks.len()
+            ));
+        }
+        for (&origin, &es) in &self.by_origin {
+            if es >= n {
+                return Err(format!("by_origin[{origin}] = {es} out of range ({n} blocks)"));
+            }
+            if self.blocks[es as usize].origin != origin {
+                return Err(format!(
+                    "by_origin[{origin}] = {es}, but block {es} originates from {}",
+                    self.blocks[es as usize].origin
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -318,7 +414,7 @@ pub fn dsod_of_block(prog: &Program, b: BlockId, params: &DeviceStateParams) -> 
             Stmt::Intrinsic(i) => match i {
                 Intrinsic::DmaLoadVar { var, .. } => out.push(DsodOp::SyncVar(*var)),
                 Intrinsic::DmaToBuf { buf, buf_off, len, .. } => {
-                    out.push(DsodOp::SyncBuf { buf: *buf, off: buf_off.clone(), len: len.clone() })
+                    out.push(DsodOp::SyncBuf { buf: *buf, off: buf_off.clone(), len: len.clone() });
                 }
                 Intrinsic::DiskReadToBuf { buf, buf_off, .. } => out.push(DsodOp::SyncBuf {
                     buf: *buf,
@@ -331,14 +427,18 @@ pub fn dsod_of_block(prog: &Program, b: BlockId, params: &DeviceStateParams) -> 
                     len: len.clone(),
                 }),
                 Intrinsic::NetTransmit { buf, off, len } => {
-                    out.push(DsodOp::CheckBufRead { buf: *buf, off: off.clone(), len: len.clone() })
+                    out.push(DsodOp::CheckBufRead {
+                        buf: *buf,
+                        off: off.clone(),
+                        len: len.clone(),
+                    });
                 }
                 Intrinsic::DiskWriteFromBuf { buf, buf_off, .. } => {
                     out.push(DsodOp::CheckBufRead {
                         buf: *buf,
                         off: buf_off.clone(),
                         len: Expr::lit(sedspec_vmm::SECTOR_SIZE as u64),
-                    })
+                    });
                 }
                 Intrinsic::IrqRaise { .. }
                 | Intrinsic::IrqLower { .. }
@@ -476,6 +576,25 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.lookup(3, 0x08).unwrap().allowed.len(), 2);
         assert!(t.lookup(4, 0x08).is_none());
+    }
+
+    #[test]
+    fn command_table_stays_sorted_under_any_insertion_order() {
+        // Regression: `entry_mut` binary-searches, so a single insertion
+        // that breaks the (decision, cmd) sort silently corrupts every
+        // later lookup. Drive insertions in descending, interleaved, and
+        // repeated orders and check the invariant after each one.
+        let mut t = CommandAccessTable::default();
+        for (decision, cmd) in
+            [(9, 0x1f), (3, 0x08), (9, 0x02), (1, 0xff), (3, 0x03), (1, 0xff), (9, 0x1f)]
+        {
+            t.entry_mut(decision, cmd).allowed.insert(decision + cmd);
+            t.validate().expect("sorted-unique invariant after every insertion");
+        }
+        assert_eq!(t.len(), 5);
+        let keys: Vec<(u64, u64)> = t.entries.iter().map(|e| (e.decision, e.cmd)).collect();
+        assert_eq!(keys, vec![(1, 0xff), (3, 0x03), (3, 0x08), (9, 0x02), (9, 0x1f)]);
+        assert_eq!(t.lookup(9, 0x1f).unwrap().allowed.len(), 1);
     }
 
     #[test]

@@ -135,6 +135,7 @@ fn merge_cfg(
             }
         }
     }
+    debug_assert!(dst.validate().is_ok(), "merge broke {}: {:?}", dst.name, dst.validate());
     Ok(remap)
 }
 
@@ -176,6 +177,7 @@ pub fn merge(
             dst_entry.allowed.insert(gid(p, remaps[p][es as usize]));
         }
     }
+    debug_assert!(base.cmd_table.validate().is_ok(), "merge broke the command table sort");
     base.stats.training_rounds += other.stats.training_rounds;
     base.stats.es_blocks = base.cfgs.iter().map(|c| c.blocks.len() as u64).sum();
     base.stats.es_edges = base.cfgs.iter().map(|c| c.edge_count() as u64).sum();

@@ -271,19 +271,19 @@ mod tests {
     use sedspec_devices::{build_device, DeviceKind, QemuVersion};
     use sedspec_vmm::{AddressSpace, VmContext};
 
-    fn record_one(req: IoRequest) -> IoRoundLog {
+    fn record_one(req: &IoRequest) -> IoRoundLog {
         let mut d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
         let mut ctx = VmContext::new(0x10000, 64);
         let mut obs = Observer::new();
-        let pi = d.route(&req).unwrap();
-        obs.begin(pi, &req);
-        let fault = d.handle_io_hooked(&mut ctx, &req, &mut obs).err().map(|f| f.to_string());
+        let pi = d.route(req).unwrap();
+        obs.begin(pi, req);
+        let fault = d.handle_io_hooked(&mut ctx, req, &mut obs).err().map(|f| f.to_string());
         obs.end(fault)
     }
 
     #[test]
     fn records_block_sequence_and_exit() {
-        let log = record_one(IoRequest::read(AddressSpace::Pmio, 0x3f4, 1));
+        let log = record_one(&IoRequest::read(AddressSpace::Pmio, 0x3f4, 1));
         assert!(!log.blocks().is_empty());
         assert!(matches!(log.events.last(), Some(ObsEvent::Exit { .. })));
         assert!(log.fault.is_none());
@@ -291,7 +291,7 @@ mod tests {
 
     #[test]
     fn records_switch_at_command_decision() {
-        let log = record_one(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08));
+        let log = record_one(&IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08));
         let has_decision_switch = log
             .events
             .iter()
@@ -306,15 +306,15 @@ mod tests {
 
     #[test]
     fn records_var_writes() {
-        let log = record_one(IoRequest::write(AddressSpace::Pmio, 0x3f2, 1, 0x00));
+        let log = record_one(&IoRequest::write(AddressSpace::Pmio, 0x3f2, 1, 0x00));
         assert!(log.events.iter().any(|e| matches!(e, ObsEvent::VarWrite { .. })));
     }
 
     #[test]
     fn jsonl_round_trip() {
         let mut log = DeviceStateChangeLog::new();
-        log.rounds.push(record_one(IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)));
-        log.rounds.push(record_one(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08)));
+        log.rounds.push(record_one(&IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)));
+        log.rounds.push(record_one(&IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08)));
         let text = log.to_jsonl();
         assert_eq!(text.lines().count(), 2);
         let back = DeviceStateChangeLog::from_jsonl(&text).unwrap();
@@ -323,7 +323,7 @@ mod tests {
 
     #[test]
     fn branch_outcome_lookup() {
-        let log = record_one(IoRequest::write(AddressSpace::Pmio, 0x3f2, 1, 0x00));
+        let log = record_one(&IoRequest::write(AddressSpace::Pmio, 0x3f2, 1, 0x00));
         // dor_write branches on the reset bit; find that block and check.
         let evt = log
             .events

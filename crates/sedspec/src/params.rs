@@ -59,7 +59,7 @@ impl DeviceStateParams {
 
     /// Reasons recorded for `v`, empty if unselected.
     pub fn reasons(&self, v: VarId) -> &[SelectionReason] {
-        self.vars.iter().find(|(id, _)| *id == v).map(|(_, r)| r.as_slice()).unwrap_or(&[])
+        self.vars.iter().find(|(id, _)| *id == v).map_or(&[], |(_, r)| r.as_slice())
     }
 
     /// Whether `v` is a counting/indexing parameter (the variables the

@@ -48,6 +48,7 @@ pub fn reduce(cfgs: &mut [EsCfg]) -> ReduceReport {
                 }
             }
         }
+        debug_assert!(cfg.validate().is_ok(), "reduce broke {}: {:?}", cfg.name, cfg.validate());
     }
     report
 }
@@ -128,6 +129,7 @@ mod tests {
             is_exit: false,
             is_return: false,
         });
+        cfg.by_origin.insert(0, 0);
         cfg.record_edge(0, EdgeKey::Taken, 0);
         let mut cfgs = vec![cfg];
         assert_eq!(reduce(&mut cfgs).merged_branches, 0);

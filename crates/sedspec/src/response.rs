@@ -106,7 +106,7 @@ impl SnapshotRing {
     pub fn rollback_latest(&mut self, enforcer: &mut EnforcingDevice) -> bool {
         let Some(snap) = self.slots.pop_back() else { return false };
         enforcer.device.state = snap.device_state;
-        enforcer.checker_mut().restore(snap.shadow, snap.cmd_ctx);
+        enforcer.checker_mut().restore(snap.shadow, snap.cmd_ctx.as_ref());
         enforcer.reset_halt();
         true
     }

@@ -13,7 +13,7 @@ use crate::reduce::ReduceReport;
 /// [`crate::checker::EsChecker`]. Serializable, so specifications can be
 /// generated once (e.g. by device developers and testers, as the paper
 /// suggests) and deployed separately.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecutionSpecification {
     /// Device name the spec was trained for.
     pub device: String,
@@ -30,7 +30,7 @@ pub struct ExecutionSpecification {
 }
 
 /// Statistics about how a specification was built.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpecStats {
     /// Training rounds folded in.
     pub training_rounds: u64,

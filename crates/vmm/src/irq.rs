@@ -66,9 +66,9 @@ impl IrqLine {
     /// Sets the line level explicitly (QEMU's `qemu_set_irq`).
     pub fn set(&self, level: bool) {
         if level {
-            self.raise()
+            self.raise();
         } else {
-            self.lower()
+            self.lower();
         }
     }
 

@@ -59,14 +59,15 @@ fn main() {
         report.new_blocks, report.new_edges, report.new_commands
     );
     let registry = Arc::new(SpecRegistry::new());
-    let first = registry.publish(kind, version, dev_spec.clone());
+    let first =
+        registry.publish(kind, version, dev_spec.clone()).expect("merged spec passes the gate");
     println!("published {first}");
 
     // ...and three tenants deploy from it on a two-shard pool with an
     // observability hub attached. Tenants 0 and 2 share shard 0;
     // tenant 1 runs alone on shard 1.
     let hub = Arc::new(ObsHub::new());
-    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), Arc::clone(&hub));
+    let mut pool = EnforcementPool::with_obs(2, Arc::clone(&registry), &hub);
     for t in 0..3u64 {
         pool.add_tenant(TenantConfig::new(t).with_devices(vec![(kind, version)])).unwrap();
     }
@@ -90,7 +91,7 @@ fn main() {
     // at its next batch, no restart needed.
     let mut grown = dev_spec;
     grown.stats.training_rounds += 1; // stand-in for further training
-    let second = registry.publish(kind, version, grown);
+    let second = registry.publish(kind, version, grown).expect("grown spec passes the gate");
     let ticket = pool.submit_steps(TenantId(0), dev_suite[4].clone()).unwrap();
     assert_eq!(pool.wait(ticket).unwrap().flagged, 0);
     let status = pool.report();

@@ -1,0 +1,77 @@
+//! Static audit of trained specs for all five devices.
+//!
+//! Trains a benign spec per device (patched behaviour), runs the full
+//! `sedspec-analysis` pass pipeline against the device build and the
+//! compiled form, and prints a per-device command-coverage table plus a
+//! findings summary. Also demonstrates the analyzer *rediscovering* the
+//! CVE-2016-1568 analog: the same audit against the vulnerable SCSI
+//! build flags the ESP RESET command for leaving transfer state stale.
+//!
+//! Run with: `cargo run --release --example spec_audit`
+
+use sedspec::compiled::CompiledSpec;
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec_analysis::{analyze, AnalysisContext, Severity};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_vmm::VmContext;
+use sedspec_workloads::generators::training_suite;
+
+fn main() {
+    println!("== static spec audit: five devices, benign training, patched builds ==\n");
+    println!(
+        "{:<10} {:>6} {:>6} {:>8} {:>7} {:>9} {:>9}",
+        "device", "blocks", "edges", "cmds", "trained", "errors", "warnings"
+    );
+    for kind in DeviceKind::all() {
+        let mut device = build_device(kind, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x200000, 8192);
+        let suite = training_suite(kind, 60, 0x7a11);
+        let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+            .expect("training produced rounds");
+        let compiled = CompiledSpec::compile(std::sync::Arc::new(spec.clone()));
+        let report = analyze(&spec, &AnalysisContext::full(&device, &compiled));
+        let static_cmds: usize = report.coverage.iter().map(|c| c.static_cmds).sum();
+        let trained_cmds: usize = report.coverage.iter().map(|c| c.trained_cmds).sum();
+        println!(
+            "{:<10} {:>6} {:>6} {:>8} {:>7} {:>9} {:>9}",
+            kind.name(),
+            spec.block_count(),
+            spec.edge_count(),
+            static_cmds,
+            trained_cmds,
+            report.error_count(),
+            report.warning_count()
+        );
+        for c in &report.coverage {
+            if !c.untrained.is_empty() {
+                let vals: Vec<String> = c.untrained.iter().map(|v| format!("{v:#x}")).collect();
+                println!("           blind spot at '{}': {}", c.label, vals.join(", "));
+            }
+        }
+        for d in report.diagnostics.iter().filter(|d| d.severity >= Severity::Warning) {
+            if d.code != "SA201" {
+                println!("           {}", d.render());
+            }
+        }
+        assert!(
+            !report.has_errors(),
+            "benign spec must be error-clean:\n{}",
+            report.render_human()
+        );
+    }
+
+    println!("\n== rediscovering CVE-2016-1568 (ESP RESET leaves transfer state stale) ==\n");
+    let mut device = build_device(DeviceKind::Scsi, QemuVersion::V2_4_0);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(DeviceKind::Scsi, 60, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+        .expect("training produced rounds");
+    let report = analyze(&spec, &AnalysisContext::for_device(&device));
+    let findings = report.with_code("SA203");
+    assert!(!findings.is_empty(), "the vulnerable build must trip SA203");
+    for d in findings {
+        println!("  {}", d.render());
+    }
+    println!("\nThe patched build reinitializes pending_op/xfer_count in RESET; this audit");
+    println!("of v2.4.0 surfaces the omission statically, before any PoC runs.");
+}
