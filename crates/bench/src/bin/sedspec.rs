@@ -9,6 +9,8 @@
 //! sedspec obs-report [--cases N] [--top K] [--metrics] [--trace]
 //! sedspec lint-spec [--device D | --all-devices | --spec FILE] [--version V]
 //!                   [--json] [--cases N] [--seed S] [--allow FILE]
+//! sedspec chaos  [--plan FILE] [--seed S] [--tenants K] [--shards N]
+//!                [--batches B] [--cases C]
 //! sedspec devices|cves
 //! ```
 //!
@@ -25,7 +27,10 @@
 //! the `sedspec-analysis` static pass pipeline over them, exiting
 //! non-zero on any error-severity finding not in the `--allow` list —
 //! the same vet the fleet registry applies at publish time, shaped for
-//! CI.
+//! CI; `chaos` replays a committed fault plan against a mixed
+//! benign/compromised fleet and prints the deterministic recovery
+//! report (stdout) plus wall-clock recovery latencies (stderr),
+//! exiting non-zero if containment or convergence failed.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -729,6 +734,63 @@ fn cmd_lint_spec(args: &[String]) -> ExitCode {
     }
 }
 
+// ------------------------------------------------------- chaos --
+
+/// Replays a fault plan against a mixed fleet and prints the recovery
+/// report. The report on stdout is byte-identical for a given plan;
+/// latency medians go to stderr where wall-clock noise belongs.
+fn cmd_chaos(args: &[String]) -> ExitCode {
+    use sedspec_chaos::{run_chaos, ChaosConfig, FaultPlan};
+
+    let mut plan = match flag(args, "--plan") {
+        Some(path) => match FaultPlan::load(path) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("cannot load plan: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FaultPlan::empty(0),
+    };
+    if let Some(seed) = flag(args, "--seed").and_then(|v| v.parse().ok()) {
+        plan.seed = seed;
+    }
+    let defaults = ChaosConfig::default();
+    let cfg = ChaosConfig {
+        tenants: flag(args, "--tenants").and_then(|v| v.parse().ok()).unwrap_or(defaults.tenants),
+        shards: flag(args, "--shards").and_then(|v| v.parse().ok()).unwrap_or(defaults.shards),
+        batches: flag(args, "--batches").and_then(|v| v.parse().ok()).unwrap_or(defaults.batches),
+        cases: flag(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(defaults.cases),
+        ..defaults
+    };
+    eprintln!(
+        "chaos: {} tenants on {} shards, {} rounds, {} plan rules, seed {}",
+        cfg.tenants,
+        cfg.shards,
+        cfg.batches,
+        plan.rules.len(),
+        plan.seed
+    );
+    let (report, mut latencies_us) = run_chaos(&plan, &cfg);
+    print!("{}", report.render());
+    if latencies_us.is_empty() {
+        eprintln!("recovery latency: no batch needed a retry");
+    } else {
+        latencies_us.sort_unstable();
+        let median = latencies_us[latencies_us.len() / 2];
+        let worst = latencies_us[latencies_us.len() - 1];
+        eprintln!(
+            "recovery latency over {} retried batches: median {median} us, worst {worst} us",
+            latencies_us.len()
+        );
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -739,6 +801,7 @@ fn main() -> ExitCode {
         Some("bench-checker") => cmd_bench_checker(&args[1..]),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("lint-spec") => cmd_lint_spec(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("devices") => {
             for k in DeviceKind::all() {
                 println!("{k}");
@@ -754,7 +817,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|lint-spec|devices|cves> ..."
+                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|lint-spec|chaos|devices|cves> ..."
             );
             ExitCode::from(2)
         }

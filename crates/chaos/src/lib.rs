@@ -1,0 +1,42 @@
+//! Deterministic fault injection for the SEDSpec fleet runtime.
+//!
+//! The fleet's recovery machinery — supervised worker restart, bounded
+//! submit retry, backpressure, warn-only engine degradation — is only
+//! trustworthy if every path through it is exercised on demand, and
+//! only debuggable if a failing run can be replayed exactly. This
+//! crate provides both halves:
+//!
+//! * [`plan::FaultPlan`] — a seeded, serializable schedule of typed
+//!   faults ([`FaultKind`](sedspec_fleet::FaultKind)): which site fires
+//!   on which invocation, with what probability, how many times. Plans
+//!   round-trip through JSON, so the exact plan a CI failure ran under
+//!   is a committed artifact, not a lost RNG state.
+//! * [`inject::FaultInjector`] — the plan's executor, implementing the
+//!   fleet's [`FaultPoint`](sedspec_fleet::FaultPoint) seam. Decisions
+//!   key on per-(rule, site) invocation counters plus a splitmix64
+//!   hash of the seed, never on wall-clock or thread identity, so the
+//!   same plan fires the same faults on every run.
+//! * [`runner`] — a self-contained chaos scenario: a multi-tenant
+//!   fleet (benign and CVE-compromised tenants side by side) driven
+//!   through batches, a hot-swap, and the plan's faults, producing a
+//!   [`report::RecoveryReport`] whose rendering is byte-identical for
+//!   a given plan.
+//!
+//! The report asserts the three containment invariants chaos testing
+//! exists to defend: no benign tenant is falsely halted by an injected
+//! fault, every compromised tenant is still quarantined despite
+//! concurrent faults, and the pool converges back to steady state
+//! within its retry budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+pub mod report;
+pub mod runner;
+
+pub use inject::FaultInjector;
+pub use plan::{FaultPlan, FaultRule};
+pub use report::{RecoveryReport, TenantOutcome};
+pub use runner::{run_chaos, ChaosConfig};

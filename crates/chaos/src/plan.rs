@@ -1,0 +1,128 @@
+//! Seeded, serializable fault schedules.
+//!
+//! A [`FaultPlan`] is the replayable artifact of a chaos run: commit
+//! the JSON, and anyone can re-fire the exact same faults. Rules are
+//! matched in order by the [`FaultInjector`](crate::inject::FaultInjector);
+//! a rule fires when the site's invocation count hits one of its `at`
+//! indices, or when the seeded per-invocation hash clears its
+//! `probability` — bounded by `max_fires` either way.
+//!
+//! The JSON schema is deliberately explicit: every field of every rule
+//! is present in the serialized form (no defaults filled in on read),
+//! so a committed plan is self-describing.
+
+use sedspec_fleet::FaultKind;
+use serde::{Deserialize, Serialize};
+
+/// One fault schedule entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultRule {
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Restrict to one tenant's sites (`null` = any site of this kind).
+    pub tenant: Option<u64>,
+    /// Zero-based site invocation counts at which the rule fires
+    /// deterministically.
+    pub at: Vec<u64>,
+    /// Per-invocation firing probability in `[0, 1]`, decided by a
+    /// splitmix64 hash of `(plan seed, rule, site, invocation)` — the
+    /// same plan fires on the same invocations every run. `0.0`
+    /// disables the probabilistic path (the `at` list still applies).
+    pub probability: f64,
+    /// Stall duration for stall-kind faults, in milliseconds (capped
+    /// at [`MAX_STALL_MS`](sedspec_fleet::fault::MAX_STALL_MS) at
+    /// injection time).
+    pub stall_ms: u64,
+    /// Upper bound on total fires of this rule across the run.
+    pub max_fires: u64,
+}
+
+impl FaultRule {
+    /// A rule that fires `kind` exactly once, at site invocation `n`.
+    pub fn once_at(kind: FaultKind, tenant: Option<u64>, n: u64) -> Self {
+        FaultRule { kind, tenant, at: vec![n], probability: 0.0, stall_ms: 2, max_fires: 1 }
+    }
+}
+
+/// A complete, replayable fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic firing hash (and recorded in the
+    /// recovery report, so a report names the plan that produced it).
+    pub seed: u64,
+    /// Rules, matched in order; the first rule that fires decides the
+    /// action for an invocation.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan with no rules: attached, the injector holds every seam
+    /// open but never fires — the chaos-equivalence baseline.
+    pub fn empty(seed: u64) -> Self {
+        FaultPlan { seed, rules: Vec::new() }
+    }
+
+    /// Serializes the plan as pretty JSON (the committed-artifact form).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (none for well-formed plans).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a plan from JSON. Every rule field must be present.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON or missing fields.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Reads a plan from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed plan JSON, as a rendered message.
+    pub fn load(path: &str) -> Result<Self, String> {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Self::from_json(&json).map_err(|e| format!("{path}: {e:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let plan = FaultPlan {
+            seed: 42,
+            rules: vec![
+                FaultRule::once_at(FaultKind::WorkerPanic, Some(3), 1),
+                FaultRule {
+                    kind: FaultKind::RegistryStall,
+                    tenant: None,
+                    at: vec![0, 7],
+                    probability: 0.25,
+                    stall_ms: 5,
+                    max_fires: 4,
+                },
+            ],
+        };
+        let json = plan.to_json().unwrap();
+        let back = FaultPlan::from_json(&json).unwrap();
+        assert_eq!(back, plan);
+        // The committed form is explicit: every field appears.
+        for field in ["kind", "tenant", "at", "probability", "stall_ms", "max_fires"] {
+            assert!(json.contains(field), "serialized plan must carry `{field}`");
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_rejected_not_defaulted() {
+        let json = r#"{"seed": 1, "rules": [{"kind": "WorkerPanic", "at": [0]}]}"#;
+        assert!(FaultPlan::from_json(json).is_err(), "partial rules must not parse");
+    }
+}

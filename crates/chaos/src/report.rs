@@ -1,0 +1,187 @@
+//! The recovery report: what a chaos run proves, rendered
+//! deterministically.
+//!
+//! Everything in the report is derived from plan-deterministic state —
+//! injector fire counts, batch verdicts, restart counts, final fleet
+//! telemetry. Wall-clock measurements (recovery latencies) are
+//! returned alongside the report by the runner but deliberately kept
+//! out of [`RecoveryReport::render`], so two runs of the same plan
+//! produce byte-identical reports.
+
+use sedspec_fleet::FaultKind;
+
+/// How one tenant came through the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantOutcome {
+    /// The tenant id.
+    pub tenant: u64,
+    /// Whether the scenario scripted this tenant as CVE-compromised.
+    pub cve: bool,
+    /// Batches that completed (including quarantine rejections, which
+    /// are a completed answer, not a failure).
+    pub batches_ok: u32,
+    /// Extra submit+wait attempts the retry budget absorbed.
+    pub retries: u32,
+    /// Batches refused outright after the retry budget was spent.
+    pub refused: u32,
+    /// Rounds flagged anomalous, summed over completed batch reports
+    /// (so the count survives worker restarts).
+    pub flagged: u64,
+    /// Final quarantine state.
+    pub quarantined: bool,
+    /// Final warn-only degraded state.
+    pub degraded: bool,
+    /// Whether the post-fault steady-state batch completed cleanly
+    /// (or, for a quarantined tenant, was rejected as it must be).
+    pub steady: bool,
+}
+
+/// The outcome of one chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Seed of the plan that drove the run.
+    pub seed: u64,
+    /// Faults injected per kind, dense-indexed like [`FaultKind::ALL`].
+    pub faults_injected: [u64; 6],
+    /// Worker respawns per shard.
+    pub worker_restarts: Vec<u32>,
+    /// Per-tenant outcomes, in tenant-id order.
+    pub tenants: Vec<TenantOutcome>,
+    /// Alert-stream events drained over the run.
+    pub alerts: usize,
+}
+
+impl RecoveryReport {
+    /// Benign tenants the run falsely halted (quarantined without a
+    /// scripted attack) — must be zero.
+    pub fn benign_false_halts(&self) -> usize {
+        self.tenants.iter().filter(|t| !t.cve && t.quarantined).count()
+    }
+
+    /// Whether every CVE-compromised tenant ended quarantined despite
+    /// the injected faults.
+    pub fn cve_contained(&self) -> bool {
+        self.tenants.iter().filter(|t| t.cve).all(|t| t.quarantined)
+    }
+
+    /// Whether the pool converged to steady state: every tenant's
+    /// final batch answered within the retry budget, with no refusals
+    /// left over.
+    pub fn converged(&self) -> bool {
+        self.tenants.iter().all(|t| t.steady && t.refused == 0)
+    }
+
+    /// Total faults injected.
+    pub fn total_faults(&self) -> u64 {
+        self.faults_injected.iter().sum()
+    }
+
+    /// The run's verdict: containment and convergence all held.
+    pub fn ok(&self) -> bool {
+        self.benign_false_halts() == 0 && self.cve_contained() && self.converged()
+    }
+
+    /// Renders the report as deterministic plain text: same plan, same
+    /// bytes.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "chaos recovery report (seed {})", self.seed);
+        let _ = writeln!(out, "faults injected: {}", self.total_faults());
+        for kind in FaultKind::ALL {
+            let n = self.faults_injected[kind.index()];
+            if n > 0 {
+                let _ = writeln!(out, "  {kind}: {n}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "worker restarts: {} ({})",
+            self.worker_restarts.iter().sum::<u32>(),
+            self.worker_restarts
+                .iter()
+                .enumerate()
+                .map(|(s, n)| format!("shard{s}={n}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let _ = writeln!(out, "alerts: {}", self.alerts);
+        let _ = writeln!(out, "tenants:");
+        for t in &self.tenants {
+            let role = if t.cve { "cve" } else { "benign" };
+            let state = if t.quarantined {
+                "QUARANTINED"
+            } else if t.degraded {
+                "DEGRADED"
+            } else {
+                "healthy"
+            };
+            let _ = writeln!(
+                out,
+                "  tenant {:>3} [{role:>6}] {state:<11} batches={} retries={} refused={} \
+                 flagged={} steady={}",
+                t.tenant, t.batches_ok, t.retries, t.refused, t.flagged, t.steady
+            );
+        }
+        let _ = writeln!(
+            out,
+            "benign false halts: {}  cve contained: {}  converged: {}",
+            self.benign_false_halts(),
+            self.cve_contained(),
+            self.converged()
+        );
+        let _ = writeln!(out, "verdict: {}", if self.ok() { "OK" } else { "FAILED" });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(tenant: u64, cve: bool, quarantined: bool) -> TenantOutcome {
+        TenantOutcome {
+            tenant,
+            cve,
+            batches_ok: 6,
+            retries: 0,
+            refused: 0,
+            flagged: u64::from(cve) * 3,
+            quarantined,
+            degraded: false,
+            steady: true,
+        }
+    }
+
+    #[test]
+    fn verdict_demands_containment_and_convergence() {
+        let mut report = RecoveryReport {
+            seed: 7,
+            faults_injected: [1, 0, 2, 0, 0, 1],
+            worker_restarts: vec![1, 0],
+            tenants: vec![outcome(0, false, false), outcome(3, true, true)],
+            alerts: 4,
+        };
+        assert!(report.ok());
+        report.tenants[1].quarantined = false;
+        assert!(!report.cve_contained());
+        assert!(!report.ok());
+        report.tenants[1].quarantined = true;
+        report.tenants[0].quarantined = true;
+        assert_eq!(report.benign_false_halts(), 1);
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn render_is_pure_in_the_report() {
+        let report = RecoveryReport {
+            seed: 7,
+            faults_injected: [0; 6],
+            worker_restarts: vec![0],
+            tenants: vec![outcome(0, false, false)],
+            alerts: 0,
+        };
+        assert_eq!(report.render(), report.render());
+        assert!(report.render().contains("verdict: OK"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The chaos scenario: a multi-tenant fleet driven through faults.
+//!
+//! One run hosts a mix of benign and CVE-compromised tenants on a
+//! sharded pool with the fault seam attached, drives them through
+//! benign batches, a registry hot-swap, and scripted attacks, then
+//! checks the pool converged: benign tenants unharmed, compromised
+//! tenants quarantined, every batch answered within the retry budget.
+//!
+//! Determinism contract: batches are submitted and awaited one tenant
+//! at a time, in tenant-id order, so every fault site's invocation
+//! counters advance identically on every run of the same plan — the
+//! [`RecoveryReport`] renders byte-identical. Wall-clock recovery
+//! latencies are measured but returned separately, outside the
+//! deterministic report.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_fleet::{EnforcementPool, RecoveryConfig, SpecRegistry, TenantConfig, TenantId};
+use sedspec_obs::ObsHub;
+use sedspec_vmm::VmContext;
+use sedspec_workloads::attacks::{poc, Cve};
+use sedspec_workloads::generators::training_suite;
+
+use crate::inject::FaultInjector;
+use crate::plan::FaultPlan;
+use crate::report::{RecoveryReport, TenantOutcome};
+
+/// Shape of the chaos scenario (the fault schedule itself lives in the
+/// [`FaultPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Tenants hosted; every fourth (`id % 4 == 3`) is scripted as
+    /// CVE-compromised (Venom against the 2.3.0 FDC).
+    pub tenants: u64,
+    /// Worker shards.
+    pub shards: usize,
+    /// Benign/attack rounds driven before the steady-state check. The
+    /// last two rounds carry the attacks.
+    pub batches: usize,
+    /// Training-suite cases behind the published specs; the hot-swap
+    /// republishes with two extra cases (a superset, so in-flight
+    /// traffic stays legal under either revision).
+    pub cases: usize,
+    /// Seed of the benign traffic suite.
+    pub suite_seed: u64,
+    /// Round before which both channels are republished (the hot-swap
+    /// the registry faults race against); `None` disables.
+    pub hotswap_at: Option<usize>,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            tenants: 6,
+            shards: 3,
+            batches: 6,
+            cases: 6,
+            suite_seed: 11,
+            hotswap_at: Some(2),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Whether the scenario scripts `tenant` as CVE-compromised.
+    pub fn is_cve(&self, tenant: u64) -> bool {
+        tenant % 4 == 3
+    }
+}
+
+fn publish_channel(registry: &SpecRegistry, version: QemuVersion, cases: usize, seed: u64) {
+    let kind = DeviceKind::Fdc;
+    let mut device = build_device(kind, version);
+    let mut ctx = VmContext::new(0x100000, 4096);
+    let suite = training_suite(kind, cases, seed);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+        .expect("benign suite trains");
+    registry.publish(kind, version, spec).expect("benign spec passes the publish gate");
+}
+
+/// Runs the scenario under `plan`. Returns the deterministic recovery
+/// report plus the wall-clock recovery latencies (microseconds spent
+/// on batches that needed at least one retry) — kept separate so the
+/// report stays byte-identical per plan.
+pub fn run_chaos(plan: &FaultPlan, cfg: &ChaosConfig) -> (RecoveryReport, Vec<u64>) {
+    let registry = Arc::new(SpecRegistry::new());
+    publish_channel(&registry, QemuVersion::Patched, cfg.cases, cfg.suite_seed);
+    publish_channel(&registry, QemuVersion::V2_3_0, cfg.cases, cfg.suite_seed);
+
+    let injector = Arc::new(FaultInjector::new(plan.clone()));
+    let hub = Arc::new(ObsHub::new());
+    let mut pool = EnforcementPool::with_obs(cfg.shards, Arc::clone(&registry), &hub)
+        .with_recovery(RecoveryConfig {
+            max_restarts_per_shard: 4,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 16,
+            batch_timeout_ms: Some(2000),
+            submit_retries: 2,
+            max_pending_per_shard: 1024,
+        })
+        .with_faults(Arc::clone(&injector) as Arc<dyn sedspec_fleet::FaultPoint>);
+
+    for t in 0..cfg.tenants {
+        let version = if cfg.is_cve(t) { QemuVersion::V2_3_0 } else { QemuVersion::Patched };
+        let tenant = TenantConfig::new(t).with_devices(vec![(DeviceKind::Fdc, version)]);
+        // A transient injected registry failure can fail an admission;
+        // a few attempts ride it out (the site counters advance
+        // deterministically either way).
+        let mut admitted = false;
+        for _ in 0..3 {
+            if pool.add_tenant(tenant.clone()).is_ok() {
+                admitted = true;
+                break;
+            }
+        }
+        assert!(admitted, "tenant {t} must admit within three attempts");
+    }
+
+    let suite = training_suite(DeviceKind::Fdc, cfg.cases, cfg.suite_seed);
+    let venom = poc(Cve::Cve2015_3456);
+    let mut outcomes: Vec<TenantOutcome> = (0..cfg.tenants)
+        .map(|t| TenantOutcome {
+            tenant: t,
+            cve: cfg.is_cve(t),
+            batches_ok: 0,
+            retries: 0,
+            refused: 0,
+            flagged: 0,
+            quarantined: false,
+            degraded: false,
+            steady: false,
+        })
+        .collect();
+    let mut latencies_us: Vec<u64> = Vec::new();
+
+    for round in 0..cfg.batches {
+        if cfg.hotswap_at == Some(round) {
+            publish_channel(&registry, QemuVersion::Patched, cfg.cases + 2, cfg.suite_seed);
+            publish_channel(&registry, QemuVersion::V2_3_0, cfg.cases + 2, cfg.suite_seed);
+        }
+        for t in 0..cfg.tenants {
+            let attack = cfg.is_cve(t) && round + 2 >= cfg.batches;
+            let steps = if attack {
+                venom.steps.clone()
+            } else {
+                suite[(t as usize + round) % suite.len()].clone()
+            };
+            let started = Instant::now();
+            let result = pool.run_batch_reliable(TenantId(t), &steps);
+            let outcome = &mut outcomes[t as usize];
+            match result {
+                Ok((report, attempts)) => {
+                    outcome.batches_ok += 1;
+                    outcome.retries += attempts;
+                    outcome.flagged += report.flagged;
+                    if attempts > 0 {
+                        latencies_us.push(started.elapsed().as_micros() as u64);
+                    }
+                }
+                Err(_) => outcome.refused += 1,
+            }
+        }
+    }
+
+    // Steady-state round: after the faults, every tenant must still be
+    // answered — benign tenants cleanly, quarantined tenants with the
+    // rejection quarantine demands.
+    for t in 0..cfg.tenants {
+        let steps = suite[t as usize % suite.len()].clone();
+        match pool.run_batch_reliable(TenantId(t), &steps) {
+            Ok((report, attempts)) => {
+                let outcome = &mut outcomes[t as usize];
+                outcome.batches_ok += 1;
+                outcome.retries += attempts;
+                outcome.flagged += report.flagged;
+                outcome.steady = if report.quarantined {
+                    report.rejected
+                } else {
+                    !report.rejected && report.flagged == 0
+                };
+            }
+            Err(_) => outcomes[t as usize].refused += 1,
+        }
+    }
+
+    // Final telemetry: revive anything still down so the report covers
+    // every shard, then read end-state per tenant.
+    for shard in 0..pool.shard_count() {
+        let _ = pool.revive_shard(shard);
+    }
+    let fleet = pool.report();
+    for status in fleet.tenants() {
+        if let Some(outcome) = outcomes.get_mut(status.tenant.0 as usize) {
+            outcome.quarantined = status.quarantined;
+            outcome.degraded = status.degraded;
+        }
+    }
+    let alerts = pool.drain_alerts().len();
+
+    let report = RecoveryReport {
+        seed: plan.seed,
+        faults_injected: injector.fired_by_kind(),
+        worker_restarts: pool.restart_counts().to_vec(),
+        tenants: outcomes,
+        alerts,
+    };
+    (report, latencies_us)
+}

@@ -21,6 +21,14 @@
 //!   live alert stream classified by
 //!   [`highest_alert`](sedspec::response::highest_alert), and a
 //!   plain-text fleet report.
+//! * [`fault`] — the fault-injection seam (`Option<Arc<dyn`
+//!   [`FaultPoint`](fault::FaultPoint)`>>`, mirroring the obs seam):
+//!   typed fault sites inside the pool, the registry and the sink
+//!   path, driven by `sedspec-chaos` plans and costing one predictable
+//!   branch when disabled. The pool recovers: supervised worker
+//!   restart with capped backoff, bounded submit retry, backpressure
+//!   ([`PoolError::Saturated`](pool::PoolError::Saturated)), and
+//!   warn-only engine degradation instead of halting benign tenants.
 //!
 //! # Examples
 //!
@@ -56,10 +64,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod pool;
 pub mod registry;
 pub mod telemetry;
 
-pub use pool::{BatchReport, EnforcementPool, PoolError, TenantConfig, TenantId, Ticket};
+pub use fault::{FaultAction, FaultKind, FaultPoint, FaultSite, FaultySink};
+pub use pool::{
+    BatchReport, EnforcementPool, PoolError, RecoveryConfig, TenantConfig, TenantId, Ticket,
+};
 pub use registry::{PublishJsonError, PublishRejected, SpecDigest, SpecKey, SpecRegistry};
 pub use telemetry::{AlertEvent, FleetReport, ShardTelemetry, TenantStatus};

@@ -20,6 +20,8 @@ use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_obs::{ObsHub, ScopeId, ScopeInfo, TraceEventKind};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{self, FaultAction, FaultKind, FaultPoint, FaultSite};
+
 /// FNV-1a digest of a specification's canonical (pretty) JSON.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SpecDigest(pub u64);
@@ -70,6 +72,9 @@ pub struct SpecRegistry {
     /// Observability attachment: publish/compile events are recorded
     /// under one interned "registry" scope.
     obs: RwLock<Option<(Arc<ObsHub>, ScopeId)>>,
+    /// Fault-injection attachment, mirroring the obs seam: consulted on
+    /// every [`SpecRegistry::current_compiled`] fetch when present.
+    faults: RwLock<Option<Arc<dyn FaultPoint>>>,
 }
 
 impl SpecRegistry {
@@ -96,6 +101,44 @@ impl SpecRegistry {
         if let Some((hub, scope)) = self.obs.read().as_ref() {
             hub.record(*scope, kind);
         }
+    }
+
+    /// Attaches a fault-injection point; subsequent
+    /// [`SpecRegistry::current_compiled`] fetches consult it and can be
+    /// stalled ([`FaultKind::RegistryStall`]) or failed
+    /// ([`FaultKind::RegistryFail`]). Detach with `None`.
+    pub fn attach_faults(&self, faults: Option<Arc<dyn FaultPoint>>) {
+        *self.faults.write() = faults;
+    }
+
+    /// Consults the fault seam at a registry-fetch site. Returns `true`
+    /// when the fetch must fail (report no current revision). Stalls are
+    /// served here, after the channel lock is released by the caller —
+    /// a stalled fetch delays one consumer, it never blocks publishers.
+    fn fetch_fault(&self, device: DeviceKind) -> bool {
+        let Some(faults) = self.faults.read().clone() else { return false };
+        match faults.check(&FaultSite::registry_fetch(FaultKind::RegistryStall, device)) {
+            FaultAction::Stall(ms) => {
+                self.obs_record(TraceEventKind::FaultInjected {
+                    kind: FaultKind::RegistryStall.to_string(),
+                    tenant: None,
+                });
+                fault::stall(ms);
+            }
+            FaultAction::Proceed | FaultAction::Panic | FaultAction::Fail | FaultAction::Reject => {
+            }
+        }
+        if matches!(
+            faults.check(&FaultSite::registry_fetch(FaultKind::RegistryFail, device)),
+            FaultAction::Fail
+        ) {
+            self.obs_record(TraceEventKind::FaultInjected {
+                kind: FaultKind::RegistryFail.to_string(),
+                tenant: None,
+            });
+            return true;
+        }
+        false
     }
 
     /// Content digest of a specification (FNV-1a over its JSON).
@@ -238,11 +281,19 @@ impl SpecRegistry {
         device: DeviceKind,
         version: QemuVersion,
     ) -> Option<(SpecKey, Arc<CompiledSpec>, u64)> {
-        let channels = self.channels.read();
-        let channel = channels.get(&(device, version))?;
-        let digest = channel.current?;
-        let compiled = channel.compiled.get(&digest)?.clone();
-        Some((SpecKey { device, version, digest }, compiled, channel.epoch))
+        let fetched = {
+            let channels = self.channels.read();
+            let channel = channels.get(&(device, version))?;
+            let digest = channel.current?;
+            let compiled = channel.compiled.get(&digest)?.clone();
+            (SpecKey { device, version, digest }, compiled, channel.epoch)
+        };
+        // Chaos seam, outside the channel lock: an injected stall or
+        // failure hits this fetch only, never the store itself.
+        if self.fetch_fault(device) {
+            return None;
+        }
+        Some(fetched)
     }
 
     /// A stored revision's compiled form, by key.

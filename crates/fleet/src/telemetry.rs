@@ -14,7 +14,7 @@ use crate::pool::TenantId;
 use crate::registry::SpecKey;
 
 /// One flagged round, emitted on the pool's alert stream as it happens.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AlertEvent {
     /// Pool-wide monotonic sequence number (starts at 1). Shard workers
     /// emit concurrently; `seq` gives the interleaved stream a total
@@ -50,12 +50,15 @@ impl std::fmt::Display for AlertEvent {
 }
 
 /// A tenant's cumulative health, as reported by its shard.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TenantStatus {
     /// The tenant.
     pub tenant: TenantId,
     /// Whether the tenant has been quarantined.
     pub quarantined: bool,
+    /// Whether the tenant runs the warn-only degraded fallback engine
+    /// (set after an injected or real compiled-engine fault).
+    pub degraded: bool,
     /// Rollbacks spent absorbing halts.
     pub rollbacks: u32,
     /// Rounds flagged anomalous over the tenant's lifetime.
@@ -69,7 +72,7 @@ pub struct TenantStatus {
 }
 
 /// One shard's tenants and aggregate counters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShardTelemetry {
     /// Shard index.
     pub shard: usize,
@@ -80,7 +83,7 @@ pub struct ShardTelemetry {
 }
 
 /// A point-in-time snapshot of the whole fleet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FleetReport {
     /// Every shard's telemetry, ordered by shard index.
     pub shards: Vec<ShardTelemetry>,
@@ -127,6 +130,11 @@ impl FleetReport {
         self.shards.iter().flat_map(|s| s.tenants.iter()).filter(|t| t.quarantined).count()
     }
 
+    /// Number of tenants running the warn-only degraded fallback.
+    pub fn degraded_count(&self) -> usize {
+        self.shards.iter().flat_map(|s| s.tenants.iter()).filter(|t| t.degraded).count()
+    }
+
     /// Renders the operator-facing plain-text report.
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -158,7 +166,13 @@ impl FleetReport {
                 shard.stats.rounds
             );
             for t in &shard.tenants {
-                let state = if t.quarantined { "QUARANTINED" } else { "healthy" };
+                let state = if t.quarantined {
+                    "QUARANTINED"
+                } else if t.degraded {
+                    "DEGRADED"
+                } else {
+                    "healthy"
+                };
                 let alert = match t.worst_alert {
                     Some(a) => format!("{a:?}"),
                     None => "-".into(),

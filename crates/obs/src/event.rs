@@ -167,6 +167,28 @@ pub enum TraceEventKind {
         /// Alert severity, rendered.
         level: String,
     },
+    /// A fault-injection site fired (chaos testing). Emitted by the
+    /// injection seam itself, so a chaos run's blast radius is visible
+    /// in the same trace as its effects.
+    FaultInjected {
+        /// The fault kind, rendered (e.g. `"WorkerPanic"`).
+        kind: String,
+        /// Tenant the fault targeted, when tenant-scoped.
+        tenant: Option<u64>,
+    },
+    /// A dead pool shard worker was respawned by the supervisor.
+    WorkerRestarted {
+        /// Shard index.
+        shard: u32,
+        /// Restart attempt number (1 = first respawn).
+        attempt: u32,
+    },
+    /// A tenant fell back to the interpreted reference engine in
+    /// warn-only mode after a compiled-engine fault.
+    TenantDegraded {
+        /// Tenant id.
+        tenant: u64,
+    },
 }
 
 /// A stamped trace record: global sequence number, the originating

@@ -157,6 +157,14 @@ pub fn render_kind(kind: &TraceEventKind) -> String {
             format!("spec-swapped tenant={tenant} {device} epoch={epoch}")
         }
         TraceEventKind::Alert { level } => format!("alert {level}"),
+        TraceEventKind::FaultInjected { kind, tenant } => match tenant {
+            Some(t) => format!("fault-injected {kind} tenant={t}"),
+            None => format!("fault-injected {kind}"),
+        },
+        TraceEventKind::WorkerRestarted { shard, attempt } => {
+            format!("worker-restarted {shard} attempt={attempt}")
+        }
+        TraceEventKind::TenantDegraded { tenant } => format!("tenant-degraded {tenant}"),
     }
 }
 

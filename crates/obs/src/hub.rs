@@ -191,6 +191,15 @@ impl ObsHub {
                     }
                 }
             }
+            TraceEventKind::FaultInjected { kind: fault, .. } => {
+                self.metrics.inc_labeled("sedspec_faults_injected_total", ("kind", fault), 1);
+            }
+            TraceEventKind::WorkerRestarted { .. } => {
+                self.metrics.inc("sedspec_worker_restarts_total", 1);
+            }
+            TraceEventKind::TenantDegraded { .. } => {
+                self.metrics.add_gauge("sedspec_degraded_tenants", 1);
+            }
         }
         inner.ring.push(TraceEvent { seq, round, scope, kind });
     }

@@ -168,6 +168,10 @@ pub struct EnforcingDevice {
     pub stats: EnforceStats,
     halted: bool,
     engine: Engine,
+    /// Warn-only survival mode: set by [`EnforcingDevice::degrade_to_reference`]
+    /// after a compiled-engine fault. Violations are still detected and
+    /// reported, but never halt the device.
+    degraded: bool,
     /// Reused across synced rounds; `begin` clears the event buffer.
     observer: Observer,
     /// Observability sink; also forwarded to the checker.
@@ -187,6 +191,7 @@ impl EnforcingDevice {
             stats: EnforceStats::default(),
             halted: false,
             engine: Engine::default(),
+            degraded: false,
             observer: Observer::new(),
             sink: None,
             walk_ns: 0,
@@ -205,6 +210,7 @@ impl EnforcingDevice {
             stats: EnforceStats::default(),
             halted: false,
             engine: Engine::default(),
+            degraded: false,
             observer: Observer::new(),
             sink: None,
             walk_ns: 0,
@@ -237,6 +243,28 @@ impl EnforcingDevice {
         self
     }
 
+    /// The walk engine currently in use.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Falls back to the interpreted reference engine in warn-only
+    /// mode: the graceful-degradation response to a compiled-engine
+    /// fault. Checking continues — violations are still walked,
+    /// counted and reported — but the device is never halted, so a
+    /// benign tenant survives an enforcement-side failure. Also clears
+    /// an existing halt latch so the device can keep serving.
+    pub fn degrade_to_reference(&mut self) {
+        self.engine = Engine::Interpreted;
+        self.degraded = true;
+        self.halted = false;
+    }
+
+    /// Whether the device is running the warn-only degraded fallback.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// Whether a halt verdict has stopped the device.
     pub fn is_halted(&self) -> bool {
         self.halted
@@ -258,6 +286,12 @@ impl EnforcingDevice {
     }
 
     fn should_halt(&self, violations: &[Violation]) -> bool {
+        if self.degraded {
+            // Degraded fallback is warn-only by contract: enforcement
+            // keeps observing but never stops a possibly-benign tenant
+            // on the strength of a faulted engine.
+            return false;
+        }
         match self.mode {
             WorkingMode::Protection => !violations.is_empty(),
             WorkingMode::Enhancement => {

@@ -6,6 +6,7 @@
 //! reach everything through one dependency.
 
 pub use sedspec;
+pub use sedspec_chaos as chaos;
 pub use sedspec_dbl as dbl;
 pub use sedspec_devices as devices;
 pub use sedspec_fleet as fleet;

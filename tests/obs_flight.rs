@@ -100,6 +100,72 @@ fn every_halting_cve_poc_yields_a_forensic_record() {
 }
 
 #[test]
+fn forensic_records_survive_an_injected_sink_fault() {
+    use sedspec_repro::fleet::{FaultAction, FaultKind, FaultPoint, FaultSite, FaultySink};
+
+    /// Stalls every obs-sink delivery (zero sleep, marker still
+    /// emitted), modelling a slow/contended telemetry backend.
+    #[derive(Debug)]
+    struct StallEverySinkEvent;
+
+    impl FaultPoint for StallEverySinkEvent {
+        fn check(&self, site: &FaultSite) -> FaultAction {
+            if site.kind == FaultKind::ObsSinkStall {
+                FaultAction::Stall(0)
+            } else {
+                FaultAction::Proceed
+            }
+        }
+    }
+
+    let p = poc(Cve::Cve2015_3456);
+    let spec = trained(p.device, p.qemu_version);
+    let mut device = build_device(p.device, p.qemu_version);
+    device.set_limits(ExecLimits { max_steps: 50_000 });
+    let hub = Arc::new(ObsHub::new());
+    let faulty = Arc::new(FaultySink::new(
+        hub.sink(ScopeInfo::device(p.device.to_string())),
+        Arc::new(StallEverySinkEvent),
+        Some(0),
+    ));
+    let mut enforcer =
+        EnforcingDevice::new(device, spec, WorkingMode::Protection).with_sink(faulty);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let mut halted = false;
+    for step in &p.steps {
+        let Some(req) = apply_step(step, &mut ctx) else { continue };
+        if matches!(enforcer.handle_io(&mut ctx, req), IoVerdict::Halted { .. }) {
+            halted = true;
+            break;
+        }
+    }
+    assert!(halted, "Venom must still halt with a faulted sink");
+
+    // Observability under fault degrades (late, marker-annotated) but
+    // loses nothing: the halt's forensic record is intact and renders
+    // like the clean-sink record.
+    let records = hub.forensics();
+    assert!(!records.is_empty(), "the stalled sink must still deliver the forensic record");
+    let last = records.last().unwrap();
+    assert_eq!(last.data.verdict, VerdictKind::Halted);
+    assert!(last.data.violated.is_some(), "the record must still name the violated block");
+    assert!(last.render().contains("shadow diff"));
+
+    // The blast radius is visible in the same trace: every stall left
+    // an injection marker, and the fault metric counted them.
+    let events = hub.recent_events(4096);
+    let markers =
+        events.iter().filter(|e| matches!(e.kind, TraceEventKind::FaultInjected { .. })).count();
+    assert!(markers > 0, "stalls must leave FaultInjected markers in the trace");
+    // The metric saw every stall; the trace ring may have scrolled
+    // early markers out, so it only bounds the metric from below.
+    assert!(
+        hub.metrics().sum_counter("sedspec_faults_injected_total") >= markers as u64,
+        "the fault metric must count at least the markers still in the ring"
+    );
+}
+
+#[test]
 fn the_documented_miss_leaves_no_flight_record() {
     let (hub, halted) = run_poc_observed(Cve::Cve2016_1568);
     assert!(!halted, "CVE-2016-1568 is the paper's documented miss");

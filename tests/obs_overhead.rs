@@ -4,16 +4,50 @@
 //! noise of the recorderless path. This is the regression guard for
 //! the compiled checker's no-allocation hot-path invariant.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
-use sedspec::checker::WorkingMode;
+use sedspec::checker::{EsChecker, NoSync, WorkingMode};
 use sedspec::enforce::EnforcingDevice;
 use sedspec::pipeline::{train_script, TrainingConfig};
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_repro::obs::NoopSink;
 use sedspec_repro::vmm::{AddressSpace, IoRequest, VmContext};
 use sedspec_repro::workloads::generators::training_suite;
+
+/// Pass-through allocator counting allocations per thread, so the
+/// zero-allocation guard below is immune to sibling tests running
+/// concurrently in this binary.
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(Cell::get)
+}
 
 const SAMPLES: usize = 15;
 const ITERS: u32 = 3000;
@@ -77,5 +111,44 @@ fn disabled_sink_stays_within_noise_of_recorderless_path() {
         best_ratio <= 1.5,
         "disabled sink costs {:.0}% over the recorderless path",
         (best_ratio - 1.0) * 100.0
+    );
+}
+
+/// The fault seam added for chaos testing sits at batch boundaries
+/// (submit, device-step, registry-fetch) as `Option::None` when
+/// disabled; nothing fault-related may leak into the per-round walk.
+/// This pins `walk_round_fast`'s no-allocation invariant: a warmed
+/// checker with no sink and no fault point walks thousands of rounds
+/// without touching the allocator at all.
+#[test]
+fn disabled_fault_seam_keeps_walk_round_fast_allocation_free() {
+    let kind = DeviceKind::Fdc;
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 40, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+
+    let device = build_device(kind, QemuVersion::Patched);
+    let req = IoRequest::read(AddressSpace::Pmio, 0x3f4, 1);
+    let pi = device.route(&req).expect("the poll port routes to a program");
+    let mut checker = EsChecker::new(spec, device.control.clone());
+
+    // Warm up: the first walks may grow the reusable journal and
+    // scratch buffers to their steady-state capacity.
+    for _ in 0..64 {
+        let _ = checker.walk_round_fast(pi, &req, &mut NoSync);
+        checker.abort_round();
+    }
+
+    let before = allocs_on_this_thread();
+    for _ in 0..2000 {
+        let _ = checker.walk_round_fast(pi, &req, &mut NoSync);
+        checker.abort_round();
+    }
+    let during = allocs_on_this_thread() - before;
+    assert_eq!(
+        during, 0,
+        "walk_round_fast allocated {during} times over 2000 warmed rounds; the hot path \
+         (and the disabled fault seam around it) must be allocation-free"
     );
 }
