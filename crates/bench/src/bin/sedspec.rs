@@ -11,6 +11,16 @@
 //!                   [--json] [--cases N] [--seed S] [--allow FILE]
 //! sedspec chaos  [--plan FILE] [--seed S] [--tenants K] [--shards N]
 //!                [--batches B] [--cases C]
+//! sedspec serve  --store DIR (--socket PATH | --tcp ADDR) [--shards N]
+//!                [--admin-token T] [--tenant-token TOKEN=ID]
+//!                [--rate-capacity N --rate-refill N] [--compact-every N]
+//! sedspec ctl    <command> [args] (--socket PATH | --tcp ADDR) [--token T]
+//!   commands: ping | publish <device> [--version V] [--spec FILE]
+//!             [--cases N] [--seed S] | add-tenant <id> [--version V]
+//!             [--device D]... | submit <tenant> (--cve CVE | --benign
+//!             [--cases N]) | status <tenant> | fleet [--json] |
+//!             quarantine <tenant> | release <tenant> | metrics |
+//!             doctor [--store DIR] | shutdown
 //! sedspec devices|cves
 //! ```
 //!
@@ -791,6 +801,312 @@ fn cmd_chaos(args: &[String]) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------- serve / ctl --
+
+fn parse_version(name: &str) -> Option<QemuVersion> {
+    QemuVersion::all().into_iter().find(|v| v.to_string().eq_ignore_ascii_case(name))
+}
+
+/// Every value of a repeatable flag, in order.
+fn multi_flag<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(String::as_str)
+        .collect()
+}
+
+/// Runs the enforcement-as-a-service daemon until a `ctl shutdown`.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use sedspecd::{AuthConfig, Daemon, DaemonConfig, RateLimitConfig};
+    use std::path::PathBuf;
+
+    let Some(store) = flag(args, "--store") else {
+        eprintln!(
+            "usage: sedspec serve --store DIR (--socket PATH | --tcp ADDR) [--shards N] \
+             [--admin-token T] [--tenant-token TOKEN=ID] [--rate-capacity N --rate-refill N] \
+             [--compact-every N]"
+        );
+        return ExitCode::from(2);
+    };
+    let mut config = DaemonConfig::new(store);
+    config.socket = flag(args, "--socket").map(PathBuf::from);
+    config.tcp = flag(args, "--tcp").map(String::from);
+    if config.socket.is_none() && config.tcp.is_none() {
+        eprintln!("serve: need --socket PATH or --tcp ADDR");
+        return ExitCode::from(2);
+    }
+    config.shards = flag(args, "--shards").and_then(|v| v.parse().ok()).unwrap_or(2);
+    config.compact_every = flag(args, "--compact-every").and_then(|v| v.parse().ok()).unwrap_or(0);
+    config.auth = AuthConfig {
+        admin_tokens: multi_flag(args, "--admin-token").into_iter().map(String::from).collect(),
+        tenant_tokens: multi_flag(args, "--tenant-token")
+            .into_iter()
+            .filter_map(|pair| {
+                let (token, id) = pair.split_once('=')?;
+                Some((token.to_string(), id.parse().ok()?))
+            })
+            .collect(),
+    };
+    let capacity = flag(args, "--rate-capacity").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let refill = flag(args, "--rate-refill").and_then(|v| v.parse().ok()).unwrap_or(capacity);
+    config.rate = RateLimitConfig { capacity, refill_per_sec: refill };
+
+    let hub = Arc::new(sedspec_obs::ObsHub::new());
+    let daemon = match Daemon::new(config, hub) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm = daemon.warm_stats();
+    eprintln!(
+        "sedspecd: warm-loaded {} revisions, {} tenants, alert seq {}{}",
+        warm.revisions,
+        warm.tenants,
+        warm.alert_seq,
+        if warm.replay_clean { "" } else { " (salvaged a damaged WAL tail)" }
+    );
+    for skipped in &warm.skipped {
+        eprintln!("sedspecd: skipped: {skipped}");
+    }
+    eprintln!("sedspecd: serving");
+    match daemon.run() {
+        Ok(()) => {
+            eprintln!("sedspecd: shut down cleanly (store compacted)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn ctl_connect(args: &[String]) -> Result<sedspecd::CtlClient, String> {
+    use std::path::Path;
+    let token = flag(args, "--token").map(String::from);
+    let connected = if let Some(path) = flag(args, "--socket") {
+        sedspecd::CtlClient::connect_unix(Path::new(path))
+    } else if let Some(addr) = flag(args, "--tcp") {
+        sedspecd::CtlClient::connect_tcp(addr)
+    } else {
+        return Err("ctl needs --socket PATH or --tcp ADDR".into());
+    };
+    connected.map(|c| c.with_auth(token)).map_err(|e| e.to_string())
+}
+
+/// `sedspec ctl fleet --json` output shape.
+#[derive(serde::Serialize)]
+struct FleetStatusOut {
+    alert_seq: u64,
+    quarantined: usize,
+    degraded: usize,
+    report: sedspec_fleet::FleetReport,
+    recent_alerts: Vec<sedspec_fleet::telemetry::AlertEvent>,
+}
+
+/// The ctl client: one daemon request per invocation.
+#[allow(clippy::too_many_lines)]
+fn cmd_ctl(args: &[String]) -> ExitCode {
+    use sedspec_fleet::FleetReport;
+
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!(
+            "usage: sedspec ctl <ping|publish|add-tenant|submit|status|fleet|quarantine|release|\
+             metrics|doctor|shutdown> [args] (--socket PATH | --tcp ADDR) [--token T]"
+        );
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+
+    // Doctor runs even with no endpoint (store-only check), so it does
+    // its own connection handling.
+    if command == "doctor" {
+        use std::path::Path;
+        let report = sedspecd::run_doctor(
+            flag(rest, "--socket").map(Path::new),
+            flag(rest, "--tcp"),
+            flag(rest, "--store").map(Path::new),
+            flag(rest, "--token"),
+        );
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("ctl doctor: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return if report.healthy { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    let mut client = match ctl_connect(rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ctl: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome: Result<(), String> = match command {
+        "ping" => client
+            .ping()
+            .map(|(server, protocol)| println!("pong: sedspecd {server} (protocol {protocol})"))
+            .map_err(|e| e.to_string()),
+        "publish" => {
+            let Some(kind) = rest.first().and_then(|a| parse_device(a)) else {
+                eprintln!("usage: sedspec ctl publish <device> [--version V] [--spec FILE] ...");
+                return ExitCode::from(2);
+            };
+            let version =
+                flag(rest, "--version").and_then(parse_version).unwrap_or(QemuVersion::Patched);
+            let json = match flag(rest, "--spec") {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    let cases = flag(rest, "--cases").and_then(|v| v.parse().ok()).unwrap_or(40);
+                    let seed = flag(rest, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x7a11);
+                    eprintln!("training {kind}/{version} ({cases} cases) ...");
+                    train_spec(kind, version, cases, seed).to_json()
+                }
+            };
+            client
+                .publish_spec(kind, version, json)
+                .map(|(key, epoch)| println!("published {key} (epoch {epoch})"))
+                .map_err(|e| e.to_string())
+        }
+        "add-tenant" => {
+            let Some(tenant) = rest.first().and_then(|a| a.parse::<u64>().ok()) else {
+                eprintln!("usage: sedspec ctl add-tenant <id> [--version V] [--device D]...");
+                return ExitCode::from(2);
+            };
+            let version =
+                flag(rest, "--version").and_then(parse_version).unwrap_or(QemuVersion::Patched);
+            let devices: Vec<(DeviceKind, QemuVersion)> = {
+                let named: Vec<DeviceKind> =
+                    multi_flag(rest, "--device").into_iter().filter_map(parse_device).collect();
+                if named.is_empty() {
+                    DeviceKind::all().into_iter().map(|k| (k, version)).collect()
+                } else {
+                    named.into_iter().map(|k| (k, version)).collect()
+                }
+            };
+            let mode = match flag(rest, "--mode") {
+                Some("enhancement") => WorkingMode::Enhancement,
+                _ => WorkingMode::Protection,
+            };
+            let config = TenantConfig::new(tenant).with_devices(devices).with_mode(mode);
+            client
+                .add_tenant(config)
+                .map(|t| println!("hosted tenant-{t}"))
+                .map_err(|e| e.to_string())
+        }
+        "submit" => {
+            let Some(tenant) = rest.first().and_then(|a| a.parse::<u64>().ok()) else {
+                eprintln!("usage: sedspec ctl submit <tenant> (--cve CVE | --benign --device D)");
+                return ExitCode::from(2);
+            };
+            let steps = if let Some(id) = flag(rest, "--cve") {
+                let Some(cve) = parse_cve(id) else {
+                    eprintln!("unknown CVE {id} (try `sedspec cves`)");
+                    return ExitCode::from(2);
+                };
+                poc(cve).steps
+            } else if rest.iter().any(|a| a == "--benign") {
+                let kind = flag(rest, "--device").and_then(parse_device).unwrap_or(DeviceKind::Fdc);
+                let cases = flag(rest, "--cases").and_then(|v| v.parse().ok()).unwrap_or(10);
+                let seed = flag(rest, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x7a11);
+                training_suite(kind, cases, seed).into_iter().flatten().collect()
+            } else {
+                eprintln!("submit: need --cve CVE or --benign");
+                return ExitCode::from(2);
+            };
+            client
+                .submit(tenant, steps)
+                .and_then(|report| {
+                    serde_json::to_string_pretty(&report)
+                        .map(|json| println!("{json}"))
+                        .map_err(|e| sedspecd::ClientError::Unexpected(e.to_string()))
+                })
+                .map_err(|e| e.to_string())
+        }
+        "status" => {
+            let Some(tenant) = rest.first().and_then(|a| a.parse::<u64>().ok()) else {
+                eprintln!("usage: sedspec ctl status <tenant>");
+                return ExitCode::from(2);
+            };
+            client
+                .tenant_status(tenant)
+                .and_then(|status| {
+                    serde_json::to_string_pretty(&status)
+                        .map(|json| println!("{json}"))
+                        .map_err(|e| sedspecd::ClientError::Unexpected(e.to_string()))
+                })
+                .map_err(|e| e.to_string())
+        }
+        "fleet" => client
+            .fleet_status()
+            .and_then(|(report, alert_seq, recent_alerts)| {
+                if rest.iter().any(|a| a == "--json") {
+                    let out = FleetStatusOut {
+                        alert_seq,
+                        quarantined: report.quarantined_count(),
+                        degraded: report.degraded_count(),
+                        report,
+                        recent_alerts,
+                    };
+                    serde_json::to_string_pretty(&out)
+                        .map(|json| println!("{json}"))
+                        .map_err(|e| sedspecd::ClientError::Unexpected(e.to_string()))
+                } else {
+                    print!("{}", report.render());
+                    println!("alert seq {alert_seq}");
+                    print!("{}", FleetReport::render_alerts(&recent_alerts));
+                    Ok(())
+                }
+            })
+            .map_err(|e| e.to_string()),
+        "quarantine" | "release" => {
+            let Some(tenant) = rest.first().and_then(|a| a.parse::<u64>().ok()) else {
+                eprintln!("usage: sedspec ctl {command} <tenant>");
+                return ExitCode::from(2);
+            };
+            let on = command == "quarantine";
+            client
+                .set_quarantine(tenant, on)
+                .map(|was| {
+                    println!(
+                        "tenant-{tenant}: quarantined {} (was {})",
+                        if on { "on" } else { "off" },
+                        if was { "on" } else { "off" }
+                    );
+                })
+                .map_err(|e| e.to_string())
+        }
+        "metrics" => client.metrics().map(|text| print!("{text}")).map_err(|e| e.to_string()),
+        "shutdown" => {
+            client.shutdown().map(|()| println!("daemon shutting down")).map_err(|e| e.to_string())
+        }
+        other => {
+            eprintln!("ctl: unknown command {other}");
+            return ExitCode::from(2);
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ctl {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -802,6 +1118,8 @@ fn main() -> ExitCode {
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("lint-spec") => cmd_lint_spec(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("ctl") => cmd_ctl(&args[1..]),
         Some("devices") => {
             for k in DeviceKind::all() {
                 println!("{k}");
@@ -817,7 +1135,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|lint-spec|chaos|devices|cves> ..."
+                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|lint-spec|chaos|serve|ctl|devices|cves> ..."
             );
             ExitCode::from(2)
         }

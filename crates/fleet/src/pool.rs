@@ -67,7 +67,10 @@ impl std::fmt::Display for TenantId {
 }
 
 /// How a tenant's machine is built and degraded.
-#[derive(Debug, Clone)]
+///
+/// Serializes, so the `sedspecd` daemon can carry tenant configs over
+/// its wire protocol and persist them in its durable store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TenantConfig {
     /// The tenant's identity (also decides its shard).
     pub tenant: TenantId,
@@ -590,7 +593,19 @@ fn stats_delta(after: &EnforceStats, before: &EnforceStats) -> EnforceStats {
 
 enum ShardMsg {
     AddTenant(Box<TenantConfig>, Sender<Result<(), PoolError>>),
-    Submit { tenant: TenantId, steps: Vec<TrainStep>, reply: Sender<BatchReport> },
+    Submit {
+        tenant: TenantId,
+        steps: Vec<TrainStep>,
+        reply: Sender<BatchReport>,
+    },
+    /// Operator-driven quarantine control: `on = true` quarantines the
+    /// tenant, `on = false` releases it with a fresh rollback budget.
+    /// Replies with the tenant's previous quarantine flag.
+    SetQuarantine {
+        tenant: TenantId,
+        on: bool,
+        reply: Sender<Result<bool, PoolError>>,
+    },
     Report(Sender<ShardTelemetry>),
     Shutdown,
 }
@@ -707,6 +722,39 @@ fn shard_main(shard: usize, rx: Receiver<ShardMsg>, ctx: ShardCtx, inflight: Arc
                 };
                 let _ = reply.send(report);
                 inflight.fetch_sub(1, Ordering::AcqRel);
+            }
+            ShardMsg::SetQuarantine { tenant, on, reply } => {
+                let result = match tenants.get_mut(&tenant) {
+                    Some(rt) => {
+                        let was = rt.quarantined;
+                        rt.quarantined = on;
+                        {
+                            let mut sticky = rt.sticky.lock();
+                            let entry = sticky.entry(tenant.0).or_default();
+                            entry.quarantined = on;
+                            if !on {
+                                // A released tenant gets its rollback
+                                // budget back; re-arming it half-spent
+                                // would quarantine again on first halt.
+                                entry.rollbacks_used = 0;
+                            }
+                        }
+                        if !on {
+                            rt.rollbacks_used = 0;
+                        }
+                        if on && !was {
+                            if let Some((hub, scope)) = &obs {
+                                hub.record(
+                                    *scope,
+                                    TraceEventKind::TenantQuarantined { tenant: tenant.0 },
+                                );
+                            }
+                        }
+                        Ok(was)
+                    }
+                    None => Err(PoolError::UnknownTenant(tenant)),
+                };
+                let _ = reply.send(result);
             }
             ShardMsg::Report(reply) => {
                 let mut statuses: Vec<TenantStatus> =
@@ -1071,6 +1119,56 @@ impl EnforcementPool {
             }
         }
         Err(last)
+    }
+
+    /// Quarantines (`on = true`) or releases (`on = false`) a tenant by
+    /// operator decision, bypassing the rollback budget. Releasing also
+    /// restores the tenant's full rollback budget. Returns the previous
+    /// quarantine flag.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownTenant`] when the tenant is not hosted;
+    /// [`PoolError::ShardDown`] when its shard cannot be revived.
+    pub fn set_quarantine(&mut self, tenant: TenantId, on: bool) -> Result<bool, PoolError> {
+        let shard = self.shard_of(tenant);
+        self.revive_shard(shard)?;
+        let (reply_tx, reply_rx) = unbounded();
+        self.shards[shard]
+            .tx
+            .send(ShardMsg::SetQuarantine { tenant, on, reply: reply_tx })
+            .map_err(|_| PoolError::ShardDown(shard))?;
+        reply_rx.recv().map_err(|_| PoolError::ShardDown(shard))?
+    }
+
+    /// Seeds a tenant's crash-surviving sticky state *before* the
+    /// tenant is hosted, so [`EnforcementPool::add_tenant`] builds it
+    /// already quarantined / degraded / part-spent. This is how the
+    /// `sedspecd` daemon warm-loads tenant state from its durable
+    /// store: exactly the carry-over path a worker respawn uses, so a
+    /// restart cannot launder quarantine any more than a crash can.
+    pub fn restore_tenant_state(
+        &self,
+        tenant: TenantId,
+        quarantined: bool,
+        degraded: bool,
+        rollbacks_used: u32,
+    ) {
+        self.sticky.lock().insert(tenant.0, StickyState { quarantined, degraded, rollbacks_used });
+    }
+
+    /// The pool-wide alert sequence high-water mark: the `seq` the most
+    /// recently emitted [`AlertEvent`] carried (0 before the first).
+    pub fn alert_seq(&self) -> u64 {
+        self.alert_seq.load(Ordering::Acquire)
+    }
+
+    /// Starts the alert sequence counter at `seq` (the next alert gets
+    /// `seq + 1`). The daemon calls this after replaying its store so
+    /// [`AlertEvent::seq`] stays monotonic across restarts. Only raises
+    /// the counter — a stale snapshot can never rewind a live stream.
+    pub fn set_alert_seq(&self, seq: u64) {
+        self.alert_seq.fetch_max(seq, Ordering::AcqRel);
     }
 
     /// Drains the alert stream (non-blocking).

@@ -412,6 +412,30 @@ mod tests {
     }
 
     #[test]
+    fn publish_json_runs_the_analysis_gate() {
+        // Regression pin: the JSON import path must route through the
+        // same analyzer gate as `publish`, so shipping a spec as JSON
+        // (the `sedspecd` PublishSpec frame, `sedspec ctl publish`)
+        // cannot deploy a revision the verifier would reject.
+        let reg = SpecRegistry::new();
+        let mut broken = small_spec();
+        let cfg = broken.cfgs.iter_mut().find(|c| !c.edges.is_empty()).expect("some trained edges");
+        let bogus = cfg.blocks.len() as u32 + 7;
+        cfg.edges.values_mut().next().unwrap()[0].to = bogus;
+        let json = broken.to_json();
+        let err = reg
+            .publish_json(DeviceKind::Fdc, QemuVersion::Patched, &json)
+            .expect_err("JSON import of a dangling-edge spec must be rejected");
+        match err {
+            PublishJsonError::Rejected(r) => {
+                assert!(!r.report.with_code("SA002").is_empty(), "{}", r.report.render_human());
+            }
+            PublishJsonError::Parse(e) => panic!("expected analyzer rejection, got parse: {e}"),
+        }
+        assert_eq!(reg.revision_count(), 0, "gated JSON imports are not stored");
+    }
+
+    #[test]
     fn republish_bumps_epoch_and_retargets_current() {
         let reg = SpecRegistry::new();
         let spec = small_spec();

@@ -189,6 +189,38 @@ pub enum TraceEventKind {
         /// Tenant id.
         tenant: u64,
     },
+    /// The enforcement daemon came up and warm-loaded its durable store.
+    DaemonStarted {
+        /// Listening endpoint (socket path or TCP address), rendered.
+        endpoint: String,
+        /// Specification revisions replayed from the store.
+        restored_revisions: u32,
+        /// Tenant configurations replayed from the store.
+        restored_tenants: u32,
+    },
+    /// A record was appended (and flushed) to the daemon's write-ahead
+    /// log.
+    WalAppended {
+        /// Record kind, rendered (e.g. `"Publish"`).
+        kind: String,
+        /// On-disk bytes of the framed record (header + payload).
+        bytes: u64,
+    },
+    /// The daemon folded its WAL into a fresh snapshot.
+    SnapshotCompacted {
+        /// WAL records folded into the snapshot.
+        records: u64,
+        /// Alert-sequence high-water mark persisted in the snapshot
+        /// header.
+        alert_seq: u64,
+    },
+    /// One wire-protocol request was served.
+    RequestServed {
+        /// Request kind, rendered (e.g. `"SubmitBatch"`).
+        kind: String,
+        /// Whether the request was answered with an error frame.
+        error: bool,
+    },
 }
 
 /// A stamped trace record: global sequence number, the originating

@@ -165,6 +165,21 @@ pub fn render_kind(kind: &TraceEventKind) -> String {
             format!("worker-restarted {shard} attempt={attempt}")
         }
         TraceEventKind::TenantDegraded { tenant } => format!("tenant-degraded {tenant}"),
+        TraceEventKind::DaemonStarted { endpoint, restored_revisions, restored_tenants } => {
+            format!(
+                "daemon-started {endpoint} revisions={restored_revisions} \
+                 tenants={restored_tenants}"
+            )
+        }
+        TraceEventKind::WalAppended { kind, bytes } => {
+            format!("wal-appended {kind} bytes={bytes}")
+        }
+        TraceEventKind::SnapshotCompacted { records, alert_seq } => {
+            format!("snapshot-compacted records={records} alert_seq={alert_seq}")
+        }
+        TraceEventKind::RequestServed { kind, error } => {
+            format!("request-served {kind} error={error}")
+        }
     }
 }
 

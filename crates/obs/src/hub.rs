@@ -200,6 +200,26 @@ impl ObsHub {
             TraceEventKind::TenantDegraded { .. } => {
                 self.metrics.add_gauge("sedspec_degraded_tenants", 1);
             }
+            TraceEventKind::DaemonStarted { restored_revisions, restored_tenants, .. } => {
+                self.metrics.inc("sedspecd_starts_total", 1);
+                self.metrics
+                    .inc("sedspecd_restored_revisions_total", u64::from(*restored_revisions));
+                self.metrics.inc("sedspecd_restored_tenants_total", u64::from(*restored_tenants));
+            }
+            TraceEventKind::WalAppended { kind: record, bytes } => {
+                self.metrics.inc_labeled("sedspecd_wal_records_total", ("kind", record), 1);
+                self.metrics.inc("sedspecd_wal_bytes_total", *bytes);
+            }
+            TraceEventKind::SnapshotCompacted { records, .. } => {
+                self.metrics.inc("sedspecd_snapshot_compactions_total", 1);
+                self.metrics.observe("sedspecd_snapshot_records", *records);
+            }
+            TraceEventKind::RequestServed { kind: request, error } => {
+                self.metrics.inc_labeled("sedspecd_requests_total", ("kind", request), 1);
+                if *error {
+                    self.metrics.inc("sedspecd_request_errors_total", 1);
+                }
+            }
         }
         inner.ring.push(TraceEvent { seq, round, scope, kind });
     }

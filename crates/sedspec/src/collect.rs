@@ -19,6 +19,7 @@ use sedspec_trace::decode::decode_run;
 use sedspec_trace::itc_cfg::ItcCfg;
 use sedspec_trace::tracer::{TraceConfig, Tracer};
 use sedspec_vmm::{IoRequest, VmContext};
+use serde::{Deserialize, Serialize};
 
 use crate::observe::{DeviceStateChangeLog, Observer};
 use crate::params::{select_params, DeviceStateParams};
@@ -28,8 +29,9 @@ use crate::params::{select_params, DeviceStateParams};
 /// Training samples are not pure I/O streams: a guest driver also
 /// prepares descriptors in its own memory between accesses (qTDs,
 /// descriptor rings, init blocks) and sometimes idles. Scripts capture
-/// all three.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// all three. Steps serialize, so whole batches travel over the
+/// `sedspecd` wire protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TrainStep {
     /// An I/O interaction with the device.
     Io(IoRequest),

@@ -1,0 +1,201 @@
+//! Admission control: tokens and the per-tenant token-bucket rate
+//! limiter.
+//!
+//! Tokens are opaque strings handed out by the operator. A daemon with
+//! *no* tokens configured runs in **open mode** (everything admitted) —
+//! the development default. Once any token is configured the daemon is
+//! guarded: every request must present a recognized token; admin
+//! operations require an admin token; batch submission requires admin
+//! or the submitting tenant's own token.
+//!
+//! The rate limiter sits *above* the pool's `Saturated` backpressure:
+//! the bucket refuses cheap-to-refuse traffic at the door (cost = steps
+//! per batch), while saturation protects the shards from whatever gets
+//! through. Time is injected (`now_ns`), so tests drive the clock.
+
+use std::collections::HashMap;
+
+/// Who a request's token says it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Identity {
+    /// An operator: everything allowed.
+    Admin,
+    /// A tenant: its own traffic and read-only views.
+    Tenant(u64),
+    /// No token (meaningful only in open mode).
+    Anonymous,
+}
+
+/// The daemon's token table.
+#[derive(Debug, Clone, Default)]
+pub struct AuthConfig {
+    /// Operator tokens.
+    pub admin_tokens: Vec<String>,
+    /// `(token, tenant id)` pairs.
+    pub tenant_tokens: Vec<(String, u64)>,
+}
+
+impl AuthConfig {
+    /// Open mode: no tokens configured.
+    pub fn open() -> Self {
+        AuthConfig::default()
+    }
+
+    /// Whether any token is configured (guarded mode).
+    pub fn guarded(&self) -> bool {
+        !self.admin_tokens.is_empty() || !self.tenant_tokens.is_empty()
+    }
+
+    /// Resolves a presented token. `None` when the token is required
+    /// but missing or unrecognized.
+    pub fn identify(&self, token: Option<&str>) -> Option<Identity> {
+        if !self.guarded() {
+            return Some(Identity::Anonymous);
+        }
+        let token = token?;
+        if self.admin_tokens.iter().any(|t| t == token) {
+            return Some(Identity::Admin);
+        }
+        self.tenant_tokens.iter().find(|(t, _)| t == token).map(|(_, id)| Identity::Tenant(*id))
+    }
+
+    /// Whether `id` may perform admin (mutating) operations.
+    pub fn allows_admin(&self, id: Identity) -> bool {
+        !self.guarded() || id == Identity::Admin
+    }
+
+    /// Whether `id` may submit traffic for `tenant`.
+    pub fn allows_tenant(&self, id: Identity, tenant: u64) -> bool {
+        !self.guarded() || id == Identity::Admin || id == Identity::Tenant(tenant)
+    }
+}
+
+/// Token-bucket parameters, shared by every tenant's bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitConfig {
+    /// Bucket capacity in steps; `0` disables rate limiting.
+    pub capacity: u64,
+    /// Refill rate in steps per second.
+    pub refill_per_sec: u64,
+}
+
+impl RateLimitConfig {
+    /// Rate limiting disabled (the development default).
+    pub fn unlimited() -> Self {
+        RateLimitConfig { capacity: 0, refill_per_sec: 0 }
+    }
+
+    /// Whether limiting is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+/// One tenant's bucket. Tokens are held in nano-steps so refill math is
+/// exact integer arithmetic at any clock granularity.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    nano_steps: u128,
+    last_ns: u64,
+}
+
+const NANO: u128 = 1_000_000_000;
+
+/// Per-tenant token buckets over an injected clock.
+#[derive(Debug)]
+pub struct RateLimiter {
+    cfg: RateLimitConfig,
+    buckets: HashMap<u64, Bucket>,
+}
+
+impl RateLimiter {
+    /// A limiter with the given shared parameters.
+    pub fn new(cfg: RateLimitConfig) -> Self {
+        RateLimiter { cfg, buckets: HashMap::new() }
+    }
+
+    /// The shared parameters.
+    pub fn config(&self) -> RateLimitConfig {
+        self.cfg
+    }
+
+    /// Tries to take `cost` steps from `tenant`'s bucket at time
+    /// `now_ns`. New buckets start full.
+    ///
+    /// # Errors
+    ///
+    /// The suggested retry delay in milliseconds when the bucket lacks
+    /// the steps. A cost beyond the bucket's very capacity can never be
+    /// admitted; it reports the full-refill delay.
+    pub fn take(&mut self, tenant: u64, cost: u64, now_ns: u64) -> Result<(), u64> {
+        if !self.cfg.enabled() {
+            return Ok(());
+        }
+        let capacity_nano = u128::from(self.cfg.capacity) * NANO;
+        let bucket = self
+            .buckets
+            .entry(tenant)
+            .or_insert(Bucket { nano_steps: capacity_nano, last_ns: now_ns });
+        let elapsed = u128::from(now_ns.saturating_sub(bucket.last_ns));
+        bucket.nano_steps =
+            capacity_nano.min(bucket.nano_steps + elapsed * u128::from(self.cfg.refill_per_sec));
+        bucket.last_ns = now_ns;
+        let need = u128::from(cost) * NANO;
+        if bucket.nano_steps >= need {
+            bucket.nano_steps -= need;
+            return Ok(());
+        }
+        let deficit = need.min(capacity_nano) - bucket.nano_steps.min(need.min(capacity_nano));
+        let refill = u128::from(self.cfg.refill_per_sec.max(1));
+        let wait_ms = deficit.div_ceil(refill * 1_000);
+        Err(u64::try_from(wait_ms.max(1)).unwrap_or(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_mode_admits_everything() {
+        let auth = AuthConfig::open();
+        let id = auth.identify(None).unwrap();
+        assert_eq!(id, Identity::Anonymous);
+        assert!(auth.allows_admin(id));
+        assert!(auth.allows_tenant(id, 99));
+    }
+
+    #[test]
+    fn guarded_mode_scopes_tokens() {
+        let auth =
+            AuthConfig { admin_tokens: vec!["root".into()], tenant_tokens: vec![("t7".into(), 7)] };
+        assert_eq!(auth.identify(None), None);
+        assert_eq!(auth.identify(Some("wrong")), None);
+        let admin = auth.identify(Some("root")).unwrap();
+        let tenant = auth.identify(Some("t7")).unwrap();
+        assert!(auth.allows_admin(admin));
+        assert!(!auth.allows_admin(tenant));
+        assert!(auth.allows_tenant(tenant, 7));
+        assert!(!auth.allows_tenant(tenant, 8));
+        assert!(auth.allows_tenant(admin, 8));
+    }
+
+    #[test]
+    fn bucket_drains_and_refills_on_the_injected_clock() {
+        let mut rl = RateLimiter::new(RateLimitConfig { capacity: 10, refill_per_sec: 5 });
+        // A fresh bucket holds its full capacity.
+        assert!(rl.take(1, 10, 0).is_ok());
+        let wait = rl.take(1, 5, 0).unwrap_err();
+        assert!(wait >= 1000, "5 steps at 5/s needs ~1s, got {wait}ms");
+        // One second later the 5 steps are back.
+        assert!(rl.take(1, 5, 1_000_000_000).is_ok());
+        // Tenants do not share buckets.
+        assert!(rl.take(2, 10, 1_000_000_000).is_ok());
+    }
+
+    #[test]
+    fn disabled_limiter_admits_any_cost() {
+        let mut rl = RateLimiter::new(RateLimitConfig::unlimited());
+        assert!(rl.take(1, u64::MAX, 0).is_ok());
+    }
+}

@@ -1,0 +1,284 @@
+//! The ctl client: one connection, sequential request/response frames.
+//!
+//! This is the library behind `sedspec ctl` and the integration tests;
+//! it adds nothing to the protocol beyond id assignment and turning
+//! [`ResponseBody::Error`] frames into a typed error.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use sedspec::collect::TrainStep;
+use sedspec_devices::{DeviceKind, QemuVersion};
+use sedspec_fleet::pool::{BatchReport, TenantConfig};
+use sedspec_fleet::registry::SpecKey;
+use sedspec_fleet::telemetry::{AlertEvent, FleetReport, TenantStatus};
+
+use crate::proto::{
+    read_response, write_request, ErrCode, ProtoError, Request, RequestBody, ResponseBody,
+    ServerHealth, PROTOCOL_VERSION,
+};
+
+/// Why a ctl call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach the daemon.
+    Connect(io::Error),
+    /// The framing layer failed mid-conversation.
+    Proto(ProtoError),
+    /// The daemon answered with an error frame.
+    Server {
+        /// Machine-readable failure class.
+        code: ErrCode,
+        /// The daemon's rendering of the failure.
+        message: String,
+    },
+    /// The daemon answered with a variant the call did not expect.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "daemon {code:?}: {message}"),
+            ClientError::Unexpected(got) => write!(f, "unexpected response: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+enum Transport {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Transport {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.read(buf),
+            Transport::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Transport {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Transport::Unix(s) => s.write(buf),
+            Transport::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Transport::Unix(s) => s.flush(),
+            Transport::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected ctl client.
+pub struct CtlClient {
+    transport: Transport,
+    auth: Option<String>,
+    next_id: u64,
+}
+
+impl CtlClient {
+    /// Connects over the daemon's Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] when the socket is unreachable.
+    pub fn connect_unix(path: &Path) -> Result<Self, ClientError> {
+        let stream = UnixStream::connect(path).map_err(ClientError::Connect)?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        Ok(CtlClient { transport: Transport::Unix(stream), auth: None, next_id: 1 })
+    }
+
+    /// Connects over TCP (daemons started with `--tcp`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Connect`] when the address is unreachable.
+    pub fn connect_tcp(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Connect)?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        Ok(CtlClient { transport: Transport::Tcp(stream), auth: None, next_id: 1 })
+    }
+
+    /// Attaches an admission token to every subsequent request.
+    #[must_use]
+    pub fn with_auth(mut self, token: Option<String>) -> Self {
+        self.auth = token;
+        self
+    }
+
+    /// Sends one request and returns the daemon's answer, with error
+    /// frames lifted into [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Framing failures and daemon error frames.
+    pub fn call(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request { v: PROTOCOL_VERSION, id, auth: self.auth.clone(), body };
+        write_request(&mut self.transport, &req)?;
+        let resp = read_response(&mut self.transport)?;
+        match resp.body {
+            ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
+            body => Ok(body),
+        }
+    }
+
+    /// Liveness probe; returns `(server version, protocol version)`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    pub fn ping(&mut self) -> Result<(String, u32), ClientError> {
+        match self.call(RequestBody::Ping)? {
+            ResponseBody::Pong { server, protocol } => Ok((server, protocol)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Publishes a spec revision; returns its key and the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`]; analyzer rejections arrive as
+    /// [`ErrCode::SpecRejected`] server errors.
+    pub fn publish_spec(
+        &mut self,
+        device: DeviceKind,
+        version: QemuVersion,
+        spec_json: String,
+    ) -> Result<(SpecKey, u64), ClientError> {
+        match self.call(RequestBody::PublishSpec { device, version, spec_json })? {
+            ResponseBody::Published { key, epoch } => Ok((key, epoch)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Hosts a tenant.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    pub fn add_tenant(&mut self, config: TenantConfig) -> Result<u64, ClientError> {
+        match self.call(RequestBody::AddTenant { config })? {
+            ResponseBody::TenantAdded { tenant } => Ok(tenant),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Runs a batch of guest steps on a tenant.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`]; rate limiting arrives as
+    /// [`ErrCode::RateLimited`] server errors.
+    pub fn submit(
+        &mut self,
+        tenant: u64,
+        steps: Vec<TrainStep>,
+    ) -> Result<BatchReport, ClientError> {
+        match self.call(RequestBody::SubmitBatch { tenant, steps })? {
+            ResponseBody::Batch { report } => Ok(report),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// One tenant's cumulative status.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    pub fn tenant_status(&mut self, tenant: u64) -> Result<TenantStatus, ClientError> {
+        match self.call(RequestBody::TenantStatus { tenant })? {
+            ResponseBody::Status { status } => Ok(status),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The whole fleet: report, alert high-water mark, recent alerts.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    pub fn fleet_status(&mut self) -> Result<(FleetReport, u64, Vec<AlertEvent>), ClientError> {
+        match self.call(RequestBody::FleetStatus)? {
+            ResponseBody::Fleet { report, alert_seq, recent_alerts } => {
+                Ok((report, alert_seq, recent_alerts))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Quarantines (`on = true`) or releases a tenant; returns the
+    /// previous flag.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    pub fn set_quarantine(&mut self, tenant: u64, on: bool) -> Result<bool, ClientError> {
+        let body =
+            if on { RequestBody::Quarantine { tenant } } else { RequestBody::Release { tenant } };
+        match self.call(body)? {
+            ResponseBody::QuarantineSet { was_quarantined, .. } => Ok(was_quarantined),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The daemon's metrics in Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(RequestBody::Metrics)? {
+            ResponseBody::MetricsText { prometheus } => Ok(prometheus),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The daemon's self-reported health section.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    pub fn server_health(&mut self) -> Result<ServerHealth, ClientError> {
+        match self.call(RequestBody::Doctor)? {
+            ResponseBody::Doctor { health } => Ok(health),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(RequestBody::Shutdown)? {
+            ResponseBody::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(body: &ResponseBody) -> ClientError {
+    ClientError::Unexpected(format!("{body:?}"))
+}

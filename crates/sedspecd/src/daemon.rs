@@ -1,0 +1,754 @@
+//! The daemon: owns a [`SpecRegistry`] and an [`EnforcementPool`],
+//! warm-loads both from the durable store, and serves the framed wire
+//! protocol over a Unix domain socket (TCP behind a flag).
+//!
+//! ## Durability contract
+//!
+//! A mutating request is answered *after* its WAL record is flushed:
+//! an acknowledged publish, hosting, or quarantine transition survives
+//! `kill -9`. On startup the store's snapshot + WAL replay drives the
+//! warm load:
+//!
+//! 1. every journaled revision is re-published (analyzer gate skipped —
+//!    it ran at the original publish) in order, so channel epochs
+//!    reproduce and exported JSON is byte-identical;
+//! 2. the alert-sequence high-water mark is restored, so
+//!    [`AlertEvent::seq`] stays monotonic across restarts;
+//! 3. each tenant's last journaled state seeds the pool's sticky map
+//!    *before* the tenant is re-hosted — the same carry-over path a
+//!    worker respawn uses, so a daemon restart cannot launder
+//!    quarantine any more than a shard crash can.
+//!
+//! Organic state transitions (a shard quarantining or degrading a
+//! tenant mid-batch) are mirrored: after every served batch the daemon
+//! diffs the report against its journal mirror and appends
+//! `StateChange` records for whatever moved.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sedspec::spec::ExecutionSpecification;
+use sedspec_fleet::pool::{EnforcementPool, PoolError, TenantId};
+use sedspec_fleet::registry::{PublishJsonError, SpecRegistry};
+use sedspec_fleet::telemetry::AlertEvent;
+use sedspec_obs::{ObsHub, ScopeId, ScopeInfo, TraceEventKind};
+
+use crate::auth::{AuthConfig, RateLimitConfig, RateLimiter};
+use crate::proto::{
+    read_request, write_response, ErrCode, ProtoError, Request, RequestBody, Response,
+    ResponseBody, ServerHealth, PROTOCOL_VERSION,
+};
+use crate::store::{DurableStore, StoreError, WalRecord};
+
+/// Alerts retained for `FleetStatus` responses.
+const RECENT_ALERTS_CAP: usize = 256;
+/// Alerts returned per `FleetStatus` response.
+const RECENT_ALERTS_REPLY: usize = 64;
+
+/// How the daemon is built and bound.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix domain socket path (the default transport).
+    pub socket: Option<PathBuf>,
+    /// TCP listen address (optional, behind a flag).
+    pub tcp: Option<String>,
+    /// Durable store directory.
+    pub store_dir: PathBuf,
+    /// Enforcement pool worker shards.
+    pub shards: usize,
+    /// Token table; empty = open mode.
+    pub auth: AuthConfig,
+    /// Per-tenant token-bucket parameters.
+    pub rate: RateLimitConfig,
+    /// Auto-compact after this many WAL appends (`0` = only on
+    /// graceful shutdown).
+    pub compact_every: u64,
+}
+
+impl DaemonConfig {
+    /// Defaults: no endpoints bound yet, two shards, open auth,
+    /// unlimited rate, compaction only on shutdown.
+    pub fn new(store_dir: impl Into<PathBuf>) -> Self {
+        DaemonConfig {
+            socket: None,
+            tcp: None,
+            store_dir: store_dir.into(),
+            shards: 2,
+            auth: AuthConfig::open(),
+            rate: RateLimitConfig::unlimited(),
+            compact_every: 0,
+        }
+    }
+}
+
+/// What the warm load recovered (and what it had to skip).
+#[derive(Debug, Clone, Default)]
+pub struct WarmStats {
+    /// Revisions re-published from the journal.
+    pub revisions: u32,
+    /// Tenants re-hosted from the journal.
+    pub tenants: u32,
+    /// Restored alert-sequence high-water mark.
+    pub alert_seq: u64,
+    /// Whether a snapshot contributed (vs. WAL-only).
+    pub snapshot_loaded: bool,
+    /// Whether the WAL replay ended cleanly (no salvaged tail).
+    pub replay_clean: bool,
+    /// Journal entries that could not be re-applied, rendered.
+    pub skipped: Vec<String>,
+}
+
+/// Why the daemon could not start or serve.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// The durable store failed to open or load.
+    Store(StoreError),
+    /// An endpoint failed to bind.
+    Bind(String, io::Error),
+    /// Neither a socket nor a TCP address was configured.
+    NoEndpoint,
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Store(e) => write!(f, "daemon store: {e}"),
+            DaemonError::Bind(ep, e) => write!(f, "bind {ep}: {e}"),
+            DaemonError::NoEndpoint => write!(f, "no endpoint: configure a socket or --tcp"),
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {}
+
+impl From<StoreError> for DaemonError {
+    fn from(e: StoreError) -> Self {
+        DaemonError::Store(e)
+    }
+}
+
+/// A tenant's last journaled protective state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct MirrorState {
+    quarantined: bool,
+    degraded: bool,
+    rollbacks: u32,
+}
+
+/// Mutable daemon state behind one lock (requests are serialized — the
+/// pool itself fans work out to its shard threads).
+struct Core {
+    pool: EnforcementPool,
+    store: DurableStore,
+    limiter: RateLimiter,
+    /// Last journaled state per tenant; diffs become `StateChange`s.
+    mirror: HashMap<u64, MirrorState>,
+    recent_alerts: VecDeque<AlertEvent>,
+    /// Highest alert seq already journaled as an `AlertMark`.
+    alert_mark: u64,
+    appends_since_compact: u64,
+    requests_served: u64,
+}
+
+/// The enforcement-as-a-service daemon.
+pub struct Daemon {
+    config: DaemonConfig,
+    registry: Arc<SpecRegistry>,
+    core: Mutex<Core>,
+    hub: Arc<ObsHub>,
+    scope: ScopeId,
+    warm: WarmStats,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Daemon {
+    /// Opens the store, warm-loads registry + pool from it, and builds
+    /// the (not yet bound) daemon.
+    ///
+    /// # Errors
+    ///
+    /// Store failures. Individual journal entries that cannot be
+    /// re-applied are skipped and reported in [`Daemon::warm_stats`],
+    /// never fatal — a salvageable store always yields a daemon.
+    pub fn new(config: DaemonConfig, hub: Arc<ObsHub>) -> Result<Self, DaemonError> {
+        let scope = hub.register_scope(ScopeInfo::device("sedspecd"));
+        let (store, loaded) = DurableStore::open(&config.store_dir)?;
+
+        let registry = Arc::new(SpecRegistry::new());
+        registry.attach_obs(&hub);
+        let mut warm = WarmStats {
+            alert_seq: loaded.alert_seq,
+            snapshot_loaded: loaded.snapshot_loaded,
+            replay_clean: loaded.replay.clean(),
+            ..WarmStats::default()
+        };
+
+        // Pass 1: re-publish every journaled revision, in order.
+        let mut hosted: Vec<sedspec_fleet::pool::TenantConfig> = Vec::new();
+        let mut states: HashMap<u64, MirrorState> = HashMap::new();
+        for record in &loaded.records {
+            match record {
+                WalRecord::Publish { device, version, digest, epoch, spec_json } => {
+                    match ExecutionSpecification::from_json(spec_json) {
+                        Ok(spec) => {
+                            let key = registry.publish_unchecked(*device, *version, spec);
+                            warm.revisions += 1;
+                            if key.digest.0 != *digest {
+                                warm.skipped.push(format!(
+                                    "publish {key}: journaled digest {digest:016x} does not match"
+                                ));
+                            }
+                            let now = registry.epoch(*device, *version);
+                            if now != *epoch {
+                                warm.skipped.push(format!(
+                                    "publish {key}: epoch replayed to {now}, journal said {epoch}"
+                                ));
+                            }
+                        }
+                        Err(e) => {
+                            warm.skipped.push(format!("publish {device:?}/{version:?}: {e}"));
+                        }
+                    }
+                }
+                WalRecord::TenantHosted { config } => hosted.push(config.clone()),
+                WalRecord::StateChange { tenant, quarantined, degraded, rollbacks_used } => {
+                    states.insert(
+                        *tenant,
+                        MirrorState {
+                            quarantined: *quarantined,
+                            degraded: *degraded,
+                            rollbacks: *rollbacks_used,
+                        },
+                    );
+                }
+                WalRecord::AlertMark { .. } => {}
+            }
+        }
+
+        // Pass 2: build the pool on the restored registry, seed the
+        // alert counter, then re-host tenants with their sticky state
+        // already in place.
+        let pool = EnforcementPool::with_obs(config.shards.max(1), Arc::clone(&registry), &hub);
+        pool.set_alert_seq(loaded.alert_seq);
+        let mut mirror = HashMap::new();
+        for cfg in hosted {
+            let tenant = cfg.tenant.0;
+            let state = states.get(&tenant).copied().unwrap_or_default();
+            pool.restore_tenant_state(
+                cfg.tenant,
+                state.quarantined,
+                state.degraded,
+                state.rollbacks,
+            );
+            match pool.add_tenant(cfg) {
+                Ok(()) => {
+                    warm.tenants += 1;
+                    mirror.insert(tenant, state);
+                }
+                Err(e) => warm.skipped.push(format!("tenant-{tenant}: {e}")),
+            }
+        }
+
+        hub.record(
+            scope,
+            TraceEventKind::DaemonStarted {
+                endpoint: describe_endpoint(&config),
+                restored_revisions: warm.revisions,
+                restored_tenants: warm.tenants,
+            },
+        );
+
+        let limiter = RateLimiter::new(config.rate);
+        let alert_mark = loaded.alert_seq;
+        Ok(Daemon {
+            config,
+            registry,
+            core: Mutex::new(Core {
+                pool,
+                store,
+                limiter,
+                mirror,
+                recent_alerts: VecDeque::new(),
+                alert_mark,
+                appends_since_compact: 0,
+                requests_served: 0,
+            }),
+            hub,
+            scope,
+            warm,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+        })
+    }
+
+    /// What the warm load recovered.
+    pub fn warm_stats(&self) -> &WarmStats {
+        &self.warm
+    }
+
+    /// The daemon's specification registry (shared with the pool).
+    pub fn registry(&self) -> &Arc<SpecRegistry> {
+        &self.registry
+    }
+
+    /// The daemon's observability hub.
+    pub fn hub(&self) -> &Arc<ObsHub> {
+        &self.hub
+    }
+
+    /// Asks the serve loop to stop after the current connection.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Monotonic daemon clock, in nanoseconds since construction (the
+    /// rate limiter's time base).
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn journal(&self, core: &mut Core, record: WalRecord) -> Result<(), StoreError> {
+        let kind = record.kind();
+        let bytes = core.store.record(record)?;
+        self.hub.record(self.scope, TraceEventKind::WalAppended { kind: kind.into(), bytes });
+        core.appends_since_compact += 1;
+        if self.config.compact_every > 0 && core.appends_since_compact >= self.config.compact_every
+        {
+            self.compact_core(core);
+        }
+        Ok(())
+    }
+
+    fn compact_core(&self, core: &mut Core) {
+        let alert_seq = core.pool.alert_seq();
+        match core.store.compact(alert_seq) {
+            Ok(records) => {
+                core.appends_since_compact = 0;
+                self.hub
+                    .record(self.scope, TraceEventKind::SnapshotCompacted { records, alert_seq });
+            }
+            Err(e) => {
+                // A failed compaction is not fatal: the WAL still holds
+                // everything; surface it and carry on.
+                self.warm_noop(&e);
+            }
+        }
+    }
+
+    // Compaction failures have nowhere synchronous to go; record them
+    // on the trace so the flight recorder keeps the evidence.
+    fn warm_noop(&self, e: &StoreError) {
+        self.hub.record(
+            self.scope,
+            TraceEventKind::RequestServed { kind: format!("compact-failed: {e}"), error: true },
+        );
+    }
+
+    /// Drains the pool's alert stream into the recent ring and journals
+    /// an `AlertMark` when the high-water mark advanced.
+    fn sync_alerts(&self, core: &mut Core) {
+        let alerts = core.pool.drain_alerts();
+        for alert in alerts {
+            if core.recent_alerts.len() == RECENT_ALERTS_CAP {
+                core.recent_alerts.pop_front();
+            }
+            core.recent_alerts.push_back(alert);
+        }
+        let seq = core.pool.alert_seq();
+        if seq > core.alert_mark && self.journal(core, WalRecord::AlertMark { seq }).is_ok() {
+            core.alert_mark = seq;
+        }
+    }
+
+    /// Diffs a tenant's reported state against the journal mirror and
+    /// appends a `StateChange` when anything protective moved.
+    fn sync_tenant_state(
+        &self,
+        core: &mut Core,
+        tenant: u64,
+        quarantined: bool,
+        degraded: bool,
+        rollbacks_delta: u32,
+    ) {
+        let prev = core.mirror.get(&tenant).copied().unwrap_or_default();
+        let next = MirrorState {
+            quarantined,
+            degraded,
+            rollbacks: prev.rollbacks.saturating_add(rollbacks_delta),
+        };
+        if next != prev {
+            let record = WalRecord::StateChange {
+                tenant,
+                quarantined: next.quarantined,
+                degraded: next.degraded,
+                rollbacks_used: next.rollbacks,
+            };
+            if self.journal(core, record).is_ok() {
+                core.mirror.insert(tenant, next);
+            }
+        }
+    }
+
+    /// Serves one request. This is the whole protocol: transport code
+    /// only frames and unframes around this call.
+    pub fn handle(&self, req: &Request) -> Response {
+        let id = req.id;
+        if req.v != PROTOCOL_VERSION {
+            return err(
+                id,
+                ErrCode::Version,
+                format!("daemon speaks protocol {PROTOCOL_VERSION}, request said {}", req.v),
+            );
+        }
+        let Some(identity) = self.config.auth.identify(req.auth.as_deref()) else {
+            return self
+                .served(err(id, ErrCode::Unauthorized, "unrecognized token".into()), &req.body);
+        };
+        if req.body.is_admin() && !self.config.auth.allows_admin(identity) {
+            return self
+                .served(err(id, ErrCode::Unauthorized, "admin token required".into()), &req.body);
+        }
+        let resp = self.dispatch(id, identity, &req.body);
+        self.served(resp, &req.body)
+    }
+
+    fn served(&self, resp: Response, body: &RequestBody) -> Response {
+        let error = matches!(resp.body, ResponseBody::Error { .. });
+        self.hub
+            .record(self.scope, TraceEventKind::RequestServed { kind: body.kind().into(), error });
+        self.core.lock().requests_served += 1;
+        resp
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(&self, id: u64, identity: crate::auth::Identity, body: &RequestBody) -> Response {
+        match body {
+            RequestBody::Ping => ok(
+                id,
+                ResponseBody::Pong {
+                    server: env!("CARGO_PKG_VERSION").into(),
+                    protocol: PROTOCOL_VERSION,
+                },
+            ),
+            RequestBody::PublishSpec { device, version, spec_json } => {
+                match self.registry.publish_json(*device, *version, spec_json) {
+                    Ok(key) => {
+                        let epoch = self.registry.epoch(*device, *version);
+                        // Journal the *stored* form so a restart
+                        // restores revisions byte-identically.
+                        let canonical =
+                            self.registry.export_json(&key).unwrap_or_else(|| spec_json.clone());
+                        let mut core = self.core.lock();
+                        let record = WalRecord::Publish {
+                            device: *device,
+                            version: *version,
+                            digest: key.digest.0,
+                            epoch,
+                            spec_json: canonical,
+                        };
+                        match self.journal(&mut core, record) {
+                            Ok(()) => ok(id, ResponseBody::Published { key, epoch }),
+                            Err(e) => err(id, ErrCode::Store, e.to_string()),
+                        }
+                    }
+                    Err(e @ PublishJsonError::Parse(_)) => {
+                        err(id, ErrCode::BadRequest, e.to_string())
+                    }
+                    Err(e @ PublishJsonError::Rejected(_)) => {
+                        err(id, ErrCode::SpecRejected, e.to_string())
+                    }
+                }
+            }
+            RequestBody::AddTenant { config } => {
+                let mut core = self.core.lock();
+                match core.pool.add_tenant(config.clone()) {
+                    Ok(()) => {
+                        let tenant = config.tenant.0;
+                        let record = WalRecord::TenantHosted { config: config.clone() };
+                        match self.journal(&mut core, record) {
+                            Ok(()) => {
+                                core.mirror.entry(tenant).or_default();
+                                ok(id, ResponseBody::TenantAdded { tenant })
+                            }
+                            Err(e) => err(id, ErrCode::Store, e.to_string()),
+                        }
+                    }
+                    Err(e) => err(id, ErrCode::Pool, e.to_string()),
+                }
+            }
+            RequestBody::SubmitBatch { tenant, steps } => {
+                if !self.config.auth.allows_tenant(identity, *tenant) {
+                    return err(
+                        id,
+                        ErrCode::Unauthorized,
+                        format!("token not admitted for tenant-{tenant}"),
+                    );
+                }
+                let mut core = self.core.lock();
+                let cost = (steps.len() as u64).max(1);
+                let now = self.now_ns();
+                if let Err(wait_ms) = core.limiter.take(*tenant, cost, now) {
+                    return err(
+                        id,
+                        ErrCode::RateLimited,
+                        format!("tenant-{tenant} over rate; retry in ~{wait_ms}ms"),
+                    );
+                }
+                match core.pool.run_batch_reliable(TenantId(*tenant), steps) {
+                    Ok((report, _retries)) => {
+                        self.sync_alerts(&mut core);
+                        self.sync_tenant_state(
+                            &mut core,
+                            *tenant,
+                            report.quarantined,
+                            report.degraded,
+                            report.rollbacks,
+                        );
+                        ok(id, ResponseBody::Batch { report })
+                    }
+                    Err(e) => err(id, ErrCode::Pool, e.to_string()),
+                }
+            }
+            RequestBody::TenantStatus { tenant } => {
+                if !self.config.auth.allows_tenant(identity, *tenant) {
+                    return err(
+                        id,
+                        ErrCode::Unauthorized,
+                        format!("token not admitted for tenant-{tenant}"),
+                    );
+                }
+                let core = self.core.lock();
+                let report = core.pool.report();
+                match report.tenants().into_iter().find(|t| t.tenant.0 == *tenant) {
+                    Some(status) => ok(id, ResponseBody::Status { status: status.clone() }),
+                    None => err(
+                        id,
+                        ErrCode::Pool,
+                        PoolError::UnknownTenant(TenantId(*tenant)).to_string(),
+                    ),
+                }
+            }
+            RequestBody::FleetStatus => {
+                let mut core = self.core.lock();
+                self.sync_alerts(&mut core);
+                let report = core.pool.report();
+                let alert_seq = core.pool.alert_seq();
+                let recent_alerts: Vec<AlertEvent> = core
+                    .recent_alerts
+                    .iter()
+                    .rev()
+                    .take(RECENT_ALERTS_REPLY)
+                    .rev()
+                    .cloned()
+                    .collect();
+                ok(id, ResponseBody::Fleet { report, alert_seq, recent_alerts })
+            }
+            RequestBody::Quarantine { tenant } | RequestBody::Release { tenant } => {
+                let on = matches!(body, RequestBody::Quarantine { .. });
+                let mut core = self.core.lock();
+                match core.pool.set_quarantine(TenantId(*tenant), on) {
+                    Ok(was) => {
+                        let degraded = core.mirror.get(tenant).is_some_and(|m| m.degraded);
+                        let rollbacks = if on {
+                            core.mirror.get(tenant).map_or(0, |m| m.rollbacks)
+                        } else {
+                            0 // release restores the budget
+                        };
+                        let record = WalRecord::StateChange {
+                            tenant: *tenant,
+                            quarantined: on,
+                            degraded,
+                            rollbacks_used: rollbacks,
+                        };
+                        match self.journal(&mut core, record) {
+                            Ok(()) => {
+                                core.mirror.insert(
+                                    *tenant,
+                                    MirrorState { quarantined: on, degraded, rollbacks },
+                                );
+                                ok(
+                                    id,
+                                    ResponseBody::QuarantineSet {
+                                        tenant: *tenant,
+                                        quarantined: on,
+                                        was_quarantined: was,
+                                    },
+                                )
+                            }
+                            Err(e) => err(id, ErrCode::Store, e.to_string()),
+                        }
+                    }
+                    Err(e) => err(id, ErrCode::Pool, e.to_string()),
+                }
+            }
+            RequestBody::Metrics => ok(
+                id,
+                ResponseBody::MetricsText { prometheus: self.hub.metrics().render_prometheus() },
+            ),
+            RequestBody::Doctor => ok(id, ResponseBody::Doctor { health: self.health() }),
+            RequestBody::Shutdown => {
+                self.request_shutdown();
+                ok(id, ResponseBody::ShuttingDown)
+            }
+        }
+    }
+
+    /// The daemon's self-reported health section.
+    pub fn health(&self) -> ServerHealth {
+        let core = self.core.lock();
+        let report = core.pool.report();
+        let shards = core.pool.shard_count();
+        let shards_alive = (0..shards).filter(|s| core.pool.shard_alive(*s)).count();
+        ServerHealth {
+            server: env!("CARGO_PKG_VERSION").into(),
+            protocol: PROTOCOL_VERSION,
+            channels: self.registry.channel_count(),
+            revisions: self.registry.revision_count(),
+            tenants: report.tenant_count(),
+            quarantined: report.quarantined_count(),
+            degraded: report.degraded_count(),
+            shards_alive,
+            shards,
+            alert_seq: core.pool.alert_seq(),
+            wal_records: core.store.records_appended(),
+            wal_bytes: core.store.bytes_appended(),
+            compactions: core.store.compactions(),
+            requests: core.requests_served,
+        }
+    }
+
+    /// Serves one connection: frames in, [`Daemon::handle`], frames
+    /// out, until the peer closes or a framing error desyncs the
+    /// stream.
+    fn serve_conn<S: Read + Write>(&self, stream: &mut S) {
+        loop {
+            let req = match read_request(stream) {
+                Ok(req) => req,
+                Err(ProtoError::Closed) => return,
+                Err(ProtoError::Malformed(m)) => {
+                    // Best-effort error frame, then drop the connection:
+                    // after a malformed frame the stream may be desynced.
+                    let _ = write_response(stream, &err(0, ErrCode::BadRequest, m));
+                    return;
+                }
+                Err(_) => return,
+            };
+            let resp = self.handle(&req);
+            let stop = matches!(resp.body, ResponseBody::ShuttingDown);
+            if write_response(stream, &resp).is_err() || stop {
+                return;
+            }
+        }
+    }
+
+    /// Binds the configured endpoints and serves until shutdown, then
+    /// compacts the store (persisting the alert-seq high-water mark)
+    /// and removes the socket file.
+    ///
+    /// # Errors
+    ///
+    /// [`DaemonError::NoEndpoint`] with nothing to bind;
+    /// [`DaemonError::Bind`] when an endpoint cannot be bound.
+    pub fn run(&self) -> Result<(), DaemonError> {
+        let uds = match &self.config.socket {
+            Some(path) => {
+                // A stale socket file from a killed daemon blocks bind.
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let listener = UnixListener::bind(path)
+                    .map_err(|e| DaemonError::Bind(path.display().to_string(), e))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| DaemonError::Bind(path.display().to_string(), e))?;
+                Some(listener)
+            }
+            None => None,
+        };
+        let tcp = match &self.config.tcp {
+            Some(addr) => {
+                let listener =
+                    TcpListener::bind(addr).map_err(|e| DaemonError::Bind(addr.clone(), e))?;
+                listener.set_nonblocking(true).map_err(|e| DaemonError::Bind(addr.clone(), e))?;
+                Some(listener)
+            }
+            None => None,
+        };
+        if uds.is_none() && tcp.is_none() {
+            return Err(DaemonError::NoEndpoint);
+        }
+
+        while !self.shutting_down() {
+            let mut idle = true;
+            if let Some(listener) = &uds {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        idle = false;
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                        self.serve_conn(&mut stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
+            if let Some(listener) = &tcp {
+                match listener.accept() {
+                    Ok((mut stream, _)) => {
+                        idle = false;
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                        self.serve_conn(&mut stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
+            if idle {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+
+        // Graceful exit: fold the journal (lifting the alert mark into
+        // the snapshot header) and clean up the socket file.
+        {
+            let mut core = self.core.lock();
+            self.sync_alerts(&mut core);
+            self.compact_core(&mut core);
+        }
+        if let Some(path) = &self.config.socket {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+fn describe_endpoint(config: &DaemonConfig) -> String {
+    match (&config.socket, &config.tcp) {
+        (Some(s), Some(t)) => format!("unix:{} + tcp:{t}", s.display()),
+        (Some(s), None) => format!("unix:{}", s.display()),
+        (None, Some(t)) => format!("tcp:{t}"),
+        (None, None) => "unbound".into(),
+    }
+}
+
+fn ok(id: u64, body: ResponseBody) -> Response {
+    Response { v: PROTOCOL_VERSION, id, body }
+}
+
+fn err(id: u64, code: ErrCode, message: String) -> Response {
+    Response { v: PROTOCOL_VERSION, id, body: ResponseBody::Error { code, message } }
+}

@@ -1,0 +1,193 @@
+//! `sedspec ctl doctor`: a versioned JSON self-check combining
+//! client-side probes (socket reachability, store CRC scan) with the
+//! daemon's own health section when it answers.
+//!
+//! The report is designed to be useful even when the daemon is down or
+//! the store is damaged: every section degrades independently, and
+//! [`DoctorReport::healthy`] is the conjunction of whatever sections
+//! were checkable.
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::client::CtlClient;
+use crate::proto::{ServerHealth, PROTOCOL_VERSION};
+use crate::store::{scan, IntegrityReport};
+use crate::wal::WAL_FORMAT_VERSION;
+
+/// Doctor report schema version.
+pub const DOCTOR_REPORT_VERSION: u32 = 1;
+
+/// Result of probing one endpoint with a `Ping`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocketCheck {
+    /// What was probed (`unix:<path>` or `tcp:<addr>`).
+    pub endpoint: String,
+    /// Whether a well-formed `Pong` came back.
+    pub reachable: bool,
+    /// The daemon's build version, when reachable.
+    pub server: Option<String>,
+    /// The daemon's protocol version, when reachable.
+    pub protocol: Option<u32>,
+    /// Failure detail, when unreachable.
+    pub detail: Option<String>,
+}
+
+/// Versions baked into this ctl binary, for cross-checking against the
+/// daemon's.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientVersions {
+    /// `sedspecd` crate version (shims are vendored in-workspace at
+    /// the same version).
+    pub package: String,
+    /// Wire protocol version this client speaks.
+    pub protocol: u32,
+    /// WAL/snapshot format version this client scans.
+    pub wal_format: u32,
+}
+
+impl ClientVersions {
+    /// The versions compiled into this binary.
+    pub fn current() -> Self {
+        ClientVersions {
+            package: env!("CARGO_PKG_VERSION").into(),
+            protocol: PROTOCOL_VERSION,
+            wal_format: WAL_FORMAT_VERSION,
+        }
+    }
+}
+
+/// The full `ctl doctor` output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoctorReport {
+    /// [`DOCTOR_REPORT_VERSION`].
+    pub report_version: u32,
+    /// This binary's versions.
+    pub client: ClientVersions,
+    /// Endpoint probe, when an endpoint was given.
+    pub socket: Option<SocketCheck>,
+    /// Store CRC scan, when a store directory was given.
+    pub store: Option<IntegrityReport>,
+    /// The daemon's own health section, when reachable.
+    pub server: Option<ServerHealth>,
+    /// Overall verdict (see [`DoctorReport::healthy`]).
+    pub healthy: bool,
+}
+
+impl DoctorReport {
+    /// Conjunction of every checkable section: a probed endpoint must
+    /// be reachable with a matching protocol, a scanned store must be
+    /// intact, and a reachable daemon must report all shards alive.
+    fn verdict(
+        socket: Option<&SocketCheck>,
+        store: Option<&IntegrityReport>,
+        server: Option<&ServerHealth>,
+    ) -> bool {
+        let socket_ok = socket.is_none_or(|s| s.reachable && s.protocol == Some(PROTOCOL_VERSION));
+        let store_ok = store.is_none_or(IntegrityReport::healthy);
+        let server_ok = server.is_none_or(|h| h.shards_alive == h.shards);
+        socket_ok && store_ok && server_ok
+    }
+}
+
+/// Runs the doctor: probes `endpoint` (when given) with a `Ping` and a
+/// `Doctor` request, scans `store_dir` (when given) client-side, and
+/// folds everything into one versioned report. Never fails — failures
+/// become unhealthy sections.
+pub fn run_doctor(
+    socket: Option<&Path>,
+    tcp: Option<&str>,
+    store_dir: Option<&Path>,
+    token: Option<&str>,
+) -> DoctorReport {
+    let mut server = None;
+    let socket_check = match (socket, tcp) {
+        (Some(path), _) => Some(probe(
+            &format!("unix:{}", path.display()),
+            CtlClient::connect_unix(path),
+            token,
+            &mut server,
+        )),
+        (None, Some(addr)) => {
+            Some(probe(&format!("tcp:{addr}"), CtlClient::connect_tcp(addr), token, &mut server))
+        }
+        (None, None) => None,
+    };
+    let store = store_dir.and_then(|dir| scan(dir).ok());
+    let healthy = DoctorReport::verdict(socket_check.as_ref(), store.as_ref(), server.as_ref());
+    DoctorReport {
+        report_version: DOCTOR_REPORT_VERSION,
+        client: ClientVersions::current(),
+        socket: socket_check,
+        store,
+        server,
+        healthy,
+    }
+}
+
+fn probe(
+    endpoint: &str,
+    connected: Result<CtlClient, crate::client::ClientError>,
+    token: Option<&str>,
+    server: &mut Option<ServerHealth>,
+) -> SocketCheck {
+    let mut check = SocketCheck {
+        endpoint: endpoint.into(),
+        reachable: false,
+        server: None,
+        protocol: None,
+        detail: None,
+    };
+    let mut client = match connected {
+        Ok(c) => c.with_auth(token.map(String::from)),
+        Err(e) => {
+            check.detail = Some(e.to_string());
+            return check;
+        }
+    };
+    match client.ping() {
+        Ok((version, protocol)) => {
+            check.reachable = true;
+            check.server = Some(version);
+            check.protocol = Some(protocol);
+        }
+        Err(e) => {
+            check.detail = Some(e.to_string());
+            return check;
+        }
+    }
+    // Health is best-effort: an auth-guarded daemon may refuse it.
+    match client.server_health() {
+        Ok(health) => *server = Some(health),
+        Err(e) => check.detail = Some(format!("health: {e}")),
+    }
+    check
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doctor_with_nothing_to_check_is_healthy() {
+        let report = run_doctor(None, None, None, None);
+        assert!(report.healthy);
+        assert_eq!(report.report_version, DOCTOR_REPORT_VERSION);
+        assert_eq!(report.client.protocol, PROTOCOL_VERSION);
+        // The report is wire-stable JSON.
+        let json = serde_json::to_string(&report).unwrap();
+        let back: DoctorReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn unreachable_socket_is_unhealthy_with_detail() {
+        let missing = std::env::temp_dir().join("sedspecd-doctor-no-such.sock");
+        let report = run_doctor(Some(&missing), None, None, None);
+        assert!(!report.healthy);
+        let socket = report.socket.unwrap();
+        assert!(!socket.reachable);
+        assert!(socket.detail.is_some());
+    }
+}

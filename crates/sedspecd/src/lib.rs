@@ -1,0 +1,44 @@
+//! `sedspecd` — enforcement as a service.
+//!
+//! The paper's deployment story ships execution specifications to the
+//! machines that enforce them; the fleet crates give one *process* a
+//! registry and an enforcement pool. This crate gives those a service
+//! boundary: a long-running daemon that owns both, speaks a versioned
+//! length-prefixed JSON protocol over a Unix domain socket (TCP behind
+//! a flag), and journals every committed fact — published revisions,
+//! hosted tenants, quarantine/degradation transitions, the alert
+//! sequence high-water mark — to a CRC-framed write-ahead log with
+//! periodic snapshot compaction. A restart (graceful or `kill -9`)
+//! warm-loads every tenant's specs, channel epochs, and quarantine
+//! state from the store.
+//!
+//! Module map:
+//!
+//! - [`proto`] — frame codec and request/response types;
+//! - [`wal`] — CRC-32 framed records, replay with truncated-tail
+//!   tolerance, atomic snapshots;
+//! - [`store`] — directory layout, journal mirror, semantic compaction,
+//!   integrity scan;
+//! - [`auth`] — admission tokens and the per-tenant token bucket;
+//! - [`daemon`] — the server: warm load, dispatch, serve loop;
+//! - [`client`] — the ctl client library;
+//! - [`doctor`] — the combined client/server self-check report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod client;
+pub mod daemon;
+pub mod doctor;
+pub mod proto;
+pub mod store;
+pub mod wal;
+
+pub use auth::{AuthConfig, RateLimitConfig};
+pub use client::{ClientError, CtlClient};
+pub use daemon::{Daemon, DaemonConfig, DaemonError};
+pub use doctor::{run_doctor, DoctorReport};
+pub use proto::{ErrCode, Request, RequestBody, Response, ResponseBody, PROTOCOL_VERSION};
+pub use store::{DurableStore, IntegrityReport, StoreError};
+pub use wal::{WalRecord, WAL_FORMAT_VERSION};

@@ -1,0 +1,143 @@
+//! Property-based crash-recovery tests for the daemon's WAL.
+//!
+//! The durability contract under test: whatever damage a crash does to
+//! the *tail* of the log — a torn (incomplete) final frame, or bytes
+//! corrupted in flight — replay recovers **exactly** the longest prefix
+//! of fully committed records, never garbage and never a record beyond
+//! the damage.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use sedspec_devices::{DeviceKind, QemuVersion};
+use sedspec_fleet::pool::TenantConfig;
+use sedspecd::wal::{replay, Wal, WalRecord};
+
+fn temp_path(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sedspecd-walprop-{}-{tag}-{n}.log", std::process::id()))
+}
+
+/// Arbitrary journal records covering every variant, with `Publish`
+/// payloads of varying size so frame boundaries land in varied places.
+fn record_strategy() -> impl Strategy<Value = WalRecord> {
+    prop_oneof![
+        (0u64..8, any::<bool>(), any::<bool>(), 0u32..4).prop_map(
+            |(tenant, quarantined, degraded, rollbacks_used)| WalRecord::StateChange {
+                tenant,
+                quarantined,
+                degraded,
+                rollbacks_used,
+            }
+        ),
+        (1u64..10_000).prop_map(|seq| WalRecord::AlertMark { seq }),
+        (0u64..8).prop_map(|t| WalRecord::TenantHosted { config: TenantConfig::new(t) }),
+        (any::<u64>(), 1u64..6, 0usize..200).prop_map(|(digest, epoch, pad)| {
+            WalRecord::Publish {
+                device: DeviceKind::Fdc,
+                version: QemuVersion::Patched,
+                digest,
+                epoch,
+                spec_json: format!("{{\"pad\":\"{}\"}}", "x".repeat(pad)),
+            }
+        }),
+    ]
+}
+
+/// Appends `records`, returning the cumulative byte offset after each
+/// frame (so tests know where frame boundaries are).
+fn write_log(path: &Path, records: &[WalRecord]) -> Vec<u64> {
+    let mut wal = Wal::open(path).unwrap();
+    let mut ends = Vec::with_capacity(records.len());
+    let mut at = 0u64;
+    for record in records {
+        at += wal.append(record).unwrap();
+        ends.push(at);
+    }
+    ends
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Truncating the log anywhere recovers exactly the records whose
+    /// frames survived whole — the committed prefix.
+    #[test]
+    fn truncation_recovers_exact_prefix(
+        records in proptest::collection::vec(record_strategy(), 1..12),
+        keep_ratio in 0.0f64..1.0,
+    ) {
+        let path = temp_path("trunc");
+        let ends = write_log(&path, &records);
+        let total = *ends.last().unwrap();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let keep = ((total as f64) * keep_ratio) as u64;
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..keep as usize]).unwrap();
+
+        let survivors = ends.iter().filter(|&&end| end <= keep).count();
+        let (got, stats) = replay(&path).unwrap();
+        prop_assert_eq!(&got[..], &records[..survivors]);
+        prop_assert_eq!(stats.records, survivors as u64);
+        let on_boundary = keep == 0 || ends.contains(&keep);
+        if on_boundary {
+            prop_assert!(stats.clean(), "cut on a frame boundary must replay clean");
+        } else {
+            prop_assert!(stats.truncated_tail, "a torn frame must be reported");
+            prop_assert!(!stats.corrupt_tail);
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    /// Flipping any single bit anywhere in the log recovers exactly the
+    /// records of the frames before the damaged one. (CRC-32 detects
+    /// every single-bit error; a flipped length prefix is caught as a
+    /// torn or oversized frame instead.)
+    #[test]
+    fn bit_flip_recovers_prefix_before_damage(
+        records in proptest::collection::vec(record_strategy(), 1..10),
+        pos_ratio in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let path = temp_path("flip");
+        let ends = write_log(&path, &records);
+        let mut bytes = fs::read(&path).unwrap();
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let pos = ((bytes.len() as f64) * pos_ratio) as usize;
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] ^= 1 << bit;
+        fs::write(&path, &bytes).unwrap();
+
+        // Index of the frame containing the flipped byte.
+        let damaged = ends.iter().filter(|&&end| end <= pos as u64).count();
+        let (got, stats) = replay(&path).unwrap();
+        prop_assert_eq!(&got[..], &records[..damaged]);
+        prop_assert!(
+            !stats.clean(),
+            "a flipped bit must surface as a truncated or corrupt tail"
+        );
+        fs::remove_file(&path).unwrap();
+    }
+
+    /// Undamaged logs always replay complete and clean, whatever the
+    /// record mix.
+    #[test]
+    fn intact_logs_replay_complete(
+        records in proptest::collection::vec(record_strategy(), 0..12),
+    ) {
+        let path = temp_path("intact");
+        if records.is_empty() {
+            let (got, stats) = replay(&path).unwrap();
+            prop_assert!(got.is_empty() && stats.clean());
+        } else {
+            write_log(&path, &records);
+            let (got, stats) = replay(&path).unwrap();
+            prop_assert_eq!(got, records);
+            prop_assert!(stats.clean());
+            fs::remove_file(&path).unwrap();
+        }
+    }
+}
