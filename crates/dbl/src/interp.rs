@@ -147,6 +147,16 @@ pub struct NullHook;
 
 impl ExecHook for NullHook {}
 
+/// Reusable per-invocation interpreter scratch (handler locals and the
+/// indirect-call return stack). Dispatch loops that service millions of
+/// requests hold one of these so the steady state allocates nothing;
+/// one-shot callers can let [`Interpreter::run`] create a throwaway.
+#[derive(Debug, Default, Clone)]
+pub struct ExecScratch {
+    locals: Vec<TypedValue>,
+    call_stack: Vec<BlockId>,
+}
+
 /// Evaluation context: everything an [`Expr`] can read.
 #[derive(Debug)]
 pub struct EvalCtx<'a> {
@@ -260,6 +270,69 @@ pub fn eval_expr(
     })
 }
 
+/// Evaluates `e` when it is a non-recursing leaf, `None` otherwise.
+#[inline]
+fn eval_leaf_expr(e: &Expr, ctx: &EvalCtx<'_>) -> Option<TypedValue> {
+    Some(match e {
+        Expr::Const(v) => TypedValue::u64(*v),
+        Expr::Var(v) => ctx.cs.var_typed(*v),
+        Expr::Local(l) => ctx.locals.get(l.0 as usize).copied().unwrap_or(TypedValue::u64(0)),
+        Expr::IoData => TypedValue::u64(ctx.io.data),
+        Expr::IoAddr => TypedValue::u64(ctx.io.addr),
+        Expr::IoSize => TypedValue::u64(u64::from(ctx.io.size)),
+        Expr::IoLen => TypedValue::u64(ctx.io.payload.len() as u64),
+        _ => return None,
+    })
+}
+
+/// [`eval_expr`] with the dominant handler shapes — a bare leaf, a
+/// unary over a leaf, a binary over two leaves — evaluated inline
+/// without recursing through the boxed tree. Deeper trees fall back to
+/// the general evaluator; results are bit-identical either way (the
+/// literal-typing rule is replicated from [`eval_expr`]'s binary arm).
+///
+/// Device dispatch loops call this; the ES-Checker's interpreted
+/// reference walk deliberately stays on plain [`eval_expr`].
+#[inline]
+fn eval_expr_fast(
+    e: &Expr,
+    ctx: &EvalCtx<'_>,
+    flags: &mut OverflowFlags,
+) -> Result<TypedValue, EvalError> {
+    match e {
+        Expr::Unary(op, a) => {
+            if let Some(v) = eval_leaf_expr(a, ctx) {
+                return Ok(apply_unop(*op, v));
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            if let (Some(mut va), Some(mut vb)) = (eval_leaf_expr(a, ctx), eval_leaf_expr(b, ctx)) {
+                match (&**a, &**b) {
+                    (Expr::Const(_), Expr::Const(_)) => {}
+                    (Expr::Const(c), _) if fits(*c, vb) => {
+                        va = TypedValue { bits: *c, width: vb.width, signed: vb.signed }
+                    }
+                    (_, Expr::Const(c)) if fits(*c, va) => {
+                        vb = TypedValue { bits: *c, width: va.width, signed: va.signed }
+                    }
+                    _ => {}
+                }
+                let (v, of) = apply_binop(*op, va, vb).map_err(EvalError::Arith)?;
+                if of == OverflowKind::Arithmetic {
+                    flags.arithmetic = true;
+                }
+                return Ok(v);
+            }
+        }
+        _ => {
+            if let Some(v) = eval_leaf_expr(e, ctx) {
+                return Ok(v);
+            }
+        }
+    }
+    eval_expr(e, ctx, flags)
+}
+
 /// The DBL interpreter for one program.
 #[derive(Debug)]
 pub struct Interpreter<'p> {
@@ -295,10 +368,32 @@ impl<'p> Interpreter<'p> {
         req: &IoRequest,
         hook: &mut dyn ExecHook,
     ) -> Result<ExecOutcome, Fault> {
+        self.run_scratch(state, ctx, req, hook, &mut ExecScratch::default())
+    }
+
+    /// Runs the handler for one I/O request on caller-provided scratch.
+    ///
+    /// Generic over the hook so a [`NullHook`] run monomorphizes with
+    /// every observer callback compiled out, and allocation-free in the
+    /// steady state: `scratch` keeps the locals/call-stack capacity
+    /// across invocations.
+    ///
+    /// # Errors
+    ///
+    /// See [`Interpreter::run`].
+    pub fn run_scratch<H: ExecHook + ?Sized>(
+        &self,
+        state: &mut CsState,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+        hook: &mut H,
+        scratch: &mut ExecScratch,
+    ) -> Result<ExecOutcome, Fault> {
         let mut out = ExecOutcome::default();
-        let mut locals: Vec<TypedValue> =
-            self.prog.locals.iter().map(|&(_, w)| TypedValue::unsigned(0, w)).collect();
-        let mut call_stack: Vec<BlockId> = Vec::new();
+        let ExecScratch { locals, call_stack } = scratch;
+        locals.clear();
+        locals.extend(self.prog.locals.iter().map(|&(_, w)| TypedValue::unsigned(0, w)));
+        call_stack.clear();
         let mut cur = self.prog.entry;
 
         loop {
@@ -310,18 +405,15 @@ impl<'p> Interpreter<'p> {
             hook.on_block_enter(cur, blk.kind);
 
             for stmt in &blk.stmts {
-                self.exec_stmt(stmt, state, ctx, req, &mut locals, &mut out, hook)?;
+                self.exec_stmt(stmt, state, ctx, req, locals, &mut out, hook)?;
             }
 
             match &blk.term {
                 Terminator::Jump(b) => cur = *b,
                 Terminator::Branch { cond, taken, not_taken } => {
                     let mut flags = OverflowFlags::clear();
-                    let v = eval_expr(
-                        cond,
-                        &EvalCtx { cs: state, locals: &locals, io: req },
-                        &mut flags,
-                    )?;
+                    let v =
+                        eval_expr_fast(cond, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
                     out.overflow.merge(flags);
                     let t = v.is_true();
                     hook.on_cond_branch(cur, t);
@@ -329,9 +421,9 @@ impl<'p> Interpreter<'p> {
                 }
                 Terminator::Switch { scrutinee, arms, default } => {
                     let mut flags = OverflowFlags::clear();
-                    let v = eval_expr(
+                    let v = eval_expr_fast(
                         scrutinee,
-                        &EvalCtx { cs: state, locals: &locals, io: req },
+                        &EvalCtx { cs: state, locals, io: req },
                         &mut flags,
                     )?;
                     out.overflow.merge(flags);
@@ -368,7 +460,7 @@ impl<'p> Interpreter<'p> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_stmt(
+    fn exec_stmt<H: ExecHook + ?Sized>(
         &self,
         stmt: &Stmt,
         state: &mut CsState,
@@ -376,12 +468,12 @@ impl<'p> Interpreter<'p> {
         req: &IoRequest,
         locals: &mut [TypedValue],
         out: &mut ExecOutcome,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
     ) -> Result<(), Fault> {
         let mut flags = OverflowFlags::clear();
         match stmt {
             Stmt::SetVar(v, e) => {
-                let val = eval_expr(e, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let val = eval_expr_fast(e, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
                 let decl = self.decl.var_decl(*v);
                 let (conv, truncated) = val.convert(decl.width, decl.signed);
                 if truncated {
@@ -399,7 +491,7 @@ impl<'p> Interpreter<'p> {
                 hook.on_var_write(*v, old, conv.bits, kind);
             }
             Stmt::SetLocal(l, e) => {
-                let val = eval_expr(e, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let val = eval_expr_fast(e, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
                 let w = self.prog.locals[l.0 as usize].1;
                 let (conv, truncated) = val.convert(w, false);
                 if truncated {
@@ -408,8 +500,8 @@ impl<'p> Interpreter<'p> {
                 locals[l.0 as usize] = conv;
             }
             Stmt::BufStore(b, idx, val) => {
-                let i = eval_expr(idx, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
-                let v = eval_expr(val, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let i = eval_expr_fast(idx, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let v = eval_expr_fast(val, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
                 let index = i.as_i128() as i64;
                 let effect = state.buf_write(*b, index, v.bits as u8)?;
                 if effect == AccessEffect::Spilled {
@@ -418,13 +510,14 @@ impl<'p> Interpreter<'p> {
                 hook.on_buf_store(*b, index, effect);
             }
             Stmt::BufFill(b, val) => {
-                let v = eval_expr(val, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
+                let v = eval_expr_fast(val, &EvalCtx { cs: state, locals, io: req }, &mut flags)?;
                 state.buf_fill(*b, v.bits as u8);
             }
             Stmt::CopyPayload { buf, buf_off, len } => {
-                let off = eval_expr(buf_off, &EvalCtx { cs: state, locals, io: req }, &mut flags)?
-                    .as_i128() as i64;
-                let n = eval_expr(len, &EvalCtx { cs: state, locals, io: req }, &mut flags)?
+                let off =
+                    eval_expr_fast(buf_off, &EvalCtx { cs: state, locals, io: req }, &mut flags)?
+                        .as_i128() as i64;
+                let n = eval_expr_fast(len, &EvalCtx { cs: state, locals, io: req }, &mut flags)?
                     .as_i128()
                     .max(0) as i64;
                 for k in 0..n {
@@ -445,7 +538,7 @@ impl<'p> Interpreter<'p> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_intrinsic(
+    fn exec_intrinsic<H: ExecHook + ?Sized>(
         &self,
         i: &Intrinsic,
         state: &mut CsState,
@@ -453,11 +546,11 @@ impl<'p> Interpreter<'p> {
         req: &IoRequest,
         locals: &mut [TypedValue],
         out: &mut ExecOutcome,
-        hook: &mut dyn ExecHook,
+        hook: &mut H,
         flags: &mut OverflowFlags,
     ) -> Result<(), Fault> {
         let ev = |e: &Expr, state: &CsState, locals: &[TypedValue], flags: &mut OverflowFlags| {
-            eval_expr(e, &EvalCtx { cs: state, locals, io: req }, flags)
+            eval_expr_fast(e, &EvalCtx { cs: state, locals, io: req }, flags)
         };
         match i {
             Intrinsic::DmaToBuf { buf, buf_off, gpa, len } => {

@@ -554,12 +554,21 @@ impl CsState {
     /// journal. Afterwards the arena is byte-identical to its state
     /// before the first logged write.
     pub fn undo(&mut self, journal: &mut CsJournal) {
-        for e in journal.entries.iter().rev() {
+        self.undo_to(journal, 0);
+    }
+
+    /// Rolls back journaled writes in reverse order down to (but not
+    /// including) entry `mark`, truncating the journal to `mark`. With
+    /// `mark == 0` this is a full [`CsState::undo`]; batched checking
+    /// uses a non-zero watermark to abort one open round while keeping
+    /// the batch's already-accepted prefix journaled.
+    pub fn undo_to(&mut self, journal: &mut CsJournal, mark: usize) {
+        for e in journal.entries[mark..].iter().rev() {
             let off = e.off as usize;
             let n = e.len as usize;
             self.arena[off..off + n].copy_from_slice(&e.old.to_le_bytes()[..n]);
         }
-        journal.clear();
+        journal.entries.truncate(mark);
     }
 
     /// Copies another instance's arena contents into this one without

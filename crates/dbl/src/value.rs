@@ -125,6 +125,7 @@ impl std::fmt::Display for ArithError {
 impl std::error::Error for ArithError {}
 
 /// Applies a unary operator.
+#[inline]
 pub fn apply_unop(op: UnOp, a: TypedValue) -> TypedValue {
     let bits = match op {
         UnOp::Not => !a.bits,
@@ -150,6 +151,7 @@ pub fn apply_unop(op: UnOp, a: TypedValue) -> TypedValue {
 /// # Errors
 ///
 /// Returns [`ArithError::DivideByZero`] for `/` or `%` by zero.
+#[inline]
 pub fn apply_binop(
     op: BinOp,
     a: TypedValue,

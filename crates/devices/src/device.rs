@@ -1,6 +1,6 @@
-use std::collections::BTreeMap;
-
-use sedspec_dbl::interp::{ExecHook, ExecLimits, ExecOutcome, Fault, Interpreter, NullHook};
+use sedspec_dbl::interp::{
+    ExecHook, ExecLimits, ExecOutcome, ExecScratch, Fault, Interpreter, NullHook,
+};
 use sedspec_dbl::ir::Program;
 use sedspec_dbl::layout::CodeLayout;
 use sedspec_dbl::state::{ControlStructure, CsState};
@@ -43,6 +43,20 @@ impl EntryPoint {
             (AddressSpace::Mmio, IoDirection::Write) => EntryPoint::MmioWrite,
         }
     }
+
+    /// Dense index for entry-dispatch tables.
+    const fn index(self) -> usize {
+        match self {
+            EntryPoint::PmioRead => 0,
+            EntryPoint::PmioWrite => 1,
+            EntryPoint::MmioRead => 2,
+            EntryPoint::MmioWrite => 3,
+            EntryPoint::NetReceive => 4,
+        }
+    }
+
+    /// Number of distinct entry points ([`EntryPoint::index`] range).
+    const COUNT: usize = 5;
 }
 
 /// A complete emulated device: control structure, handler programs,
@@ -56,13 +70,18 @@ pub struct Device {
     /// Control-structure declaration (QEMU's `FDCtrl`, `PCNetState`, ...).
     pub control: ControlStructure,
     programs: Vec<Program>,
-    entries: BTreeMap<EntryPoint, usize>,
+    /// Entry-point dispatch table, indexed by [`EntryPoint::index`]
+    /// (`usize::MAX` = no handler): request routing is two array loads.
+    entries: [usize; EntryPoint::COUNT],
     layout: CodeLayout,
     /// Live control-structure instance.
     pub state: CsState,
     /// Claimed bus regions: `(space, base, len)`.
     pub regions: Vec<(AddressSpace, u64, u64)>,
     limits: ExecLimits,
+    /// Reusable interpreter scratch: steady-state request dispatch
+    /// allocates nothing.
+    scratch: ExecScratch,
 }
 
 impl Device {
@@ -75,9 +94,9 @@ impl Device {
         regions: Vec<(AddressSpace, u64, u64)>,
     ) -> Device {
         let mut programs = Vec::with_capacity(handlers.len());
-        let mut entries = BTreeMap::new();
+        let mut entries = [usize::MAX; EntryPoint::COUNT];
         for (ep, prog) in handlers {
-            entries.insert(ep, programs.len());
+            entries[ep.index()] = programs.len();
             programs.push(prog);
         }
         let refs: Vec<&Program> = programs.iter().collect();
@@ -93,6 +112,7 @@ impl Device {
             state,
             regions,
             limits: ExecLimits::default(),
+            scratch: ExecScratch::default(),
         }
     }
 
@@ -127,7 +147,10 @@ impl Device {
                 return None;
             }
         }
-        self.entries.get(&ep).copied()
+        match self.entries[ep.index()] {
+            usize::MAX => None,
+            pi => Some(pi),
+        }
     }
 
     /// Resets the control structure to its declared initial values.
@@ -147,7 +170,8 @@ impl Device {
         ctx: &mut VmContext,
         req: &IoRequest,
     ) -> Result<ExecOutcome, Fault> {
-        self.handle_io_hooked(ctx, req, &mut NullHook)
+        // Concrete `NullHook`: the observer callbacks monomorphize away.
+        self.dispatch(ctx, req, &mut NullHook)
     }
 
     /// Services one I/O request with an observer hook attached.
@@ -162,15 +186,57 @@ impl Device {
         req: &IoRequest,
         hook: &mut dyn ExecHook,
     ) -> Result<ExecOutcome, Fault> {
+        self.dispatch(ctx, req, hook)
+    }
+
+    /// Services one I/O request already routed to program `pi` (a value
+    /// [`Device::route`] returned for `req`), skipping the second
+    /// routing pass — batched enforcement routes once while feeding the
+    /// pre-walk and replays the cached indices here.
+    ///
+    /// # Errors
+    ///
+    /// See [`Device::handle_io`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi` is not a valid program index for this device.
+    pub fn handle_io_routed(
+        &mut self,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+        pi: usize,
+    ) -> Result<ExecOutcome, Fault> {
+        debug_assert_eq!(self.route(req), Some(pi));
+        self.dispatch_at(ctx, req, pi, &mut NullHook)
+    }
+
+    fn dispatch<H: ExecHook + ?Sized>(
+        &mut self,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+        hook: &mut H,
+    ) -> Result<ExecOutcome, Fault> {
         let Some(pi) = self.route(req) else {
             return Ok(ExecOutcome::default());
         };
+        self.dispatch_at(ctx, req, pi, hook)
+    }
+
+    fn dispatch_at<H: ExecHook + ?Sized>(
+        &mut self,
+        ctx: &mut VmContext,
+        req: &IoRequest,
+        pi: usize,
+        hook: &mut H,
+    ) -> Result<ExecOutcome, Fault> {
         let prog = &self.programs[pi];
-        let result = Interpreter::new(prog, &self.control).with_limits(self.limits).run(
+        let result = Interpreter::new(prog, &self.control).with_limits(self.limits).run_scratch(
             &mut self.state,
             ctx,
             req,
             hook,
+            &mut self.scratch,
         );
         if let Ok(out) = &result {
             // Virtual service time: vmexit + dispatch overhead plus

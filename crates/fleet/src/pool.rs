@@ -44,7 +44,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Mutex, RwLock};
 use sedspec::checker::WorkingMode;
 use sedspec::collect::{apply_step, TrainStep};
-use sedspec::enforce::{EnforceStats, EnforcingDevice};
+use sedspec::enforce::{EnforceStats, EnforcingDevice, IoVerdict};
 use sedspec::pipeline::deploy_compiled;
 use sedspec::response::{highest_alert, AlertLevel, SnapshotRing};
 use sedspec_devices::{build_device, DeviceKind, QemuVersion};
@@ -492,52 +492,99 @@ impl TenantRuntime {
         let mut rollbacks = 0u32;
         let mut worst: Option<AlertLevel> = None;
 
-        for step in steps {
-            let Some(req) = apply_step(step, &mut self.ctx) else { continue };
+        // Maximal runs of consecutive I/O steps that resolve to the same
+        // device slot ride the checker's batched walk path; a run's
+        // reports are processed per verdict with the exact sequential
+        // semantics (alerts, rollback, quarantine). I/O steps are
+        // context-pass-through in `apply_step`, so gathering a run up
+        // front reorders no context mutation; MemWrite/Delay steps end
+        // a run.
+        let mut run: Vec<&IoRequest> = Vec::new();
+        let mut verdicts: Vec<IoVerdict> = Vec::new();
+        let mut i = 0;
+        'steps: while i < steps.len() {
+            let Some(req) = apply_step(&steps[i], &mut self.ctx) else {
+                i += 1;
+                continue;
+            };
             let Some(idx) = self.slots.iter().position(|s| s.enforcer.device.route(req).is_some())
             else {
+                i += 1;
                 continue; // unmapped, as on a real bus: ignored
             };
-            let slot = &mut self.slots[idx];
-            let verdict = slot.enforcer.handle_io(&mut self.ctx, req);
-            if verdict.flagged() {
-                flagged += 1;
-                let level = highest_alert(verdict.violations());
-                worst = worst.max(level);
-                if let Some(sink) = &slot.sink {
-                    sink.event(TraceEventKind::Alert {
-                        level: level.map_or_else(|| "-".into(), |l| format!("{l:?}")),
-                    });
-                }
-                let _ = alerts.send(AlertEvent {
-                    seq: alert_seq.fetch_add(1, Ordering::Relaxed) + 1,
-                    round: slot.enforcer.stats.rounds,
-                    shard,
-                    tenant: self.id,
-                    device: slot.kind,
-                    level,
-                    detail: verdict
-                        .violations()
-                        .first()
-                        .map(|v| format!("{v:?}"))
-                        .unwrap_or_default(),
-                });
-            }
-            if slot.enforcer.is_halted() {
-                if self.rollbacks_used < self.rollback_budget
-                    && slot.ring.rollback_latest(&mut slot.enforcer)
-                {
-                    self.rollbacks_used += 1;
-                    rollbacks += 1;
-                    self.sticky.lock().entry(self.id.0).or_default().rollbacks_used =
-                        self.rollbacks_used;
-                } else {
-                    self.quarantined = true;
-                    self.sticky.lock().entry(self.id.0).or_default().quarantined = true;
-                    if let Some((hub, scope)) = &self.obs {
-                        hub.record(*scope, TraceEventKind::TenantQuarantined { tenant: self.id.0 });
-                    }
+            run.clear();
+            run.push(req);
+            let mut j = i + 1;
+            while j < steps.len() {
+                let TrainStep::Io(next) = &steps[j] else { break };
+                // Same first-slot-wins routing decision as the head.
+                let routed =
+                    self.slots.iter().position(|s| s.enforcer.device.route(next).is_some());
+                if routed != Some(idx) {
                     break;
+                }
+                run.push(next);
+                j += 1;
+            }
+            i = j;
+            let slot = &mut self.slots[idx];
+            let mut consumed = 0;
+            while consumed < run.len() {
+                verdicts.clear();
+                let n = slot.enforcer.handle_batch(&mut self.ctx, &run[consumed..], &mut verdicts);
+                if n == 0 {
+                    break; // defensive: a non-empty slice always consumes
+                }
+                consumed += n;
+                // Only a chunk's final verdict can be flagged (clean
+                // prefixes commit; a flagged round stops its chunk), so
+                // per-chunk processing observes alerts and halts in the
+                // same order and with the same round numbers as the
+                // sequential loop.
+                for verdict in &verdicts {
+                    if verdict.flagged() {
+                        flagged += 1;
+                        let level = highest_alert(verdict.violations());
+                        worst = worst.max(level);
+                        if let Some(sink) = &slot.sink {
+                            sink.event(TraceEventKind::Alert {
+                                level: level.map_or_else(|| "-".into(), |l| format!("{l:?}")),
+                            });
+                        }
+                        let _ = alerts.send(AlertEvent {
+                            seq: alert_seq.fetch_add(1, Ordering::Relaxed) + 1,
+                            round: slot.enforcer.stats.rounds,
+                            shard,
+                            tenant: self.id,
+                            device: slot.kind,
+                            level,
+                            detail: verdict
+                                .violations()
+                                .first()
+                                .map(|v| format!("{v:?}"))
+                                .unwrap_or_default(),
+                        });
+                    }
+                }
+                if slot.enforcer.is_halted() {
+                    if self.rollbacks_used < self.rollback_budget
+                        && slot.ring.rollback_latest(&mut slot.enforcer)
+                    {
+                        self.rollbacks_used += 1;
+                        rollbacks += 1;
+                        self.sticky.lock().entry(self.id.0).or_default().rollbacks_used =
+                            self.rollbacks_used;
+                    } else {
+                        self.quarantined = true;
+                        self.sticky.lock().entry(self.id.0).or_default().quarantined = true;
+                        if let Some((hub, scope)) = &self.obs {
+                            hub.record(
+                                *scope,
+                                TraceEventKind::TenantQuarantined { tenant: self.id.0 },
+                            );
+                        }
+                        break 'steps;
+                    }
                 }
             }
         }

@@ -277,6 +277,23 @@ impl ObsHub {
         out
     }
 
+    /// One device's block heat, aggregated across scopes as
+    /// `(program, block, hits)` triples sorted by key — the profile
+    /// format `CompileOptions` consumes for profile-guided block
+    /// layout. Empty when the device has emitted no block steps.
+    pub fn heat_profile(&self, device: &str) -> Vec<(u32, u32, u64)> {
+        let inner = self.inner.lock();
+        let mut agg: HashMap<(u32, u32), u64> = HashMap::new();
+        for (&(scope, program, block), &hits) in &inner.heat {
+            if inner.scopes[scope.0 as usize].info.device == device {
+                *agg.entry((program, block)).or_default() += hits;
+            }
+        }
+        let mut out: Vec<(u32, u32, u64)> = agg.into_iter().map(|((p, b), h)| (p, b, h)).collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Renders the operator report: totals, top-`top_n` hottest blocks
     /// per device (labels via `resolve`), per-device latency
     /// histograms, and the most recent forensic records.

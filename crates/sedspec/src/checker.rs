@@ -278,6 +278,33 @@ impl RoundReport {
     pub fn ok(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Clears the report in place, retaining the violation buffer's
+    /// capacity (batched walks reuse one report as scratch).
+    pub fn reset(&mut self) {
+        self.violations.clear();
+        self.needs_sync = false;
+        self.completed = false;
+        self.blocks_walked = 0;
+        self.syncs_used = 0;
+        self.sync_bytes = 0;
+    }
+}
+
+/// Result of a batched no-sync walk submission
+/// ([`EsChecker::walk_batch`]).
+#[derive(Debug, Default)]
+pub struct BatchOutcome {
+    /// Clean completed rounds walked and watermark-committed; finalized
+    /// wholesale by [`EsChecker::commit_batch`].
+    pub committed: usize,
+    /// ES blocks walked across the committed prefix.
+    pub blocks_walked: u64,
+    /// First round that raised a violation or suspended at a sync
+    /// point. Its journaled shadow writes are still open: the caller
+    /// must [`EsChecker::abort_round`] (then re-drive the round through
+    /// the sequential path) before [`EsChecker::commit_batch`].
+    pub stopper: Option<RoundReport>,
 }
 
 /// Source of sync-point values during a walk.
@@ -418,6 +445,8 @@ pub struct EsChecker {
     compiled: Arc<CompiledSpec>,
     control: ControlStructure,
     walk: WalkState,
+    /// Reusable scratch report for the batched walk path.
+    batch_scratch: RoundReport,
     /// Strategy configuration.
     pub config: CheckConfig,
     /// Observability sink; `None` keeps the hot path allocation-free.
@@ -436,7 +465,14 @@ impl EsChecker {
     /// Creates a checker over an already-compiled specification.
     pub fn from_compiled(compiled: Arc<CompiledSpec>, control: ControlStructure) -> Self {
         let walk = WalkState::new(control.instantiate());
-        EsChecker { compiled, control, walk, config: CheckConfig::default(), sink: None }
+        EsChecker {
+            compiled,
+            control,
+            walk,
+            batch_scratch: RoundReport::default(),
+            config: CheckConfig::default(),
+            sink: None,
+        }
     }
 
     /// Replaces the strategy configuration.
@@ -532,12 +568,61 @@ impl EsChecker {
     }
 
     /// Rejects the last [`EsChecker::walk_round_fast`]: undoes the
-    /// journaled shadow writes and drops the walked command scope.
+    /// journaled shadow writes — down to the batch watermark if one is
+    /// open — and drops the walked command scope.
     pub fn abort_round(&mut self) {
         if let Some(s) = &self.sink {
             s.event(TraceEventKind::JournalAbort { writes: self.walk.journal_len() as u64 });
         }
         self.walk.abort();
+    }
+
+    /// Walks a batch of `(program, request)` rounds through the
+    /// monomorphized no-sync engine, watermark-committing every clean
+    /// completed round in place so journal setup and commit are paid
+    /// once per batch instead of once per round.
+    ///
+    /// The walk stops at the first round that raises a violation or
+    /// suspends at a sync point; that round's report lands in
+    /// `out.stopper` with its journaled writes still open (call
+    /// [`EsChecker::abort_round`], then re-drive it sequentially).
+    /// Finalize the committed prefix with [`EsChecker::commit_batch`] or
+    /// roll the whole batch back with [`EsChecker::abort_batch`].
+    ///
+    /// Allocation-free in the steady state; the batched path skips obs
+    /// instrumentation (callers with a sink attached should use the
+    /// per-round [`EsChecker::walk_round_fast`]).
+    pub fn walk_batch<'a, I>(&mut self, rounds: I, out: &mut BatchOutcome)
+    where
+        I: IntoIterator<Item = (usize, &'a IoRequest)>,
+    {
+        self.walk.begin_batch();
+        self.compiled.walk_batch(
+            &self.config,
+            rounds,
+            &mut self.walk,
+            &mut self.batch_scratch,
+            out,
+        );
+    }
+
+    /// Accepts every watermark-committed round of the last
+    /// [`EsChecker::walk_batch`]: one journal clear for the whole batch.
+    pub fn commit_batch(&mut self) {
+        if let Some(s) = &self.sink {
+            s.event(TraceEventKind::JournalCommit { writes: self.walk.committed_writes() as u64 });
+        }
+        self.walk.commit_marked();
+    }
+
+    /// Rolls the whole last batch back — watermark-committed rounds
+    /// included — restoring shadow and command scope to the batch entry
+    /// state (benchmark harnesses use this to measure state-stable).
+    pub fn abort_batch(&mut self) {
+        if let Some(s) = &self.sink {
+            s.event(TraceEventKind::JournalAbort { writes: self.walk.journal_len() as u64 });
+        }
+        self.walk.abort_all();
     }
 
     /// Walks the specification for one I/O round without committing

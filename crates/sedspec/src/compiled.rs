@@ -8,10 +8,29 @@
 //! the entire shadow `ControlStructure` twice per round. [`CompiledSpec`]
 //! lowers the specification once:
 //!
-//! * dense `u32`-indexed per-block transition tables (`next` / `taken` /
-//!   `not_taken` fields, flat sorted switch-case slices, sorted
-//!   indirect-target arrays) replacing map lookups with direct indexing
-//!   and binary search;
+//! * **direct-threaded dispatch**: every block carries a pre-resolved
+//!   handler index ([`HKind`]) in a packed 24-byte [`HBlock`] record, so
+//!   the walk is a tight loop over a dense array that never inspects the
+//!   interpreted [`EsBlock`](crate::escfg::EsBlock)'s `Nbtd` enum (or
+//!   touches its cache-hostile labels and boxed expressions) unless a
+//!   block actually evaluates an expression or raises a violation;
+//! * **dense-index lookups**: switch-case edges, command-access keys and
+//!   indirect-call values dispatch through compact value-indexed tables
+//!   ([`SwitchTab`]) when the trained value range is compact, replacing
+//!   the per-round binary searches; sparse value sets keep the sorted
+//!   slices as fallback;
+//! * **profile-guided layout**: [`CompiledSpec::compile_with`] consumes
+//!   the ES-block heat map the obs hub accumulates and reorders each
+//!   CFG's dense arrays so hot successors are laid out fall-through.
+//!   Every introspection method (and every observable artifact: trace
+//!   events, violations, forensics) keeps answering in the original
+//!   ES-index space, so the compile-preservation pass (SA401) and the
+//!   heat feedback loop survive relayouts;
+//! * a **batched round engine** ([`CompiledSpec::walk_batch`]): clean
+//!   completed rounds are committed by journal watermark and the journal
+//!   is cleared once per batch, amortizing round setup and commit across
+//!   a tenant's whole submission with a statically monomorphized no-sync
+//!   walk (no `dyn SyncProvider` dispatch);
 //! * the command access table as sorted `(decision, cmd)` keys with
 //!   per-entry **bitmaps over a dense global block index**, so the
 //!   per-block scope check is one bit test instead of a `BTreeSet`
@@ -21,7 +40,8 @@
 //!   `Expr::vars()` / `Expr::locals()` walks out of the hot loop;
 //! * a reusable [`WalkState`] whose shadow is mutated **in place** under
 //!   a [`CsJournal`] undo journal — committing a round is a journal
-//!   clear, aborting replays the journal backwards; no per-round clone.
+//!   clear (a watermark bump inside a batch), aborting replays the
+//!   journal backwards to the last watermark; no per-round clone.
 //!
 //! Verdicts are identical to the interpreted walk by construction (the
 //! differential suite in `tests/compiled_equivalence.rs` asserts it);
@@ -30,15 +50,16 @@
 
 use std::sync::Arc;
 
-use sedspec_dbl::interp::{eval_expr, EvalCtx, EvalError};
-use sedspec_dbl::ir::{BufId, Expr, Stmt, Width};
+use sedspec_dbl::interp::EvalError;
+use sedspec_dbl::ir::{BinOp, BufId, Expr, Stmt, UnOp, VarId, Width};
 use sedspec_dbl::state::{CsJournal, CsState};
-use sedspec_dbl::value::{OverflowFlags, TypedValue};
+use sedspec_dbl::value::{apply_binop, apply_unop, OverflowFlags, OverflowKind, TypedValue};
 use sedspec_obs::{ObsSink, SyncKind, TraceEventKind};
 use sedspec_vmm::IoRequest;
 
 use crate::checker::{
-    checkable_range_expr, CheckConfig, CmdCtx, RoundReport, SyncProvider, Violation,
+    checkable_range_expr, BatchOutcome, CheckConfig, CmdCtx, NoSync, RoundReport, SyncProvider,
+    Violation,
 };
 use crate::escfg::{gid, ungid, DsodOp, EdgeKey, EsCfg, Nbtd};
 use crate::params::DeviceStateParams;
@@ -47,10 +68,46 @@ use crate::spec::ExecutionSpecification;
 /// Sentinel for "no block" in dense transition tables.
 const NO_BLOCK: u32 = u32::MAX;
 
+/// Sentinel for "no command key" in dense command lookup tables.
+const NO_KEY: u32 = u32::MAX;
+
 /// Safety bound on walked blocks per round (mirrors the interpreter's).
 const WALK_LIMIT: u64 = 1 << 20;
 
-/// Compiled per-block transition table and operation metadata.
+/// Hot-path command-scope word: "no active scope". The walk carries the
+/// scope as a bare `u32` (a `cmd_keys` index, or one of these two
+/// sentinels) so per-round scope bookkeeping is register traffic instead
+/// of 48-byte [`CmdScope`] moves.
+const NO_SCOPE: u32 = u32::MAX;
+
+/// Hot-path command-scope word: the rare custom scope (a restored
+/// snapshot whose command set matches no known entry); the [`CmdCtx`]
+/// itself rides in a side slot.
+const CUSTOM_SCOPE: u32 = u32::MAX - 1;
+
+/// Lowers a [`CmdScope`] to its walk word, cloning the rare custom
+/// context into the side slot.
+fn scope_to_word(scope: &CmdScope) -> (u32, Option<CmdCtx>) {
+    match scope {
+        CmdScope::None => (NO_SCOPE, None),
+        CmdScope::Entry(i) => (*i, None),
+        CmdScope::Custom(c) => (CUSTOM_SCOPE, Some(c.clone())),
+    }
+}
+
+/// Rehydrates a walk word (plus side slot) into a [`CmdScope`].
+fn word_scope(w: u32, custom: &Option<CmdCtx>) -> CmdScope {
+    match w {
+        NO_SCOPE => CmdScope::None,
+        CUSTOM_SCOPE => custom.clone().map_or(CmdScope::None, CmdScope::Custom),
+        i => CmdScope::Entry(i),
+    }
+}
+
+/// Compiled per-block transition table and operation metadata, kept in
+/// **layout order** with layout-space targets. This is the
+/// introspection-facing record; the walk itself runs over the packed
+/// [`HBlock`] array.
 #[derive(Debug, Clone, Copy)]
 struct CBlock {
     /// Unconditional successor ([`NO_BLOCK`] if untrained).
@@ -63,24 +120,338 @@ struct CBlock {
     cases: (u32, u32),
     /// Start of this block's flags in `op_flags` (`dsod.len()` entries).
     ops_at: u32,
-    /// The block ends the I/O round.
-    is_exit: bool,
-    /// The block returns from an indirect call.
-    is_return: bool,
+}
+
+/// Pre-resolved handler index of one block: the direct-threaded
+/// dispatch code the walk loop jumps through. Dense `u8` codes lower to
+/// a computed-goto jump table; a handler-index byte per block is chosen
+/// over literal `fn`-pointer threading because Rust function pointers
+/// defeat inlining of the (tiny) handlers into the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum HKind {
+    /// `Nbtd::None` on an exit block: the round completes.
+    Exit,
+    /// `Nbtd::None` on a return block: pop the call stack and resolve.
+    Return,
+    /// `Nbtd::None`: unconditional fall-through to `a`.
+    Fall,
+    /// `Nbtd::Branch`, condition evaluated on the shadow.
+    BranchEval,
+    /// `Nbtd::Branch`, outcome from the sync provider.
+    BranchSync,
+    /// `Nbtd::Switch`, scrutinee evaluated on the shadow.
+    SwitchEval,
+    /// `Nbtd::Switch`, value from the sync provider.
+    SwitchSync,
+    /// Command-decision switch, scrutinee evaluated on the shadow.
+    SwitchCmdEval,
+    /// Command-decision switch, value from the sync provider.
+    SwitchCmdSync,
+    /// `Nbtd::Indirect`: legitimacy-check a function-pointer value.
+    Indirect,
+}
+
+/// Packed hot-path block record (24 bytes): everything the
+/// direct-threaded walk needs, so a fall-through chain of blocks spans
+/// a couple of cache lines instead of striding through the interpreted
+/// `EsBlock`s. `a` / `b` / `aux` are kind-dependent:
+///
+/// | kind            | `a`        | `b`          | `aux`                 |
+/// |-----------------|------------|--------------|-----------------------|
+/// | `Fall`          | next       | —            | —                     |
+/// | `Branch*`       | taken      | not-taken    | program-block origin  |
+/// | `Switch*`       | —          | —            | [`SwitchTab`] index   |
+/// | `Indirect`      | pointer var| return origin| —                     |
+#[derive(Debug, Clone, Copy)]
+struct HBlock {
+    a: u32,
+    b: u32,
+    aux: u32,
+    /// Start of this block's flags in `op_flags`.
+    ops_at: u32,
+    /// Original (spec-order) ES index — what violations, trace events,
+    /// forensic paths and command keys are expressed in.
+    orig: u32,
+    kind: HKind,
+    /// The block has DSOD operations (skip the `EsBlock` deref if not).
+    has_dsod: bool,
     /// The block closes the active command scope.
     is_cmd_end: bool,
 }
 
-/// One handler's compiled ES-CFG.
+/// Per-switch-block dispatch table: the dense-index (or
+/// sorted-slice-fallback) case lookup, plus — for command decisions —
+/// the pre-resolved slice of the global command-key table, replacing
+/// the `binary_search` over all `(decision, cmd)` pairs.
+#[derive(Debug, Clone, Copy)]
+struct SwitchTab {
+    /// Binary-search fallback range into `case_vals` / `case_tos`.
+    cases: (u32, u32),
+    /// Dense case table: `case_lut[lut_at + (v - lut_min)]` when
+    /// `v - lut_min < lut_span`; `lut_span == 0` means fall back.
+    lut_at: u32,
+    lut_span: u32,
+    lut_min: u64,
+    /// Program-block origin (sync-provider lookups).
+    origin: u32,
+    /// Command-decision only: this decision's contiguous range in the
+    /// sorted global `cmd_keys`.
+    cmd_keys: (u32, u32),
+    /// Dense command table over `cmd_lut`, same convention as the case
+    /// table; values are global command-key indices ([`NO_KEY`] holes).
+    cmd_lut_at: u32,
+    cmd_lut_span: u32,
+    cmd_lut_min: u64,
+    /// Lowered scrutinee program (evaluating switch kinds).
+    scrut: u32,
+}
+
+/// One micro-op of a lowered expression program.
+///
+/// [`Expr`] trees are boxed per node; evaluating one chases a pointer
+/// and takes an enum dispatch per node. The compiler flattens every hot
+/// expression (branch conditions, switch scrutinees, DSOD operand
+/// expressions) into postfix [`FOp`] runs in one contiguous arena,
+/// evaluated by [`eval_flat`] over a reused value stack — same
+/// arithmetic, no pointer chasing, no per-round allocation.
+#[derive(Debug, Clone, Copy)]
+enum FOp {
+    /// Push an (untyped) integer literal.
+    Const(u64),
+    /// Push a device-state variable (typed by its declaration).
+    Var(VarId),
+    /// Push a handler local (zero if out of range).
+    Local(u32),
+    /// Push the request's data value.
+    IoData,
+    /// Push the request's address.
+    IoAddr,
+    /// Push the request's access width in bytes.
+    IoSize,
+    /// Push the request's payload length.
+    IoLen,
+    /// Pop an index, push that payload byte (zero-padded).
+    IoByte,
+    /// Pop an index, push that buffer byte (arena faults propagate).
+    BufLoad(BufId),
+    /// Push a buffer's declared length.
+    BufLen(BufId),
+    /// Pop one value, push the unary result.
+    Un(UnOp),
+    /// Pop two values, push the binary result. The mask records which
+    /// operand was a literal `Const` node (1 = lhs, 2 = rhs, 3 = both)
+    /// for the C-style untyped-constant width adoption.
+    Bin(BinOp, u8),
+}
+
+/// Whether constant `c` fits the width/signedness of `other`'s type
+/// (the compiled mirror of the evaluator's literal-adoption gate).
+#[inline]
+fn const_fits(c: u64, other: TypedValue) -> bool {
+    if other.signed {
+        c <= other.width.mask() >> 1
+    } else {
+        c <= other.width.mask()
+    }
+}
+
+/// Evaluates a non-popping (leaf) op straight to its value; `None` for
+/// ops that consume stack operands.
+#[inline]
+fn eval_leaf(op: FOp, cs: &CsState, locals: &[TypedValue], io: &IoRequest) -> Option<TypedValue> {
+    Some(match op {
+        FOp::Const(c) => TypedValue::u64(c),
+        FOp::Var(v) => cs.var_typed(v),
+        FOp::Local(l) => locals.get(l as usize).copied().unwrap_or(TypedValue::u64(0)),
+        FOp::IoData => TypedValue::u64(io.data),
+        FOp::IoAddr => TypedValue::u64(io.addr),
+        FOp::IoSize => TypedValue::u64(u64::from(io.size)),
+        FOp::IoLen => TypedValue::u64(io.payload.len() as u64),
+        FOp::BufLen(b) => TypedValue::u64(cs.buf_len(b) as u64),
+        _ => return None,
+    })
+}
+
+/// Applies the literal-adoption rule and the binary op to two already
+/// evaluated operands (shared by the fast and general paths).
+#[inline]
+fn eval_bin(
+    op: BinOp,
+    lit: u8,
+    mut va: TypedValue,
+    mut vb: TypedValue,
+    flags: &mut OverflowFlags,
+) -> Result<TypedValue, EvalError> {
+    // Bare literals adopt the other operand's type when they fit —
+    // exactly the tree evaluator's rule (a literal's bits are its
+    // constant, so `va.bits`/`vb.bits` are the values the tree matcher
+    // read out of the `Const` node).
+    match lit {
+        1 if const_fits(va.bits, vb) => {
+            va = TypedValue { bits: va.bits, width: vb.width, signed: vb.signed };
+        }
+        2 if const_fits(vb.bits, va) => {
+            vb = TypedValue { bits: vb.bits, width: va.width, signed: va.signed };
+        }
+        _ => {}
+    }
+    let (v, of) = apply_binop(op, va, vb).map_err(EvalError::Arith)?;
+    if of == OverflowKind::Arithmetic {
+        flags.arithmetic = true;
+    }
+    Ok(v)
+}
+
+/// Evaluates a lowered postfix program. Semantically identical to
+/// `eval_expr` over the tree it was lowered from: same evaluation
+/// order, same literal width adoption, same overflow accumulation and
+/// the same error points.
+///
+/// The two shapes that dominate real specifications — a bare leaf
+/// (`addr`, a state variable) and `leaf ⊕ leaf` (`cmd & 0x7f`,
+/// `addr == REG`) — run register-to-register without touching the
+/// value stack.
+#[inline]
+fn eval_flat(
+    ops: &[FOp],
+    cs: &CsState,
+    locals: &[TypedValue],
+    io: &IoRequest,
+    stack: &mut Vec<TypedValue>,
+    flags: &mut OverflowFlags,
+) -> Result<TypedValue, EvalError> {
+    match *ops {
+        [op] => {
+            if let Some(v) = eval_leaf(op, cs, locals, io) {
+                return Ok(v);
+            }
+        }
+        [a, b, FOp::Bin(op, lit)] => {
+            if let (Some(va), Some(vb)) =
+                (eval_leaf(a, cs, locals, io), eval_leaf(b, cs, locals, io))
+            {
+                return eval_bin(op, lit, va, vb, flags);
+            }
+        }
+        _ => {}
+    }
+    stack.clear();
+    for op in ops {
+        let v = match *op {
+            FOp::Const(c) => TypedValue::u64(c),
+            FOp::Var(v) => cs.var_typed(v),
+            FOp::Local(l) => locals.get(l as usize).copied().unwrap_or(TypedValue::u64(0)),
+            FOp::IoData => TypedValue::u64(io.data),
+            FOp::IoAddr => TypedValue::u64(io.addr),
+            FOp::IoSize => TypedValue::u64(u64::from(io.size)),
+            FOp::IoLen => TypedValue::u64(io.payload.len() as u64),
+            FOp::IoByte => {
+                let i = stack.pop().expect("lowered arity");
+                TypedValue::unsigned(
+                    u64::from(io.payload_byte(i.as_i128().max(0) as usize)),
+                    Width::W8,
+                )
+            }
+            FOp::BufLoad(b) => {
+                let i = stack.pop().expect("lowered arity");
+                let (byte, _) = cs.buf_read(b, i.as_i128() as i64).map_err(EvalError::Arena)?;
+                TypedValue::unsigned(u64::from(byte), Width::W8)
+            }
+            FOp::BufLen(b) => TypedValue::u64(cs.buf_len(b) as u64),
+            FOp::Un(op) => {
+                let a = stack.pop().expect("lowered arity");
+                apply_unop(op, a)
+            }
+            FOp::Bin(op, lit) => {
+                let vb = stack.pop().expect("lowered arity");
+                let va = stack.pop().expect("lowered arity");
+                eval_bin(op, lit, va, vb, flags)?
+            }
+        };
+        stack.push(v);
+    }
+    Ok(stack.pop().expect("lowered program yields one value"))
+}
+
+/// Emits `e` in postfix order into the op arena.
+fn emit_expr(e: &Expr, out: &mut Vec<FOp>) {
+    match e {
+        Expr::Const(v) => out.push(FOp::Const(*v)),
+        Expr::Var(v) => out.push(FOp::Var(*v)),
+        Expr::Local(l) => out.push(FOp::Local(l.0)),
+        Expr::IoData => out.push(FOp::IoData),
+        Expr::IoAddr => out.push(FOp::IoAddr),
+        Expr::IoSize => out.push(FOp::IoSize),
+        Expr::IoLen => out.push(FOp::IoLen),
+        Expr::IoByte(i) => {
+            emit_expr(i, out);
+            out.push(FOp::IoByte);
+        }
+        Expr::BufLoad(b, i) => {
+            emit_expr(i, out);
+            out.push(FOp::BufLoad(*b));
+        }
+        Expr::BufLen(b) => out.push(FOp::BufLen(*b)),
+        Expr::Unary(op, a) => {
+            emit_expr(a, out);
+            out.push(FOp::Un(*op));
+        }
+        Expr::Binary(op, a, b) => {
+            emit_expr(a, out);
+            emit_expr(b, out);
+            let lit = u8::from(matches!(**a, Expr::Const(_)))
+                | (u8::from(matches!(**b, Expr::Const(_))) << 1);
+            out.push(FOp::Bin(*op, lit));
+        }
+    }
+}
+
+/// A lowered DSOD operation: the walk-relevant projection of
+/// [`DsodOp`] with every operand expression pre-flattened, so the DSOD
+/// hot loop never matches on boxed [`Stmt`] trees.
+#[derive(Debug, Clone, Copy)]
+enum FDsod {
+    /// `Stmt::SetVar` — journal-logged shadow variable write.
+    SetVar { v: VarId, fp: u32 },
+    /// `Stmt::SetLocal` — with the declared width pre-resolved.
+    SetLocal { l: u32, w: Width, fp: u32 },
+    /// `Stmt::BufStore` — journal-logged shadow buffer byte write.
+    BufStore { b: BufId, fp_idx: u32, fp_val: u32 },
+    /// `Stmt::BufFill` — journal-logged whole-buffer fill.
+    BufFill { b: BufId, fp: u32 },
+    /// `Stmt::CopyPayload` — payload bytes into the shadow buffer.
+    CopyPayload { b: BufId, fp_off: u32, fp_len: u32 },
+    /// External scalar load: value from the sync provider.
+    SyncVar { v: VarId },
+    /// External buffer load: range-checked, content from the provider.
+    SyncBuf { b: BufId, fp_off: u32, fp_len: u32 },
+    /// Outbound buffer read: range-checked only.
+    CheckBufRead { b: BufId, fp_off: u32, fp_len: u32 },
+    /// An `Exec` statement the shadow walk does not model (intrinsics);
+    /// executing one is a specification defect, caught as it always was.
+    Unsupported,
+}
+
+/// One handler's compiled ES-CFG. Under a profile-guided layout all
+/// dense arrays are in layout order and store layout-space indices;
+/// `layout` / `pos` translate to and from the original ES-index space.
 #[derive(Debug)]
 struct CompiledCfg {
-    /// Entry ES block, [`NO_BLOCK`] when the entry was never traced.
+    /// Entry ES block in layout space, [`NO_BLOCK`] when never traced.
     entry: u32,
     blocks: Vec<CBlock>,
+    /// Packed hot-path records, parallel to `blocks`.
+    hot: Vec<HBlock>,
+    switch_tabs: Vec<SwitchTab>,
     /// Flat sorted switch-case scrutinee values, sliced per block.
     case_vals: Vec<u64>,
     /// Case targets, parallel to `case_vals`.
     case_tos: Vec<u32>,
+    /// Dense case-dispatch arena ([`NO_BLOCK`] holes).
+    case_lut: Vec<u32>,
+    /// Dense command-dispatch arena ([`NO_KEY`] holes).
+    cmd_lut: Vec<u32>,
     /// Per-DSOD-op parameter-check flags (meaning depends on op kind;
     /// see [`op_flag`]).
     op_flags: Vec<bool>,
@@ -91,6 +462,40 @@ struct CompiledCfg {
     /// Observed ES target per legit value ([`NO_BLOCK`] = legit but
     /// untraced), parallel to `fn_vals`.
     fn_tos: Vec<u32>,
+    /// Dense indirect-value table: indices into `fn_vals` ([`NO_KEY`]
+    /// holes); `fn_lut_span == 0` means binary search.
+    fn_lut: Vec<u32>,
+    fn_lut_min: u64,
+    fn_lut_span: u32,
+    /// Layout index → original ES index.
+    layout: Vec<u32>,
+    /// Original ES index → layout index.
+    pos: Vec<u32>,
+    /// Flat postfix expression arena ([`eval_flat`]).
+    fops: Vec<FOp>,
+    /// `(start, len)` program handles into `fops`.
+    fprogs: Vec<(u32, u32)>,
+    /// Lowered DSOD operations, parallel to `op_flags`.
+    fdsod: Vec<FDsod>,
+    /// Per-round handler-locals initializer (one memcpy per round).
+    locals_tmpl: Vec<TypedValue>,
+}
+
+impl CompiledCfg {
+    /// Maps a layout-space block id back to the original ES index.
+    /// Out-of-range ids (the NO_BLOCK sentinel, dangling targets in
+    /// malformed specs) are fixed points of the permutation.
+    #[inline]
+    fn to_orig(&self, es: u32) -> u32 {
+        self.layout.get(es as usize).copied().unwrap_or(es)
+    }
+
+    /// The lowered postfix run of expression program `fp`.
+    #[inline]
+    fn fprog(&self, fp: u32) -> &[FOp] {
+        let (s, l) = self.fprogs[fp as usize];
+        &self.fops[s as usize..(s + l) as usize]
+    }
 }
 
 /// The active command scope in compiled form.
@@ -115,6 +520,11 @@ pub enum CmdScope {
 ///
 /// All scratch storage is reused across rounds, so a steady-state walk
 /// performs no heap allocation.
+///
+/// Batched rounds commit by **watermark**: `committed_mark` records the
+/// journal depth of everything already accepted, so aborting an open
+/// round rolls back only past the mark, and finalizing a batch is a
+/// single journal clear.
 #[derive(Debug)]
 pub struct WalkState {
     pub(crate) shadow: CsState,
@@ -123,9 +533,15 @@ pub struct WalkState {
     call_stack: Vec<u32>,
     scope: CmdScope,
     pending: CmdScope,
+    /// Journal depth of the committed batch prefix; 0 outside a batch.
+    committed_mark: usize,
+    /// Committed scope as of batch start ([`WalkState::abort_all`]).
+    batch_scope: CmdScope,
     /// ES blocks visited by the last observed walk (populated only when
     /// a sink is attached, so the unobserved path stays allocation-free).
     path: Vec<u32>,
+    /// Reused operand stack for [`eval_flat`].
+    estack: Vec<TypedValue>,
 }
 
 impl WalkState {
@@ -138,7 +554,10 @@ impl WalkState {
             call_stack: Vec::new(),
             scope: CmdScope::None,
             pending: CmdScope::None,
+            committed_mark: 0,
+            batch_scope: CmdScope::None,
             path: Vec::new(),
+            estack: Vec::new(),
         }
     }
 
@@ -153,9 +572,15 @@ impl WalkState {
         &self.path
     }
 
-    /// Writes currently in the undo journal (uncommitted round depth).
+    /// Writes currently in the undo journal (uncommitted round depth
+    /// plus the watermarked batch prefix).
     pub(crate) fn journal_len(&self) -> usize {
         self.journal.len()
+    }
+
+    /// Journal depth of the watermark-committed batch prefix.
+    pub(crate) fn committed_writes(&self) -> usize {
+        self.committed_mark
     }
 
     /// Net shadow byte changes of the uncommitted round, as coalesced
@@ -175,6 +600,7 @@ impl WalkState {
         self.shadow = shadow;
         self.scope = scope;
         self.journal.clear();
+        self.committed_mark = 0;
         self.pending = CmdScope::None;
     }
 
@@ -188,6 +614,7 @@ impl WalkState {
         }
         self.scope = CmdScope::None;
         self.journal.clear();
+        self.committed_mark = 0;
         self.pending = CmdScope::None;
     }
 
@@ -195,15 +622,58 @@ impl WalkState {
     /// the pending command scope.
     pub(crate) fn commit(&mut self) {
         self.journal.clear();
+        self.committed_mark = 0;
         self.scope = std::mem::take(&mut self.pending);
     }
 
     /// Rejects the last walk: rolls the shadow back through the journal
+    /// — down to the watermarked batch prefix, which stays committed —
     /// and drops the pending scope.
     pub(crate) fn abort(&mut self) {
-        self.shadow.undo(&mut self.journal);
+        self.shadow.undo_to(&mut self.journal, self.committed_mark);
         self.pending = CmdScope::None;
     }
+
+    /// Opens a batch: remembers the committed scope so
+    /// [`WalkState::abort_all`] can restore it.
+    pub(crate) fn begin_batch(&mut self) {
+        self.batch_scope = self.scope.clone();
+    }
+
+    /// Watermark-commits the round just walked: accepted writes stay in
+    /// the journal, finalized wholesale by [`WalkState::commit_marked`].
+    /// The batched walk keeps the command scope in a register across
+    /// rounds, so only the watermark advances here.
+    pub(crate) fn mark_watermark(&mut self) {
+        self.committed_mark = self.journal.len();
+    }
+
+    /// Finalizes every watermark-committed round: one journal clear for
+    /// the whole batch. Any open (unmarked) round must be aborted first.
+    pub(crate) fn commit_marked(&mut self) {
+        debug_assert_eq!(self.journal.len(), self.committed_mark, "open round not aborted");
+        self.journal.clear();
+        self.committed_mark = 0;
+    }
+
+    /// Rolls the whole batch back — watermarked prefix included — and
+    /// restores the scope captured by [`WalkState::begin_batch`].
+    pub(crate) fn abort_all(&mut self) {
+        self.shadow.undo(&mut self.journal);
+        self.committed_mark = 0;
+        self.scope = std::mem::take(&mut self.batch_scope);
+        self.pending = CmdScope::None;
+    }
+}
+
+/// Compile-time options for [`CompiledSpec::compile_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileOptions<'a> {
+    /// `(program, es block, hits)` heat triples — typically
+    /// `ObsHub::block_heat` narrowed to one device — driving the
+    /// profile-guided block layout. Blocks absent from the profile rank
+    /// cold; `None` keeps the identity layout.
+    pub profile: Option<&'a [(u32, u32, u64)]>,
 }
 
 /// An execution specification lowered for the enforcement hot path.
@@ -216,9 +686,10 @@ pub struct CompiledSpec {
     cfgs: Vec<CompiledCfg>,
     /// Dense-global-block-index offset per program.
     block_offsets: Vec<u32>,
-    /// Sorted `(decision gid, cmd)` command keys.
+    /// Sorted `(decision gid, cmd)` command keys (original ES space).
     cmd_keys: Vec<(u64, u64)>,
-    /// Accessibility bitmap over dense block ids, parallel to `cmd_keys`.
+    /// Accessibility bitmap over dense **layout-space** block ids,
+    /// parallel to `cmd_keys`.
     cmd_masks: Vec<Vec<u64>>,
     /// Index into `spec.cmd_table.entries`, parallel to `cmd_keys`.
     cmd_entry_idx: Vec<u32>,
@@ -250,20 +721,114 @@ fn op_flag(op: &DsodOp, params: &DeviceStateParams) -> bool {
     }
 }
 
-fn compile_cfg(cfg: &EsCfg, params: &DeviceStateParams) -> CompiledCfg {
-    let mut blocks = Vec::with_capacity(cfg.blocks.len());
+/// Whether a sorted value set is compact enough for a dense
+/// value-indexed table: span bounded by `max(64, 4×entries)` with an
+/// absolute cap, so dense dispatch never buys unbounded memory.
+/// Returns `(min, span)`.
+fn dense_span(vals: &[u64]) -> Option<(u64, u32)> {
+    let (&min, &max) = (vals.first()?, vals.last()?);
+    let span = max.checked_sub(min)?.checked_add(1)?;
+    // Generous density rule: a hole-y table is still a single indexed
+    // load where the sorted fallback is a data-dependent binary search
+    // on the dispatch hot path, so spend up to 16 KiB (4096 × u32) per
+    // table before giving up — register files with strided addresses
+    // (e.g. a 7-case switch spanning ~100 ports) stay O(1).
+    if span <= (vals.len() as u64 * 64).max(256) && span <= 4096 {
+        Some((min, span as u32))
+    } else {
+        None
+    }
+}
+
+/// Greedy hot-path chaining: place the entry, then repeatedly extend
+/// the chain with the hottest unplaced successor (runtime heat first,
+/// training edge hits as tiebreak) so hot successors become
+/// fall-through neighbours; when a chain dies, restart from the hottest
+/// unplaced block. Returns the layout (layout index → original index).
+fn pgo_layout(cfg: &EsCfg, program: u32, profile: &[(u32, u32, u64)]) -> Vec<u32> {
+    let n = cfg.blocks.len();
+    let mut heat = vec![0u64; n];
+    for &(p, b, h) in profile {
+        if p == program && (b as usize) < n {
+            heat[b as usize] += h;
+        }
+    }
+    let mut layout = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    // Cold-restart order: hottest first, original order as tiebreak.
+    let mut by_heat: Vec<u32> = (0..n as u32).collect();
+    by_heat.sort_by_key(|&b| (std::cmp::Reverse(heat[b as usize]), b));
+    let mut restart = 0usize;
+    let mut cur = cfg.entry.unwrap_or_else(|| by_heat.first().copied().unwrap_or(0));
+    while layout.len() < n {
+        if placed[cur as usize] {
+            // Chain ended: restart from the hottest unplaced block.
+            while restart < n && placed[by_heat[restart] as usize] {
+                restart += 1;
+            }
+            cur = by_heat[restart];
+        }
+        placed[cur as usize] = true;
+        layout.push(cur);
+        // Hottest unplaced successor continues the chain.
+        let mut best: Option<(u64, u64, u32)> = None;
+        if let Some(edges) = cfg.edges.get(&cur) {
+            for e in edges {
+                let to = e.to;
+                if placed[to as usize] {
+                    continue;
+                }
+                let score = (heat[to as usize], e.hits, to);
+                if best.is_none_or(|b| (score.0, score.1) > (b.0, b.1)) {
+                    best = Some(score);
+                }
+            }
+        }
+        if let Some((_, _, to)) = best {
+            cur = to;
+        }
+        // else: cur stays placed; the next iteration cold-restarts.
+    }
+    layout
+}
+
+fn compile_cfg(cfg: &EsCfg, params: &DeviceStateParams, layout: Vec<u32>) -> CompiledCfg {
+    let n = cfg.blocks.len();
+    let mut pos = vec![0u32; n];
+    for (new, &orig) in layout.iter().enumerate() {
+        pos[orig as usize] = new as u32;
+    }
+    // Out-of-range ids (the NO_BLOCK sentinel, and dangling targets in
+    // malformed specs headed for the analysis gate) pass through the
+    // permutation unchanged, exactly as the identity compile stores them.
+    let tr = |to: u32| pos.get(to as usize).copied().unwrap_or(to);
+
+    let mut blocks = Vec::with_capacity(n);
+    let mut hot = Vec::with_capacity(n);
+    let mut switch_tabs = Vec::new();
     let mut case_vals = Vec::new();
-    let mut case_tos = Vec::new();
+    let mut case_tos: Vec<u32> = Vec::new();
+    let mut case_lut: Vec<u32> = Vec::new();
     let mut op_flags = Vec::new();
-    for (i, blk) in cfg.blocks.iter().enumerate() {
-        let es = i as u32;
-        let pick = |key: EdgeKey| cfg.edge(es, key).map_or(NO_BLOCK, |e| e.to);
+    let mut fops: Vec<FOp> = Vec::new();
+    let mut fprogs: Vec<(u32, u32)> = Vec::new();
+    let mut fdsod: Vec<FDsod> = Vec::new();
+    for &orig in &layout {
+        let es = orig;
+        let blk = &cfg.blocks[es as usize];
+        let pick = |key: EdgeKey| cfg.edge(es, key).map_or(NO_BLOCK, |e| tr(e.to));
+        let mut lower = |e: &Expr| -> u32 {
+            let start = fops.len() as u32;
+            emit_expr(e, &mut fops);
+            fprogs.push((start, fops.len() as u32 - start));
+            (fprogs.len() - 1) as u32
+        };
         let cases_start = case_vals.len() as u32;
         if let Some(list) = cfg.edges.get(&es) {
             let mut cases: Vec<(u64, u32)> = list
                 .iter()
                 .filter_map(|e| match e.key {
-                    EdgeKey::Case(v) => Some((v, e.to)),
+                    EdgeKey::Case(v) => Some((v, tr(e.to))),
                     _ => None,
                 })
                 .collect();
@@ -273,16 +838,99 @@ fn compile_cfg(cfg: &EsCfg, params: &DeviceStateParams) -> CompiledCfg {
                 case_tos.push(to);
             }
         }
+        let cases_end = case_vals.len() as u32;
         let ops_at = op_flags.len() as u32;
         op_flags.extend(blk.dsod.iter().map(|op| op_flag(op, params)));
-        blocks.push(CBlock {
-            next: pick(EdgeKey::Next),
-            taken: pick(EdgeKey::Taken),
-            not_taken: pick(EdgeKey::NotTaken),
-            cases: (cases_start, case_vals.len() as u32),
+        for op in &blk.dsod {
+            fdsod.push(match op {
+                DsodOp::Exec(Stmt::SetVar(v, e)) => FDsod::SetVar { v: *v, fp: lower(e) },
+                DsodOp::Exec(Stmt::SetLocal(l, e)) => FDsod::SetLocal {
+                    l: l.0,
+                    w: cfg.locals.get(l.0 as usize).copied().unwrap_or(Width::W64),
+                    fp: lower(e),
+                },
+                DsodOp::Exec(Stmt::BufStore(b, idx, val)) => {
+                    FDsod::BufStore { b: *b, fp_idx: lower(idx), fp_val: lower(val) }
+                }
+                DsodOp::Exec(Stmt::BufFill(b, e)) => FDsod::BufFill { b: *b, fp: lower(e) },
+                DsodOp::Exec(Stmt::CopyPayload { buf, buf_off, len }) => {
+                    FDsod::CopyPayload { b: *buf, fp_off: lower(buf_off), fp_len: lower(len) }
+                }
+                DsodOp::Exec(Stmt::Intrinsic(_)) => FDsod::Unsupported,
+                DsodOp::SyncVar(v) => FDsod::SyncVar { v: *v },
+                DsodOp::SyncBuf { buf, off, len } => {
+                    FDsod::SyncBuf { b: *buf, fp_off: lower(off), fp_len: lower(len) }
+                }
+                DsodOp::CheckBufRead { buf, off, len } => {
+                    FDsod::CheckBufRead { b: *buf, fp_off: lower(off), fp_len: lower(len) }
+                }
+            });
+        }
+        let next = pick(EdgeKey::Next);
+        let taken = pick(EdgeKey::Taken);
+        let not_taken = pick(EdgeKey::NotTaken);
+        let (kind, a, b, aux) = match &blk.nbtd {
+            Nbtd::None if blk.is_exit => (HKind::Exit, 0, 0, 0),
+            Nbtd::None if blk.is_return => (HKind::Return, 0, 0, 0),
+            Nbtd::None => (HKind::Fall, next, 0, 0),
+            // An eval branch carries its lowered condition in `aux`; a
+            // sync branch carries the program-block origin the provider
+            // is keyed on.
+            Nbtd::Branch { cond, needs_sync, .. } => {
+                let (kind, aux) = if *needs_sync {
+                    (HKind::BranchSync, blk.origin)
+                } else {
+                    (HKind::BranchEval, lower(cond))
+                };
+                (kind, taken, not_taken, aux)
+            }
+            Nbtd::Switch { scrutinee, needs_sync, is_cmd_decision } => {
+                let tab = switch_tabs.len() as u32;
+                let vals = &case_vals[cases_start as usize..cases_end as usize];
+                let (lut_min, lut_span, lut_at) = match dense_span(vals) {
+                    Some((min, span)) => {
+                        let at = case_lut.len() as u32;
+                        case_lut.resize(case_lut.len() + span as usize, NO_BLOCK);
+                        for (k, &v) in vals.iter().enumerate() {
+                            case_lut[(at + (v - min) as u32) as usize] =
+                                case_tos[cases_start as usize + k];
+                        }
+                        (min, span, at)
+                    }
+                    None => (0, 0, 0),
+                };
+                let scrut = lower(scrutinee);
+                switch_tabs.push(SwitchTab {
+                    cases: (cases_start, cases_end),
+                    lut_at,
+                    lut_span,
+                    lut_min,
+                    origin: blk.origin,
+                    cmd_keys: (0, 0),
+                    cmd_lut_at: 0,
+                    cmd_lut_span: 0,
+                    cmd_lut_min: 0,
+                    scrut,
+                });
+                let kind = match (*needs_sync, *is_cmd_decision) {
+                    (false, false) => HKind::SwitchEval,
+                    (true, false) => HKind::SwitchSync,
+                    (false, true) => HKind::SwitchCmdEval,
+                    (true, true) => HKind::SwitchCmdSync,
+                };
+                (kind, 0, 0, tab)
+            }
+            Nbtd::Indirect { ptr, ret_origin } => (HKind::Indirect, ptr.0, *ret_origin, 0),
+        };
+        blocks.push(CBlock { next, taken, not_taken, cases: (cases_start, cases_end), ops_at });
+        hot.push(HBlock {
+            a,
+            b,
+            aux,
             ops_at,
-            is_exit: blk.is_exit,
-            is_return: blk.is_return,
+            orig,
+            kind,
+            has_dsod: !blk.dsod.is_empty(),
             is_cmd_end: blk.kind == sedspec_dbl::ir::BlockKind::CmdEnd,
         });
     }
@@ -290,36 +938,79 @@ fn compile_cfg(cfg: &EsCfg, params: &DeviceStateParams) -> CompiledCfg {
     let mut resolve = vec![NO_BLOCK; max_origin];
     for &origin in cfg.forward.keys() {
         if let Some(es) = cfg.resolve(origin) {
-            resolve[origin as usize] = es;
+            resolve[origin as usize] = tr(es);
         }
     }
     let fn_vals: Vec<u64> = cfg.legit_fn_values.iter().copied().collect();
     let fn_tos: Vec<u32> =
-        fn_vals.iter().map(|v| cfg.fn_targets.get(v).copied().unwrap_or(NO_BLOCK)).collect();
+        fn_vals.iter().map(|v| cfg.fn_targets.get(v).copied().map_or(NO_BLOCK, tr)).collect();
+    let (fn_lut_min, fn_lut_span, fn_lut) = match dense_span(&fn_vals) {
+        Some((min, span)) => {
+            let mut lut = vec![NO_KEY; span as usize];
+            for (i, &v) in fn_vals.iter().enumerate() {
+                lut[(v - min) as usize] = i as u32;
+            }
+            (min, span, lut)
+        }
+        None => (0, 0, Vec::new()),
+    };
     CompiledCfg {
-        entry: cfg.entry.unwrap_or(NO_BLOCK),
+        entry: cfg.entry.map_or(NO_BLOCK, tr),
         blocks,
+        hot,
+        switch_tabs,
         case_vals,
         case_tos,
+        case_lut,
+        cmd_lut: Vec::new(),
         op_flags,
         resolve,
         fn_vals,
         fn_tos,
+        fn_lut,
+        fn_lut_min,
+        fn_lut_span,
+        layout,
+        pos,
+        fops,
+        fprogs,
+        fdsod,
+        locals_tmpl: cfg.locals.iter().map(|&w| TypedValue::unsigned(0, w)).collect(),
     }
 }
 
 impl CompiledSpec {
-    /// Lowers a specification. The original is retained (shared) for
-    /// DSOD statements, NBTD expressions, labels and serialization.
+    /// Lowers a specification with the identity block layout. The
+    /// original is retained (shared) for DSOD statements, NBTD
+    /// expressions, labels and serialization.
     pub fn compile(spec: Arc<ExecutionSpecification>) -> Self {
+        Self::compile_with(spec, &CompileOptions::default())
+    }
+
+    /// Lowers a specification, optionally reordering each CFG's dense
+    /// arrays along the supplied block heat profile (hot successors
+    /// fall-through). The layout is an internal concern: verdicts,
+    /// statistics and every introspection answer are identical to the
+    /// identity compile.
+    pub fn compile_with(spec: Arc<ExecutionSpecification>, opts: &CompileOptions<'_>) -> Self {
         let mut block_offsets = Vec::with_capacity(spec.cfgs.len());
         let mut total: u32 = 0;
         for cfg in &spec.cfgs {
             block_offsets.push(total);
             total += cfg.blocks.len() as u32;
         }
-        let cfgs: Vec<CompiledCfg> =
-            spec.cfgs.iter().map(|c| compile_cfg(c, &spec.params)).collect();
+        let mut cfgs: Vec<CompiledCfg> = spec
+            .cfgs
+            .iter()
+            .enumerate()
+            .map(|(p, c)| {
+                let layout = match opts.profile {
+                    Some(profile) => pgo_layout(c, p as u32, profile),
+                    None => (0..c.blocks.len() as u32).collect(),
+                };
+                compile_cfg(c, &spec.params, layout)
+            })
+            .collect();
 
         let mut cmd_entry_idx: Vec<u32> = (0..spec.cmd_table.entries.len() as u32).collect();
         cmd_entry_idx.sort_by_key(|&i| {
@@ -342,7 +1033,7 @@ impl CompiledSpec {
                     let (p, es) = ungid(g);
                     if let Some(&off) = block_offsets.get(p) {
                         if es < spec.cfgs[p].blocks.len() as u32 {
-                            let d = (off + es) as usize;
+                            let d = (off + cfgs[p].pos[es as usize]) as usize;
                             mask[d / 64] |= 1u64 << (d % 64);
                         }
                     }
@@ -350,6 +1041,36 @@ impl CompiledSpec {
                 mask
             })
             .collect();
+
+        // Patch command-decision switch tables now that the global key
+        // order is known: each decision's contiguous key range plus a
+        // dense cmd → key-index table when the command set is compact.
+        for (p, ccfg) in cfgs.iter_mut().enumerate() {
+            let decisions: Vec<(u32, u32)> = ccfg
+                .hot
+                .iter()
+                .filter(|hb| matches!(hb.kind, HKind::SwitchCmdEval | HKind::SwitchCmdSync))
+                .map(|hb| (hb.aux, hb.orig))
+                .collect();
+            for (tab_idx, orig) in decisions {
+                let g = gid(p, orig);
+                let lo = cmd_keys.partition_point(|k| k.0 < g);
+                let hi = cmd_keys.partition_point(|k| k.0 <= g);
+                let tab = &mut ccfg.switch_tabs[tab_idx as usize];
+                tab.cmd_keys = (lo as u32, hi as u32);
+                let cmds: Vec<u64> = cmd_keys[lo..hi].iter().map(|k| k.1).collect();
+                if let Some((min, span)) = dense_span(&cmds) {
+                    tab.cmd_lut_at = ccfg.cmd_lut.len() as u32;
+                    tab.cmd_lut_min = min;
+                    tab.cmd_lut_span = span;
+                    ccfg.cmd_lut.resize(ccfg.cmd_lut.len() + span as usize, NO_KEY);
+                    for (k, &c) in cmds.iter().enumerate() {
+                        ccfg.cmd_lut[(tab.cmd_lut_at + (c - min) as u32) as usize] =
+                            (lo + k) as u32;
+                    }
+                }
+            }
+        }
         CompiledSpec { spec, cfgs, block_offsets, cmd_keys, cmd_masks, cmd_entry_idx }
     }
 
@@ -363,9 +1084,17 @@ impl CompiledSpec {
         &self.spec
     }
 
+    /// Whether this compile used a non-identity (profile-guided) block
+    /// layout.
+    pub fn is_relaid(&self) -> bool {
+        self.cfgs.iter().any(|c| c.layout.iter().enumerate().any(|(i, &o)| i as u32 != o))
+    }
+
     // ---- structural introspection (the static compile-preservation
     // ---- diff in `sedspec-analysis` compares these against the
-    // ---- interpreted `EsCfg` it was lowered from) ----
+    // ---- interpreted `EsCfg` it was lowered from; every method
+    // ---- answers in the original ES-index space regardless of the
+    // ---- internal layout) ----
 
     /// Number of compiled handler CFGs.
     pub fn program_count(&self) -> usize {
@@ -374,16 +1103,18 @@ impl CompiledSpec {
 
     /// Compiled entry block of `program`, `None` when untraced.
     pub fn entry_of(&self, program: usize) -> Option<u32> {
-        let e = self.cfgs[program].entry;
-        (e != NO_BLOCK).then_some(e)
+        let ccfg = &self.cfgs[program];
+        (ccfg.entry != NO_BLOCK).then(|| ccfg.to_orig(ccfg.entry))
     }
 
     /// Compiled transition target out of `program`/`es` for `key`,
     /// resolved exactly as the hot-path walk would (dense fields for
-    /// branch/next, binary search for cases and indirect values).
+    /// branch/next, dense table or binary search for cases and indirect
+    /// values).
     pub fn edge_target(&self, program: usize, es: u32, key: EdgeKey) -> Option<u32> {
         let ccfg = &self.cfgs[program];
-        let blk = ccfg.blocks.get(es as usize)?;
+        let ep = *ccfg.pos.get(es as usize)?;
+        let blk = &ccfg.blocks[ep as usize];
         let to = match key {
             EdgeKey::Next => blk.next,
             EdgeKey::Taken => blk.taken,
@@ -400,19 +1131,21 @@ impl CompiledSpec {
                 Err(_) => NO_BLOCK,
             },
         };
-        (to != NO_BLOCK).then_some(to)
+        (to != NO_BLOCK).then(|| ccfg.to_orig(to))
     }
 
     /// Number of compiled switch cases out of `program`/`es`.
     pub fn case_count(&self, program: usize, es: u32) -> usize {
-        let blk = &self.cfgs[program].blocks[es as usize];
+        let ccfg = &self.cfgs[program];
+        let blk = &ccfg.blocks[ccfg.pos[es as usize] as usize];
         (blk.cases.1 - blk.cases.0) as usize
     }
 
     /// Compiled pass-through resolution of a program-block origin.
     pub fn resolve_of(&self, program: usize, origin: u32) -> Option<u32> {
-        let es = self.cfgs[program].resolve.get(origin as usize).copied()?;
-        (es != NO_BLOCK).then_some(es)
+        let ccfg = &self.cfgs[program];
+        let es = ccfg.resolve.get(origin as usize).copied()?;
+        (es != NO_BLOCK).then(|| ccfg.to_orig(es))
     }
 
     /// Compiled function-pointer table of `program`: every statically
@@ -423,7 +1156,7 @@ impl CompiledSpec {
         ccfg.fn_vals
             .iter()
             .zip(&ccfg.fn_tos)
-            .map(|(&v, &t)| (v, (t != NO_BLOCK).then_some(t)))
+            .map(|(&v, &t)| (v, (t != NO_BLOCK).then(|| ccfg.to_orig(t))))
             .collect()
     }
 
@@ -435,7 +1168,7 @@ impl CompiledSpec {
     /// Whether compiled command key `key_idx` admits block
     /// `program`/`es` through its accessibility bitmap.
     pub fn cmd_mask_allows(&self, key_idx: usize, program: usize, es: u32) -> bool {
-        let d = (self.block_offsets[program] + es) as usize;
+        let d = (self.block_offsets[program] + self.cfgs[program].pos[es as usize]) as usize;
         self.cmd_masks[key_idx][d / 64] & (1u64 << (d % 64)) != 0
     }
 
@@ -448,7 +1181,7 @@ impl CompiledSpec {
     /// DSOD op.
     pub fn op_flags_of(&self, program: usize, es: u32) -> &[bool] {
         let ccfg = &self.cfgs[program];
-        let blk = &ccfg.blocks[es as usize];
+        let blk = &ccfg.blocks[ccfg.pos[es as usize] as usize];
         let n = self.spec.cfgs[program].blocks[es as usize].dsod.len();
         &ccfg.op_flags[blk.ops_at as usize..blk.ops_at as usize + n]
     }
@@ -486,24 +1219,33 @@ impl CompiledSpec {
         }
     }
 
-    /// Whether dense block `program`/`es` is accessible under `scope`.
+    /// Whether block `program`/`es` is accessible under the hot-path
+    /// scope word `w`. `es_perm` indexes the layout-space bitmaps;
+    /// `es_orig` keys the original-space `allowed` set of a custom
+    /// scope.
     #[inline]
-    fn scope_allows(&self, scope: &CmdScope, program: usize, es: u32) -> bool {
-        match scope {
-            CmdScope::None => true,
-            CmdScope::Entry(i) => {
-                let d = (self.block_offsets[program] + es) as usize;
-                self.cmd_masks[*i as usize][d / 64] & (1u64 << (d % 64)) != 0
-            }
-            CmdScope::Custom(c) => c.allowed.contains(&gid(program, es)),
+    fn scope_allows_w(
+        &self,
+        w: u32,
+        custom: &Option<CmdCtx>,
+        program: usize,
+        es_perm: u32,
+        es_orig: u32,
+    ) -> bool {
+        if w == CUSTOM_SCOPE {
+            custom.as_ref().is_none_or(|c| c.allowed.contains(&gid(program, es_orig)))
+        } else {
+            let d = (self.block_offsets[program] + es_perm) as usize;
+            self.cmd_masks[w as usize][d / 64] & (1u64 << (d % 64)) != 0
         }
     }
 
-    fn scope_cmd(&self, scope: &CmdScope) -> u64 {
-        match scope {
-            CmdScope::None => 0,
-            CmdScope::Entry(i) => self.cmd_keys[*i as usize].1,
-            CmdScope::Custom(c) => c.cmd,
+    /// The active command under the hot-path scope word `w`.
+    fn scope_cmd_w(&self, w: u32, custom: &Option<CmdCtx>) -> u64 {
+        match w {
+            NO_SCOPE => 0,
+            CUSTOM_SCOPE => custom.as_ref().map_or(0, |c| c.cmd),
+            i => self.cmd_keys[i as usize].1,
         }
     }
 
@@ -516,8 +1258,8 @@ impl CompiledSpec {
     ///
     /// With `sink` set, every visited block and consumed sync value is
     /// emitted as a trace event and the walked path is retained on `ws`
-    /// for forensics; with `sink` `None` each instrumentation site costs
-    /// one predictable branch and the walk allocates nothing.
+    /// for forensics; with `sink` `None` the observed instrumentation is
+    /// compiled out entirely and the walk allocates nothing.
     pub fn walk(
         &self,
         config: &CheckConfig,
@@ -527,11 +1269,120 @@ impl CompiledSpec {
         ws: &mut WalkState,
         sink: Option<&dyn ObsSink>,
     ) -> RoundReport {
-        if sink.is_some() {
+        let mut report = RoundReport::default();
+        let (w, mut custom) = scope_to_word(&ws.scope);
+        let w_out = match sink {
+            Some(_) => self.walk_impl::<dyn SyncProvider, true>(
+                config,
+                program,
+                req,
+                sync,
+                ws,
+                sink,
+                &mut report,
+                w,
+                &mut custom,
+            ),
+            None => self.walk_impl::<dyn SyncProvider, false>(
+                config,
+                program,
+                req,
+                sync,
+                ws,
+                None,
+                &mut report,
+                w,
+                &mut custom,
+            ),
+        };
+        ws.pending = word_scope(w_out, &custom);
+        report
+    }
+
+    /// Walks a batch of `(program, request)` rounds with the statically
+    /// monomorphized no-sync engine, watermark-committing every clean
+    /// completed round in place. Stops at the first round that raises a
+    /// violation or suspends at a sync point: that round's journaled
+    /// writes are left open (the caller aborts or re-drives it) and its
+    /// report lands in `out.stopper`.
+    ///
+    /// Call [`WalkState::begin_batch`] first; finalize the committed
+    /// prefix with [`WalkState::commit_marked`] (one journal clear for
+    /// the whole batch).
+    pub fn walk_batch<'a, I>(
+        &self,
+        config: &CheckConfig,
+        rounds: I,
+        ws: &mut WalkState,
+        scratch: &mut RoundReport,
+        out: &mut BatchOutcome,
+    ) where
+        I: IntoIterator<Item = (usize, &'a IoRequest)>,
+    {
+        out.committed = 0;
+        out.blocks_walked = 0;
+        out.stopper = None;
+        let mut nosync = NoSync;
+        // The command scope rides across rounds as a register-resident
+        // word; `ws.scope`/`ws.pending` are only materialized when the
+        // batch stops or drains.
+        let (mut w, mut custom) = scope_to_word(&ws.scope);
+        for (program, req) in rounds {
+            scratch.reset();
+            let w_out = self.walk_impl::<NoSync, false>(
+                config,
+                program,
+                req,
+                &mut nosync,
+                ws,
+                None,
+                scratch,
+                w,
+                &mut custom,
+            );
+            if !scratch.ok() || scratch.needs_sync {
+                // Leave the state exactly as the per-round engine would:
+                // the last committed round's exit scope promoted, the
+                // stopper's exit scope pending (dropped by the abort or
+                // promoted if the caller re-drives and commits).
+                ws.pending = word_scope(w_out, &custom);
+                ws.scope = word_scope(w, &custom);
+                out.stopper = Some(std::mem::take(scratch));
+                return;
+            }
+            w = w_out;
+            ws.mark_watermark();
+            out.committed += 1;
+            out.blocks_walked += scratch.blocks_walked;
+        }
+        ws.scope = word_scope(w, &custom);
+        ws.pending = CmdScope::None;
+    }
+
+    /// The direct-threaded round engine. Generic over the sync provider
+    /// (monomorphized for the batched no-sync path, virtual for the
+    /// general one) and over `OBS`, which compiles the trace
+    /// instrumentation in or out.
+    /// Takes the entry command scope as a word (plus the rare custom
+    /// context in `custom`) and returns the exit scope word; the caller
+    /// decides where to materialize it.
+    #[allow(clippy::too_many_lines)]
+    #[allow(clippy::too_many_arguments)]
+    fn walk_impl<S: SyncProvider + ?Sized, const OBS: bool>(
+        &self,
+        config: &CheckConfig,
+        program: usize,
+        req: &IoRequest,
+        sync: &mut S,
+        ws: &mut WalkState,
+        sink: Option<&dyn ObsSink>,
+        report: &mut RoundReport,
+        mut scope_w: u32,
+        custom: &mut Option<CmdCtx>,
+    ) -> u32 {
+        if OBS {
             ws.path.clear();
         }
-        let mut report = RoundReport::default();
-        let mut scope = ws.scope.clone();
         let ccfg = &self.cfgs[program];
         let scfg = &self.spec.cfgs[program];
 
@@ -539,13 +1390,15 @@ impl CompiledSpec {
             if config.conditional_jump {
                 report.violations.push(Violation::UntracedEntry { program });
             }
-            ws.pending = scope;
-            return report;
+            return scope_w;
         }
 
         ws.locals.clear();
-        ws.locals.extend(scfg.locals.iter().map(|&w| TypedValue::unsigned(0, w)));
+        ws.locals.extend_from_slice(&ccfg.locals_tmpl);
         ws.call_stack.clear();
+        let p_param = config.parameter;
+        let p_cj = config.conditional_jump;
+        let p_cs = config.command_scope;
         let mut cur = ccfg.entry;
 
         'walk: loop {
@@ -553,109 +1406,46 @@ impl CompiledSpec {
             if report.blocks_walked > WALK_LIMIT {
                 break;
             }
-            if let Some(s) = sink {
-                ws.path.push(cur);
-                s.event(TraceEventKind::BlockStep { program: program as u32, block: cur });
+            let hb = ccfg.hot[cur as usize];
+            if OBS {
+                if let Some(s) = sink {
+                    ws.path.push(hb.orig);
+                    s.event(TraceEventKind::BlockStep { program: program as u32, block: hb.orig });
+                }
             }
-            let cblk = ccfg.blocks[cur as usize];
-            let sblk = &scfg.blocks[cur as usize];
 
             // Command-scope accessibility (finer-grained conditional check).
-            if !matches!(scope, CmdScope::None)
-                && config.command_scope
-                && !self.scope_allows(&scope, program, cur)
+            if scope_w != NO_SCOPE
+                && p_cs
+                && !self.scope_allows_w(scope_w, custom, program, cur, hb.orig)
             {
-                if config.conditional_jump {
+                if p_cj {
                     report.violations.push(Violation::BlockOutsideCommand {
                         program,
-                        block: cur,
-                        label: sblk.label.clone(),
-                        cmd: self.scope_cmd(&scope),
+                        block: hb.orig,
+                        label: scfg.blocks[hb.orig as usize].label.clone(),
+                        cmd: self.scope_cmd_w(scope_w, custom),
                     });
                 }
                 break;
             }
-            if cblk.is_cmd_end {
-                scope = CmdScope::None;
+            if hb.is_cmd_end {
+                scope_w = NO_SCOPE;
             }
 
-            // --- DSOD ---
-            for (k, op) in sblk.dsod.iter().enumerate() {
-                let flag = ccfg.op_flags[cblk.ops_at as usize + k];
-                match op {
-                    DsodOp::Exec(stmt) => {
-                        if let Err(v) = Self::exec_shadow(
-                            stmt,
-                            flag,
-                            ws,
-                            req,
-                            config.parameter,
-                            program,
-                            cur,
-                            &sblk.label,
-                            scfg,
-                        ) {
-                            if config.parameter {
-                                report.violations.push(v);
-                            }
-                            break 'walk;
-                        }
-                    }
-                    DsodOp::SyncVar(v) => match sync.var_value(*v) {
-                        Some(val) => {
-                            ws.shadow.set_var_logged(*v, val, &mut ws.journal);
-                            report.syncs_used += 1;
-                            if let Some(s) = sink {
-                                s.event(TraceEventKind::SyncFetch { kind: SyncKind::Var });
-                            }
-                        }
-                        None => {
-                            report.needs_sync = true;
-                            break 'walk;
-                        }
-                    },
-                    DsodOp::SyncBuf { buf, off, len } => {
-                        if let Some(v) = Self::range_violation(
-                            config,
-                            flag,
-                            *buf,
-                            off,
-                            len,
-                            ws,
-                            req,
-                            program,
-                            cur,
-                            &sblk.label,
-                        ) {
-                            report.violations.push(v);
-                            break 'walk;
-                        }
-                        match sync.buf_content(*buf) {
-                            Some((off0, bytes)) => {
+            // --- DSOD: lowered ops, flat expression programs ---
+            if hb.has_dsod {
+                let sblk = &scfg.blocks[hb.orig as usize];
+                for k in 0..sblk.dsod.len() {
+                    let flag = ccfg.op_flags[hb.ops_at as usize + k];
+                    match ccfg.fdsod[hb.ops_at as usize + k] {
+                        FDsod::SyncVar { v } => match sync.var_value(v) {
+                            Some(val) => {
+                                ws.shadow.set_var_logged(v, val, &mut ws.journal);
                                 report.syncs_used += 1;
-                                report.sync_bytes += bytes.len() as u64;
-                                if let Some(s) = sink {
-                                    s.event(TraceEventKind::SyncFetch { kind: SyncKind::Buf });
-                                }
-                                for (k, byte) in bytes.iter().enumerate() {
-                                    if ws
-                                        .shadow
-                                        .buf_write_logged(
-                                            *buf,
-                                            off0 + k as i64,
-                                            *byte,
-                                            &mut ws.journal,
-                                        )
-                                        .is_err()
-                                    {
-                                        if config.parameter {
-                                            report.violations.push(Violation::ShadowFault {
-                                                program,
-                                                block: cur,
-                                                detail: "external copy left the arena".into(),
-                                            });
-                                        }
-                                        break 'walk;
+                                if OBS {
+                                    if let Some(s) = sink {
+                                        s.event(TraceEventKind::SyncFetch { kind: SyncKind::Var });
                                     }
                                 }
                             }
@@ -663,71 +1453,153 @@ impl CompiledSpec {
                                 report.needs_sync = true;
                                 break 'walk;
                             }
+                        },
+                        FDsod::SyncBuf { b, fp_off, fp_len } => {
+                            if let Some(v) = Self::range_violation(
+                                ccfg,
+                                config,
+                                flag,
+                                b,
+                                fp_off,
+                                fp_len,
+                                ws,
+                                req,
+                                program,
+                                hb.orig,
+                                &sblk.label,
+                            ) {
+                                report.violations.push(v);
+                                break 'walk;
+                            }
+                            match sync.buf_content(b) {
+                                Some((off0, bytes)) => {
+                                    report.syncs_used += 1;
+                                    report.sync_bytes += bytes.len() as u64;
+                                    if OBS {
+                                        if let Some(s) = sink {
+                                            s.event(TraceEventKind::SyncFetch {
+                                                kind: SyncKind::Buf,
+                                            });
+                                        }
+                                    }
+                                    for (k, byte) in bytes.iter().enumerate() {
+                                        if ws
+                                            .shadow
+                                            .buf_write_logged(
+                                                b,
+                                                off0 + k as i64,
+                                                *byte,
+                                                &mut ws.journal,
+                                            )
+                                            .is_err()
+                                        {
+                                            if p_param {
+                                                report.violations.push(Violation::ShadowFault {
+                                                    program,
+                                                    block: hb.orig,
+                                                    detail: "external copy left the arena".into(),
+                                                });
+                                            }
+                                            break 'walk;
+                                        }
+                                    }
+                                }
+                                None => {
+                                    report.needs_sync = true;
+                                    break 'walk;
+                                }
+                            }
                         }
-                    }
-                    DsodOp::CheckBufRead { buf, off, len } => {
-                        if let Some(v) = Self::range_violation(
-                            config,
-                            flag,
-                            *buf,
-                            off,
-                            len,
-                            ws,
-                            req,
-                            program,
-                            cur,
-                            &sblk.label,
-                        ) {
-                            report.violations.push(v);
-                            break 'walk;
+                        FDsod::CheckBufRead { b, fp_off, fp_len } => {
+                            if let Some(v) = Self::range_violation(
+                                ccfg,
+                                config,
+                                flag,
+                                b,
+                                fp_off,
+                                fp_len,
+                                ws,
+                                req,
+                                program,
+                                hb.orig,
+                                &sblk.label,
+                            ) {
+                                report.violations.push(v);
+                                break 'walk;
+                            }
+                        }
+                        exec => {
+                            if let Err(v) = Self::exec_shadow(
+                                ccfg,
+                                exec,
+                                flag,
+                                ws,
+                                req,
+                                p_param,
+                                program,
+                                hb.orig,
+                                &sblk.label,
+                            ) {
+                                if p_param {
+                                    report.violations.push(v);
+                                }
+                                break 'walk;
+                            }
                         }
                     }
                 }
             }
 
-            // --- NBTD ---
-            match &sblk.nbtd {
-                Nbtd::None => {
-                    if cblk.is_exit {
-                        report.completed = true;
-                        break;
-                    }
-                    if cblk.is_return {
-                        let Some(ret) = ws.call_stack.pop() else {
-                            if config.conditional_jump {
-                                report
-                                    .violations
-                                    .push(Violation::UntracedPath { program, block: cur });
-                            }
-                            break;
-                        };
-                        let es = ccfg.resolve.get(ret as usize).copied().unwrap_or(NO_BLOCK);
-                        if es == NO_BLOCK {
-                            if config.conditional_jump {
-                                report
-                                    .violations
-                                    .push(Violation::UntracedPath { program, block: cur });
-                            }
-                            break;
-                        }
-                        cur = es;
-                        continue;
-                    }
-                    if cblk.next == NO_BLOCK {
-                        if config.conditional_jump {
-                            report.violations.push(Violation::UntracedPath { program, block: cur });
-                        }
-                        break;
-                    }
-                    cur = cblk.next;
+            // --- NBTD: direct-threaded dispatch over pre-resolved
+            // handler indices (the dense `match` lowers to a jump
+            // table; no `Nbtd` enum inspection on the hot path) ---
+            match hb.kind {
+                HKind::Exit => {
+                    report.completed = true;
+                    break;
                 }
-                Nbtd::Branch { cond, needs_sync } => {
-                    let taken = if *needs_sync {
-                        match sync.branch_outcome(sblk.origin) {
+                HKind::Return => {
+                    let Some(ret) = ws.call_stack.pop() else {
+                        if p_cj {
+                            report
+                                .violations
+                                .push(Violation::UntracedPath { program, block: hb.orig });
+                        }
+                        break;
+                    };
+                    let es = ccfg.resolve.get(ret as usize).copied().unwrap_or(NO_BLOCK);
+                    if es == NO_BLOCK {
+                        if p_cj {
+                            report
+                                .violations
+                                .push(Violation::UntracedPath { program, block: hb.orig });
+                        }
+                        break;
+                    }
+                    cur = es;
+                }
+                HKind::Fall => {
+                    if hb.a == NO_BLOCK {
+                        if p_cj {
+                            report
+                                .violations
+                                .push(Violation::UntracedPath { program, block: hb.orig });
+                        }
+                        break;
+                    }
+                    cur = hb.a;
+                }
+                HKind::BranchEval | HKind::BranchSync => {
+                    let taken = if hb.kind == HKind::BranchSync {
+                        match sync.branch_outcome(hb.aux) {
                             Some(t) => {
                                 report.syncs_used += 1;
-                                if let Some(s) = sink {
-                                    s.event(TraceEventKind::SyncFetch { kind: SyncKind::Branch });
+                                if OBS {
+                                    if let Some(s) = sink {
+                                        s.event(TraceEventKind::SyncFetch {
+                                            kind: SyncKind::Branch,
+                                        });
+                                    }
                                 }
                                 t
                             }
@@ -738,14 +1610,20 @@ impl CompiledSpec {
                         }
                     } else {
                         let mut flags = OverflowFlags::clear();
-                        let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
-                        match eval_expr(cond, &ctx, &mut flags) {
+                        match eval_flat(
+                            ccfg.fprog(hb.aux),
+                            &ws.shadow,
+                            &ws.locals,
+                            req,
+                            &mut ws.estack,
+                            &mut flags,
+                        ) {
                             Ok(v) => v.is_true(),
                             Err(e) => {
-                                if config.parameter {
+                                if p_param {
                                     report.violations.push(Violation::ShadowFault {
                                         program,
-                                        block: cur,
+                                        block: hb.orig,
                                         detail: e.to_string(),
                                     });
                                 }
@@ -753,13 +1631,13 @@ impl CompiledSpec {
                             }
                         }
                     };
-                    let to = if taken { cblk.taken } else { cblk.not_taken };
+                    let to = if taken { hb.a } else { hb.b };
                     if to == NO_BLOCK {
-                        if config.conditional_jump {
+                        if p_cj {
                             report.violations.push(Violation::UntrainedBranch {
                                 program,
-                                block: cur,
-                                label: sblk.label.clone(),
+                                block: hb.orig,
+                                label: scfg.blocks[hb.orig as usize].label.clone(),
                                 taken,
                             });
                         }
@@ -767,13 +1645,21 @@ impl CompiledSpec {
                     }
                     cur = to;
                 }
-                Nbtd::Switch { scrutinee, needs_sync, is_cmd_decision } => {
-                    let value = if *needs_sync {
-                        match sync.switch_value(sblk.origin) {
+                HKind::SwitchEval
+                | HKind::SwitchSync
+                | HKind::SwitchCmdEval
+                | HKind::SwitchCmdSync => {
+                    let tab = &ccfg.switch_tabs[hb.aux as usize];
+                    let value = if matches!(hb.kind, HKind::SwitchSync | HKind::SwitchCmdSync) {
+                        match sync.switch_value(tab.origin) {
                             Some(v) => {
                                 report.syncs_used += 1;
-                                if let Some(s) = sink {
-                                    s.event(TraceEventKind::SyncFetch { kind: SyncKind::Switch });
+                                if OBS {
+                                    if let Some(s) = sink {
+                                        s.event(TraceEventKind::SyncFetch {
+                                            kind: SyncKind::Switch,
+                                        });
+                                    }
                                 }
                                 v
                             }
@@ -784,14 +1670,20 @@ impl CompiledSpec {
                         }
                     } else {
                         let mut flags = OverflowFlags::clear();
-                        let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
-                        match eval_expr(scrutinee, &ctx, &mut flags) {
+                        match eval_flat(
+                            ccfg.fprog(tab.scrut),
+                            &ws.shadow,
+                            &ws.locals,
+                            req,
+                            &mut ws.estack,
+                            &mut flags,
+                        ) {
                             Ok(v) => v.bits,
                             Err(e) => {
-                                if config.parameter {
+                                if p_param {
                                     report.violations.push(Violation::ShadowFault {
                                         program,
-                                        block: cur,
+                                        block: hb.orig,
                                         detail: e.to_string(),
                                     });
                                 }
@@ -799,80 +1691,120 @@ impl CompiledSpec {
                             }
                         }
                     };
-                    if *is_cmd_decision {
-                        match self.cmd_keys.binary_search(&(gid(program, cur), value)) {
-                            Ok(i) => scope = CmdScope::Entry(i as u32),
-                            Err(_) => {
-                                if config.conditional_jump && config.command_scope {
-                                    report.violations.push(Violation::UnknownCommand {
-                                        program,
-                                        block: cur,
-                                        label: sblk.label.clone(),
-                                        cmd: value,
-                                    });
-                                    break;
-                                }
-                                scope = CmdScope::None;
+                    if matches!(hb.kind, HKind::SwitchCmdEval | HKind::SwitchCmdSync) {
+                        let ki = if tab.cmd_lut_span != 0 {
+                            let d = value.wrapping_sub(tab.cmd_lut_min);
+                            if d < u64::from(tab.cmd_lut_span) {
+                                ccfg.cmd_lut[(tab.cmd_lut_at + d as u32) as usize]
+                            } else {
+                                NO_KEY
                             }
-                        }
-                    }
-                    let (cs, ce) = (cblk.cases.0 as usize, cblk.cases.1 as usize);
-                    match ccfg.case_vals[cs..ce].binary_search(&value) {
-                        Ok(i) => cur = ccfg.case_tos[cs + i],
-                        Err(_) => {
-                            if config.conditional_jump {
-                                report.violations.push(Violation::UnknownSwitchTarget {
+                        } else {
+                            let (lo, hi) = (tab.cmd_keys.0 as usize, tab.cmd_keys.1 as usize);
+                            match self.cmd_keys[lo..hi].binary_search_by_key(&value, |k| k.1) {
+                                Ok(i) => (lo + i) as u32,
+                                Err(_) => NO_KEY,
+                            }
+                        };
+                        if ki != NO_KEY {
+                            scope_w = ki;
+                        } else {
+                            if p_cj && p_cs {
+                                report.violations.push(Violation::UnknownCommand {
                                     program,
-                                    block: cur,
-                                    label: sblk.label.clone(),
-                                    value,
+                                    block: hb.orig,
+                                    label: scfg.blocks[hb.orig as usize].label.clone(),
+                                    cmd: value,
                                 });
+                                break;
                             }
-                            break;
+                            scope_w = NO_SCOPE;
                         }
                     }
-                }
-                Nbtd::Indirect { ptr, ret_origin } => {
-                    let value = ws.shadow.var(*ptr);
-                    let Ok(i) = ccfg.fn_vals.binary_search(&value) else {
-                        if config.indirect_jump {
-                            report.violations.push(Violation::IndirectTarget {
+                    let to = if tab.lut_span != 0 {
+                        let d = value.wrapping_sub(tab.lut_min);
+                        if d < u64::from(tab.lut_span) {
+                            ccfg.case_lut[(tab.lut_at + d as u32) as usize]
+                        } else {
+                            NO_BLOCK
+                        }
+                    } else {
+                        let (cs, ce) = (tab.cases.0 as usize, tab.cases.1 as usize);
+                        match ccfg.case_vals[cs..ce].binary_search(&value) {
+                            Ok(i) => ccfg.case_tos[cs + i],
+                            Err(_) => NO_BLOCK,
+                        }
+                    };
+                    if to == NO_BLOCK {
+                        if p_cj {
+                            report.violations.push(Violation::UnknownSwitchTarget {
                                 program,
-                                block: cur,
-                                label: sblk.label.clone(),
+                                block: hb.orig,
+                                label: scfg.blocks[hb.orig as usize].label.clone(),
                                 value,
                             });
                         }
                         break;
+                    }
+                    cur = to;
+                }
+                HKind::Indirect => {
+                    let value = ws.shadow.var(VarId(hb.a));
+                    let fi = if ccfg.fn_lut_span != 0 {
+                        let d = value.wrapping_sub(ccfg.fn_lut_min);
+                        if d < u64::from(ccfg.fn_lut_span) {
+                            ccfg.fn_lut[d as usize]
+                        } else {
+                            NO_KEY
+                        }
+                    } else {
+                        match ccfg.fn_vals.binary_search(&value) {
+                            Ok(i) => i as u32,
+                            Err(_) => NO_KEY,
+                        }
                     };
-                    let t = ccfg.fn_tos[i];
-                    if t == NO_BLOCK {
-                        if config.conditional_jump {
-                            report.violations.push(Violation::UntracedPath { program, block: cur });
+                    if fi == NO_KEY {
+                        if config.indirect_jump {
+                            report.violations.push(Violation::IndirectTarget {
+                                program,
+                                block: hb.orig,
+                                label: scfg.blocks[hb.orig as usize].label.clone(),
+                                value,
+                            });
                         }
                         break;
                     }
-                    ws.call_stack.push(*ret_origin);
+                    let t = ccfg.fn_tos[fi as usize];
+                    if t == NO_BLOCK {
+                        if p_cj {
+                            report
+                                .violations
+                                .push(Violation::UntracedPath { program, block: hb.orig });
+                        }
+                        break;
+                    }
+                    ws.call_stack.push(hb.b);
                     cur = t;
                 }
             }
         }
 
-        ws.pending = scope;
-        report
+        scope_w
     }
 
     /// Bounds-checks a buffer range under the precomputed checkability
     /// flag; mirrors the interpreted `range_violation` exactly,
     /// including its silent tolerance of evaluation errors.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn range_violation(
+        ccfg: &CompiledCfg,
         config: &CheckConfig,
         checkable: bool,
         buf: BufId,
-        off: &Expr,
-        len: &Expr,
-        ws: &WalkState,
+        fp_off: u32,
+        fp_len: u32,
+        ws: &mut WalkState,
         req: &IoRequest,
         program: usize,
         block: u32,
@@ -882,9 +1814,14 @@ impl CompiledSpec {
             return None;
         }
         let mut flags = OverflowFlags::clear();
-        let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
-        let o = eval_expr(off, &ctx, &mut flags).ok()?.as_i128() as i64;
-        let l = eval_expr(len, &ctx, &mut flags).ok()?.as_i128() as i64;
+        let o =
+            eval_flat(ccfg.fprog(fp_off), &ws.shadow, &ws.locals, req, &mut ws.estack, &mut flags)
+                .ok()?
+                .as_i128() as i64;
+        let l =
+            eval_flat(ccfg.fprog(fp_len), &ws.shadow, &ws.locals, req, &mut ws.estack, &mut flags)
+                .ok()?
+                .as_i128() as i64;
         let cap = ws.shadow.buf_len(buf) as i64;
         if o < 0 || l < 0 || o + l > cap {
             return Some(Violation::BufferOverflow {
@@ -900,12 +1837,14 @@ impl CompiledSpec {
         None
     }
 
-    /// Executes one DSOD statement on the journaled shadow; the compiled
-    /// counterpart of the interpreted `exec_shadow`, with the
-    /// expression-scope derivation replaced by the precomputed `flag`.
+    /// Executes one lowered DSOD statement on the journaled shadow; the
+    /// compiled counterpart of the interpreted `exec_shadow`, with the
+    /// expression-scope derivation replaced by the precomputed `flag`
+    /// and every operand expression pre-flattened.
     #[allow(clippy::too_many_arguments)]
     fn exec_shadow(
-        stmt: &Stmt,
+        ccfg: &CompiledCfg,
+        op: FDsod,
         flag: bool,
         ws: &mut WalkState,
         req: &IoRequest,
@@ -913,18 +1852,22 @@ impl CompiledSpec {
         program: usize,
         block: u32,
         label: &str,
-        scfg: &EsCfg,
     ) -> Result<(), Violation> {
         let mut flags = OverflowFlags::clear();
         let shadow_fault =
             |e: EvalError| Violation::ShadowFault { program, block, detail: e.to_string() };
 
-        match stmt {
-            Stmt::SetVar(v, e) => {
-                let val = {
-                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
-                    eval_expr(e, &ctx, &mut flags).map_err(shadow_fault)?
-                };
+        match op {
+            FDsod::SetVar { v, fp } => {
+                let val = eval_flat(
+                    ccfg.fprog(fp),
+                    &ws.shadow,
+                    &ws.locals,
+                    req,
+                    &mut ws.estack,
+                    &mut flags,
+                )
+                .map_err(shadow_fault)?;
                 if enforce && flags.arithmetic && flag {
                     return Err(Violation::IntegerOverflow {
                         program,
@@ -932,66 +1875,100 @@ impl CompiledSpec {
                         label: label.to_string(),
                     });
                 }
-                let (w, signed) = ws.shadow.var_meta(*v);
+                let (w, signed) = ws.shadow.var_meta(v);
                 let (conv, _) = val.convert(w, signed);
-                ws.shadow.set_var_logged(*v, conv.bits, &mut ws.journal);
+                ws.shadow.set_var_logged(v, conv.bits, &mut ws.journal);
             }
-            Stmt::SetLocal(l, e) => {
-                let val = {
-                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
-                    eval_expr(e, &ctx, &mut flags).map_err(shadow_fault)?
-                };
-                let w = scfg.locals.get(l.0 as usize).copied().unwrap_or(Width::W64);
+            FDsod::SetLocal { l, w, fp } => {
+                let val = eval_flat(
+                    ccfg.fprog(fp),
+                    &ws.shadow,
+                    &ws.locals,
+                    req,
+                    &mut ws.estack,
+                    &mut flags,
+                )
+                .map_err(shadow_fault)?;
                 let (conv, _) = val.convert(w, false);
-                ws.locals[l.0 as usize] = conv;
+                ws.locals[l as usize] = conv;
             }
-            Stmt::BufStore(b, idx, val) => {
-                let (i, v) = {
-                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
-                    let i =
-                        eval_expr(idx, &ctx, &mut flags).map_err(shadow_fault)?.as_i128() as i64;
-                    let v = eval_expr(val, &ctx, &mut flags).map_err(shadow_fault)?;
-                    (i, v)
-                };
-                let cap = ws.shadow.buf_len(*b) as i64;
+            FDsod::BufStore { b, fp_idx, fp_val } => {
+                let i = eval_flat(
+                    ccfg.fprog(fp_idx),
+                    &ws.shadow,
+                    &ws.locals,
+                    req,
+                    &mut ws.estack,
+                    &mut flags,
+                )
+                .map_err(shadow_fault)?
+                .as_i128() as i64;
+                let v = eval_flat(
+                    ccfg.fprog(fp_val),
+                    &ws.shadow,
+                    &ws.locals,
+                    req,
+                    &mut ws.estack,
+                    &mut flags,
+                )
+                .map_err(shadow_fault)?;
+                let cap = ws.shadow.buf_len(b) as i64;
                 if enforce && flag && (i < 0 || i >= cap) {
                     return Err(Violation::BufferOverflow {
                         program,
                         block,
                         label: label.to_string(),
-                        buf: *b,
+                        buf: b,
                         start: i,
                         end: i + 1,
                         cap: cap as u64,
                     });
                 }
-                ws.shadow.buf_write_logged(*b, i, v.bits as u8, &mut ws.journal).map_err(|e| {
+                ws.shadow.buf_write_logged(b, i, v.bits as u8, &mut ws.journal).map_err(|e| {
                     Violation::ShadowFault { program, block, detail: e.to_string() }
                 })?;
             }
-            Stmt::BufFill(b, e) => {
-                let v = {
-                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
-                    eval_expr(e, &ctx, &mut flags).map_err(shadow_fault)?
-                };
-                ws.shadow.buf_fill_logged(*b, v.bits as u8, &mut ws.journal);
+            FDsod::BufFill { b, fp } => {
+                let v = eval_flat(
+                    ccfg.fprog(fp),
+                    &ws.shadow,
+                    &ws.locals,
+                    req,
+                    &mut ws.estack,
+                    &mut flags,
+                )
+                .map_err(shadow_fault)?;
+                ws.shadow.buf_fill_logged(b, v.bits as u8, &mut ws.journal);
             }
-            Stmt::CopyPayload { buf, buf_off, len } => {
-                let (off, n) = {
-                    let ctx = EvalCtx { cs: &ws.shadow, locals: &ws.locals, io: req };
-                    let off = eval_expr(buf_off, &ctx, &mut flags).map_err(shadow_fault)?.as_i128()
-                        as i64;
-                    let n = eval_expr(len, &ctx, &mut flags).map_err(shadow_fault)?.as_i128().max(0)
-                        as i64;
-                    (off, n)
-                };
-                let cap = ws.shadow.buf_len(*buf) as i64;
+            FDsod::CopyPayload { b, fp_off, fp_len } => {
+                let off = eval_flat(
+                    ccfg.fprog(fp_off),
+                    &ws.shadow,
+                    &ws.locals,
+                    req,
+                    &mut ws.estack,
+                    &mut flags,
+                )
+                .map_err(shadow_fault)?
+                .as_i128() as i64;
+                let n = eval_flat(
+                    ccfg.fprog(fp_len),
+                    &ws.shadow,
+                    &ws.locals,
+                    req,
+                    &mut ws.estack,
+                    &mut flags,
+                )
+                .map_err(shadow_fault)?
+                .as_i128()
+                .max(0) as i64;
+                let cap = ws.shadow.buf_len(b) as i64;
                 if enforce && flag && (off < 0 || off + n > cap) {
                     return Err(Violation::BufferOverflow {
                         program,
                         block,
                         label: label.to_string(),
-                        buf: *buf,
+                        buf: b,
                         start: off,
                         end: off + n,
                         cap: cap as u64,
@@ -999,12 +1976,15 @@ impl CompiledSpec {
                 }
                 for k in 0..n {
                     let byte = req.payload_byte(k as usize);
-                    ws.shadow.buf_write_logged(*buf, off + k, byte, &mut ws.journal).map_err(
-                        |e| Violation::ShadowFault { program, block, detail: e.to_string() },
-                    )?;
+                    ws.shadow.buf_write_logged(b, off + k, byte, &mut ws.journal).map_err(|e| {
+                        Violation::ShadowFault { program, block, detail: e.to_string() }
+                    })?;
                 }
             }
-            Stmt::Intrinsic(_) => unreachable!("intrinsics never appear as Exec DSOD"),
+            FDsod::Unsupported => unreachable!("intrinsics never appear as Exec DSOD"),
+            FDsod::SyncVar { .. } | FDsod::SyncBuf { .. } | FDsod::CheckBufRead { .. } => {
+                unreachable!("sync ops are handled inline by the walk")
+            }
         }
         Ok(())
     }

@@ -20,7 +20,8 @@ use sedspec_vmm::{IoRequest, VmContext};
 use serde::{Deserialize, Serialize};
 
 use crate::checker::{
-    CheckConfig, EsChecker, NoSync, RecordedSync, RoundReport, Strategy, Violation, WorkingMode,
+    BatchOutcome, CheckConfig, EsChecker, NoSync, RecordedSync, RoundReport, Strategy, Violation,
+    WorkingMode,
 };
 use crate::compiled::CompiledSpec;
 use crate::observe::Observer;
@@ -178,6 +179,9 @@ pub struct EnforcingDevice {
     sink: Option<Arc<dyn ObsSink>>,
     /// Wall-clock ns spent in spec walks this round (sink-enabled only).
     walk_ns: u64,
+    /// Program indices routed while feeding the batched pre-walk,
+    /// replayed by the execute loop so each round routes exactly once.
+    route_buf: Vec<usize>,
 }
 
 impl EnforcingDevice {
@@ -195,6 +199,7 @@ impl EnforcingDevice {
             observer: Observer::new(),
             sink: None,
             walk_ns: 0,
+            route_buf: Vec::new(),
         }
     }
 
@@ -214,6 +219,7 @@ impl EnforcingDevice {
             observer: Observer::new(),
             sink: None,
             walk_ns: 0,
+            route_buf: Vec::new(),
         }
     }
 
@@ -331,6 +337,102 @@ impl EnforcingDevice {
             },
             Some(_) => self.handle_io_observed(ctx, req, pi),
         }
+    }
+
+    /// Services a prefix of `reqs` in one batched submission, pushing
+    /// one verdict per serviced request and returning how many were
+    /// consumed (always ≥ 1 for a non-empty slice; callers loop until
+    /// the run is drained).
+    ///
+    /// The fast path pre-walks the whole run through
+    /// [`EsChecker::walk_batch`] — journal setup, scope promotion and
+    /// commit amortized across the run — then executes the device for
+    /// every clean pre-checked round in submission order. This is
+    /// behavior-identical to per-round [`EnforcingDevice::handle_io`]:
+    /// specification walks never read the VM context, devices only
+    /// advance the virtual clock (all checking charges are additive),
+    /// and any round that raises a violation or suspends at a sync
+    /// point stops the batch and is re-driven through the sequential
+    /// path, so verdicts, statistics and halt ordering come out
+    /// exactly as if the run had been submitted round by round.
+    ///
+    /// Falls back to one sequential round per call when batching would
+    /// change observable behavior or buy nothing: an attached obs sink
+    /// (rounds need `RoundBegin`/`RoundEnd` brackets), the interpreted
+    /// reference engine, a halted or single-request stream, or an
+    /// unrouted (checker-bypassing) head request.
+    pub fn handle_batch(
+        &mut self,
+        ctx: &mut VmContext,
+        reqs: &[&IoRequest],
+        verdicts: &mut Vec<IoVerdict>,
+    ) -> usize {
+        if reqs.is_empty() {
+            return 0;
+        }
+        if self.sink.is_some()
+            || matches!(self.engine, Engine::Interpreted)
+            || self.halted
+            || reqs.len() == 1
+        {
+            let v = self.handle_io(ctx, reqs[0]);
+            verdicts.push(v);
+            return 1;
+        }
+        let mut out = BatchOutcome::default();
+        {
+            let device = &self.device;
+            let route_buf = &mut self.route_buf;
+            route_buf.clear();
+            self.checker.walk_batch(
+                reqs.iter().map_while(|r| {
+                    device.route(r).map(|pi| {
+                        route_buf.push(pi);
+                        (pi, *r)
+                    })
+                }),
+                &mut out,
+            );
+        }
+        let stopped = out.stopper.is_some();
+        if out.committed == 0 && !stopped {
+            // Unrouted head request: bypass round via the sequential path.
+            self.checker.commit_batch();
+            let v = self.handle_io(ctx, reqs[0]);
+            verdicts.push(v);
+            return 1;
+        }
+        // Charge the clean pre-checked prefix: identical accounting to
+        // `committed` sequential precheck-complete rounds (no-sync
+        // walks consume no sync values, so only the round base and the
+        // per-block cost apply).
+        let n = out.committed as u64;
+        self.stats.rounds += n;
+        self.stats.precheck_complete += n;
+        self.stats.check_blocks += out.blocks_walked;
+        ctx.clock.advance_ns(CHECK_ROUND_NS * n + CHECK_BLOCK_NS * out.blocks_walked);
+        if stopped {
+            // Roll the stopper's open shadow writes back to the batch
+            // watermark before finalizing the committed prefix.
+            self.checker.abort_round();
+        }
+        self.checker.commit_batch();
+        for (req, pi) in reqs[..out.committed].iter().zip(&self.route_buf) {
+            verdicts.push(match self.device.handle_io_routed(ctx, req, *pi) {
+                Ok(o) => IoVerdict::Allowed(o),
+                Err(f) => IoVerdict::DeviceFault { fault: f.to_string(), violations: Vec::new() },
+            });
+        }
+        if stopped {
+            // Re-drive the stopping round sequentially: the walk is
+            // deterministic over the committed shadow, so it reproduces
+            // the same outcome while taking the full slow machinery
+            // (sync re-walk, forensics, halt/warn/abort accounting).
+            let v = self.handle_io(ctx, reqs[out.committed]);
+            verdicts.push(v);
+            return out.committed + 1;
+        }
+        out.committed
     }
 
     /// Brackets one round with `RoundBegin`/`RoundEnd` events carrying

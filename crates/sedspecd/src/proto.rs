@@ -71,6 +71,14 @@ pub enum RequestBody {
     },
     /// Run a batch of guest script steps on a tenant. Requires a token
     /// admitted for that tenant; rate-limited per tenant.
+    ///
+    /// Consecutive I/O steps ride the pool's batched enforcement path
+    /// (`EnforcingDevice::handle_batch`): the shard worker pre-walks
+    /// each run of same-device requests through the compiled checker in
+    /// one submission and only then executes the clean prefix, so a
+    /// daemon client gets the amortized-dispatch throughput without any
+    /// protocol change. Verdict order, alerts, rollback and quarantine
+    /// behave exactly as if every step were submitted alone.
     SubmitBatch {
         /// Target tenant.
         tenant: u64,

@@ -10,16 +10,20 @@
 //! over random benign-and-rare batches for all five devices in both
 //! working modes, plus every CVE proof-of-concept stream from Table III.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
-use sedspec::checker::WorkingMode;
+use sedspec::checker::{NoSync, WorkingMode};
 use sedspec::collect::{apply_step, TrainStep};
-use sedspec::enforce::{EnforcingDevice, Engine};
+use sedspec::compiled::{CompileOptions, CompiledSpec};
+use sedspec::enforce::{EnforcingDevice, Engine, IoVerdict};
 use sedspec::pipeline::{train_script, TrainingConfig};
 use sedspec::response::highest_alert;
 use sedspec::spec::ExecutionSpecification;
 use sedspec_dbl::interp::ExecLimits;
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
-use sedspec_repro::vmm::VmContext;
+use sedspec_repro::obs::{ObsHub, ScopeInfo};
+use sedspec_repro::vmm::{IoRequest, VmContext};
 use sedspec_repro::workloads::attacks::{poc, Cve};
 use sedspec_repro::workloads::generators::{eval_case, training_suite};
 use sedspec_repro::workloads::InteractionMode;
@@ -157,6 +161,261 @@ fn cve_pocs_render_identical_verdicts() {
         for mode in [WorkingMode::Protection, WorkingMode::Enhancement] {
             assert_engines_agree(p.device, p.qemu_version, &spec, mode, &p.steps)
                 .unwrap_or_else(|e| panic!("{}: {}", p.cve.id(), e));
+        }
+    }
+}
+
+/// Drives one compiled enforcer per round and a second through
+/// [`EnforcingDevice::handle_batch`] in `chunk`-request submissions,
+/// asserting the batched amortization is unobservable: same verdict
+/// sequence, same alert levels, same final [`sedspec::enforce::EnforceStats`]
+/// (aborts included), same halt latch, committed shadow bytes and
+/// command scope. Non-I/O steps (guest memory writes, delays) flush the
+/// pending chunk first, exactly as a pool drains before foreign events.
+fn assert_batched_matches_sequential(
+    kind: DeviceKind,
+    version: QemuVersion,
+    compiled: &Arc<CompiledSpec>,
+    mode: WorkingMode,
+    steps: &[TrainStep],
+    chunk: usize,
+) -> Result<(), TestCaseError> {
+    let build = || {
+        let mut device = build_device(kind, version);
+        device.set_limits(ExecLimits { max_steps: 50_000 });
+        EnforcingDevice::new_compiled(device, Arc::clone(compiled), mode)
+    };
+    let mut seq = build();
+    let mut bat = build();
+    let mut ctx_s = VmContext::new(0x200000, 8192);
+    let mut ctx_b = VmContext::new(0x200000, 8192);
+    let mut verdicts_s: Vec<IoVerdict> = Vec::new();
+    let mut verdicts_b: Vec<IoVerdict> = Vec::new();
+    let mut pending: Vec<IoRequest> = Vec::new();
+
+    fn flush(
+        bat: &mut EnforcingDevice,
+        ctx: &mut VmContext,
+        pending: &mut Vec<IoRequest>,
+        verdicts: &mut Vec<IoVerdict>,
+    ) {
+        let refs: Vec<&IoRequest> = pending.iter().collect();
+        let mut consumed = 0;
+        while consumed < refs.len() {
+            let n = bat.handle_batch(ctx, &refs[consumed..], verdicts);
+            assert!(n > 0, "a non-empty batch consumes at least one round");
+            consumed += n;
+        }
+        pending.clear();
+    }
+
+    for step in steps {
+        if let TrainStep::Io(req) = step {
+            verdicts_s.push(seq.handle_io(&mut ctx_s, req));
+            pending.push(req.clone());
+            if pending.len() >= chunk {
+                flush(&mut bat, &mut ctx_b, &mut pending, &mut verdicts_b);
+            }
+        } else {
+            flush(&mut bat, &mut ctx_b, &mut pending, &mut verdicts_b);
+            apply_step(step, &mut ctx_b);
+            apply_step(step, &mut ctx_s);
+        }
+    }
+    flush(&mut bat, &mut ctx_b, &mut pending, &mut verdicts_b);
+
+    prop_assert_eq!(
+        verdicts_s.len(),
+        verdicts_b.len(),
+        "{} {:?} chunk {}: verdict counts diverged",
+        kind,
+        mode,
+        chunk
+    );
+    for (round, (vs, vb)) in verdicts_s.iter().zip(&verdicts_b).enumerate() {
+        prop_assert_eq!(
+            vs,
+            vb,
+            "{} {:?} chunk {} round {}: batched verdict diverged",
+            kind,
+            mode,
+            chunk,
+            round
+        );
+        prop_assert_eq!(
+            highest_alert(vs.violations()),
+            highest_alert(vb.violations()),
+            "{} {:?} chunk {} round {}: alert levels diverged",
+            kind,
+            mode,
+            chunk,
+            round
+        );
+    }
+    prop_assert_eq!(
+        seq.stats,
+        bat.stats,
+        "{} {:?} chunk {}: EnforceStats diverged",
+        kind,
+        mode,
+        chunk
+    );
+    prop_assert_eq!(
+        seq.is_halted(),
+        bat.is_halted(),
+        "{} {:?} chunk {}: halt latches diverged",
+        kind,
+        mode,
+        chunk
+    );
+    prop_assert_eq!(
+        seq.checker().shadow(),
+        bat.checker().shadow(),
+        "{} {:?} chunk {}: committed shadow states diverged",
+        kind,
+        mode,
+        chunk
+    );
+    prop_assert_eq!(
+        seq.checker().cmd_ctx(),
+        bat.checker().cmd_ctx(),
+        "{} {:?} chunk {}: command scopes diverged",
+        kind,
+        mode,
+        chunk
+    );
+    Ok(())
+}
+
+fn run_batched_differential(kind: DeviceKind, seed: u64) -> Result<(), TestCaseError> {
+    let spec = train(kind, QemuVersion::Patched, 40);
+    let compiled = Arc::new(CompiledSpec::compile(Arc::new(spec)));
+    let rare = if seed.is_multiple_of(2) { 0.0 } else { 0.25 };
+    let mode = InteractionMode::all()[(seed % 3) as usize];
+    let steps = eval_case(kind, mode, rare, seed);
+    let chunk = [1, 2, 3, 5, 16, 64, 256][(seed % 7) as usize];
+    for working in [WorkingMode::Protection, WorkingMode::Enhancement] {
+        assert_batched_matches_sequential(
+            kind,
+            QemuVersion::Patched,
+            &compiled,
+            working,
+            &steps,
+            chunk,
+        )?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn fdc_batched_matches_sequential(seed in 0u64..5000) {
+        run_batched_differential(DeviceKind::Fdc, seed)?;
+    }
+
+    #[test]
+    fn sdhci_batched_matches_sequential(seed in 0u64..5000) {
+        run_batched_differential(DeviceKind::Sdhci, seed)?;
+    }
+
+    #[test]
+    fn scsi_batched_matches_sequential(seed in 0u64..5000) {
+        run_batched_differential(DeviceKind::Scsi, seed)?;
+    }
+
+    #[test]
+    fn ehci_batched_matches_sequential(seed in 0u64..5000) {
+        run_batched_differential(DeviceKind::UsbEhci, seed)?;
+    }
+
+    #[test]
+    fn pcnet_batched_matches_sequential(seed in 0u64..5000) {
+        run_batched_differential(DeviceKind::Pcnet, seed)?;
+    }
+}
+
+/// Every CVE proof-of-concept stream produces the same verdicts whether
+/// submitted round by round or through the batched path — hostile
+/// rounds stop the batch and re-drive sequentially, so detection
+/// ordering must be bit-identical.
+#[test]
+fn cve_pocs_batched_matches_sequential() {
+    for cve in Cve::all_with_known_miss() {
+        let p = poc(cve);
+        let spec = train(p.device, p.qemu_version, 60);
+        let compiled = Arc::new(CompiledSpec::compile(Arc::new(spec)));
+        for mode in [WorkingMode::Protection, WorkingMode::Enhancement] {
+            for chunk in [1, 7, 256] {
+                assert_batched_matches_sequential(
+                    p.device,
+                    p.qemu_version,
+                    &compiled,
+                    mode,
+                    &p.steps,
+                    chunk,
+                )
+                .unwrap_or_else(|e| panic!("{}: {}", p.cve.id(), e));
+            }
+        }
+    }
+}
+
+/// Profile-guided block reordering is layout-only: a spec compiled with
+/// a live heat profile must render the same verdicts, stats and shadow
+/// as the identity layout on benign and hostile streams.
+#[test]
+fn pgo_layout_preserves_verdicts() {
+    for kind in [DeviceKind::Fdc, DeviceKind::Pcnet, DeviceKind::Sdhci] {
+        let spec = train(kind, QemuVersion::Patched, 40);
+        let identity = Arc::new(CompiledSpec::compile(Arc::new(spec.clone())));
+
+        // Warm a sinked checker on a short benign stream to accumulate
+        // block heat, then recompile with the profile — the same
+        // feedback loop `SpecRegistry::optimize_from_obs` runs.
+        let hub = Arc::new(ObsHub::new());
+        let device = build_device(kind, QemuVersion::Patched);
+        let mut warm = sedspec::checker::EsChecker::new(spec.clone(), device.control.clone());
+        warm.set_sink(Some(hub.sink(ScopeInfo::device(kind.to_string()))));
+        let mut ctx = VmContext::new(0x200000, 8192);
+        for step in &eval_case(kind, InteractionMode::all()[0], 0.0, 0x5eed) {
+            if let Some(req) = apply_step(step, &mut ctx) {
+                if let Some(pi) = device.route(req) {
+                    warm.walk_round_fast(pi, req, &mut NoSync);
+                    warm.abort_round();
+                }
+            }
+        }
+        let profile = hub.heat_profile(&kind.to_string());
+        let pgo = Arc::new(CompiledSpec::compile_with(
+            Arc::new(spec),
+            &CompileOptions { profile: Some(&profile) },
+        ));
+
+        for seed in [0u64, 1, 3] {
+            let rare = if seed == 0 { 0.0 } else { 0.25 };
+            let steps = eval_case(kind, InteractionMode::all()[(seed % 3) as usize], rare, seed);
+            for mode in [WorkingMode::Protection, WorkingMode::Enhancement] {
+                let drive = |compiled: &Arc<CompiledSpec>| {
+                    let mut dev = build_device(kind, QemuVersion::Patched);
+                    dev.set_limits(ExecLimits { max_steps: 50_000 });
+                    let mut enf = EnforcingDevice::new_compiled(dev, Arc::clone(compiled), mode);
+                    let mut ctx = VmContext::new(0x200000, 8192);
+                    let mut verdicts = Vec::new();
+                    for step in &steps {
+                        if let Some(req) = apply_step(step, &mut ctx) {
+                            verdicts.push(enf.handle_io(&mut ctx, req));
+                        }
+                    }
+                    (verdicts, enf.stats, enf.is_halted())
+                };
+                let (vi, si, hi) = drive(&identity);
+                let (vp, sp, hp) = drive(&pgo);
+                assert_eq!(vi, vp, "{kind} {mode:?}: PGO layout changed verdicts");
+                assert_eq!(si, sp, "{kind} {mode:?}: PGO layout changed stats");
+                assert_eq!(hi, hp, "{kind} {mode:?}: PGO layout changed halt latch");
+            }
         }
     }
 }

@@ -9,7 +9,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 use std::time::Instant;
 
-use sedspec::checker::{EsChecker, NoSync, WorkingMode};
+use sedspec::checker::{BatchOutcome, EsChecker, NoSync, WorkingMode};
 use sedspec::enforce::EnforcingDevice;
 use sedspec::pipeline::{train_script, TrainingConfig};
 use sedspec_repro::devices::{build_device, DeviceKind, QemuVersion};
@@ -150,5 +150,46 @@ fn disabled_fault_seam_keeps_walk_round_fast_allocation_free() {
         during, 0,
         "walk_round_fast allocated {during} times over 2000 warmed rounds; the hot path \
          (and the disabled fault seam around it) must be allocation-free"
+    );
+}
+
+/// The batched engine shares the per-round invariant: once the journal,
+/// scratch and [`BatchOutcome`] buffers reach steady-state capacity, a
+/// warmed checker drains thousands of batched rounds without touching
+/// the allocator — submission amortization must not buy throughput by
+/// hiding per-batch buffer churn.
+#[test]
+fn walk_batch_is_allocation_free_when_warm() {
+    let kind = DeviceKind::Fdc;
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 40, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+
+    let device = build_device(kind, QemuVersion::Patched);
+    let req = IoRequest::read(AddressSpace::Pmio, 0x3f4, 1);
+    let pi = device.route(&req).expect("the poll port routes to a program");
+    let mut checker = EsChecker::new(spec, device.control.clone());
+
+    const BATCH: usize = 256;
+    let reqs: Vec<IoRequest> = (0..BATCH).map(|_| req.clone()).collect();
+    let mut out = BatchOutcome::default();
+
+    // Warm up: grow the journal, scratch and outcome buffers.
+    for _ in 0..8 {
+        checker.walk_batch(reqs.iter().map(|r| (pi, r)), &mut out);
+        checker.abort_batch();
+    }
+
+    let before = allocs_on_this_thread();
+    for _ in 0..2000 / BATCH + 8 {
+        checker.walk_batch(reqs.iter().map(|r| (pi, r)), &mut out);
+        checker.abort_batch();
+    }
+    let during = allocs_on_this_thread() - before;
+    assert_eq!(
+        during, 0,
+        "walk_batch allocated {during} times over warmed {BATCH}-round batches; the batched \
+         hot path must be allocation-free"
     );
 }
