@@ -969,7 +969,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         eprintln!(
             "usage: sedspec serve --store DIR (--socket PATH | --tcp ADDR) [--shards N] \
              [--admin-token T] [--tenant-token TOKEN=ID] [--rate-capacity N --rate-refill N] \
-             [--compact-every N]"
+             [--compact-every N] [--window-ms MS]"
         );
         return ExitCode::from(2);
     };
@@ -982,6 +982,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
     config.shards = flag(args, "--shards").and_then(|v| v.parse().ok()).unwrap_or(2);
     config.compact_every = flag(args, "--compact-every").and_then(|v| v.parse().ok()).unwrap_or(0);
+    config.window_ms =
+        flag(args, "--window-ms").and_then(|v| v.parse().ok()).unwrap_or(config.window_ms);
     config.auth = AuthConfig {
         admin_tokens: multi_flag(args, "--admin-token").into_iter().map(String::from).collect(),
         tenant_tokens: multi_flag(args, "--tenant-token")
@@ -998,7 +1000,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
 
     let hub = Arc::new(sedspec_obs::ObsHub::new());
     let daemon = match Daemon::new(config, hub) {
-        Ok(d) => d,
+        Ok(d) => Arc::new(d),
         Err(e) => {
             eprintln!("serve: {e}");
             return ExitCode::FAILURE;
@@ -1051,6 +1053,184 @@ struct FleetStatusOut {
     recent_alerts: Vec<sedspec_fleet::telemetry::AlertEvent>,
 }
 
+/// Renders one watch frame as a human-readable log line.
+fn render_watch_frame(frame: &sedspecd::WatchFrame) -> String {
+    use sedspecd::WatchEvent;
+    match &frame.event {
+        WatchEvent::Alert { alert } => format!("[{:>6}] ALERT    {alert}", frame.seq),
+        WatchEvent::HealthChanged { transition } => format!(
+            "[{:>6}] HEALTH   tenant-{} {} -> {} ({})",
+            frame.seq, transition.tenant, transition.from, transition.to, transition.reason
+        ),
+        WatchEvent::Window { report } => {
+            let mut line = format!("[{:>6}] WINDOW   tick {}", frame.seq, report.tick);
+            for t in &report.tenants {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut line,
+                    format_args!(
+                        " | tenant-{}: {:.1} r/s, {} alert(s), p99 {} us",
+                        t.tenant,
+                        t.round_rate,
+                        t.alerts,
+                        t.walk_p99_ns / 1000
+                    ),
+                );
+            }
+            line
+        }
+        WatchEvent::Forensic { summary } => format!(
+            "[{:>6}] FORENSIC tenant-{} {} {}: {}",
+            frame.seq,
+            summary.tenant.map_or_else(|| "?".to_string(), |t| t.to_string()),
+            summary.device,
+            summary.verdict,
+            summary.violation
+        ),
+    }
+}
+
+/// `sedspec ctl watch`: attach to the daemon's live event stream.
+fn cmd_ctl_watch(client: sedspecd::CtlClient, rest: &[String]) -> ExitCode {
+    use sedspecd::proto::ProtoError;
+
+    let tenant = flag(rest, "--tenant").and_then(|v| v.parse().ok());
+    let cursor = flag(rest, "--cursor").and_then(|v| v.parse().ok());
+    let json = rest.iter().any(|a| a == "--json");
+    let max_events: Option<u64> = flag(rest, "--max-events").and_then(|v| v.parse().ok());
+    let for_ms: Option<u64> = flag(rest, "--for-ms").and_then(|v| v.parse().ok());
+
+    let mut stream = match client.watch(cursor, tenant) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ctl watch: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(c) = cursor {
+        if stream.earliest > c + 1 {
+            eprintln!(
+                "ctl watch: events {}..{} already evicted from the ring; resuming at {}",
+                c + 1,
+                stream.earliest - 1,
+                stream.earliest
+            );
+        }
+    }
+    eprintln!(
+        "watching (cursor {}, ring holds {}..{}); ctrl-c to detach",
+        stream.resume, stream.earliest, stream.latest
+    );
+    let deadline =
+        for_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    let mut delivered: u64 = 0;
+    loop {
+        if max_events.is_some_and(|m| delivered >= m) {
+            return ExitCode::SUCCESS;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            return ExitCode::SUCCESS;
+        }
+        match stream.next_frame() {
+            Ok(frame) => {
+                if json {
+                    match serde_json::to_string(&frame) {
+                        Ok(line) => println!("{line}"),
+                        Err(e) => {
+                            eprintln!("ctl watch: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    println!("{}", render_watch_frame(&frame));
+                }
+                delivered += 1;
+            }
+            Err(sedspecd::ClientError::Proto(ProtoError::Closed)) => {
+                eprintln!("ctl watch: daemon closed the stream (resume cursor {})", stream.resume);
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("ctl watch: {e} (resume cursor {})", stream.resume);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}
+
+/// Renders one `ctl top` refresh.
+fn render_top(
+    health: &sedspecd::proto::ServerHealth,
+    window: Option<&sedspec_obs::WindowReport>,
+    states: &[sedspec_obs::TenantHealth],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sedspecd {} | tenants {} ({} quarantined, {} degraded) | shards {}/{} | watchers {} | \
+         requests {} | trace drops {}",
+        health.server,
+        health.tenants,
+        health.quarantined,
+        health.degraded,
+        health.shards_alive,
+        health.shards,
+        health.watchers,
+        health.requests,
+        health.trace_dropped
+    );
+    let Some(report) = window else {
+        let _ = writeln!(out, "  (no telemetry tick yet)");
+        return out;
+    };
+    let _ = writeln!(
+        out,
+        "  tick {:>5}  {:<10} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9}",
+        report.tick, "TENANT", "STATE", "ROUNDS/S", "ALERTS", "ABORTS", "P50(us)", "P99(us)"
+    );
+    for t in &report.tenants {
+        let state = states
+            .iter()
+            .find(|s| s.tenant == t.tenant)
+            .map_or_else(|| "?".to_string(), |s| s.state.to_string());
+        let _ = writeln!(
+            out,
+            "              tenant-{:<3} {:>9} {:>9.1} {:>7} {:>7} {:>9} {:>9}",
+            t.tenant,
+            state,
+            t.round_rate,
+            t.alerts,
+            t.aborts,
+            t.walk_p50_ns / 1000,
+            t.walk_p99_ns / 1000
+        );
+    }
+    out
+}
+
+/// `sedspec ctl top`: periodic health + windowed-telemetry renderer.
+fn cmd_ctl_top(mut client: sedspecd::CtlClient, rest: &[String]) -> ExitCode {
+    let interval: u64 = flag(rest, "--interval-ms").and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let iterations: u64 = flag(rest, "--iterations").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let mut shown: u64 = 0;
+    loop {
+        match client.health() {
+            Ok((health, window, states)) => {
+                print!("{}", render_top(&health, window.as_ref(), &states));
+            }
+            Err(e) => {
+                eprintln!("ctl top: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        shown += 1;
+        if iterations > 0 && shown >= iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval.max(50)));
+    }
+}
+
 /// The ctl client: one daemon request per invocation.
 #[allow(clippy::too_many_lines)]
 fn cmd_ctl(args: &[String]) -> ExitCode {
@@ -1059,7 +1239,7 @@ fn cmd_ctl(args: &[String]) -> ExitCode {
     let Some(command) = args.first().map(String::as_str) else {
         eprintln!(
             "usage: sedspec ctl <ping|publish|add-tenant|submit|status|fleet|quarantine|release|\
-             metrics|doctor|shutdown> [args] (--socket PATH | --tcp ADDR) [--token T]"
+             metrics|doctor|watch|top|shutdown> [args] (--socket PATH | --tcp ADDR) [--token T]"
         );
         return ExitCode::from(2);
     };
@@ -1092,6 +1272,14 @@ fn cmd_ctl(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Watch upgrades the connection to a stream and consumes the
+    // client; top loops Health polls. Both manage their own lifetime.
+    if command == "watch" {
+        return cmd_ctl_watch(client, rest);
+    }
+    if command == "top" {
+        return cmd_ctl_top(client, rest);
+    }
     let outcome: Result<(), String> = match command {
         "ping" => client
             .ping()

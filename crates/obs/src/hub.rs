@@ -17,6 +17,7 @@ use crate::flight::{FlightRecorder, ForensicData, ForensicRecord};
 use crate::metrics::MetricsRegistry;
 use crate::sink::ScopedSink;
 use crate::trace::TraceRecorder;
+use crate::window::{TenantHealth, WindowConfig, WindowReport, WindowedMetrics};
 
 /// Capacity knobs for a hub.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +58,9 @@ pub struct ObsHub {
     config: ObsConfig,
     metrics: MetricsRegistry,
     inner: Mutex<HubInner>,
+    /// The windowed aggregation layer; `None` (the default) keeps the
+    /// record path exactly as cheap as before the layer existed.
+    window: Mutex<Option<WindowedMetrics>>,
 }
 
 impl Default for ObsHub {
@@ -83,7 +87,32 @@ impl ObsHub {
                 flight: FlightRecorder::new(config.flight_capacity),
                 heat: HashMap::new(),
             }),
+            window: Mutex::new(None),
         }
+    }
+
+    /// Attaches the windowed aggregation layer. Idempotent on
+    /// reconfiguration: the ring and watchdog state start fresh.
+    pub fn enable_window(&self, config: WindowConfig) {
+        *self.window.lock() = Some(WindowedMetrics::new(config));
+    }
+
+    /// Whether the windowed layer is attached.
+    pub fn window_enabled(&self) -> bool {
+        self.window.lock().is_some()
+    }
+
+    /// Takes one windowed sample of the metrics registry (the caller
+    /// owns the tick clock; `at_ms` is its timestamp). `None` when the
+    /// layer is disabled.
+    pub fn sample_window(&self, at_ms: u64) -> Option<WindowReport> {
+        self.window.lock().as_mut().map(|w| w.sample(&self.metrics, at_ms))
+    }
+
+    /// Every tenant's current watchdog state (empty when the windowed
+    /// layer is disabled or has not sampled yet).
+    pub fn health_states(&self) -> Vec<TenantHealth> {
+        self.window.lock().as_ref().map(WindowedMetrics::states).unwrap_or_default()
     }
 
     /// Interns a component identity; the returned id keys every event
@@ -129,6 +158,10 @@ impl ObsHub {
             }
             TraceEventKind::RoundBegin { .. } => {
                 self.metrics.inc_labeled("sedspec_rounds_total", ("device", &device), 1);
+                if let Some(t) = tenant {
+                    let t = t.to_string();
+                    self.metrics.inc_labeled(crate::window::TENANT_ROUNDS, ("tenant", &t), 1);
+                }
             }
             TraceEventKind::RoundEnd { verdict, blocks, syncs, walk_ns } => {
                 let label = ("device", device.as_str());
@@ -147,6 +180,14 @@ impl ObsHub {
                 self.metrics.observe_labeled("sedspec_walk_ns", label, *walk_ns);
                 self.metrics.observe_labeled("sedspec_blocks_per_round", label, *blocks);
                 self.metrics.observe_labeled("sedspec_syncs_per_round", label, *syncs);
+                if let Some(t) = tenant {
+                    let t = t.to_string();
+                    self.metrics.observe_labeled(
+                        crate::window::TENANT_WALK_NS,
+                        ("tenant", &t),
+                        *walk_ns,
+                    );
+                }
             }
             TraceEventKind::SyncFetch { .. } => {
                 self.metrics.inc_labeled("sedspec_sync_fetch_total", ("device", &device), 1);
@@ -165,6 +206,10 @@ impl ObsHub {
                     ("device", &device),
                     *writes,
                 );
+                if let Some(t) = tenant {
+                    let t = t.to_string();
+                    self.metrics.inc_labeled(crate::window::TENANT_ABORTS, ("tenant", &t), 1);
+                }
             }
             TraceEventKind::SpecCompiled { .. } => {
                 self.metrics.inc("sedspec_spec_compiled_total", 1);
@@ -221,7 +266,9 @@ impl ObsHub {
                 }
             }
         }
-        inner.ring.push(TraceEvent { seq, round, scope, kind });
+        if inner.ring.push(TraceEvent { seq, round, scope, kind }) {
+            self.metrics.inc("sedspec_trace_dropped_total", 1);
+        }
     }
 
     /// Freezes a flagged round's forensic payload together with the
@@ -432,6 +479,47 @@ mod tests {
         let b7 = report.find("p0/b7").unwrap();
         let b2 = report.find("p0/b2").unwrap();
         assert!(b7 < b2, "hotter block must list first");
+    }
+
+    #[test]
+    fn ring_evictions_surface_as_trace_dropped_total() {
+        let hub =
+            Arc::new(ObsHub::with_config(ObsConfig { ring_capacity: 4, ..ObsConfig::default() }));
+        let sink = hub.sink(ScopeInfo::device("FDC"));
+        for _ in 0..10 {
+            sink.event(TraceEventKind::RoundBegin { program: 0 });
+        }
+        assert_eq!(hub.dropped_events(), 6);
+        assert_eq!(hub.metrics().counter("sedspec_trace_dropped_total", None), 6);
+    }
+
+    #[test]
+    fn tenant_scopes_feed_tenant_labeled_series_and_the_window() {
+        let hub = Arc::new(ObsHub::new());
+        assert!(!hub.window_enabled(), "windowed layer must be off by default");
+        assert!(hub.sample_window(0).is_none());
+        hub.enable_window(crate::window::WindowConfig::default());
+        let sink = hub.sink(ScopeInfo::tenant_device(0, 9, "FDC"));
+        sink.event(TraceEventKind::RoundBegin { program: 0 });
+        sink.event(TraceEventKind::RoundEnd {
+            verdict: VerdictKind::Allowed,
+            blocks: 3,
+            syncs: 0,
+            walk_ns: 500,
+        });
+        sink.event(TraceEventKind::JournalAbort { writes: 2 });
+        let m = hub.metrics();
+        assert_eq!(m.counter(crate::window::TENANT_ROUNDS, Some(("tenant", "9"))), 1);
+        assert_eq!(m.counter(crate::window::TENANT_ABORTS, Some(("tenant", "9"))), 1);
+        assert_eq!(
+            m.histogram(crate::window::TENANT_WALK_NS, Some(("tenant", "9"))).unwrap().count(),
+            1
+        );
+        let report = hub.sample_window(1000).unwrap();
+        assert_eq!(report.tick, 1);
+        assert_eq!(report.tenants.len(), 1);
+        assert_eq!(report.tenants[0].tenant, 9);
+        assert_eq!(hub.health_states().len(), 1);
     }
 
     #[test]

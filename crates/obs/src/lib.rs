@@ -31,6 +31,7 @@ pub mod hub;
 pub mod metrics;
 pub mod sink;
 pub mod trace;
+pub mod window;
 
 pub use event::{ScopeId, ScopeInfo, SyncKind, TraceEvent, TraceEventKind, VerdictKind};
 pub use flight::{
@@ -40,3 +41,7 @@ pub use hub::{ObsConfig, ObsHub};
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry, SeriesSnapshot};
 pub use sink::{NoopSink, ObsSink, ScopedSink};
 pub use trace::TraceRecorder;
+pub use window::{
+    HealthState, HealthTransition, TenantHealth, TenantWindow, WindowConfig, WindowReport,
+    WindowedMetrics,
+};

@@ -1,10 +1,16 @@
 //! Counters, gauges and log-linear histograms with Prometheus-style
 //! text exposition and a serde JSON snapshot.
 //!
-//! Metrics are keyed by a static name plus at most one label pair
-//! (`device="FDC"`, `tenant="3"`), which covers everything the
-//! enforcement pipeline exports while keeping the exposition ordering
-//! deterministic (`BTreeMap` iteration — the golden test relies on it).
+//! Metrics are keyed by a static name plus a small ordered list of
+//! label pairs (`device="FDC"`, or `op="SubmitBatch",stage="auth"`),
+//! which covers everything the enforcement pipeline exports while
+//! keeping the exposition ordering deterministic (`BTreeMap` iteration
+//! — the golden test relies on it). Exposition follows the Prometheus
+//! text format: label values are escaped, histogram buckets render as
+//! a dense cumulative `le` grid (every grid boundary up to the largest
+//! observed bucket, empty buckets included, so boundaries never
+//! appear or vanish between scrapes) closed by `+Inf`, `_sum` and
+//! `_count` series.
 
 use std::collections::BTreeMap;
 
@@ -112,28 +118,80 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// The dense cumulative bucket grid for exposition: one
+    /// `(upper_bound, cumulative_count)` pair per grid bucket from 0
+    /// through the highest bucket any sample reached, empty buckets
+    /// included. The boundaries come from the fixed log-linear grid,
+    /// so between scrapes an existing `le` series only ever grows —
+    /// it never disappears or shifts.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            out.push((Self::bucket_bounds(idx).1, cum));
+        }
+        out
+    }
 }
 
-/// Metric identity: static name plus at most one label pair.
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double quote and newline must be escaped inside `v="..."`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Metric identity: static name plus an ordered list of label pairs
+/// (empty for unlabeled series; one or two pairs in practice).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
     name: &'static str,
-    label: Option<(&'static str, String)>,
+    labels: Vec<(&'static str, String)>,
 }
 
 impl Key {
-    fn render(&self) -> String {
-        match &self.label {
-            None => self.name.to_string(),
-            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+    fn unlabeled(name: &'static str) -> Self {
+        Key { name, labels: Vec::new() }
+    }
+
+    fn labeled(name: &'static str, label: (&'static str, &str)) -> Self {
+        Key { name, labels: vec![(label.0, label.1.to_string())] }
+    }
+
+    fn labeled2(name: &'static str, l1: (&'static str, &str), l2: (&'static str, &str)) -> Self {
+        Key { name, labels: vec![(l1.0, l1.1.to_string()), (l2.0, l2.1.to_string())] }
+    }
+
+    /// The `{k="v",...}` suffix (empty string for unlabeled series),
+    /// with `le` appended last when given — Prometheus convention.
+    fn label_suffix(&self, le: Option<&str>) -> String {
+        if self.labels.is_empty() && le.is_none() {
+            return String::new();
         }
+        let mut parts: Vec<String> =
+            self.labels.iter().map(|(k, v)| format!("{}=\"{}\"", k, escape_label(v))).collect();
+        if let Some(le) = le {
+            parts.push(format!("le=\"{le}\""));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+
+    fn render(&self) -> String {
+        format!("{}{}", self.name, self.label_suffix(None))
     }
 
     fn render_with_le(&self, le: &str) -> String {
-        match &self.label {
-            None => format!("{}_bucket{{le=\"{}\"}}", self.name, le),
-            Some((k, v)) => format!("{}_bucket{{{}=\"{}\",le=\"{}\"}}", self.name, k, v, le),
-        }
+        format!("{}_bucket{}", self.name, self.label_suffix(Some(le)))
     }
 }
 
@@ -149,8 +207,12 @@ struct Inner {
 pub struct SeriesSnapshot {
     /// Metric name.
     pub name: String,
-    /// Label pair, when the series is labeled.
+    /// First label pair, when the series is labeled (kept for
+    /// single-label consumers; `labels` carries the full set).
     pub label: Option<(String, String)>,
+    /// Every label pair, in exposition order.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub labels: Vec<(String, String)>,
     /// Counter value (counters only).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub counter: Option<u64>,
@@ -209,34 +271,45 @@ impl MetricsRegistry {
 
     /// Adds `delta` to an unlabeled counter.
     pub fn inc(&self, name: &'static str, delta: u64) {
-        *self.inner.lock().counters.entry(Key { name, label: None }).or_default() += delta;
+        *self.inner.lock().counters.entry(Key::unlabeled(name)).or_default() += delta;
     }
 
     /// Adds `delta` to a labeled counter.
     pub fn inc_labeled(&self, name: &'static str, label: (&'static str, &str), delta: u64) {
-        let key = Key { name, label: Some((label.0, label.1.to_string())) };
-        *self.inner.lock().counters.entry(key).or_default() += delta;
+        *self.inner.lock().counters.entry(Key::labeled(name, label)).or_default() += delta;
     }
 
     /// Sets an unlabeled gauge.
     pub fn set_gauge(&self, name: &'static str, value: i64) {
-        self.inner.lock().gauges.insert(Key { name, label: None }, value);
+        self.inner.lock().gauges.insert(Key::unlabeled(name), value);
     }
 
     /// Adds `delta` (possibly negative) to an unlabeled gauge.
     pub fn add_gauge(&self, name: &'static str, delta: i64) {
-        *self.inner.lock().gauges.entry(Key { name, label: None }).or_default() += delta;
+        *self.inner.lock().gauges.entry(Key::unlabeled(name)).or_default() += delta;
     }
 
     /// Records a sample into an unlabeled histogram.
     pub fn observe(&self, name: &'static str, value: u64) {
-        self.inner.lock().histograms.entry(Key { name, label: None }).or_default().record(value);
+        self.inner.lock().histograms.entry(Key::unlabeled(name)).or_default().record(value);
     }
 
     /// Records a sample into a labeled histogram.
     pub fn observe_labeled(&self, name: &'static str, label: (&'static str, &str), value: u64) {
-        let key = Key { name, label: Some((label.0, label.1.to_string())) };
-        self.inner.lock().histograms.entry(key).or_default().record(value);
+        self.inner.lock().histograms.entry(Key::labeled(name, label)).or_default().record(value);
+    }
+
+    /// Records a sample into a two-label histogram (e.g.
+    /// `sedspecd_request_ns{op,stage}`). Labels render in argument
+    /// order, `le` last.
+    pub fn observe_labeled2(
+        &self,
+        name: &'static str,
+        l1: (&'static str, &str),
+        l2: (&'static str, &str),
+        value: u64,
+    ) {
+        self.inner.lock().histograms.entry(Key::labeled2(name, l1, l2)).or_default().record(value);
     }
 
     /// A labeled histogram's current state, if it exists.
@@ -245,13 +318,29 @@ impl MetricsRegistry {
         name: &'static str,
         label: Option<(&'static str, &str)>,
     ) -> Option<Histogram> {
-        let key = Key { name, label: label.map(|(k, v)| (k, v.to_string())) };
+        let key = match label {
+            None => Key::unlabeled(name),
+            Some(l) => Key::labeled(name, l),
+        };
         self.inner.lock().histograms.get(&key).cloned()
+    }
+
+    /// A two-label histogram's current state, if it exists.
+    pub fn histogram2(
+        &self,
+        name: &'static str,
+        l1: (&'static str, &str),
+        l2: (&'static str, &str),
+    ) -> Option<Histogram> {
+        self.inner.lock().histograms.get(&Key::labeled2(name, l1, l2)).cloned()
     }
 
     /// A counter's current value (0 when never incremented).
     pub fn counter(&self, name: &'static str, label: Option<(&'static str, &str)>) -> u64 {
-        let key = Key { name, label: label.map(|(k, v)| (k, v.to_string())) };
+        let key = match label {
+            None => Key::unlabeled(name),
+            Some(l) => Key::labeled(name, l),
+        };
         self.inner.lock().counters.get(&key).copied().unwrap_or(0)
     }
 
@@ -261,8 +350,10 @@ impl MetricsRegistry {
     }
 
     /// Prometheus-style text exposition. One `# TYPE` line per metric
-    /// name; histograms render cumulative `_bucket` series over their
-    /// non-empty buckets plus `_sum` and `_count`.
+    /// name; histograms render cumulative `_bucket` series over the
+    /// dense log-linear grid (empty buckets included, so `le`
+    /// boundaries are stable between scrapes) plus `+Inf`, `_sum` and
+    /// `_count`; label values are escaped per the text format.
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write;
         let inner = self.inner.lock();
@@ -284,14 +375,12 @@ impl MetricsRegistry {
         }
         for (key, h) in &inner.histograms {
             type_line(&mut out, key.name, "histogram");
-            let mut cum = 0u64;
-            for (_, upper, count) in h.buckets() {
-                cum += count;
+            for (upper, cum) in h.cumulative_buckets() {
                 let _ = writeln!(out, "{} {}", key.render_with_le(&upper.to_string()), cum);
             }
             let _ = writeln!(out, "{} {}", key.render_with_le("+Inf"), h.count());
-            let _ = writeln!(out, "{}_sum{} {}", key.name, label_suffix(key), h.sum());
-            let _ = writeln!(out, "{}_count{} {}", key.name, label_suffix(key), h.count());
+            let _ = writeln!(out, "{}_sum{} {}", key.name, key.label_suffix(None), h.sum());
+            let _ = writeln!(out, "{}_count{} {}", key.name, key.label_suffix(None), h.count());
         }
         out
     }
@@ -300,47 +389,45 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> Vec<SeriesSnapshot> {
         let inner = self.inner.lock();
         let series = |key: &Key| {
-            (key.name.to_string(), key.label.as_ref().map(|(k, v)| (k.to_string(), v.clone())))
+            let labels: Vec<(String, String)> =
+                key.labels.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+            (key.name.to_string(), labels.first().cloned(), labels)
         };
         let mut out = Vec::new();
         for (key, &value) in &inner.counters {
-            let (name, label) = series(key);
+            let (name, label, labels) = series(key);
             out.push(SeriesSnapshot {
                 name,
                 label,
+                labels,
                 counter: Some(value),
                 gauge: None,
                 histogram: None,
             });
         }
         for (key, &value) in &inner.gauges {
-            let (name, label) = series(key);
+            let (name, label, labels) = series(key);
             out.push(SeriesSnapshot {
                 name,
                 label,
+                labels,
                 counter: None,
                 gauge: Some(value),
                 histogram: None,
             });
         }
         for (key, h) in &inner.histograms {
-            let (name, label) = series(key);
+            let (name, label, labels) = series(key);
             out.push(SeriesSnapshot {
                 name,
                 label,
+                labels,
                 counter: None,
                 gauge: None,
                 histogram: Some(HistogramSnapshot::of(h)),
             });
         }
         out
-    }
-}
-
-fn label_suffix(key: &Key) -> String {
-    match &key.label {
-        None => String::new(),
-        Some((k, v)) => format!("{{{k}=\"{v}\"}}"),
     }
 }
 
@@ -417,6 +504,9 @@ mod tests {
             reg.observe_labeled("sedspec_walk_ns", ("device", "FDC"), v);
         }
         let got = reg.render_prometheus();
+        // The bucket grid is dense: every log-linear boundary up to
+        // the largest observed bucket renders, empty ones included,
+        // so `le` series are stable between scrapes.
         let want = "\
 # TYPE sedspec_halts_total counter
 sedspec_halts_total{device=\"FDC\"} 1
@@ -425,15 +515,79 @@ sedspec_rounds_total 3
 # TYPE sedspec_quarantined_tenants gauge
 sedspec_quarantined_tenants 2
 # TYPE sedspec_walk_ns histogram
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"0\"} 0
 sedspec_walk_ns_bucket{device=\"FDC\",le=\"1\"} 1
 sedspec_walk_ns_bucket{device=\"FDC\",le=\"2\"} 2
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"3\"} 2
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"4\"} 2
 sedspec_walk_ns_bucket{device=\"FDC\",le=\"5\"} 4
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"6\"} 4
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"7\"} 4
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"9\"} 4
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"11\"} 4
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"13\"} 4
+sedspec_walk_ns_bucket{device=\"FDC\",le=\"15\"} 4
 sedspec_walk_ns_bucket{device=\"FDC\",le=\"19\"} 5
 sedspec_walk_ns_bucket{device=\"FDC\",le=\"+Inf\"} 5
 sedspec_walk_ns_sum{device=\"FDC\"} 30
 sedspec_walk_ns_count{device=\"FDC\"} 5
 ";
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_bucket_grid_is_stable_across_scrapes() {
+        let reg = MetricsRegistry::new();
+        reg.observe("sedspec_walk_ns", 17);
+        let le_set = |text: &str| {
+            text.lines()
+                .filter_map(|l| l.split("le=\"").nth(1))
+                .filter_map(|rest| rest.split('"').next())
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        let first = le_set(&reg.render_prometheus());
+        // New samples inside the existing range must not change the
+        // boundary set — only the counts.
+        reg.observe("sedspec_walk_ns", 3);
+        reg.observe("sedspec_walk_ns", 9);
+        let second = le_set(&reg.render_prometheus());
+        assert_eq!(first, second, "le boundaries moved under in-range samples");
+        // Every prior boundary survives a range extension.
+        reg.observe("sedspec_walk_ns", 1000);
+        let third = le_set(&reg.render_prometheus());
+        assert_eq!(&third[..second.len() - 1], &second[..second.len() - 1]);
+        assert_eq!(third.last().map(String::as_str), Some("+Inf"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.inc_labeled("sedspec_faults_injected_total", ("kind", "say \"hi\"\\\n"), 1);
+        let got = reg.render_prometheus();
+        assert!(
+            got.contains("sedspec_faults_injected_total{kind=\"say \\\"hi\\\"\\\\\\n\"} 1"),
+            "unescaped exposition: {got}"
+        );
+    }
+
+    #[test]
+    fn two_label_histograms_render_with_le_last() {
+        let reg = MetricsRegistry::new();
+        reg.observe_labeled2("sedspecd_request_ns", ("op", "SubmitBatch"), ("stage", "auth"), 2);
+        reg.observe_labeled2("sedspecd_request_ns", ("op", "Ping"), ("stage", "total"), 1);
+        let got = reg.render_prometheus();
+        assert!(got.contains("sedspecd_request_ns_bucket{op=\"Ping\",stage=\"total\",le=\"1\"} 1"));
+        assert!(got.contains("sedspecd_request_ns_sum{op=\"SubmitBatch\",stage=\"auth\"} 2"));
+        assert!(got.contains("sedspecd_request_ns_count{op=\"SubmitBatch\",stage=\"auth\"} 1"));
+        let h = reg
+            .histogram2("sedspecd_request_ns", ("op", "SubmitBatch"), ("stage", "auth"))
+            .unwrap();
+        assert_eq!(h.count(), 1);
+        // The snapshot carries the full label set for both series.
+        let snap = reg.snapshot();
+        assert!(snap.iter().all(|s| s.labels.len() == 2));
+        assert_eq!(snap[0].label, Some(("op".into(), "Ping".into())));
     }
 
     #[test]

@@ -24,13 +24,17 @@ impl TraceRecorder {
         }
     }
 
-    /// Appends an event, evicting the oldest when full.
-    pub fn push(&mut self, event: TraceEvent) {
-        if self.buf.len() == self.capacity {
+    /// Appends an event, evicting the oldest when full. Returns
+    /// whether an event was dropped, so the caller can surface the
+    /// loss (the hub mirrors it as `sedspec_trace_dropped_total`).
+    pub fn push(&mut self, event: TraceEvent) -> bool {
+        let evicted = self.buf.len() == self.capacity;
+        if evicted {
             self.buf.pop_front();
             self.dropped += 1;
         }
         self.buf.push_back(event);
+        evicted
     }
 
     /// Events currently held, oldest first.

@@ -1,0 +1,509 @@
+//! Windowed aggregation over the metrics registry, plus the tenant
+//! health watchdog.
+//!
+//! The registry's counters and histograms are cumulative-since-start;
+//! operators (and the canary gate) need *rates over recent windows*.
+//! [`WindowedMetrics`] keeps a bounded ring of periodic registry
+//! snapshots — one [`TickSnapshot`] per sampling tick, holding each
+//! tenant's cumulative counters and walk-latency buckets — and derives
+//! per-tenant deltas over a short and a long window: alert rate, abort
+//! rate, round throughput, and walk-latency quantiles computed from
+//! bucket-count differences (so a latency regression shows up even
+//! while the lifetime histogram is dominated by old samples).
+//!
+//! The watchdog classifies each tenant from those windows:
+//!
+//! - [`HealthState::Alerting`] — the short window saw at least
+//!   [`WindowConfig::alert_threshold`] enforcement alerts;
+//! - [`HealthState::Degrading`] — no fresh alerts, but the short
+//!   window's abort rate or walk p99 *burned* past
+//!   [`WindowConfig::burn_ratio`] times the long-window baseline;
+//! - [`HealthState::Healthy`] — everything else.
+//!
+//! Classification is pure arithmetic over the ring, so a tenant
+//! recovers (Alerting → Healthy) once the offending samples age out of
+//! the short window. State changes are reported as
+//! [`HealthTransition`]s in every [`WindowReport`]; the daemon streams
+//! them to `ctl watch` clients.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsRegistry;
+
+/// Tenant-labeled series the window layer aggregates. The hub emits
+/// them alongside the device-labeled series whenever a scope carries a
+/// tenant id.
+pub const TENANT_ROUNDS: &str = "sedspec_tenant_rounds_total";
+/// Per-tenant alert counter (shared with the flight-recorder path).
+pub const TENANT_ALERTS: &str = "sedspec_alerts_total";
+/// Per-tenant journal-abort counter.
+pub const TENANT_ABORTS: &str = "sedspec_tenant_aborts_total";
+/// Per-tenant walk-latency histogram (ns).
+pub const TENANT_WALK_NS: &str = "sedspec_tenant_walk_ns";
+
+/// Watchdog verdict for one tenant, derived from window deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum HealthState {
+    /// No fresh alerts, no burn.
+    Healthy,
+    /// Abort rate or walk p99 burning past the long-window baseline.
+    Degrading,
+    /// Fresh enforcement alerts in the short window.
+    Alerting,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "Healthy"),
+            HealthState::Degrading => write!(f, "Degrading"),
+            HealthState::Alerting => write!(f, "Alerting"),
+        }
+    }
+}
+
+/// Window sizes and watchdog thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Snapshots retained in the ring (bounds memory; must cover
+    /// `long_ticks`).
+    pub capacity: usize,
+    /// Short window, in ticks — the "now" the watchdog reacts to.
+    pub short_ticks: usize,
+    /// Long window, in ticks — the baseline burn rates compare against.
+    pub long_ticks: usize,
+    /// Alerts in the short window at or above which a tenant is
+    /// `Alerting`.
+    pub alert_threshold: u64,
+    /// Short-window rate ≥ `burn_ratio` × long-window rate counts as
+    /// burning (aborts and walk p99).
+    pub burn_ratio: f64,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        WindowConfig {
+            capacity: 128,
+            short_ticks: 5,
+            long_ticks: 60,
+            alert_threshold: 1,
+            burn_ratio: 2.0,
+        }
+    }
+}
+
+/// One tenant's cumulative counters at one tick.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct TenantCounters {
+    rounds: u64,
+    alerts: u64,
+    aborts: u64,
+    /// Non-empty walk-latency buckets as `(lower, upper, count)`,
+    /// cumulative since process start.
+    walk: Vec<(u64, u64, u64)>,
+}
+
+/// One periodic snapshot of every tenant's counters.
+#[derive(Debug, Clone)]
+pub struct TickSnapshot {
+    /// Monotonic tick number (1-based).
+    pub tick: u64,
+    /// Caller-supplied timestamp, milliseconds on the caller's clock.
+    pub at_ms: u64,
+    tenants: BTreeMap<u64, TenantCounters>,
+}
+
+/// One tenant's rates and latency quantiles over a window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantWindow {
+    /// The tenant.
+    pub tenant: u64,
+    /// Ticks the window actually spans (may be shorter than configured
+    /// while the ring warms up).
+    pub window_ticks: u64,
+    /// Milliseconds the window actually spans.
+    pub window_ms: u64,
+    /// Enforced rounds in the window.
+    pub rounds: u64,
+    /// Enforcement alerts in the window.
+    pub alerts: u64,
+    /// Journal aborts in the window.
+    pub aborts: u64,
+    /// Rounds per second over the window.
+    pub round_rate: f64,
+    /// Alerts per second over the window.
+    pub alert_rate: f64,
+    /// Aborts per second over the window.
+    pub abort_rate: f64,
+    /// Median walk latency of the window's rounds, ns (0 when none).
+    pub walk_p50_ns: u64,
+    /// 99th-percentile walk latency of the window's rounds, ns.
+    pub walk_p99_ns: u64,
+}
+
+/// A watchdog state change for one tenant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthTransition {
+    /// The tenant.
+    pub tenant: u64,
+    /// State before this tick.
+    pub from: HealthState,
+    /// State after this tick.
+    pub to: HealthState,
+    /// The tick the transition happened on.
+    pub tick: u64,
+    /// Human-readable cause, e.g. `"2 alerts in 5-tick window"`.
+    pub reason: String,
+}
+
+/// One tenant's current watchdog state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantHealth {
+    /// The tenant.
+    pub tenant: u64,
+    /// Its current classification.
+    pub state: HealthState,
+}
+
+/// What one sampling tick produced: per-tenant short-window deltas,
+/// watchdog transitions, and the current state table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowReport {
+    /// The tick this report closed.
+    pub tick: u64,
+    /// The tick's timestamp (caller's clock, ms).
+    pub at_ms: u64,
+    /// Short-window deltas, one per tenant with any recorded series.
+    pub tenants: Vec<TenantWindow>,
+    /// Watchdog transitions this tick (empty most ticks).
+    pub transitions: Vec<HealthTransition>,
+    /// Every tenant's state after this tick.
+    pub states: Vec<TenantHealth>,
+}
+
+/// The windowed aggregation layer: a ring of [`TickSnapshot`]s plus
+/// the watchdog's state table. Not self-sampling — the owner (the
+/// daemon's telemetry ticker) calls [`WindowedMetrics::sample`] on its
+/// own clock, which keeps this layer deterministic and testable.
+#[derive(Debug)]
+pub struct WindowedMetrics {
+    config: WindowConfig,
+    tick: u64,
+    ring: VecDeque<TickSnapshot>,
+    states: BTreeMap<u64, HealthState>,
+}
+
+impl WindowedMetrics {
+    /// An empty window layer.
+    pub fn new(config: WindowConfig) -> Self {
+        let capacity = config.capacity.max(2);
+        WindowedMetrics {
+            config: WindowConfig { capacity, ..config },
+            tick: 0,
+            ring: VecDeque::with_capacity(capacity),
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &WindowConfig {
+        &self.config
+    }
+
+    /// Every tenant's current watchdog state.
+    pub fn states(&self) -> Vec<TenantHealth> {
+        self.states.iter().map(|(&tenant, &state)| TenantHealth { tenant, state }).collect()
+    }
+
+    /// Takes one snapshot of `registry`, folds it into the ring, and
+    /// returns the tick's deltas, transitions and state table.
+    pub fn sample(&mut self, registry: &MetricsRegistry, at_ms: u64) -> WindowReport {
+        self.tick += 1;
+        let snap = capture(registry, self.tick, at_ms);
+        if self.ring.len() == self.config.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(snap);
+
+        let windows: Vec<(u64, TenantWindow, TenantWindow)> = {
+            let newest = self.ring.back().expect("just pushed");
+            let short_base = self.base(self.config.short_ticks);
+            let long_base = self.base(self.config.long_ticks);
+            newest
+                .tenants
+                .iter()
+                .map(|(&tenant, now)| {
+                    (
+                        tenant,
+                        window_delta(tenant, now, newest, short_base),
+                        window_delta(tenant, now, newest, long_base),
+                    )
+                })
+                .collect()
+        };
+
+        let mut tenants = Vec::new();
+        let mut transitions = Vec::new();
+        for (tenant, short, long) in windows {
+            let (state, reason) = classify(&self.config, &short, &long);
+            let prev = self.states.insert(tenant, state).unwrap_or(HealthState::Healthy);
+            if prev != state {
+                transitions.push(HealthTransition {
+                    tenant,
+                    from: prev,
+                    to: state,
+                    tick: self.tick,
+                    reason,
+                });
+            }
+            tenants.push(short);
+        }
+        WindowReport { tick: self.tick, at_ms, tenants, transitions, states: self.states() }
+    }
+
+    /// The snapshot `ticks` back from the newest (the window base), or
+    /// the oldest held while the ring warms up. `None` only before the
+    /// second sample — a window needs two endpoints.
+    fn base(&self, ticks: usize) -> Option<&TickSnapshot> {
+        if self.ring.len() < 2 {
+            return None;
+        }
+        let idx = self.ring.len().saturating_sub(ticks + 1);
+        self.ring.get(idx)
+    }
+}
+
+/// Extracts every tenant's counters from one registry snapshot.
+fn capture(registry: &MetricsRegistry, tick: u64, at_ms: u64) -> TickSnapshot {
+    let mut tenants: BTreeMap<u64, TenantCounters> = BTreeMap::new();
+    for series in registry.snapshot() {
+        let Some((key, value)) = series.label.as_ref() else { continue };
+        if key != "tenant" {
+            continue;
+        }
+        let Ok(tenant) = value.parse::<u64>() else { continue };
+        let entry = tenants.entry(tenant).or_default();
+        match series.name.as_str() {
+            TENANT_ROUNDS => entry.rounds = series.counter.unwrap_or(0),
+            TENANT_ALERTS => entry.alerts = series.counter.unwrap_or(0),
+            TENANT_ABORTS => entry.aborts = series.counter.unwrap_or(0),
+            TENANT_WALK_NS => {
+                if let Some(h) = &series.histogram {
+                    entry.walk.clone_from(&h.buckets);
+                }
+            }
+            _ => {}
+        }
+    }
+    TickSnapshot { tick, at_ms, tenants }
+}
+
+/// The delta between `now` and the tenant's counters at `base`.
+fn window_delta(
+    tenant: u64,
+    now: &TenantCounters,
+    newest: &TickSnapshot,
+    base: Option<&TickSnapshot>,
+) -> TenantWindow {
+    let empty = TenantCounters::default();
+    let (then, ticks, ms) = match base {
+        Some(b) => (
+            b.tenants.get(&tenant).unwrap_or(&empty),
+            newest.tick - b.tick,
+            newest.at_ms.saturating_sub(b.at_ms),
+        ),
+        None => (&empty, 0, 0),
+    };
+    let rounds = now.rounds.saturating_sub(then.rounds);
+    let alerts = now.alerts.saturating_sub(then.alerts);
+    let aborts = now.aborts.saturating_sub(then.aborts);
+    let (walk_p50_ns, walk_p99_ns) = bucket_delta_quantiles(&now.walk, &then.walk);
+    let rate = |n: u64| if ms == 0 { 0.0 } else { n as f64 * 1000.0 / ms as f64 };
+    TenantWindow {
+        tenant,
+        window_ticks: ticks,
+        window_ms: ms,
+        rounds,
+        alerts,
+        aborts,
+        round_rate: rate(rounds),
+        alert_rate: rate(alerts),
+        abort_rate: rate(aborts),
+        walk_p50_ns,
+        walk_p99_ns,
+    }
+}
+
+/// p50/p99 of the samples that arrived *between* two cumulative bucket
+/// snapshots, computed from per-bucket count differences. Buckets are
+/// matched by lower bound — the grid is fixed, so a bucket present in
+/// `then` is present in `now` with a count at least as large.
+fn bucket_delta_quantiles(now: &[(u64, u64, u64)], then: &[(u64, u64, u64)]) -> (u64, u64) {
+    let then_counts: BTreeMap<u64, u64> = then.iter().map(|&(lo, _, c)| (lo, c)).collect();
+    let mut delta: Vec<(u64, u64)> = Vec::with_capacity(now.len());
+    let mut total = 0u64;
+    for &(lo, hi, c) in now {
+        let d = c.saturating_sub(then_counts.get(&lo).copied().unwrap_or(0));
+        if d > 0 {
+            delta.push((hi, d));
+            total += d;
+        }
+    }
+    if total == 0 {
+        return (0, 0);
+    }
+    let quantile = |q: f64| {
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for &(hi, d) in &delta {
+            cum += d;
+            if cum >= target {
+                return hi;
+            }
+        }
+        delta.last().map_or(0, |&(hi, _)| hi)
+    };
+    (quantile(0.50), quantile(0.99))
+}
+
+/// The watchdog: classify one tenant from its short window against its
+/// long-window baseline, with a rendered reason for transitions.
+fn classify(
+    config: &WindowConfig,
+    short: &TenantWindow,
+    long: &TenantWindow,
+) -> (HealthState, String) {
+    if short.alerts >= config.alert_threshold {
+        return (
+            HealthState::Alerting,
+            format!("{} alert(s) in {}-tick window", short.alerts, short.window_ticks),
+        );
+    }
+    // Abort burn: fresh aborts arriving faster than the baseline (or
+    // against a clean baseline).
+    if short.aborts > 0
+        && (long.abort_rate == 0.0 || short.abort_rate >= config.burn_ratio * long.abort_rate)
+    {
+        return (
+            HealthState::Degrading,
+            format!("abort rate {:.2}/s vs {:.2}/s baseline", short.abort_rate, long.abort_rate),
+        );
+    }
+    // Latency burn: the window's p99 walked away from the baseline.
+    if short.walk_p99_ns > 0
+        && long.walk_p99_ns > 0
+        && short.walk_p99_ns as f64 >= config.burn_ratio * long.walk_p99_ns as f64
+        && short.window_ticks < long.window_ticks
+    {
+        return (
+            HealthState::Degrading,
+            format!("walk p99 {}ns vs {}ns baseline", short.walk_p99_ns, long.walk_p99_ns),
+        );
+    }
+    (HealthState::Healthy, String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observe_tenant(reg: &MetricsRegistry, tenant: &str, rounds: u64, alerts: u64, walk: u64) {
+        if rounds > 0 {
+            reg.inc_labeled(TENANT_ROUNDS, ("tenant", tenant), rounds);
+            for _ in 0..rounds {
+                reg.observe_labeled(TENANT_WALK_NS, ("tenant", tenant), walk);
+            }
+        }
+        if alerts > 0 {
+            reg.inc_labeled(TENANT_ALERTS, ("tenant", tenant), alerts);
+        }
+    }
+
+    #[test]
+    fn deltas_and_rates_follow_the_window() {
+        let reg = MetricsRegistry::new();
+        let mut w = WindowedMetrics::new(WindowConfig {
+            short_ticks: 2,
+            long_ticks: 8,
+            ..WindowConfig::default()
+        });
+        observe_tenant(&reg, "3", 100, 0, 200);
+        w.sample(&reg, 0);
+        observe_tenant(&reg, "3", 50, 0, 200);
+        w.sample(&reg, 1000);
+        observe_tenant(&reg, "3", 50, 0, 200);
+        let report = w.sample(&reg, 2000);
+        let t = &report.tenants[0];
+        assert_eq!(t.tenant, 3);
+        assert_eq!(t.window_ticks, 2);
+        assert_eq!(t.window_ms, 2000);
+        assert_eq!(t.rounds, 100, "window excludes the first tick's 100 rounds");
+        assert!((t.round_rate - 50.0).abs() < 1e-9);
+        assert_eq!(t.alerts, 0);
+        assert!(t.walk_p50_ns >= 200, "window quantile covers the fresh samples");
+    }
+
+    #[test]
+    fn watchdog_alerts_then_recovers() {
+        let reg = MetricsRegistry::new();
+        let mut w = WindowedMetrics::new(WindowConfig {
+            short_ticks: 2,
+            long_ticks: 8,
+            ..WindowConfig::default()
+        });
+        observe_tenant(&reg, "7", 10, 0, 100);
+        w.sample(&reg, 0);
+        // An alert lands: the next tick must transition to Alerting.
+        observe_tenant(&reg, "7", 10, 1, 100);
+        let report = w.sample(&reg, 1000);
+        assert_eq!(report.states, vec![TenantHealth { tenant: 7, state: HealthState::Alerting }]);
+        assert_eq!(report.transitions.len(), 1);
+        assert_eq!(report.transitions[0].from, HealthState::Healthy);
+        assert_eq!(report.transitions[0].to, HealthState::Alerting);
+        assert!(report.transitions[0].reason.contains("alert"));
+        // Quiet ticks age the alert out of the short window: recovery.
+        let mut last = None;
+        for tick in 2..6 {
+            observe_tenant(&reg, "7", 10, 0, 100);
+            last = Some(w.sample(&reg, tick * 1000));
+        }
+        let last = last.unwrap();
+        assert_eq!(last.states[0].state, HealthState::Healthy, "alert aged out of the window");
+    }
+
+    #[test]
+    fn abort_burn_degrades_without_alerts() {
+        let reg = MetricsRegistry::new();
+        let mut w = WindowedMetrics::new(WindowConfig {
+            short_ticks: 1,
+            long_ticks: 8,
+            burn_ratio: 2.0,
+            ..WindowConfig::default()
+        });
+        reg.inc_labeled(TENANT_ROUNDS, ("tenant", "5"), 10);
+        w.sample(&reg, 0);
+        w.sample(&reg, 1000);
+        // Aborts start arriving against a clean baseline.
+        reg.inc_labeled(TENANT_ABORTS, ("tenant", "5"), 4);
+        let report = w.sample(&reg, 2000);
+        assert_eq!(report.states[0].state, HealthState::Degrading);
+        assert!(report.transitions[0].reason.contains("abort rate"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_serde_round_trips() {
+        let reg = MetricsRegistry::new();
+        let mut w = WindowedMetrics::new(WindowConfig { capacity: 4, ..WindowConfig::default() });
+        reg.inc_labeled(TENANT_ROUNDS, ("tenant", "1"), 1);
+        let mut report = w.sample(&reg, 0);
+        for i in 1..20 {
+            report = w.sample(&reg, i * 10);
+        }
+        assert!(w.ring.len() <= 4);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: WindowReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -16,9 +16,11 @@ use sedspec_fleet::pool::{BatchReport, TenantConfig};
 use sedspec_fleet::registry::SpecKey;
 use sedspec_fleet::telemetry::{AlertEvent, FleetReport, TenantStatus};
 
+use sedspec_obs::{TenantHealth, WindowReport};
+
 use crate::proto::{
     read_response, write_request, ErrCode, ProtoError, Request, RequestBody, ResponseBody,
-    ServerHealth, PROTOCOL_VERSION,
+    ServerHealth, WatchFrame, PROTOCOL_VERSION,
 };
 
 /// Why a ctl call failed.
@@ -266,6 +268,54 @@ impl CtlClient {
         }
     }
 
+    /// One-shot health + windowed-telemetry snapshot (`ctl top`'s
+    /// poll).
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`].
+    #[allow(clippy::type_complexity)]
+    pub fn health(
+        &mut self,
+    ) -> Result<(ServerHealth, Option<WindowReport>, Vec<TenantHealth>), ClientError> {
+        match self.call(RequestBody::Health)? {
+            ResponseBody::HealthReport { health, window, states } => Ok((health, window, states)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Upgrades this connection to a watch subscription, consuming the
+    /// client. `cursor` resumes after a previously seen event sequence
+    /// number; `tenant` filters the stream server-side.
+    ///
+    /// # Errors
+    ///
+    /// Framing failures, daemon error frames, and any non-`Watching`
+    /// ack.
+    pub fn watch(
+        mut self,
+        cursor: Option<u64>,
+        tenant: Option<u64>,
+    ) -> Result<WatchStream, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            v: PROTOCOL_VERSION,
+            id,
+            auth: self.auth.clone(),
+            body: RequestBody::Watch { cursor, tenant },
+        };
+        write_request(&mut self.transport, &req)?;
+        let resp = read_response(&mut self.transport)?;
+        match resp.body {
+            ResponseBody::Watching { resume, earliest, latest } => {
+                Ok(WatchStream { transport: self.transport, resume, earliest, latest })
+            }
+            ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the daemon to shut down gracefully.
     ///
     /// # Errors
@@ -274,6 +324,45 @@ impl CtlClient {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.call(RequestBody::Shutdown)? {
             ResponseBody::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// A live watch subscription: the connection after the daemon's
+/// `Watching` ack, yielding pushed [`WatchFrame`]s.
+///
+/// The daemon's periodic window heartbeat keeps the stream moving, so
+/// the transport's read timeout doubles as a dead-daemon detector. On
+/// disconnect, reconnect and pass [`WatchStream::resume`] (updated as
+/// frames arrive) as the new cursor; compare it against the new
+/// subscription's `earliest` to detect gaps.
+pub struct WatchStream {
+    transport: Transport,
+    /// The last event sequence number seen (the resume cursor).
+    pub resume: u64,
+    /// Oldest event still buffered when the subscription started.
+    pub earliest: u64,
+    /// Newest event already published when the subscription started.
+    pub latest: u64,
+}
+
+impl WatchStream {
+    /// Blocks for the next pushed event. Updates
+    /// [`WatchStream::resume`] so a later reconnect can resume.
+    ///
+    /// # Errors
+    ///
+    /// Framing failures ([`ProtoError::Closed`] when the daemon shuts
+    /// down or drops the connection) and daemon error frames.
+    pub fn next_frame(&mut self) -> Result<WatchFrame, ClientError> {
+        let resp = read_response(&mut self.transport)?;
+        match resp.body {
+            ResponseBody::Event { frame } => {
+                self.resume = frame.seq;
+                Ok(frame)
+            }
+            ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(unexpected(&other)),
         }
     }

@@ -23,13 +23,29 @@
 //! tenant mid-batch) are mirrored: after every served batch the daemon
 //! diffs the report against its journal mirror and appends
 //! `StateChange` records for whatever moved.
+//!
+//! ## Concurrency model
+//!
+//! The accept loop is thread-per-connection: each accepted stream gets
+//! its own OS thread holding an `Arc<Daemon>`, so a long batch on one
+//! connection never starves a ping, a metrics scrape, or a live watch
+//! on another. All mutating work still funnels through the single
+//! `Mutex<Core>` — the WAL keeps exactly one writer, and the
+//! answered-after-flush durability contract is unchanged. Watch
+//! connections never hold the core lock while streaming; they block on
+//! the [`WatchHub`] ring instead.
+//!
+//! A telemetry ticker thread samples the hub's windowed-metrics layer
+//! every `window_ms`, publishing window reports, health transitions
+//! and forensic summaries to the watch stream, and drains the pool's
+//! alert stream so alerts reach watchers even between requests.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,14 +54,15 @@ use sedspec::spec::ExecutionSpecification;
 use sedspec_fleet::pool::{EnforcementPool, PoolError, TenantId};
 use sedspec_fleet::registry::{PublishJsonError, SpecRegistry};
 use sedspec_fleet::telemetry::AlertEvent;
-use sedspec_obs::{ObsHub, ScopeId, ScopeInfo, TraceEventKind};
+use sedspec_obs::{ObsHub, ScopeId, ScopeInfo, TraceEventKind, WindowConfig, WindowReport};
 
 use crate::auth::{AuthConfig, RateLimitConfig, RateLimiter};
 use crate::proto::{
-    read_request, write_response, ErrCode, ProtoError, Request, RequestBody, Response,
-    ResponseBody, ServerHealth, PROTOCOL_VERSION,
+    parse_request, read_frame, write_response, ErrCode, ForensicSummary, ProtoError, Request,
+    RequestBody, Response, ResponseBody, ServerHealth, WatchEvent, PROTOCOL_VERSION,
 };
 use crate::store::{DurableStore, StoreError, WalRecord};
+use crate::watch::WatchHub;
 
 /// Alerts retained for `FleetStatus` responses.
 const RECENT_ALERTS_CAP: usize = 256;
@@ -70,11 +87,18 @@ pub struct DaemonConfig {
     /// Auto-compact after this many WAL appends (`0` = only on
     /// graceful shutdown).
     pub compact_every: u64,
+    /// Telemetry tick interval in milliseconds: how often the window
+    /// layer is sampled and the watch stream gets its heartbeat.
+    pub window_ms: u64,
 }
+
+/// Default telemetry tick interval.
+pub const DEFAULT_WINDOW_MS: u64 = 1000;
 
 impl DaemonConfig {
     /// Defaults: no endpoints bound yet, two shards, open auth,
-    /// unlimited rate, compaction only on shutdown.
+    /// unlimited rate, compaction only on shutdown, 1 s telemetry
+    /// ticks.
     pub fn new(store_dir: impl Into<PathBuf>) -> Self {
         DaemonConfig {
             socket: None,
@@ -84,6 +108,7 @@ impl DaemonConfig {
             auth: AuthConfig::open(),
             rate: RateLimitConfig::unlimited(),
             compact_every: 0,
+            window_ms: DEFAULT_WINDOW_MS,
         }
     }
 }
@@ -167,6 +192,12 @@ pub struct Daemon {
     warm: WarmStats,
     shutdown: AtomicBool,
     started: Instant,
+    /// Live event fan-out for watch connections.
+    watch: WatchHub,
+    /// Latest windowed-telemetry report, refreshed by the ticker.
+    last_window: Mutex<Option<WindowReport>>,
+    /// Highest forensic-record seq already summarized to the stream.
+    forensic_seen: AtomicU64,
 }
 
 impl Daemon {
@@ -180,6 +211,9 @@ impl Daemon {
     /// never fatal — a salvageable store always yields a daemon.
     pub fn new(config: DaemonConfig, hub: Arc<ObsHub>) -> Result<Self, DaemonError> {
         let scope = hub.register_scope(ScopeInfo::device("sedspecd"));
+        if !hub.window_enabled() {
+            hub.enable_window(WindowConfig::default());
+        }
         let (store, loaded) = DurableStore::open(&config.store_dir)?;
 
         let registry = Arc::new(SpecRegistry::new());
@@ -286,6 +320,9 @@ impl Daemon {
             warm,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            watch: WatchHub::new(),
+            last_window: Mutex::new(None),
+            forensic_seen: AtomicU64::new(0),
         })
     }
 
@@ -304,6 +341,11 @@ impl Daemon {
         &self.hub
     }
 
+    /// The daemon's live-event fan-out (watch stream).
+    pub fn watch_hub(&self) -> &WatchHub {
+        &self.watch
+    }
+
     /// Asks the serve loop to stop after the current connection.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
@@ -320,9 +362,18 @@ impl Daemon {
         u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
-    fn journal(&self, core: &mut Core, record: WalRecord) -> Result<(), StoreError> {
+    /// Appends one WAL record, charging the flush to `op`'s
+    /// `wal_fsync` stage histogram.
+    fn journal(
+        &self,
+        core: &mut Core,
+        op: &'static str,
+        record: WalRecord,
+    ) -> Result<(), StoreError> {
         let kind = record.kind();
+        let flush_start = Instant::now();
         let bytes = core.store.record(record)?;
+        self.stage_ns(op, "wal_fsync", flush_start.elapsed());
         self.hub.record(self.scope, TraceEventKind::WalAppended { kind: kind.into(), bytes });
         core.appends_since_compact += 1;
         if self.config.compact_every > 0 && core.appends_since_compact >= self.config.compact_every
@@ -357,18 +408,20 @@ impl Daemon {
         );
     }
 
-    /// Drains the pool's alert stream into the recent ring and journals
-    /// an `AlertMark` when the high-water mark advanced.
-    fn sync_alerts(&self, core: &mut Core) {
+    /// Drains the pool's alert stream into the recent ring, publishes
+    /// each alert to the watch stream, and journals an `AlertMark`
+    /// when the high-water mark advanced.
+    fn sync_alerts(&self, core: &mut Core, op: &'static str) {
         let alerts = core.pool.drain_alerts();
         for alert in alerts {
             if core.recent_alerts.len() == RECENT_ALERTS_CAP {
                 core.recent_alerts.pop_front();
             }
+            self.watch.publish(WatchEvent::Alert { alert: alert.clone() });
             core.recent_alerts.push_back(alert);
         }
         let seq = core.pool.alert_seq();
-        if seq > core.alert_mark && self.journal(core, WalRecord::AlertMark { seq }).is_ok() {
+        if seq > core.alert_mark && self.journal(core, op, WalRecord::AlertMark { seq }).is_ok() {
             core.alert_mark = seq;
         }
     }
@@ -378,6 +431,7 @@ impl Daemon {
     fn sync_tenant_state(
         &self,
         core: &mut Core,
+        op: &'static str,
         tenant: u64,
         quarantined: bool,
         degraded: bool,
@@ -396,15 +450,31 @@ impl Daemon {
                 degraded: next.degraded,
                 rollbacks_used: next.rollbacks,
             };
-            if self.journal(core, record).is_ok() {
+            if self.journal(core, op, record).is_ok() {
                 core.mirror.insert(tenant, next);
             }
         }
     }
 
+    /// Records one per-request stage latency as
+    /// `sedspecd_request_ns{op,stage}`.
+    fn stage_ns(&self, op: &'static str, stage: &str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.hub.metrics().observe_labeled2(
+            "sedspecd_request_ns",
+            ("op", op),
+            ("stage", stage),
+            ns,
+        );
+    }
+
     /// Serves one request. This is the whole protocol: transport code
-    /// only frames and unframes around this call.
+    /// only frames and unframes around this call. (The streaming
+    /// `Watch` op is the one exception — it owns its connection and is
+    /// intercepted by the serve loop before reaching here.)
     pub fn handle(&self, req: &Request) -> Response {
+        let op = req.body.kind();
+        let total_start = Instant::now();
         let id = req.id;
         if req.v != PROTOCOL_VERSION {
             return err(
@@ -413,16 +483,27 @@ impl Daemon {
                 format!("daemon speaks protocol {PROTOCOL_VERSION}, request said {}", req.v),
             );
         }
-        let Some(identity) = self.config.auth.identify(req.auth.as_deref()) else {
-            return self
-                .served(err(id, ErrCode::Unauthorized, "unrecognized token".into()), &req.body);
+        let auth_start = Instant::now();
+        let admitted = match self.config.auth.identify(req.auth.as_deref()) {
+            None => Err(err(id, ErrCode::Unauthorized, "unrecognized token".into())),
+            Some(identity) if req.body.is_admin() && !self.config.auth.allows_admin(identity) => {
+                Err(err(id, ErrCode::Unauthorized, "admin token required".into()))
+            }
+            Some(identity) => Ok(identity),
         };
-        if req.body.is_admin() && !self.config.auth.allows_admin(identity) {
-            return self
-                .served(err(id, ErrCode::Unauthorized, "admin token required".into()), &req.body);
-        }
-        let resp = self.dispatch(id, identity, &req.body);
-        self.served(resp, &req.body)
+        self.stage_ns(op, "auth", auth_start.elapsed());
+        let resp = match admitted {
+            Err(denied) => denied,
+            Ok(identity) => {
+                let enforce_start = Instant::now();
+                let resp = self.dispatch(id, identity, &req.body);
+                self.stage_ns(op, "enforce", enforce_start.elapsed());
+                resp
+            }
+        };
+        let resp = self.served(resp, &req.body);
+        self.stage_ns(op, "total", total_start.elapsed());
+        resp
     }
 
     fn served(&self, resp: Response, body: &RequestBody) -> Response {
@@ -459,7 +540,7 @@ impl Daemon {
                             epoch,
                             spec_json: canonical,
                         };
-                        match self.journal(&mut core, record) {
+                        match self.journal(&mut core, "PublishSpec", record) {
                             Ok(()) => ok(id, ResponseBody::Published { key, epoch }),
                             Err(e) => err(id, ErrCode::Store, e.to_string()),
                         }
@@ -478,7 +559,7 @@ impl Daemon {
                     Ok(()) => {
                         let tenant = config.tenant.0;
                         let record = WalRecord::TenantHosted { config: config.clone() };
-                        match self.journal(&mut core, record) {
+                        match self.journal(&mut core, "AddTenant", record) {
                             Ok(()) => {
                                 core.mirror.entry(tenant).or_default();
                                 ok(id, ResponseBody::TenantAdded { tenant })
@@ -509,9 +590,10 @@ impl Daemon {
                 }
                 match core.pool.run_batch_reliable(TenantId(*tenant), steps) {
                     Ok((report, _retries)) => {
-                        self.sync_alerts(&mut core);
+                        self.sync_alerts(&mut core, "SubmitBatch");
                         self.sync_tenant_state(
                             &mut core,
+                            "SubmitBatch",
                             *tenant,
                             report.quarantined,
                             report.degraded,
@@ -543,7 +625,7 @@ impl Daemon {
             }
             RequestBody::FleetStatus => {
                 let mut core = self.core.lock();
-                self.sync_alerts(&mut core);
+                self.sync_alerts(&mut core, "FleetStatus");
                 let report = core.pool.report();
                 let alert_seq = core.pool.alert_seq();
                 let recent_alerts: Vec<AlertEvent> = core
@@ -573,7 +655,8 @@ impl Daemon {
                             degraded,
                             rollbacks_used: rollbacks,
                         };
-                        match self.journal(&mut core, record) {
+                        let op = if on { "Quarantine" } else { "Release" };
+                        match self.journal(&mut core, op, record) {
                             Ok(()) => {
                                 core.mirror.insert(
                                     *tenant,
@@ -599,6 +682,21 @@ impl Daemon {
                 ResponseBody::MetricsText { prometheus: self.hub.metrics().render_prometheus() },
             ),
             RequestBody::Doctor => ok(id, ResponseBody::Doctor { health: self.health() }),
+            RequestBody::Health => ok(
+                id,
+                ResponseBody::HealthReport {
+                    health: self.health(),
+                    window: self.last_window.lock().clone(),
+                    states: self.hub.health_states(),
+                },
+            ),
+            RequestBody::Watch { .. } => err(
+                id,
+                ErrCode::BadRequest,
+                "Watch is a streaming operation; it owns its connection and cannot be \
+                 dispatched as a one-shot request"
+                    .into(),
+            ),
             RequestBody::Shutdown => {
                 self.request_shutdown();
                 ok(id, ResponseBody::ShuttingDown)
@@ -627,42 +725,191 @@ impl Daemon {
             wal_bytes: core.store.bytes_appended(),
             compactions: core.store.compactions(),
             requests: core.requests_served,
+            trace_dropped: self.hub.dropped_events(),
+            watchers: self.watch.watchers(),
+        }
+    }
+
+    /// One telemetry tick: drain pool alerts to the stream, sample the
+    /// windowed layer (publishing health transitions and the window
+    /// heartbeat), and summarize newly frozen forensic records.
+    fn telemetry_tick(&self) {
+        {
+            let mut core = self.core.lock();
+            self.sync_alerts(&mut core, "Ticker");
+        }
+        let at_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        if let Some(report) = self.hub.sample_window(at_ms) {
+            for transition in &report.transitions {
+                self.watch.publish(WatchEvent::HealthChanged { transition: transition.clone() });
+            }
+            *self.last_window.lock() = Some(report.clone());
+            self.watch.publish(WatchEvent::Window { report });
+        }
+        let seen = self.forensic_seen.load(Ordering::Acquire);
+        let mut newest = seen;
+        for record in self.hub.forensics() {
+            if record.seq <= seen {
+                continue;
+            }
+            newest = newest.max(record.seq);
+            self.watch.publish(WatchEvent::Forensic {
+                summary: ForensicSummary {
+                    seq: record.seq,
+                    round: record.round,
+                    shard: record.scope.shard,
+                    tenant: record.scope.tenant,
+                    device: record.scope.device.clone(),
+                    verdict: format!("{:?}", record.data.verdict),
+                    violation: record.data.violation.clone(),
+                },
+            });
+        }
+        self.forensic_seen.store(newest, Ordering::Release);
+    }
+
+    /// The ticker thread body: fires [`Daemon::telemetry_tick`] every
+    /// `window_ms`, sleeping in short slices so shutdown is prompt.
+    fn ticker_loop(&self) {
+        let interval = Duration::from_millis(self.config.window_ms.max(10));
+        let mut next = Instant::now() + interval;
+        while !self.shutting_down() {
+            let now = Instant::now();
+            if now < next {
+                std::thread::sleep((next - now).min(Duration::from_millis(50)));
+                continue;
+            }
+            next = now + interval;
+            self.telemetry_tick();
         }
     }
 
     /// Serves one connection: frames in, [`Daemon::handle`], frames
     /// out, until the peer closes or a framing error desyncs the
-    /// stream.
+    /// stream. A `Watch` request upgrades the connection to a
+    /// one-way event stream and consumes it.
     fn serve_conn<S: Read + Write>(&self, stream: &mut S) {
         loop {
-            let req = match read_request(stream) {
-                Ok(req) => req,
+            let payload = match read_frame(stream) {
+                Ok(payload) => payload,
                 Err(ProtoError::Closed) => return,
-                Err(ProtoError::Malformed(m)) => {
-                    // Best-effort error frame, then drop the connection:
-                    // after a malformed frame the stream may be desynced.
-                    let _ = write_response(stream, &err(0, ErrCode::BadRequest, m));
+                Err(ProtoError::Oversized(n)) => {
+                    let _ = write_response(
+                        stream,
+                        &err(0, ErrCode::BadRequest, ProtoError::Oversized(n).to_string()),
+                    );
                     return;
                 }
                 Err(_) => return,
             };
+            let decode_start = Instant::now();
+            let req = match parse_request(&payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    // Best-effort error frame, then drop the connection:
+                    // after a malformed frame the stream may be desynced.
+                    let _ = write_response(stream, &err(0, ErrCode::BadRequest, e.to_string()));
+                    return;
+                }
+            };
+            self.stage_ns(req.body.kind(), "decode", decode_start.elapsed());
+            if let RequestBody::Watch { cursor, tenant } = req.body {
+                // The subscription owns the connection from here on.
+                self.serve_watch(stream, req.v, req.id, req.auth.as_deref(), cursor, tenant);
+                return;
+            }
+            self.hub.metrics().add_gauge("sedspecd_pending_requests", 1);
             let resp = self.handle(&req);
             let stop = matches!(resp.body, ResponseBody::ShuttingDown);
-            if write_response(stream, &resp).is_err() || stop {
+            let delivered = write_response(stream, &resp).is_ok();
+            self.hub.metrics().add_gauge("sedspecd_pending_requests", -1);
+            if !delivered || stop {
                 return;
             }
         }
+    }
+
+    /// Serves a watch subscription: acks with `Watching`, then pushes
+    /// `Event` frames off the [`WatchHub`] ring until the client
+    /// disconnects or the daemon shuts down. Holds no core lock while
+    /// streaming, so submitters on other connections are never stalled
+    /// by a slow watcher.
+    fn serve_watch<S: Read + Write>(
+        &self,
+        stream: &mut S,
+        v: u32,
+        id: u64,
+        auth: Option<&str>,
+        cursor: Option<u64>,
+        tenant: Option<u64>,
+    ) {
+        if v != PROTOCOL_VERSION {
+            let _ = write_response(
+                stream,
+                &err(
+                    id,
+                    ErrCode::Version,
+                    format!("daemon speaks protocol {PROTOCOL_VERSION}, request said {v}"),
+                ),
+            );
+            return;
+        }
+        if self.config.auth.identify(auth).is_none() {
+            let _ = write_response(
+                stream,
+                &err(id, ErrCode::Unauthorized, "unrecognized token".into()),
+            );
+            return;
+        }
+        let (earliest, latest) = self.watch.bounds();
+        let mut cursor = cursor.unwrap_or(latest);
+        if write_response(
+            stream,
+            &ok(id, ResponseBody::Watching { resume: cursor, earliest, latest }),
+        )
+        .is_err()
+        {
+            return;
+        }
+        self.hub.record(
+            self.scope,
+            TraceEventKind::RequestServed { kind: "Watch".into(), error: false },
+        );
+        self.core.lock().requests_served += 1;
+        self.watch.watcher_attached();
+        while !self.shutting_down() {
+            for frame in self.watch.collect_after(cursor, Duration::from_millis(100)) {
+                cursor = frame.seq;
+                let deliver = match (tenant, frame.event.tenant()) {
+                    (Some(want), Some(have)) => want == have,
+                    _ => true,
+                };
+                if deliver
+                    && write_response(stream, &ok(id, ResponseBody::Event { frame })).is_err()
+                {
+                    self.watch.watcher_detached();
+                    return;
+                }
+            }
+        }
+        self.watch.watcher_detached();
     }
 
     /// Binds the configured endpoints and serves until shutdown, then
     /// compacts the store (persisting the alert-seq high-water mark)
     /// and removes the socket file.
     ///
+    /// Thread-per-connection: each accepted stream is handed to its
+    /// own thread holding a clone of this `Arc`, and a telemetry
+    /// ticker thread drives the windowed layer and the watch stream.
+    /// Shutdown joins every connection thread, so the durability
+    /// contract (answer after flush) holds to the last frame.
+    ///
     /// # Errors
     ///
     /// [`DaemonError::NoEndpoint`] with nothing to bind;
     /// [`DaemonError::Bind`] when an endpoint cannot be bound.
-    pub fn run(&self) -> Result<(), DaemonError> {
+    pub fn run(self: &Arc<Self>) -> Result<(), DaemonError> {
         let uds = match &self.config.socket {
             Some(path) => {
                 // A stale socket file from a killed daemon blocks bind.
@@ -691,15 +938,22 @@ impl Daemon {
             return Err(DaemonError::NoEndpoint);
         }
 
+        let ticker = {
+            let daemon = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("sedspecd-ticker".into())
+                .spawn(move || daemon.ticker_loop())
+                .ok()
+        };
+
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.shutting_down() {
             let mut idle = true;
             if let Some(listener) = &uds {
                 match listener.accept() {
-                    Ok((mut stream, _)) => {
+                    Ok((stream, _)) => {
                         idle = false;
-                        let _ = stream.set_nonblocking(false);
-                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                        self.serve_conn(&mut stream);
+                        self.spawn_conn(&mut conns, stream);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
                     Err(_) => {}
@@ -707,32 +961,83 @@ impl Daemon {
             }
             if let Some(listener) = &tcp {
                 match listener.accept() {
-                    Ok((mut stream, _)) => {
+                    Ok((stream, _)) => {
                         idle = false;
-                        let _ = stream.set_nonblocking(false);
-                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-                        self.serve_conn(&mut stream);
+                        self.spawn_conn(&mut conns, stream);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
                     Err(_) => {}
                 }
             }
+            conns.retain(|handle| !handle.is_finished());
             if idle {
                 std::thread::sleep(Duration::from_millis(2));
             }
+        }
+
+        // Wake parked watch loops so they observe the shutdown flag,
+        // then drain every connection thread.
+        self.watch.notify_all();
+        for handle in conns {
+            let _ = handle.join();
+        }
+        if let Some(handle) = ticker {
+            let _ = handle.join();
         }
 
         // Graceful exit: fold the journal (lifting the alert mark into
         // the snapshot header) and clean up the socket file.
         {
             let mut core = self.core.lock();
-            self.sync_alerts(&mut core);
+            self.sync_alerts(&mut core, "Shutdown");
             self.compact_core(&mut core);
         }
         if let Some(path) = &self.config.socket {
             let _ = std::fs::remove_file(path);
         }
         Ok(())
+    }
+
+    /// Moves an accepted stream onto its own connection thread.
+    fn spawn_conn<S: ConnStream>(
+        self: &Arc<Self>,
+        conns: &mut Vec<std::thread::JoinHandle<()>>,
+        stream: S,
+    ) {
+        stream.configure_blocking();
+        let daemon = Arc::clone(self);
+        let handle = std::thread::Builder::new().name("sedspecd-conn".into()).spawn(move || {
+            let mut stream = stream;
+            daemon.serve_conn(&mut stream);
+        });
+        if let Ok(handle) = handle {
+            conns.push(handle);
+        }
+        // On spawn failure (thread exhaustion) the stream is dropped:
+        // the peer sees a closed connection and retries.
+    }
+}
+
+/// The accepted stream types the daemon serves, with their
+/// post-accept socket configuration (accept loops are nonblocking;
+/// connection threads read blocking with a timeout so a stalled peer
+/// cannot pin its thread forever).
+trait ConnStream: Read + Write + Send + 'static {
+    /// Switches the stream to blocking reads with a timeout.
+    fn configure_blocking(&self);
+}
+
+impl ConnStream for std::os::unix::net::UnixStream {
+    fn configure_blocking(&self) {
+        let _ = self.set_nonblocking(false);
+        let _ = self.set_read_timeout(Some(Duration::from_secs(5)));
+    }
+}
+
+impl ConnStream for std::net::TcpStream {
+    fn configure_blocking(&self) {
+        let _ = self.set_nonblocking(false);
+        let _ = self.set_read_timeout(Some(Duration::from_secs(5)));
     }
 }
 

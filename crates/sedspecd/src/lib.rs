@@ -20,8 +20,12 @@
 //! - [`store`] — directory layout, journal mirror, semantic compaction,
 //!   integrity scan;
 //! - [`auth`] — admission tokens and the per-tenant token bucket;
-//! - [`daemon`] — the server: warm load, dispatch, serve loop;
-//! - [`client`] — the ctl client library;
+//! - [`daemon`] — the server: warm load, dispatch, thread-per-
+//!   connection serve loop, telemetry ticker;
+//! - [`watch`] — the bounded live-event ring watch connections
+//!   block on;
+//! - [`client`] — the ctl client library, including the streaming
+//!   [`client::WatchStream`];
 //! - [`doctor`] — the combined client/server self-check report.
 
 #![forbid(unsafe_code)]
@@ -34,11 +38,16 @@ pub mod doctor;
 pub mod proto;
 pub mod store;
 pub mod wal;
+pub mod watch;
 
 pub use auth::{AuthConfig, RateLimitConfig};
-pub use client::{ClientError, CtlClient};
+pub use client::{ClientError, CtlClient, WatchStream};
 pub use daemon::{Daemon, DaemonConfig, DaemonError};
 pub use doctor::{run_doctor, DoctorReport};
-pub use proto::{ErrCode, Request, RequestBody, Response, ResponseBody, PROTOCOL_VERSION};
+pub use proto::{
+    ErrCode, ForensicSummary, Request, RequestBody, Response, ResponseBody, WatchEvent, WatchFrame,
+    PROTOCOL_VERSION,
+};
 pub use store::{DurableStore, IntegrityReport, StoreError};
 pub use wal::{WalRecord, WAL_FORMAT_VERSION};
+pub use watch::WatchHub;

@@ -21,12 +21,15 @@ use sedspec_devices::{DeviceKind, QemuVersion};
 use sedspec_fleet::pool::{BatchReport, TenantConfig};
 use sedspec_fleet::registry::SpecKey;
 use sedspec_fleet::telemetry::{AlertEvent, FleetReport, TenantStatus};
+use sedspec_obs::{HealthTransition, TenantHealth, WindowReport};
 use serde::{Deserialize, Serialize};
 
 /// Wire protocol version. Bumped on any frame-shape change; the daemon
 /// rejects mismatched frames with [`ErrCode::Version`] so old clients
-/// fail loudly instead of misparsing.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// fail loudly instead of misparsing. v2 added the streaming `Watch`
+/// and one-shot `Health` operations plus the telemetry fields of
+/// [`ServerHealth`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload. A full five-device specification
 /// set is ~2 MiB of JSON; 64 MiB leaves room for batch submissions
@@ -107,6 +110,27 @@ pub enum RequestBody {
     Metrics,
     /// Server-side health: store, registry, pool, uptime counters.
     Doctor,
+    /// One-shot health probe: the [`ServerHealth`] section plus the
+    /// latest windowed-telemetry report, for `ctl top`-style pollers.
+    Health,
+    /// Subscribe the connection to the daemon's live event stream.
+    /// Answered with one [`ResponseBody::Watching`] ack, after which
+    /// the daemon pushes [`ResponseBody::Event`] frames (alerts,
+    /// health transitions, windowed deltas, forensic summaries) until
+    /// the client disconnects or the daemon shuts down. Any admitted
+    /// token may watch; tenant tokens see the full stream — telemetry
+    /// is observability, not data-plane access.
+    Watch {
+        /// Resume after this event sequence number; `None` starts at
+        /// the live tail. Events still buffered in the daemon's ring
+        /// are replayed first, so a reconnecting client can pass the
+        /// last `seq` it saw and miss nothing the ring still holds.
+        cursor: Option<u64>,
+        /// When set, only events attributable to this tenant are
+        /// delivered (window heartbeats always flow — they carry the
+        /// stream's liveness).
+        tenant: Option<u64>,
+    },
     /// Graceful shutdown (admin): compacts the store (persisting the
     /// alert-seq high-water mark), then stops accepting connections.
     Shutdown,
@@ -126,6 +150,8 @@ impl RequestBody {
             RequestBody::Release { .. } => "Release",
             RequestBody::Metrics => "Metrics",
             RequestBody::Doctor => "Doctor",
+            RequestBody::Health => "Health",
+            RequestBody::Watch { .. } => "Watch",
             RequestBody::Shutdown => "Shutdown",
         }
     }
@@ -145,7 +171,7 @@ impl RequestBody {
 }
 
 /// One daemon response frame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Response {
     /// Protocol version ([`PROTOCOL_VERSION`]).
     pub v: u32,
@@ -156,7 +182,8 @@ pub struct Response {
 }
 
 /// Daemon answers, one variant per request kind plus the error frame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// `PartialEq` only: windowed reports carry f64 rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ResponseBody {
     /// Liveness answer.
     Pong {
@@ -216,6 +243,33 @@ pub enum ResponseBody {
         /// The daemon's own health section.
         health: ServerHealth,
     },
+    /// One-shot health + latest windowed-telemetry snapshot.
+    HealthReport {
+        /// The daemon's own health section.
+        health: ServerHealth,
+        /// Per-tenant window deltas and watchdog states from the most
+        /// recent telemetry tick; `None` before the first tick.
+        window: Option<WindowReport>,
+        /// Current watchdog verdict per tenant.
+        states: Vec<TenantHealth>,
+    },
+    /// The watch subscription is live; [`ResponseBody::Event`] frames
+    /// follow on this connection.
+    Watching {
+        /// The cursor the stream resumes after (the requested cursor,
+        /// or the live tail when none was given).
+        resume: u64,
+        /// Oldest event sequence number still buffered. A reconnecting
+        /// client whose cursor predates this has a gap.
+        earliest: u64,
+        /// Newest event sequence number published so far.
+        latest: u64,
+    },
+    /// One pushed event on a watch subscription.
+    Event {
+        /// The event and its stream cursor.
+        frame: WatchFrame,
+    },
     /// The daemon acknowledged the shutdown and is draining.
     ShuttingDown,
     /// The request failed.
@@ -225,6 +279,78 @@ pub enum ResponseBody {
         /// Human-readable detail (analyzer reports render here).
         message: String,
     },
+}
+
+/// One event on the watch stream, stamped with its cursor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WatchFrame {
+    /// Daemon-run-scoped monotonic sequence number (starts at 1).
+    /// Resumable within one daemon lifetime; a restart resets it, which
+    /// the [`ResponseBody::Watching`] bounds make visible.
+    pub seq: u64,
+    /// What happened.
+    pub event: WatchEvent,
+}
+
+/// The events a watch subscription delivers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WatchEvent {
+    /// A flagged round, straight off the pool's alert stream.
+    Alert {
+        /// The alert as the shard raised it.
+        alert: AlertEvent,
+    },
+    /// The health watchdog moved a tenant between states.
+    HealthChanged {
+        /// The transition, with the window evidence that caused it.
+        transition: HealthTransition,
+    },
+    /// Periodic windowed-telemetry heartbeat: per-tenant rates,
+    /// latency quantiles and watchdog states for the latest tick.
+    Window {
+        /// The tick's report.
+        report: WindowReport,
+    },
+    /// A forensic record was frozen for a halted or warned round.
+    Forensic {
+        /// Compact summary (the full record stays in `obs-report`).
+        summary: ForensicSummary,
+    },
+}
+
+impl WatchEvent {
+    /// The tenant this event is attributable to, for server-side
+    /// stream filtering. `None` means the event is stream-wide
+    /// (window heartbeats) and always delivered.
+    pub fn tenant(&self) -> Option<u64> {
+        match self {
+            WatchEvent::Alert { alert } => Some(alert.tenant.0),
+            WatchEvent::HealthChanged { transition } => Some(transition.tenant),
+            WatchEvent::Window { .. } => None,
+            WatchEvent::Forensic { summary } => summary.tenant,
+        }
+    }
+}
+
+/// Compact rendering of a [`sedspec_obs::ForensicRecord`] for the
+/// watch stream; heavy payloads (block path, shadow diff, recent
+/// trace) stay server-side.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForensicSummary {
+    /// The forensic record's capture sequence number.
+    pub seq: u64,
+    /// The scope's round counter when the record froze.
+    pub round: u64,
+    /// Shard of the originating scope, when pooled.
+    pub shard: Option<u32>,
+    /// Tenant of the originating scope, when tenant-bound.
+    pub tenant: Option<u64>,
+    /// Device (or component) name of the originating scope.
+    pub device: String,
+    /// The round's verdict, rendered (`"halt"` / `"warn"` / ...).
+    pub verdict: String,
+    /// The first violation, rendered for the log line.
+    pub violation: String,
 }
 
 /// Machine-readable failure classes of [`ResponseBody::Error`].
@@ -282,6 +408,12 @@ pub struct ServerHealth {
     pub compactions: u64,
     /// Requests served since the daemon started.
     pub requests: u64,
+    /// Trace-ring events evicted before export since the daemon
+    /// started (`sedspec_trace_dropped_total`). A rising value means
+    /// forensic tails are losing history — raise the ring capacity.
+    pub trace_dropped: u64,
+    /// Watch subscriptions currently attached.
+    pub watchers: usize,
 }
 
 /// Protocol-level failures of the framing layer.
@@ -368,6 +500,18 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), ProtoError
     write_frame(w, json.as_bytes())
 }
 
+/// Parses a request frame payload. Split from [`read_request`] so the
+/// daemon can time JSON decode separately from the blocking read.
+///
+/// # Errors
+///
+/// [`ProtoError::Malformed`] on non-UTF-8 or bad JSON.
+pub fn parse_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ProtoError::Malformed(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| ProtoError::Malformed(e.to_string()))
+}
+
 /// Reads and parses one request frame.
 ///
 /// # Errors
@@ -375,9 +519,7 @@ pub fn write_request(w: &mut impl Write, req: &Request) -> Result<(), ProtoError
 /// As for [`read_frame`], plus [`ProtoError::Malformed`] on bad JSON.
 pub fn read_request(r: &mut impl Read) -> Result<Request, ProtoError> {
     let payload = read_frame(r)?;
-    let text =
-        String::from_utf8(payload).map_err(|e| ProtoError::Malformed(format!("not UTF-8: {e}")))?;
-    serde_json::from_str(&text).map_err(|e| ProtoError::Malformed(e.to_string()))
+    parse_request(&payload)
 }
 
 /// Serializes and writes one response frame.
@@ -454,5 +596,52 @@ mod tests {
             !RequestBody::SubmitBatch { tenant: 0, steps: Vec::new() }.is_admin(),
             "submission is tenant-scoped, not admin"
         );
+        assert_eq!(RequestBody::Health.kind(), "Health");
+        assert_eq!(RequestBody::Watch { cursor: None, tenant: None }.kind(), "Watch");
+        assert!(
+            !RequestBody::Watch { cursor: None, tenant: None }.is_admin(),
+            "watching is observability, not mutation"
+        );
+        assert!(!RequestBody::Health.is_admin());
+    }
+
+    #[test]
+    fn watch_frames_round_trip_and_filter_by_tenant() {
+        use sedspec_fleet::pool::TenantId;
+
+        let alert = WatchEvent::Alert {
+            alert: AlertEvent {
+                seq: 9,
+                round: 3,
+                shard: 1,
+                tenant: TenantId(7),
+                device: DeviceKind::Fdc,
+                level: None,
+                detail: "oob".into(),
+            },
+        };
+        assert_eq!(alert.tenant(), Some(7));
+
+        let forensic = WatchEvent::Forensic {
+            summary: ForensicSummary {
+                seq: 2,
+                round: 3,
+                shard: Some(1),
+                tenant: Some(7),
+                device: "FDC".into(),
+                verdict: "halt".into(),
+                violation: "write beyond track".into(),
+            },
+        };
+        assert_eq!(forensic.tenant(), Some(7));
+
+        let resp = Response {
+            v: PROTOCOL_VERSION,
+            id: 5,
+            body: ResponseBody::Event { frame: WatchFrame { seq: 11, event: alert } },
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        assert_eq!(read_response(&mut buf.as_slice()).unwrap(), resp);
     }
 }

@@ -1,0 +1,218 @@
+//! The daemon's live event fan-out: a bounded, seq-stamped ring that
+//! watch connections block on.
+//!
+//! Producers (the connection threads draining pool alerts, and the
+//! telemetry ticker publishing window reports, health transitions and
+//! forensic summaries) call [`WatchHub::publish`]; each event gets the
+//! next sequence number and wakes every parked watcher. Consumers (one
+//! daemon thread per `Watch` connection) call
+//! [`WatchHub::collect_after`] with their cursor and a bounded wait,
+//! so a watch loop can interleave delivery with shutdown checks
+//! without busy-spinning.
+//!
+//! The ring is bounded: a slow or detached watcher never grows daemon
+//! memory, it just loses the oldest events. The [`WatchHub::bounds`]
+//! pair (`earliest`, `latest`) is handed to clients in the `Watching`
+//! ack so a resuming client can detect the gap instead of silently
+//! missing frames.
+//!
+//! Deliberately `std::sync` (not the parking_lot shim): the shim has
+//! no `Condvar`, and the watch path is cold — contention is one lock
+//! per published event plus one per wakeup.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::proto::{WatchEvent, WatchFrame};
+
+/// Default event-ring capacity. At the default 1 s telemetry tick a
+/// full ring spans many minutes of quiet operation; under alert storms
+/// it degrades to "most recent 1024 events", which is the right
+/// failure mode for a live view.
+pub const WATCH_RING_CAPACITY: usize = 1024;
+
+/// The shared event ring and watcher bookkeeping. One per daemon.
+#[derive(Debug)]
+pub struct WatchHub {
+    inner: Mutex<WatchInner>,
+    wakeup: Condvar,
+}
+
+#[derive(Debug)]
+struct WatchInner {
+    /// Sequence number the *next* published event will carry.
+    next_seq: u64,
+    ring: VecDeque<WatchFrame>,
+    capacity: usize,
+    watchers: usize,
+}
+
+impl WatchHub {
+    /// A hub with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(WATCH_RING_CAPACITY)
+    }
+
+    /// A hub holding at most `capacity` undelivered events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WatchHub {
+            inner: Mutex::new(WatchInner {
+                next_seq: 1,
+                ring: VecDeque::with_capacity(capacity.max(1)),
+                capacity: capacity.max(1),
+                watchers: 0,
+            }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Stamps, buffers and announces one event; returns its sequence
+    /// number. Never blocks on watchers — a full ring evicts the
+    /// oldest frame.
+    pub fn publish(&self, event: WatchEvent) -> u64 {
+        let mut inner = self.inner.lock().expect("watch hub poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == inner.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(WatchFrame { seq, event });
+        drop(inner);
+        self.wakeup.notify_all();
+        seq
+    }
+
+    /// `(earliest, latest)` sequence numbers currently buffered. Both
+    /// are 0 while nothing has been published.
+    pub fn bounds(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("watch hub poisoned");
+        match (inner.ring.front(), inner.ring.back()) {
+            (Some(first), Some(last)) => (first.seq, last.seq),
+            _ => (0, inner.next_seq.saturating_sub(1)),
+        }
+    }
+
+    /// Events with `seq > cursor`, oldest first. When none are
+    /// buffered, parks up to `timeout` for a publish before returning
+    /// (possibly empty — the caller's loop re-checks shutdown).
+    pub fn collect_after(&self, cursor: u64, timeout: Duration) -> Vec<WatchFrame> {
+        let mut inner = self.inner.lock().expect("watch hub poisoned");
+        let has_new = |inner: &WatchInner| inner.ring.back().is_some_and(|f| f.seq > cursor);
+        if !has_new(&inner) {
+            let (guard, _timeout) =
+                self.wakeup.wait_timeout(inner, timeout).expect("watch hub poisoned");
+            inner = guard;
+        }
+        inner.ring.iter().filter(|f| f.seq > cursor).cloned().collect()
+    }
+
+    /// Registers an attached watch connection (health reporting).
+    pub fn watcher_attached(&self) {
+        self.inner.lock().expect("watch hub poisoned").watchers += 1;
+    }
+
+    /// Unregisters a watch connection.
+    pub fn watcher_detached(&self) {
+        let mut inner = self.inner.lock().expect("watch hub poisoned");
+        inner.watchers = inner.watchers.saturating_sub(1);
+    }
+
+    /// Watch connections currently attached.
+    pub fn watchers(&self) -> usize {
+        self.inner.lock().expect("watch hub poisoned").watchers
+    }
+
+    /// Wakes every parked watcher without publishing; the shutdown
+    /// path calls this so watch loops notice `shutting_down` promptly.
+    pub fn notify_all(&self) {
+        self.wakeup.notify_all();
+    }
+}
+
+impl Default for WatchHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ForensicSummary;
+
+    fn ev(n: u64) -> WatchEvent {
+        WatchEvent::Forensic {
+            summary: ForensicSummary {
+                seq: n,
+                round: n,
+                shard: None,
+                tenant: Some(n),
+                device: "FDC".into(),
+                verdict: "halt".into(),
+                violation: "test".into(),
+            },
+        }
+    }
+
+    #[test]
+    fn publish_stamps_monotonic_seqs_and_collect_resumes_after_cursor() {
+        let hub = WatchHub::new();
+        assert_eq!(hub.bounds(), (0, 0));
+        assert_eq!(hub.publish(ev(1)), 1);
+        assert_eq!(hub.publish(ev(2)), 2);
+        assert_eq!(hub.publish(ev(3)), 3);
+        assert_eq!(hub.bounds(), (1, 3));
+
+        let all = hub.collect_after(0, Duration::from_millis(1));
+        assert_eq!(all.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        let tail = hub.collect_after(2, Duration::from_millis(1));
+        assert_eq!(tail.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![3]);
+        assert!(hub.collect_after(3, Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_bounds_expose_the_gap() {
+        let hub = WatchHub::with_capacity(4);
+        for n in 0..10 {
+            hub.publish(ev(n));
+        }
+        let (earliest, latest) = hub.bounds();
+        assert_eq!((earliest, latest), (7, 10));
+        // A client resuming from seq 2 can compare its cursor against
+        // `earliest` and learn that 3..=6 are gone.
+        let frames = hub.collect_after(2, Duration::from_millis(1));
+        assert_eq!(frames.first().map(|f| f.seq), Some(7));
+        assert_eq!(frames.len(), 4);
+    }
+
+    #[test]
+    fn blocked_collector_wakes_on_publish() {
+        use std::sync::Arc;
+
+        let hub = Arc::new(WatchHub::new());
+        let consumer = {
+            let hub = Arc::clone(&hub);
+            std::thread::spawn(move || hub.collect_after(0, Duration::from_secs(5)))
+        };
+        // Give the consumer a moment to park, then publish.
+        std::thread::sleep(Duration::from_millis(20));
+        hub.publish(ev(1));
+        let frames = consumer.join().unwrap();
+        assert_eq!(frames.len(), 1, "publish must wake the parked collector");
+        assert_eq!(frames[0].seq, 1);
+    }
+
+    #[test]
+    fn watcher_count_tracks_attach_detach() {
+        let hub = WatchHub::new();
+        hub.watcher_attached();
+        hub.watcher_attached();
+        assert_eq!(hub.watchers(), 2);
+        hub.watcher_detached();
+        assert_eq!(hub.watchers(), 1);
+        hub.watcher_detached();
+        hub.watcher_detached();
+        assert_eq!(hub.watchers(), 0, "detach saturates at zero");
+    }
+}

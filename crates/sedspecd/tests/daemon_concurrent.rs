@@ -1,0 +1,284 @@
+//! Concurrency integration tests: many submitter clients hammering a
+//! live daemon over its Unix domain socket while a watch subscription
+//! streams events — no starvation, no lost responses, a WAL that
+//! scans clean afterwards, and a watch stream that sees the
+//! quarantine as it happens.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sedspec::collect::TrainStep;
+use sedspec::pipeline::{train, TrainingConfig};
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_fleet::pool::TenantConfig;
+use sedspec_obs::{HealthState, ObsHub};
+use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
+use sedspecd::{ClientError, CtlClient, Daemon, DaemonConfig, WatchEvent};
+
+fn unique(tag: &str) -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("sedspecd-cc-{}-{tag}-{n}", std::process::id())
+}
+
+fn fresh_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(unique(tag));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec_json() -> String {
+    let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x10000, 64);
+    let samples = vec![vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)]];
+    train(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap().to_json()
+}
+
+fn fdc_tenant(id: u64) -> TenantConfig {
+    let mut config = TenantConfig::new(id);
+    config.devices = vec![(DeviceKind::Fdc, QemuVersion::Patched)];
+    config
+}
+
+fn in_spec_steps() -> Vec<TrainStep> {
+    vec![TrainStep::Io(IoRequest::read(AddressSpace::Pmio, 0x3f4, 1))]
+}
+
+fn off_spec_steps() -> Vec<TrainStep> {
+    (0..3).map(|_| TrainStep::Io(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0xEE))).collect()
+}
+
+/// Boots a daemon with a fast telemetry tick on a fresh socket and
+/// blocks until it answers frames.
+fn start(mut config: DaemonConfig, tag: &str) -> (Arc<Daemon>, thread::JoinHandle<()>, PathBuf) {
+    let socket = std::env::temp_dir().join(format!("{}.sock", unique(tag)));
+    config.socket = Some(socket.clone());
+    config.window_ms = 50;
+    let daemon = Arc::new(Daemon::new(config, Arc::new(ObsHub::new())).unwrap());
+    let runner = Arc::clone(&daemon);
+    let join = thread::spawn(move || runner.run().unwrap());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut probe) = CtlClient::connect_unix(&socket) {
+            match probe.ping() {
+                Ok(_) | Err(ClientError::Server { .. }) => break,
+                Err(_) => {}
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon did not come up on {}", socket.display());
+        thread::sleep(Duration::from_millis(10));
+    }
+    (daemon, join, socket)
+}
+
+/// N submitter threads, each its own connection, each running M
+/// batches, while a watch client stays attached: every submit must be
+/// answered (no lost responses) within a global deadline (no
+/// starvation), the watch stream must carry the hostile tenant's
+/// quarantine, and afterwards the store must scan clean.
+#[test]
+fn concurrent_submitters_and_a_watcher_share_the_daemon() {
+    const SUBMITTERS: u64 = 4;
+    const BATCHES: u64 = 25;
+
+    let store = fresh_store("stress");
+    let (_daemon, join, socket) = start(DaemonConfig::new(&store), "stress");
+
+    let mut admin = CtlClient::connect_unix(&socket).unwrap();
+    admin.publish_spec(DeviceKind::Fdc, QemuVersion::Patched, spec_json()).unwrap();
+    for tenant in 1..=SUBMITTERS {
+        admin.add_tenant(fdc_tenant(tenant)).unwrap();
+    }
+    let hostile_tenant = SUBMITTERS; // the last submitter turns hostile
+
+    // Attach the watcher before any traffic so nothing can race past
+    // it; it collects frames until it has seen the quarantine alert.
+    let watcher = {
+        let socket = socket.clone();
+        thread::spawn(move || {
+            let client = CtlClient::connect_unix(&socket).unwrap();
+            let mut stream = client.watch(None, None).unwrap();
+            let deadline = Instant::now() + Duration::from_secs(30);
+            let mut seqs: Vec<u64> = Vec::new();
+            let mut saw_quarantine_alert = false;
+            let mut saw_alerting_state = false;
+            let mut heartbeats = 0u64;
+            while Instant::now() < deadline
+                && !(saw_quarantine_alert && saw_alerting_state && heartbeats > 0)
+            {
+                let frame = match stream.next_frame() {
+                    Ok(frame) => frame,
+                    Err(e) => panic!("watch stream died early: {e}"),
+                };
+                seqs.push(frame.seq);
+                match &frame.event {
+                    WatchEvent::Alert { alert } => {
+                        if alert.tenant.0 == hostile_tenant {
+                            saw_quarantine_alert = true;
+                        }
+                    }
+                    WatchEvent::HealthChanged { transition } => {
+                        if transition.tenant == hostile_tenant
+                            && transition.to == HealthState::Alerting
+                        {
+                            saw_alerting_state = true;
+                        }
+                    }
+                    WatchEvent::Window { .. } => heartbeats += 1,
+                    WatchEvent::Forensic { .. } => {}
+                }
+            }
+            (seqs, saw_quarantine_alert, saw_alerting_state, heartbeats)
+        })
+    };
+
+    // Submitters: tenants 1..SUBMITTERS-1 stay benign, the last one
+    // goes hostile mid-run. Every batch must come back.
+    let submitters: Vec<_> = (1..=SUBMITTERS)
+        .map(|tenant| {
+            let socket = socket.clone();
+            thread::spawn(move || {
+                let mut ctl = CtlClient::connect_unix(&socket).unwrap();
+                let mut answered = 0u64;
+                for batch in 0..BATCHES {
+                    let hostile = tenant == SUBMITTERS && batch == BATCHES / 2;
+                    let steps = if hostile { off_spec_steps() } else { in_spec_steps() };
+                    match ctl.submit(tenant, steps) {
+                        Ok(_) => answered += 1,
+                        // After its quarantine the hostile tenant's
+                        // submissions are rejected in-band (report
+                        // with rejected=true), never dropped.
+                        Err(e) => panic!("tenant-{tenant} batch {batch} lost: {e}"),
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    let overall = Instant::now();
+    for (i, handle) in submitters.into_iter().enumerate() {
+        let answered = handle.join().unwrap();
+        assert_eq!(answered, BATCHES, "submitter {} got {answered}/{BATCHES} responses", i + 1);
+    }
+    let elapsed = overall.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "submitters took {elapsed:?}: the accept loop is starving connections"
+    );
+
+    let (seqs, saw_alert, saw_alerting, heartbeats) = watcher.join().unwrap();
+    assert!(saw_alert, "watch stream never delivered the hostile tenant's alert");
+    assert!(saw_alerting, "watchdog never classified the hostile tenant as Alerting");
+    assert!(heartbeats > 0, "window heartbeats must flow while submitters run");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "watch frames must arrive in strictly increasing seq order: {seqs:?}"
+    );
+
+    // A quarantined tenant answers with an in-band rejection; the
+    // response is never dropped.
+    let mut check = CtlClient::connect_unix(&socket).unwrap();
+    let report = check.submit(hostile_tenant, in_spec_steps()).unwrap();
+    assert!(report.rejected, "quarantined tenant must reject, not drop");
+
+    check.shutdown().unwrap();
+    join.join().unwrap();
+
+    // The WAL survived the concurrency: a fresh scan reports a healthy
+    // store and a warm load replays it clean.
+    let scan = sedspecd::store::scan(&store).unwrap();
+    assert!(scan.healthy(), "store integrity after concurrent load: {scan:?}");
+    let warm = Daemon::new(DaemonConfig::new(&store), Arc::new(ObsHub::new())).unwrap();
+    let stats = warm.warm_stats();
+    assert!(stats.replay_clean && stats.skipped.is_empty(), "warm load not clean: {stats:?}");
+    assert_eq!(stats.tenants, SUBMITTERS as u32);
+}
+
+/// A watch client that reconnects with its resume cursor sees no
+/// duplicate and no reordered frames, and the `Watching` ack's bounds
+/// expose whether the ring still covers the cursor.
+#[test]
+fn watch_cursor_resumes_after_disconnect() {
+    let store = fresh_store("resume");
+    let (_daemon, join, socket) = start(DaemonConfig::new(&store), "resume");
+
+    let mut admin = CtlClient::connect_unix(&socket).unwrap();
+    admin.publish_spec(DeviceKind::Fdc, QemuVersion::Patched, spec_json()).unwrap();
+    admin.add_tenant(fdc_tenant(1)).unwrap();
+
+    // First subscription: read a few frames, remember the cursor.
+    let client = CtlClient::connect_unix(&socket).unwrap();
+    let mut stream = client.watch(None, None).unwrap();
+    admin.submit(1, off_spec_steps()).unwrap();
+    let mut cursor = 0;
+    for _ in 0..3 {
+        cursor = stream.next_frame().unwrap().seq;
+    }
+    drop(stream); // disconnect mid-stream
+
+    // Generate more events while detached.
+    let _ = admin.submit(1, in_spec_steps());
+
+    // Second subscription resumes after the cursor: the first frame
+    // must be the next seq the ring still holds, strictly beyond it.
+    let client = CtlClient::connect_unix(&socket).unwrap();
+    let mut resumed = client.watch(Some(cursor), None).unwrap();
+    assert_eq!(resumed.resume, cursor, "ack must echo the resume cursor");
+    assert!(resumed.latest >= cursor, "ring bounds must cover the published past");
+    let frame = resumed.next_frame().unwrap();
+    assert!(
+        frame.seq > cursor,
+        "resumed stream must continue past the cursor (got {} after {cursor})",
+        frame.seq
+    );
+
+    let mut ctl = CtlClient::connect_unix(&socket).unwrap();
+    ctl.shutdown().unwrap();
+    join.join().unwrap();
+}
+
+/// `Health` answers on a plain connection with watchdog states and the
+/// ticker's window report, and counts attached watchers.
+#[test]
+fn health_reports_window_states_and_watchers() {
+    let store = fresh_store("health");
+    let (_daemon, join, socket) = start(DaemonConfig::new(&store), "health");
+
+    let mut admin = CtlClient::connect_unix(&socket).unwrap();
+    admin.publish_spec(DeviceKind::Fdc, QemuVersion::Patched, spec_json()).unwrap();
+    admin.add_tenant(fdc_tenant(3)).unwrap();
+    admin.submit(3, in_spec_steps()).unwrap();
+
+    // Hold a watcher open so the gauge is observable.
+    let client = CtlClient::connect_unix(&socket).unwrap();
+    let stream = client.watch(None, None).unwrap();
+
+    // The 50 ms ticker needs a beat to sample the submitted round.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let (health, window) = loop {
+        let (health, window, _) = admin.health().unwrap();
+        if window.as_ref().is_some_and(|w| w.tenants.iter().any(|t| t.tenant == 3)) {
+            break (health, window.unwrap());
+        }
+        assert!(Instant::now() < deadline, "window report never covered tenant 3");
+        thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(health.watchers, 1, "the attached watch must be counted");
+    let tenant = window.tenants.iter().find(|t| t.tenant == 3).unwrap();
+    assert!(tenant.rounds > 0, "windowed rounds must cover the submitted batch");
+
+    let (_, _, states) = admin.health().unwrap();
+    assert!(
+        states.iter().any(|s| s.tenant == 3 && s.state == HealthState::Healthy),
+        "a benign tenant must be Healthy: {states:?}"
+    );
+
+    drop(stream);
+    admin.shutdown().unwrap();
+    join.join().unwrap();
+}

@@ -224,8 +224,8 @@ fn guarded_daemon_rejects_bad_tokens_and_scopes_tenants() {
     };
     let (_daemon, join, socket) = start(config, "auth");
 
-    // The daemon serves connections one at a time, so each client's
-    // conversation is closed (dropped) before the next client starts.
+    // Connections each get their own daemon thread; the drops below
+    // just keep the test's conversations tidy, not ordered.
 
     // No token at all: even a ping is refused.
     let mut anon = CtlClient::connect_unix(&socket).unwrap();

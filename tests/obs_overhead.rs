@@ -193,3 +193,53 @@ fn walk_batch_is_allocation_free_when_warm() {
          hot path must be allocation-free"
     );
 }
+
+/// The windowed-telemetry layer is pay-for-what-you-use too: a live
+/// [`ObsHub`] whose window is *disabled* (the default) must not change
+/// the warmed batched hot path's zero-allocation invariant — the
+/// window machinery may only cost anything once `enable_window` is
+/// called, and even then only on the sampling thread, never in the
+/// walk.
+#[test]
+fn disabled_window_layer_keeps_walk_batch_allocation_free() {
+    use sedspec_repro::obs::{ObsHub, ScopeInfo};
+
+    let kind = DeviceKind::Fdc;
+    let mut device = build_device(kind, QemuVersion::Patched);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, 40, 0x7a11);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap();
+
+    // A hub exists in the process, scopes registered, window off —
+    // the daemon's shape before anyone calls `enable_window`.
+    let hub = Arc::new(ObsHub::new());
+    let _scope = hub.register_scope(ScopeInfo::tenant_device(0, 1, "FDC"));
+    assert!(!hub.window_enabled(), "the windowed layer must be off by default");
+    assert!(hub.sample_window(0).is_none(), "a disabled window must not sample");
+
+    let device = build_device(kind, QemuVersion::Patched);
+    let req = IoRequest::read(AddressSpace::Pmio, 0x3f4, 1);
+    let pi = device.route(&req).expect("the poll port routes to a program");
+    let mut checker = EsChecker::new(spec, device.control.clone());
+
+    const BATCH: usize = 256;
+    let reqs: Vec<IoRequest> = (0..BATCH).map(|_| req.clone()).collect();
+    let mut out = BatchOutcome::default();
+    for _ in 0..8 {
+        checker.walk_batch(reqs.iter().map(|r| (pi, r)), &mut out);
+        checker.abort_batch();
+    }
+
+    let before = allocs_on_this_thread();
+    for _ in 0..16 {
+        checker.walk_batch(reqs.iter().map(|r| (pi, r)), &mut out);
+        checker.abort_batch();
+    }
+    let during = allocs_on_this_thread() - before;
+    assert_eq!(
+        during, 0,
+        "walk_batch allocated {during} times with a window-disabled hub alive; the windowed \
+         layer must be pay-for-what-you-use"
+    );
+    drop(hub);
+}
