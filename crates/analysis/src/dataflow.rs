@@ -1,0 +1,624 @@
+//! Deep passes: fixpoint-driven dataflow lints (`SA5xx`).
+//!
+//! Driven by the [`crate::fixpoint`] invariants (and, for the loop pass,
+//! the device's *static* handler programs):
+//!
+//! * `SA501` — a shadow write whose value is overwritten on every path
+//!   before anything reads it (backward liveness over trained edges);
+//! * `SA502` — a handler local that may be read before its first write
+//!   on some trained path;
+//! * `SA503` — a trained edge whose guard outcome contradicts the
+//!   *inflowing* invariant (the path-sensitive upgrade of `SA102`);
+//! * `SA504` — a static CFG cycle whose every exit guard a guest can
+//!   pin shut by holding one selected parameter constant — the PCNet
+//!   zero-length-ring CVE shape;
+//! * `SA505` — a parameter whose fixpoint range is strictly wider than
+//!   anything training observed (spec blind spot, informational).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sedspec::escfg::{gid, DsodOp, EdgeKey, EsCfg, Nbtd};
+use sedspec::params::DeviceStateParams;
+use sedspec::spec::ExecutionSpecification;
+use sedspec_dbl::ir::{Expr, LocalId, Program, Stmt, Terminator, VarId, Width};
+use sedspec_devices::Device;
+
+use crate::diag::Diagnostic;
+use crate::fixpoint::{self, FixpointResult};
+use crate::guards::DeclBounds;
+use crate::interval::{eval, Iv, VarBounds};
+
+/// Runs every deep pass, appending findings to `out`.
+pub fn run(spec: &ExecutionSpecification, device: Option<&Device>, out: &mut Vec<Diagnostic>) {
+    let fp = fixpoint::run(spec, device);
+    for cfg in &spec.cfgs {
+        sa501_dead_writes(cfg, device, out);
+    }
+    sa502_uninit_reads(spec, &fp, device, out);
+    sa503_infeasible_edges(spec, &fp, device, out);
+    if let Some(d) = device {
+        sa504_pinnable_loops(d, &spec.params, out);
+    }
+    sa505_range_escape(spec, &fp, device, out);
+}
+
+fn var_name(device: Option<&Device>, v: VarId) -> String {
+    match device {
+        Some(d) if (v.0 as usize) < d.control.vars().len() => d.control.var_decl(v).name.clone(),
+        _ => format!("var{}", v.0),
+    }
+}
+
+fn local_name(device: Option<&Device>, program: usize, l: LocalId) -> String {
+    device
+        .and_then(|d| d.programs().get(program))
+        .and_then(|p| p.locals.get(l.0 as usize))
+        .map_or_else(|| format!("local{}", l.0), |(name, _)| name.clone())
+}
+
+/// Every expression a DSOD op evaluates.
+fn op_exprs(op: &DsodOp) -> Vec<&Expr> {
+    use sedspec_dbl::ir::Intrinsic as I;
+    match op {
+        DsodOp::Exec(stmt) => match stmt {
+            Stmt::SetVar(_, e) | Stmt::SetLocal(_, e) | Stmt::BufFill(_, e) => vec![e],
+            Stmt::BufStore(_, idx, val) => vec![idx, val],
+            Stmt::CopyPayload { buf_off, len, .. } => vec![buf_off, len],
+            Stmt::Intrinsic(i) => match i {
+                I::DmaToBuf { buf_off, gpa, len, .. } | I::DmaFromBuf { buf_off, gpa, len, .. } => {
+                    vec![buf_off, gpa, len]
+                }
+                I::DmaLoadVar { gpa, .. } => vec![gpa],
+                I::DmaStore { gpa, value, .. } => vec![gpa, value],
+                I::IrqRaise { line } | I::IrqLower { line } => vec![line],
+                I::IoReply { value } => vec![value],
+                I::DiskReadToBuf { buf_off, sector, .. }
+                | I::DiskWriteFromBuf { buf_off, sector, .. } => vec![buf_off, sector],
+                I::NetTransmit { off, len, .. } => vec![off, len],
+                I::DelayNs { ns } => vec![ns],
+                I::Note(_) => vec![],
+            },
+        },
+        DsodOp::SyncVar(_) => vec![],
+        DsodOp::SyncBuf { off, len, .. } | DsodOp::CheckBufRead { off, len, .. } => {
+            vec![off, len]
+        }
+    }
+}
+
+/// The device-state variable a DSOD op writes, if any.
+fn op_written_var(op: &DsodOp) -> Option<VarId> {
+    match op {
+        DsodOp::Exec(Stmt::SetVar(v, _)) => Some(*v),
+        DsodOp::Exec(Stmt::Intrinsic(i)) => i.written_var(),
+        DsodOp::SyncVar(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Device vars an NBTD reads when the block hands off control.
+fn nbtd_var_uses(nbtd: &Nbtd) -> Vec<VarId> {
+    match nbtd {
+        Nbtd::Branch { cond, .. } => cond.vars(),
+        Nbtd::Switch { scrutinee, .. } => scrutinee.vars(),
+        Nbtd::Indirect { ptr, .. } => vec![*ptr],
+        Nbtd::None => vec![],
+    }
+}
+
+fn nbtd_local_uses(nbtd: &Nbtd) -> Vec<LocalId> {
+    match nbtd {
+        Nbtd::Branch { cond, .. } => cond.locals(),
+        Nbtd::Switch { scrutinee, .. } => scrutinee.locals(),
+        _ => vec![],
+    }
+}
+
+/// Successor list over the same graph the fixpoint walks: trained edges
+/// plus the implicit indirect-call return flows.
+fn flow_successors(cfg: &EsCfg) -> Vec<Vec<u32>> {
+    let n = cfg.blocks.len();
+    let ret_sites: Vec<u32> = cfg
+        .blocks
+        .iter()
+        .filter_map(|b| match &b.nbtd {
+            Nbtd::Indirect { ret_origin, .. } => cfg.resolve(*ret_origin),
+            _ => None,
+        })
+        .filter(|&r| (r as usize) < n)
+        .collect();
+    (0..n as u32)
+        .map(|b| {
+            let blk = &cfg.blocks[b as usize];
+            let mut succ: Vec<u32> = cfg
+                .edges
+                .get(&b)
+                .map(|l| l.iter().map(|e| e.to).filter(|&t| (t as usize) < n).collect())
+                .unwrap_or_default();
+            if let Nbtd::Indirect { ret_origin, .. } = &blk.nbtd {
+                if let Some(ret) = cfg.resolve(*ret_origin).filter(|&r| (r as usize) < n) {
+                    succ.push(ret);
+                }
+            }
+            if blk.is_return {
+                succ.extend_from_slice(&ret_sites);
+            }
+            succ.sort_unstable();
+            succ.dedup();
+            succ
+        })
+        .collect()
+}
+
+/// `SA501`: backward liveness of device vars over the trained graph.
+/// Round ends keep every variable live (shadow state persists), so only
+/// genuinely within-round-shadowed writes fire.
+fn sa501_dead_writes(cfg: &EsCfg, device: Option<&Device>, out: &mut Vec<Diagnostic>) {
+    let n = cfg.blocks.len();
+    if n == 0 {
+        return;
+    }
+    let succ = flow_successors(cfg);
+    // Universe: every var the handler touches.
+    let mut universe: BTreeSet<VarId> = BTreeSet::new();
+    for blk in &cfg.blocks {
+        for op in &blk.dsod {
+            universe.extend(op_written_var(op));
+            for e in op_exprs(op) {
+                universe.extend(e.vars());
+            }
+        }
+        universe.extend(nbtd_var_uses(&blk.nbtd));
+    }
+
+    let round_ends =
+        |b: usize| cfg.blocks[b].is_exit || cfg.edges.get(&(b as u32)).is_none_or(Vec::is_empty);
+
+    // live_in[b]: vars whose current value may be read at/after entry of b.
+    let mut live_in: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let mut live: BTreeSet<VarId> =
+                if round_ends(b) { universe.clone() } else { BTreeSet::new() };
+            for &s in &succ[b] {
+                live.extend(live_in[s as usize].iter().copied());
+            }
+            let blk = &cfg.blocks[b];
+            live.extend(nbtd_var_uses(&blk.nbtd));
+            for op in blk.dsod.iter().rev() {
+                if let Some(w) = op_written_var(op) {
+                    live.remove(&w);
+                }
+                for e in op_exprs(op) {
+                    live.extend(e.vars());
+                }
+            }
+            if live != live_in[b] {
+                live_in[b] = live;
+                changed = true;
+            }
+        }
+    }
+
+    // Final pass: report each write whose target is dead right after it.
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        let mut live: BTreeSet<VarId> =
+            if round_ends(b) { universe.clone() } else { BTreeSet::new() };
+        for &s in &succ[b] {
+            live.extend(live_in[s as usize].iter().copied());
+        }
+        live.extend(nbtd_var_uses(&blk.nbtd));
+        // live-after of op k = backward accumulation over ops k+1.. ; walk
+        // in reverse, checking before killing.
+        let mut dead_ops: Vec<(usize, VarId)> = Vec::new();
+        for (k, op) in blk.dsod.iter().enumerate().rev() {
+            if let Some(w) = op_written_var(op) {
+                if !live.contains(&w) {
+                    dead_ops.push((k, w));
+                }
+                live.remove(&w);
+            }
+            for e in op_exprs(op) {
+                live.extend(e.vars());
+            }
+        }
+        dead_ops.reverse();
+        for (k, w) in dead_ops {
+            out.push(
+                Diagnostic::new(
+                    "SA501",
+                    format!(
+                        "write to '{}' (op {k} of '{}') is overwritten on every path \
+                         before any read",
+                        var_name(device, w),
+                        blk.label
+                    ),
+                )
+                .in_program(cfg.program, &cfg.name)
+                .at_gid(gid(cfg.program, b as u32)),
+            );
+        }
+    }
+}
+
+/// `SA502`: locals that may be read before their first write, using the
+/// fixpoint's may-uninit sets at block entry.
+fn sa502_uninit_reads(
+    spec: &ExecutionSpecification,
+    fp: &FixpointResult,
+    device: Option<&Device>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (cfg, inv) in spec.cfgs.iter().zip(&fp.per_cfg) {
+        let decl = DeclBounds { device, locals: &cfg.locals };
+        let mut reported: BTreeSet<(u32, LocalId)> = BTreeSet::new();
+        for (b, entry) in inv.entry.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            let blk = &cfg.blocks[b];
+            let mut state = entry.clone();
+            let mut flag = |uninit: &BTreeSet<LocalId>, used: Vec<LocalId>, out: &mut Vec<_>| {
+                for l in used {
+                    if uninit.contains(&l) && reported.insert((b as u32, l)) {
+                        out.push(
+                            Diagnostic::new(
+                                "SA502",
+                                format!(
+                                    "local '{}' may be read in '{}' before any write \
+                                     on some trained path",
+                                    local_name(device, cfg.program, l),
+                                    blk.label
+                                ),
+                            )
+                            .in_program(cfg.program, &cfg.name)
+                            .at_gid(gid(cfg.program, b as u32)),
+                        );
+                    }
+                }
+            };
+            for op in &blk.dsod {
+                let used: Vec<LocalId> = op_exprs(op).iter().flat_map(|e| e.locals()).collect();
+                flag(&state.maybe_uninit, used, out);
+                fixpoint::transfer_op(&mut state, op, &decl);
+            }
+            flag(&state.maybe_uninit, nbtd_local_uses(&blk.nbtd), out);
+        }
+    }
+}
+
+/// `SA503`: trained edges the fixpoint proves unwalkable, minus the ones
+/// the flow-insensitive guard pass (`SA102`) already rejects.
+fn sa503_infeasible_edges(
+    spec: &ExecutionSpecification,
+    fp: &FixpointResult,
+    device: Option<&Device>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (cfg, inv) in spec.cfgs.iter().zip(&fp.per_cfg) {
+        let decl = DeclBounds { device, locals: &cfg.locals };
+        for edge in &inv.infeasible {
+            let blk = &cfg.blocks[edge.from as usize];
+            // Decided in isolation already? Then SA102 owns the finding.
+            let isolated = match (&blk.nbtd, edge.key) {
+                (Nbtd::Branch { cond, needs_sync: false }, EdgeKey::Taken) => {
+                    eval(cond, &decl).always_false()
+                }
+                (Nbtd::Branch { cond, needs_sync: false }, EdgeKey::NotTaken) => {
+                    eval(cond, &decl).always_true()
+                }
+                (Nbtd::Switch { scrutinee, needs_sync: false, .. }, EdgeKey::Case(v)) => {
+                    let iv = eval(scrutinee, &decl);
+                    iv != Iv::TOP && !iv.signed_taint && !iv.contains(v)
+                }
+                _ => false,
+            };
+            if isolated {
+                continue;
+            }
+            out.push(
+                Diagnostic::new(
+                    "SA503",
+                    format!(
+                        "trained {:?} edge -> {} of '{}' is infeasible under the \
+                         inflowing invariant: no accepted round can take it",
+                        edge.key, edge.to, blk.label
+                    ),
+                )
+                .in_program(cfg.program, &cfg.name)
+                .at_gid(gid(cfg.program, edge.from)),
+            );
+        }
+    }
+}
+
+/// Declared bounds with one variable pinned to an exact value.
+struct PinnedBounds<'a> {
+    decl: DeclBounds<'a>,
+    pinned: (VarId, u64),
+}
+
+impl VarBounds for PinnedBounds<'_> {
+    fn var_range(&self, v: VarId) -> Iv {
+        if v == self.pinned.0 {
+            Iv::exact(self.pinned.1)
+        } else {
+            self.decl.var_range(v)
+        }
+    }
+    fn buf_len(&self, b: sedspec_dbl::ir::BufId) -> Option<u64> {
+        self.decl.buf_len(b)
+    }
+    fn local_width(&self, l: LocalId) -> Option<Width> {
+        self.decl.local_width(l)
+    }
+}
+
+/// How a static CFG cycle can be left through one of its blocks.
+enum ExitCheck<'a> {
+    /// Leaving requires the branch condition to be truthy.
+    CondTrue(&'a Expr),
+    /// Leaving requires the branch condition to be falsy.
+    CondFalse(&'a Expr),
+    /// Switch dispatch: leaving requires one of `out_values`, or the
+    /// default when it leaves the cycle.
+    Switch { scrutinee: &'a Expr, out_values: Vec<u64>, default_out: bool, in_values: Vec<u64> },
+    /// The block can always leave (e.g. indirect dispatch): the cycle is
+    /// not pinnable.
+    Always,
+}
+
+/// `SA504`: a reachable static cycle all of whose exit guards a guest
+/// can pin shut by holding one selected, loop-invariant parameter at a
+/// constant — an unbounded guest-controlled loop (the zero-length-ring
+/// shape). Works on the device *programs*: the dangerous loops never
+/// appear in benign-trained ES-CFGs.
+fn sa504_pinnable_loops(device: &Device, params: &DeviceStateParams, out: &mut Vec<Diagnostic>) {
+    for (pi, prog) in device.programs().iter().enumerate() {
+        let widths: Vec<Width> = prog.locals.iter().map(|(_, w)| *w).collect();
+        let reachable = reachable_blocks(prog);
+        for scc in cycles(prog, &reachable) {
+            examine_cycle(device, params, pi, prog, &widths, &scc, out);
+        }
+    }
+}
+
+fn reachable_blocks(prog: &Program) -> BTreeSet<u32> {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![prog.entry];
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b.0) {
+            continue;
+        }
+        let blk = &prog.blocks[b.0 as usize];
+        for s in blk.term.successors() {
+            stack.push(s);
+        }
+        if let Terminator::IndirectCall { .. } = blk.term {
+            stack.extend(prog.fn_table.values().copied());
+        }
+    }
+    seen
+}
+
+/// Nontrivial strongly connected components (size > 1, or a self-loop)
+/// among the reachable blocks, via iterative Tarjan.
+fn cycles(prog: &Program, reachable: &BTreeSet<u32>) -> Vec<BTreeSet<u32>> {
+    let succs = |b: u32| -> Vec<u32> {
+        let blk = &prog.blocks[b as usize];
+        let mut s: Vec<u32> = blk.term.successors().iter().map(|x| x.0).collect();
+        if let Terminator::IndirectCall { .. } = blk.term {
+            s.extend(prog.fn_table.values().map(|x| x.0));
+        }
+        s.retain(|x| reachable.contains(x));
+        s
+    };
+    let mut index: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut low: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut on_stack: BTreeSet<u32> = BTreeSet::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    let mut sccs = Vec::new();
+    for &root in reachable {
+        if index.contains_key(&root) {
+            continue;
+        }
+        // (node, successor iterator position)
+        let mut call: Vec<(u32, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut si)) = call.last_mut() {
+            if *si == 0 {
+                index.insert(v, next);
+                low.insert(v, next);
+                next += 1;
+                stack.push(v);
+                on_stack.insert(v);
+            }
+            let vs = succs(v);
+            if *si < vs.len() {
+                let w = vs[*si];
+                *si += 1;
+                if !index.contains_key(&w) {
+                    call.push((w, 0));
+                } else if on_stack.contains(&w) {
+                    let lw = index[&w].min(low[&v]);
+                    low.insert(v, lw);
+                }
+            } else {
+                if low[&v] == index[&v] {
+                    let mut comp = BTreeSet::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack.remove(&w);
+                        comp.insert(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let self_loop = comp.len() == 1 && {
+                        let b = *comp.iter().next().unwrap();
+                        succs(b).contains(&b)
+                    };
+                    if comp.len() > 1 || self_loop {
+                        sccs.push(comp);
+                    }
+                }
+                call.pop();
+                if let Some(&mut (p, _)) = call.last_mut() {
+                    let lv = low[&v].min(low[&p]);
+                    low.insert(p, lv);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn examine_cycle(
+    device: &Device,
+    params: &DeviceStateParams,
+    pi: usize,
+    prog: &Program,
+    widths: &[Width],
+    scc: &BTreeSet<u32>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Vars the cycle itself rewrites are not pinnable by the guest.
+    let mut written: BTreeSet<VarId> = BTreeSet::new();
+    for &b in scc {
+        for stmt in &prog.blocks[b as usize].stmts {
+            match stmt {
+                Stmt::SetVar(v, _) => {
+                    written.insert(*v);
+                }
+                Stmt::Intrinsic(i) => written.extend(i.written_var()),
+                _ => {}
+            }
+        }
+    }
+
+    let mut checks: Vec<ExitCheck<'_>> = Vec::new();
+    for &b in scc {
+        match &prog.blocks[b as usize].term {
+            Terminator::Branch { cond, taken, not_taken } => {
+                let t_in = scc.contains(&taken.0);
+                let n_in = scc.contains(&not_taken.0);
+                match (t_in, n_in) {
+                    (true, true) => {}
+                    (false, true) => checks.push(ExitCheck::CondTrue(cond)),
+                    (true, false) => checks.push(ExitCheck::CondFalse(cond)),
+                    (false, false) => checks.push(ExitCheck::Always),
+                }
+            }
+            Terminator::Switch { scrutinee, arms, default } => {
+                let out_values: Vec<u64> =
+                    arms.iter().filter(|(_, t)| !scc.contains(&t.0)).map(|&(v, _)| v).collect();
+                let in_values: Vec<u64> =
+                    arms.iter().filter(|(_, t)| scc.contains(&t.0)).map(|&(v, _)| v).collect();
+                checks.push(ExitCheck::Switch {
+                    scrutinee,
+                    out_values,
+                    default_out: !scc.contains(&default.0),
+                    in_values,
+                });
+            }
+            Terminator::IndirectCall { .. } => checks.push(ExitCheck::Always),
+            Terminator::Jump(_) | Terminator::Return | Terminator::Exit => {}
+        }
+    }
+    if checks.iter().any(|c| matches!(c, ExitCheck::Always)) {
+        return;
+    }
+
+    // Candidate pins: selected params, invariant inside the cycle, that
+    // an exit guard actually consults.
+    let mut guard_vars: BTreeSet<VarId> = BTreeSet::new();
+    for c in &checks {
+        match c {
+            ExitCheck::CondTrue(e) | ExitCheck::CondFalse(e) => guard_vars.extend(e.vars()),
+            ExitCheck::Switch { scrutinee, .. } => guard_vars.extend(scrutinee.vars()),
+            ExitCheck::Always => {}
+        }
+    }
+    let head = *scc.iter().next().unwrap();
+    let head_label = &prog.blocks[head as usize].label;
+    for (v, _) in &params.vars {
+        if written.contains(v) || !guard_vars.contains(v) {
+            continue;
+        }
+        let decl = device.control.var_decl(*v);
+        let mut pins = vec![0u64, decl.init, decl.width.mask()];
+        pins.dedup();
+        for pin in pins {
+            let env = PinnedBounds {
+                decl: DeclBounds { device: Some(device), locals: widths },
+                pinned: (*v, pin),
+            };
+            let escapable = checks.iter().any(|c| exit_possible(c, &env));
+            if !escapable {
+                out.push(
+                    Diagnostic::new(
+                        "SA504",
+                        format!(
+                            "cycle at '{head_label}' ({} blocks) never exits while the \
+                             guest holds '{}' = {pin:#x}: unbounded guest-controlled loop",
+                            scc.len(),
+                            decl.name
+                        ),
+                    )
+                    .in_program(pi, &prog.name),
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Whether this exit can fire under `env` for *some* assignment of the
+/// unpinned state.
+fn exit_possible(check: &ExitCheck<'_>, env: &dyn VarBounds) -> bool {
+    match check {
+        ExitCheck::CondTrue(cond) => !eval(cond, env).always_false(),
+        ExitCheck::CondFalse(cond) => !eval(cond, env).always_true(),
+        ExitCheck::Switch { scrutinee, out_values, default_out, in_values } => {
+            let iv = eval(scrutinee, env);
+            if out_values.iter().any(|&v| iv.contains(v)) {
+                return true;
+            }
+            // The default leaves: unreachable only when the scrutinee is
+            // a single value dispatching to an in-cycle arm.
+            *default_out && !matches!(iv.singleton(), Some(s) if in_values.contains(&s))
+        }
+        ExitCheck::Always => true,
+    }
+}
+
+/// `SA505`: fixpoint range strictly wider than anything training saw,
+/// for the buffer-counting/indexing params the overflow rule keys on.
+fn sa505_range_escape(
+    spec: &ExecutionSpecification,
+    fp: &FixpointResult,
+    device: Option<&Device>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (v, _) in &spec.params.vars {
+        if !spec.params.is_index_or_count(*v) {
+            continue;
+        }
+        let Some(iv) = fp.entry_vars.get(v) else { continue };
+        let Some(obs) = spec.observed_range(*v) else { continue };
+        if iv.lo < obs.lo || iv.hi > obs.hi {
+            out.push(Diagnostic::new(
+                "SA505",
+                format!(
+                    "'{}' can statically reach [{:#x}, {:#x}] but training only \
+                     observed [{:#x}, {:#x}]: enforcement rests on unobserved values",
+                    var_name(device, *v),
+                    iv.lo,
+                    iv.hi,
+                    obs.lo,
+                    obs.hi
+                ),
+            ));
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! | `SA2xx` | command-coverage audit      |
 //! | `SA3xx` | shadow-write soundness      |
 //! | `SA4xx` | compile-preservation diff   |
+//! | `SA5xx` | fixpoint dataflow (deep)    |
+//! | `SA6xx` | semantic revision diff      |
 
 use std::fmt;
 
@@ -65,6 +67,17 @@ pub const CODES: &[(&str, Severity, &str)] = &[
     ("SA302", Severity::Error, "DSOD op references an undeclared variable or buffer"),
     ("SA303", Severity::Warning, "constant buffer access spills into an adjacent field"),
     ("SA401", Severity::Error, "compiled spec diverges structurally from the ES-CFG"),
+    ("SA501", Severity::Warning, "shadow write is dead (overwritten before any read)"),
+    ("SA502", Severity::Warning, "handler local may be read before initialization on some path"),
+    ("SA503", Severity::Error, "trained edge is infeasible under the inflowing invariant"),
+    ("SA504", Severity::Warning, "cycle exit guard can be pinned shut by a guest-held param"),
+    ("SA505", Severity::Info, "fixpoint range strictly wider than the training-observed range"),
+    ("SA601", Severity::Info, "command-set delta between revisions"),
+    ("SA602", Severity::Info, "command allowed-block set changed between revisions"),
+    ("SA603", Severity::Info, "trained edge set changed on a shared ES block"),
+    ("SA604", Severity::Info, "block reachability changed between revisions"),
+    ("SA605", Severity::Info, "shadow-write effect range changed on a shared ES block"),
+    ("SA606", Severity::Info, "static handler control flow changed between device versions"),
 ];
 
 /// The registered default severity and summary of `code`.

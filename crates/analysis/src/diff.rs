@@ -1,0 +1,1047 @@
+//! Pass 6: semantic revision diff (`SA6xx`).
+//!
+//! Compares two execution specifications — typically the incumbent a
+//! registry channel currently serves and a candidate publish — and
+//! reduces every difference to a typed [`DeltaEntry`] with a
+//! [`Direction`]:
+//!
+//! * **Loosening** — traffic the old revision would have halted is
+//!   accepted by the new one (a command appears, an allowed set grows, a
+//!   trained edge appears, a static guard is removed). Loosenings are
+//!   the risk direction: the registry refuses them unless the publisher
+//!   passes `allow_loosening`.
+//! * **Tightening** — previously accepted traffic is now halted (a
+//!   command or edge disappears, a static check is interposed). This is
+//!   the shape every CVE patch in the device corpus takes.
+//! * **Neutral** — observable change with no enforcement direction
+//!   (reachability shifts, stat-free structural drift).
+//!
+//! The trained dimensions (`SA601`–`SA605`) compare the specs
+//! themselves; `SA606` additionally rebuilds both device versions from
+//! the specs' device/version strings and diffs the *static* handler
+//! CFGs, so a cross-version publish names the patched control flow even
+//! when neither training run ever reached it.
+//!
+//! Output is deterministic: entries are sorted by
+//! `(code, handler, location, detail)` and all internal maps are
+//! ordered, so `diff(a, b)` is byte-identical across runs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sedspec::escfg::{DsodOp, EsCfg};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_dbl::ir::{Block, Expr, LocalId, Program, Stmt, Terminator, VarId, Width};
+use sedspec_devices::Device;
+use serde::{Deserialize, Serialize};
+
+use crate::guards::DeclBounds;
+use crate::interval::{eval, Iv};
+
+/// Enforcement direction of one observed difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Direction {
+    /// New revision halts traffic the old accepted.
+    Tightening,
+    /// No enforcement direction.
+    Neutral,
+    /// New revision accepts traffic the old halted (gated).
+    Loosening,
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Direction::Tightening => "tightening",
+            Direction::Neutral => "neutral",
+            Direction::Loosening => "loosening",
+        })
+    }
+}
+
+/// One typed difference between two spec revisions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaEntry {
+    /// Stable `SA6xx` code classifying the delta dimension.
+    pub code: String,
+    /// Enforcement direction.
+    pub direction: Direction,
+    /// Handler (ES-CFG or static program) name, empty for global deltas.
+    pub handler: String,
+    /// Block label or command anchor within the handler.
+    pub location: String,
+    /// Human-readable description of the difference.
+    pub detail: String,
+}
+
+impl DeltaEntry {
+    fn new(
+        code: &'static str,
+        direction: Direction,
+        handler: impl Into<String>,
+        location: impl Into<String>,
+        detail: impl Into<String>,
+    ) -> Self {
+        DeltaEntry {
+            code: code.to_string(),
+            direction,
+            handler: handler.into(),
+            location: location.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// One-line rendering: `SA606 tightening fdc_pmio_write/'drive_spec_param': ...`.
+    pub fn render(&self) -> String {
+        if self.handler.is_empty() {
+            format!("{} {} {}: {}", self.code, self.direction, self.location, self.detail)
+        } else {
+            format!(
+                "{} {} {}/'{}': {}",
+                self.code, self.direction, self.handler, self.location, self.detail
+            )
+        }
+    }
+}
+
+/// Identity and size summary of one compared revision.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RevisionSummary {
+    /// Device name the revision targets.
+    pub device: String,
+    /// Device version string.
+    pub version: String,
+    /// Trained ES blocks.
+    pub blocks: u64,
+    /// Trained edges.
+    pub edges: u64,
+    /// Command-table entries.
+    pub commands: u64,
+    /// Training rounds folded in.
+    pub training_rounds: u64,
+}
+
+impl RevisionSummary {
+    fn of(spec: &ExecutionSpecification) -> Self {
+        RevisionSummary {
+            device: spec.device.clone(),
+            version: spec.version.clone(),
+            blocks: spec.block_count() as u64,
+            edges: spec.edge_count() as u64,
+            commands: spec.cmd_table.entries.len() as u64,
+            training_rounds: spec.stats.training_rounds,
+        }
+    }
+}
+
+/// The full semantic difference between two spec revisions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecDelta {
+    /// Summary of the old (incumbent) revision.
+    pub old: RevisionSummary,
+    /// Summary of the new (candidate) revision.
+    pub new: RevisionSummary,
+    /// All differences, sorted by `(code, handler, location, detail)`.
+    pub entries: Vec<DeltaEntry>,
+}
+
+impl SpecDelta {
+    /// Whether the revisions are semantically identical.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries with the given direction.
+    pub fn count(&self, d: Direction) -> usize {
+        self.entries.iter().filter(|e| e.direction == d).count()
+    }
+
+    /// Entries carrying `code`.
+    pub fn with_code(&self, code: &str) -> Vec<&DeltaEntry> {
+        self.entries.iter().filter(|e| e.code == code).collect()
+    }
+
+    /// Whether any entry loosens enforcement (the gated direction).
+    pub fn has_loosening(&self) -> bool {
+        self.entries.iter().any(|e| e.direction == Direction::Loosening)
+    }
+
+    /// One-line aggregate: `"2 tightening, 0 loosening, 1 neutral"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} tightening, {} loosening, {} neutral",
+            self.count(Direction::Tightening),
+            self.count(Direction::Loosening),
+            self.count(Direction::Neutral)
+        )
+    }
+
+    /// Multi-line human rendering: header, one line per entry, summary.
+    pub fn render_human(&self) -> String {
+        let mut out = format!(
+            "spec-diff {}/{} -> {}/{} ({} blocks/{} edges -> {} blocks/{} edges)\n",
+            self.old.device,
+            self.old.version,
+            self.new.device,
+            self.new.version,
+            self.old.blocks,
+            self.old.edges,
+            self.new.blocks,
+            self.new.edges,
+        );
+        for e in &self.entries {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// Stable pretty-JSON rendering (CI-diffable).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("delta serializes")
+    }
+}
+
+/// The delta a registry attaches to every accepted publish, so the
+/// channel's history records *what changed semantically*, not just that
+/// an epoch bumped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SemanticChangelog {
+    /// The underlying typed delta against the displaced incumbent.
+    pub delta: SpecDelta,
+}
+
+impl SemanticChangelog {
+    /// Whether the publish loosened enforcement anywhere.
+    pub fn has_loosening(&self) -> bool {
+        self.delta.has_loosening()
+    }
+
+    /// One-line aggregate for logs and daemon replies.
+    pub fn summary(&self) -> String {
+        self.delta.summary()
+    }
+}
+
+/// Computes the semantic difference `old -> new`.
+///
+/// Always runs the trained-dimension passes (`SA601`–`SA605`); runs the
+/// static cross-version pass (`SA606`) only when the two revisions name
+/// different `(device, version)` targets that both parse back to
+/// buildable devices.
+pub fn diff(old: &ExecutionSpecification, new: &ExecutionSpecification) -> SpecDelta {
+    let mut entries = Vec::new();
+    let old_gids = gid_index(old);
+    let new_gids = gid_index(new);
+    sa601_command_set(old, new, &old_gids, &new_gids, &mut entries);
+    sa602_allowed_sets(old, new, &old_gids, &new_gids, &mut entries);
+    sa603_sa604_sa605_trained_blocks(old, new, &mut entries);
+    sa606_static_control_flow(old, new, &mut entries);
+    entries.sort_by(|a, b| {
+        (&a.code, &a.handler, &a.location, &a.detail).cmp(&(
+            &b.code,
+            &b.handler,
+            &b.location,
+            &b.detail,
+        ))
+    });
+    entries.dedup();
+    SpecDelta { old: RevisionSummary::of(old), new: RevisionSummary::of(new), entries }
+}
+
+/// `gid -> (handler name, block label)` for every trained block.
+fn gid_index(spec: &ExecutionSpecification) -> BTreeMap<u64, (String, String)> {
+    let mut map = BTreeMap::new();
+    for cfg in &spec.cfgs {
+        for (es, blk) in cfg.blocks.iter().enumerate() {
+            map.insert(
+                sedspec::escfg::gid(cfg.program, es as u32),
+                (cfg.name.clone(), blk.label.clone()),
+            );
+        }
+    }
+    map
+}
+
+fn anchor(gids: &BTreeMap<u64, (String, String)>, g: u64) -> (String, String) {
+    gids.get(&g).cloned().unwrap_or_else(|| (String::new(), format!("gid {g}")))
+}
+
+/// SA601: command-set deltas keyed by `(handler, decision label, cmd)`.
+fn sa601_command_set(
+    old: &ExecutionSpecification,
+    new: &ExecutionSpecification,
+    old_gids: &BTreeMap<u64, (String, String)>,
+    new_gids: &BTreeMap<u64, (String, String)>,
+    out: &mut Vec<DeltaEntry>,
+) {
+    let keyed = |spec: &ExecutionSpecification,
+                 gids: &BTreeMap<u64, (String, String)>|
+     -> BTreeSet<(String, String, u64)> {
+        spec.cmd_table
+            .entries
+            .iter()
+            .map(|e| {
+                let (handler, label) = anchor(gids, e.decision);
+                (handler, label, e.cmd)
+            })
+            .collect()
+    };
+    let o = keyed(old, old_gids);
+    let n = keyed(new, new_gids);
+    for (handler, label, cmd) in n.difference(&o) {
+        out.push(DeltaEntry::new(
+            "SA601",
+            Direction::Loosening,
+            handler,
+            label,
+            format!("command {cmd:#x} newly accepted at this decision point"),
+        ));
+    }
+    for (handler, label, cmd) in o.difference(&n) {
+        out.push(DeltaEntry::new(
+            "SA601",
+            Direction::Tightening,
+            handler,
+            label,
+            format!("command {cmd:#x} no longer accepted at this decision point"),
+        ));
+    }
+}
+
+/// SA602: per-command allowed-block set deltas for commands trained in
+/// both revisions.
+fn sa602_allowed_sets(
+    old: &ExecutionSpecification,
+    new: &ExecutionSpecification,
+    old_gids: &BTreeMap<u64, (String, String)>,
+    new_gids: &BTreeMap<u64, (String, String)>,
+    out: &mut Vec<DeltaEntry>,
+) {
+    let keyed = |spec: &ExecutionSpecification,
+                 gids: &BTreeMap<u64, (String, String)>|
+     -> BTreeMap<(String, String, u64), BTreeSet<String>> {
+        spec.cmd_table
+            .entries
+            .iter()
+            .map(|e| {
+                let (handler, label) = anchor(gids, e.decision);
+                let allowed = e
+                    .allowed
+                    .iter()
+                    .map(|&g| {
+                        let (h, l) = anchor(gids, g);
+                        if h.is_empty() {
+                            l
+                        } else {
+                            format!("{h}/'{l}'")
+                        }
+                    })
+                    .collect();
+                ((handler, label, e.cmd), allowed)
+            })
+            .collect()
+    };
+    let o = keyed(old, old_gids);
+    let n = keyed(new, new_gids);
+    for ((handler, label, cmd), n_allowed) in &n {
+        let Some(o_allowed) = o.get(&(handler.clone(), label.clone(), *cmd)) else { continue };
+        let grew: Vec<&String> = n_allowed.difference(o_allowed).collect();
+        let shrank: Vec<&String> = o_allowed.difference(n_allowed).collect();
+        if !grew.is_empty() {
+            out.push(DeltaEntry::new(
+                "SA602",
+                Direction::Loosening,
+                handler,
+                label,
+                format!("command {cmd:#x} allowed-block set grew: {}", join(&grew)),
+            ));
+        }
+        if !shrank.is_empty() {
+            out.push(DeltaEntry::new(
+                "SA602",
+                Direction::Tightening,
+                handler,
+                label,
+                format!("command {cmd:#x} allowed-block set shrank: {}", join(&shrank)),
+            ));
+        }
+    }
+}
+
+fn join(items: &[&String]) -> String {
+    items.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+}
+
+/// SA603 (edge sets), SA604 (trained-block sets) and SA605
+/// (shadow-write effect ranges) over ES-CFGs matched by handler name
+/// and blocks matched by label.
+fn sa603_sa604_sa605_trained_blocks(
+    old: &ExecutionSpecification,
+    new: &ExecutionSpecification,
+    out: &mut Vec<DeltaEntry>,
+) {
+    let old_dev = built_device(old);
+    let new_dev = built_device(new);
+    fn by_name(spec: &ExecutionSpecification) -> BTreeMap<&str, &EsCfg> {
+        spec.cfgs.iter().map(|c| (c.name.as_str(), c)).collect()
+    }
+    let o_cfgs = by_name(old);
+    let n_cfgs = by_name(new);
+    for (name, n_cfg) in &n_cfgs {
+        let Some(o_cfg) = o_cfgs.get(name) else {
+            out.push(DeltaEntry::new(
+                "SA604",
+                Direction::Neutral,
+                *name,
+                "",
+                "handler trained only in the new revision",
+            ));
+            continue;
+        };
+        diff_cfg_pair(o_cfg, n_cfg, old_dev.as_ref(), new_dev.as_ref(), out);
+    }
+    for name in o_cfgs.keys() {
+        if !n_cfgs.contains_key(name) {
+            out.push(DeltaEntry::new(
+                "SA604",
+                Direction::Neutral,
+                *name,
+                "",
+                "handler trained only in the old revision",
+            ));
+        }
+    }
+}
+
+/// Blocks of a trained CFG by label, skipping any duplicated label.
+fn blocks_by_label(cfg: &EsCfg) -> BTreeMap<&str, u32> {
+    let mut seen: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut dups: BTreeSet<&str> = BTreeSet::new();
+    for (es, blk) in cfg.blocks.iter().enumerate() {
+        if seen.insert(blk.label.as_str(), es as u32).is_some() {
+            dups.insert(blk.label.as_str());
+        }
+    }
+    for d in dups {
+        seen.remove(d);
+    }
+    seen
+}
+
+fn diff_cfg_pair(
+    o_cfg: &EsCfg,
+    n_cfg: &EsCfg,
+    old_dev: Option<&Device>,
+    new_dev: Option<&Device>,
+    out: &mut Vec<DeltaEntry>,
+) {
+    let o_blocks = blocks_by_label(o_cfg);
+    let n_blocks = blocks_by_label(n_cfg);
+
+    // SA604: trained-block set delta (direction is inherently ambiguous
+    // — a newly trained block may be a patch's new check or new attack
+    // surface — so reachability shifts stay Neutral).
+    for label in n_blocks.keys() {
+        if !o_blocks.contains_key(label) {
+            out.push(DeltaEntry::new(
+                "SA604",
+                Direction::Neutral,
+                &n_cfg.name,
+                *label,
+                "block trained only in the new revision",
+            ));
+        }
+    }
+    for label in o_blocks.keys() {
+        if !n_blocks.contains_key(label) {
+            out.push(DeltaEntry::new(
+                "SA604",
+                Direction::Neutral,
+                &n_cfg.name,
+                *label,
+                "block trained only in the old revision",
+            ));
+        }
+    }
+
+    // Matched blocks: SA603 edge sets, SA605 shadow-write effects.
+    for (label, &n_es) in &n_blocks {
+        let Some(&o_es) = o_blocks.get(label) else { continue };
+        sa603_edges(o_cfg, o_es, n_cfg, n_es, label, out);
+        sa605_shadow_effects(o_cfg, o_es, n_cfg, n_es, label, old_dev, new_dev, out);
+    }
+}
+
+/// Rendered, target-label-anchored edge set of one trained block.
+fn edge_set(cfg: &EsCfg, es: u32) -> BTreeSet<String> {
+    cfg.edges
+        .get(&es)
+        .map(|list| {
+            list.iter()
+                .map(|e| {
+                    let to =
+                        cfg.blocks.get(e.to as usize).map_or("<missing>", |b| b.label.as_str());
+                    format!("{:?} -> '{to}'", e.key)
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn sa603_edges(
+    o_cfg: &EsCfg,
+    o_es: u32,
+    n_cfg: &EsCfg,
+    n_es: u32,
+    label: &str,
+    out: &mut Vec<DeltaEntry>,
+) {
+    let o = edge_set(o_cfg, o_es);
+    let n = edge_set(n_cfg, n_es);
+    let added: Vec<&String> = n.difference(&o).collect();
+    let removed: Vec<&String> = o.difference(&n).collect();
+    if !added.is_empty() {
+        out.push(DeltaEntry::new(
+            "SA603",
+            Direction::Loosening,
+            &n_cfg.name,
+            label,
+            format!("trained edges added: {}", join(&added)),
+        ));
+    }
+    if !removed.is_empty() {
+        out.push(DeltaEntry::new(
+            "SA603",
+            Direction::Tightening,
+            &n_cfg.name,
+            label,
+            format!("trained edges removed: {}", join(&removed)),
+        ));
+    }
+}
+
+/// What one side's DSOD writes to a scalar target, as an abstract range.
+fn dsod_write_ranges(cfg: &EsCfg, es: u32, device: Option<&Device>) -> BTreeMap<VarId, (Iv, bool)> {
+    let env = DeclBounds { device, locals: &cfg.locals };
+    let mut ranges: BTreeMap<VarId, (Iv, bool)> = BTreeMap::new();
+    let mut note = |v: VarId, iv: Iv, synced: bool| {
+        ranges
+            .entry(v)
+            .and_modify(|(r, s)| {
+                *r = r.join(iv);
+                *s = *s && synced;
+            })
+            .or_insert((iv, synced));
+    };
+    let Some(blk) = cfg.blocks.get(es as usize) else { return ranges };
+    for op in &blk.dsod {
+        match op {
+            DsodOp::Exec(Stmt::SetVar(v, e)) => note(*v, eval(e, &env), false),
+            DsodOp::Exec(Stmt::Intrinsic(i)) => {
+                if let Some(v) = i.written_var() {
+                    note(v, crate::interval::VarBounds::var_range(&env, v), true);
+                }
+            }
+            DsodOp::SyncVar(v) => note(*v, crate::interval::VarBounds::var_range(&env, *v), true),
+            _ => {}
+        }
+    }
+    ranges
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sa605_shadow_effects(
+    o_cfg: &EsCfg,
+    o_es: u32,
+    n_cfg: &EsCfg,
+    n_es: u32,
+    label: &str,
+    old_dev: Option<&Device>,
+    new_dev: Option<&Device>,
+    out: &mut Vec<DeltaEntry>,
+) {
+    let o = dsod_write_ranges(o_cfg, o_es, old_dev);
+    let n = dsod_write_ranges(n_cfg, n_es, new_dev);
+    for (v, (n_iv, _)) in &n {
+        let name = var_name(new_dev, *v);
+        match o.get(v) {
+            None => out.push(DeltaEntry::new(
+                "SA605",
+                Direction::Neutral,
+                &n_cfg.name,
+                label,
+                format!("shadow write to '{name}' only in the new revision"),
+            )),
+            Some((o_iv, _)) => {
+                if let Some((direction, verb)) = range_direction(*o_iv, *n_iv) {
+                    out.push(DeltaEntry::new(
+                        "SA605",
+                        direction,
+                        &n_cfg.name,
+                        label,
+                        format!(
+                            "shadow-write range of '{name}' {verb}: [{:#x}, {:#x}] -> \
+                             [{:#x}, {:#x}]",
+                            o_iv.lo, o_iv.hi, n_iv.lo, n_iv.hi
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for v in o.keys() {
+        if !n.contains_key(v) {
+            let name = var_name(old_dev, *v);
+            out.push(DeltaEntry::new(
+                "SA605",
+                Direction::Neutral,
+                &n_cfg.name,
+                label,
+                format!("shadow write to '{name}' only in the old revision"),
+            ));
+        }
+    }
+}
+
+/// Orders two effect ranges, or `None` when they are identical.
+fn range_direction(old: Iv, new: Iv) -> Option<(Direction, &'static str)> {
+    if old == new {
+        return None;
+    }
+    if old.signed_taint || new.signed_taint {
+        return Some((Direction::Neutral, "changed"));
+    }
+    let new_inside = new.lo >= old.lo && new.hi <= old.hi;
+    let old_inside = old.lo >= new.lo && old.hi <= new.hi;
+    match (new_inside, old_inside) {
+        (true, false) => Some((Direction::Tightening, "narrowed")),
+        (false, true) => Some((Direction::Loosening, "widened")),
+        _ => Some((Direction::Neutral, "changed")),
+    }
+}
+
+fn built_device(spec: &ExecutionSpecification) -> Option<Device> {
+    crate::device_for_spec(spec).map(|(kind, version)| sedspec_devices::build_device(kind, version))
+}
+
+fn var_name(device: Option<&Device>, v: VarId) -> String {
+    match device {
+        Some(d) if (v.0 as usize) < d.control.vars().len() => d.control.var_decl(v).name.clone(),
+        _ => format!("var{}", v.0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// SA606: static cross-version handler diff.
+// ---------------------------------------------------------------------
+
+/// SA606: rebuilds both device versions and diffs the static handler
+/// CFGs block-by-block. Runs only when the revisions target different
+/// `(device, version)` pairs — same-target revisions share their static
+/// code, and differing *devices* are not comparable.
+fn sa606_static_control_flow(
+    old: &ExecutionSpecification,
+    new: &ExecutionSpecification,
+    out: &mut Vec<DeltaEntry>,
+) {
+    if (old.device.as_str(), old.version.as_str()) == (new.device.as_str(), new.version.as_str()) {
+        return;
+    }
+    if old.device != new.device {
+        out.push(DeltaEntry::new(
+            "SA606",
+            Direction::Neutral,
+            "",
+            "device",
+            format!(
+                "revisions target different devices ({} vs {}); static comparison skipped",
+                old.device, new.device
+            ),
+        ));
+        return;
+    }
+    let (Some(old_dev), Some(new_dev)) = (built_device(old), built_device(new)) else { return };
+    let by_name = |d: &Device| -> BTreeMap<String, usize> {
+        d.programs().iter().enumerate().map(|(i, p)| (p.name.clone(), i)).collect()
+    };
+    let o_progs = by_name(&old_dev);
+    let n_progs = by_name(&new_dev);
+    for (name, &ni) in &n_progs {
+        let Some(&oi) = o_progs.get(name) else { continue };
+        diff_static_programs(
+            &old_dev,
+            &old_dev.programs()[oi],
+            &new_dev,
+            &new_dev.programs()[ni],
+            out,
+        );
+    }
+}
+
+/// One scalar write target in a static block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum WriteTarget {
+    Var(VarId),
+    Local(LocalId),
+}
+
+fn static_blocks_by_label(p: &Program) -> BTreeMap<&str, &Block> {
+    let mut seen: BTreeMap<&str, &Block> = BTreeMap::new();
+    let mut dups: BTreeSet<&str> = BTreeSet::new();
+    for b in &p.blocks {
+        if seen.insert(b.label.as_str(), b).is_some() {
+            dups.insert(b.label.as_str());
+        }
+    }
+    for d in dups {
+        seen.remove(d);
+    }
+    seen
+}
+
+fn diff_static_programs(
+    old_dev: &Device,
+    old_p: &Program,
+    new_dev: &Device,
+    new_p: &Program,
+    out: &mut Vec<DeltaEntry>,
+) {
+    let o_blocks = static_blocks_by_label(old_p);
+    let n_blocks = static_blocks_by_label(new_p);
+    for label in n_blocks.keys() {
+        if !o_blocks.contains_key(label) {
+            out.push(DeltaEntry::new(
+                "SA606",
+                Direction::Neutral,
+                &new_p.name,
+                *label,
+                "block exists only in the new version's static CFG",
+            ));
+        }
+    }
+    for label in o_blocks.keys() {
+        if !n_blocks.contains_key(label) {
+            out.push(DeltaEntry::new(
+                "SA606",
+                Direction::Neutral,
+                &new_p.name,
+                *label,
+                "block exists only in the old version's static CFG",
+            ));
+        }
+    }
+    for (label, n_blk) in &n_blocks {
+        let Some(o_blk) = o_blocks.get(label) else { continue };
+        diff_static_block(old_dev, old_p, o_blk, new_dev, new_p, n_blk, label, out);
+    }
+}
+
+fn label_of(p: &Program, b: sedspec_dbl::ir::BlockId) -> &str {
+    p.blocks.get(b.0 as usize).map_or("<missing>", |blk| blk.label.as_str())
+}
+
+fn is_terminal(p: &Program, b: sedspec_dbl::ir::BlockId) -> bool {
+    p.blocks
+        .get(b.0 as usize)
+        .is_some_and(|blk| matches!(blk.term, Terminator::Exit | Terminator::Return))
+}
+
+fn guards_toward(p: &Program, b: sedspec_dbl::ir::BlockId, target_label: &str) -> bool {
+    p.blocks.get(b.0 as usize).is_some_and(|blk| {
+        matches!(blk.term, Terminator::Branch { .. } | Terminator::Switch { .. })
+            && blk.term.successors().iter().any(|&s| label_of(p, s) == target_label)
+    })
+}
+
+/// Whether the expression reads raw guest-held request data.
+fn reads_guest_input(e: &Expr) -> bool {
+    match e {
+        Expr::IoData | Expr::IoAddr | Expr::IoSize | Expr::IoLen => true,
+        Expr::IoByte(_) => true,
+        Expr::BufLoad(_, idx) => reads_guest_input(idx),
+        Expr::Unary(_, a) => reads_guest_input(a),
+        Expr::Binary(_, a, b) => reads_guest_input(a) || reads_guest_input(b),
+        Expr::Const(_) | Expr::Var(_) | Expr::Local(_) | Expr::BufLen(_) => false,
+    }
+}
+
+/// Terminators equal up to target labels (block ids differ across
+/// versions even for identical control flow).
+fn terms_equal(old_p: &Program, o: &Terminator, new_p: &Program, n: &Terminator) -> bool {
+    match (o, n) {
+        (Terminator::Jump(a), Terminator::Jump(b)) => label_of(old_p, *a) == label_of(new_p, *b),
+        (
+            Terminator::Branch { cond: c1, taken: t1, not_taken: f1 },
+            Terminator::Branch { cond: c2, taken: t2, not_taken: f2 },
+        ) => {
+            c1 == c2
+                && label_of(old_p, *t1) == label_of(new_p, *t2)
+                && label_of(old_p, *f1) == label_of(new_p, *f2)
+        }
+        (
+            Terminator::Switch { scrutinee: s1, arms: a1, default: d1 },
+            Terminator::Switch { scrutinee: s2, arms: a2, default: d2 },
+        ) => {
+            let arm_set = |p: &Program, arms: &[(u64, sedspec_dbl::ir::BlockId)]| {
+                arms.iter().map(|&(v, b)| (v, label_of(p, b).to_string())).collect::<BTreeSet<_>>()
+            };
+            s1 == s2
+                && arm_set(old_p, a1) == arm_set(new_p, a2)
+                && label_of(old_p, *d1) == label_of(new_p, *d2)
+        }
+        (
+            Terminator::IndirectCall { ptr: p1, ret: r1 },
+            Terminator::IndirectCall { ptr: p2, ret: r2 },
+        ) => p1 == p2 && label_of(old_p, *r1) == label_of(new_p, *r2),
+        (Terminator::Return, Terminator::Return) | (Terminator::Exit, Terminator::Exit) => true,
+        _ => false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn diff_static_block(
+    old_dev: &Device,
+    old_p: &Program,
+    o_blk: &Block,
+    new_dev: &Device,
+    new_p: &Program,
+    n_blk: &Block,
+    label: &str,
+    out: &mut Vec<DeltaEntry>,
+) {
+    if terms_equal(old_p, &o_blk.term, new_p, &n_blk.term) {
+        // Control flow unchanged: the statement delta is the story.
+        diff_static_stmts(old_dev, old_p, o_blk, new_dev, new_p, n_blk, label, out);
+        return;
+    }
+    let entry =
+        |direction, detail: String| DeltaEntry::new("SA606", direction, &new_p.name, label, detail);
+    out.push(match (&o_blk.term, &n_blk.term) {
+        (Terminator::Jump(o_t), Terminator::Jump(n_t)) => {
+            let o_label = label_of(old_p, *o_t);
+            let n_label = label_of(new_p, *n_t);
+            if is_terminal(new_p, *n_t) && !is_terminal(old_p, *o_t) {
+                entry(
+                    Direction::Tightening,
+                    format!("handler now short-circuits to '{n_label}' instead of '{o_label}'"),
+                )
+            } else if is_terminal(old_p, *o_t) && !is_terminal(new_p, *n_t) {
+                entry(
+                    Direction::Loosening,
+                    format!("handler no longer short-circuits: '{o_label}' -> '{n_label}'"),
+                )
+            } else if guards_toward(new_p, *n_t, o_label) {
+                entry(
+                    Direction::Tightening,
+                    format!("guard '{n_label}' interposed on the path to '{o_label}'"),
+                )
+            } else if guards_toward(old_p, *o_t, n_label) {
+                entry(
+                    Direction::Loosening,
+                    format!("guard '{o_label}' bypassed on the path to '{n_label}'"),
+                )
+            } else {
+                entry(Direction::Neutral, format!("jump retargeted '{o_label}' -> '{n_label}'"))
+            }
+        }
+        (Terminator::Jump(o_t), Terminator::Branch { .. } | Terminator::Switch { .. }) => entry(
+            Direction::Tightening,
+            format!("unconditional path to '{}' is now guarded by a check", label_of(old_p, *o_t)),
+        ),
+        (Terminator::Branch { .. } | Terminator::Switch { .. }, Terminator::Jump(n_t)) => entry(
+            Direction::Loosening,
+            format!("check removed: path to '{}' is now unconditional", label_of(new_p, *n_t)),
+        ),
+        (Terminator::Branch { cond: o_c, .. }, Terminator::Branch { cond: n_c, .. })
+            if o_c != n_c =>
+        {
+            match (reads_guest_input(o_c), reads_guest_input(n_c)) {
+                (true, false) => entry(
+                    Direction::Tightening,
+                    "guard no longer keyed on raw guest input (now derived from device state)"
+                        .into(),
+                ),
+                (false, true) => entry(
+                    Direction::Loosening,
+                    "guard now keyed on raw guest input instead of device state".into(),
+                ),
+                _ => entry(Direction::Neutral, "guard condition changed".into()),
+            }
+        }
+        (Terminator::Switch { arms: o_a, .. }, Terminator::Switch { scrutinee, arms: n_a, .. }) => {
+            let o_vals: BTreeSet<u64> = o_a.iter().map(|&(v, _)| v).collect();
+            let n_vals: BTreeSet<u64> = n_a.iter().map(|&(v, _)| v).collect();
+            let added: Vec<String> =
+                n_vals.difference(&o_vals).map(|v| format!("{v:#x}")).collect();
+            let removed: Vec<String> =
+                o_vals.difference(&n_vals).map(|v| format!("{v:#x}")).collect();
+            if !added.is_empty() {
+                entry(Direction::Loosening, format!("switch arm(s) added: {}", added.join(", ")))
+            } else if !removed.is_empty() {
+                entry(
+                    Direction::Tightening,
+                    format!("switch arm(s) removed: {}", removed.join(", ")),
+                )
+            } else {
+                let _ = scrutinee;
+                entry(Direction::Neutral, "switch retargeted or scrutinee changed".into())
+            }
+        }
+        _ => entry(Direction::Neutral, "terminator changed between versions".into()),
+    });
+}
+
+/// Scalar writes of one static block as abstract ranges under the
+/// device's declared bounds.
+fn static_write_ranges(dev: &Device, p: &Program, blk: &Block) -> BTreeMap<WriteTarget, Iv> {
+    let widths: Vec<Width> = p.locals.iter().map(|&(_, w)| w).collect();
+    let env = DeclBounds { device: Some(dev), locals: &widths };
+    let mut ranges: BTreeMap<WriteTarget, Iv> = BTreeMap::new();
+    let mut note = |t: WriteTarget, iv: Iv| {
+        ranges.entry(t).and_modify(|r| *r = r.join(iv)).or_insert(iv);
+    };
+    for s in &blk.stmts {
+        match s {
+            Stmt::SetVar(v, e) => note(WriteTarget::Var(*v), eval(e, &env)),
+            Stmt::SetLocal(l, e) => note(WriteTarget::Local(*l), eval(e, &env)),
+            Stmt::Intrinsic(i) => {
+                if let Some(v) = i.written_var() {
+                    note(WriteTarget::Var(v), crate::interval::VarBounds::var_range(&env, v));
+                }
+            }
+            _ => {}
+        }
+    }
+    ranges
+}
+
+fn target_name(dev: &Device, p: &Program, t: WriteTarget) -> String {
+    match t {
+        WriteTarget::Var(v) => var_name(Some(dev), v),
+        WriteTarget::Local(l) => {
+            p.locals.get(l.0 as usize).map_or_else(|| format!("local{}", l.0), |(n, _)| n.clone())
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn diff_static_stmts(
+    old_dev: &Device,
+    old_p: &Program,
+    o_blk: &Block,
+    new_dev: &Device,
+    new_p: &Program,
+    n_blk: &Block,
+    label: &str,
+    out: &mut Vec<DeltaEntry>,
+) {
+    let o = static_write_ranges(old_dev, old_p, o_blk);
+    let n = static_write_ranges(new_dev, new_p, n_blk);
+    for (&t, n_iv) in &n {
+        let name = target_name(new_dev, new_p, t);
+        match o.get(&t) {
+            Some(o_iv) => {
+                if let Some((direction, verb)) = range_direction(*o_iv, *n_iv) {
+                    out.push(DeltaEntry::new(
+                        "SA606",
+                        direction,
+                        &new_p.name,
+                        label,
+                        format!(
+                            "write range of '{name}' {verb}: [{:#x}, {:#x}] -> [{:#x}, {:#x}]",
+                            o_iv.lo, o_iv.hi, n_iv.lo, n_iv.hi
+                        ),
+                    ));
+                }
+            }
+            None => {
+                // A newly added constant write is (re)initialization the
+                // old version skipped — the CVE-2016-1568-analog shape.
+                let (direction, detail) = if n_iv.lo == n_iv.hi {
+                    (
+                        Direction::Tightening,
+                        format!("now initializes '{name}' to {:#x} on this path", n_iv.lo),
+                    )
+                } else {
+                    (Direction::Neutral, format!("write to '{name}' added on this path"))
+                };
+                out.push(DeltaEntry::new("SA606", direction, &new_p.name, label, detail));
+            }
+        }
+    }
+    for (&t, o_iv) in &o {
+        if !n.contains_key(&t) {
+            let name = target_name(old_dev, old_p, t);
+            let (direction, detail) = if o_iv.lo == o_iv.hi {
+                (Direction::Loosening, format!("no longer initializes '{name}' on this path"))
+            } else {
+                (Direction::Neutral, format!("write to '{name}' removed on this path"))
+            };
+            out.push(DeltaEntry::new("SA606", direction, &new_p.name, label, detail));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained_with(
+        kind: sedspec_devices::DeviceKind,
+        version: sedspec_devices::QemuVersion,
+        cases: usize,
+    ) -> ExecutionSpecification {
+        use sedspec::pipeline::{train_script, TrainingConfig};
+        use sedspec_vmm::VmContext;
+        let mut device = sedspec_devices::build_device(kind, version);
+        let mut ctx = VmContext::new(0x200000, 8192);
+        let suite = sedspec_workloads::generators::training_suite(kind, cases, 0x7a11);
+        train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).unwrap()
+    }
+
+    fn trained(
+        kind: sedspec_devices::DeviceKind,
+        version: sedspec_devices::QemuVersion,
+    ) -> ExecutionSpecification {
+        trained_with(kind, version, 40)
+    }
+
+    #[test]
+    fn self_diff_is_empty() {
+        let spec = trained(sedspec_devices::DeviceKind::Fdc, sedspec_devices::QemuVersion::Patched);
+        let delta = diff(&spec, &spec);
+        assert!(delta.is_empty(), "{}", delta.render_human());
+    }
+
+    #[test]
+    fn venom_patch_reads_as_tightening() {
+        let old = trained(sedspec_devices::DeviceKind::Fdc, sedspec_devices::QemuVersion::V2_3_0);
+        let new = trained(sedspec_devices::DeviceKind::Fdc, sedspec_devices::QemuVersion::Patched);
+        let delta = diff(&old, &new);
+        assert!(
+            delta.entries.iter().any(|e| {
+                e.code == "SA606"
+                    && e.direction == Direction::Tightening
+                    && e.location == "drive_spec_param"
+            }),
+            "{}",
+            delta.render_human()
+        );
+    }
+
+    #[test]
+    fn smaller_suite_to_bigger_suite_looses() {
+        let kind = sedspec_devices::DeviceKind::Fdc;
+        let version = sedspec_devices::QemuVersion::Patched;
+        let small = trained_with(kind, version, 2);
+        let big = trained(kind, version);
+        let delta = diff(&small, &big);
+        assert!(delta.has_loosening(), "{}", delta.render_human());
+        // And the reverse is pure tightening/neutral.
+        let rev = diff(&big, &small);
+        assert!(!rev.is_empty());
+    }
+}

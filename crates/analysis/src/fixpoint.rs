@@ -1,0 +1,743 @@
+//! Worklist fixpoint interpreter over trained ES-CFGs.
+//!
+//! Computes, for every ES block, a sound over-approximation of the
+//! shadow state at block *entry*: an interval per device-state variable
+//! and per handler local, plus the set of locals that may still be
+//! unwritten. Device variables persist across I/O rounds, so the engine
+//! iterates an *outer* round loop — the inter-round entry environment
+//! starts at the declared reset values and absorbs every reachable exit
+//! state until stable — around an *inner* per-handler worklist pass
+//! whose edge propagation is refined by the branch/switch outcome the
+//! edge encodes. Widening (toward the declared width ceilings) bounds
+//! both loops; a short narrowing sweep afterwards recovers precision
+//! the widening jumps discarded.
+//!
+//! The analysis follows only *trained* edges (plus the implicit
+//! indirect-call return flows), which is exactly the path space the
+//! runtime walk enforces, so "infeasible under the inflowing invariant"
+//! ([`CfgInvariants::infeasible`]) means the trained edge can never be
+//! taken by an accepted round — the `SA503` signal.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sedspec::escfg::{DsodOp, EdgeKey, EsCfg, Nbtd};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_dbl::ir::{BinOp, Expr, LocalId, Stmt, UnOp, VarId};
+use sedspec_devices::Device;
+
+use crate::guards::DeclBounds;
+use crate::interval::{eval, Iv, VarBounds};
+
+/// Widen a block's entry after this many strict growths.
+const WIDEN_AFTER: u32 = 3;
+/// Narrowing sweeps after the ascending fixpoint stabilizes.
+const NARROW_SWEEPS: usize = 2;
+/// Outer (inter-round) iteration bound; widening makes this generous.
+const OUTER_MAX: usize = 8;
+/// Outer iterations before the inter-round env widens to the ceiling.
+const OUTER_WIDEN_AFTER: usize = 3;
+
+/// The abstract shadow state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsState {
+    /// Interval per device-state variable.
+    pub vars: BTreeMap<VarId, Iv>,
+    /// Interval per handler local.
+    pub locals: BTreeMap<LocalId, Iv>,
+    /// Locals that may not have been written yet on some inflowing path.
+    pub maybe_uninit: BTreeSet<LocalId>,
+}
+
+impl AbsState {
+    /// Joins `other` in place; reports whether anything grew.
+    fn join_from(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for (v, iv) in &other.vars {
+            let e = self.vars.entry(*v).or_insert(*iv);
+            let j = e.join(*iv);
+            changed |= j != *e;
+            *e = j;
+        }
+        for (l, iv) in &other.locals {
+            let e = self.locals.entry(*l).or_insert(*iv);
+            let j = e.join(*iv);
+            changed |= j != *e;
+            *e = j;
+        }
+        for l in &other.maybe_uninit {
+            changed |= self.maybe_uninit.insert(*l);
+        }
+        changed
+    }
+
+    /// Widening: any bound that grew past `prev` jumps to its ceiling.
+    fn widen_from(prev: &AbsState, next: &AbsState, ceil: &dyn Fn(VarOrLocal) -> Iv) -> AbsState {
+        let mut out = next.clone();
+        for (v, iv) in &mut out.vars {
+            if let Some(p) = prev.vars.get(v) {
+                *iv = p.widen(*iv, ceil(VarOrLocal::Var(*v)));
+            }
+        }
+        for (l, iv) in &mut out.locals {
+            if let Some(p) = prev.locals.get(l) {
+                *iv = p.widen(*iv, ceil(VarOrLocal::Local(*l)));
+            }
+        }
+        out
+    }
+
+    /// One narrowing step against a freshly recomputed `next`.
+    fn narrow_from(&mut self, next: &AbsState, ceil: &dyn Fn(VarOrLocal) -> Iv) {
+        for (v, iv) in &mut self.vars {
+            if let Some(n) = next.vars.get(v) {
+                *iv = iv.narrow(*n, ceil(VarOrLocal::Var(*v)));
+            }
+        }
+        for (l, iv) in &mut self.locals {
+            if let Some(n) = next.locals.get(l) {
+                *iv = iv.narrow(*n, ceil(VarOrLocal::Local(*l)));
+            }
+        }
+    }
+}
+
+/// Key into the widening-ceiling function.
+#[derive(Clone, Copy)]
+enum VarOrLocal {
+    Var(VarId),
+    Local(LocalId),
+}
+
+/// Reads ranges out of an [`AbsState`], falling back to (and inheriting
+/// signedness taint from) the declared bounds.
+struct FlowBounds<'a> {
+    state: &'a AbsState,
+    decl: &'a DeclBounds<'a>,
+}
+
+impl VarBounds for FlowBounds<'_> {
+    fn var_range(&self, v: VarId) -> Iv {
+        let decl = self.decl.var_range(v);
+        match self.state.vars.get(&v) {
+            Some(iv) => Iv { signed_taint: iv.signed_taint || decl.signed_taint, ..*iv },
+            None => decl,
+        }
+    }
+    fn buf_len(&self, b: sedspec_dbl::ir::BufId) -> Option<u64> {
+        self.decl.buf_len(b)
+    }
+    fn local_width(&self, l: LocalId) -> Option<sedspec_dbl::ir::Width> {
+        self.decl.local_width(l)
+    }
+    fn local_range(&self, l: LocalId) -> Option<Iv> {
+        self.state.locals.get(&l).copied()
+    }
+}
+
+/// Per-handler fixpoint output.
+#[derive(Debug, Clone)]
+pub struct CfgInvariants {
+    /// Entry invariant per ES block; `None` = not reachable over trained
+    /// edges (those blocks already carry `SA001`/`SA006`).
+    pub entry: Vec<Option<AbsState>>,
+    /// Trained edges whose refined inflowing state is bottom: the guard
+    /// outcome the edge encodes contradicts the entry invariant.
+    pub infeasible: Vec<InfeasibleEdge>,
+}
+
+/// One trained-but-unwalkable edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InfeasibleEdge {
+    /// Source ES block.
+    pub from: u32,
+    /// Edge outcome tag.
+    pub key: EdgeKey,
+    /// Destination ES block.
+    pub to: u32,
+}
+
+/// Whole-spec fixpoint output.
+#[derive(Debug, Clone)]
+pub struct FixpointResult {
+    /// Per-handler invariants, parallel to `spec.cfgs`.
+    pub per_cfg: Vec<CfgInvariants>,
+    /// The stable inter-round environment: every value a device variable
+    /// can hold at the start of any accepted round.
+    pub entry_vars: BTreeMap<VarId, Iv>,
+}
+
+/// Runs the fixpoint over every handler of `spec`.
+///
+/// Without a device context the declared ceilings collapse to ⊤ and the
+/// invariants are correspondingly weak but still sound.
+pub fn run(spec: &ExecutionSpecification, device: Option<&Device>) -> FixpointResult {
+    // The variable universe: declared vars when the device is known,
+    // otherwise the selected params (at ⊤).
+    let mut env: BTreeMap<VarId, Iv> = match device {
+        Some(d) => (0..d.control.vars().len())
+            .map(|i| {
+                let v = VarId(i as u32);
+                (v, Iv::exact(d.control.var_decl(v).init))
+            })
+            .collect(),
+        None => spec.params.vars.iter().map(|(v, _)| (*v, Iv::TOP)).collect(),
+    };
+    let ceiling_env: BTreeMap<VarId, Iv> =
+        env.keys().map(|&v| (v, DeclBounds { device, locals: &[] }.var_range(v))).collect();
+
+    for round in 0..OUTER_MAX {
+        let mut next = env.clone();
+        let mut grew = false;
+        for cfg in &spec.cfgs {
+            let (_, exit_env) = run_cfg(cfg, device, &env);
+            if let Some(exit) = exit_env {
+                for (v, iv) in exit {
+                    let e = next.entry(v).or_insert(iv);
+                    let j = e.join(iv);
+                    grew |= j != *e;
+                    *e = j;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+        if round + 1 >= OUTER_WIDEN_AFTER {
+            for (v, iv) in &mut next {
+                let ceil = ceiling_env.get(v).copied().unwrap_or(Iv::TOP);
+                *iv = env.get(v).copied().unwrap_or(*iv).widen(*iv, ceil);
+            }
+        }
+        env = next;
+    }
+
+    let per_cfg = spec.cfgs.iter().map(|cfg| run_cfg(cfg, device, &env).0).collect();
+    FixpointResult { per_cfg, entry_vars: env }
+}
+
+/// Inner worklist fixpoint over one handler, from the inter-round env.
+fn run_cfg(
+    cfg: &EsCfg,
+    device: Option<&Device>,
+    env: &BTreeMap<VarId, Iv>,
+) -> (CfgInvariants, Option<BTreeMap<VarId, Iv>>) {
+    let n = cfg.blocks.len();
+    let decl = DeclBounds { device, locals: &cfg.locals };
+    let mut inv: Vec<Option<AbsState>> = vec![None; n];
+    let Some(entry) = cfg.entry.filter(|&e| (e as usize) < n) else {
+        return (CfgInvariants { entry: inv, infeasible: Vec::new() }, None);
+    };
+    let ceil = |k: VarOrLocal| match k {
+        VarOrLocal::Var(v) => decl.var_range(v),
+        VarOrLocal::Local(l) => match decl.local_width(l) {
+            Some(w) => Iv::range(0, w.mask()),
+            None => Iv::TOP,
+        },
+    };
+
+    // Round entry: vars from the inter-round env, locals unwritten at
+    // their declared width range.
+    let init = AbsState {
+        vars: env.clone(),
+        locals: (0..cfg.locals.len())
+            .map(|i| {
+                let l = LocalId(i as u32);
+                (l, ceil(VarOrLocal::Local(l)))
+            })
+            .collect(),
+        maybe_uninit: (0..cfg.locals.len()).map(|i| LocalId(i as u32)).collect(),
+    };
+    inv[entry as usize] = Some(init.clone());
+
+    // Return-resumption sites: an indirect call's continuation is not an
+    // explicit edge; every return block may flow to every site.
+    let ret_sites: Vec<u32> = cfg
+        .blocks
+        .iter()
+        .filter_map(|b| match &b.nbtd {
+            Nbtd::Indirect { ret_origin, .. } => cfg.resolve(*ret_origin),
+            _ => None,
+        })
+        .collect();
+
+    let mut counts = vec![0u32; n];
+    let mut queued = vec![false; n];
+    let mut worklist: VecDeque<u32> = VecDeque::new();
+    worklist.push_back(entry);
+    queued[entry as usize] = true;
+
+    while let Some(b) = worklist.pop_front() {
+        queued[b as usize] = false;
+        let Some(state) = inv[b as usize].clone() else { continue };
+        let mut post = state;
+        transfer(&mut post, &cfg.blocks[b as usize], &decl);
+        for (to, refined) in successor_states(cfg, b, &post, &decl, &ret_sites) {
+            let Some(refined) = refined else { continue };
+            let changed = match &mut inv[to as usize] {
+                slot @ None => {
+                    *slot = Some(refined);
+                    true
+                }
+                Some(cur) => {
+                    let mut joined = cur.clone();
+                    if joined.join_from(&refined) {
+                        counts[to as usize] += 1;
+                        if counts[to as usize] > WIDEN_AFTER {
+                            joined = AbsState::widen_from(cur, &joined, &ceil);
+                        }
+                        *cur = joined;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if changed && !queued[to as usize] {
+                queued[to as usize] = true;
+                worklist.push_back(to);
+            }
+        }
+    }
+
+    // Narrowing: recompute every reachable entry from its inflows and
+    // let bounds the widening pushed to the ceiling descend again.
+    for _ in 0..NARROW_SWEEPS {
+        let mut fresh: Vec<Option<AbsState>> = vec![None; n];
+        fresh[entry as usize] = Some(init.clone());
+        for b in 0..n as u32 {
+            let Some(state) = inv[b as usize].clone() else { continue };
+            let mut post = state;
+            transfer(&mut post, &cfg.blocks[b as usize], &decl);
+            for (to, refined) in successor_states(cfg, b, &post, &decl, &ret_sites) {
+                let Some(refined) = refined else { continue };
+                match &mut fresh[to as usize] {
+                    slot @ None => *slot = Some(refined),
+                    Some(cur) => {
+                        cur.join_from(&refined);
+                    }
+                }
+            }
+        }
+        for (cur, new) in inv.iter_mut().zip(&fresh) {
+            if let (Some(cur), Some(new)) = (cur.as_mut(), new.as_ref()) {
+                cur.narrow_from(new, &ceil);
+            }
+        }
+    }
+
+    // Final sweep: trained edges whose refined state is bottom, and the
+    // joined exit environment for the outer loop.
+    let mut infeasible = Vec::new();
+    let mut exit_env: Option<BTreeMap<VarId, Iv>> = None;
+    for b in 0..n as u32 {
+        let Some(state) = inv[b as usize].clone() else { continue };
+        let blk = &cfg.blocks[b as usize];
+        let mut post = state;
+        transfer(&mut post, blk, &decl);
+        if let Some(list) = cfg.edges.get(&b) {
+            for e in list {
+                if (e.to as usize) < n && refine(&post, &blk.nbtd, e.key, &decl).is_none() {
+                    infeasible.push(InfeasibleEdge { from: b, key: e.key, to: e.to });
+                }
+            }
+        }
+        let round_ends = blk.is_exit || cfg.edges.get(&b).is_none_or(Vec::is_empty);
+        if round_ends {
+            match &mut exit_env {
+                None => exit_env = Some(post.vars),
+                Some(acc) => {
+                    for (v, iv) in post.vars {
+                        let e = acc.entry(v).or_insert(iv);
+                        *e = e.join(iv);
+                    }
+                }
+            }
+        }
+    }
+    (CfgInvariants { entry: inv, infeasible }, exit_env)
+}
+
+/// All successor flows of block `b` given its post-state: trained edges
+/// (guard-refined; `None` = infeasible) plus the implicit indirect-call
+/// return flows (unrefined).
+fn successor_states(
+    cfg: &EsCfg,
+    b: u32,
+    post: &AbsState,
+    decl: &DeclBounds<'_>,
+    ret_sites: &[u32],
+) -> Vec<(u32, Option<AbsState>)> {
+    let n = cfg.blocks.len() as u32;
+    let blk = &cfg.blocks[b as usize];
+    let mut out = Vec::new();
+    if let Some(list) = cfg.edges.get(&b) {
+        for e in list {
+            if e.to < n {
+                out.push((e.to, refine(post, &blk.nbtd, e.key, decl)));
+            }
+        }
+    }
+    if let Nbtd::Indirect { ret_origin, .. } = &blk.nbtd {
+        if let Some(ret) = cfg.resolve(*ret_origin) {
+            if ret < n {
+                out.push((ret, Some(post.clone())));
+            }
+        }
+    }
+    if blk.is_return {
+        for &site in ret_sites {
+            if site < n {
+                out.push((site, Some(post.clone())));
+            }
+        }
+    }
+    out
+}
+
+/// Applies one block's DSOD ops to the abstract state.
+pub(crate) fn transfer(state: &mut AbsState, blk: &sedspec::escfg::EsBlock, decl: &DeclBounds<'_>) {
+    for op in &blk.dsod {
+        transfer_op(state, op, decl);
+    }
+}
+
+/// Applies one DSOD op to the abstract state.
+pub(crate) fn transfer_op(state: &mut AbsState, op: &DsodOp, decl: &DeclBounds<'_>) {
+    match op {
+        DsodOp::Exec(stmt) => match stmt {
+            Stmt::SetVar(v, e) => {
+                let iv = eval(e, &FlowBounds { state, decl });
+                set_var(state, *v, iv, decl);
+            }
+            Stmt::SetLocal(l, e) => {
+                let iv = eval(e, &FlowBounds { state, decl });
+                let ceil = match decl.local_width(*l) {
+                    Some(w) => Iv::range(0, w.mask()),
+                    None => Iv::TOP,
+                };
+                state.locals.insert(*l, clamp(iv, ceil));
+                state.maybe_uninit.remove(l);
+            }
+            Stmt::Intrinsic(i) => {
+                if let Some(v) = i.written_var() {
+                    let iv = decl.var_range(v);
+                    state.vars.insert(v, iv);
+                }
+            }
+            Stmt::BufStore(..) | Stmt::BufFill(..) | Stmt::CopyPayload { .. } => {}
+        },
+        // External data: anything the declared width admits.
+        DsodOp::SyncVar(v) => {
+            let iv = decl.var_range(*v);
+            state.vars.insert(*v, iv);
+        }
+        DsodOp::SyncBuf { .. } | DsodOp::CheckBufRead { .. } => {}
+    }
+}
+
+fn set_var(state: &mut AbsState, v: VarId, iv: Iv, decl: &DeclBounds<'_>) {
+    state.vars.insert(v, clamp(iv, decl.var_range(v)));
+}
+
+/// Truncates an abstract value to its storage ceiling: a range that may
+/// exceed the width wraps, so it collapses to the full width range.
+fn clamp(iv: Iv, ceil: Iv) -> Iv {
+    if iv.signed_taint || iv.hi > ceil.hi {
+        Iv { lo: ceil.lo, hi: ceil.hi, signed_taint: iv.signed_taint }
+    } else {
+        iv
+    }
+}
+
+/// Refines `post` by the guard outcome edge `key` encodes. `None` means
+/// the outcome contradicts the state — the edge is infeasible.
+fn refine(post: &AbsState, nbtd: &Nbtd, key: EdgeKey, decl: &DeclBounds<'_>) -> Option<AbsState> {
+    match (nbtd, key) {
+        (Nbtd::Branch { cond, needs_sync: false }, EdgeKey::Taken) => {
+            constrain(post, cond, true, decl)
+        }
+        (Nbtd::Branch { cond, needs_sync: false }, EdgeKey::NotTaken) => {
+            constrain(post, cond, false, decl)
+        }
+        (Nbtd::Switch { scrutinee, needs_sync: false, .. }, EdgeKey::Case(v)) => {
+            let iv = eval(scrutinee, &FlowBounds { state: post, decl });
+            if !iv.contains(v) {
+                return None;
+            }
+            let mut refined = post.clone();
+            pin_leaf(&mut refined, scrutinee, Iv::exact(v), decl)?;
+            Some(refined)
+        }
+        _ => Some(post.clone()),
+    }
+}
+
+/// Refines `state` under "`cond` evaluates truthy/falsy".
+fn constrain(
+    state: &AbsState,
+    cond: &Expr,
+    want_true: bool,
+    decl: &DeclBounds<'_>,
+) -> Option<AbsState> {
+    let iv = eval(cond, &FlowBounds { state, decl });
+    if (want_true && iv.always_false()) || (!want_true && iv.always_true()) {
+        return None;
+    }
+    match cond {
+        Expr::Unary(UnOp::BoolNot, inner) => constrain(state, inner, !want_true, decl),
+        Expr::Var(_) | Expr::Local(_) => {
+            let target = if want_true { Iv::range(1, u64::MAX) } else { Iv::exact(0) };
+            let mut refined = state.clone();
+            pin_leaf(&mut refined, cond, target, decl)?;
+            Some(refined)
+        }
+        Expr::Binary(op, a, b) if op.is_comparison() => {
+            let env = FlowBounds { state, decl };
+            let (ia, ib) = (eval(a, &env), eval(b, &env));
+            if ia.signed_taint || ib.signed_taint {
+                return Some(state.clone());
+            }
+            let mut refined = state.clone();
+            if let Some(op) = effective_cmp(*op, want_true) {
+                if is_leaf(a) {
+                    pin_leaf(&mut refined, a, cmp_bound(op, ib)?, decl)?;
+                }
+                if is_leaf(b) {
+                    pin_leaf(&mut refined, b, cmp_bound(flip_cmp(op), ia)?, decl)?;
+                }
+            }
+            Some(refined)
+        }
+        _ => Some(state.clone()),
+    }
+}
+
+fn is_leaf(e: &Expr) -> bool {
+    matches!(e, Expr::Var(_) | Expr::Local(_))
+}
+
+/// Meets `target` into the var/local leaf `e` names. `None` = bottom.
+/// Non-leaf expressions refine nothing and succeed vacuously.
+fn pin_leaf(state: &mut AbsState, e: &Expr, target: Iv, decl: &DeclBounds<'_>) -> Option<()> {
+    match e {
+        Expr::Var(v) => {
+            let cur = state.vars.get(v).copied().unwrap_or_else(|| decl.var_range(*v));
+            if cur.signed_taint {
+                return Some(());
+            }
+            state.vars.insert(*v, cur.meet(target)?);
+            Some(())
+        }
+        Expr::Local(l) => {
+            let cur = state.locals.get(l).copied().unwrap_or(Iv::TOP);
+            if cur.signed_taint {
+                return Some(());
+            }
+            state.locals.insert(*l, cur.meet(target)?);
+            Some(())
+        }
+        _ => Some(()),
+    }
+}
+
+/// The comparison that must hold, folding the wanted outcome in.
+fn effective_cmp(op: BinOp, want_true: bool) -> Option<BinOp> {
+    let negated = match op {
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Le => BinOp::Gt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Ge => BinOp::Lt,
+        _ => return None,
+    };
+    Some(if want_true { op } else { negated })
+}
+
+/// Mirrors a comparison across its operands (`a OP b` ⇔ `b OP' a`).
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// The interval `x` must lie in for `x OP [b.lo, b.hi]` to be satisfiable.
+/// `None` = no value satisfies it (the edge is infeasible).
+fn cmp_bound(op: BinOp, b: Iv) -> Option<Iv> {
+    match op {
+        BinOp::Eq => Some(Iv::range(b.lo, b.hi)),
+        // Ne excludes at most a single point; an interval can only
+        // express that at the endpoints, and only `Ne everything` is
+        // outright unsatisfiable — which needs b to cover all of u64.
+        BinOp::Ne => {
+            if b.lo == 0 && b.hi == u64::MAX {
+                None
+            } else {
+                Some(Iv::TOP)
+            }
+        }
+        BinOp::Lt => (b.hi > 0).then(|| Iv::range(0, b.hi - 1)),
+        BinOp::Le => Some(Iv::range(0, b.hi)),
+        BinOp::Gt => (b.lo < u64::MAX).then(|| Iv::range(b.lo + 1, u64::MAX)),
+        BinOp::Ge => Some(Iv::range(b.lo, u64::MAX)),
+        _ => Some(Iv::TOP),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sedspec::escfg::EsBlock;
+    use sedspec_dbl::ir::{BlockKind, Expr as E, Width};
+
+    fn block(label: &str, dsod: Vec<DsodOp>, nbtd: Nbtd) -> EsBlock {
+        EsBlock {
+            origin: 0,
+            label: label.into(),
+            kind: BlockKind::Plain,
+            dsod,
+            nbtd,
+            is_exit: false,
+            is_return: false,
+        }
+    }
+
+    fn cfg_of(blocks: Vec<EsBlock>, edges: Vec<(u32, EdgeKey, u32)>) -> EsCfg {
+        let mut cfg = EsCfg {
+            program: 0,
+            name: "t".into(),
+            blocks,
+            by_origin: BTreeMap::new(),
+            forward: BTreeMap::new(),
+            edges: BTreeMap::new(),
+            entry: Some(0),
+            fn_targets: BTreeMap::new(),
+            legit_fn_values: BTreeSet::new(),
+            locals: vec![Width::W8],
+        };
+        for (i, b) in cfg.blocks.iter_mut().enumerate() {
+            b.origin = i as u32;
+        }
+        for (i, _) in cfg.blocks.iter().enumerate() {
+            cfg.by_origin.insert(i as u32, i as u32);
+        }
+        for (from, key, to) in edges {
+            cfg.record_edge(from, key, to);
+        }
+        cfg
+    }
+
+    fn spec_of(cfg: EsCfg) -> ExecutionSpecification {
+        ExecutionSpecification {
+            device: "T".into(),
+            version: "v0".into(),
+            params: sedspec::params::DeviceStateParams::default(),
+            cfgs: vec![cfg],
+            cmd_table: sedspec::escfg::CommandAccessTable::default(),
+            observed_ranges: Vec::new(),
+            stats: sedspec::spec::SpecStats::default(),
+        }
+    }
+
+    #[test]
+    fn branch_refinement_splits_a_local_range() {
+        // b0: l0 = IoData & 0xf; branch (l0 < 4) -> b1 (taken), b2 (not).
+        let l = LocalId(0);
+        let cond = E::bin(BinOp::Lt, E::local(l), E::lit(4));
+        let blocks = vec![
+            block(
+                "entry",
+                vec![DsodOp::Exec(Stmt::SetLocal(l, E::bin(BinOp::And, E::IoData, E::lit(0xf))))],
+                Nbtd::Branch { cond, needs_sync: false },
+            ),
+            block("low", vec![], Nbtd::None),
+            block("high", vec![], Nbtd::None),
+        ];
+        let cfg = cfg_of(blocks, vec![(0, EdgeKey::Taken, 1), (0, EdgeKey::NotTaken, 2)]);
+        let spec = spec_of(cfg);
+        let fp = run(&spec, None);
+        let inv = &fp.per_cfg[0].entry;
+        let low = inv[1].as_ref().unwrap().locals[&l];
+        let high = inv[2].as_ref().unwrap().locals[&l];
+        assert_eq!((low.lo, low.hi), (0, 3));
+        assert_eq!((high.lo, high.hi), (4, 0xf));
+        assert!(fp.per_cfg[0].infeasible.is_empty());
+        // The local was written before the branch: no uninit residue.
+        assert!(inv[1].as_ref().unwrap().maybe_uninit.is_empty());
+    }
+
+    #[test]
+    fn contradicting_edge_is_infeasible() {
+        // l0 = 2; branch (l0 < 1): the trained Taken edge cannot happen.
+        let l = LocalId(0);
+        let cond = E::bin(BinOp::Lt, E::local(l), E::lit(1));
+        let blocks = vec![
+            block(
+                "entry",
+                vec![DsodOp::Exec(Stmt::SetLocal(l, E::lit(2)))],
+                Nbtd::Branch { cond, needs_sync: false },
+            ),
+            block("dead", vec![], Nbtd::None),
+            block("live", vec![], Nbtd::None),
+        ];
+        let cfg = cfg_of(blocks, vec![(0, EdgeKey::Taken, 1), (0, EdgeKey::NotTaken, 2)]);
+        let fp = run(&spec_of(cfg), None);
+        assert_eq!(
+            fp.per_cfg[0].infeasible,
+            vec![InfeasibleEdge { from: 0, key: EdgeKey::Taken, to: 1 }]
+        );
+        // The dead block never receives a state.
+        assert!(fp.per_cfg[0].entry[1].is_none());
+    }
+
+    #[test]
+    fn case_edges_pin_the_scrutinee() {
+        let l = LocalId(0);
+        let blocks = vec![
+            block(
+                "entry",
+                vec![DsodOp::Exec(Stmt::SetLocal(l, E::bin(BinOp::And, E::IoData, E::lit(7))))],
+                Nbtd::Switch { scrutinee: E::local(l), needs_sync: false, is_cmd_decision: false },
+            ),
+            block("case2", vec![], Nbtd::None),
+        ];
+        let cfg = cfg_of(blocks, vec![(0, EdgeKey::Case(2), 1)]);
+        let fp = run(&spec_of(cfg), None);
+        let pinned = fp.per_cfg[0].entry[1].as_ref().unwrap().locals[&l];
+        assert_eq!(pinned.singleton(), Some(2));
+    }
+
+    #[test]
+    fn widening_terminates_a_growing_loop() {
+        // b0: l0 = 0 -> b1; b1: l0 = l0 + 1; branch(l0 < 100) back to b1
+        // else b2. The +1 chain must widen, not iterate 100 times.
+        let l = LocalId(0);
+        let blocks = vec![
+            block("init", vec![DsodOp::Exec(Stmt::SetLocal(l, E::lit(0)))], Nbtd::None),
+            block(
+                "loop",
+                vec![DsodOp::Exec(Stmt::SetLocal(l, E::bin(BinOp::Add, E::local(l), E::lit(1))))],
+                Nbtd::Branch {
+                    cond: E::bin(BinOp::Lt, E::local(l), E::lit(100)),
+                    needs_sync: false,
+                },
+            ),
+            block("done", vec![], Nbtd::None),
+        ];
+        let cfg = cfg_of(
+            blocks,
+            vec![(0, EdgeKey::Next, 1), (1, EdgeKey::Taken, 1), (1, EdgeKey::NotTaken, 2)],
+        );
+        let fp = run(&spec_of(cfg), None);
+        // Sound: the loop-entry range covers at least [0, 99]; the exit
+        // is reachable.
+        let at_loop = fp.per_cfg[0].entry[1].as_ref().unwrap().locals[&l];
+        assert!(at_loop.lo == 0 && at_loop.hi >= 99, "{at_loop:?}");
+        assert!(fp.per_cfg[0].entry[2].is_some());
+        assert!(fp.per_cfg[0].infeasible.is_empty());
+    }
+}

@@ -20,10 +20,11 @@ use crate::diag::Diagnostic;
 use crate::interval::{eval, Iv, VarBounds};
 
 /// Variable bounds from the device's control-structure declaration plus
-/// the handler's declared local widths.
-struct DeclBounds<'a> {
-    device: Option<&'a Device>,
-    locals: &'a [Width],
+/// the handler's declared local widths. Shared with the fixpoint engine,
+/// which layers flow-sensitive ranges on top of these declared ceilings.
+pub(crate) struct DeclBounds<'a> {
+    pub(crate) device: Option<&'a Device>,
+    pub(crate) locals: &'a [Width],
 }
 
 impl VarBounds for DeclBounds<'_> {

@@ -61,6 +61,45 @@ impl Iv {
         self
     }
 
+    /// Least upper bound: the smallest range covering both.
+    pub fn join(self, other: Iv) -> Iv {
+        Iv {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            signed_taint: self.signed_taint || other.signed_taint,
+        }
+    }
+
+    /// Greatest lower bound (intersection). `None` when the ranges are
+    /// disjoint — the refined state is unreachable.
+    pub fn meet(self, other: Iv) -> Option<Iv> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Iv { lo, hi, signed_taint: self.signed_taint || other.signed_taint })
+    }
+
+    /// Widening toward a declared ceiling: any bound still moving after
+    /// the fixpoint's patience runs out jumps straight to `ceiling`'s
+    /// bound, guaranteeing termination in one extra step per variable.
+    pub fn widen(self, next: Iv, ceiling: Iv) -> Iv {
+        Iv {
+            lo: if next.lo < self.lo { ceiling.lo } else { self.lo },
+            hi: if next.hi > self.hi { ceiling.hi } else { self.hi },
+            signed_taint: self.signed_taint || next.signed_taint,
+        }
+    }
+
+    /// One narrowing step: recover precision a widening jump discarded.
+    /// Only bounds the widening pushed to an extreme are allowed to move
+    /// back, so the descending sequence stays monotone.
+    pub fn narrow(self, next: Iv, ceiling: Iv) -> Iv {
+        Iv {
+            lo: if self.lo == ceiling.lo { next.lo } else { self.lo },
+            hi: if self.hi == ceiling.hi { next.hi } else { self.hi },
+            signed_taint: self.signed_taint,
+        }
+    }
+
     /// 0/1 result of a comparison whose outcome is unknown.
     fn bool_unknown(a: Iv, b: Iv) -> Iv {
         Iv { lo: 0, hi: 1, signed_taint: a.signed_taint || b.signed_taint }
@@ -86,6 +125,11 @@ pub trait VarBounds {
     fn buf_len(&self, b: sedspec_dbl::ir::BufId) -> Option<u64>;
     /// Width of handler local `l`, if known.
     fn local_width(&self, l: sedspec_dbl::ir::LocalId) -> Option<Width>;
+    /// Flow-sensitive range of handler local `l`, when an analysis
+    /// tracks one (tighter than the declared width range).
+    fn local_range(&self, _l: sedspec_dbl::ir::LocalId) -> Option<Iv> {
+        None
+    }
 }
 
 /// Bounds when no device context is available: every variable is ⊤.
@@ -108,10 +152,10 @@ pub fn eval(e: &Expr, env: &dyn VarBounds) -> Iv {
     match e {
         Expr::Const(v) => Iv::exact(*v),
         Expr::Var(v) => env.var_range(*v),
-        Expr::Local(l) => match env.local_width(*l) {
+        Expr::Local(l) => env.local_range(*l).unwrap_or_else(|| match env.local_width(*l) {
             Some(w) => Iv::range(0, w.mask()),
             None => Iv::TOP,
-        },
+        }),
         // Guest-controlled leaves.
         Expr::IoData | Expr::IoAddr | Expr::IoLen => Iv::TOP,
         Expr::IoSize => Iv::range(1, 8),
@@ -255,6 +299,24 @@ mod tests {
         let iv = ev(&e);
         assert!(!iv.always_true() && !iv.always_false());
         assert_eq!((iv.lo, iv.hi), (0, 1));
+    }
+
+    #[test]
+    fn lattice_ops_behave() {
+        let a = Iv::range(2, 5);
+        let b = Iv::range(4, 9);
+        assert_eq!(a.join(b), Iv::range(2, 9));
+        assert_eq!(a.meet(b), Some(Iv::range(4, 5)));
+        assert_eq!(Iv::range(0, 1).meet(Iv::range(3, 4)), None);
+        // Widening jumps a moving bound to the ceiling and is stable on
+        // a non-moving one.
+        let ceiling = Iv::range(0, 0xff);
+        assert_eq!(a.widen(Iv::range(2, 6), ceiling), Iv::range(2, 0xff));
+        assert_eq!(a.widen(a, ceiling), a);
+        // Narrowing recovers only the widened bound.
+        let widened = Iv::range(2, 0xff);
+        assert_eq!(widened.narrow(Iv::range(2, 6), ceiling), Iv::range(2, 6));
+        assert_eq!(a.narrow(Iv::range(3, 4), ceiling), a);
     }
 
     #[test]

@@ -17,15 +17,27 @@
 //!    [`CompiledSpec::compile`]'s output with the interpreted spec
 //!    (`SA401`).
 //!
-//! Every finding is a typed [`Diagnostic`] with a stable code, so the
-//! fleet registry can gate publishes on error findings and CI can diff
-//! runs against an allowlist.
+//! [`analyze_deep`] appends the flow-sensitive passes on top: a
+//! widening/narrowing worklist fixpoint over the ES-CFG
+//! ([`fixpoint`]) feeding the `SA5xx` dataflow lints (dead shadow
+//! writes, use-before-init locals, invariant-infeasible edges,
+//! guest-pinnable loops, trained-range escapes).
+//!
+//! The [`diff`] module compares two spec *revisions* instead of one
+//! spec against its device: every semantic difference becomes a typed
+//! `SA6xx` delta with a loosening/tightening direction, which the fleet
+//! registry uses to gate publishes.
+//!
+//! Every finding is a typed [`Diagnostic`] with a stable code and
+//! reports are deterministically ordered, so the fleet registry can
+//! gate publishes on error findings and CI can byte-diff runs against
+//! an allowlist.
 //!
 //! # Examples
 //!
 //! ```
 //! use sedspec::pipeline::{train, TrainingConfig};
-//! use sedspec_analysis::{analyze, AnalysisContext};
+//! use sedspec_analysis::{analyze_deep, diff::diff, AnalysisContext};
 //! use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 //! use sedspec_vmm::{AddressSpace, IoRequest, VmContext};
 //!
@@ -33,17 +45,25 @@
 //! let mut ctx = VmContext::new(0x10000, 64);
 //! let samples = vec![vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)]];
 //! let spec = train(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap();
-//! let report = analyze(&spec, &AnalysisContext::for_device(&device));
+//!
+//! // Deep analysis: the fixed pipeline plus the SA5xx dataflow passes.
+//! let report = analyze_deep(&spec, &AnalysisContext::for_device(&device));
 //! assert!(!report.has_errors(), "{}", report.render_human());
+//!
+//! // Revision diff: a spec against itself is semantically empty.
+//! assert!(diff(&spec, &spec).is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod diff;
+pub mod fixpoint;
 pub mod interval;
 
 mod coverage;
+mod dataflow;
 mod guards;
 mod preserve;
 mod shadow;
@@ -192,12 +212,40 @@ pub fn analyze(spec: &ExecutionSpecification, ctx: &AnalysisContext<'_>) -> Anal
     if let Some(compiled) = ctx.compiled {
         preserve::run(spec, compiled, &mut diagnostics);
     }
+    sort_diagnostics(&mut diagnostics);
     AnalysisReport {
         device: spec.device.clone(),
         version: spec.version.clone(),
         diagnostics,
         coverage,
     }
+}
+
+/// Canonical report order: `(code, program, gid, handler, message)`.
+/// Passes append in pipeline order; sorting here makes the rendered and
+/// JSON reports byte-identical across runs regardless of pass-internal
+/// iteration details.
+fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (&a.code, a.program, a.gid, &a.handler, &a.message)
+            .cmp(&(&b.code, b.program, b.gid, &b.handler, &b.message))
+    });
+}
+
+/// Runs the full pass pipeline plus the flow-sensitive deep passes
+/// (`SA5xx`): interval fixpoint over every ES-CFG, then the dataflow
+/// lints it feeds (dead shadow writes, use-before-init locals,
+/// invariant-infeasible edges, guest-pinnable loops, trained-range
+/// escapes).
+///
+/// Strictly more expensive than [`analyze`] — the fixpoint iterates
+/// every handler to convergence — but still well under a millisecond
+/// for the device corpus, so `lint-spec --deep` runs it in CI.
+pub fn analyze_deep(spec: &ExecutionSpecification, ctx: &AnalysisContext<'_>) -> AnalysisReport {
+    let mut report = analyze(spec, ctx);
+    dataflow::run(spec, ctx.device, &mut report.diagnostics);
+    sort_diagnostics(&mut report.diagnostics);
+    report
 }
 
 /// Convenience: analyze with a freshly compiled form and, when the
@@ -210,5 +258,22 @@ pub fn analyze_full(spec: &ExecutionSpecification) -> AnalysisReport {
             analyze(spec, &AnalysisContext { device: Some(&device), compiled: Some(&compiled) })
         }
         None => analyze(spec, &AnalysisContext { device: None, compiled: Some(&compiled) }),
+    }
+}
+
+/// [`analyze_full`]'s deep counterpart: compiles the spec, rebuilds the
+/// device when the spec's identity strings parse, and runs
+/// [`analyze_deep`].
+pub fn analyze_deep_full(spec: &ExecutionSpecification) -> AnalysisReport {
+    let compiled = CompiledSpec::compile(std::sync::Arc::new(spec.clone()));
+    match device_for_spec(spec) {
+        Some((kind, version)) => {
+            let device = sedspec_devices::build_device(kind, version);
+            analyze_deep(
+                spec,
+                &AnalysisContext { device: Some(&device), compiled: Some(&compiled) },
+            )
+        }
+        None => analyze_deep(spec, &AnalysisContext { device: None, compiled: Some(&compiled) }),
     }
 }

@@ -1,0 +1,177 @@
+//! Deep-analysis and revision-diff acceptance.
+//!
+//! Three claims the deep layer must uphold end to end:
+//!
+//! 1. **Quiet on benign specs** — the flow-sensitive `SA5xx` passes add
+//!    no error findings on any patched device's trained spec, and the
+//!    invariant-infeasibility pass (`SA503`) stays silent everywhere:
+//!    every trained edge must remain feasible under the fixpoint's own
+//!    invariants, or enforcement would be rejecting traffic the device
+//!    actually produced.
+//! 2. **Loud on the CVE corpus** — `SA504` rediscovers the
+//!    CVE-2016-7909 unbounded ring scan from the vulnerable PCNet build
+//!    statically, and every vulnerable→patched revision diff names the
+//!    patch as a *tightening* at the exact block the CVE lives in.
+//! 3. **Deterministic** — double runs of both the deep report and the
+//!    revision diff are byte-identical, and a spec diffed against
+//!    itself is semantically empty for every device.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sedspec::compiled::CompiledSpec;
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_analysis::diff::{diff, Direction};
+use sedspec_analysis::{analyze_deep, AnalysisContext};
+use sedspec_devices::{build_device, Device, DeviceKind, QemuVersion};
+use sedspec_vmm::VmContext;
+use sedspec_workloads::generators::training_suite;
+
+fn trained_seeded(
+    kind: DeviceKind,
+    version: QemuVersion,
+    cases: usize,
+    seed: u64,
+) -> (Device, ExecutionSpecification) {
+    let mut device = build_device(kind, version);
+    let mut ctx = VmContext::new(0x200000, 8192);
+    let suite = training_suite(kind, cases, seed);
+    let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+        .expect("training produced rounds");
+    (device, spec)
+}
+
+fn trained(kind: DeviceKind, version: QemuVersion) -> (Device, ExecutionSpecification) {
+    trained_seeded(kind, version, 60, 0x7a11)
+}
+
+#[test]
+fn deep_analysis_stays_error_clean_on_patched_devices() {
+    for kind in DeviceKind::all() {
+        let (device, spec) = trained(kind, QemuVersion::Patched);
+        let compiled = CompiledSpec::compile(Arc::new(spec.clone()));
+        let report = analyze_deep(&spec, &AnalysisContext::full(&device, &compiled));
+        assert!(
+            !report.has_errors(),
+            "{kind}: deep analysis must add no errors on a benign spec:\n{}",
+            report.render_human()
+        );
+        // SA503 is the soundness canary: a trained edge the fixpoint
+        // proves infeasible means the abstraction lost real behaviour.
+        assert!(
+            report.with_code("SA503").is_empty(),
+            "{kind}: trained edge declared infeasible:\n{}",
+            report.render_human()
+        );
+        // The pinnable-loop pass must not flag patched control flow.
+        assert!(
+            report.with_code("SA504").is_empty(),
+            "{kind}: patched build flagged as guest-pinnable:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+#[test]
+fn sa504_rediscovers_the_zero_ring_dos_and_clears_the_patch() {
+    // Vulnerable PCNet: receive path scans a zero-length ring; the exit
+    // guard `scan_i < rcvrl` is pinned shut by guest-held rcvrl = 0.
+    let (device, spec) = trained(DeviceKind::Pcnet, QemuVersion::V2_6_0);
+    let report = analyze_deep(&spec, &AnalysisContext::for_device(&device));
+    let hits = report.with_code("SA504");
+    assert!(
+        hits.iter().any(|d| d.message.contains("rcvrl")),
+        "CVE-2016-7909 loop must surface as SA504 naming rcvrl:\n{}",
+        report.render_human()
+    );
+
+    let (device, spec) = trained(DeviceKind::Pcnet, QemuVersion::Patched);
+    let report = analyze_deep(&spec, &AnalysisContext::for_device(&device));
+    assert!(
+        report.with_code("SA504").is_empty(),
+        "patched PCNet must not trip SA504:\n{}",
+        report.render_human()
+    );
+}
+
+/// Every CVE in the device corpus, as (device, vulnerable version,
+/// static block the patch lands on).
+const CVE_PAIRS: &[(DeviceKind, QemuVersion, &str, &str)] = &[
+    (DeviceKind::Fdc, QemuVersion::V2_3_0, "drive_spec_param", "CVE-2015-3456 (VENOM)"),
+    (DeviceKind::UsbEhci, QemuVersion::V5_1_0, "do_token_setup", "CVE-2020-14364"),
+    (DeviceKind::Sdhci, QemuVersion::V5_2_0, "blksize_write", "CVE-2021-3409"),
+    (DeviceKind::Pcnet, QemuVersion::V2_6_0, "rcvrl_write", "CVE-2016-7909 (store)"),
+    (DeviceKind::Pcnet, QemuVersion::V2_6_0, "zero_ring_path", "CVE-2016-7909 (scan)"),
+    (DeviceKind::Pcnet, QemuVersion::V2_4_0, "rx_loopback_copy", "CVE-2015-7504"),
+    (DeviceKind::Pcnet, QemuVersion::V2_4_0, "rx_direct_copy", "CVE-2015-7512"),
+    (DeviceKind::Scsi, QemuVersion::V2_6_0, "fifo_write", "CVE-2016-4439"),
+    (DeviceKind::Scsi, QemuVersion::V2_4_0, "cdb_group_reserved", "CVE-2015-5158"),
+    (DeviceKind::Scsi, QemuVersion::V2_4_0, "cmd_reset", "CVE-2016-1568 analog"),
+];
+
+#[test]
+fn every_cve_patch_diffs_as_a_tightening_at_its_block() {
+    for &(kind, vuln, block, cve) in CVE_PAIRS {
+        let (_, old) = trained(kind, vuln);
+        let (_, new) = trained(kind, QemuVersion::Patched);
+        let delta = diff(&old, &new);
+        assert!(
+            delta.entries.iter().any(|e| {
+                e.code == "SA606" && e.direction == Direction::Tightening && e.location == block
+            }),
+            "{cve}: expected an SA606 tightening at '{block}' in {kind} \
+             {vuln}->patched:\n{}",
+            delta.render_human()
+        );
+    }
+}
+
+#[test]
+fn loosening_is_the_reverse_of_every_cve_patch() {
+    // Downgrading patched -> vulnerable must read as a loosening (or at
+    // minimum never as tightening-only): the gate the registry applies.
+    for &(kind, vuln, _, cve) in CVE_PAIRS {
+        let (_, patched) = trained(kind, QemuVersion::Patched);
+        let (_, old) = trained(kind, vuln);
+        let delta = diff(&patched, &old);
+        assert!(
+            delta.has_loosening(),
+            "{cve}: downgrade to {vuln} must loosen:\n{}",
+            delta.render_human()
+        );
+    }
+}
+
+#[test]
+fn deep_report_and_diff_are_byte_identical_across_runs() {
+    let (device_a, spec_a) = trained(DeviceKind::Sdhci, QemuVersion::Patched);
+    let (device_b, spec_b) = trained(DeviceKind::Sdhci, QemuVersion::Patched);
+    let report_a = analyze_deep(&spec_a, &AnalysisContext::for_device(&device_a));
+    let report_b = analyze_deep(&spec_b, &AnalysisContext::for_device(&device_b));
+    assert_eq!(report_a.to_json(), report_b.to_json(), "deep report must be deterministic");
+
+    let (_, old_a) = trained(DeviceKind::Sdhci, QemuVersion::V5_2_0);
+    let (_, old_b) = trained(DeviceKind::Sdhci, QemuVersion::V5_2_0);
+    let d1 = diff(&old_a, &spec_a);
+    let d2 = diff(&old_b, &spec_b);
+    assert_eq!(d1.to_json(), d2.to_json(), "spec diff must be deterministic");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// A spec diffed against itself is semantically empty, regardless of
+    /// device or how much training it saw.
+    #[test]
+    fn self_diff_is_empty_for_every_device(
+        kind_i in 0usize..5,
+        cases in 4usize..40,
+        seed in 0u64..1u64 << 32,
+    ) {
+        let kind = DeviceKind::all()[kind_i];
+        let (_, spec) = trained_seeded(kind, QemuVersion::Patched, cases, seed);
+        let delta = diff(&spec, &spec);
+        prop_assert!(delta.is_empty(), "{}", delta.render_human());
+    }
+}

@@ -8,7 +8,10 @@
 //! sedspec bench-checker [--cases N] [--out BENCH_checker.json]
 //! sedspec obs-report [--cases N] [--top K] [--metrics] [--trace]
 //! sedspec lint-spec [--device D | --all-devices | --spec FILE] [--version V]
-//!                   [--json] [--cases N] [--seed S] [--allow FILE]
+//!                   [--deep] [--deny-warnings] [--json] [--cases N] [--seed S]
+//!                   [--allow FILE]
+//! sedspec spec-diff <OLD> <NEW> [--json] [--cases N] [--seed S]
+//!                   (operands: spec JSON file or device@version)
 //! sedspec chaos  [--plan FILE] [--seed S] [--tenants K] [--shards N]
 //!                [--batches B] [--cases C]
 //! sedspec serve  --store DIR (--socket PATH | --tcp ADDR) [--shards N]
@@ -16,7 +19,8 @@
 //!                [--rate-capacity N --rate-refill N] [--compact-every N]
 //! sedspec ctl    <command> [args] (--socket PATH | --tcp ADDR) [--token T]
 //!   commands: ping | publish <device> [--version V] [--spec FILE]
-//!             [--cases N] [--seed S] | add-tenant <id> [--version V]
+//!             [--cases N] [--seed S] [--allow-loosening] |
+//!             add-tenant <id> [--version V]
 //!             [--device D]... | submit <tenant> (--cve CVE | --benign
 //!             [--cases N]) | status <tenant> | fleet [--json] |
 //!             quarantine <tenant> | release <tenant> | metrics |
@@ -34,10 +38,14 @@
 //! and prints the observability report — hottest ES blocks, walk
 //! latency histograms, and the flight-recorder forensics of every
 //! flagged round; `lint-spec` trains (or loads) specifications and runs
-//! the `sedspec-analysis` static pass pipeline over them, exiting
-//! non-zero on any error-severity finding not in the `--allow` list —
-//! the same vet the fleet registry applies at publish time, shaped for
-//! CI; `chaos` replays a committed fault plan against a mixed
+//! the `sedspec-analysis` static pass pipeline over them — `--deep`
+//! adds the flow-sensitive fixpoint lints (SA5xx) — exiting non-zero on
+//! any error-severity finding (with `--deny-warnings`, any warning too)
+//! not matched by the `--allow` list — the same vet the fleet registry
+//! applies at publish time, shaped for CI; `spec-diff` computes the
+//! semantic revision delta (SA601–SA606) between two specifications and
+//! exits non-zero when the delta loosens enforcement; `chaos` replays a
+//! committed fault plan against a mixed
 //! benign/compromised fleet and prints the deterministic recovery
 //! report (stdout) plus wall-clock recovery latencies (stderr),
 //! exiting non-zero if containment or convergence failed.
@@ -56,7 +64,11 @@ use sedspec::enforce::{EnforcingDevice, IoVerdict};
 use sedspec::pipeline::{train_script, TrainingConfig};
 use sedspec::response::highest_alert;
 use sedspec::spec::ExecutionSpecification;
-use sedspec_analysis::{analyze, analyze_full, AnalysisContext, AnalysisReport};
+use sedspec_analysis::diff::diff;
+use sedspec_analysis::{
+    analyze, analyze_deep, analyze_deep_full, analyze_full, AnalysisContext, AnalysisReport,
+    Severity,
+};
 use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_vmm::VmContext;
 use sedspec_workloads::attacks::{poc, Cve};
@@ -783,9 +795,68 @@ fn cmd_bench_checker(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One reviewed-and-accepted finding pattern from `--allow FILE`.
+///
+/// The file is a JSON array whose entries are either bare code strings
+/// (legacy form, matches every finding with that code) or objects
+/// `{"code": "SA201", "device": "fdc", "contains": "command 0x4",
+///   "rationale": "..."}` where `device` and `contains` narrow the
+/// match and `rationale` documents the review (ignored by the tool).
+struct AllowEntry {
+    code: String,
+    device: Option<String>,
+    contains: Option<String>,
+}
+
+impl AllowEntry {
+    fn matches(&self, report_device: &str, d: &sedspec_analysis::Diagnostic) -> bool {
+        self.code == d.code
+            && self.device.as_deref().is_none_or(|dev| dev == report_device)
+            && self.contains.as_deref().is_none_or(|needle| d.message.contains(needle))
+    }
+}
+
+fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    use serde_json::Value;
+    let v = serde_json::from_str_value(text).map_err(|e| e.to_string())?;
+    let Value::Seq(items) = v else {
+        return Err("allowlist must be a JSON array".to_string());
+    };
+    let mut out = Vec::new();
+    for item in &items {
+        match item {
+            Value::Str(code) => {
+                out.push(AllowEntry { code: code.clone(), device: None, contains: None });
+            }
+            Value::Map(_) => {
+                let Some(Value::Str(code)) = item.get("code") else {
+                    return Err("allowlist object entry needs a string \"code\"".to_string());
+                };
+                let field = |k: &str| match item.get(k) {
+                    Some(Value::Str(s)) => Some(s.clone()),
+                    _ => None,
+                };
+                out.push(AllowEntry {
+                    code: code.clone(),
+                    device: field("device"),
+                    contains: field("contains"),
+                });
+            }
+            _ => {
+                return Err(
+                    "allowlist entries must be code strings or {code, ...} objects".to_string()
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
 fn cmd_lint_spec(args: &[String]) -> ExitCode {
     let json_out = args.iter().any(|a| a == "--json");
     let all = args.iter().any(|a| a == "--all-devices");
+    let deep = args.iter().any(|a| a == "--deep");
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
     let cases = flag(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(60);
     let seed = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x7a11);
     let version = match flag(args, "--version") {
@@ -800,9 +871,9 @@ fn cmd_lint_spec(args: &[String]) -> ExitCode {
         }
         None => QemuVersion::Patched,
     };
-    // Error-severity codes CI has reviewed and accepted (JSON array of
-    // strings). Warnings never block; errors outside this list do.
-    let allow: Vec<String> = match flag(args, "--allow") {
+    // Findings CI has reviewed and accepted. Errors outside this list
+    // always block; with --deny-warnings, unlisted warnings block too.
+    let allow: Vec<AllowEntry> = match flag(args, "--allow") {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
@@ -811,8 +882,8 @@ fn cmd_lint_spec(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match serde_json::from_str(&text) {
-                Ok(codes) => codes,
+            match parse_allowlist(&text) {
+                Ok(entries) => entries,
                 Err(e) => {
                     eprintln!("malformed allowlist {path}: {e}");
                     return ExitCode::FAILURE;
@@ -838,7 +909,7 @@ fn cmd_lint_spec(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        reports.push(analyze_full(&spec));
+        reports.push(if deep { analyze_deep_full(&spec) } else { analyze_full(&spec) });
     } else {
         let kinds: Vec<DeviceKind> = if all {
             DeviceKind::all().into_iter().collect()
@@ -848,7 +919,8 @@ fn cmd_lint_spec(args: &[String]) -> ExitCode {
                 None => {
                     eprintln!(
                         "usage: sedspec lint-spec [--device D | --all-devices | --spec FILE] \
-                         [--version V] [--json] [--cases N] [--seed S] [--allow FILE]"
+                         [--version V] [--deep] [--deny-warnings] [--json] [--cases N] \
+                         [--seed S] [--allow FILE]"
                     );
                     return ExitCode::from(2);
                 }
@@ -859,14 +931,22 @@ fn cmd_lint_spec(args: &[String]) -> ExitCode {
             let spec = train_spec(kind, version, cases, seed);
             let device = build_device(kind, version);
             let compiled = CompiledSpec::compile(Arc::new(spec.clone()));
-            reports.push(analyze(&spec, &AnalysisContext::full(&device, &compiled)));
+            let ctx = AnalysisContext::full(&device, &compiled);
+            reports.push(if deep { analyze_deep(&spec, &ctx) } else { analyze(&spec, &ctx) });
         }
     }
 
+    let blocks = |severity: Severity| {
+        severity == Severity::Error || (deny_warnings && severity == Severity::Warning)
+    };
     let blocking: Vec<String> = reports
         .iter()
-        .flat_map(|r| r.diagnostics.iter().filter(|d| d.is_error()))
-        .filter(|d| !allow.iter().any(|c| c == &d.code))
+        .flat_map(|r| {
+            r.diagnostics
+                .iter()
+                .filter(|d| blocks(d.severity))
+                .filter(|d| !allow.iter().any(|a| a.matches(&r.device, d)))
+        })
         .map(sedspec_analysis::Diagnostic::render)
         .collect();
     if json_out {
@@ -879,11 +959,93 @@ fn cmd_lint_spec(args: &[String]) -> ExitCode {
     if blocking.is_empty() {
         ExitCode::SUCCESS
     } else {
-        eprintln!("lint-spec: {} blocking error finding(s):", blocking.len());
+        eprintln!("lint-spec: {} blocking finding(s):", blocking.len());
         for line in blocking {
             eprintln!("  {line}");
         }
         ExitCode::FAILURE
+    }
+}
+
+// --------------------------------------------------- spec-diff --
+
+/// Resolves a spec-diff operand: a path to a spec JSON file, or a
+/// `device@version` pair trained deterministically on the spot.
+fn resolve_spec_operand(
+    arg: &str,
+    cases: usize,
+    seed: u64,
+) -> Result<ExecutionSpecification, String> {
+    if let Some((dev, ver)) = arg.split_once('@') {
+        if let Some(kind) = parse_device(dev) {
+            let version = QemuVersion::all()
+                .into_iter()
+                .find(|q| q.to_string().eq_ignore_ascii_case(ver))
+                .ok_or_else(|| format!("unknown QEMU version '{ver}' in '{arg}'"))?;
+            eprintln!("training {kind}/{version} ({cases} cases) ...");
+            return Ok(train_spec(kind, version, cases, seed));
+        }
+    }
+    let text = std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))?;
+    ExecutionSpecification::from_json(&text).map_err(|e| format!("cannot parse {arg}: {e}"))
+}
+
+/// `sedspec spec-diff <A> <B>`: semantic revision diff between two
+/// specifications, each given as a spec JSON file or `device@version`
+/// (trained with the same deterministic defaults as `train`). Exits 1
+/// when the diff contains loosening entries, so CI can gate on it.
+fn cmd_spec_diff(args: &[String]) -> ExitCode {
+    let json_out = args.iter().any(|a| a == "--json");
+    let cases = flag(args, "--cases").and_then(|v| v.parse().ok()).unwrap_or(60);
+    let seed = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(0x7a11);
+    let positional: Vec<&String> = {
+        let mut skip = false;
+        args.iter()
+            .filter(|a| {
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if matches!(a.as_str(), "--cases" | "--seed") {
+                    skip = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .collect()
+    };
+    let [old_arg, new_arg] = positional.as_slice() else {
+        eprintln!(
+            "usage: sedspec spec-diff <OLD> <NEW> [--json] [--cases N] [--seed S]\n\
+             each operand is a spec JSON file or device@version (e.g. fdc@v2.3.0)"
+        );
+        return ExitCode::from(2);
+    };
+    let old = match resolve_spec_operand(old_arg, cases, seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let new = match resolve_spec_operand(new_arg, cases, seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let delta = diff(&old, &new);
+    if json_out {
+        println!("{}", delta.to_json());
+    } else {
+        print!("{}", delta.render_human());
+    }
+    if delta.has_loosening() {
+        eprintln!("spec-diff: delta contains loosening entries");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -1287,7 +1449,10 @@ fn cmd_ctl(args: &[String]) -> ExitCode {
             .map_err(|e| e.to_string()),
         "publish" => {
             let Some(kind) = rest.first().and_then(|a| parse_device(a)) else {
-                eprintln!("usage: sedspec ctl publish <device> [--version V] [--spec FILE] ...");
+                eprintln!(
+                    "usage: sedspec ctl publish <device> [--version V] [--spec FILE] \
+                     [--allow-loosening] ..."
+                );
                 return ExitCode::from(2);
             };
             let version =
@@ -1307,9 +1472,12 @@ fn cmd_ctl(args: &[String]) -> ExitCode {
                     train_spec(kind, version, cases, seed).to_json()
                 }
             };
+            let allow_loosening = rest.iter().any(|a| a == "--allow-loosening");
             client
-                .publish_spec(kind, version, json)
-                .map(|(key, epoch)| println!("published {key} (epoch {epoch})"))
+                .publish_spec_with(kind, version, json, allow_loosening)
+                .map(|(key, epoch, changelog)| {
+                    println!("published {key} (epoch {epoch}): {changelog}");
+                })
                 .map_err(|e| e.to_string())
         }
         "add-tenant" => {
@@ -1448,6 +1616,7 @@ fn main() -> ExitCode {
         Some("bench-checker") => cmd_bench_checker(&args[1..]),
         Some("obs-report") => cmd_obs_report(&args[1..]),
         Some("lint-spec") => cmd_lint_spec(&args[1..]),
+        Some("spec-diff") => cmd_spec_diff(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("ctl") => cmd_ctl(&args[1..]),
@@ -1466,7 +1635,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|lint-spec|chaos|serve|ctl|devices|cves> ..."
+                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|lint-spec|spec-diff|chaos|serve|ctl|devices|cves> ..."
             );
             ExitCode::from(2)
         }

@@ -15,6 +15,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 use sedspec::compiled::{CompileOptions, CompiledSpec};
 use sedspec::spec::ExecutionSpecification;
+use sedspec_analysis::diff::{diff, SemanticChangelog};
 use sedspec_analysis::{analyze, AnalysisContext, AnalysisReport};
 use sedspec_devices::{build_device, DeviceKind, QemuVersion};
 use sedspec_obs::{ObsHub, ScopeId, ScopeInfo, TraceEventKind};
@@ -154,36 +155,84 @@ impl SpecRegistry {
     /// Publishes a revision and makes it the channel's current one,
     /// after vetting it with the full `sedspec-analysis` pass pipeline
     /// against a freshly built `(device, version)` target and the
-    /// publish-time compiled form.
+    /// publish-time compiled form. Equivalent to
+    /// [`SpecRegistry::publish_with`] under default [`PublishOptions`]
+    /// — in particular, loosening deltas are refused.
     ///
     /// Republishing identical content is idempotent (same key), but
     /// still bumps the epoch so consumers refresh.
     ///
     /// # Errors
     ///
-    /// Returns [`PublishRejected`] when the analyzer reports any
-    /// error-severity finding — including `SA008` for a spec trained on
-    /// a different device or version than the channel it was submitted
-    /// to. Rejected revisions are not stored. Use
-    /// [`SpecRegistry::publish_unchecked`] to force-publish.
+    /// See [`SpecRegistry::publish_with`].
     pub fn publish(
         &self,
         device: DeviceKind,
         version: QemuVersion,
         spec: ExecutionSpecification,
-    ) -> Result<SpecKey, PublishRejected> {
+    ) -> Result<PublishOutcome, PublishError> {
+        self.publish_with(device, version, spec, &PublishOptions::default())
+    }
+
+    /// Publishes a revision with explicit gate options.
+    ///
+    /// Two gates run, in order:
+    ///
+    /// 1. **Analyzer** — the full pass pipeline against a freshly built
+    ///    `(device, version)` target and the publish-time compiled form;
+    ///    any error-severity finding rejects the revision.
+    /// 2. **Semantic diff** — when the channel already serves an
+    ///    incumbent, the candidate is diffed against it
+    ///    ([`sedspec_analysis::diff::diff`]). A delta that *loosens*
+    ///    enforcement anywhere (commands appearing, allowed sets or
+    ///    trained edges growing, static guards disappearing) is refused
+    ///    unless [`PublishOptions::allow_loosening`] is set — loosening
+    ///    is exactly the direction an attack-surface regression takes,
+    ///    so it requires an explicit operator decision.
+    ///
+    /// Every accepted publish that displaced an incumbent carries the
+    /// [`SemanticChangelog`] in its [`PublishOutcome`], so channel
+    /// history records what changed semantically, not just that an
+    /// epoch bumped.
+    ///
+    /// # Errors
+    ///
+    /// [`PublishError::Rejected`] on analyzer error findings —
+    /// including `SA008` for a spec trained on a different device or
+    /// version than the channel it was submitted to.
+    /// [`PublishError::Loosening`] when the semantic diff against the
+    /// incumbent loosens enforcement and `allow_loosening` is unset.
+    /// Refused revisions are not stored. Use
+    /// [`SpecRegistry::publish_unchecked`] to force-publish.
+    pub fn publish_with(
+        &self,
+        device: DeviceKind,
+        version: QemuVersion,
+        spec: ExecutionSpecification,
+        options: &PublishOptions,
+    ) -> Result<PublishOutcome, PublishError> {
         let digest = Self::digest_of(&spec);
         let stored = Arc::new(spec);
         let compiled = Arc::new(CompiledSpec::compile(Arc::clone(&stored)));
         let target = build_device(device, version);
         let report = analyze(&stored, &AnalysisContext::full(&target, &compiled));
+        let key = SpecKey { device, version, digest };
         if report.has_errors() {
-            return Err(PublishRejected {
-                key: SpecKey { device, version, digest },
-                report: Box::new(report),
-            });
+            return Err(PublishError::Rejected(PublishRejected { key, report: Box::new(report) }));
         }
-        Ok(self.store(device, version, digest, &stored, &compiled))
+        let changelog = self
+            .current(device, version)
+            .map(|(_, incumbent, _)| SemanticChangelog { delta: diff(&incumbent, &stored) });
+        if let Some(changelog) = &changelog {
+            if changelog.has_loosening() && !options.allow_loosening {
+                return Err(PublishError::Loosening(LooseningRefused {
+                    key,
+                    changelog: Box::new(changelog.clone()),
+                }));
+            }
+        }
+        let key = self.store(device, version, digest, &stored, &compiled);
+        Ok(PublishOutcome { key, changelog })
     }
 
     /// Publishes a revision *without* running the static analyzer — the
@@ -248,9 +297,26 @@ impl SpecRegistry {
         device: DeviceKind,
         version: QemuVersion,
         json: &str,
-    ) -> Result<SpecKey, PublishJsonError> {
+    ) -> Result<PublishOutcome, PublishJsonError> {
+        self.publish_json_with(device, version, json, &PublishOptions::default())
+    }
+
+    /// [`SpecRegistry::publish_json`] with explicit gate options.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error on malformed input, or the gate
+    /// rejection ([`PublishError`]) wrapped in
+    /// [`PublishJsonError::Gate`].
+    pub fn publish_json_with(
+        &self,
+        device: DeviceKind,
+        version: QemuVersion,
+        json: &str,
+        options: &PublishOptions,
+    ) -> Result<PublishOutcome, PublishJsonError> {
         let spec = ExecutionSpecification::from_json(json).map_err(PublishJsonError::Parse)?;
-        self.publish(device, version, spec).map_err(PublishJsonError::Rejected)
+        self.publish_with(device, version, spec, options).map_err(PublishJsonError::Gate)
     }
 
     /// Looks up a revision by key.
@@ -385,6 +451,36 @@ impl SpecRegistry {
     }
 }
 
+/// Gate knobs for [`SpecRegistry::publish_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PublishOptions {
+    /// Accept a revision whose semantic diff against the incumbent
+    /// loosens enforcement somewhere. Off by default: loosening means
+    /// traffic the incumbent would halt gets accepted, which is an
+    /// explicit operator decision, not a side effect of retraining.
+    pub allow_loosening: bool,
+}
+
+/// An accepted publish: the stored identity plus, when an incumbent was
+/// displaced, the semantic changelog describing what changed.
+#[derive(Debug, Clone)]
+pub struct PublishOutcome {
+    /// Identity of the stored revision (now the channel's current).
+    pub key: SpecKey,
+    /// Semantic diff against the displaced incumbent; `None` only for
+    /// the channel's first revision, which has nothing to diff against.
+    pub changelog: Option<SemanticChangelog>,
+}
+
+impl PublishOutcome {
+    /// One-line changelog summary (`"first revision"` when none).
+    pub fn changelog_summary(&self) -> String {
+        self.changelog
+            .as_ref()
+            .map_or_else(|| "first revision".to_string(), SemanticChangelog::summary)
+    }
+}
+
 /// A revision the publish-time analyzer gate refused to store.
 #[derive(Debug)]
 pub struct PublishRejected {
@@ -411,20 +507,84 @@ impl std::fmt::Display for PublishRejected {
 
 impl std::error::Error for PublishRejected {}
 
+/// A revision refused because its semantic diff against the incumbent
+/// loosens enforcement and the publisher did not opt in.
+#[derive(Debug)]
+pub struct LooseningRefused {
+    /// The identity the revision would have had.
+    pub key: SpecKey,
+    /// The full changelog; `has_loosening()` is true.
+    pub changelog: Box<SemanticChangelog>,
+}
+
+impl std::fmt::Display for LooseningRefused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "spec {} loosens enforcement vs the incumbent ({}); \
+             republish with allow_loosening to accept",
+            self.key,
+            self.changelog.summary()
+        )?;
+        for e in self
+            .changelog
+            .delta
+            .entries
+            .iter()
+            .filter(|e| e.direction == sedspec_analysis::diff::Direction::Loosening)
+        {
+            write!(f, "\n  {}", e.render())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LooseningRefused {}
+
+/// A revision the publish gate refused to store.
+#[derive(Debug)]
+pub enum PublishError {
+    /// The analyzer reported error-severity findings.
+    Rejected(PublishRejected),
+    /// The semantic diff loosens enforcement without the opt-in.
+    Loosening(LooseningRefused),
+}
+
+impl PublishError {
+    /// The identity the refused revision would have had.
+    pub fn key(&self) -> SpecKey {
+        match self {
+            PublishError::Rejected(r) => r.key,
+            PublishError::Loosening(l) => l.key,
+        }
+    }
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::Rejected(r) => r.fmt(f),
+            PublishError::Loosening(l) => l.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
 /// Failure publishing a JSON-shipped revision.
 #[derive(Debug)]
 pub enum PublishJsonError {
     /// The shipping JSON did not parse.
     Parse(serde_json::Error),
-    /// The parsed spec failed the analyzer gate.
-    Rejected(PublishRejected),
+    /// The parsed spec failed a publish gate.
+    Gate(PublishError),
 }
 
 impl std::fmt::Display for PublishJsonError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PublishJsonError::Parse(e) => write!(f, "malformed spec JSON: {e}"),
-            PublishJsonError::Rejected(r) => r.fmt(f),
+            PublishJsonError::Gate(r) => r.fmt(f),
         }
     }
 }
@@ -449,8 +609,11 @@ mod tests {
     #[test]
     fn publish_and_lookup_round_trip() {
         let reg = SpecRegistry::new();
-        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec()).unwrap();
+        let outcome = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec()).unwrap();
+        let key = outcome.key;
         assert_eq!(key.device, DeviceKind::Fdc);
+        assert!(outcome.changelog.is_none(), "first revision has no incumbent to diff");
+        assert_eq!(outcome.changelog_summary(), "first revision");
         let (cur_key, spec, epoch) = reg.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap();
         assert_eq!(cur_key, key);
         assert_eq!(epoch, 1);
@@ -466,10 +629,10 @@ mod tests {
     #[test]
     fn json_round_trip_preserves_digest() {
         let reg = SpecRegistry::new();
-        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec()).unwrap();
+        let key = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec()).unwrap().key;
         let json = reg.export_json(&key).unwrap();
         let reg2 = SpecRegistry::new();
-        let key2 = reg2.publish_json(DeviceKind::Fdc, QemuVersion::Patched, &json).unwrap();
+        let key2 = reg2.publish_json(DeviceKind::Fdc, QemuVersion::Patched, &json).unwrap().key;
         assert_eq!(key, key2, "shipping a spec through JSON must not change its identity");
     }
 
@@ -489,10 +652,10 @@ mod tests {
             .publish_json(DeviceKind::Fdc, QemuVersion::Patched, &json)
             .expect_err("JSON import of a dangling-edge spec must be rejected");
         match err {
-            PublishJsonError::Rejected(r) => {
+            PublishJsonError::Gate(PublishError::Rejected(r)) => {
                 assert!(!r.report.with_code("SA002").is_empty(), "{}", r.report.render_human());
             }
-            PublishJsonError::Parse(e) => panic!("expected analyzer rejection, got parse: {e}"),
+            other => panic!("expected analyzer rejection, got: {other}"),
         }
         assert_eq!(reg.revision_count(), 0, "gated JSON imports are not stored");
     }
@@ -501,10 +664,15 @@ mod tests {
     fn republish_bumps_epoch_and_retargets_current() {
         let reg = SpecRegistry::new();
         let spec = small_spec();
-        let first = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, spec.clone()).unwrap();
+        let first = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, spec.clone()).unwrap().key;
         let mut grown = spec;
         grown.stats.training_rounds += 1;
-        let second = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, grown).unwrap();
+        let outcome = reg.publish(DeviceKind::Fdc, QemuVersion::Patched, grown).unwrap();
+        let second = outcome.key;
+        // Stats-only drift is semantically empty: changelog attached,
+        // zero entries, no loosening gate in the way.
+        let changelog = outcome.changelog.expect("incumbent displaced -> changelog attached");
+        assert!(changelog.delta.is_empty(), "{}", changelog.delta.render_human());
         assert_ne!(first.digest, second.digest);
         let (cur, _, epoch) = reg.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap();
         assert_eq!(cur, second);
@@ -526,6 +694,7 @@ mod tests {
         let err = reg
             .publish(DeviceKind::Fdc, QemuVersion::Patched, broken.clone())
             .expect_err("dangling edge must be rejected");
+        let PublishError::Rejected(err) = err else { panic!("expected analyzer rejection: {err}") };
         assert!(err.report.has_errors());
         assert!(!err.report.with_code("SA002").is_empty(), "{}", err.report.render_human());
         assert_eq!(reg.revision_count(), 0, "rejected revisions are not stored");
@@ -542,7 +711,66 @@ mod tests {
         let err = reg
             .publish(DeviceKind::Scsi, QemuVersion::Patched, small_spec())
             .expect_err("cross-device publish must be rejected");
+        assert_eq!(err.key().device, DeviceKind::Scsi);
+        let PublishError::Rejected(err) = err else { panic!("expected analyzer rejection: {err}") };
         assert!(!err.report.with_code("SA008").is_empty());
-        assert_eq!(err.key.device, DeviceKind::Scsi);
+    }
+
+    /// A spec trained on a bigger suite than the incumbent: more
+    /// commands/edges trained, i.e. a loosening delta.
+    fn bigger_spec() -> ExecutionSpecification {
+        let mut device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x10000, 64);
+        let samples = vec![
+            vec![IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)],
+            vec![IoRequest::write(AddressSpace::Pmio, 0x3f2, 1, 0x14)],
+            vec![
+                IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08),
+                IoRequest::read(AddressSpace::Pmio, 0x3f5, 1),
+            ],
+        ];
+        train(&mut device, &mut ctx, &samples, &TrainingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn loosening_publish_needs_the_opt_in() {
+        let reg = SpecRegistry::new();
+        reg.publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec()).unwrap();
+        // The retrained, broader spec accepts traffic the incumbent
+        // would halt: refused by default.
+        let err = reg
+            .publish(DeviceKind::Fdc, QemuVersion::Patched, bigger_spec())
+            .expect_err("loosening publish must be refused without the opt-in");
+        let PublishError::Loosening(l) = err else { panic!("expected loosening refusal: {err}") };
+        assert!(l.changelog.has_loosening());
+        assert_eq!(reg.revision_count(), 1, "refused revisions are not stored");
+        // With the opt-in it lands, changelog attached.
+        let outcome = reg
+            .publish_with(
+                DeviceKind::Fdc,
+                QemuVersion::Patched,
+                bigger_spec(),
+                &PublishOptions { allow_loosening: true },
+            )
+            .expect("opt-in accepts the loosening publish");
+        let changelog = outcome.changelog.expect("changelog attached");
+        assert!(changelog.has_loosening());
+        assert_eq!(reg.revision_count(), 2);
+        let (cur, _, _) = reg.current(DeviceKind::Fdc, QemuVersion::Patched).unwrap();
+        assert_eq!(cur, outcome.key);
+    }
+
+    #[test]
+    fn tightening_publish_lands_without_opt_in_and_carries_changelog() {
+        let reg = SpecRegistry::new();
+        reg.publish(DeviceKind::Fdc, QemuVersion::Patched, bigger_spec()).unwrap();
+        // Narrowing the spec (fewer trained behaviours) only tightens:
+        // no opt-in required, and the changelog names the direction.
+        let outcome = reg
+            .publish(DeviceKind::Fdc, QemuVersion::Patched, small_spec())
+            .expect("tightening publish needs no opt-in");
+        let changelog = outcome.changelog.expect("changelog attached");
+        assert!(!changelog.has_loosening(), "{}", changelog.delta.render_human());
+        assert!(!changelog.delta.is_empty());
     }
 }

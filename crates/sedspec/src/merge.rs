@@ -178,6 +178,16 @@ pub fn merge(
         }
     }
     debug_assert!(base.cmd_table.validate().is_ok(), "merge broke the command table sort");
+    for obs in &other.observed_ranges {
+        match base.observed_ranges.binary_search_by_key(&obs.var, |r| r.var) {
+            Ok(i) => {
+                let dst = &mut base.observed_ranges[i];
+                dst.lo = dst.lo.min(obs.lo);
+                dst.hi = dst.hi.max(obs.hi);
+            }
+            Err(i) => base.observed_ranges.insert(i, *obs),
+        }
+    }
     base.stats.training_rounds += other.stats.training_rounds;
     base.stats.es_blocks = base.cfgs.iter().map(|c| c.blocks.len() as u64).sum();
     base.stats.es_edges = base.cfgs.iter().map(|c| c.edge_count() as u64).sum();

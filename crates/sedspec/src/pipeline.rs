@@ -9,8 +9,10 @@ use crate::collect::{collect_script, CollectionResult, TrainStep};
 use crate::construct::construct;
 use crate::deprecover::{recover, RecoveryMode};
 use crate::enforce::EnforcingDevice;
+use crate::observe::ObsEvent;
+use crate::params::DeviceStateParams;
 use crate::reduce::reduce;
-use crate::spec::{ExecutionSpecification, SpecStats};
+use crate::spec::{ExecutionSpecification, ObservedRange, SpecStats};
 
 /// Knobs for the training pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -139,10 +141,46 @@ pub fn train_script_with_artifacts(
         params: collection.params.clone(),
         cfgs: built.cfgs,
         cmd_table: built.cmd_table,
+        observed_ranges: observed_ranges(&collection.params, &collection.log),
         stats,
     };
     device.reset();
     Ok((spec, collection))
+}
+
+/// Folds the state-change log into per-param value envelopes: every raw
+/// value a selected variable held (before or after a write) or received
+/// from a sync-point load widens that variable's range.
+fn observed_ranges(
+    params: &DeviceStateParams,
+    log: &crate::observe::DeviceStateChangeLog,
+) -> Vec<ObservedRange> {
+    let mut ranges: std::collections::BTreeMap<sedspec_dbl::ir::VarId, ObservedRange> =
+        std::collections::BTreeMap::new();
+    let mut note = |var: sedspec_dbl::ir::VarId, value: u64| {
+        ranges.entry(var).and_modify(|r| r.absorb(value)).or_insert(ObservedRange {
+            var,
+            lo: value,
+            hi: value,
+        });
+    };
+    for round in &log.rounds {
+        for ev in &round.events {
+            match *ev {
+                ObsEvent::VarWrite { var, old, new, .. } if params.contains_var(var) => {
+                    note(var, old);
+                    note(var, new);
+                }
+                ObsEvent::ExternalLoad { var: Some(var), value, .. }
+                    if params.contains_var(var) =>
+                {
+                    note(var, value);
+                }
+                _ => {}
+            }
+        }
+    }
+    ranges.into_values().collect()
 }
 
 /// Wraps a device with an enforcing checker in the given working mode.

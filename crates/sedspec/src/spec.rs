@@ -2,10 +2,33 @@
 
 use serde::{Deserialize, Serialize};
 
+use sedspec_dbl::ir::VarId;
+
 use crate::deprecover::RecoveryReport;
 use crate::escfg::{CommandAccessTable, EsCfg};
 use crate::params::DeviceStateParams;
 use crate::reduce::ReduceReport;
+
+/// The value range one selected parameter was observed to take during
+/// training — the empirical envelope the deep analyzer's trained-range
+/// escape pass (`SA505`) compares the static fixpoint against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObservedRange {
+    /// The selected parameter.
+    pub var: VarId,
+    /// Smallest raw value observed (writes and sync-point loads).
+    pub lo: u64,
+    /// Largest raw value observed.
+    pub hi: u64,
+}
+
+impl ObservedRange {
+    /// Folds another observation into the range.
+    pub fn absorb(&mut self, value: u64) {
+        self.lo = self.lo.min(value);
+        self.hi = self.hi.max(value);
+    }
+}
 
 /// A complete execution specification for one emulated device.
 ///
@@ -25,6 +48,8 @@ pub struct ExecutionSpecification {
     pub cfgs: Vec<EsCfg>,
     /// Device-global command access table.
     pub cmd_table: CommandAccessTable,
+    /// Per-param value envelopes observed during training, sorted by var.
+    pub observed_ranges: Vec<ObservedRange>,
     /// Training statistics.
     pub stats: SpecStats,
 }
@@ -69,5 +94,13 @@ impl ExecutionSpecification {
     /// Total observed edges.
     pub fn edge_count(&self) -> usize {
         self.cfgs.iter().map(EsCfg::edge_count).sum()
+    }
+
+    /// Looks up the training-observed value envelope for one param.
+    pub fn observed_range(&self, var: VarId) -> Option<&ObservedRange> {
+        self.observed_ranges
+            .binary_search_by_key(&var, |r| r.var)
+            .ok()
+            .map(|i| &self.observed_ranges[i])
     }
 }

@@ -168,8 +168,28 @@ impl CtlClient {
         version: QemuVersion,
         spec_json: String,
     ) -> Result<(SpecKey, u64), ClientError> {
-        match self.call(RequestBody::PublishSpec { device, version, spec_json })? {
-            ResponseBody::Published { key, epoch } => Ok((key, epoch)),
+        self.publish_spec_with(device, version, spec_json, false)
+            .map(|(key, epoch, _)| (key, epoch))
+    }
+
+    /// Publishes a specification revision with an explicit loosening
+    /// opt-in, returning the stored key, channel epoch, and the
+    /// daemon's semantic-changelog summary.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CtlClient::call`]; gate refusals (analyzer errors or a
+    /// loosening delta without `allow_loosening`) arrive as
+    /// [`ErrCode::SpecRejected`] server errors.
+    pub fn publish_spec_with(
+        &mut self,
+        device: DeviceKind,
+        version: QemuVersion,
+        spec_json: String,
+        allow_loosening: bool,
+    ) -> Result<(SpecKey, u64, String), ClientError> {
+        match self.call(RequestBody::PublishSpec { device, version, spec_json, allow_loosening })? {
+            ResponseBody::Published { key, epoch, changelog } => Ok((key, epoch, changelog)),
             other => Err(unexpected(&other)),
         }
     }

@@ -52,7 +52,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use sedspec::spec::ExecutionSpecification;
 use sedspec_fleet::pool::{EnforcementPool, PoolError, TenantId};
-use sedspec_fleet::registry::{PublishJsonError, SpecRegistry};
+use sedspec_fleet::registry::{PublishJsonError, PublishOptions, SpecRegistry};
 use sedspec_fleet::telemetry::AlertEvent;
 use sedspec_obs::{ObsHub, ScopeId, ScopeInfo, TraceEventKind, WindowConfig, WindowReport};
 
@@ -524,9 +524,12 @@ impl Daemon {
                     protocol: PROTOCOL_VERSION,
                 },
             ),
-            RequestBody::PublishSpec { device, version, spec_json } => {
-                match self.registry.publish_json(*device, *version, spec_json) {
-                    Ok(key) => {
+            RequestBody::PublishSpec { device, version, spec_json, allow_loosening } => {
+                let options = PublishOptions { allow_loosening: *allow_loosening };
+                match self.registry.publish_json_with(*device, *version, spec_json, &options) {
+                    Ok(outcome) => {
+                        let key = outcome.key;
+                        let changelog = outcome.changelog_summary();
                         let epoch = self.registry.epoch(*device, *version);
                         // Journal the *stored* form so a restart
                         // restores revisions byte-identically.
@@ -541,14 +544,14 @@ impl Daemon {
                             spec_json: canonical,
                         };
                         match self.journal(&mut core, "PublishSpec", record) {
-                            Ok(()) => ok(id, ResponseBody::Published { key, epoch }),
+                            Ok(()) => ok(id, ResponseBody::Published { key, epoch, changelog }),
                             Err(e) => err(id, ErrCode::Store, e.to_string()),
                         }
                     }
                     Err(e @ PublishJsonError::Parse(_)) => {
                         err(id, ErrCode::BadRequest, e.to_string())
                     }
-                    Err(e @ PublishJsonError::Rejected(_)) => {
+                    Err(e @ PublishJsonError::Gate(_)) => {
                         err(id, ErrCode::SpecRejected, e.to_string())
                     }
                 }

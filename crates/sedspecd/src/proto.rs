@@ -65,6 +65,10 @@ pub enum RequestBody {
         version: QemuVersion,
         /// The revision's shipping JSON.
         spec_json: String,
+        /// Accept a revision whose semantic diff against the incumbent
+        /// loosens enforcement (`SpecRegistry::publish_with`); without
+        /// it such a revision is refused with `SpecRejected`.
+        allow_loosening: bool,
     },
     /// Host a tenant on the pool (admin). Journaled, so a restart
     /// re-hosts it.
@@ -198,6 +202,9 @@ pub enum ResponseBody {
         key: SpecKey,
         /// Channel epoch after the publish.
         epoch: u64,
+        /// Semantic changelog vs the displaced incumbent
+        /// (`"first revision"` when the channel was empty).
+        changelog: String,
     },
     /// The tenant is hosted and journaled.
     TenantAdded {

@@ -169,11 +169,13 @@ fn crash_restart_replays_the_wal_alone() {
                 device: DeviceKind::Fdc,
                 version: QemuVersion::Patched,
                 spec_json: spec_json(),
+                allow_loosening: false,
             },
         ));
         key = match published.body {
-            ResponseBody::Published { key, epoch } => {
+            ResponseBody::Published { key, epoch, changelog } => {
                 assert_eq!(epoch, 1);
+                assert_eq!(changelog, "first revision");
                 key
             }
             other => panic!("publish failed: {other:?}"),

@@ -60,7 +60,7 @@ fn main() {
     );
     let registry = Arc::new(SpecRegistry::new());
     let first =
-        registry.publish(kind, version, dev_spec.clone()).expect("merged spec passes the gate");
+        registry.publish(kind, version, dev_spec.clone()).expect("merged spec passes the gate").key;
     println!("published {first}");
 
     // ...and three tenants deploy from it on a two-shard pool with an
@@ -91,7 +91,7 @@ fn main() {
     // at its next batch, no restart needed.
     let mut grown = dev_spec;
     grown.stats.training_rounds += 1; // stand-in for further training
-    let second = registry.publish(kind, version, grown).expect("grown spec passes the gate");
+    let second = registry.publish(kind, version, grown).expect("grown spec passes the gate").key;
     let ticket = pool.submit_steps(TenantId(0), dev_suite[4].clone()).unwrap();
     assert_eq!(pool.wait(ticket).unwrap().flagged, 0);
     let status = pool.report();
