@@ -4,6 +4,8 @@
 //! sedspec train  <device> [--cases N] [--seed S] [--out spec.json]
 //! sedspec inspect <spec.json>
 //! sedspec attack <cve> [--spec spec.json] [--mode protection|enhancement]
+//! sedspec fuzz   --device D [--seed S] [--rounds N] [--qemu-version V]
+//!                [--corpus DIR] [--export DIR] [--json]
 //! sedspec fleet  [--tenants K] [--shards N] [--cases C] [--batches B] [--seed S]
 //! sedspec bench-checker [--cases N] [--out BENCH_checker.json]
 //! sedspec obs-report [--cases N] [--top K] [--metrics] [--trace]
@@ -215,7 +217,7 @@ fn cmd_attack(args: &[String]) -> ExitCode {
         }
     };
     let mut device = build_device(p.device, p.qemu_version);
-    device.set_limits(sedspec_dbl::interp::ExecLimits { max_steps: 50_000 });
+    device.set_limits(sedspec_dbl::interp::ExecLimits { max_steps: 50_000, ..Default::default() });
     let mut enforcer = EnforcingDevice::new(device, spec, mode);
     let mut ctx = VmContext::new(0x200000, 8192);
     for (i, step) in p.steps.iter().enumerate() {
@@ -257,6 +259,104 @@ fn injected_cve(tenant: u64) -> Option<Cve> {
     } else {
         None
     }
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let Some(kind) = flag(args, "--device").and_then(parse_device) else {
+        eprintln!(
+            "usage: sedspec fuzz --device <fdc|ehci|pcnet|sdhci|scsi> [--seed S] [--rounds N] \
+             [--qemu-version V] [--corpus DIR] [--export DIR] [--json]"
+        );
+        return ExitCode::from(2);
+    };
+    let version = match flag(args, "--qemu-version") {
+        None => QemuVersion::Patched,
+        Some(v) => match sedspec_fuzz::parse_version(v) {
+            Some(v) => v,
+            None => {
+                eprintln!("unknown version {v:?} (try: {})", {
+                    let names: Vec<String> =
+                        QemuVersion::all().iter().map(ToString::to_string).collect();
+                    names.join(", ")
+                });
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let opts = sedspec_fuzz::FuzzOptions {
+        device: kind,
+        version,
+        seed: flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1),
+        rounds: flag(args, "--rounds").and_then(|s| s.parse().ok()).unwrap_or(20_000),
+        corpus_dir: flag(args, "--corpus").map(std::path::PathBuf::from),
+    };
+    let out = match sedspec_fuzz::run_campaign(&opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = flag(args, "--export") {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("fuzz: create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for (name, body) in out.export_artifacts() {
+            if let Err(e) = std::fs::write(dir.join(&name), body) {
+                eprintln!("fuzz: write {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = &out.report;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "fuzz {} @ {}  seed={} budget={} rounds",
+            report.device, report.version, report.seed, report.round_budget
+        );
+        println!(
+            "  executed {} inputs / {} rounds, corpus {} entries",
+            report.inputs, report.rounds_run, report.corpus_size
+        );
+        println!(
+            "  ES-block coverage {}/{} ({}.{}%)",
+            report.covered_blocks,
+            report.total_blocks,
+            report.coverage_permille / 10,
+            report.coverage_permille % 10
+        );
+        if report.findings.is_empty() {
+            println!("  findings: none");
+        } else {
+            println!("  findings:");
+            for f in &report.findings {
+                println!(
+                    "    {:<15} damage={:<10} violation={:<20} site={:?} ({} steps)",
+                    f.class,
+                    f.damage.as_deref().unwrap_or("-"),
+                    f.violation.as_deref().unwrap_or("-"),
+                    f.site,
+                    f.steps_len
+                );
+            }
+        }
+        let suspect = report.dead_spec.iter().filter(|d| d.static_code.is_some()).count();
+        println!(
+            "  dead spec: {} unreached blocks ({} also flagged by deep static passes)",
+            report.dead_spec.len(),
+            suspect
+        );
+    }
+    // CI contract: a false negative against this build means the spec
+    // missed real device damage — fail loudly.
+    if report.count(sedspec_fuzz::FindingClass::FalseNegative) > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_fleet(args: &[String]) -> ExitCode {
@@ -1612,6 +1712,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("attack") => cmd_attack(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("bench-checker") => cmd_bench_checker(&args[1..]),
         Some("obs-report") => cmd_obs_report(&args[1..]),
@@ -1635,7 +1736,7 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: sedspec <train|inspect|attack|fleet|bench-checker|obs-report|lint-spec|spec-diff|chaos|serve|ctl|devices|cves> ..."
+                "usage: sedspec <train|inspect|attack|fuzz|fleet|bench-checker|obs-report|lint-spec|spec-diff|chaos|serve|ctl|devices|cves> ..."
             );
             ExitCode::from(2)
         }

@@ -183,7 +183,7 @@ fn run_case_study(cve: Cve, strategy: Strategy) -> bool {
     let p = poc(cve);
     let (spec, _) = trained_spec(p.device, p.qemu_version);
     let mut device = build_device(p.device, p.qemu_version);
-    device.set_limits(sedspec_dbl::interp::ExecLimits { max_steps: 50_000 });
+    device.set_limits(sedspec_dbl::interp::ExecLimits { max_steps: 50_000, ..Default::default() });
     let mut enforcer = EnforcingDevice::new(device, spec, WorkingMode::Protection)
         .with_config(CheckConfig::only(strategy));
     let mut ctx = VmContext::new(0x200000, 8192);

@@ -50,6 +50,16 @@ pub enum Fault {
         /// Offending block.
         block: BlockId,
     },
+    /// A DMA/frame intrinsic asked for more bytes than the per-round
+    /// budget allows (guest-controlled length would otherwise buy
+    /// unbounded host allocation and copy work that `max_steps` cannot
+    /// see, since the whole transfer happens inside one block).
+    DmaLimit {
+        /// Bytes the round had moved, including the offending request.
+        requested: u64,
+        /// The configured budget.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for Fault {
@@ -63,6 +73,9 @@ impl std::fmt::Display for Fault {
             Fault::Arith(e) => write!(f, "arithmetic fault: {e}"),
             Fault::ReturnWithoutCall { block } => {
                 write!(f, "return with empty call stack in block {}", block.0)
+            }
+            Fault::DmaLimit { requested, limit } => {
+                write!(f, "dma byte budget exceeded: {requested} bytes requested, limit {limit}")
             }
         }
     }
@@ -87,11 +100,17 @@ impl From<ArithError> for Fault {
 pub struct ExecLimits {
     /// Maximum number of block transitions per handler invocation.
     pub max_steps: u64,
+    /// Maximum bytes any one invocation may move through DMA, disk and
+    /// network intrinsics combined. Transfer lengths are guest data;
+    /// without a budget a malformed stream buys an allocation and a
+    /// byte-copy loop proportional to an arbitrary register value,
+    /// invisible to `max_steps` (the transfer is a single block).
+    pub max_dma_bytes: u64,
 }
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { max_steps: 200_000 }
+        ExecLimits { max_steps: 200_000, max_dma_bytes: 4 << 20 }
     }
 }
 
@@ -107,6 +126,9 @@ pub struct ExecOutcome {
     pub spills: u64,
     /// Ground truth: arithmetic anomalies accumulated across the run.
     pub overflow: OverflowFlags,
+    /// Bytes moved by DMA, disk and network intrinsics this invocation
+    /// (the quantity [`ExecLimits::max_dma_bytes`] bounds).
+    pub dma_bytes: u64,
 }
 
 /// Observer interface for tracing and observation points.
@@ -552,11 +574,24 @@ impl<'p> Interpreter<'p> {
         let ev = |e: &Expr, state: &CsState, locals: &[TypedValue], flags: &mut OverflowFlags| {
             eval_expr_fast(e, &EvalCtx { cs: state, locals, io: req }, flags)
         };
+        // Charges `n` transfer bytes against the round's DMA budget
+        // *before* any allocation or copy loop sized by `n` runs.
+        let charge = |n: u64, out: &mut ExecOutcome| -> Result<(), Fault> {
+            out.dma_bytes = out.dma_bytes.saturating_add(n);
+            if out.dma_bytes > self.limits.max_dma_bytes {
+                return Err(Fault::DmaLimit {
+                    requested: out.dma_bytes,
+                    limit: self.limits.max_dma_bytes,
+                });
+            }
+            Ok(())
+        };
         match i {
             Intrinsic::DmaToBuf { buf, buf_off, gpa, len } => {
                 let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
                 let addr = ev(gpa, state, locals, flags)?.bits;
                 let n = ev(len, state, locals, flags)?.as_i128().max(0) as u64;
+                charge(n, out)?;
                 // Guest-memory errors tolerated: unreadable bytes read as 0.
                 let data =
                     ctx.mem.read_vec(addr, n as usize).unwrap_or_else(|_| vec![0; n as usize]);
@@ -575,6 +610,7 @@ impl<'p> Interpreter<'p> {
                 let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
                 let addr = ev(gpa, state, locals, flags)?.bits;
                 let n = ev(len, state, locals, flags)?.as_i128().max(0) as u64;
+                charge(n, out)?;
                 let mut data = Vec::with_capacity(n as usize);
                 for k in 0..n {
                     let (byte, effect) = state.buf_read(*buf, off + k as i64)?;
@@ -619,6 +655,7 @@ impl<'p> Interpreter<'p> {
             Intrinsic::DiskReadToBuf { buf, buf_off, sector } => {
                 let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
                 let s = ev(sector, state, locals, flags)?.bits;
+                charge(sedspec_vmm::SECTOR_SIZE as u64, out)?;
                 let data =
                     ctx.disk.read_sector(s).unwrap_or_else(|_| vec![0; sedspec_vmm::SECTOR_SIZE]);
                 hook.on_external_buf(*buf, off, &data);
@@ -635,6 +672,7 @@ impl<'p> Interpreter<'p> {
             Intrinsic::DiskWriteFromBuf { buf, buf_off, sector } => {
                 let off = ev(buf_off, state, locals, flags)?.as_i128() as i64;
                 let s = ev(sector, state, locals, flags)?.bits;
+                charge(sedspec_vmm::SECTOR_SIZE as u64, out)?;
                 let mut data = vec![0u8; sedspec_vmm::SECTOR_SIZE];
                 for (k, slot) in data.iter_mut().enumerate() {
                     let (byte, effect) = state.buf_read(*buf, off + k as i64)?;
@@ -649,6 +687,7 @@ impl<'p> Interpreter<'p> {
             Intrinsic::NetTransmit { buf, off, len } => {
                 let o = ev(off, state, locals, flags)?.as_i128() as i64;
                 let n = ev(len, state, locals, flags)?.as_i128().max(0) as i64;
+                charge(n as u64, out)?;
                 let mut frame = Vec::with_capacity(n as usize);
                 for k in 0..n {
                     let (byte, effect) = state.buf_read(*buf, o + k)?;
@@ -809,12 +848,9 @@ mod tests {
         b.jump(e);
         let p = b.finish().unwrap();
         let mut st = cs.instantiate();
-        let r = Interpreter::new(&p, &cs).with_limits(ExecLimits { max_steps: 100 }).run(
-            &mut st,
-            &mut ctx(),
-            &wreq(0),
-            &mut NullHook,
-        );
+        let r = Interpreter::new(&p, &cs)
+            .with_limits(ExecLimits { max_steps: 100, ..ExecLimits::default() })
+            .run(&mut st, &mut ctx(), &wreq(0), &mut NullHook);
         assert!(matches!(r, Err(Fault::StepLimit { limit: 100 })));
     }
 
@@ -915,6 +951,106 @@ mod tests {
             Interpreter::new(&p, &cs).run(&mut st, &mut ctx(), &wreq(0), &mut NullHook).unwrap();
         assert!(out.overflow.arithmetic);
         assert_eq!(st.var(a), 1);
+    }
+
+    /// Budget-regression helper: a single-block program running `i`
+    /// under a tight DMA budget, expected to fault typed, not allocate.
+    fn run_charged(cs: &ControlStructure, i: Intrinsic, budget: u64) -> Result<ExecOutcome, Fault> {
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        b.intrinsic(i);
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        Interpreter::new(&p, cs)
+            .with_limits(ExecLimits { max_dma_bytes: budget, ..ExecLimits::default() })
+            .run(&mut st, &mut ctx(), &wreq(0), &mut NullHook)
+    }
+
+    #[test]
+    fn dma_to_buf_over_budget_is_typed_fault() {
+        // A guest-length DMA read beyond the budget must fail *before*
+        // the `vec![0; n]` fallback sizes an allocation by guest data.
+        let mut cs = ControlStructure::new("T");
+        let buf = cs.buffer("buf", 8);
+        let i = Intrinsic::DmaToBuf {
+            buf,
+            buf_off: Expr::lit(0),
+            gpa: Expr::lit(0x100),
+            len: Expr::lit(u64::from(u32::MAX)),
+        };
+        let r = run_charged(&cs, i, 1024);
+        assert!(matches!(r, Err(Fault::DmaLimit { limit: 1024, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn dma_from_buf_over_budget_is_typed_fault() {
+        let mut cs = ControlStructure::new("T");
+        let buf = cs.buffer("buf", 8);
+        let i = Intrinsic::DmaFromBuf {
+            buf,
+            buf_off: Expr::lit(0),
+            gpa: Expr::lit(0x100),
+            len: Expr::lit(u64::from(u32::MAX)),
+        };
+        let r = run_charged(&cs, i, 1024);
+        assert!(matches!(r, Err(Fault::DmaLimit { limit: 1024, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn net_transmit_over_budget_is_typed_fault() {
+        let mut cs = ControlStructure::new("T");
+        let buf = cs.buffer("buf", 8);
+        let i =
+            Intrinsic::NetTransmit { buf, off: Expr::lit(0), len: Expr::lit(u64::from(u32::MAX)) };
+        let r = run_charged(&cs, i, 1024);
+        assert!(matches!(r, Err(Fault::DmaLimit { limit: 1024, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn disk_intrinsics_charge_sector_size() {
+        let mut cs = ControlStructure::new("T");
+        let buf = cs.buffer("buf", sedspec_vmm::SECTOR_SIZE);
+        let rd = Intrinsic::DiskReadToBuf { buf, buf_off: Expr::lit(0), sector: Expr::lit(0) };
+        let out = run_charged(&cs, rd.clone(), 1 << 20).unwrap();
+        assert_eq!(out.dma_bytes, sedspec_vmm::SECTOR_SIZE as u64);
+        // One sector over a sub-sector budget faults instead of copying.
+        let r = run_charged(&cs, rd, 64);
+        assert!(matches!(r, Err(Fault::DmaLimit { limit: 64, .. })), "{r:?}");
+        let wr = Intrinsic::DiskWriteFromBuf { buf, buf_off: Expr::lit(0), sector: Expr::lit(0) };
+        let r = run_charged(&cs, wr, 64);
+        assert!(matches!(r, Err(Fault::DmaLimit { limit: 64, .. })), "{r:?}");
+    }
+
+    #[test]
+    fn dma_budget_accumulates_across_transfers_in_one_round() {
+        let mut cs = ControlStructure::new("T");
+        let buf = cs.buffer("buf", 8);
+        let mut b = ProgramBuilder::new("p");
+        let e = b.entry_block("e");
+        b.select(e);
+        for _ in 0..3 {
+            b.intrinsic(Intrinsic::DmaToBuf {
+                buf,
+                buf_off: Expr::lit(0),
+                gpa: Expr::lit(0x100),
+                len: Expr::lit(4),
+            });
+        }
+        b.exit();
+        let p = b.finish().unwrap();
+        let mut st = cs.instantiate();
+        let out = Interpreter::new(&p, &cs)
+            .with_limits(ExecLimits { max_dma_bytes: 12, ..ExecLimits::default() })
+            .run(&mut st, &mut ctx(), &wreq(0), &mut NullHook)
+            .unwrap();
+        assert_eq!(out.dma_bytes, 12);
+        let mut st2 = cs.instantiate();
+        let r = Interpreter::new(&p, &cs)
+            .with_limits(ExecLimits { max_dma_bytes: 11, ..ExecLimits::default() })
+            .run(&mut st2, &mut ctx(), &wreq(0), &mut NullHook);
+        assert!(matches!(r, Err(Fault::DmaLimit { requested: 12, limit: 11 })), "{r:?}");
     }
 
     #[test]

@@ -893,7 +893,7 @@ mod tests {
     #[test]
     fn cve_2016_7909_zero_ring_hangs_vulnerable_device() {
         let mut d = build(QemuVersion::V2_6_0);
-        d.set_limits(ExecLimits { max_steps: 10_000 });
+        d.set_limits(ExecLimits { max_steps: 10_000, ..ExecLimits::default() });
         let mut c = ctx();
         bring_up(&mut d, &mut c, 0, 8);
         write_csr(&mut d, &mut c, csr::RCVRL, 0); // accepted as-is

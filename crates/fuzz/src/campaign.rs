@@ -1,0 +1,281 @@
+//! The coverage-guided campaign driver.
+//!
+//! One campaign = one `(device, version)` pair, one seed, one round
+//! budget. The loop is classic grey-box: pick a corpus parent, mutate
+//! it (optionally splicing a donor), replay it through the lockstep
+//! oracle, keep it iff it lit up a `(handler, block)` edge the corpus
+//! has not seen. Everything downstream of the seed is deterministic —
+//! no wall clock, no map-order dependence — so `(seed, corpus,
+//! rounds)` fully reproduces a run, byte for byte.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use sedspec::collect::TrainStep;
+use sedspec::escfg::gid;
+use sedspec_analysis::analyze_deep_full;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_obs::CoverageMap;
+use sedspec_workloads::generators::training_suite;
+
+use crate::corpus::{self, Artifact};
+use crate::mutate::Mutator;
+use crate::oracle::{FindingClass, Oracle};
+use crate::report::{coverage_triples, DeadSpecEntry, Finding, FindingSummary, FuzzReport};
+use crate::rng::FuzzRng;
+use crate::train::trained_compiled;
+
+/// Default seed-corpus size when no corpus directory is given.
+const DEFAULT_SEEDS: usize = 4;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Target device.
+    pub device: DeviceKind,
+    /// Target device version.
+    pub version: QemuVersion,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Bare-side I/O round budget.
+    pub rounds: u64,
+    /// Optional directory of seed artifacts (`*.json`).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+/// Everything a finished campaign produced.
+pub struct CampaignOutput {
+    /// The deterministic report (what `--json` prints).
+    pub report: FuzzReport,
+    /// Deduplicated findings with witness streams, ordered by key.
+    pub findings: Vec<Finding>,
+    /// Final corpus (every input that contributed new coverage).
+    pub corpus: Vec<Vec<TrainStep>>,
+    /// Cumulative coverage over the whole campaign.
+    pub coverage: CoverageMap,
+    /// The oracle, reusable for minimization / artifact export.
+    pub oracle: Oracle,
+}
+
+impl CampaignOutput {
+    /// Minimizes the corpus (greedy set cover over oracle coverage)
+    /// and serializes it plus every finding as artifact files, ready
+    /// to commit under `ci/fuzz-corpus/<device>/`. Returns
+    /// `(file name, contents)` pairs; the caller does the writing.
+    pub fn export_artifacts(&self) -> Vec<(String, String)> {
+        let kept = corpus::minimize(&self.corpus, &self.oracle);
+        let mut out = Vec::new();
+        for (n, &idx) in kept.iter().enumerate() {
+            let steps = self.corpus[idx].clone();
+            let (expected, _) = self.oracle.run(&steps);
+            let artifact = Artifact {
+                device: self.report.device.clone(),
+                version: self.report.version.clone(),
+                steps,
+                expected,
+            };
+            out.push((format!("corpus-{n:03}.json"), artifact.to_json()));
+        }
+        for (n, f) in self.findings.iter().enumerate() {
+            let artifact = Artifact {
+                device: self.report.device.clone(),
+                version: self.report.version.clone(),
+                steps: f.steps.clone(),
+                expected: f.classification.clone(),
+            };
+            out.push((
+                format!("finding-{}-{n:03}.json", f.classification.class.name()),
+                artifact.to_json(),
+            ));
+        }
+        out
+    }
+}
+
+/// Runs one campaign to its round budget.
+///
+/// # Errors
+///
+/// Fails only on corpus-directory I/O (missing dir is fine — the
+/// campaign self-seeds; unreadable/malformed artifacts are not).
+pub fn run_campaign(opts: &FuzzOptions) -> io::Result<CampaignOutput> {
+    let compiled = trained_compiled(opts.device, opts.version);
+    let spec = Arc::clone(compiled.spec_arc());
+    let oracle = Oracle::new(opts.device, opts.version, Arc::clone(&compiled));
+    let mutator = Mutator::new(build_device(opts.device, opts.version).regions.clone());
+    let mut rng = FuzzRng::new(opts.seed);
+
+    // Seed corpus: committed artifacts if a directory was given and
+    // exists, otherwise a few benign bring-up cases so the walk starts
+    // from trained territory instead of dying at the first access.
+    let mut seeds: Vec<Vec<TrainStep>> = Vec::new();
+    if let Some(dir) = &opts.corpus_dir {
+        if dir.is_dir() {
+            for (_, artifact) in corpus::load_dir(dir)? {
+                seeds.push(artifact.steps);
+            }
+        }
+    }
+    if seeds.is_empty() {
+        seeds.extend(training_suite(opts.device, DEFAULT_SEEDS, opts.seed));
+    }
+
+    let mut coverage = CoverageMap::new();
+    let mut corpus_entries: Vec<Vec<TrainStep>> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen_keys: Vec<String> = Vec::new();
+    let mut rounds_run = 0u64;
+    let mut inputs = 0u64;
+
+    let execute = |steps: Vec<TrainStep>,
+                   coverage: &mut CoverageMap,
+                   corpus_entries: &mut Vec<Vec<TrainStep>>,
+                   findings: &mut Vec<Finding>,
+                   seen_keys: &mut Vec<String>,
+                   rounds_run: &mut u64,
+                   inputs: &mut u64| {
+        let (classification, cov) = oracle.run(&steps);
+        // Even a stream of unrouted steps costs budget, or a degenerate
+        // mutant could spin the loop forever.
+        *rounds_run += classification.rounds.max(1);
+        *inputs += 1;
+        if coverage.absorb(&cov) > 0 {
+            corpus_entries.push(steps.clone());
+        }
+        if classification.class != FindingClass::Clean {
+            let key = classification.dedup_key();
+            if !seen_keys.contains(&key) {
+                seen_keys.push(key);
+                findings.push(Finding { classification, steps });
+            }
+        }
+    };
+
+    for steps in seeds {
+        execute(
+            steps,
+            &mut coverage,
+            &mut corpus_entries,
+            &mut findings,
+            &mut seen_keys,
+            &mut rounds_run,
+            &mut inputs,
+        );
+    }
+    if corpus_entries.is_empty() {
+        // Nothing covered anything (empty seeds): start from scratch.
+        corpus_entries.push(Vec::new());
+    }
+
+    while rounds_run < opts.rounds {
+        let parent = &corpus_entries[rng.index(corpus_entries.len())];
+        let donor_idx = rng.index(corpus_entries.len());
+        let mutant = mutator.mutate(parent, Some(&corpus_entries[donor_idx].clone()), &mut rng);
+        execute(
+            mutant,
+            &mut coverage,
+            &mut corpus_entries,
+            &mut findings,
+            &mut seen_keys,
+            &mut rounds_run,
+            &mut inputs,
+        );
+    }
+
+    // Order findings by dedup key so reports are stable regardless of
+    // discovery order drift between corpus layouts.
+    findings.sort_by_key(|f| f.classification.dedup_key());
+
+    // Dead spec: deployed blocks no input reached, cross-checked
+    // against the deep static passes (SA501 dead shadow writes, SA504
+    // guest-pinnable cycles) — agreement means the block is suspect,
+    // not merely under-fuzzed.
+    let deep = analyze_deep_full(&spec);
+    let suspect: Vec<(u64, String)> = deep
+        .diagnostics
+        .iter()
+        .filter(|d| (d.code == "SA501" || d.code == "SA504") && d.gid.is_some())
+        .map(|d| (d.gid.expect("filtered on Some"), d.code.clone()))
+        .collect();
+    let mut dead_spec = Vec::new();
+    for cfg in &spec.cfgs {
+        for (es, block) in cfg.blocks.iter().enumerate() {
+            let es = es as u32;
+            let program = cfg.program as u32;
+            if coverage.contains(program, es) {
+                continue;
+            }
+            let g = gid(cfg.program, es);
+            dead_spec.push(DeadSpecEntry {
+                program,
+                handler: cfg.name.clone(),
+                block: es,
+                label: block.label.clone(),
+                static_code: suspect.iter().find(|(sg, _)| *sg == g).map(|(_, c)| c.clone()),
+            });
+        }
+    }
+
+    let total_blocks = spec.block_count();
+    let covered_blocks = coverage.covered();
+    let report = FuzzReport {
+        device: crate::train::kind_slug(opts.device).to_string(),
+        version: opts.version.to_string(),
+        seed: opts.seed,
+        round_budget: opts.rounds,
+        rounds_run,
+        inputs,
+        corpus_size: corpus_entries.len(),
+        covered_blocks,
+        total_blocks,
+        coverage_permille: if total_blocks == 0 {
+            0
+        } else {
+            (covered_blocks as u64 * 1000) / total_blocks as u64
+        },
+        coverage: coverage_triples(&coverage),
+        findings: findings.iter().map(FindingSummary::of).collect(),
+        dead_spec,
+    };
+
+    Ok(CampaignOutput { report, findings, corpus: corpus_entries, coverage, oracle })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(version: QemuVersion, seed: u64, rounds: u64) -> FuzzOptions {
+        FuzzOptions { device: DeviceKind::Fdc, version, seed, rounds, corpus_dir: None }
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let a = run_campaign(&opts(QemuVersion::Patched, 11, 400)).unwrap();
+        let b = run_campaign(&opts(QemuVersion::Patched, 11, 400)).unwrap();
+        assert_eq!(a.report.to_json(), b.report.to_json());
+        assert_eq!(a.coverage.to_json(), b.coverage.to_json());
+    }
+
+    #[test]
+    fn campaign_makes_progress_and_reports_coverage() {
+        let out = run_campaign(&opts(QemuVersion::Patched, 7, 400)).unwrap();
+        assert!(out.report.rounds_run >= 400);
+        assert!(out.report.covered_blocks > 0);
+        assert!(out.report.total_blocks >= out.report.covered_blocks);
+        assert!(!out.corpus.is_empty());
+    }
+
+    #[test]
+    fn export_artifacts_replays_clean() {
+        let out = run_campaign(&opts(QemuVersion::Patched, 3, 200)).unwrap();
+        let files = out.export_artifacts();
+        assert!(!files.is_empty());
+        for (name, body) in &files {
+            let artifact = Artifact::from_json(body).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (got, _) = out.oracle.run(&artifact.steps);
+            assert_eq!(got, artifact.expected, "{name}");
+        }
+    }
+}

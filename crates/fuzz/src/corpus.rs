@@ -1,0 +1,187 @@
+//! Corpus and artifact lifecycle.
+//!
+//! Artifacts are self-contained JSON files: device, version, the step
+//! stream, and the classification the producing campaign observed. A
+//! regression run replays the stream with the canonical training
+//! recipe ([`crate::train`]) and asserts the classification matches
+//! byte for byte — any drift in device models, spec construction or
+//! checker semantics shows up as a failing artifact, pinned to a file.
+//!
+//! On disk a corpus is a directory of `*.json` files; load order is
+//! sorted by file name so campaigns seeded from a directory are
+//! deterministic regardless of readdir order.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use sedspec::collect::TrainStep;
+use sedspec_obs::CoverageMap;
+
+use crate::oracle::{Classification, Oracle};
+
+/// One replayable corpus entry / crash artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Artifact {
+    /// Device short name (`DeviceKind::name`).
+    pub device: String,
+    /// Version string (`QemuVersion` display form).
+    pub version: String,
+    /// The input stream.
+    pub steps: Vec<TrainStep>,
+    /// Verdict the producing campaign observed (and CI re-asserts).
+    pub expected: Classification,
+}
+
+impl Artifact {
+    /// Serializes deterministically (field order is declaration order).
+    /// Compact, not pretty: witness streams run to hundreds of steps
+    /// and these files are committed to the repository.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails, which for this in-memory type
+    /// means a serializer bug rather than bad input.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serializes")
+    }
+
+    /// Parses an artifact file's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed input.
+    pub fn from_json(s: &str) -> Result<Artifact, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Loads every `*.json` artifact under `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// Propagates directory/file I/O errors; malformed artifact files are
+/// reported as `InvalidData` naming the offending path.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(PathBuf, Artifact)>> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    names.sort();
+    let mut out = Vec::with_capacity(names.len());
+    for path in names {
+        let text = std::fs::read_to_string(&path)?;
+        let artifact = Artifact::from_json(&text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+        })?;
+        out.push((path, artifact));
+    }
+    Ok(out)
+}
+
+/// Greedy coverage-preserving reduction.
+///
+/// Re-runs every entry through the oracle, then repeatedly keeps the
+/// entry covering the most not-yet-covered blocks (ties broken by
+/// lowest index, so the result is deterministic) until the kept set
+/// covers everything the full corpus covered. Returns the indices of
+/// the kept entries, in selection order.
+pub fn minimize(entries: &[Vec<TrainStep>], oracle: &Oracle) -> Vec<usize> {
+    let coverages: Vec<CoverageMap> = entries.iter().map(|e| oracle.run(e).1).collect();
+    let union: BTreeSet<(u32, u32)> =
+        coverages.iter().flat_map(|c| c.blocks.keys().copied()).collect();
+    let mut covered: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut kept = Vec::new();
+    let mut available: Vec<usize> = (0..entries.len()).collect();
+    while covered.len() < union.len() {
+        let (best_pos, best_gain) = available
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let gain = coverages[i].blocks.keys().filter(|k| !covered.contains(k)).count();
+                (pos, gain)
+            })
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("union non-empty implies a contributing entry");
+        if best_gain == 0 {
+            break;
+        }
+        let idx = available.remove(best_pos);
+        covered.extend(coverages[idx].blocks.keys().copied());
+        kept.push(idx);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::FindingClass;
+    use sedspec_vmm::{AddressSpace, IoRequest};
+
+    fn artifact() -> Artifact {
+        Artifact {
+            device: "fdc".to_string(),
+            version: "v2.3.0".to_string(),
+            steps: vec![
+                TrainStep::Io(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x8e)),
+                TrainStep::MemWrite { gpa: 0x100, bytes: vec![1, 2, 3] },
+                TrainStep::DelayNs(50),
+            ],
+            expected: Classification {
+                class: FindingClass::Detected,
+                rounds: 1,
+                damage_round: Some(0),
+                damage: Some("spills".to_string()),
+                flag_round: Some(0),
+                violation: Some("BufferOverflow".to_string()),
+                site: Some((0, 7)),
+            },
+        }
+    }
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let a = artifact();
+        let back = Artifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn load_dir_is_sorted_and_strict() {
+        let dir = std::env::temp_dir().join("sedspec-fuzz-corpus-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = artifact();
+        std::fs::write(dir.join("b-second.json"), a.to_json()).unwrap();
+        std::fs::write(dir.join("a-first.json"), a.to_json()).unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not json").unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded[0].0.ends_with("a-first.json"));
+        std::fs::write(dir.join("broken.json"), "{").unwrap();
+        assert!(load_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn minimize_drops_redundant_entries() {
+        use crate::train::trained_compiled;
+        use sedspec_devices::{DeviceKind, QemuVersion};
+        let compiled = trained_compiled(DeviceKind::Fdc, QemuVersion::Patched);
+        let oracle = Oracle::new(DeviceKind::Fdc, QemuVersion::Patched, compiled);
+        let probe = vec![TrainStep::Io(IoRequest::read(AddressSpace::Pmio, 0x3f4, 1))];
+        let richer = vec![
+            TrainStep::Io(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 0x08)),
+            TrainStep::Io(IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)),
+            TrainStep::Io(IoRequest::read(AddressSpace::Pmio, 0x3f5, 1)),
+        ];
+        // Duplicate of `richer` adds nothing: greedy keeps at most one.
+        let kept = minimize(&[probe, richer.clone(), richer], &oracle);
+        assert!(kept.len() <= 2, "{kept:?}");
+        assert!(!kept.is_empty());
+    }
+}

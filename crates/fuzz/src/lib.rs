@@ -1,0 +1,45 @@
+//! Coverage-guided differential fuzzing for execution specifications.
+//!
+//! The enforcement pipeline is only as good as its training envelope:
+//! a specification that never saw a code path cannot constrain it, and
+//! one trained too narrowly halts benign traffic. This crate probes
+//! both failure modes mechanically. A seeded grey-box loop mutates
+//! [`TrainStep`](sedspec::collect::TrainStep) streams, replays each
+//! candidate against the bare device model *and* the spec-enforced
+//! device in lockstep ([`oracle`]), and uses the enforced walk's
+//! `(handler, block)` coverage ([`sedspec_obs::CoverageMap`]) as the
+//! novelty signal. Divergences classify as:
+//!
+//! - **false negatives** — the device damaged itself on a path the
+//!   spec never flagged (the CVE-2016-1568 class the paper targets);
+//! - **false positives** — benign traffic halted, a retraining signal;
+//! - **detected** — damage flagged at or before the damage round, the
+//!   CVE-rediscovery shape CI asserts on vulnerable builds;
+//! - **dead spec** — deployed ES blocks no input reaches, cross-checked
+//!   against the deep static passes (SA501/SA504).
+//!
+//! Campaigns are bit-for-bit replayable from `(seed, corpus, rounds)`:
+//! the only randomness is a splitmix64 walk ([`rng`]), nothing reads
+//! the clock, and every report collection is deterministically ordered.
+//! Interesting inputs are minimized by greedy set cover ([`corpus`])
+//! and committed as JSON artifacts that a regression test replays with
+//! the exact expected verdict.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod corpus;
+pub mod mutate;
+pub mod oracle;
+pub mod report;
+pub mod rng;
+pub mod train;
+
+pub use campaign::{run_campaign, CampaignOutput, FuzzOptions};
+pub use corpus::{load_dir, minimize, Artifact};
+pub use mutate::Mutator;
+pub use oracle::{Classification, FindingClass, Oracle};
+pub use report::{DeadSpecEntry, Finding, FindingSummary, FuzzReport};
+pub use rng::FuzzRng;
+pub use train::{kind_slug, parse_kind, parse_version, trained_compiled, trained_spec};

@@ -1,0 +1,295 @@
+//! Stream mutation engine.
+//!
+//! Inputs are [`TrainStep`] streams — the same unit training scripts
+//! and CVE PoCs are written in, so corpus entries, PoC prefixes and
+//! mutants all replay through one code path. Operators are the usual
+//! grey-box set (bit flips, interesting constants, duplication for
+//! loop amplification, deletion, swap, truncation, splice, appended
+//! random I/O) constrained to the device's claimed regions so mutants
+//! keep routing to the device instead of dying in the bus.
+
+use sedspec::collect::TrainStep;
+use sedspec_vmm::{AddressSpace, IoRequest};
+
+use crate::rng::FuzzRng;
+
+/// Boundary and sentinel values that historically break device models:
+/// sign boundaries, width boundaries, all-ones of each width.
+pub const INTERESTING: [u64; 14] = [
+    0,
+    1,
+    0x7f,
+    0x80,
+    0xff,
+    0x100,
+    0x7fff,
+    0x8000,
+    0xffff,
+    0x1_0000,
+    0x7fff_ffff,
+    0x8000_0000,
+    0xffff_ffff,
+    u64::MAX,
+];
+
+/// Caps mutant growth: duplication and splicing stop extending a
+/// stream past this many steps (Venom-class floods need ~600).
+const MAX_STEPS: usize = 1200;
+
+/// Stream mutator bound to one device's address regions.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    regions: Vec<(AddressSpace, u64, u64)>,
+    accepts_frames: bool,
+}
+
+impl Mutator {
+    /// A mutator targeting a device claiming `regions`
+    /// (`(space, base, len)` as [`sedspec_devices::Device::regions`]).
+    pub fn new(regions: Vec<(AddressSpace, u64, u64)>) -> Self {
+        let accepts_frames = regions.iter().any(|(s, ..)| *s == AddressSpace::NetFrame);
+        Mutator { regions, accepts_frames }
+    }
+
+    /// A random register access within the device's claimed regions.
+    fn random_io(&self, rng: &mut FuzzRng) -> IoRequest {
+        let io_regions: Vec<_> =
+            self.regions.iter().filter(|(s, ..)| *s != AddressSpace::NetFrame).collect();
+        if self.accepts_frames && (io_regions.is_empty() || rng.chance(1, 6)) {
+            let len = 14 + rng.index(1600);
+            let fill = rng.next_u64() as u8;
+            return IoRequest::net_frame(vec![fill; len]);
+        }
+        let &&(space, base, len) = &io_regions[rng.index(io_regions.len())];
+        let addr = base + rng.below(len);
+        let size = [1u8, 2, 4][rng.index(3)];
+        if rng.chance(2, 3) {
+            let data = if rng.chance(1, 2) {
+                INTERESTING[rng.index(INTERESTING.len())]
+            } else {
+                rng.next_u64() & 0xffff
+            };
+            IoRequest::write(space, addr, size, data)
+        } else {
+            IoRequest::read(space, addr, size)
+        }
+    }
+
+    /// Applies one random operator to `steps` in place. Returns the
+    /// operator's short name (campaign statistics / debugging).
+    #[allow(clippy::too_many_lines)]
+    fn apply_one(&self, steps: &mut Vec<TrainStep>, rng: &mut FuzzRng) -> &'static str {
+        if steps.is_empty() {
+            steps.push(TrainStep::Io(self.random_io(rng)));
+            return "seed";
+        }
+        match rng.below(10) {
+            // Bit flip in a write's data value.
+            0 => {
+                let i = rng.index(steps.len());
+                if let TrainStep::Io(req) = &mut steps[i] {
+                    if req.is_write() {
+                        req.data ^= 1 << rng.below(32);
+                        return "bitflip";
+                    }
+                }
+                steps.push(TrainStep::Io(self.random_io(rng)));
+                "append"
+            }
+            // Replace a write's data with an interesting constant.
+            1 => {
+                let i = rng.index(steps.len());
+                if let TrainStep::Io(req) = &mut steps[i] {
+                    if req.is_write() {
+                        req.data = INTERESTING[rng.index(INTERESTING.len())];
+                        return "interesting";
+                    }
+                }
+                steps.push(TrainStep::Io(self.random_io(rng)));
+                "append"
+            }
+            // Small additive delta on a write's data.
+            2 => {
+                let i = rng.index(steps.len());
+                if let TrainStep::Io(req) = &mut steps[i] {
+                    if req.is_write() {
+                        let delta = rng.below(64) as i64 - 32;
+                        req.data = req.data.wrapping_add(delta as u64);
+                        return "delta";
+                    }
+                }
+                steps.push(TrainStep::Io(self.random_io(rng)));
+                "append"
+            }
+            // Re-aim an access at another claimed address.
+            3 => {
+                let i = rng.index(steps.len());
+                if let TrainStep::Io(req) = &mut steps[i] {
+                    if req.space != AddressSpace::NetFrame {
+                        if let Some(&(_, base, len)) = self
+                            .regions
+                            .iter()
+                            .find(|(s, ..)| *s == req.space && *s != AddressSpace::NetFrame)
+                        {
+                            req.addr = base + rng.below(len);
+                            return "reaim";
+                        }
+                    }
+                }
+                steps.push(TrainStep::Io(self.random_io(rng)));
+                "append"
+            }
+            // Duplicate one step many times: loop / flood amplification
+            // (the Venom shape is one command byte repeated past FIFO).
+            4 => {
+                let i = rng.index(steps.len());
+                let reps = [2usize, 8, 32, 128, 700][rng.index(5)];
+                let reps = reps.min(MAX_STEPS.saturating_sub(steps.len()));
+                let step = steps[i].clone();
+                let tail = steps.split_off(i + 1);
+                steps.extend(std::iter::repeat_n(step, reps));
+                steps.extend(tail);
+                "amplify"
+            }
+            // Delete a step.
+            5 => {
+                let i = rng.index(steps.len());
+                steps.remove(i);
+                "delete"
+            }
+            // Swap two steps.
+            6 => {
+                let a = rng.index(steps.len());
+                let b = rng.index(steps.len());
+                steps.swap(a, b);
+                "swap"
+            }
+            // Truncate the tail.
+            7 => {
+                let keep = 1 + rng.index(steps.len());
+                steps.truncate(keep);
+                "truncate"
+            }
+            // Mutate guest memory staged for DMA descriptors, or a
+            // frame payload byte; falls back to append.
+            8 => {
+                let i = rng.index(steps.len());
+                match &mut steps[i] {
+                    TrainStep::MemWrite { bytes, .. } if !bytes.is_empty() => {
+                        let k = rng.index(bytes.len());
+                        bytes[k] = if rng.chance(1, 2) {
+                            bytes[k] ^ (1 << rng.below(8)) as u8
+                        } else {
+                            (INTERESTING[rng.index(INTERESTING.len())] & 0xff) as u8
+                        };
+                        "memwrite"
+                    }
+                    TrainStep::Io(req) if !req.payload.is_empty() => {
+                        let k = rng.index(req.payload.len());
+                        req.payload[k] ^= (1 << rng.below(8)) as u8;
+                        "payload"
+                    }
+                    _ => {
+                        steps.push(TrainStep::Io(self.random_io(rng)));
+                        "append"
+                    }
+                }
+            }
+            // Insert a fresh random access at a random position.
+            _ => {
+                let i = rng.index(steps.len() + 1);
+                steps.insert(i, TrainStep::Io(self.random_io(rng)));
+                "insert"
+            }
+        }
+    }
+
+    /// Produces a mutant of `parent`, optionally splicing a prefix of
+    /// `donor` (another corpus entry) in front of the mutation burst.
+    pub fn mutate(
+        &self,
+        parent: &[TrainStep],
+        donor: Option<&[TrainStep]>,
+        rng: &mut FuzzRng,
+    ) -> Vec<TrainStep> {
+        let mut steps: Vec<TrainStep> = parent.to_vec();
+        if let Some(d) = donor {
+            if !d.is_empty() && rng.chance(1, 5) {
+                let cut = 1 + rng.index(d.len());
+                let at = rng.index(steps.len() + 1);
+                let mut spliced = steps[..at].to_vec();
+                spliced.extend_from_slice(&d[..cut]);
+                spliced.extend_from_slice(&steps[at..]);
+                steps = spliced;
+                steps.truncate(MAX_STEPS);
+            }
+        }
+        let ops = 1 + rng.index(4);
+        for _ in 0..ops {
+            self.apply_one(&mut steps, rng);
+        }
+        steps.truncate(MAX_STEPS);
+        if steps.is_empty() {
+            // A delete can empty a one-step parent; an empty mutant
+            // replays zero rounds and teaches the campaign nothing.
+            steps.push(TrainStep::Io(self.random_io(rng)));
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmio_mutator() -> Mutator {
+        Mutator::new(vec![(AddressSpace::Pmio, 0x3f0, 8)])
+    }
+
+    #[test]
+    fn mutants_stay_bounded_and_nonempty() {
+        let m = pmio_mutator();
+        let mut rng = FuzzRng::new(3);
+        let parent = vec![TrainStep::Io(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 8))];
+        for _ in 0..200 {
+            let child = m.mutate(&parent, Some(&parent), &mut rng);
+            assert!(!child.is_empty());
+            assert!(child.len() <= MAX_STEPS);
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let m = pmio_mutator();
+        let parent = vec![
+            TrainStep::Io(IoRequest::write(AddressSpace::Pmio, 0x3f5, 1, 8)),
+            TrainStep::Io(IoRequest::read(AddressSpace::Pmio, 0x3f4, 1)),
+        ];
+        let run = |seed| {
+            let mut rng = FuzzRng::new(seed);
+            (0..32).map(|_| m.mutate(&parent, None, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn random_io_respects_regions() {
+        let m = pmio_mutator();
+        let mut rng = FuzzRng::new(1);
+        for _ in 0..300 {
+            let io = m.random_io(&mut rng);
+            assert_eq!(io.space, AddressSpace::Pmio);
+            assert!((0x3f0..0x3f8).contains(&io.addr));
+        }
+    }
+
+    #[test]
+    fn frame_mutation_only_for_frame_devices() {
+        let m =
+            Mutator::new(vec![(AddressSpace::Pmio, 0x300, 0x20), (AddressSpace::NetFrame, 0, 1)]);
+        let mut rng = FuzzRng::new(5);
+        let saw_frame = (0..200).any(|_| m.random_io(&mut rng).space == AddressSpace::NetFrame);
+        assert!(saw_frame);
+    }
+}

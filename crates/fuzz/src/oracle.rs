@@ -1,0 +1,224 @@
+//! The lockstep differential oracle.
+//!
+//! Every candidate stream is replayed twice from boot state: once
+//! against the bare device model (ground truth — did the emulated
+//! device actually misbehave?) and once against the spec-enforced
+//! device (verdict — did the walk flag it, and where?). Divergence
+//! between the two sides *is* the finding:
+//!
+//! | bare side            | enforced side              | class           |
+//! |----------------------|----------------------------|-----------------|
+//! | damaged at round *d* | stopped at round *f* ≤ *d* | `Detected`      |
+//! | damaged at round *d* | unstopped, or *f* > *d*    | `FalseNegative` |
+//! | clean                | halted                     | `FalsePositive` |
+//! | clean                | clean / warned             | `Clean`         |
+//!
+//! "Stopped" means the checker flagged the round *or* the
+//! interpreter's typed-fault containment seam (e.g. `Fault::DmaLimit`)
+//! killed it — either way nothing past round *f* reaches the host.
+//!
+//! `FalseNegative` is the CVE-2016-1568 shape the paper documents: the
+//! device tears itself apart on a path the specification never
+//! constrained. `FalsePositive` is benign traffic outside the trained
+//! envelope — the trace is exported so it can be folded back into
+//! training. Both replays share one compiled spec; the enforced side
+//! carries a [`CoverageSink`] so the campaign can judge novelty.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use sedspec::checker::WorkingMode;
+use sedspec::collect::TrainStep;
+use sedspec::compiled::CompiledSpec;
+use sedspec::enforce::EnforcingDevice;
+use sedspec::replay::{replay_bare, replay_enforced};
+use sedspec_dbl::interp::ExecLimits;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_obs::CoverageMap;
+use sedspec_obs::CoverageSink;
+use sedspec_vmm::VmContext;
+
+/// Step budget per I/O round: generous for legitimate handlers, tight
+/// enough to turn guest-pinned loops into `Fault::StepLimit` quickly
+/// (matches the attack-workload harness).
+pub const ROUND_STEP_LIMIT: u64 = 50_000;
+
+/// Guest memory given to each replay VM.
+pub const GUEST_MEM: usize = 0x20_0000;
+
+/// Disk sectors given to each replay VM.
+pub const DISK_SECTORS: usize = 8192;
+
+/// What one differential replay concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FindingClass {
+    /// Bare device damaged; enforcement flagged at or before the
+    /// damage round — the spec caught it (CVE-rediscovery shape).
+    Detected,
+    /// Bare device damaged; enforcement missed it or flagged too late.
+    FalseNegative,
+    /// Bare device clean; enforcement halted the stream anyway.
+    FalsePositive,
+    /// No divergence.
+    Clean,
+}
+
+impl FindingClass {
+    /// Stable lowercase name used in reports and artifact files.
+    pub fn name(self) -> &'static str {
+        match self {
+            FindingClass::Detected => "detected",
+            FindingClass::FalseNegative => "false_negative",
+            FindingClass::FalsePositive => "false_positive",
+            FindingClass::Clean => "clean",
+        }
+    }
+}
+
+/// Full classification of one input — the artifact "expected verdict".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classification {
+    /// Divergence class.
+    pub class: FindingClass,
+    /// Bare-side rounds serviced.
+    pub rounds: u64,
+    /// First damaged bare round, when any.
+    pub damage_round: Option<u64>,
+    /// Damage signature (`"spills"`, `"overflow"`, `"fault:…"`).
+    pub damage: Option<String>,
+    /// First flagged enforced round, when any.
+    pub flag_round: Option<u64>,
+    /// `kind_name` of the first violation, when flagged.
+    pub violation: Option<String>,
+    /// `(program, block)` site of the first violation, when known.
+    pub site: Option<(u32, u32)>,
+}
+
+impl Classification {
+    /// Deduplication key: one finding per distinct divergence shape,
+    /// not per input that happens to reach it.
+    pub fn dedup_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{:?}",
+            self.class.name(),
+            self.damage.as_deref().unwrap_or("-"),
+            self.violation.as_deref().unwrap_or("-"),
+            self.site,
+        )
+    }
+}
+
+/// The differential harness for one `(device, version, spec)` triple.
+pub struct Oracle {
+    kind: DeviceKind,
+    version: QemuVersion,
+    compiled: Arc<CompiledSpec>,
+    sink: Arc<CoverageSink>,
+}
+
+impl Oracle {
+    /// Builds an oracle around an already-compiled specification.
+    pub fn new(kind: DeviceKind, version: QemuVersion, compiled: Arc<CompiledSpec>) -> Self {
+        Oracle { kind, version, compiled, sink: Arc::new(CoverageSink::new()) }
+    }
+
+    /// Replays `steps` on both sides from boot state. Returns the
+    /// classification and the ES blocks the enforced walk covered.
+    pub fn run(&self, steps: &[TrainStep]) -> (Classification, CoverageMap) {
+        // Ground truth: the unprotected device.
+        let mut bare_dev = build_device(self.kind, self.version);
+        bare_dev.set_limits(ExecLimits { max_steps: ROUND_STEP_LIMIT, ..Default::default() });
+        let mut bare_ctx = VmContext::new(GUEST_MEM, DISK_SECTORS);
+        let bare = replay_bare(&mut bare_dev, &mut bare_ctx, steps);
+
+        // Verdict: the same stream under enforcement, coverage observed.
+        let mut enf_dev = build_device(self.kind, self.version);
+        enf_dev.set_limits(ExecLimits { max_steps: ROUND_STEP_LIMIT, ..Default::default() });
+        let mut enforcer = EnforcingDevice::new_compiled(
+            enf_dev,
+            Arc::clone(&self.compiled),
+            WorkingMode::Protection,
+        );
+        enforcer.set_sink(Some(self.sink.clone() as Arc<dyn sedspec_obs::ObsSink>));
+        let mut enf_ctx = VmContext::new(GUEST_MEM, DISK_SECTORS);
+        let enforced = replay_enforced(&mut enforcer, &mut enf_ctx, steps);
+        let coverage = self.sink.take();
+
+        let flag_round = enforced.flagged.as_ref().map(|f| f.round);
+        // The enforced stream counts as *stopped* whether the checker
+        // flagged it or the interpreter's typed-fault containment seam
+        // (e.g. `Fault::DmaLimit`) killed the round: either way nothing
+        // past that round reaches the host. A false negative requires
+        // bare-side damage while the enforced stream ran on unstopped.
+        let stop_round = flag_round.or(enforced.unflagged_fault.as_ref().map(|&(r, _)| r));
+        // The bare side is the sole ground truth for damage: an
+        // enforced-side fault with no bare-side damage is not a finding
+        // (the checker's clock charges can shift step-limit timing).
+        let class = match (&bare.damage, stop_round) {
+            (Some(d), Some(f)) if f <= d.round => FindingClass::Detected,
+            (Some(_), _) => FindingClass::FalseNegative,
+            (None, _) if enforced.flagged.as_ref().is_some_and(|f| f.halted) => {
+                FindingClass::FalsePositive
+            }
+            (None, _) => FindingClass::Clean,
+        };
+
+        let c =
+            Classification {
+                class,
+                rounds: bare.rounds,
+                damage_round: bare.damage.as_ref().map(|d| d.round),
+                damage: bare.damage.as_ref().map(sedspec::replay::DamageEvent::signature),
+                flag_round,
+                violation: enforced.flagged.as_ref().map(|f| f.violation.clone()).or_else(|| {
+                    enforced.unflagged_fault.as_ref().map(|_| "DeviceFault".to_string())
+                }),
+                site: enforced.flagged.as_ref().and_then(|f| f.site).map(|(p, b)| (p as u32, b)),
+            };
+        (c, coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::trained_compiled;
+    use sedspec_vmm::{AddressSpace, IoRequest};
+
+    fn wr(port: u64, v: u64) -> TrainStep {
+        TrainStep::Io(IoRequest::write(AddressSpace::Pmio, port, 1, v))
+    }
+
+    #[test]
+    fn venom_is_detected_on_vulnerable_build() {
+        let compiled = trained_compiled(DeviceKind::Fdc, QemuVersion::V2_3_0);
+        let oracle = Oracle::new(DeviceKind::Fdc, QemuVersion::V2_3_0, compiled);
+        let mut steps = vec![wr(0x3f5, 0x8e)];
+        steps.extend(std::iter::repeat_n(wr(0x3f5, 0x01), 600));
+        let (c, cov) = oracle.run(&steps);
+        assert_eq!(c.class, FindingClass::Detected, "{c:?}");
+        assert!(cov.covered() > 0, "walk must emit coverage");
+    }
+
+    #[test]
+    fn benign_training_traffic_is_clean() {
+        let compiled = trained_compiled(DeviceKind::Fdc, QemuVersion::Patched);
+        let oracle = Oracle::new(DeviceKind::Fdc, QemuVersion::Patched, compiled);
+        let steps =
+            vec![wr(0x3f5, 0x08), TrainStep::Io(IoRequest::read(AddressSpace::Pmio, 0x3f4, 1))];
+        let (c, _) = oracle.run(&steps);
+        assert_eq!(c.class, FindingClass::Clean, "{c:?}");
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let compiled = trained_compiled(DeviceKind::Fdc, QemuVersion::V2_3_0);
+        let oracle = Oracle::new(DeviceKind::Fdc, QemuVersion::V2_3_0, compiled);
+        let steps = vec![wr(0x3f5, 0x8e), wr(0x3f5, 1), wr(0x3f5, 2)];
+        let (a, ca) = oracle.run(&steps);
+        let (b, cb) = oracle.run(&steps);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+    }
+}

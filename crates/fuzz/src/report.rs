@@ -1,0 +1,180 @@
+//! Deterministic campaign reports.
+//!
+//! The report is the CI contract: two runs with the same `(seed,
+//! corpus, rounds)` must serialize to the *same bytes* (the workflow
+//! literally `cmp`s them), so everything here is ordered — findings by
+//! dedup key, coverage by block key, dead-spec by site — and nothing
+//! records wall-clock time or host state.
+
+use serde::{Deserialize, Serialize};
+
+use sedspec::collect::TrainStep;
+use sedspec_obs::CoverageMap;
+
+use crate::oracle::{Classification, FindingClass};
+
+/// One deduplicated divergence, with the witness stream attached.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// The verdict that made this a finding.
+    pub classification: Classification,
+    /// The witness input.
+    pub steps: Vec<TrainStep>,
+}
+
+/// Finding summary embedded in the report (witness length, not body —
+/// full streams live in exported artifacts).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FindingSummary {
+    /// Divergence class name (`detected` / `false_negative` / …).
+    pub class: String,
+    /// Damage signature on the bare side, when damaged.
+    pub damage: Option<String>,
+    /// Bare round the damage landed in.
+    pub damage_round: Option<u64>,
+    /// Enforced round the walk flagged.
+    pub flag_round: Option<u64>,
+    /// Violation kind name, when flagged.
+    pub violation: Option<String>,
+    /// `(program, block)` violation site, when known.
+    pub site: Option<(u32, u32)>,
+    /// Steps in the witness stream.
+    pub steps_len: usize,
+}
+
+impl FindingSummary {
+    /// Summarizes a finding for the report body.
+    pub fn of(f: &Finding) -> FindingSummary {
+        FindingSummary {
+            class: f.classification.class.name().to_string(),
+            damage: f.classification.damage.clone(),
+            damage_round: f.classification.damage_round,
+            flag_round: f.classification.flag_round,
+            violation: f.classification.violation.clone(),
+            site: f.classification.site,
+            steps_len: f.steps.len(),
+        }
+    }
+}
+
+/// A spec block no fuzz input reached.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadSpecEntry {
+    /// Handler program index.
+    pub program: u32,
+    /// Handler name.
+    pub handler: String,
+    /// ES block index.
+    pub block: u32,
+    /// Block label.
+    pub label: String,
+    /// Static-analysis code (`SA501`/`SA504`) that independently
+    /// flagged this site, when the deep passes agree it is suspect.
+    pub static_code: Option<String>,
+}
+
+/// Full campaign report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzReport {
+    /// Device short name.
+    pub device: String,
+    /// Device version string.
+    pub version: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Requested round budget.
+    pub round_budget: u64,
+    /// Bare-side I/O rounds actually consumed.
+    pub rounds_run: u64,
+    /// Inputs executed (seeds + mutants).
+    pub inputs: u64,
+    /// Inputs that contributed new coverage (final corpus size).
+    pub corpus_size: usize,
+    /// Distinct ES blocks covered.
+    pub covered_blocks: usize,
+    /// Total ES blocks in the deployed spec.
+    pub total_blocks: usize,
+    /// Coverage in permille of `total_blocks` (integer, so the report
+    /// never depends on float formatting).
+    pub coverage_permille: u64,
+    /// Ordered `(program, block, hits)` coverage triples.
+    pub coverage: Vec<(u32, u32, u64)>,
+    /// Deduplicated findings, ordered by dedup key.
+    pub findings: Vec<FindingSummary>,
+    /// Spec blocks never reached, with static cross-check.
+    pub dead_spec: Vec<DeadSpecEntry>,
+}
+
+impl FuzzReport {
+    /// Count of findings in `class`.
+    pub fn count(&self, class: FindingClass) -> usize {
+        self.findings.iter().filter(|f| f.class == class.name()).count()
+    }
+
+    /// Deterministic JSON (field order = declaration order, every
+    /// collection pre-sorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics only on a serializer bug — the type is self-contained.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Parses a serialized report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed input.
+    pub fn from_json(s: &str) -> Result<FuzzReport, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Flattens a [`CoverageMap`] into the report's ordered triples.
+pub fn coverage_triples(map: &CoverageMap) -> Vec<(u32, u32, u64)> {
+    map.blocks.iter().map(|(&(p, b), &h)| (p, b, h)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_is_stable() {
+        let r = FuzzReport {
+            device: "fdc".to_string(),
+            version: "patched".to_string(),
+            seed: 7,
+            round_budget: 100,
+            rounds_run: 100,
+            inputs: 12,
+            corpus_size: 3,
+            covered_blocks: 10,
+            total_blocks: 40,
+            coverage_permille: 250,
+            coverage: vec![(0, 1, 5), (0, 2, 1)],
+            findings: vec![FindingSummary {
+                class: "detected".to_string(),
+                damage: Some("spills".to_string()),
+                damage_round: Some(9),
+                flag_round: Some(3),
+                violation: Some("BufferOverflow".to_string()),
+                site: Some((0, 7)),
+                steps_len: 601,
+            }],
+            dead_spec: vec![DeadSpecEntry {
+                program: 1,
+                handler: "fdc_write".to_string(),
+                block: 9,
+                label: "dead".to_string(),
+                static_code: Some("SA501".to_string()),
+            }],
+        };
+        let json = r.to_json();
+        assert_eq!(json, r.to_json(), "serialization must be stable");
+        let back = FuzzReport::from_json(&json).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.count(crate::oracle::FindingClass::Detected), 1);
+    }
+}

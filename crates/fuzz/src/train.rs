@@ -1,0 +1,82 @@
+//! Shared spec-training configuration.
+//!
+//! Every consumer of a fuzz artifact — the campaign that produced it,
+//! the CLI that replays it, the CI regression test that asserts its
+//! verdict — must deploy the *same* specification, so the training
+//! recipe (benign suite size and seed, matching the `sedspec` CLI
+//! defaults) lives here as constants rather than per-call knobs.
+
+use std::sync::Arc;
+
+use sedspec::compiled::CompiledSpec;
+use sedspec::pipeline::{train_script, TrainingConfig};
+use sedspec::spec::ExecutionSpecification;
+use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+use sedspec_vmm::VmContext;
+use sedspec_workloads::generators::training_suite;
+
+/// Benign training cases per spec (the `sedspec` CLI default).
+pub const TRAIN_CASES: usize = 60;
+
+/// Training-suite seed (the `sedspec` CLI default).
+pub const TRAIN_SEED: u64 = 0x7a11;
+
+/// Trains the canonical fuzzing spec for `(kind, version)`.
+///
+/// # Panics
+///
+/// Panics if the benign suite produces no I/O rounds — that means the
+/// generators are broken, not that the input was unlucky.
+pub fn trained_spec(kind: DeviceKind, version: QemuVersion) -> ExecutionSpecification {
+    let mut device = build_device(kind, version);
+    let mut ctx = VmContext::new(crate::oracle::GUEST_MEM, crate::oracle::DISK_SECTORS);
+    let suite = training_suite(kind, TRAIN_CASES, TRAIN_SEED);
+    train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())
+        .expect("benign training suite must produce I/O rounds")
+}
+
+/// [`trained_spec`] compiled and shareable across replays.
+pub fn trained_compiled(kind: DeviceKind, version: QemuVersion) -> Arc<CompiledSpec> {
+    Arc::new(CompiledSpec::compile(Arc::new(trained_spec(kind, version))))
+}
+
+/// Directory-safe device slug used in reports and the corpus layout
+/// (`DeviceKind::name` is the paper's display form, with spaces).
+pub fn kind_slug(kind: DeviceKind) -> &'static str {
+    match kind {
+        DeviceKind::Fdc => "fdc",
+        DeviceKind::UsbEhci => "usb-ehci",
+        DeviceKind::Pcnet => "pcnet",
+        DeviceKind::Sdhci => "sdhci",
+        DeviceKind::Scsi => "scsi",
+    }
+}
+
+/// Parses a device name as the corpus directory layout spells it
+/// (`fdc`, `usb-ehci`, `pcnet`, `sdhci`, `scsi`).
+pub fn parse_kind(s: &str) -> Option<DeviceKind> {
+    DeviceKind::all().into_iter().find(|&k| kind_slug(k) == s)
+}
+
+/// Parses a version as [`QemuVersion`]'s `Display` spells it
+/// (`v2.3.0` … `patched`).
+pub fn parse_version(s: &str) -> Option<QemuVersion> {
+    QemuVersion::all().into_iter().find(|v| v.to_string() == s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_version_round_trip_through_names() {
+        for k in DeviceKind::all() {
+            assert_eq!(parse_kind(kind_slug(k)), Some(k));
+        }
+        for v in QemuVersion::all() {
+            assert_eq!(parse_version(&v.to_string()), Some(v));
+        }
+        assert_eq!(parse_kind("floppy"), None);
+        assert_eq!(parse_version("v9.9.9"), None);
+    }
+}

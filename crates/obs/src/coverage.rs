@@ -1,0 +1,186 @@
+//! ES-block coverage export — the feedback signal for coverage-guided
+//! fuzzing and the per-device "how much of the spec have we exercised"
+//! figure behind `EXPERIMENTS.md`.
+//!
+//! Two consumers with different needs share the `(program, block)` key
+//! space of the hub's heat map:
+//!
+//! * [`CoverageMap`] — an ordered, serializable snapshot of cumulative
+//!   coverage (built by [`ObsHub::coverage_map`] or merged manually).
+//!   Ordered storage makes reports byte-identical across runs, which
+//!   the fuzz determinism contract depends on.
+//! * [`CoverageSink`] — a free-standing [`ObsSink`] that attributes
+//!   block steps to *one input*: the fuzzer attaches it to an enforced
+//!   device, replays a candidate, then [`CoverageSink::take`]s the set
+//!   to decide novelty. It deliberately bypasses the hub so a fuzz
+//!   campaign's million throwaway rounds never touch hub metrics.
+//!
+//! [`ObsHub::coverage_map`]: crate::hub::ObsHub::coverage_map
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use crate::event::TraceEventKind;
+use crate::flight::ForensicData;
+use crate::sink::ObsSink;
+
+/// Ordered snapshot of `(program, block) → hits` for one device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoverageMap {
+    /// Hit counts keyed by `(handler program index, ES block index)`.
+    pub blocks: BTreeMap<(u32, u32), u64>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        CoverageMap::default()
+    }
+
+    /// Builds a map from `(program, block, hits)` triples (the shape
+    /// [`ObsHub::heat_profile`] returns).
+    ///
+    /// [`ObsHub::heat_profile`]: crate::hub::ObsHub::heat_profile
+    pub fn from_profile(profile: &[(u32, u32, u64)]) -> Self {
+        let mut blocks = BTreeMap::new();
+        for &(program, block, hits) in profile {
+            *blocks.entry((program, block)).or_default() += hits;
+        }
+        CoverageMap { blocks }
+    }
+
+    /// Number of distinct covered blocks.
+    pub fn covered(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether `(program, block)` has been reached.
+    pub fn contains(&self, program: u32, block: u32) -> bool {
+        self.blocks.contains_key(&(program, block))
+    }
+
+    /// Merges `other` into `self`, returning how many blocks were new.
+    pub fn absorb(&mut self, other: &CoverageMap) -> usize {
+        let mut new = 0;
+        for (&key, &hits) in &other.blocks {
+            match self.blocks.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(hits);
+                    new += 1;
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    *e.get_mut() += hits;
+                }
+            }
+        }
+        new
+    }
+
+    /// Coverage as a fraction of `total` spec blocks, in [0, 1].
+    pub fn fraction_of(&self, total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        self.covered() as f64 / total as f64
+    }
+
+    /// Deterministic single-line JSON: an array of `[program, block,
+    /// hits]` triples in key order. Stable byte-for-byte across runs —
+    /// the double-run `cmp` in CI diffs this directly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (&(program, block), &hits)) in self.blocks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{program},{block},{hits}]"));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// A sink that records which ES blocks one replay reached.
+///
+/// Methods take `&self` (the [`ObsSink`] contract), so the set lives
+/// behind a mutex; fuzz replays are single-threaded and uncontended.
+#[derive(Debug, Default)]
+pub struct CoverageSink {
+    seen: Mutex<CoverageMap>,
+}
+
+impl CoverageSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        CoverageSink::default()
+    }
+
+    /// Takes the accumulated coverage, leaving the sink empty for the
+    /// next input.
+    pub fn take(&self) -> CoverageMap {
+        std::mem::take(&mut self.seen.lock())
+    }
+
+    /// Reads the accumulated coverage without resetting.
+    pub fn snapshot(&self) -> CoverageMap {
+        self.seen.lock().clone()
+    }
+}
+
+impl ObsSink for CoverageSink {
+    fn event(&self, kind: TraceEventKind) {
+        if let TraceEventKind::BlockStep { program, block } = kind {
+            *self.seen.lock().blocks.entry((program, block)).or_default() += 1;
+        }
+    }
+
+    fn violation(&self, _data: ForensicData) {}
+
+    fn wants_forensics(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_counts_new_blocks_only() {
+        let mut a = CoverageMap::from_profile(&[(0, 1, 2), (0, 2, 1)]);
+        let b = CoverageMap::from_profile(&[(0, 2, 5), (1, 0, 1)]);
+        assert_eq!(a.absorb(&b), 1);
+        assert_eq!(a.covered(), 3);
+        assert_eq!(a.blocks[&(0, 2)], 6);
+    }
+
+    #[test]
+    fn json_is_ordered_and_stable() {
+        let m = CoverageMap::from_profile(&[(1, 0, 1), (0, 9, 3), (0, 2, 1)]);
+        assert_eq!(m.to_json(), "[[0,2,1],[0,9,3],[1,0,1]]");
+        assert_eq!(
+            m.to_json(),
+            CoverageMap::from_profile(&[(0, 2, 1), (0, 9, 3), (1, 0, 1)]).to_json()
+        );
+    }
+
+    #[test]
+    fn sink_collects_block_steps_and_resets_on_take() {
+        let s = CoverageSink::new();
+        s.event(TraceEventKind::BlockStep { program: 0, block: 4 });
+        s.event(TraceEventKind::BlockStep { program: 0, block: 4 });
+        s.event(TraceEventKind::RoundBegin { program: 0 });
+        let m = s.take();
+        assert_eq!(m.covered(), 1);
+        assert_eq!(m.blocks[&(0, 4)], 2);
+        assert_eq!(s.take().covered(), 0);
+    }
+
+    #[test]
+    fn fraction_handles_zero_total() {
+        assert_eq!(CoverageMap::new().fraction_of(0), 0.0);
+        let m = CoverageMap::from_profile(&[(0, 0, 1)]);
+        assert!((m.fraction_of(4) - 0.25).abs() < 1e-12);
+    }
+}

@@ -341,6 +341,16 @@ impl ObsHub {
         out
     }
 
+    /// One device's cumulative ES-block coverage as an ordered
+    /// [`CoverageMap`] — the heat map re-keyed for consumers that care
+    /// about *which* blocks ran rather than how hot they are (fuzz
+    /// novelty decisions, coverage-percent reporting).
+    ///
+    /// [`CoverageMap`]: crate::coverage::CoverageMap
+    pub fn coverage_map(&self, device: &str) -> crate::coverage::CoverageMap {
+        crate::coverage::CoverageMap::from_profile(&self.heat_profile(device))
+    }
+
     /// Renders the operator report: totals, top-`top_n` hottest blocks
     /// per device (labels via `resolve`), per-device latency
     /// histograms, and the most recent forensic records.

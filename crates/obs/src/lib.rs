@@ -25,6 +25,7 @@
 //! [`ObsHub`] is the process-wide collector behind `sedspec
 //! obs-report`.
 
+pub mod coverage;
 pub mod event;
 pub mod flight;
 pub mod hub;
@@ -33,6 +34,7 @@ pub mod sink;
 pub mod trace;
 pub mod window;
 
+pub use coverage::{CoverageMap, CoverageSink};
 pub use event::{ScopeId, ScopeInfo, SyncKind, TraceEvent, TraceEventKind, VerdictKind};
 pub use flight::{
     render_kind, FlightRecorder, ForensicData, ForensicRecord, PathStep, ShadowDelta,

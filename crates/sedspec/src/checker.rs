@@ -239,6 +239,23 @@ impl Violation {
         }
     }
 
+    /// Stable short name of the violation kind — the key fuzz findings
+    /// and regression artifacts match verdicts on.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Violation::IntegerOverflow { .. } => "IntegerOverflow",
+            Violation::BufferOverflow { .. } => "BufferOverflow",
+            Violation::ShadowFault { .. } => "ShadowFault",
+            Violation::IndirectTarget { .. } => "IndirectTarget",
+            Violation::UntrainedBranch { .. } => "UntrainedBranch",
+            Violation::UnknownSwitchTarget { .. } => "UnknownSwitchTarget",
+            Violation::UnknownCommand { .. } => "UnknownCommand",
+            Violation::BlockOutsideCommand { .. } => "BlockOutsideCommand",
+            Violation::UntracedEntry { .. } => "UntracedEntry",
+            Violation::UntracedPath { .. } => "UntracedPath",
+        }
+    }
+
     /// The strategy this violation belongs to.
     pub fn strategy(&self) -> Strategy {
         match self {

@@ -69,5 +69,6 @@ pub mod observe;
 pub mod params;
 pub mod pipeline;
 pub mod reduce;
+pub mod replay;
 pub mod response;
 pub mod spec;

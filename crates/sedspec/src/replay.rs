@@ -1,0 +1,274 @@
+//! Deterministic stream replay — the differential fuzzer's two probes.
+//!
+//! A fuzz input is a [`TrainStep`] stream. The oracle needs the same
+//! stream observed from two sides:
+//!
+//! * [`replay_bare`] runs it against the *unprotected* device model and
+//!   reports ground-truth damage (buffer spills, arithmetic wrap,
+//!   faults) per round — what QEMU would have suffered;
+//! * [`replay_enforced`] runs it against an [`EnforcingDevice`] and
+//!   reports the per-round verdict stream — what the specification
+//!   walk concluded.
+//!
+//! Both run the stream through [`apply_step`] so `MemWrite`/`DelayNs`
+//! steps land identically, and both stop consuming I/O after the first
+//! terminal event (fault / latched halt): everything past that point
+//! would describe a machine state the real system never reaches.
+//! Replays are bit-for-bit deterministic given the same device build,
+//! spec and stream — `tests/fuzz_determinism.rs` holds that contract.
+
+use sedspec_devices::Device;
+use sedspec_vmm::VmContext;
+
+use crate::collect::{apply_step, TrainStep};
+use crate::enforce::{EnforcingDevice, IoVerdict};
+
+/// Ground truth for one bare-device round that misbehaved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DamageEvent {
+    /// Zero-based I/O round index within the stream.
+    pub round: u64,
+    /// Buffer-extent spills the round produced.
+    pub spills: u64,
+    /// Whether arithmetic wrapped during the round.
+    pub overflow: bool,
+    /// Fault description when the device crashed outright.
+    pub fault: Option<String>,
+}
+
+impl DamageEvent {
+    /// Compressed signature for finding deduplication and artifact
+    /// verdicts, e.g. `"spills"`, `"overflow"`, `"fault:step limit…"`.
+    pub fn signature(&self) -> String {
+        if let Some(f) = &self.fault {
+            return format!("fault:{f}");
+        }
+        if self.spills > 0 && self.overflow {
+            "spills+overflow".to_string()
+        } else if self.spills > 0 {
+            "spills".to_string()
+        } else {
+            "overflow".to_string()
+        }
+    }
+}
+
+/// Outcome of an unprotected replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BareReplay {
+    /// I/O rounds the device serviced (or crashed in).
+    pub rounds: u64,
+    /// First misbehaving round, when any.
+    pub damage: Option<DamageEvent>,
+}
+
+/// One flagged round of an enforced replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlaggedRound {
+    /// Zero-based I/O round index within the stream.
+    pub round: u64,
+    /// `kind_name` of the first violation carried by the verdict, or
+    /// `"DeviceFault"` for a crash the checker did not call first.
+    pub violation: String,
+    /// `(program, block)` site of the first violation, when known.
+    pub site: Option<(usize, u32)>,
+    /// Whether the round was halted (vs warned / post-hoc fault).
+    pub halted: bool,
+}
+
+/// Outcome of an enforced replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EnforcedReplay {
+    /// I/O rounds submitted to the enforcer before it went terminal.
+    pub rounds: u64,
+    /// First flagged round, when any.
+    pub flagged: Option<FlaggedRound>,
+    /// Device fault reported *without* a violation, with its round —
+    /// the checker did not call it, but the typed-fault containment
+    /// seam still stopped the stream (e.g. `Fault::DmaLimit`).
+    pub unflagged_fault: Option<(u64, String)>,
+}
+
+/// Replays `steps` against a bare device, reporting first damage.
+///
+/// The device is **not** reset first: callers decide whether the stream
+/// starts from boot state. Replay stops at the first damaged round.
+pub fn replay_bare(device: &mut Device, ctx: &mut VmContext, steps: &[TrainStep]) -> BareReplay {
+    let mut out = BareReplay::default();
+    for step in steps {
+        let Some(req) = apply_step(step, ctx) else { continue };
+        if device.route(req).is_none() {
+            continue;
+        }
+        let round = out.rounds;
+        out.rounds += 1;
+        match device.handle_io(ctx, req) {
+            Ok(o) => {
+                if o.spills > 0 || o.overflow.arithmetic {
+                    out.damage = Some(DamageEvent {
+                        round,
+                        spills: o.spills,
+                        overflow: o.overflow.arithmetic,
+                        fault: None,
+                    });
+                    break;
+                }
+            }
+            Err(f) => {
+                out.damage = Some(DamageEvent {
+                    round,
+                    spills: 0,
+                    overflow: false,
+                    fault: Some(f.to_string()),
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Replays `steps` against an enforcing device, reporting the first
+/// flagged round. Stops at the first halt (the halt latches) or
+/// device fault; unrouted requests bypass the checker and are skipped
+/// to keep round indices aligned with [`replay_bare`].
+pub fn replay_enforced(
+    enforcer: &mut EnforcingDevice,
+    ctx: &mut VmContext,
+    steps: &[TrainStep],
+) -> EnforcedReplay {
+    let mut out = EnforcedReplay::default();
+    for step in steps {
+        let Some(req) = apply_step(step, ctx) else { continue };
+        if enforcer.device.route(req).is_none() {
+            continue;
+        }
+        let round = out.rounds;
+        out.rounds += 1;
+        let verdict = enforcer.handle_io(ctx, req);
+        match &verdict {
+            IoVerdict::Allowed(_) => {}
+            IoVerdict::DeviceFault { fault, violations } => {
+                if let Some(v) = violations.first() {
+                    let (p, b) = v.site();
+                    out.flagged = Some(FlaggedRound {
+                        round,
+                        violation: v.kind_name().to_string(),
+                        site: b.map(|b| (p, b)),
+                        halted: false,
+                    });
+                } else {
+                    out.unflagged_fault = Some((round, fault.clone()));
+                }
+                break;
+            }
+            IoVerdict::Halted { violations, .. } | IoVerdict::Warned { violations, .. } => {
+                let halted = matches!(verdict, IoVerdict::Halted { .. });
+                let (violation, site) = match violations.first() {
+                    Some(v) => {
+                        let (p, b) = v.site();
+                        (v.kind_name().to_string(), b.map(|b| (p, b)))
+                    }
+                    None => ("Halted".to_string(), None),
+                };
+                out.flagged = Some(FlaggedRound { round, violation, site, halted });
+                if halted {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::WorkingMode;
+    use crate::pipeline::{train_script, TrainingConfig};
+    use sedspec_devices::{build_device, DeviceKind, QemuVersion};
+    use sedspec_vmm::{AddressSpace, IoRequest};
+
+    fn wr(port: u64, v: u64) -> TrainStep {
+        TrainStep::Io(IoRequest::write(AddressSpace::Pmio, port, 1, v))
+    }
+
+    fn rd(port: u64) -> TrainStep {
+        TrainStep::Io(IoRequest::read(AddressSpace::Pmio, port, 1))
+    }
+
+    /// Benign FDC command scripts (mirrors the pipeline test samples).
+    fn fdc_samples() -> Vec<Vec<TrainStep>> {
+        vec![
+            vec![rd(0x3f4)],
+            vec![wr(0x3f5, 0x08), rd(0x3f5), rd(0x3f5)],
+            vec![
+                wr(0x3f5, 0x0f),
+                wr(0x3f5, 0),
+                wr(0x3f5, 3),
+                wr(0x3f5, 0x08),
+                rd(0x3f5),
+                rd(0x3f5),
+            ],
+        ]
+    }
+
+    /// CVE-2015-3456 shape: FIFO-parameter flood past the buffer.
+    fn venom_steps() -> Vec<TrainStep> {
+        let mut s = vec![wr(0x3f5, 0x8e)];
+        for _ in 0..600 {
+            s.push(wr(0x3f5, 0x01));
+        }
+        s
+    }
+
+    fn trained(version: QemuVersion) -> crate::spec::ExecutionSpecification {
+        let mut d = build_device(DeviceKind::Fdc, version);
+        let mut ctx = VmContext::new(0x20000, 64);
+        train_script(&mut d, &mut ctx, &fdc_samples(), &TrainingConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn bare_replay_reports_venom_damage() {
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+        let mut ctx = VmContext::new(0x20000, 64);
+        let bare = replay_bare(&mut d, &mut ctx, &venom_steps());
+        let damage = bare.damage.expect("venom must damage the bare device");
+        assert!(damage.spills > 0 || damage.fault.is_some());
+        assert!(!damage.signature().is_empty());
+    }
+
+    #[test]
+    fn benign_stream_is_clean_on_both_sides() {
+        let steps = &fdc_samples()[2];
+
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let mut ctx = VmContext::new(0x20000, 64);
+        let bare = replay_bare(&mut d, &mut ctx, steps);
+        assert!(bare.damage.is_none());
+
+        let device = build_device(DeviceKind::Fdc, QemuVersion::Patched);
+        let spec = trained(QemuVersion::Patched);
+        let mut enforcer = EnforcingDevice::new(device, spec, WorkingMode::Protection);
+        let mut ctx = VmContext::new(0x20000, 64);
+        let enf = replay_enforced(&mut enforcer, &mut ctx, steps);
+        assert!(enf.flagged.is_none(), "{enf:?}");
+        assert_eq!(enf.rounds, bare.rounds);
+    }
+
+    #[test]
+    fn enforced_replay_flags_venom_before_damage_round() {
+        let spec = trained(QemuVersion::V2_3_0);
+        let device = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+        let mut enforcer = EnforcingDevice::new(device, spec, WorkingMode::Protection);
+        let mut ctx = VmContext::new(0x20000, 64);
+        let enf = replay_enforced(&mut enforcer, &mut ctx, &venom_steps());
+        let flagged = enf.flagged.expect("spec must flag venom");
+        assert!(flagged.halted);
+
+        let mut d = build_device(DeviceKind::Fdc, QemuVersion::V2_3_0);
+        let mut ctx = VmContext::new(0x20000, 64);
+        let bare = replay_bare(&mut d, &mut ctx, &venom_steps());
+        assert!(flagged.round <= bare.damage.unwrap().round);
+    }
+}

@@ -316,7 +316,7 @@ mod tests {
         for cve in Cve::all() {
             let p = poc(cve);
             let mut d = build_device(p.device, p.qemu_version);
-            d.set_limits(ExecLimits { max_steps: 50_000 });
+            d.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
             let mut ctx = VmContext::new(0x100000, 4096);
             let mut spills = 0u64;
             let mut overflowed = false;
@@ -348,7 +348,7 @@ mod tests {
         for cve in Cve::all() {
             let p = poc(cve);
             let mut d = build_device(p.device, QemuVersion::Patched);
-            d.set_limits(ExecLimits { max_steps: 50_000 });
+            d.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
             let mut ctx = VmContext::new(0x100000, 4096);
             for step in &p.steps {
                 let Some(req) = apply_step(step, &mut ctx) else { continue };

@@ -138,7 +138,7 @@ fn mutate_case(
 pub fn fuzz_device(kind: DeviceKind, cfg: &FuzzConfig) -> FuzzOutcome {
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (kind as u64) << 8);
     let mut device = build_device(kind, QemuVersion::Patched);
-    device.set_limits(ExecLimits { max_steps: 50_000 });
+    device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
     let layout = device.layout().clone();
     let mut tracer = Tracer::new(layout.clone());
     let mut itc = ItcCfg::new();

@@ -23,7 +23,7 @@ fn main() {
 
         // Unprotected: observe the ground-truth damage.
         let mut device = build_device(p.device, p.qemu_version);
-        device.set_limits(ExecLimits { max_steps: 50_000 });
+        device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
         let mut ctx = VmContext::new(0x100000, 4096);
         let mut spills = 0;
         let mut fault = None;
@@ -44,7 +44,7 @@ fn main() {
 
         // Protected: train on the same vulnerable version, enforce.
         let mut device = build_device(p.device, p.qemu_version);
-        device.set_limits(ExecLimits { max_steps: 50_000 });
+        device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
         let mut ctx = VmContext::new(0x200000, 8192);
         let suite = training_suite(p.device, 60, 0x7a11);
         let spec = train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default())

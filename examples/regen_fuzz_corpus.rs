@@ -1,0 +1,75 @@
+//! Regenerates the committed fuzz regression corpus.
+//!
+//! ```text
+//! cargo run --release --example regen_fuzz_corpus
+//! ```
+//!
+//! For every device this runs a short coverage-guided campaign against
+//! the patched build and writes the minimized corpus plus every
+//! divergence witness under `ci/fuzz-corpus/<device>/`, then adds one
+//! artifact per CVE PoC against its vulnerable build (the
+//! quarantine-class divergences CI re-asserts). Output is a pure
+//! function of the constants below — rerunning produces identical
+//! files, so a diff under `ci/fuzz-corpus/` always means device,
+//! spec-construction or checker semantics actually changed.
+
+use std::path::Path;
+
+use sedspec_devices::DeviceKind;
+use sedspec_fuzz::{kind_slug, run_campaign, trained_compiled, Artifact, FuzzOptions, Oracle};
+use sedspec_workloads::attacks::{poc, Cve};
+
+/// Campaign seed for every device (the CI smoke uses the same).
+const SEED: u64 = 7;
+
+/// Round budget per device campaign: enough for full ES-block coverage
+/// on every current spec while keeping regeneration under a minute.
+const ROUNDS: u64 = 4000;
+
+fn main() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("ci/fuzz-corpus");
+    for kind in DeviceKind::all() {
+        let slug = kind_slug(kind);
+        let dir = root.join(slug);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create corpus dir");
+
+        let opts = FuzzOptions {
+            device: kind,
+            version: sedspec_devices::QemuVersion::Patched,
+            seed: SEED,
+            rounds: ROUNDS,
+            corpus_dir: None,
+        };
+        let out = run_campaign(&opts).expect("campaign");
+        for (name, body) in out.export_artifacts() {
+            std::fs::write(dir.join(&name), body).expect("write artifact");
+        }
+        println!(
+            "{slug}: {} corpus entries, {} findings, coverage {}/{}",
+            out.corpus.len(),
+            out.findings.len(),
+            out.report.covered_blocks,
+            out.report.total_blocks
+        );
+
+        for cve in Cve::all_with_known_miss() {
+            let p = poc(cve);
+            if p.device != kind {
+                continue;
+            }
+            let oracle =
+                Oracle::new(p.device, p.qemu_version, trained_compiled(p.device, p.qemu_version));
+            let (expected, _) = oracle.run(&p.steps);
+            let artifact = Artifact {
+                device: slug.to_string(),
+                version: p.qemu_version.to_string(),
+                steps: p.steps,
+                expected,
+            };
+            let name = format!("cve-{}.json", cve.id().to_ascii_lowercase());
+            std::fs::write(dir.join(&name), artifact.to_json()).expect("write cve artifact");
+            println!("  {name}: {:?}", artifact.expected.class);
+        }
+    }
+}

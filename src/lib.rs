@@ -10,6 +10,7 @@ pub use sedspec_chaos as chaos;
 pub use sedspec_dbl as dbl;
 pub use sedspec_devices as devices;
 pub use sedspec_fleet as fleet;
+pub use sedspec_fuzz as fuzz;
 pub use sedspec_obs as obs;
 pub use sedspec_trace as trace;
 pub use sedspec_vmm as vmm;

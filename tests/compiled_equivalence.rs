@@ -30,7 +30,7 @@ use sedspec_repro::workloads::InteractionMode;
 
 fn train(kind: DeviceKind, version: QemuVersion, cases: usize) -> ExecutionSpecification {
     let mut device = build_device(kind, version);
-    device.set_limits(ExecLimits { max_steps: 50_000 });
+    device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
     let mut ctx = VmContext::new(0x200000, 8192);
     let suite = training_suite(kind, cases, 0x7a11);
     train_script(&mut device, &mut ctx, &suite, &TrainingConfig::default()).expect("training")
@@ -46,7 +46,7 @@ fn assert_engines_agree(
 ) -> Result<(), TestCaseError> {
     let build = |engine| {
         let mut device = build_device(kind, version);
-        device.set_limits(ExecLimits { max_steps: 50_000 });
+        device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
         EnforcingDevice::new(device, spec.clone(), mode).with_engine(engine)
     };
     let mut compiled = build(Engine::Compiled);
@@ -182,7 +182,7 @@ fn assert_batched_matches_sequential(
 ) -> Result<(), TestCaseError> {
     let build = || {
         let mut device = build_device(kind, version);
-        device.set_limits(ExecLimits { max_steps: 50_000 });
+        device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
         EnforcingDevice::new_compiled(device, Arc::clone(compiled), mode)
     };
     let mut seq = build();
@@ -399,7 +399,7 @@ fn pgo_layout_preserves_verdicts() {
             for mode in [WorkingMode::Protection, WorkingMode::Enhancement] {
                 let drive = |compiled: &Arc<CompiledSpec>| {
                     let mut dev = build_device(kind, QemuVersion::Patched);
-                    dev.set_limits(ExecLimits { max_steps: 50_000 });
+                    dev.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
                     let mut enf = EnforcingDevice::new_compiled(dev, Arc::clone(compiled), mode);
                     let mut ctx = VmContext::new(0x200000, 8192);
                     let mut verdicts = Vec::new();

@@ -45,7 +45,7 @@ fn base_of(kind: DeviceKind) -> (AddressSpace, u64) {
 
 fn run_garbage(kind: DeviceKind, seq: &[Op]) -> Result<(), TestCaseError> {
     let mut device = build_device(kind, QemuVersion::Patched);
-    device.set_limits(ExecLimits { max_steps: 400_000 });
+    device.set_limits(ExecLimits { max_steps: 400_000, ..ExecLimits::default() });
     let mut ctx = VmContext::new(0x40000, 4096);
     let (space, base) = base_of(kind);
     for op in seq {

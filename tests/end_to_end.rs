@@ -27,7 +27,7 @@ fn every_cve_is_detected_with_all_strategies() {
         let p = poc(cve);
         let spec = trained(p.device, p.qemu_version);
         let mut device = build_device(p.device, p.qemu_version);
-        device.set_limits(ExecLimits { max_steps: 50_000 });
+        device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
         let mut enforcer = EnforcingDevice::new(device, spec, WorkingMode::Protection);
         let mut ctx = VmContext::new(0x200000, 8192);
         let mut detected = false;
@@ -50,7 +50,7 @@ fn per_strategy_detection_matches_table_iii() {
         for strategy in [Strategy::Parameter, Strategy::IndirectJump, Strategy::ConditionalJump] {
             let spec = trained(p.device, p.qemu_version);
             let mut device = build_device(p.device, p.qemu_version);
-            device.set_limits(ExecLimits { max_steps: 50_000 });
+            device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
             let mut enforcer = EnforcingDevice::new(device, spec, WorkingMode::Protection)
                 .with_config(CheckConfig::only(strategy));
             let mut ctx = VmContext::new(0x200000, 8192);

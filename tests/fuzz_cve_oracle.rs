@@ -1,0 +1,96 @@
+//! The CVE oracle: PoC-seeded differential replay rediscovers the
+//! paper's Table III divergences on vulnerable builds and stays silent
+//! (no false negatives) on patched builds.
+//!
+//! This is the fuzzer's end-to-end calibration. Each PoC prefix seeds
+//! the oracle exactly the way a committed corpus entry would; a
+//! `Detected` verdict means the bare device damaged itself *and* the
+//! enforced walk flagged the stream no later than the damage round.
+
+use sedspec_repro::devices::QemuVersion;
+use sedspec_repro::fuzz::{run_campaign, trained_compiled, FindingClass, FuzzOptions, Oracle};
+use sedspec_repro::workloads::attacks::{poc, Cve};
+
+/// Vulnerable builds: every Table III PoC must register a divergence,
+/// and at least 6/8 must be fully `Detected` (damage flagged in time).
+#[test]
+fn table_iii_divergences_rediscovered_on_vulnerable_builds() {
+    let mut detected = 0usize;
+    for cve in Cve::all() {
+        let p = poc(cve);
+        let oracle =
+            Oracle::new(p.device, p.qemu_version, trained_compiled(p.device, p.qemu_version));
+        let (c, _) = oracle.run(&p.steps);
+        assert_ne!(
+            c.class,
+            FindingClass::Clean,
+            "{}: PoC registered no divergence on vulnerable build ({c:?})",
+            cve.id()
+        );
+        if c.class == FindingClass::Detected {
+            detected += 1;
+        } else {
+            // The only tolerated shortfall is the committed spec gap.
+            assert_eq!(cve, Cve::Cve2016_4439, "{}: unexpected {c:?}", cve.id());
+        }
+    }
+    assert!(detected >= 6, "only {detected}/8 CVEs fully detected");
+}
+
+/// Patched builds: replaying every PoC produces zero false negatives —
+/// the patched devices take no damage the spec then misses.
+#[test]
+fn poc_replay_on_patched_builds_has_no_false_negatives() {
+    for cve in Cve::all_with_known_miss() {
+        let p = poc(cve);
+        let oracle = Oracle::new(
+            p.device,
+            QemuVersion::Patched,
+            trained_compiled(p.device, QemuVersion::Patched),
+        );
+        let (c, _) = oracle.run(&p.steps);
+        assert_ne!(
+            c.class,
+            FindingClass::FalseNegative,
+            "{}: false negative on patched build ({c:?})",
+            cve.id()
+        );
+    }
+}
+
+/// A bounded campaign seeded with the Venom PoC prefix keeps the
+/// divergence visible in its report (fuzzing must not lose findings
+/// the seeds already witness).
+#[test]
+fn campaign_seeded_with_poc_keeps_the_finding() {
+    let p = poc(Cve::Cve2015_3456);
+    let dir = std::env::temp_dir().join("sedspec-fuzz-cve-seed");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // Stage the PoC as a seed artifact the campaign will load.
+    let oracle = Oracle::new(p.device, p.qemu_version, trained_compiled(p.device, p.qemu_version));
+    let (expected, _) = oracle.run(&p.steps);
+    assert_eq!(expected.class, FindingClass::Detected);
+    let artifact = sedspec_repro::fuzz::Artifact {
+        device: sedspec_repro::fuzz::kind_slug(p.device).to_string(),
+        version: p.qemu_version.to_string(),
+        steps: p.steps.clone(),
+        expected: expected.clone(),
+    };
+    std::fs::write(dir.join("seed-venom.json"), artifact.to_json()).unwrap();
+
+    let out = run_campaign(&FuzzOptions {
+        device: p.device,
+        version: p.qemu_version,
+        seed: 7,
+        rounds: 1500,
+        corpus_dir: Some(dir.clone()),
+    })
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    let keys: Vec<String> = out.findings.iter().map(|f| f.classification.dedup_key()).collect();
+    assert!(
+        keys.contains(&expected.dedup_key()),
+        "campaign lost the seeded Venom finding: {keys:?}"
+    );
+}

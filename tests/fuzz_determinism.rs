@@ -1,0 +1,58 @@
+//! Determinism proofs for the differential fuzzer.
+//!
+//! The CI smoke literally `cmp`s two campaign reports, so this is the
+//! load-bearing property: a campaign is a pure function of `(seed,
+//! corpus, rounds)` — byte-identical reports and coverage maps across
+//! runs — and mutated streams survive the JSON replay format intact.
+
+use proptest::prelude::*;
+
+use sedspec::collect::TrainStep;
+use sedspec_repro::devices::{DeviceKind, QemuVersion};
+use sedspec_repro::fuzz::{run_campaign, FuzzOptions, FuzzRng, Mutator};
+use sedspec_repro::vmm::AddressSpace;
+
+fn opts(device: DeviceKind, seed: u64, rounds: u64) -> FuzzOptions {
+    FuzzOptions { device, version: QemuVersion::Patched, seed, rounds, corpus_dir: None }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Two campaigns with identical inputs emit identical bytes.
+    #[test]
+    fn double_runs_are_byte_identical(seed in 0u64..1000, rounds in 50u64..400) {
+        let a = run_campaign(&opts(DeviceKind::Fdc, seed, rounds)).unwrap();
+        let b = run_campaign(&opts(DeviceKind::Fdc, seed, rounds)).unwrap();
+        prop_assert_eq!(a.report.to_json(), b.report.to_json());
+        prop_assert_eq!(a.coverage.to_json(), b.coverage.to_json());
+        prop_assert_eq!(a.findings, b.findings);
+    }
+
+    /// Mutated streams round-trip through the JSON replay format.
+    #[test]
+    fn mutants_round_trip_through_json(seed in 0u64..10_000) {
+        let mutator = Mutator::new(vec![
+            (AddressSpace::Pmio, 0x3f0, 8),
+            (AddressSpace::Mmio, 0x1000, 0x40),
+        ]);
+        let mut rng = FuzzRng::new(seed);
+        let mut parent: Vec<TrainStep> = Vec::new();
+        for _ in 0..16 {
+            let child = mutator.mutate(&parent, Some(&parent), &mut rng);
+            let json = serde_json::to_string(&child).unwrap();
+            let back: Vec<TrainStep> = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, &child);
+            parent = child;
+        }
+    }
+}
+
+/// Seeds must actually change behaviour — a constant-output "fuzzer"
+/// would pass the identity tests above trivially.
+#[test]
+fn different_seeds_diverge() {
+    let a = run_campaign(&opts(DeviceKind::Fdc, 1, 300)).unwrap();
+    let b = run_campaign(&opts(DeviceKind::Fdc, 2, 300)).unwrap();
+    assert_ne!(a.report.to_json(), b.report.to_json());
+}

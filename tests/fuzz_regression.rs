@@ -1,0 +1,71 @@
+//! Replays the committed fuzz corpus (`ci/fuzz-corpus/`) and asserts
+//! every artifact still produces its recorded verdict, exactly.
+//!
+//! Each artifact carries the `(device, version)` it targets, the step
+//! stream, and the [`Classification`] the producing campaign observed.
+//! The oracle deploys the canonical training recipe (same constants as
+//! the campaign and CLI), so a mismatch here means device models, spec
+//! construction or checker semantics drifted — the failing file names
+//! the witness input.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use sedspec::compiled::CompiledSpec;
+use sedspec_repro::fuzz::{
+    load_dir, parse_kind, parse_version, trained_compiled, FindingClass, Oracle,
+};
+
+fn corpus_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("ci/fuzz-corpus")
+}
+
+#[test]
+fn corpus_is_present_and_covers_every_device() {
+    let root = corpus_root();
+    for slug in ["fdc", "usb-ehci", "pcnet", "sdhci", "scsi"] {
+        let dir = root.join(slug);
+        assert!(dir.is_dir(), "missing committed corpus dir {}", dir.display());
+        let entries = load_dir(&dir).expect("corpus dir loads");
+        assert!(!entries.is_empty(), "{slug}: corpus dir is empty");
+    }
+}
+
+#[test]
+fn every_artifact_replays_to_its_recorded_verdict() {
+    let root = corpus_root();
+    let mut specs: BTreeMap<(String, String), Arc<CompiledSpec>> = BTreeMap::new();
+    let mut replayed = 0usize;
+    for slug in ["fdc", "usb-ehci", "pcnet", "sdhci", "scsi"] {
+        for (path, artifact) in load_dir(&root.join(slug)).expect("corpus dir loads") {
+            assert_eq!(artifact.device, slug, "{}: artifact in wrong dir", path.display());
+            let kind = parse_kind(&artifact.device)
+                .unwrap_or_else(|| panic!("{}: unknown device", path.display()));
+            let version = parse_version(&artifact.version)
+                .unwrap_or_else(|| panic!("{}: unknown version", path.display()));
+            let compiled = specs
+                .entry((artifact.device.clone(), artifact.version.clone()))
+                .or_insert_with(|| trained_compiled(kind, version));
+            let oracle = Oracle::new(kind, version, Arc::clone(compiled));
+            let (got, coverage) = oracle.run(&artifact.steps);
+            assert_eq!(got, artifact.expected, "{}: verdict drifted", path.display());
+            assert!(coverage.covered() > 0, "{}: replay covered nothing", path.display());
+            replayed += 1;
+        }
+    }
+    assert!(replayed >= 30, "suspiciously small corpus: {replayed} artifacts");
+}
+
+#[test]
+fn committed_findings_include_the_known_spec_gap() {
+    // CVE-2016-4439 is the committed false negative: real device damage
+    // the deployed spec misses. The corpus must keep witnessing it so a
+    // future spec improvement flips the artifact (and this test) loudly.
+    let entries = load_dir(&corpus_root().join("scsi")).expect("scsi corpus loads");
+    let gap = entries
+        .iter()
+        .find(|(p, _)| p.ends_with("cve-cve-2016-4439.json"))
+        .map(|(_, a)| a.expected.class);
+    assert_eq!(gap, Some(FindingClass::FalseNegative));
+}

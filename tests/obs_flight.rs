@@ -32,7 +32,7 @@ fn run_poc_observed(cve: Cve) -> (Arc<ObsHub>, bool) {
     let p = poc(cve);
     let spec = trained(p.device, p.qemu_version);
     let mut device = build_device(p.device, p.qemu_version);
-    device.set_limits(ExecLimits { max_steps: 50_000 });
+    device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
     let hub = Arc::new(ObsHub::new());
     let mut enforcer = EnforcingDevice::new(device, spec, WorkingMode::Protection)
         .with_sink(hub.sink(ScopeInfo::device(p.device.to_string())));
@@ -121,7 +121,7 @@ fn forensic_records_survive_an_injected_sink_fault() {
     let p = poc(Cve::Cve2015_3456);
     let spec = trained(p.device, p.qemu_version);
     let mut device = build_device(p.device, p.qemu_version);
-    device.set_limits(ExecLimits { max_steps: 50_000 });
+    device.set_limits(ExecLimits { max_steps: 50_000, ..ExecLimits::default() });
     let hub = Arc::new(ObsHub::new());
     let faulty = Arc::new(FaultySink::new(
         hub.sink(ScopeInfo::device(p.device.to_string())),
